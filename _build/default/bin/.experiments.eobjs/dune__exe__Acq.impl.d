@@ -1,0 +1,1 @@
+bin/acq.ml: Ac_automata Ac_hypergraph Ac_query Ac_relational Ac_workload Approxcount Arg Array Cmd Cmdliner Printf Random String Term

@@ -1,0 +1,1 @@
+bin/experiments.ml: Ac_experiments Arg Cmd Cmdliner Format List Printf Term

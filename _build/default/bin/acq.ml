@@ -1,0 +1,211 @@
+(* acq — approximate conjunctive-query counting from the command line.
+
+     acq count  --db facts.txt --query "ans(x) :- F(x,y), F(x,z), y != z"
+     acq count  --db facts.txt --query "..." --method fpras
+     acq sample --db facts.txt --query "..." --draws 5
+     acq widths --query "..."
+     acq generate --kind friends --size 100 --out facts.txt
+
+   Databases use the plain-text format of Ac_relational.Structure_io. *)
+
+open Cmdliner
+
+module Ecq = Ac_query.Ecq
+module Structure = Ac_relational.Structure
+module Structure_io = Ac_relational.Structure_io
+
+let query_term =
+  let doc = "The query, e.g. \"ans(x) :- E(x, y), !R(y, y), x != y\"." in
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
+
+let db_term =
+  let doc = "Database file (see Structure_io format)." in
+  Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE" ~doc)
+
+let epsilon_term =
+  Arg.(value & opt float 0.25 & info [ "epsilon" ] ~docv:"EPS" ~doc:"Accuracy target.")
+
+let delta_term =
+  Arg.(value & opt float 0.1 & info [ "delta" ] ~docv:"DELTA" ~doc:"Failure probability.")
+
+let seed_term =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let engine_term =
+  (* note: must not be named [conv] — Arg.( ) would shadow it *)
+  let engine_conv =
+    Arg.enum
+      [
+        ("tree-dp", Approxcount.Colour_oracle.Tree_dp);
+        ("generic", Approxcount.Colour_oracle.Generic);
+        ("direct", Approxcount.Colour_oracle.Direct);
+      ]
+  in
+  Arg.(
+    value
+    & opt engine_conv Approxcount.Colour_oracle.Tree_dp
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Hom engine for the FPTRAS: tree-dp (Theorem 5), generic (Theorem 13) or direct (ablation).")
+
+let method_term =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("auto", `Auto); ("exact", `Exact); ("fptras", `Fptras);
+             ("fpras", `Fpras); ("brute", `Brute) ])
+        `Auto
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:"auto (planner), exact (join+project), fptras (Theorems 5/13), fpras (Theorem 16, CQs only), brute.")
+
+let with_input query_text db_path f =
+  match Ecq.parse query_text with
+  | exception Failure msg -> `Error (false, msg)
+  | query -> (
+      match Structure_io.load db_path with
+      | exception Failure msg -> `Error (false, "database: " ^ msg)
+      | db ->
+          if not (Ecq.compatible_with query db) then
+            `Error (false, "query signature is not contained in the database's")
+          else f query db)
+
+let count_cmd =
+  let run query_text db_path method_ engine epsilon delta seed =
+    with_input query_text db_path (fun query db ->
+        let rng = Random.State.make [| seed |] in
+        (match method_ with
+        | `Auto ->
+            let v, d =
+              Approxcount.Planner.count ~rng ~epsilon ~delta query db
+            in
+            Printf.printf "%.1f\n" v;
+            Printf.eprintf "plan: %s\n" d.Approxcount.Planner.reason
+        | `Exact ->
+            Printf.printf "%d\n" (Approxcount.Exact.by_join_projection query db)
+        | `Brute -> Printf.printf "%d\n" (Approxcount.Exact.brute_force query db)
+        | `Fptras ->
+            let r =
+              Approxcount.Fptras.approx_count ~rng ~engine ~epsilon ~delta query db
+            in
+            Printf.printf "%.1f%s\n" r.Approxcount.Fptras.estimate
+              (if r.exact then " (exact)" else "")
+        | `Fpras ->
+            if not (Ecq.is_cq query) then
+              failwith "the FPRAS requires a CQ (no disequalities or negations)"
+            else
+              let config =
+                { (Ac_automata.Acjr.default_config ~seed ()) with
+                  Ac_automata.Acjr.sketch_size = 48 }
+              in
+              Printf.printf "%.1f\n"
+                (Approxcount.Fpras.approx_count ~config query db));
+        `Ok ())
+  in
+  let doc = "Count the answers of a query in a database." in
+  Cmd.v (Cmd.info "count" ~doc)
+    Term.(
+      ret
+        (const run $ query_term $ db_term $ method_term $ engine_term
+       $ epsilon_term $ delta_term $ seed_term))
+
+let sample_cmd =
+  let draws_term =
+    Arg.(value & opt int 1 & info [ "draws" ] ~docv:"N" ~doc:"Number of samples.")
+  in
+  let run query_text db_path engine epsilon delta seed draws =
+    with_input query_text db_path (fun query db ->
+        let rng = Random.State.make [| seed |] in
+        let sampler =
+          Approxcount.Sampling.make_sampler ~rng ~engine ~epsilon ~delta query db
+        in
+        for _ = 1 to draws do
+          match sampler () with
+          | None -> print_endline "(no sample)"
+          | Some tau ->
+              print_endline
+                (String.concat " " (Array.to_list (Array.map string_of_int tau)))
+        done;
+        `Ok ())
+  in
+  let doc = "Draw approximately-uniform answers (§6 JVV sampling)." in
+  Cmd.v (Cmd.info "sample" ~doc)
+    Term.(
+      ret
+        (const run $ query_term $ db_term $ engine_term $ epsilon_term
+       $ delta_term $ seed_term $ draws_term))
+
+let widths_cmd =
+  let run query_text =
+    match Ecq.parse query_text with
+    | exception Failure msg -> `Error (false, msg)
+    | query ->
+        let h = Ecq.hypergraph query in
+        let small = Ac_hypergraph.Hypergraph.num_vertices h <= 14 in
+        let tw =
+          if small then fst (Ac_hypergraph.Tree_decomposition.treewidth_exact h)
+          else
+            Ac_hypergraph.Tree_decomposition.width
+              (Ac_hypergraph.Tree_decomposition.decompose h)
+        in
+        let fhw =
+          if small then fst (Ac_hypergraph.Widths.fhw_exact h)
+          else Ac_hypergraph.Widths.fhw_upper h
+        in
+        Printf.printf "variables:            %d (%d free)\n" (Ecq.num_vars query)
+          (Ecq.num_free query);
+        Printf.printf "size ‖φ‖:             %d\n" (Ecq.size query);
+        Printf.printf "class:                %s\n"
+          (if Ecq.is_cq query then "CQ"
+           else if Ecq.is_dcq query then "DCQ"
+           else "ECQ");
+        Printf.printf "treewidth:            %d%s\n" tw (if small then "" else " (upper bound)");
+        Printf.printf "fractional htw:       %.2f%s\n" fhw
+          (if small then "" else " (upper bound)");
+        Printf.printf "guarantee:            %s\n"
+          (if Ecq.is_cq query then "FPRAS (Theorem 16, bounded fhw)"
+           else if Ecq.is_dcq query then
+             "FPTRAS (Theorem 13, bounded adaptive width); no FPRAS (Obs. 10)"
+           else "FPTRAS (Theorem 5, bounded tw & arity); no FPRAS (Obs. 10)");
+        `Ok ()
+  in
+  let doc = "Width measures and the paper's guarantee for a query." in
+  Cmd.v (Cmd.info "widths" ~doc) Term.(ret (const run $ query_term))
+
+let generate_cmd =
+  let kind_term =
+    Arg.(
+      value
+      & opt (enum [ ("friends", `Friends); ("graph", `Graph); ("relation", `Relation) ]) `Friends
+      & info [ "kind" ] ~docv:"KIND" ~doc:"friends | graph | relation.")
+  in
+  let size_term =
+    Arg.(value & opt int 50 & info [ "size" ] ~docv:"N" ~doc:"Universe size.")
+  in
+  let out_term =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run kind size out seed =
+    let rng = Random.State.make [| seed |] in
+    let db =
+      match kind with
+      | `Friends -> Ac_workload.Dbgen.friends_database ~rng ~n:size ~avg_degree:6.0
+      | `Graph ->
+          Ac_workload.Graph.to_structure
+            (Ac_workload.Graph.random_gnp ~rng size 0.3)
+      | `Relation ->
+          Ac_workload.Dbgen.random_structure ~rng ~universe_size:size
+            [ ("R", 2, 4 * size) ]
+    in
+    Structure_io.save out db;
+    Printf.printf "wrote %s (universe %d, ‖D‖ = %d)\n" out
+      (Structure.universe_size db) (Structure.size db);
+    `Ok ()
+  in
+  let doc = "Generate a random database file." in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(ret (const run $ kind_term $ size_term $ out_term $ seed_term))
+
+let () =
+  let doc = "approximately counting answers to conjunctive queries" in
+  let info = Cmd.info "acq" ~doc in
+  exit (Cmd.eval (Cmd.group info [ count_cmd; sample_cmd; widths_cmd; generate_cmd ]))

@@ -1,0 +1,55 @@
+(* Experiment driver: regenerates every table of EXPERIMENTS.md.
+
+     dune exec bin/experiments.exe            # all experiments
+     dune exec bin/experiments.exe -- e4 e6   # a subset
+     dune exec bin/experiments.exe -- --list  # the registry *)
+
+open Cmdliner
+
+let run_ids list_only ids =
+  let fmt = Format.std_formatter in
+  if list_only then begin
+    List.iter
+      (fun e -> Format.fprintf fmt "%-4s %s@." e.Ac_experiments.Common.id e.claim)
+      Ac_experiments.Registry.all;
+    `Ok ()
+  end
+  else begin
+    let selected =
+      match ids with
+      | [] -> Ok Ac_experiments.Registry.all
+      | ids ->
+          let rec resolve acc = function
+            | [] -> Ok (List.rev acc)
+            | id :: rest -> (
+                match Ac_experiments.Registry.find id with
+                | Some e -> resolve (e :: acc) rest
+                | None -> Error id)
+          in
+          resolve [] ids
+    in
+    match selected with
+    | Error id -> `Error (false, Printf.sprintf "unknown experiment %S" id)
+    | Ok experiments ->
+        List.iter
+          (fun e ->
+            Format.fprintf fmt "@.### %s — %s@." e.Ac_experiments.Common.id e.claim;
+            e.run fmt)
+          experiments;
+        Format.pp_print_flush fmt ();
+        `Ok ()
+  end
+
+let ids =
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e8).")
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List the experiment registry and exit.")
+
+let cmd =
+  let doc = "Regenerate the paper-claim experiments (DESIGN.md §4)" in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(ret (const run_ids $ list_flag $ ids))
+
+let () = exit (Cmd.eval cmd)

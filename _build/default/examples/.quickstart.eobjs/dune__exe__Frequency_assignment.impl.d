@@ -1,0 +1,1 @@
+examples/frequency_assignment.ml: Ac_query Ac_workload Approxcount Format List Printf Random

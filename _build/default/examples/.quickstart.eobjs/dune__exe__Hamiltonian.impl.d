@@ -1,0 +1,1 @@
+examples/hamiltonian.ml: Ac_hypergraph Ac_query Ac_workload Approxcount Format List Random

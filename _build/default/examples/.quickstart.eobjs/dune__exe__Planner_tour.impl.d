@@ -1,0 +1,1 @@
+examples/planner_tour.ml: Ac_query Ac_relational Approxcount Format List Random

@@ -1,0 +1,1 @@
+examples/planner_tour.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ac_query Ac_relational Approxcount Array Format List Random String

@@ -1,0 +1,1 @@
+examples/social_network.ml: Ac_query Ac_relational Ac_workload Approxcount Format Printf Random Unix

@@ -1,0 +1,1 @@
+lib/automata/acjr.ml: Array Hashtbl Int List Ltree Option Random Set Tree_automaton

@@ -1,0 +1,1 @@
+lib/automata/acjr.mli: Ltree Random Tree_automaton

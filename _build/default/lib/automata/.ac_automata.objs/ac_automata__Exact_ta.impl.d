@@ -1,0 +1,1 @@
+lib/automata/exact_ta.ml: Fun Hashtbl Int List Ltree Option Set Tree_automaton

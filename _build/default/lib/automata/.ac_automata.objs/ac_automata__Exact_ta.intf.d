@@ -1,0 +1,1 @@
+lib/automata/exact_ta.mli: Ltree Tree_automaton

@@ -1,0 +1,1 @@
+lib/automata/ltree.ml: Format Int List

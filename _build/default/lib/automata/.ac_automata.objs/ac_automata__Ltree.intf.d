@@ -1,0 +1,1 @@
+lib/automata/ltree.mli: Format

@@ -1,0 +1,1 @@
+lib/automata/tree_automaton.ml: Hashtbl Int List Ltree Set

@@ -1,0 +1,1 @@
+lib/automata/tree_automaton.mli: Ltree

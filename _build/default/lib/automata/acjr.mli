@@ -1,0 +1,59 @@
+(** Sketch-based randomized approximation of #TA over a fixed tree shape —
+    the engine the paper imports from Arenas–Croquevielle–Jayaram–Riveros
+    (Lemma 51, [5, Corollary 4.9]), reimplemented in its natural bottom-up
+    form (see DESIGN.md substitution 3).
+
+    For every shape node [u] and automaton state [s] the algorithm keeps
+    (i) an estimate of [|L(u, s)|] — the number of labelings of the
+    subtree at [u] admitting a run from [s] — and (ii) a bounded sketch of
+    approximately-uniform samples from [L(u, s)]. Estimates for a node are
+    assembled from its children with the Karp–Luby union estimator: the
+    candidate sets reachable through different transitions overlap, and
+    multiplicities are resolved with automaton membership tests (cheap:
+    run-state sets are memoised per shared subtree).
+
+    The pair (estimate, sketch) also yields an approximately-uniform
+    sampler of accepted labelings, used by the §6 sampling extension. *)
+
+type config = {
+  sketch_size : int;    (** samples kept per (node, state) *)
+  union_rounds : int;   (** Karp–Luby rounds per union estimate *)
+  rng : Random.State.t;
+}
+
+val default_config : ?seed:int -> unit -> config
+
+(** Estimate of the number of labelings of [shape] accepted by the
+    automaton. *)
+val estimate_fixed_shape : ?config:config -> Tree_automaton.t -> Ltree.shape -> float
+
+(** Approximately-uniform sample of an accepted labeling ([None] when the
+    estimate is 0). *)
+val sample_fixed_shape :
+  ?config:config -> Tree_automaton.t -> Ltree.shape -> Ltree.t option
+
+(** Estimate and a sampler sharing the same sketches (cheaper when many
+    samples are needed). *)
+val estimator :
+  ?config:config ->
+  Tree_automaton.t ->
+  Ltree.shape ->
+  float * (unit -> Ltree.t option)
+
+(** {2 The full N-slice}
+
+    The paper's #TA (Definition 50) counts accepted inputs over {e all}
+    trees with exactly [n] nodes. The sketches generalise by keying cells
+    on [(state, subtree size)] instead of shape nodes: binary transitions
+    union over all size splits (structurally disjoint), unary and leaf
+    transitions over sizes [n-1] and [1]. *)
+
+(** Estimate of [|L_n(A)|] (Definition 50's N-slice). *)
+val estimate_slice : ?config:config -> Tree_automaton.t -> int -> float
+
+(** Estimate plus an approximately-uniform sampler over the N-slice. *)
+val slice_estimator :
+  ?config:config ->
+  Tree_automaton.t ->
+  int ->
+  float * (unit -> Ltree.t option)

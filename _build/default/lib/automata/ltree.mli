@@ -1,0 +1,41 @@
+(** Labelled binary trees — the inputs of tree automata
+    (Definition 49: [Trees₂[Σ]]).
+
+    Symbols are dense integers [0 .. |Σ|-1]. Nodes carry unique physical
+    ids so that algorithms sharing subtrees (the ACJR sketches build new
+    trees out of previously sampled ones) can memoise per-subtree results
+    in O(1). Ids are allocated from a global counter; structural equality
+    ignores them. *)
+
+type t = private {
+  id : int;
+  label : int;
+  children : t list;  (** length ≤ 2 *)
+}
+
+(** [node label children] allocates a fresh node ([≤ 2] children). *)
+val node : int -> t list -> t
+
+val leaf : int -> t
+val size : t -> int
+
+(** Structural equality / comparison (labels and shape, not ids). *)
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** An unlabelled shape: the same structure without labels. *)
+type shape = Shape of shape list
+
+val shape_of : t -> shape
+val shape_size : shape -> int
+
+(** All binary-tree shapes with exactly [n] nodes (each node ≤ 2
+    children). Exponential; for small [n] only. *)
+val shapes_with_size : int -> shape list
+
+(** All labelings of [shape] over an alphabet of the given size.
+    Exponential; testing only. *)
+val labelings : alphabet:int -> shape -> t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/assoc.ml: Ac_hom Ac_query Ac_relational Array Float Fun Hashtbl List Printf Random

@@ -1,0 +1,1 @@
+lib/core/assoc.mli: Ac_hom Ac_query Ac_relational Random

@@ -1,0 +1,1 @@
+lib/core/colour_oracle.ml: Ac_dlm Ac_hom Ac_join Ac_query Ac_relational Array Assoc Float Fun Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/core/colour_oracle.mli: Ac_dlm Ac_query Ac_relational Random

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Ac_hom Ac_query Ac_relational Array Assoc List

@@ -1,0 +1,1 @@
+lib/core/exact.mli: Ac_query Ac_relational

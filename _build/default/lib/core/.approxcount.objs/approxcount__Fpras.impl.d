@@ -1,0 +1,1 @@
+lib/core/fpras.ml: Ac_automata Ac_hypergraph Ac_join Ac_query Ac_relational Array Hashtbl List Option

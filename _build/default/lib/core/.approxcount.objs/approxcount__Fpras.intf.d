@@ -1,0 +1,1 @@
+lib/core/fpras.mli: Ac_automata Ac_hypergraph Ac_query Ac_relational

@@ -1,0 +1,1 @@
+lib/core/fptras.ml: Ac_dlm Ac_query Colour_oracle Random

@@ -1,0 +1,1 @@
+lib/core/hardness.ml: Ac_workload Exact Fptras

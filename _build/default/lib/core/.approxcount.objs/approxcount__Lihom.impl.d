@@ -1,0 +1,1 @@
+lib/core/lihom.ml: Ac_relational Ac_workload Exact Fptras

@@ -1,0 +1,1 @@
+lib/core/lihom.mli: Ac_query Ac_relational Ac_workload Colour_oracle Fptras Random

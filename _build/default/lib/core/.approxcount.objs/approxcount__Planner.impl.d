@@ -1,0 +1,1 @@
+lib/core/planner.ml: Ac_automata Ac_hypergraph Ac_query Colour_oracle Fpras Fptras Printf Random

@@ -1,0 +1,1 @@
+lib/core/sampling.ml: Ac_dlm Ac_query Ac_relational Array Colour_oracle Exact Fptras Fun List Random

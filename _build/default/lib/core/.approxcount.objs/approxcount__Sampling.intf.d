@@ -1,0 +1,1 @@
+lib/core/sampling.mli: Ac_query Ac_relational Colour_oracle Random

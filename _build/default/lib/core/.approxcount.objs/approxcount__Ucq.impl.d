@@ -1,0 +1,1 @@
+lib/core/ucq.ml: Ac_query Exact Format List Sampling String

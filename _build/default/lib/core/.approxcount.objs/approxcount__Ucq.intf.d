@@ -1,0 +1,1 @@
+lib/core/ucq.mli: Ac_query Ac_relational Colour_oracle Format Random

@@ -1,0 +1,135 @@
+module Ecq = Ac_query.Ecq
+module Structure = Ac_relational.Structure
+module Relation = Ac_relational.Relation
+
+let negated_symbol name = "~" ^ name
+
+let source q =
+  let s = Structure.create ~universe_size:(Ecq.num_vars q) in
+  List.iter
+    (function
+      | Ecq.Atom (name, vars) -> Structure.add_fact s name (Array.copy vars)
+      | Ecq.Neg_atom (name, vars) ->
+          Structure.add_fact s (negated_symbol name) (Array.copy vars)
+      | Ecq.Diseq _ -> ())
+    (Ecq.atoms q);
+  s
+
+let target q db =
+  if not (Ecq.compatible_with q db) then
+    invalid_arg "Assoc.target: sig(phi) is not contained in sig(D)";
+  let out = Structure.create ~universe_size:(Structure.universe_size db) in
+  let add_positive = Hashtbl.create 8 and add_negative = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Ecq.Atom (name, _) -> Hashtbl.replace add_positive name ()
+      | Ecq.Neg_atom (name, _) -> Hashtbl.replace add_negative name ()
+      | Ecq.Diseq _ -> ())
+    (Ecq.atoms q);
+  Hashtbl.iter
+    (fun name () ->
+      let rel = Structure.relation db name in
+      Structure.declare out name ~arity:(Relation.arity rel);
+      Relation.iter (fun t -> Structure.add_fact out name (Array.copy t)) rel)
+    add_positive;
+  Hashtbl.iter
+    (fun name () ->
+      let rel = Structure.relation db name in
+      (* the ν·|U|^a complement cost is intrinsic (Observation 21), but an
+         accidental high-arity negation should fail loudly, not OOM *)
+      let cells =
+        Float.pow
+          (float_of_int (Structure.universe_size db))
+          (float_of_int (Relation.arity rel))
+      in
+      if cells > 2e7 then
+        invalid_arg
+          (Printf.sprintf
+             "Assoc.target: complement of %s would have ~%.0f tuples (|U|^%d); \
+              negations require small arity or a small universe (Observation 21)"
+             name cells (Relation.arity rel));
+      let complement =
+        Relation.complement ~universe_size:(Structure.universe_size db) rel
+      in
+      let nname = negated_symbol name in
+      Structure.declare out nname ~arity:(Relation.arity rel);
+      Relation.iter (fun t -> Structure.add_fact out nname (Array.copy t)) complement)
+    add_negative;
+  out
+
+let hom_instance q db =
+  { Ac_hom.Hom.source = source q; target = target q db }
+
+type colouring = ((int * int) * bool array) list
+
+let random_colouring ~rng q ~universe_size =
+  List.map
+    (fun eta ->
+      (eta, Array.init universe_size (fun _ -> Random.State.bool rng)))
+    (Ecq.delta q)
+
+let hat_source q =
+  let s = source q in
+  let n = Ecq.num_vars q in
+  for i = 0 to n - 1 do
+    Structure.add_fact s (Printf.sprintf "P%d" i) [| i |]
+  done;
+  List.iter
+    (fun (i, j) ->
+      Structure.add_fact s (Printf.sprintf "R%d_%d" i j) [| i |];
+      Structure.add_fact s (Printf.sprintf "B%d_%d" i j) [| j |])
+    (Ecq.delta q);
+  s
+
+let hat_target q db ~parts colours =
+  let u = Structure.universe_size db in
+  let n = Ecq.num_vars q in
+  let l = Ecq.num_free q in
+  if Array.length parts <> l then invalid_arg "Assoc.hat_target: wrong part count";
+  let b = target q db in
+  let encode w i = (i * u) + w in
+  let out = Structure.create ~universe_size:(n * u) in
+  (* S_i: the permitted pair values of variable i *)
+  let s_i =
+    Array.init n (fun i ->
+        if i < l then Array.to_list parts.(i) else List.init u Fun.id)
+  in
+  (* lifted relations: all placements of a B-fact into classes *)
+  List.iter
+    (fun name ->
+      let rel = Structure.relation b name in
+      let arity = Relation.arity rel in
+      Structure.declare out name ~arity;
+      let rec place tuple idx chosen =
+        if idx = arity then
+          Structure.add_fact out name
+            (Array.of_list (List.rev_map (fun (w, i) -> encode w i) chosen))
+        else
+          for i = 0 to n - 1 do
+            place tuple (idx + 1) ((tuple.(idx), i) :: chosen)
+          done
+      in
+      Relation.iter (fun tuple -> place tuple 0 []) rel)
+    (Structure.symbols b);
+  (* P_i = S_i *)
+  for i = 0 to n - 1 do
+    Structure.declare out (Printf.sprintf "P%d" i) ~arity:1;
+    List.iter
+      (fun w -> Structure.add_fact out (Printf.sprintf "P%d" i) [| encode w i |])
+      s_i.(i)
+  done;
+  (* Rη / Bη from the colouring, over the whole pair universe *)
+  List.iter
+    (fun ((i, j), f) ->
+      let rname = Printf.sprintf "R%d_%d" i j
+      and bname = Printf.sprintf "B%d_%d" i j in
+      Structure.declare out rname ~arity:1;
+      Structure.declare out bname ~arity:1;
+      for cls = 0 to n - 1 do
+        for w = 0 to u - 1 do
+          if f.(w) then Structure.add_fact out rname [| encode w cls |]
+          else Structure.add_fact out bname [| encode w cls |]
+        done
+      done)
+    colours;
+  out

@@ -1,0 +1,48 @@
+(** The structures associated with a query/database pair (§2.2, §3).
+
+    - [source φ] is [A(φ)] (Definition 18): universe [vars(φ)], a tuple
+      per (possibly negated) predicate; negated predicates use the fresh
+      symbol {!negated_symbol}.
+    - [target φ D] is [B(φ, D)] (Definition 20): [R^D] for positive
+      symbols and the explicit complement [U^ar \ R^D] for negated ones
+      (the [ν·|U|^a] cost of Observation 21 is paid here, as the paper's
+      running-time bound assumes).
+    - [hat_source]/[hat_target] are the literal [Â(φ)] (Definition 26)
+      and [B̂(φ, D, V₁..V_ℓ, f)] (Definition 28) — used by the tests that
+      verify Lemma 30; the production oracle implements the same
+      constraints as variable domains instead (see {!Colour_oracle}). *)
+
+val negated_symbol : string -> string
+
+(** [A(φ)]. Solutions of [(φ, D)] without disequalities = homomorphisms
+    [A(φ) → B(φ, D)] (equation (2)). *)
+val source : Ac_query.Ecq.t -> Ac_relational.Structure.t
+
+(** [B(φ, D)]. Raises [Invalid_argument] when [sig(φ) ⊄ sig(D)]. *)
+val target : Ac_query.Ecq.t -> Ac_relational.Structure.t -> Ac_relational.Structure.t
+
+(** The [Hom] instance [A(φ) → B(φ, D)]. *)
+val hom_instance : Ac_query.Ecq.t -> Ac_relational.Structure.t -> Ac_hom.Hom.instance
+
+(** A colouring collection [f = {f_η}]: for each disequality pair (sorted
+    [i < j]) a Boolean per universe element — [true] is the paper's colour
+    [r]. *)
+type colouring = ((int * int) * bool array) list
+
+val random_colouring :
+  rng:Random.State.t -> Ac_query.Ecq.t -> universe_size:int -> colouring
+
+(** [Â(φ)] (Definition 26): [A(φ)] plus unary [P_i = {x_i}] and, per
+    disequality [η = {x_i, x_j}], unary [Rη = {x_i}], [Bη = {x_j}]. *)
+val hat_source : Ac_query.Ecq.t -> Ac_relational.Structure.t
+
+(** [B̂(φ, D, V₁..V_ℓ, f)] (Definition 28). [parts.(i)] lists the
+    permitted values of free variable [i] (the aligned part [V_i]);
+    universe elements are the pairs [(w, i)] encoded as [i·|U(D)| + w].
+    Exponential in the arity — used by tests of Lemma 30 only. *)
+val hat_target :
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  parts:int array array ->
+  colouring ->
+  Ac_relational.Structure.t

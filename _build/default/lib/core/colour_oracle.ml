@@ -1,0 +1,244 @@
+module Ecq = Ac_query.Ecq
+module Structure = Ac_relational.Structure
+module Hom = Ac_hom.Hom
+module Partite = Ac_dlm.Partite
+module Generic_join = Ac_join.Generic_join
+
+type engine = Tree_dp | Generic | Direct
+
+type t = {
+  query : Ecq.t;
+  universe_size : int;
+  instance : Hom.instance;
+  solver : Hom.prepared;
+  delta : (int * int) list;
+  engine : engine;
+  base_budget : int; (* colouring rounds per remaining disequality = base_budget · 4^{|Δ'|} *)
+  probe_budget : int; (* witnesses enumerated before colouring; 0 disables the shortcut *)
+  rng : Random.State.t;
+  mutable homs : int;
+  mutable oracles : int;
+}
+
+let hom_calls t = t.homs
+let oracle_calls t = t.oracles
+
+let factorial n =
+  let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
+  go 1 n
+
+let rounds_for ~delta ~ell ~num_diseq ~expected_oracle_calls =
+  let t = float_of_int (max 1 expected_oracle_calls) in
+  let lfact = float_of_int (factorial (max 1 (min ell 12))) in
+  let budget = Float.log (2.0 *. t *. lfact /. delta) in
+  let base = max 1 (int_of_float (ceil budget)) in
+  base * int_of_float (Float.pow 4.0 (float_of_int num_diseq))
+
+let default_base q db =
+  let t = float_of_int (max 1 (100 * Structure.universe_size db)) in
+  let lfact = float_of_int (factorial (max 1 (min (Ecq.num_free q) 12))) in
+  max 1 (int_of_float (ceil (Float.log (2.0 *. t *. lfact /. 0.05))))
+
+let budget_cap = 65536
+
+let create ?rng ?rounds ?(probe_budget = 128) ~engine q db =
+  let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
+  let base_budget =
+    match rounds with None -> default_base q db | Some r -> max 1 r
+  in
+  let instance = Assoc.hom_instance q db in
+  let strategy =
+    match engine with
+    | Tree_dp -> Hom.Decomposition
+    | Generic | Direct -> Hom.Backtracking
+  in
+  {
+    query = q;
+    universe_size = Structure.universe_size db;
+    instance;
+    solver = Hom.prepare ~strategy instance;
+    delta = Ecq.delta q;
+    engine;
+    base_budget;
+    probe_budget = max 0 probe_budget;
+    rng;
+    homs = 0;
+    oracles = 0;
+  }
+
+let space t =
+  let l = Ecq.num_free t.query in
+  if l = 0 then
+    invalid_arg "Colour_oracle.space: Boolean query (no free variables)";
+  Partite.space (Array.make l t.universe_size)
+
+(* Base domains from the parts: free variable i is confined to V_i. *)
+let base_domains t parts =
+  let n = Ecq.num_vars t.query in
+  let l = Ecq.num_free t.query in
+  let domains = Array.make n None in
+  for i = 0 to min l (Array.length parts) - 1 do
+    domains.(i) <- Some (Array.to_list parts.(i))
+  done;
+  domains
+
+exception Unsatisfiable
+
+(* Deterministic propagation: a disequality whose endpoint is pinned to a
+   single value removes that value from the other endpoint's domain and
+   disappears; a disequality whose endpoint domains are provably disjoint
+   disappears. This is a deterministic refinement of the colour-coding —
+   only the surviving disequalities need random colours, shrinking the
+   4^{|Δ|} budget. Raises [Unsatisfiable] when a domain empties. *)
+let propagate t domains delta =
+  let domains = Array.copy domains in
+  let delta = ref delta and progress = ref true in
+  let singleton v = match domains.(v) with Some [ x ] -> Some x | _ -> None in
+  let remove_value v x =
+    let current =
+      match domains.(v) with
+      | Some l -> l
+      | None -> List.init t.universe_size Fun.id
+    in
+    let filtered = List.filter (( <> ) x) current in
+    if filtered = [] then raise Unsatisfiable;
+    domains.(v) <- Some filtered
+  in
+  let disjoint i j =
+    match (domains.(i), domains.(j)) with
+    | Some a, Some b ->
+        let set = Hashtbl.create (List.length a) in
+        List.iter (fun x -> Hashtbl.replace set x ()) a;
+        not (List.exists (Hashtbl.mem set) b)
+    | _ -> false
+  in
+  while !progress do
+    progress := false;
+    delta :=
+      List.filter
+        (fun (i, j) ->
+          match (singleton i, singleton j) with
+          | Some x, Some y ->
+              if x = y then raise Unsatisfiable;
+              progress := true;
+              false
+          | Some x, None ->
+              remove_value j x;
+              progress := true;
+              false
+          | None, Some y ->
+              remove_value i y;
+              progress := true;
+              false
+          | None, None ->
+              if disjoint i j then begin
+                progress := true;
+                false
+              end
+              else true)
+        !delta
+  done;
+  (domains, !delta)
+
+let decide t domains =
+  t.homs <- t.homs + 1;
+  Hom.decide t.solver ~domains ()
+
+(* Direct engine: enumerate join solutions, accept the first satisfying
+   all remaining disequalities. No colour-coding, no width guarantee. *)
+let decide_direct t domains delta =
+  t.homs <- t.homs + 1;
+  if delta = [] then Hom.decide t.solver ~domains ()
+  else begin
+    let found = ref false in
+    Hom.iter_solutions t.solver ~domains ~f:(fun sol ->
+        let ok = List.for_all (fun (i, j) -> sol.(i) <> sol.(j)) delta in
+        if ok then found := true;
+        not ok);
+    !found
+  end
+
+let has_answer_in_box t parts =
+  t.oracles <- t.oracles + 1;
+  if Array.exists (fun p -> Array.length p = 0) parts then false
+  else begin
+    let domains0 = base_domains t parts in
+    match propagate t domains0 t.delta with
+    | exception Unsatisfiable -> false
+    | domains, remaining -> (
+        match t.engine with
+        | Direct -> decide_direct t domains remaining
+        | Tree_dp | Generic ->
+            if remaining = [] then decide t domains
+            else begin
+              (* Colour-free shortcut: colourings only restrict domains, so
+                 a bounded enumeration of homomorphisms settles most boxes
+                 outright — if some early witness satisfies the remaining
+                 disequalities the box has an edge; if the join exhausts
+                 without one, it provably has none. Only boxes with more
+                 than [probe_budget] witnesses, all violating a
+                 disequality, fall through to the colouring rounds (whose
+                 decisions use the chosen engine, preserving the width
+                 guarantees where they matter). *)
+              let verdict = ref `Unknown in
+              if t.probe_budget > 0 then begin
+                t.homs <- t.homs + 1;
+                let seen = ref 0 in
+                Hom.iter_solutions t.solver ~domains ~f:(fun h ->
+                    incr seen;
+                    if List.for_all (fun (i, j) -> h.(i) <> h.(j)) remaining
+                    then begin
+                      verdict := `Edge;
+                      false
+                    end
+                    else !seen < t.probe_budget);
+                if !seen < t.probe_budget && !verdict = `Unknown then
+                  verdict := `Empty
+              end;
+              match !verdict with
+              | `Edge -> true
+              | `Empty -> false
+              | `Unknown ->
+
+              let budget =
+                let scaled =
+                  float_of_int t.base_budget
+                  *. Float.pow 4.0 (float_of_int (List.length remaining))
+                in
+                (* the paper's bound is exponential in ‖φ‖²; the hard cap
+                   keeps single oracle calls bounded in practice and is an
+                   explicit knob documented in DESIGN.md *)
+                if scaled > float_of_int budget_cap then budget_cap
+                else int_of_float scaled
+              in
+              let found = ref false in
+              let round = ref 0 in
+              while (not !found) && !round < budget do
+                incr round;
+                let coloured = Array.copy domains in
+                let dead = ref false in
+                List.iter
+                  (fun (i, j) ->
+                    let f =
+                      Array.init t.universe_size (fun _ -> Random.State.bool t.rng)
+                    in
+                    let keep v pred =
+                      let current =
+                        match coloured.(v) with
+                        | Some l -> l
+                        | None -> List.init t.universe_size Fun.id
+                      in
+                      let filtered = List.filter pred current in
+                      if filtered = [] then dead := true;
+                      coloured.(v) <- Some filtered
+                    in
+                    keep i (fun w -> f.(w));
+                    keep j (fun w -> not f.(w)))
+                  remaining;
+                if (not !dead) && decide t coloured then found := true
+              done;
+              !found
+            end)
+  end
+
+let aligned_oracle t parts = not (has_answer_in_box t parts)

@@ -1,0 +1,89 @@
+module Ecq = Ac_query.Ecq
+module Structure = Ac_relational.Structure
+module Tuple = Ac_relational.Tuple
+module Hom = Ac_hom.Hom
+
+let brute_force q db =
+  let n = Ecq.num_vars q in
+  let u = Structure.universe_size db in
+  let l = Ecq.num_free q in
+  let assignment = Array.make n 0 in
+  let seen = Tuple.Table.create 64 in
+  let rec go i =
+    if i = n then begin
+      if Ecq.satisfied_by q db assignment then
+        Tuple.Table.replace seen (Array.sub assignment 0 l) ()
+    end
+    else
+      for v = 0 to u - 1 do
+        assignment.(i) <- v;
+        go (i + 1)
+      done
+  in
+  if u > 0 then go 0;
+  Tuple.Table.length seen
+
+let prepared_solver q db =
+  Hom.prepare ~strategy:Hom.Backtracking (Assoc.hom_instance q db)
+
+let by_hom_dp q db =
+  if Ecq.num_existential q > 0 || Ecq.delta q <> [] then None
+  else Some (Hom.count_dp (Assoc.hom_instance q db))
+
+(* Enumerate solutions via the generic join over A(φ) → B(φ, D) (with
+   complements for negated predicates), filter disequalities in the
+   callback and collect distinct projections. *)
+let answer_table q db =
+  let solver = prepared_solver q db in
+  let delta = Ecq.delta q in
+  let l = Ecq.num_free q in
+  let seen = Tuple.Table.create 256 in
+  Hom.iter_solutions solver ~f:(fun (sol : int array) ->
+      if List.for_all (fun (i, j) -> sol.(i) <> sol.(j)) delta then
+        Tuple.Table.replace seen (Array.sub sol 0 l) ();
+      true);
+  seen
+
+let by_join_projection q db = Tuple.Table.length (answer_table q db)
+
+let answers q db =
+  Tuple.Table.fold (fun t () acc -> t :: acc) (answer_table q db) []
+
+(* Shared decision core: does [tau] (over the free variables) extend to a
+   solution? *)
+let is_answer_with q solver tau =
+  let l = Ecq.num_free q in
+  let delta = Ecq.delta q in
+  let domains = Array.make (Ecq.num_vars q) None in
+  for i = 0 to l - 1 do
+    domains.(i) <- Some [ tau.(i) ]
+  done;
+  let found = ref false in
+  Hom.iter_solutions solver ~domains ~f:(fun sol ->
+      let ok = List.for_all (fun (i, j) -> sol.(i) <> sol.(j)) delta in
+      if ok then found := true;
+      not ok);
+  !found
+
+let is_answer q db tau =
+  if Array.length tau <> Ecq.num_free q then
+    invalid_arg "Exact.is_answer: wrong arity";
+  is_answer_with q (prepared_solver q db) tau
+
+let by_free_enumeration q db =
+  let l = Ecq.num_free q in
+  let u = Structure.universe_size db in
+  let solver = prepared_solver q db in
+  let tau = Array.make l 0 in
+  let count = ref 0 in
+  let decide () = if is_answer_with q solver tau then incr count in
+  let rec go i =
+    if i = l then decide ()
+    else
+      for v = 0 to u - 1 do
+        tau.(i) <- v;
+        go (i + 1)
+      done
+  in
+  if l = 0 then decide () else if u > 0 then go 0;
+  !count

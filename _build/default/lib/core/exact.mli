@@ -1,0 +1,32 @@
+(** Exact answer counting — the baselines every approximation is judged
+    against, and the "exact counting wall" measured in experiment E3.
+
+    - [brute_force]: all [|U|^{|vars|}] assignments (tiny instances).
+    - [by_join_projection]: enumerate all solutions with the generic join
+      (negated predicates materialised as complements), filter
+      disequalities, project to the free variables, deduplicate. Cost is
+      driven by the number of {e solutions}.
+    - [by_free_enumeration]: for each of the [|U|^ℓ] free tuples decide
+      extendability (cost driven by [|U|^ℓ]).
+
+    All three compute [|Ans(φ, D)|] exactly; tests cross-check them. *)
+
+val brute_force : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int
+val by_join_projection : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int
+val by_free_enumeration : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int
+
+(** The paper's footnote-4 easiness result: a quantifier-free query
+    without disequalities counts homomorphisms, which is
+    fixed-parameter-exact for bounded treewidth (Dalmau–Jonsson,
+    {!Ac_hom.Hom.count_dp}). [None] when the query has existential
+    variables or disequalities (negated atoms are fine — they are
+    positive atoms over the complement relations). *)
+val by_hom_dp : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int option
+
+(** The set of answers (projections), via join + projection. Each answer
+    is an array of length [ℓ]. *)
+val answers : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int array list
+
+(** [is_answer φ db τ]: can the free-variable assignment [τ] be extended
+    to a solution? *)
+val is_answer : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int array -> bool

@@ -1,0 +1,59 @@
+(** The FPRAS for #CQ with bounded fractional hypertreewidth (Theorem 16).
+
+    Pipeline, exactly as in §5.2:
+    + a {e nice} tree decomposition of [H(φ)] (Lemma 43 /
+      {!Ac_hypergraph.Nice_decomposition}); every bag's fractional edge
+      cover number is at most that of the input decomposition
+      (Observation 40), so bag solution sets stay polynomial for bounded
+      fhw;
+    + per-bag solution sets [Sol(φ, D, B_t)] (Definition 47) enumerated
+      within the AGM bound by the generic join (Lemma 48 / Grohe–Marx);
+    + the tree automaton of Lemma 52 whose accepted labelings of the
+      decomposition's shape are in bijection with [Ans(φ, D)];
+    + approximate counting of accepted labelings with the ACJR sketch
+      engine (Lemma 51 / {!Ac_automata.Acjr}), or exact counting with the
+      subset-construction DP for validation. *)
+
+(** [Sol(φ, D, B)] (Definition 47): assignments over the sorted variable
+    list of [bag], each the restriction of tuples consistent with every
+    atom. [None] when some relation of [φ] is empty in [db] (then
+    [Ans(φ, D) = ∅]). *)
+val bag_solutions :
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  Ac_hypergraph.Bitset.t ->
+  int array list option
+
+type build = {
+  automaton : Ac_automata.Tree_automaton.t;
+  shape : Ac_automata.Ltree.shape;
+  num_states : int;
+  num_symbols : int;
+  num_nodes : int;
+  max_bag_solutions : int;
+}
+
+(** Build the Lemma 52 automaton for a CQ. [None] when the answer count
+    is trivially 0. Raises [Invalid_argument] on non-CQ input. *)
+val build : Ac_query.Ecq.t -> Ac_relational.Structure.t -> build option
+
+(** Approximate [|Ans(φ, D)|] end to end (the Theorem 16 FPRAS). *)
+val approx_count :
+  ?config:Ac_automata.Acjr.config ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  float
+
+(** Exact count through the automaton (exponential in the number of
+    states; validation on small instances — checks the Lemma 52
+    bijection). *)
+val exact_count_automaton : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int
+
+(** Approximately-uniform answer sampling via the automaton (the §6
+    extension backed by ACJR's sampler): returns an answer tuple over the
+    free variables. *)
+val sample_answer :
+  ?config:Ac_automata.Acjr.config ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  int array option

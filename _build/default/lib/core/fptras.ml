@@ -1,0 +1,56 @@
+module Ecq = Ac_query.Ecq
+module Partite = Ac_dlm.Partite
+module Edge_count = Ac_dlm.Edge_count
+
+type result = {
+  estimate : float;
+  exact : bool;
+  level : int;
+  oracle_calls : int;
+  hom_calls : int;
+}
+
+let boolean_result oracle =
+  let found = Colour_oracle.has_answer_in_box oracle [||] in
+  {
+    estimate = (if found then 1.0 else 0.0);
+    exact = true;
+    level = 0;
+    oracle_calls = Colour_oracle.oracle_calls oracle;
+    hom_calls = Colour_oracle.hom_calls oracle;
+  }
+
+let approx_count ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ?probe_budget
+    ~epsilon ~delta q db =
+  let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
+  let oracle = Colour_oracle.create ~rng ?rounds ?probe_budget ~engine q db in
+  if Ecq.num_free q = 0 then boolean_result oracle
+  else begin
+    let space = Colour_oracle.space oracle in
+    let aligned = Colour_oracle.aligned_oracle oracle in
+    let r = Edge_count.estimate ~rng ~epsilon ~delta space aligned in
+    {
+      estimate = r.Edge_count.value;
+      exact = r.Edge_count.exact;
+      level = r.Edge_count.level;
+      oracle_calls = Colour_oracle.oracle_calls oracle;
+      hom_calls = Colour_oracle.hom_calls oracle;
+    }
+  end
+
+let exact_count_via_oracle ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds q db =
+  let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
+  let oracle = Colour_oracle.create ~rng ?rounds ~engine q db in
+  if Ecq.num_free q = 0 then boolean_result oracle
+  else begin
+    let space = Colour_oracle.space oracle in
+    let aligned = Colour_oracle.aligned_oracle oracle in
+    let count = Edge_count.exact_count space aligned () in
+    {
+      estimate = float_of_int count;
+      exact = true;
+      level = 0;
+      oracle_calls = Colour_oracle.oracle_calls oracle;
+      hom_calls = Colour_oracle.hom_calls oracle;
+    }
+  end

@@ -1,0 +1,16 @@
+module Graph = Ac_workload.Graph
+module Query_families = Ac_workload.Query_families
+
+let query = Query_families.hamiltonian
+
+let database_of g = Graph.to_structure ~symbol:"E" g
+
+let exact_paths = Graph.count_hamiltonian_paths
+
+let exact_via_query g =
+  Exact.by_join_projection (query (Graph.num_vertices g)) (database_of g)
+
+let approx_via_query ?rng ?engine ?rounds ~epsilon ~delta g =
+  Fptras.approx_count ?rng ?engine ?rounds ~epsilon ~delta
+    (query (Graph.num_vertices g))
+    (database_of g)

@@ -1,0 +1,97 @@
+module Ecq = Ac_query.Ecq
+module Hypergraph = Ac_hypergraph.Hypergraph
+module Tree_decomposition = Ac_hypergraph.Tree_decomposition
+module Widths = Ac_hypergraph.Widths
+
+type algorithm =
+  | Use_fpras
+  | Use_fptras of Colour_oracle.engine
+
+type query_class = Cq | Dcq | Ecq_full
+
+type decision = {
+  algorithm : algorithm;
+  query_class : query_class;
+  treewidth : int;
+  fhw : float;
+  exact_widths : bool;
+  reason : string;
+}
+
+let plan q =
+  let h = Ecq.hypergraph q in
+  let exact_widths = Hypergraph.num_vertices h <= 14 in
+  let treewidth =
+    if exact_widths then fst (Tree_decomposition.treewidth_exact h)
+    else Tree_decomposition.width (Tree_decomposition.decompose h)
+  in
+  let fhw =
+    if exact_widths then fst (Widths.fhw_exact h) else Widths.fhw_upper h
+  in
+  let arity = Hypergraph.arity h in
+  if Ecq.is_cq q then
+    {
+      algorithm = Use_fpras;
+      query_class = Cq;
+      treewidth;
+      fhw;
+      exact_widths;
+      reason =
+        Printf.sprintf
+          "CQ with fhw %.2f: Theorem 16 FPRAS (tree-automaton pipeline)" fhw;
+    }
+  else if Ecq.is_dcq q then
+    if arity <= 2 && treewidth <= 3 then
+      {
+        algorithm = Use_fptras Colour_oracle.Tree_dp;
+        query_class = Dcq;
+        treewidth;
+        fhw;
+        exact_widths;
+        reason =
+          Printf.sprintf
+            "DCQ (no FPRAS, Observation 10); arity %d, tw %d: Theorem 5 FPTRAS with the tree-DP engine"
+            arity treewidth;
+      }
+    else
+      {
+        algorithm = Use_fptras Colour_oracle.Generic;
+        query_class = Dcq;
+        treewidth;
+        fhw;
+        exact_widths;
+        reason =
+          Printf.sprintf
+            "DCQ (no FPRAS, Observation 10) of arity %d: Theorem 13 FPTRAS with the generic-join engine (bounded adaptive width)"
+            arity;
+      }
+  else
+    {
+      algorithm = Use_fptras Colour_oracle.Tree_dp;
+      query_class = Ecq_full;
+      treewidth;
+      fhw;
+      exact_widths;
+      reason =
+        Printf.sprintf
+          "ECQ with negations (no FPRAS, Observation 10): Theorem 5 FPTRAS, tw %d, arity %d"
+          treewidth arity;
+    }
+
+let count ?rng ~epsilon ~delta q db =
+  let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
+  let d = plan q in
+  let value =
+    match d.algorithm with
+    | Use_fpras ->
+        let config =
+          {
+            (Ac_automata.Acjr.default_config ()) with
+            Ac_automata.Acjr.rng;
+          }
+        in
+        Fpras.approx_count ~config q db
+    | Use_fptras engine ->
+        (Fptras.approx_count ~rng ~engine ~epsilon ~delta q db).Fptras.estimate
+  in
+  (value, d)

@@ -1,0 +1,34 @@
+(** Automatic algorithm selection following Figure 1.
+
+    Given a query, {!plan} reads off the paper's classification — CQs get
+    the Theorem 16 FPRAS; DCQs and ECQs get an FPTRAS (no FPRAS exists for
+    them unless NP = RP, Observation 10), with the engine chosen by the
+    regime: tree-decomposition DP in the bounded-arity/treewidth regime of
+    Theorem 5, generic join in the unbounded-arity regime of Theorem 13.
+    {!count} plans and runs. *)
+
+type algorithm =
+  | Use_fpras                              (** Theorem 16 *)
+  | Use_fptras of Colour_oracle.engine     (** Theorems 5 / 13 *)
+
+type query_class = Cq | Dcq | Ecq_full
+
+type decision = {
+  algorithm : algorithm;
+  query_class : query_class;
+  treewidth : int;     (** exact when [exact_widths] *)
+  fhw : float;         (** exact when [exact_widths] *)
+  exact_widths : bool; (** widths are exact for ≤ 14 variables *)
+  reason : string;     (** human-readable justification *)
+}
+
+val plan : Ac_query.Ecq.t -> decision
+
+(** Plan, run the chosen scheme, return the estimate and the decision. *)
+val count :
+  ?rng:Random.State.t ->
+  epsilon:float ->
+  delta:float ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  float * decision

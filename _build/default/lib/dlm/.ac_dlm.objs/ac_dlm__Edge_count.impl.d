@@ -1,0 +1,1 @@
+lib/dlm/edge_count.ml: Array Float List Partite Random

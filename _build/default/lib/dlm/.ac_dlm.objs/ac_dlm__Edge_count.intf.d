@@ -1,0 +1,1 @@
+lib/dlm/edge_count.mli: Partite Random

@@ -1,0 +1,1 @@
+lib/dlm/partite.ml: Array Fun Int List

@@ -1,0 +1,1 @@
+lib/dlm/partite.mli:

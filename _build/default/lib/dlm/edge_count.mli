@@ -1,0 +1,77 @@
+(** Counting the hyperedges of an ℓ-partite ℓ-uniform hypergraph through a
+    colourful [EdgeFree] decision oracle — the engine the paper imports as
+    Theorem 17 (Dell–Lapinskas–Meeks) and that Lemma 22 plugs query
+    answers into.
+
+    Two modes (see DESIGN.md substitution 1):
+
+    - {!enumerate}/{!exact_count}: recursive splitting with the oracle; an
+      exact enumeration making [O(|E| · ℓ · log max|U_i|)] oracle calls.
+    - {!estimate}: the randomized (ε,δ)-approximation. Geometric
+      subsampling (keep every vertex independently with probability
+      [2^{-j/ℓ}], so each edge survives with probability [2^{-j}])
+      locates the magnitude of [|E|]; at the located level, the few
+      survivors are enumerated exactly and rescaled by [2^j]; a median
+      over independent repetitions yields the confidence bound. When the
+      whole hypergraph already has at most the target number of edges the
+      answer returned is exact. *)
+
+(** An edge: one local vertex id per class. *)
+type edge = int array
+
+(** [enumerate space oracle ~within ~limit] lists the edges of
+    [H[within]] (default: the whole space), stopping after [limit] edges;
+    the boolean is [true] when the enumeration is complete. *)
+val enumerate :
+  Partite.space ->
+  Partite.aligned_oracle ->
+  ?within:Partite.aligned ->
+  ?limit:int ->
+  unit ->
+  edge list * bool
+
+(** Complete enumeration count (no limit). *)
+val exact_count :
+  Partite.space -> Partite.aligned_oracle -> ?within:Partite.aligned -> unit -> int
+
+type result = {
+  value : float;
+  exact : bool;         (** [true] when [value] is an exact count *)
+  level : int;          (** subsampling level used (0 when exact) *)
+  repetitions : int;    (** independent estimates the median was taken over *)
+}
+
+(** [restrict space box oracle] is the sub-hypergraph [H[box]] presented
+    as a fresh space (class [i] relabelled to [0 .. |box.(i)|-1]) with a
+    translating oracle. Used by box-restricted estimation and by the
+    JVV-style samplers. *)
+val restrict :
+  Partite.space ->
+  Partite.aligned ->
+  Partite.aligned_oracle ->
+  Partite.space * Partite.aligned_oracle
+
+(** [(ε,δ)]-style estimate of [|E(H)|] (or of [|E(H[within])|]). [rng]
+    defaults to a self-init state. *)
+val estimate :
+  ?rng:Random.State.t ->
+  ?within:Partite.aligned ->
+  epsilon:float ->
+  delta:float ->
+  Partite.space ->
+  Partite.aligned_oracle ->
+  result
+
+(** Approximately-uniform random edge — the sampling counterpart the paper
+    cites from Dell–Lapinskas–Meeks (§6): recursive halving of the widest
+    class, each half chosen with probability proportional to its
+    (estimated) edge count; exact uniform sampling when the current box's
+    edges fit the estimator's exact path. [None] when the hypergraph is
+    (believed) edge-free. *)
+val sample_edge :
+  ?rng:Random.State.t ->
+  epsilon:float ->
+  delta:float ->
+  Partite.space ->
+  Partite.aligned_oracle ->
+  edge option

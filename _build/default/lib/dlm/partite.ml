@@ -1,0 +1,66 @@
+type space = { class_sizes : int array }
+
+let space class_sizes =
+  if Array.length class_sizes = 0 then invalid_arg "Partite.space: no classes";
+  Array.iter (fun s -> if s < 0 then invalid_arg "Partite.space: negative class") class_sizes;
+  { class_sizes = Array.copy class_sizes }
+
+let num_classes s = Array.length s.class_sizes
+let num_vertices s = Array.fold_left ( + ) 0 s.class_sizes
+
+type aligned = int array array
+
+let all s = Array.map (fun n -> Array.init n Fun.id) s.class_sizes
+
+let is_empty_part parts = Array.exists (fun p -> Array.length p = 0) parts
+
+let tuple_count parts =
+  Array.fold_left (fun acc p -> acc *. float_of_int (Array.length p)) 1.0 parts
+
+type aligned_oracle = aligned -> bool
+
+type general = (int * int) list array
+
+(* All permutations of [0 .. n-1]. *)
+let permutations n =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: ys ->
+        (x :: y :: ys)
+        :: List.map (fun rest -> y :: rest) (insert_everywhere x ys)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insert_everywhere x) (perms xs)
+  in
+  perms (List.init n Fun.id)
+
+let align s parts =
+  let l = num_classes s in
+  if Array.length parts <> l then invalid_arg "Partite.align: wrong part count";
+  (* A hyperedge (one vertex per class) lies in H[W₁..W_ℓ] iff there is a
+     bijection σ assigning its class-i vertex to part W_{σ(i)}; the
+     aligned box for σ therefore restricts class i to W_{σ(i)} ∩ U_i. *)
+  List.map
+    (fun perm ->
+      let perm = Array.of_list perm in
+      Array.init l (fun i ->
+          List.filter_map
+            (fun (cls, local) -> if cls = i then Some local else None)
+            parts.(perm.(i))
+          |> List.sort_uniq Int.compare
+          |> Array.of_list))
+    (permutations l)
+
+let general_of_aligned s oracle parts =
+  List.for_all
+    (fun aligned -> is_empty_part aligned || oracle aligned)
+    (align s parts)
+
+let with_counter oracle =
+  let n = ref 0 in
+  let wrapped parts =
+    incr n;
+    oracle parts
+  in
+  (wrapped, fun () -> !n)

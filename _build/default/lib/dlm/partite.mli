@@ -1,0 +1,51 @@
+(** ℓ-partite vertex spaces and the colourful [EdgeFree] oracle interface
+    (§2.1, Theorem 17).
+
+    The hypergraph [H] whose edges we count is ℓ-partite with classes
+    [U_1, .., U_ℓ]; class [i] has [class_sizes.(i)] vertices with local
+    ids [0 .. class_sizes.(i) - 1]. An {e aligned} subset is a choice of
+    [V_i ⊆ U_i] per class. A {e general} ℓ-partite subset (what
+    Theorem 17's oracle receives) may mix classes: each part is a set of
+    global vertices [(class, local)]. Since every hyperedge has exactly
+    one vertex per class, a general query reduces to [ℓ!] aligned queries
+    (the permutation step in the proof of Lemma 22) — {!align} performs
+    that reduction. *)
+
+type space = { class_sizes : int array }
+
+val space : int array -> space
+val num_classes : space -> int
+
+(** Total number of vertices [Σ |U_i|]. *)
+val num_vertices : space -> int
+
+(** Aligned subset: [parts.(i)] is the sorted list of kept local ids of
+    class [i]. *)
+type aligned = int array array
+
+(** Whole space as an aligned subset. *)
+val all : space -> aligned
+
+val is_empty_part : aligned -> bool
+
+(** Number of tuples [∏ |V_i|] as a float (may be huge). *)
+val tuple_count : aligned -> float
+
+(** [EdgeFree] over aligned subsets: [true] iff [H[V_1, .., V_ℓ]] has no
+    hyperedge. *)
+type aligned_oracle = aligned -> bool
+
+(** General ℓ-partite subset over global vertices. *)
+type general = (int * int) list array
+
+(** [align space parts] enumerates the aligned restrictions
+    [V_i = W_i ∩ U_{π(i)}] over all permutations [π] (proof of Lemma 22):
+    the general query has an edge iff some aligned one does. *)
+val align : space -> general -> aligned list
+
+(** [general_of_aligned oracle] wraps an aligned oracle into a general one
+    using {!align}. *)
+val general_of_aligned : space -> aligned_oracle -> general -> bool
+
+(** Wraps an oracle, counting invocations. *)
+val with_counter : aligned_oracle -> aligned_oracle * (unit -> int)

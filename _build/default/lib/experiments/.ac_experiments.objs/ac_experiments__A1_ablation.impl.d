@@ -1,0 +1,1 @@
+lib/experiments/a1_ablation.ml: Ac_workload Approxcount Common List Random

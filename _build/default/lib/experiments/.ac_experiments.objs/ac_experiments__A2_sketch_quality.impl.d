@@ -1,0 +1,1 @@
+lib/experiments/a2_sketch_quality.ml: Ac_automata Ac_workload Approxcount Common Float List Random

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Char Float Format List Printf Random Seq String Unix

@@ -1,0 +1,1 @@
+lib/experiments/e1_fptras_ecq.ml: Ac_workload Approxcount Common List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e2_lihom.ml: Ac_workload Approxcount Common List Printf

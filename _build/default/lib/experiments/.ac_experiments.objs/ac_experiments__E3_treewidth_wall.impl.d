@@ -1,0 +1,1 @@
+lib/experiments/e3_treewidth_wall.ml: Ac_workload Approxcount Common List

@@ -1,0 +1,1 @@
+lib/experiments/e4_hamiltonian.ml: Ac_workload Approxcount Common List Random

@@ -1,0 +1,1 @@
+lib/experiments/e5_dcq_adaptive.ml: Ac_hypergraph Ac_query Ac_workload Approxcount Common List

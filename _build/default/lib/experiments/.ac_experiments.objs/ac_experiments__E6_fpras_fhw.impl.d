@@ -1,0 +1,1 @@
+lib/experiments/e6_fpras_fhw.ml: Ac_automata Ac_workload Approxcount Common List Printf Random

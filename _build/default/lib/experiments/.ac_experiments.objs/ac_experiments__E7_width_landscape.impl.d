@@ -1,0 +1,1 @@
+lib/experiments/e7_width_landscape.ml: Ac_hypergraph Ac_query Ac_workload Common List Printf

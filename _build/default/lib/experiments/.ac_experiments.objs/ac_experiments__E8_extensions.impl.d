@@ -1,0 +1,1 @@
+lib/experiments/e8_extensions.ml: Ac_automata Ac_query Ac_relational Ac_workload Approxcount Array Common List

@@ -1,0 +1,24 @@
+(** Shared plumbing for the experiment harness (DESIGN.md §4): fixed-width
+    table rendering, timing, relative error, and a deterministic RNG per
+    experiment. *)
+
+val rng : string -> Random.State.t
+
+(** [time f] = (result, seconds). *)
+val time : (unit -> 'a) -> 'a * float
+
+val rel_err : estimate:float -> truth:float -> float
+
+(** [table fmt ~title ~header rows] renders an aligned table. *)
+val table :
+  Format.formatter -> title:string -> header:string list -> string list list -> unit
+
+val f1 : float -> string
+val f3 : float -> string
+
+(** Experiment registry entry. *)
+type t = {
+  id : string;        (** "E1" .. "E8" *)
+  claim : string;     (** the paper claim it regenerates *)
+  run : Format.formatter -> unit;
+}

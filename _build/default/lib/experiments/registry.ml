@@ -1,0 +1,20 @@
+(* All experiments in DESIGN.md §4 order. *)
+
+let all : Common.t list =
+  [
+    E1_fptras_ecq.experiment;
+    E2_lihom.experiment;
+    E3_treewidth_wall.experiment;
+    E4_hamiltonian.experiment;
+    E5_dcq_adaptive.experiment;
+    E6_fpras_fhw.experiment;
+    E7_width_landscape.experiment;
+    E8_extensions.experiment;
+    A1_ablation.experiment;
+    A2_sketch_quality.experiment;
+  ]
+
+let find id =
+  List.find_opt
+    (fun e -> String.lowercase_ascii e.Common.id = String.lowercase_ascii id)
+    all

@@ -1,0 +1,1 @@
+lib/hom/hom.ml: Ac_hypergraph Ac_join Ac_relational Array Fun Hashtbl Int List Option Printf

@@ -1,0 +1,1 @@
+lib/hom/hom.mli: Ac_hypergraph Ac_join Ac_relational

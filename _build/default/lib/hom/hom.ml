@@ -1,0 +1,461 @@
+module Structure = Ac_relational.Structure
+module Relation = Ac_relational.Relation
+module Hypergraph = Ac_hypergraph.Hypergraph
+module Bitset = Ac_hypergraph.Bitset
+module Tree_decomposition = Ac_hypergraph.Tree_decomposition
+module Generic_join = Ac_join.Generic_join
+
+type instance = {
+  source : Structure.t;
+  target : Structure.t;
+}
+
+let fold_facts s f init =
+  List.fold_left
+    (fun acc name ->
+      Relation.fold (fun tuple acc -> f name tuple acc) (Structure.relation s name) acc)
+    init (Structure.symbols s)
+
+let hypergraph source =
+  let n = Structure.universe_size source in
+  let edges =
+    fold_facts source
+      (fun _ tuple acc -> List.sort_uniq compare (Array.to_list tuple) :: acc)
+      []
+  in
+  let covered = Array.make n false in
+  List.iter (List.iter (fun v -> covered.(v) <- true)) edges;
+  let singletons =
+    List.init n Fun.id
+    |> List.filter_map (fun v -> if covered.(v) then None else Some [ v ])
+  in
+  Hypergraph.create ~num_vertices:n (edges @ singletons)
+
+let to_atoms { source; target } =
+  fold_facts source
+    (fun name tuple acc ->
+      match Structure.relation_opt target name with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Hom: symbol %s of the source is missing in the target" name)
+      | Some rel -> Generic_join.atom (Array.copy tuple) rel :: acc)
+    []
+
+let restrict_domains ({ source; target } as inst) =
+  let n = Structure.universe_size source in
+  let m = Structure.universe_size target in
+  let atoms = to_atoms inst in
+  let domains = Array.make n None in
+  let all = List.init m Fun.id in
+  let empty = ref false in
+  List.iter
+    (fun (a : Generic_join.atom) ->
+      let seen = Hashtbl.create 4 in
+      Array.iteri
+        (fun pos v -> if not (Hashtbl.mem seen v) then Hashtbl.replace seen v pos)
+        a.Generic_join.scope;
+      Hashtbl.iter
+        (fun v pos ->
+          let support = Hashtbl.create 16 in
+          Relation.iter
+            (fun tuple ->
+              let ok = ref true in
+              Array.iteri
+                (fun p u ->
+                  if tuple.(p) <> tuple.(Hashtbl.find seen u) then ok := false)
+                a.Generic_join.scope;
+              if !ok then Hashtbl.replace support tuple.(pos) ())
+            a.Generic_join.relation;
+          let current = match domains.(v) with None -> all | Some l -> l in
+          let filtered = List.filter (Hashtbl.mem support) current in
+          if filtered = [] then empty := true;
+          domains.(v) <- Some filtered)
+        seen)
+    atoms;
+  if !empty then None
+  else Some (Array.map (function None -> all | Some l -> l) domains)
+
+type strategy = Backtracking | Decomposition
+
+(* A decomposition node compiled for the DP: the bag's variables (sorted),
+   the prepared join over the facts assigned to this bag, and for each
+   child the positions of the shared variables in both bags. *)
+type dp_node = {
+  vars : int array;
+  join : Generic_join.prepared;
+  children : (int * int array * int array) list;
+      (* child id, positions of shared vars in this bag, in child bag *)
+}
+
+type dp = {
+  nodes : dp_node array;
+  postorder : int array;
+  root : int;
+}
+
+type prepared = {
+  instance : instance;
+  strat : strategy;
+  num_vars : int;
+  universe_size : int;
+  base_domains : int list array option; (* None: trivially unsatisfiable *)
+  full_join : Generic_join.prepared;
+  dp : dp option;
+}
+
+let build_dp inst atoms =
+  let h = hypergraph inst.source in
+  let d = Tree_decomposition.decompose h in
+  let num_nodes = Tree_decomposition.num_nodes d in
+  let capacity = Hypergraph.num_vertices h in
+  (* assign each atom to the first bag containing its scope *)
+  let assigned = Array.make num_nodes [] in
+  List.iter
+    (fun (a : Generic_join.atom) ->
+      let scope_set =
+        Bitset.of_list ~capacity (Array.to_list a.Generic_join.scope)
+      in
+      let node = ref (-1) in
+      (try
+         Array.iteri
+           (fun i b ->
+             if Bitset.subset scope_set b then begin
+               node := i;
+               raise Exit
+             end)
+           d.Tree_decomposition.bags
+       with Exit -> ());
+      if !node < 0 then invalid_arg "Hom: invalid decomposition";
+      assigned.(!node) <- a :: assigned.(!node))
+    atoms;
+  let bag_vars = Array.map (fun b -> Array.of_list (Bitset.to_list b)) d.Tree_decomposition.bags in
+  let kids = Tree_decomposition.children d in
+  let universe_size = Structure.universe_size inst.target in
+  let nodes =
+    Array.init num_nodes (fun node ->
+        let vars = bag_vars.(node) in
+        let index_of = Hashtbl.create 8 in
+        Array.iteri (fun i v -> Hashtbl.replace index_of v i) vars;
+        let local_atoms =
+          List.map
+            (fun (a : Generic_join.atom) ->
+              Generic_join.atom
+                (Array.map (Hashtbl.find index_of) a.Generic_join.scope)
+                a.Generic_join.relation)
+            assigned.(node)
+        in
+        let join =
+          Generic_join.prepare ~num_vars:(Array.length vars) ~universe_size
+            local_atoms
+        in
+        let children =
+          List.map
+            (fun child ->
+              let cvars = bag_vars.(child) in
+              let shared =
+                Array.to_list vars
+                |> List.filter (fun v -> Array.exists (( = ) v) cvars)
+              in
+              let pos_in arr v =
+                let p = ref (-1) in
+                Array.iteri (fun i u -> if u = v then p := i) arr;
+                !p
+              in
+              ( child,
+                Array.of_list (List.map (pos_in vars) shared),
+                Array.of_list (List.map (pos_in cvars) shared) ))
+            kids.(node)
+        in
+        { vars; join; children })
+  in
+  let root = Tree_decomposition.root d in
+  let order = ref [] in
+  let rec visit node =
+    List.iter visit kids.(node);
+    order := node :: !order
+  in
+  visit root;
+  { nodes; postorder = Array.of_list (List.rev !order); root }
+
+let prepare ~strategy inst =
+  let atoms = to_atoms inst in
+  let num_vars = Structure.universe_size inst.source in
+  let universe_size = Structure.universe_size inst.target in
+  let base_domains = restrict_domains inst in
+  let full_join = Generic_join.prepare ~num_vars ~universe_size atoms in
+  let dp =
+    match strategy with
+    | Backtracking -> None
+    | Decomposition -> if num_vars = 0 then None else Some (build_dp inst atoms)
+  in
+  {
+    instance = inst;
+    strat = strategy;
+    num_vars;
+    universe_size;
+    base_domains;
+    full_join;
+    dp;
+  }
+
+let strategy p = p.strat
+
+let merged_domains p domains =
+  match p.base_domains with
+  | None -> None
+  | Some base ->
+      let merged =
+        match domains with
+        | None -> base
+        | Some ds ->
+            Array.mapi
+              (fun v d ->
+                match ds.(v) with
+                | None -> d
+                | Some restriction ->
+                    let set = Hashtbl.create (List.length restriction) in
+                    List.iter (fun x -> Hashtbl.replace set x ()) restriction;
+                    List.filter (Hashtbl.mem set) d)
+              base
+      in
+      if Array.exists (( = ) []) merged then None else Some merged
+
+let solve_backtracking p merged =
+  let result = ref None in
+  Generic_join.run
+    ~domains:(Array.map Option.some merged)
+    p.full_join
+    ~f:(fun a ->
+      result := Some a;
+      false);
+  !result
+
+let decide_dp dp merged =
+  let num_nodes = Array.length dp.nodes in
+  let solutions = Array.make num_nodes [] in
+  let alive = ref true in
+  Array.iter
+    (fun node ->
+      if !alive then begin
+        let n = dp.nodes.(node) in
+        let local_domains = Array.map (fun v -> Some merged.(v)) n.vars in
+        (* child projections hashed for the semijoin *)
+        let child_tables =
+          List.map
+            (fun (child, here, there) ->
+              let table = Hashtbl.create 64 in
+              List.iter
+                (fun sol ->
+                  Hashtbl.replace table
+                    (Array.to_list (Array.map (fun p -> sol.(p)) there))
+                    ())
+                solutions.(child);
+              (here, table))
+            n.children
+        in
+        let keep = ref [] in
+        Generic_join.run ~domains:local_domains n.join ~f:(fun sol ->
+            let ok =
+              List.for_all
+                (fun (here, table) ->
+                  Hashtbl.mem table
+                    (Array.to_list (Array.map (fun p -> sol.(p)) here)))
+                child_tables
+            in
+            if ok then keep := sol :: !keep;
+            true);
+        solutions.(node) <- !keep;
+        if !keep = [] then alive := false
+      end)
+    dp.postorder;
+  !alive && solutions.(dp.root) <> []
+
+let decide p ?domains () =
+  match merged_domains p domains with
+  | None -> false
+  | Some merged -> (
+      match (p.strat, p.dp) with
+      | Backtracking, _ | Decomposition, None ->
+          Option.is_some (solve_backtracking p merged)
+      | Decomposition, Some dp -> decide_dp dp merged)
+
+let solve p ?domains () =
+  match merged_domains p domains with
+  | None -> None
+  | Some merged -> solve_backtracking p merged
+
+let iter_solutions ?domains p ~f =
+  match merged_domains p domains with
+  | None -> ()
+  | Some merged ->
+      Generic_join.run ~domains:(Array.map Option.some merged) p.full_join ~f
+
+let decide_backtracking ?domains inst =
+  decide (prepare ~strategy:Backtracking inst) ?domains ()
+
+let decide_decomposition ?domains inst =
+  decide (prepare ~strategy:Decomposition inst) ?domains ()
+
+let find ?domains inst = solve (prepare ~strategy:Backtracking inst) ?domains ()
+
+let is_homomorphism { source; target } h =
+  Array.length h = Structure.universe_size source
+  && Array.for_all (fun b -> b >= 0 && b < Structure.universe_size target) h
+  && fold_facts source
+       (fun name tuple acc ->
+         acc && Structure.holds target name (Array.map (fun a -> h.(a)) tuple))
+       true
+
+let count_brute_force ({ source; target } as inst) =
+  let n = Structure.universe_size source in
+  let m = Structure.universe_size target in
+  let h = Array.make (max n 1) 0 in
+  let count = ref 0 in
+  let rec go i =
+    if i = n then begin
+      if is_homomorphism inst h then incr count
+    end
+    else
+      for b = 0 to m - 1 do
+        h.(i) <- b;
+        go (i + 1)
+      done
+  in
+  if n = 0 then count := 1 else go 0;
+  !count
+
+(* First non-injective endomorphism, if any. *)
+let non_injective_endomorphism s =
+  let n = Structure.universe_size s in
+  if n <= 1 then None
+  else begin
+    let p = prepare ~strategy:Backtracking { source = s; target = s } in
+    let found = ref None in
+    iter_solutions p ~f:(fun h ->
+        let image = Hashtbl.create n in
+        Array.iter (fun v -> Hashtbl.replace image v ()) h;
+        if Hashtbl.length image < n then begin
+          found := Some h;
+          false
+        end
+        else true);
+    !found
+  end
+
+let is_core s = non_injective_endomorphism s = None
+
+let rec core s =
+  match non_injective_endomorphism s with
+  | None -> s
+  | Some h ->
+      let image =
+        Array.to_list h |> List.sort_uniq Int.compare
+      in
+      core (Structure.induced s image)
+
+module Nice = Ac_hypergraph.Nice_decomposition
+
+(* Exact #Hom by DP over a nice tree decomposition of H(A) (Dalmau &
+   Jonsson). Tables map bag assignments (over the bag's sorted variable
+   list) to the number of extensions below the node. Constraints are
+   enforced by filtering at every node whose bag contains an atom's whole
+   scope — filtering is idempotent, so enforcing at several nodes is
+   harmless; multiplicities arise only from forget-sums. *)
+let count_dp ({ source; target = _ } as inst) =
+  let n = Structure.universe_size source in
+  if n = 0 then 1
+  else begin
+    match restrict_domains inst with
+    | None -> 0
+    | Some domains ->
+        let atoms = to_atoms inst in
+        let h = hypergraph source in
+        let nice = Nice.of_hypergraph h in
+        let bag_vars =
+          Array.map (fun b -> Array.of_list (Bitset.to_list b)) nice.Nice.bags
+        in
+        (* atoms indexed by scope sets for the per-node filter *)
+        let capacity = Hypergraph.num_vertices h in
+        let atom_scopes =
+          List.map
+            (fun (a : Generic_join.atom) ->
+              ( Bitset.of_list ~capacity (Array.to_list a.Generic_join.scope),
+                a ))
+            atoms
+        in
+        let satisfies_bag node (alpha : int array) =
+          let vars = bag_vars.(node) in
+          let value_of v =
+            let p = ref (-1) in
+            Array.iteri (fun i u -> if u = v then p := i) vars;
+            alpha.(!p)
+          in
+          List.for_all
+            (fun (scope_set, (a : Generic_join.atom)) ->
+              (not (Bitset.subset scope_set nice.Nice.bags.(node)))
+              || Ac_relational.Relation.mem a.Generic_join.relation
+                   (Array.map value_of a.Generic_join.scope))
+            atom_scopes
+        in
+        let tables :
+            (int list, int) Hashtbl.t array =
+          Array.make (Nice.num_nodes nice) (Hashtbl.create 1)
+        in
+        let kids = Nice.children nice in
+        let bump table key count =
+          if count > 0 then
+            Hashtbl.replace table key
+              (count + Option.value ~default:0 (Hashtbl.find_opt table key))
+        in
+        Array.iter
+          (fun node ->
+            let table = Hashtbl.create 64 in
+            (match (nice.Nice.kind.(node), kids.(node)) with
+            | Nice.Leaf, [] -> Hashtbl.replace table [] 1
+            | Nice.Introduce v, [ c ] ->
+                (* position of v in this bag's sorted variable list *)
+                let vars = bag_vars.(node) in
+                let pos = ref 0 in
+                Array.iteri (fun i u -> if u = v then pos := i) vars;
+                Hashtbl.iter
+                  (fun key count ->
+                    let key = Array.of_list key in
+                    List.iter
+                      (fun x ->
+                        let alpha =
+                          Array.init (Array.length vars) (fun i ->
+                              if i < !pos then key.(i)
+                              else if i = !pos then x
+                              else key.(i - 1))
+                        in
+                        if satisfies_bag node alpha then
+                          bump table (Array.to_list alpha) count)
+                      domains.(v))
+                  tables.(c)
+            | Nice.Forget v, [ c ] ->
+                let cvars = bag_vars.(c) in
+                let pos = ref 0 in
+                Array.iteri (fun i u -> if u = v then pos := i) cvars;
+                Hashtbl.iter
+                  (fun key count ->
+                    let key = Array.of_list key in
+                    let projected =
+                      Array.to_list
+                        (Array.init
+                           (Array.length key - 1)
+                           (fun i -> if i < !pos then key.(i) else key.(i + 1)))
+                    in
+                    bump table projected count)
+                  tables.(c)
+            | Nice.Join, [ c1; c2 ] ->
+                Hashtbl.iter
+                  (fun key count1 ->
+                    match Hashtbl.find_opt tables.(c2) key with
+                    | Some count2 -> bump table key (count1 * count2)
+                    | None -> ())
+                  tables.(c1)
+            | _ -> invalid_arg "Hom.count_dp: decomposition is not nice");
+            tables.(node) <- table)
+          (Nice.postorder nice);
+        Option.value ~default:0 (Hashtbl.find_opt tables.(nice.Nice.root) [])
+  end

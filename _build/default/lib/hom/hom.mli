@@ -1,0 +1,90 @@
+(** The homomorphism decision problem [Hom] (§3).
+
+    Given structures [A] and [B] with [sig(A) ⊆ sig(B)], decide whether a
+    homomorphism [h : U(A) → U(B)] exists. Two solvers are provided:
+
+    - [`Backtracking]: worst-case-optimal generic join over one atom per
+      fact of [A] — the engine standing in for Marx's adaptive-width
+      algorithm (Theorem 36, see DESIGN.md substitution 2);
+    - [`Decomposition]: dynamic programming over a tree decomposition of
+      [H(A)] with per-bag joins and semijoin filtering — the
+      Dalmau–Kolaitis–Vardi style algorithm behind Theorem 31.
+
+    Both accept optional per-variable [domains] (used by the colour-coding
+    reduction to pin unary constraints cheaply). The colour-coding oracle
+    issues thousands of decisions against one instance; {!prepare} once
+    (tries, decomposition, arc-consistent base domains) and {!decide}
+    per call. *)
+
+type instance = {
+  source : Ac_relational.Structure.t;  (** [A]; its universe elements are the CSP variables *)
+  target : Ac_relational.Structure.t;  (** [B] *)
+}
+
+(** [H(A)] — one hyperedge per fact of [A] (plus singleton edges for
+    isolated universe elements). *)
+val hypergraph : Ac_relational.Structure.t -> Ac_hypergraph.Hypergraph.t
+
+(** One generic-join atom per fact of [A], interpreted over [B]'s
+    relations. Raises [Invalid_argument] if a symbol of [A] is missing
+    from [B]. *)
+val to_atoms : instance -> Ac_join.Generic_join.atom list
+
+(** Arc-consistent unary domains: [domains.(a)] lists the values [b] such
+    that every fact of [A] containing [a] has a supporting fact in [B]
+    with [b] at [a]'s position. [None] when some domain is empty (no
+    homomorphism exists). *)
+val restrict_domains : instance -> int list array option
+
+type strategy = Backtracking | Decomposition
+
+type prepared
+
+val prepare : strategy:strategy -> instance -> prepared
+val strategy : prepared -> strategy
+
+(** [decide p ?domains ()] — is there a homomorphism mapping each
+    variable inside its domain (intersected with the precomputed
+    arc-consistent base domains)? *)
+val decide : prepared -> ?domains:int list option array -> unit -> bool
+
+(** First homomorphism found ([Backtracking] search order). *)
+val solve : prepared -> ?domains:int list option array -> unit -> int array option
+
+(** Enumerate all homomorphisms (backtracking order); [f] returning
+    [false] stops. *)
+val iter_solutions :
+  ?domains:int list option array -> prepared -> f:(int array -> bool) -> unit
+
+(** {2 One-shot wrappers} *)
+
+val decide_backtracking : ?domains:int list option array -> instance -> bool
+val decide_decomposition : ?domains:int list option array -> instance -> bool
+val find : ?domains:int list option array -> instance -> int array option
+
+(** Checks that [h] is a homomorphism. *)
+val is_homomorphism : instance -> int array -> bool
+
+(** Count all homomorphisms (exponential; testing baseline). *)
+val count_brute_force : instance -> int
+
+(** Exact homomorphism counting by dynamic programming over a nice tree
+    decomposition of [H(A)] — Dalmau–Jonsson's fixed-parameter algorithm
+    (the paper's footnote 4: counting answers to quantifier-free CQs is
+    counting homomorphisms, easy for bounded treewidth). Polynomial in
+    [‖B‖] for bounded [tw(A)]. *)
+val count_dp : instance -> int
+
+(** {2 Homomorphic cores}
+
+    The core of [A] is a minimal structure hom-equivalent to [A] (unique
+    up to isomorphism). Theorem 31's original statement applies to
+    classes whose {e cores} have bounded treewidth; the core is computed
+    by repeatedly finding a non-injective endomorphism and restricting to
+    its image. Intended for small structures (query-side only). *)
+
+(** [core a] — a core of [a]. *)
+val core : Ac_relational.Structure.t -> Ac_relational.Structure.t
+
+(** [is_core a] — no non-injective endomorphism exists. *)
+val is_core : Ac_relational.Structure.t -> bool

@@ -1,0 +1,1 @@
+lib/hypergraph/bitset.ml: Array Format Hashtbl Int List Printf String

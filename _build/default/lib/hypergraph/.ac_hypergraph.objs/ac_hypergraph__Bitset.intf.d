@@ -1,0 +1,1 @@
+lib/hypergraph/bitset.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph.ml: Array Bitset Format List

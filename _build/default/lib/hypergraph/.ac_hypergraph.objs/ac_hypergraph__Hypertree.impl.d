@@ -1,0 +1,1 @@
+lib/hypergraph/hypertree.ml: Array Bitset Format Fun Hypergraph List Tree_decomposition

@@ -1,0 +1,1 @@
+lib/hypergraph/hypertree.mli: Bitset Format Hypergraph Tree_decomposition

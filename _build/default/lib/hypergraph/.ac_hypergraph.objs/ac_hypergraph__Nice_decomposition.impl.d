@@ -1,0 +1,1 @@
+lib/hypergraph/nice_decomposition.ml: Array Bitset Format Fun Hypergraph List Printf Tree_decomposition

@@ -1,0 +1,1 @@
+lib/hypergraph/nice_decomposition.mli: Bitset Format Hypergraph Tree_decomposition

@@ -1,0 +1,1 @@
+lib/hypergraph/tree_decomposition.ml: Array Bitset Float Format Fun Hashtbl Hypergraph List

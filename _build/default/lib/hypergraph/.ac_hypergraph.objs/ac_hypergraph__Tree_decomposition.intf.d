@@ -1,0 +1,1 @@
+lib/hypergraph/tree_decomposition.mli: Bitset Format Hypergraph

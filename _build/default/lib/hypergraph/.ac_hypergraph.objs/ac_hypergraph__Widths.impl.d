@@ -1,0 +1,1 @@
+lib/hypergraph/widths.ml: Ac_lp Array Bitset Float Hypergraph List Nice_decomposition Tree_decomposition

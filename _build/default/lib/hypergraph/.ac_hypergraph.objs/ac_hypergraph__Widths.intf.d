@@ -1,0 +1,1 @@
+lib/hypergraph/widths.mli: Ac_lp Bitset Hypergraph Nice_decomposition Tree_decomposition

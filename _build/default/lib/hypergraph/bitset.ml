@@ -1,0 +1,128 @@
+type t = { capacity : int; words : int array }
+
+let words_for capacity = (capacity + 62) / 63
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { capacity; words = Array.make (max 1 (words_for capacity)) 0 }
+
+let capacity s = s.capacity
+
+let check s i =
+  if i < 0 || i >= s.capacity then
+    invalid_arg (Printf.sprintf "Bitset: element %d outside capacity %d" i s.capacity)
+
+let mem s i =
+  check s i;
+  s.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+let with_copy s f =
+  let words = Array.copy s.words in
+  f words;
+  { capacity = s.capacity; words }
+
+let add s i =
+  check s i;
+  with_copy s (fun w -> w.(i / 63) <- w.(i / 63) lor (1 lsl (i mod 63)))
+
+let remove s i =
+  check s i;
+  with_copy s (fun w -> w.(i / 63) <- w.(i / 63) land lnot (1 lsl (i mod 63)))
+
+let binop f a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch";
+  let words = Array.mapi (fun i wa -> f wa b.words.(i)) a.words in
+  { capacity = a.capacity; words }
+
+let union = binop ( lor )
+let inter = binop ( land )
+let diff = binop (fun x y -> x land lnot y)
+
+let popcount =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let subset a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch";
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let equal a b = a.capacity = b.capacity && Array.for_all2 ( = ) a.words b.words
+
+let compare a b =
+  let c = Int.compare a.capacity b.capacity in
+  if c <> 0 then c
+  else
+    let n = Array.length a.words in
+    let rec go i =
+      if i >= n then 0
+      else
+        let c = Int.compare a.words.(i) b.words.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let hash s =
+  Array.fold_left (fun acc w -> ((acc * 0x01000193) lxor w) land max_int) 0x811c9dc5 s.words
+
+let iter f s =
+  for i = 0 to s.capacity - 1 do
+    if s.words.(i / 63) land (1 lsl (i mod 63)) <> 0 then f i
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let for_all p s = fold (fun i acc -> acc && p i) s true
+let exists p s = fold (fun i acc -> acc || p i) s false
+
+let choose s =
+  let found = ref None in
+  (try
+     iter
+       (fun i ->
+         found := Some i;
+         raise Exit)
+       s
+   with Exit -> ());
+  !found
+
+let of_list ~capacity elements =
+  let s = create ~capacity in
+  let words = Array.copy s.words in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= capacity then invalid_arg "Bitset.of_list";
+      words.(i / 63) <- words.(i / 63) lor (1 lsl (i mod 63)))
+    elements;
+  { capacity; words }
+
+let singleton ~capacity i = of_list ~capacity [ i ]
+
+let full ~capacity =
+  let s = create ~capacity in
+  let words = Array.copy s.words in
+  for i = 0 to capacity - 1 do
+    words.(i / 63) <- words.(i / 63) lor (1 lsl (i mod 63))
+  done;
+  { capacity; words }
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let pp fmt s =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map string_of_int (to_list s)))
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,39 @@
+(** Fixed-capacity sets of small integers, packed into words.
+
+    Used pervasively for bags of tree decompositions and for the
+    subset dynamic programs computing exact widths. All binary operations
+    require both operands to share the same capacity. Values are
+    semantically immutable: every operation returns a fresh set. *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val of_list : capacity:int -> int list -> t
+val to_list : t -> int list
+val singleton : capacity:int -> int -> t
+val full : capacity:int -> t
+
+val mem : t -> int -> bool
+val add : t -> int -> t
+val remove : t -> int -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val choose : t -> int option
+val pp : Format.formatter -> t -> unit
+
+(** Hash table keyed by bitsets. *)
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,106 @@
+type t = {
+  num_vertices : int;
+  edges : Bitset.t array; (* deduplicated, arbitrary order *)
+}
+
+let create ~num_vertices edge_lists =
+  if num_vertices < 0 then invalid_arg "Hypergraph.create";
+  let seen = Bitset.Table.create 16 in
+  let edges = ref [] in
+  List.iter
+    (fun vs ->
+      if vs = [] then invalid_arg "Hypergraph.create: empty hyperedge";
+      let e = Bitset.of_list ~capacity:num_vertices vs in
+      if not (Bitset.Table.mem seen e) then begin
+        Bitset.Table.replace seen e ();
+        edges := e :: !edges
+      end)
+    edge_lists;
+  { num_vertices; edges = Array.of_list (List.rev !edges) }
+
+let num_vertices h = h.num_vertices
+let edges h = Array.to_list h.edges
+let num_edges h = Array.length h.edges
+
+let arity h =
+  Array.fold_left (fun acc e -> max acc (Bitset.cardinal e)) 0 h.edges
+
+let incident h v =
+  Array.to_list h.edges |> List.filter (fun e -> Bitset.mem e v)
+
+let induced_edges h x =
+  let seen = Bitset.Table.create 16 in
+  Array.to_list h.edges
+  |> List.filter_map (fun e ->
+         let e' = Bitset.inter e x in
+         if Bitset.is_empty e' || Bitset.Table.mem seen e' then None
+         else begin
+           Bitset.Table.replace seen e' ();
+           Some e'
+         end)
+
+let primal_adjacency h =
+  let adj = Array.init h.num_vertices (fun _ -> Bitset.create ~capacity:h.num_vertices) in
+  Array.iter
+    (fun e ->
+      Bitset.iter
+        (fun v -> adj.(v) <- Bitset.remove (Bitset.union adj.(v) e) v)
+        e)
+    h.edges;
+  adj
+
+let covered_by_edge h s = Array.exists (fun e -> Bitset.subset s e) h.edges
+
+let equal a b =
+  a.num_vertices = b.num_vertices
+  &&
+  let sort es = List.sort Bitset.compare (Array.to_list es) in
+  List.equal Bitset.equal (sort a.edges) (sort b.edges)
+
+let pp fmt h =
+  Format.fprintf fmt "@[<hov>H(n=%d;" h.num_vertices;
+  Array.iter (fun e -> Format.fprintf fmt " %a" Bitset.pp e) h.edges;
+  Format.fprintf fmt ")@]"
+
+let path n =
+  if n < 1 then invalid_arg "Hypergraph.path";
+  create ~num_vertices:n
+    (if n = 1 then [ [ 0 ] ]
+     else List.init (n - 1) (fun i -> [ i; i + 1 ]))
+
+let cycle n =
+  if n < 3 then invalid_arg "Hypergraph.cycle";
+  create ~num_vertices:n (List.init n (fun i -> [ i; (i + 1) mod n ]))
+
+let clique n =
+  if n < 1 then invalid_arg "Hypergraph.clique";
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := [ i; j ] :: !edges
+    done
+  done;
+  create ~num_vertices:n (if n = 1 then [ [ 0 ] ] else !edges)
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Hypergraph.grid";
+  let idx i j = (i * cols) + j in
+  let edges = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if j + 1 < cols then edges := [ idx i j; idx i (j + 1) ] :: !edges;
+      if i + 1 < rows then edges := [ idx i j; idx (i + 1) j ] :: !edges
+    done
+  done;
+  create ~num_vertices:(rows * cols)
+    (if rows * cols = 1 then [ [ 0 ] ] else !edges)
+
+let star n =
+  if n < 1 then invalid_arg "Hypergraph.star";
+  create ~num_vertices:(n + 1) (List.init n (fun i -> [ 0; i + 1 ]))
+
+let hypercycle n =
+  if n < 2 then invalid_arg "Hypergraph.hypercycle";
+  let m = 2 * n in
+  create ~num_vertices:m
+    (List.init n (fun i -> [ 2 * i; (2 * i) + 1; ((2 * i) + 2) mod m ]))

@@ -1,0 +1,54 @@
+(** Hypergraphs (Definition 3 context).
+
+    Vertices are [0 .. num_vertices - 1]; a hyperedge is a non-empty vertex
+    set. Duplicate hyperedges are collapsed. *)
+
+type t
+
+val create : num_vertices:int -> int list list -> t
+val num_vertices : t -> int
+val edges : t -> Bitset.t list
+val num_edges : t -> int
+
+(** Maximum hyperedge cardinality (the paper's arity); [0] if edgeless. *)
+val arity : t -> int
+
+(** Edges incident to a vertex. *)
+val incident : t -> int -> Bitset.t list
+
+(** [induced h x] is [H[X]] (Definition 39): vertex set [x], edges
+    [{e ∩ X | e ∈ E(H), e ∩ X ≠ ∅}]. The vertex numbering is kept; edges
+    are returned as bitsets over the original capacity. *)
+val induced_edges : t -> Bitset.t -> Bitset.t list
+
+(** Primal (Gaifman) graph adjacency: [adj.(v)] is the set of vertices
+    sharing an edge with [v], excluding [v] itself. *)
+val primal_adjacency : t -> Bitset.t array
+
+(** [is_edge_subset h s] holds when some hyperedge contains [s]. *)
+val covered_by_edge : t -> Bitset.t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {2 Common families} — used by tests and by the width-landscape
+    experiment (E7). *)
+
+(** Simple path [0 - 1 - ... - n-1] as a 2-uniform hypergraph. *)
+val path : int -> t
+
+(** Cycle on [n >= 3] vertices. *)
+val cycle : int -> t
+
+(** Complete graph on [n] vertices (2-uniform). *)
+val clique : int -> t
+
+(** [grid r c] is the r×c grid graph, vertex [(i,j)] numbered [i*c + j]. *)
+val grid : int -> int -> t
+
+(** Star with centre [0] and [n] leaves. *)
+val star : int -> t
+
+(** [hypercycle n] — vertices [0..2n-1], the [n] "long" ternary edges
+    {2i, 2i+1, 2i+2 mod 2n}; fhw-friendly family with arity 3. *)
+val hypercycle : int -> t

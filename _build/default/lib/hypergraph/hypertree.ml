@@ -1,0 +1,135 @@
+type t = {
+  bags : Bitset.t array;
+  parent : int array;
+  guards : Bitset.t list array;
+}
+
+let width d =
+  Array.fold_left (fun acc g -> max acc (List.length g)) 0 d.guards
+
+let union_guard capacity guards =
+  List.fold_left Bitset.union (Bitset.create ~capacity) guards
+
+let is_generalized h d =
+  Tree_decomposition.is_valid h
+    { Tree_decomposition.bags = d.bags; parent = d.parent }
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun i bag ->
+            List.for_all
+              (fun g -> List.exists (Bitset.equal g) (Hypergraph.edges h))
+              d.guards.(i)
+            && Bitset.subset bag
+                 (union_guard (Hypergraph.num_vertices h) d.guards.(i)))
+          d.bags)
+
+let subtree_nodes d =
+  let n = Array.length d.bags in
+  let kids = Array.make n [] in
+  Array.iteri (fun i p -> if p >= 0 then kids.(p) <- i :: kids.(p)) d.parent;
+  let below = Array.make n [] in
+  (* postorder accumulation *)
+  let rec visit node =
+    let acc =
+      List.fold_left (fun acc c -> visit c @ acc) [ node ] kids.(node)
+    in
+    below.(node) <- acc;
+    acc
+  in
+  Array.iteri (fun i p -> if p = -1 then ignore (visit i)) d.parent;
+  below
+
+let satisfies_special_condition d =
+  let capacity =
+    if Array.length d.bags = 0 then 0 else Bitset.capacity d.bags.(0)
+  in
+  let below = subtree_nodes d in
+  Array.for_all Fun.id
+    (Array.mapi
+       (fun i bag ->
+         let guard = union_guard capacity d.guards.(i) in
+         let below_bags =
+           List.fold_left
+             (fun acc t' -> Bitset.union acc d.bags.(t'))
+             (Bitset.create ~capacity) below.(i)
+         in
+         Bitset.subset (Bitset.inter guard below_bags) bag)
+       d.bags)
+
+let is_valid h d = is_generalized h d && satisfies_special_condition d
+
+(* Minimum-cardinality guard for a bag: branch and bound over the useful
+   hyperedges for ≤ 20 candidates, greedy beyond. *)
+let guard_for h bag =
+  if Bitset.is_empty bag then []
+  else begin
+    let candidates =
+      Hypergraph.edges h
+      |> List.filter (fun e -> not (Bitset.is_empty (Bitset.inter e bag)))
+    in
+    let m = List.length candidates in
+    if m = 0 then invalid_arg "Hypertree: bag not coverable";
+    if m <= 20 then begin
+      let arr = Array.of_list candidates in
+      let best = ref None and best_size = ref max_int in
+      let rec search idx chosen covered count =
+        if Bitset.subset bag covered then begin
+          if count < !best_size then begin
+            best := Some chosen;
+            best_size := count
+          end
+        end
+        else if idx < m && count + 1 < !best_size then begin
+          search (idx + 1) (arr.(idx) :: chosen)
+            (Bitset.union covered arr.(idx))
+            (count + 1);
+          search (idx + 1) chosen covered count
+        end
+      in
+      search 0 [] (Bitset.create ~capacity:(Bitset.capacity bag)) 0;
+      match !best with
+      | Some g -> g
+      | None -> invalid_arg "Hypertree: bag not coverable"
+    end
+    else begin
+      let remaining = ref bag and chosen = ref [] in
+      while not (Bitset.is_empty !remaining) do
+        let best_edge = ref None and best_gain = ref 0 in
+        List.iter
+          (fun e ->
+            let gain = Bitset.cardinal (Bitset.inter e !remaining) in
+            if gain > !best_gain then begin
+              best_gain := gain;
+              best_edge := Some e
+            end)
+          candidates;
+        match !best_edge with
+        | None -> invalid_arg "Hypertree: bag not coverable"
+        | Some e ->
+            chosen := e :: !chosen;
+            remaining := Bitset.diff !remaining e
+      done;
+      !chosen
+    end
+  end
+
+let of_tree_decomposition h (td : Tree_decomposition.t) =
+  {
+    bags = Array.copy td.Tree_decomposition.bags;
+    parent = Array.copy td.Tree_decomposition.parent;
+    guards = Array.map (guard_for h) td.Tree_decomposition.bags;
+  }
+
+let of_hypergraph ?exact_limit h =
+  of_tree_decomposition h (Tree_decomposition.decompose ?exact_limit h)
+
+let pp fmt d =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i bag ->
+      Format.fprintf fmt "node %d (parent %d): bag %a guards" i d.parent.(i)
+        Bitset.pp bag;
+      List.iter (fun g -> Format.fprintf fmt " %a" Bitset.pp g) d.guards.(i);
+      Format.fprintf fmt "@,")
+    d.bags;
+  Format.fprintf fmt "@]"

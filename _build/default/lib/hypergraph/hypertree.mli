@@ -1,0 +1,44 @@
+(** Hypertree decompositions with explicit guards (Definition 37).
+
+    A hypertree decomposition extends a tree decomposition with a guard
+    [Γ_t ⊆ E(H)] per node such that (iii) [B_t ⊆ ∪Γ_t] and (iv) the
+    {e special condition}: [(∪Γ_t) ∩ (∪_{t' ∈ T_t} B_{t'}) ⊆ B_t]. Its
+    width is the maximum guard cardinality; dropping (iv) gives
+    {e generalized} hypertree decompositions, whose optimal width ghw
+    satisfies [ghw ≤ hw ≤ 3·ghw + 1] (Adler–Gottlob–Grohe), which is why
+    the width computations in {!Widths} work with ghw. This module makes
+    guards and both validity notions first-class so the relationship can
+    be checked and tested explicitly. *)
+
+type t = {
+  bags : Bitset.t array;
+  parent : int array;          (* -1 for the root *)
+  guards : Bitset.t list array; (* hyperedges of H, one list per node *)
+}
+
+(** Maximum guard cardinality (Definition 37's width). *)
+val width : t -> int
+
+(** Conditions (i)+(ii) (tree decomposition) and (iii) (guard covers
+    bag); guards must be hyperedges of [h]. *)
+val is_generalized : Hypergraph.t -> t -> bool
+
+(** Condition (iv): for every node, the guard's vertices that occur in
+    the subtree below already occur in the node's bag. *)
+val satisfies_special_condition : t -> bool
+
+(** All four conditions of Definition 37. *)
+val is_valid : Hypergraph.t -> t -> bool
+
+(** Equip a tree decomposition with minimum-cardinality guards (exact
+    cover search for ≤ 20 candidate edges per bag, greedy beyond) —
+    a generalized hypertree decomposition. Raises [Invalid_argument] if
+    some bag cannot be covered by hyperedges. *)
+val of_tree_decomposition : Hypergraph.t -> Tree_decomposition.t -> t
+
+(** Best-effort hypertree decomposition of [h] via
+    {!Tree_decomposition.decompose}; its width is an upper bound on
+    ghw(H) (and within the 3·ghw+1 factor of hw(H)). *)
+val of_hypergraph : ?exact_limit:int -> Hypergraph.t -> t
+
+val pp : Format.formatter -> t -> unit

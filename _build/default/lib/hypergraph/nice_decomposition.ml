@@ -1,0 +1,159 @@
+type kind =
+  | Leaf
+  | Introduce of int
+  | Forget of int
+  | Join
+
+type t = {
+  bags : Bitset.t array;
+  parent : int array;
+  kind : kind array;
+  root : int;
+}
+
+let num_nodes d = Array.length d.bags
+
+let children d =
+  let kids = Array.make (num_nodes d) [] in
+  Array.iteri (fun i p -> if p >= 0 then kids.(p) <- i :: kids.(p)) d.parent;
+  kids
+
+let postorder d =
+  let kids = children d in
+  let out = Array.make (num_nodes d) 0 in
+  let cursor = ref 0 in
+  let rec visit node =
+    List.iter visit kids.(node);
+    out.(!cursor) <- node;
+    incr cursor
+  in
+  visit d.root;
+  out
+
+(* Intermediate tree form: each node carries its bag, kind and children. *)
+type tree = { t_bag : Bitset.t; t_kind : kind; t_children : tree list }
+
+let leaf capacity =
+  { t_bag = Bitset.create ~capacity; t_kind = Leaf; t_children = [] }
+
+(* Chain of introduces from [sub] (root bag [from_bag]) up to [to_bag],
+   where [from_bag ⊆ to_bag]. *)
+let introduce_chain sub from_bag to_bag =
+  Bitset.fold
+    (fun v (node, bag) ->
+      if Bitset.mem bag v then (node, bag)
+      else
+        let bag' = Bitset.add bag v in
+        ({ t_bag = bag'; t_kind = Introduce v; t_children = [ node ] }, bag'))
+    to_bag (sub, from_bag)
+
+(* Chain of forgets from [sub] (root bag [from_bag]) down to
+   [from_bag ∩ keep]. *)
+let forget_chain sub from_bag keep =
+  Bitset.fold
+    (fun v (node, bag) ->
+      if Bitset.mem keep v then (node, bag)
+      else
+        let bag' = Bitset.remove bag v in
+        ({ t_bag = bag'; t_kind = Forget v; t_children = [ node ] }, bag'))
+    from_bag (sub, from_bag)
+
+(* Adapt a subtree whose root bag is [from_bag] to have root bag [target]:
+   forget everything outside [target], then introduce what is missing. *)
+let retarget sub from_bag target =
+  let sub, bag = forget_chain sub from_bag target in
+  let sub, bag = introduce_chain sub bag target in
+  assert (Bitset.equal bag target);
+  sub
+
+let of_decomposition h d =
+  let capacity = Hypergraph.num_vertices h in
+  let kids = Tree_decomposition.children d in
+  let rec build node =
+    let bag = d.bags.(node) in
+    let built = List.map build kids.(node) in
+    match built with
+    | [] ->
+        (* chain up from an empty leaf *)
+        fst (introduce_chain (leaf capacity) (Bitset.create ~capacity) bag)
+    | [ sub ] -> retarget sub d.bags.(List.hd kids.(node)) bag
+    | subs ->
+        (* retarget every child to [bag], then fold into a left-deep chain
+           of joins (all with bag [bag]) *)
+        let retargeted =
+          List.map2
+            (fun sub child -> retarget sub d.bags.(child) bag)
+            subs kids.(node)
+        in
+        (match retargeted with
+        | [] -> assert false
+        | first :: rest ->
+            List.fold_left
+              (fun acc sub ->
+                { t_bag = bag; t_kind = Join; t_children = [ acc; sub ] })
+              first rest)
+  in
+  let top = build (Tree_decomposition.root d) in
+  let top, _ =
+    forget_chain top d.bags.(Tree_decomposition.root d) (Bitset.create ~capacity)
+  in
+  (* flatten *)
+  let count =
+    let rec sz t = 1 + List.fold_left (fun a c -> a + sz c) 0 t.t_children in
+    sz top
+  in
+  let bags = Array.make count (Bitset.create ~capacity) in
+  let parent = Array.make count (-1) in
+  let kind = Array.make count Leaf in
+  let cursor = ref 0 in
+  let rec emit t p =
+    let id = !cursor in
+    incr cursor;
+    bags.(id) <- t.t_bag;
+    parent.(id) <- p;
+    kind.(id) <- t.t_kind;
+    List.iter (fun c -> emit c id) t.t_children
+  in
+  emit top (-1);
+  { bags; parent; kind; root = 0 }
+
+let of_hypergraph ?exact_limit h =
+  of_decomposition h (Tree_decomposition.decompose ?exact_limit h)
+
+let is_nice d =
+  let kids = children d in
+  Bitset.is_empty d.bags.(d.root)
+  && Array.for_all Fun.id
+       (Array.init (num_nodes d) (fun i ->
+            let b = d.bags.(i) in
+            match (d.kind.(i), kids.(i)) with
+            | Leaf, [] -> Bitset.is_empty b
+            | Introduce v, [ c ] ->
+                Bitset.mem b v && Bitset.equal (Bitset.remove b v) d.bags.(c)
+            | Forget v, [ c ] ->
+                (not (Bitset.mem b v))
+                && Bitset.equal (Bitset.add b v) d.bags.(c)
+            | Join, [ c1; c2 ] ->
+                Bitset.equal b d.bags.(c1) && Bitset.equal b d.bags.(c2)
+            | _ -> false))
+
+let is_valid h d =
+  Tree_decomposition.is_valid h { Tree_decomposition.bags = d.bags; parent = d.parent }
+
+let width d =
+  Array.fold_left (fun acc b -> max acc (Bitset.cardinal b - 1)) (-1) d.bags
+
+let pp fmt d =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i b ->
+      let k =
+        match d.kind.(i) with
+        | Leaf -> "leaf"
+        | Introduce v -> Printf.sprintf "introduce %d" v
+        | Forget v -> Printf.sprintf "forget %d" v
+        | Join -> "join"
+      in
+      Format.fprintf fmt "node %d (parent %d, %s): %a@," i d.parent.(i) k Bitset.pp b)
+    d.bags;
+  Format.fprintf fmt "@]"

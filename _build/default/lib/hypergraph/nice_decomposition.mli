@@ -1,0 +1,44 @@
+(** Nice tree decompositions (Definition 42) and the normalisation of
+    Lemma 43.
+
+    A nice decomposition is a rooted binary tree in which leaf and root
+    bags are empty, join nodes have two children with identical bags, and
+    unary nodes differ from their child's bag in exactly one vertex
+    (introduce/forget). Every bag is a subset of a bag of the input
+    decomposition, so any monotone width (treewidth, fcn-width, ...) does
+    not increase (Observation 40). *)
+
+type kind =
+  | Leaf                (** no children, empty bag *)
+  | Introduce of int    (** one child; bag = child's bag + v *)
+  | Forget of int       (** one child; bag = child's bag - v *)
+  | Join                (** two children, all three bags equal *)
+
+type t = {
+  bags : Bitset.t array;
+  parent : int array;     (* -1 for the root *)
+  kind : kind array;
+  root : int;
+}
+
+val num_nodes : t -> int
+val children : t -> int list array
+
+(** Nodes in a bottom-up (children before parents) order. *)
+val postorder : t -> int array
+
+(** [of_decomposition h d] normalises [d] (which must be valid for [h]). *)
+val of_decomposition : Hypergraph.t -> Tree_decomposition.t -> t
+
+(** Builds a (nice) decomposition of [h] directly, via
+    {!Tree_decomposition.decompose}. *)
+val of_hypergraph : ?exact_limit:int -> Hypergraph.t -> t
+
+(** Structural niceness check (Definition 42's four conditions). *)
+val is_nice : t -> bool
+
+(** Tree-decomposition validity w.r.t. a hypergraph. *)
+val is_valid : Hypergraph.t -> t -> bool
+
+val width : t -> int
+val pp : Format.formatter -> t -> unit

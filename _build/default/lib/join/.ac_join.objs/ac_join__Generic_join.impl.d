@@ -1,0 +1,1 @@
+lib/join/generic_join.ml: Ac_relational Array Fun Hashtbl Int List Option Trie

@@ -1,0 +1,1 @@
+lib/join/generic_join.mli: Ac_relational

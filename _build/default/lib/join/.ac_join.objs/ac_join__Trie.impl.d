@@ -1,0 +1,1 @@
+lib/join/trie.ml: Ac_relational Array Hashtbl

@@ -1,0 +1,1 @@
+lib/join/trie.mli: Ac_relational

@@ -1,0 +1,202 @@
+module Relation = Ac_relational.Relation
+
+type atom = {
+  scope : int array;
+  relation : Relation.t;
+}
+
+let atom scope relation =
+  if Array.length scope <> Relation.arity relation then
+    invalid_arg "Generic_join.atom: scope length must equal relation arity";
+  { scope; relation }
+
+(* Per-atom preprocessed index: the distinct variables of the scope in
+   global-order position, and a trie over their first-occurrence tuple
+   positions (tuples violating repeated-variable equality are dropped at
+   build time). *)
+type indexed = {
+  vars_in_order : int array;
+  trie : Trie.t;
+}
+
+type prepared = {
+  num_vars : int;
+  universe_size : int;
+  order : int array;
+  indexed : indexed array;
+  at_level : (int * int) list array; (* order position → (atom, level) *)
+}
+
+let index_atom ~position a =
+  let seen = Hashtbl.create 8 in
+  let distinct = ref [] in
+  Array.iteri
+    (fun pos v ->
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.replace seen v pos;
+        distinct := v :: !distinct
+      end)
+    a.scope;
+  let distinct = List.rev !distinct in
+  let sorted =
+    List.sort (fun u v -> Int.compare position.(u) position.(v)) distinct
+  in
+  let positions = Array.of_list (List.map (Hashtbl.find seen) sorted) in
+  let keep tuple =
+    let ok = ref true in
+    Array.iteri
+      (fun pos v ->
+        let first = Hashtbl.find seen v in
+        if tuple.(pos) <> tuple.(first) then ok := false)
+      a.scope;
+    !ok
+  in
+  { vars_in_order = Array.of_list sorted; trie = Trie.build ~keep a.relation ~positions }
+
+let validate ~num_vars atoms =
+  List.iter
+    (fun a ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= num_vars then
+            invalid_arg "Generic_join: scope variable out of range")
+        a.scope)
+    atoms
+
+let default_order ~num_vars atoms =
+  let best = Array.make num_vars max_int in
+  List.iter
+    (fun a ->
+      let c = Relation.cardinality a.relation in
+      Array.iter (fun v -> if c < best.(v) then best.(v) <- c) a.scope)
+    atoms;
+  let vars = List.init num_vars Fun.id in
+  let sorted =
+    List.stable_sort (fun u v -> Int.compare best.(u) best.(v)) vars
+  in
+  Array.of_list sorted
+
+let prepare ~num_vars ~universe_size ?order atoms =
+  validate ~num_vars atoms;
+  let order =
+    match order with
+    | Some o ->
+        if Array.length o <> num_vars then invalid_arg "Generic_join: bad order";
+        Array.copy o
+    | None -> default_order ~num_vars atoms
+  in
+  let position = Array.make num_vars (-1) in
+  Array.iteri (fun i v -> position.(v) <- i) order;
+  if Array.exists (fun p -> p < 0) position then
+    invalid_arg "Generic_join: order is not a permutation";
+  let indexed = Array.of_list (List.map (index_atom ~position) atoms) in
+  let at_level = Array.make num_vars [] in
+  Array.iteri
+    (fun ai idx ->
+      Array.iteri
+        (fun level v ->
+          at_level.(position.(v)) <- (ai, level) :: at_level.(position.(v)))
+        idx.vars_in_order)
+    indexed;
+  { num_vars; universe_size; order; indexed; at_level }
+
+let run ?domains p ~f =
+  let nodes = Array.map (fun idx -> idx.trie) p.indexed in
+  let assignment = Array.make p.num_vars (-1) in
+  let domain_of v =
+    match domains with
+    | Some ds -> ds.(v)
+    | None -> None
+  in
+  let stop = ref false in
+  let rec assign i =
+    if !stop then ()
+    else if i = p.num_vars then begin
+      if not (f (Array.copy assignment)) then stop := true
+    end
+    else begin
+      let v = p.order.(i) in
+      let participants = p.at_level.(i) in
+      match participants with
+      | [] ->
+          let values =
+            match domain_of v with
+            | Some l -> List.sort_uniq Int.compare l
+            | None -> List.init p.universe_size Fun.id
+          in
+          List.iter
+            (fun value ->
+              if not !stop then begin
+                assignment.(v) <- value;
+                assign (i + 1)
+              end)
+            values;
+          assignment.(v) <- -1
+      | _ ->
+          (* candidates: keys of the smallest participating trie, filtered
+             by the others and by the domain *)
+          let smallest =
+            List.fold_left
+              (fun (bai, bn) (ai, _) ->
+                let n = Trie.num_keys nodes.(ai) in
+                if n < bn then (ai, n) else (bai, bn))
+              (-1, max_int) participants
+            |> fst
+          in
+          let candidates =
+            match domain_of v with
+            | Some l ->
+                List.sort_uniq Int.compare l
+                |> List.filter (Trie.mem_key nodes.(smallest))
+            | None -> Trie.keys nodes.(smallest)
+          in
+          let saved = List.map (fun (ai, _) -> (ai, nodes.(ai))) participants in
+          List.iter
+            (fun value ->
+              if not !stop then begin
+                let ok = ref true in
+                List.iter
+                  (fun (ai, _) ->
+                    if !ok then
+                      match Trie.child nodes.(ai) value with
+                      | Some sub -> nodes.(ai) <- sub
+                      | None -> ok := false)
+                  participants;
+                if !ok then begin
+                  assignment.(v) <- value;
+                  assign (i + 1)
+                end;
+                List.iter (fun (ai, node) -> nodes.(ai) <- node) saved
+              end)
+            candidates;
+          assignment.(v) <- -1
+    end
+  in
+  assign 0
+
+let iter ~num_vars ~universe_size ?domains ?order atoms ~f =
+  run ?domains (prepare ~num_vars ~universe_size ?order atoms) ~f
+
+let find ~num_vars ~universe_size ?domains ?order atoms =
+  let result = ref None in
+  iter ~num_vars ~universe_size ?domains ?order atoms ~f:(fun a ->
+      result := Some a;
+      false);
+  !result
+
+let exists ~num_vars ~universe_size ?domains ?order atoms =
+  Option.is_some (find ~num_vars ~universe_size ?domains ?order atoms)
+
+let count ~num_vars ~universe_size ?domains ?order atoms =
+  let n = ref 0 in
+  iter ~num_vars ~universe_size ?domains ?order atoms ~f:(fun _ ->
+      incr n;
+      true);
+  !n
+
+let solutions ~num_vars ~universe_size ?domains ?order atoms =
+  let acc = ref [] in
+  iter ~num_vars ~universe_size ?domains ?order atoms ~f:(fun a ->
+      acc := a :: !acc;
+      true);
+  List.rev !acc

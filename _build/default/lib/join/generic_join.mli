@@ -1,0 +1,87 @@
+(** Worst-case-optimal generic join.
+
+    Enumerates all assignments [α : {0..num_vars-1} → U] that satisfy every
+    atom [R(scope)] (the tuple [α(scope)] is in the atom's relation), by
+    the classic variable-at-a-time intersection of tries. With a variable
+    order compatible with a fractional edge cover, the running time is
+    within the AGM bound — this is the engine behind the paper's Lemma 48
+    (enumerating [Sol(φ, D, B)]) and behind the [Hom] decision solvers.
+
+    Variables contained in no atom range over their [domains] entry (or
+    the full universe).
+
+    When the same join is evaluated many times under different [domains]
+    (the colour-coding oracle of Lemma 22 does exactly this), {!prepare}
+    once and {!run} repeatedly: the tries and the variable order are
+    built a single time. *)
+
+type atom = {
+  scope : int array;                    (** variable per position *)
+  relation : Ac_relational.Relation.t;  (** arity = length of scope *)
+}
+
+val atom : int array -> Ac_relational.Relation.t -> atom
+
+(** A compiled join: tries and variable order, reusable across runs. *)
+type prepared
+
+(** [prepare ~num_vars ~universe_size ?order atoms]. [order], when given,
+    must be a permutation of the variables; the default order takes
+    variables ascending by the smallest relation they appear in. Raises
+    [Invalid_argument] on malformed atoms. *)
+val prepare :
+  num_vars:int -> universe_size:int -> ?order:int array -> atom list -> prepared
+
+(** [run prepared ?domains ~f] calls [f] on each satisfying assignment (a
+    fresh array); [f] returning [false] stops the enumeration.
+    [domains.(v)], when given, restricts variable [v] to the listed
+    values. *)
+val run : ?domains:int list option array -> prepared -> f:(int array -> bool) -> unit
+
+(** {2 One-shot wrappers} *)
+
+val iter :
+  num_vars:int ->
+  universe_size:int ->
+  ?domains:int list option array ->
+  ?order:int array ->
+  atom list ->
+  f:(int array -> bool) ->
+  unit
+
+val find :
+  num_vars:int ->
+  universe_size:int ->
+  ?domains:int list option array ->
+  ?order:int array ->
+  atom list ->
+  int array option
+
+val exists :
+  num_vars:int ->
+  universe_size:int ->
+  ?domains:int list option array ->
+  ?order:int array ->
+  atom list ->
+  bool
+
+val count :
+  num_vars:int ->
+  universe_size:int ->
+  ?domains:int list option array ->
+  ?order:int array ->
+  atom list ->
+  int
+
+val solutions :
+  num_vars:int ->
+  universe_size:int ->
+  ?domains:int list option array ->
+  ?order:int array ->
+  atom list ->
+  int array list
+
+(** A min-weight-first variable order: variables are taken in increasing
+    order of the smallest relation they appear in (ties by index); a good
+    default for decision queries. *)
+val default_order : num_vars:int -> atom list -> int array

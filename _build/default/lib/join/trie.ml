@@ -1,0 +1,64 @@
+module Relation = Ac_relational.Relation
+
+type t =
+  | Leaf of int                       (* number of tuples that end here *)
+  | Node of { total : int; children : (int, t) Hashtbl.t }
+
+let depth t =
+  let rec go acc = function
+    | Leaf _ -> acc
+    | Node { children; _ } ->
+        if Hashtbl.length children = 0 then acc
+        else
+          let sample = Hashtbl.fold (fun _ c _ -> Some c) children None in
+          (match sample with None -> acc | Some c -> go (acc + 1) c)
+  in
+  go 0 t
+
+let weight = function Leaf n -> n | Node { total; _ } -> total
+
+let child t v =
+  match t with
+  | Leaf _ -> invalid_arg "Trie.child: at a leaf"
+  | Node { children; _ } -> Hashtbl.find_opt children v
+
+let keys = function
+  | Leaf _ -> invalid_arg "Trie.keys: at a leaf"
+  | Node { children; _ } -> Hashtbl.fold (fun k _ acc -> k :: acc) children []
+
+let num_keys = function
+  | Leaf _ -> invalid_arg "Trie.num_keys: at a leaf"
+  | Node { children; _ } -> Hashtbl.length children
+
+let mem_key t v =
+  match t with
+  | Leaf _ -> invalid_arg "Trie.mem_key: at a leaf"
+  | Node { children; _ } -> Hashtbl.mem children v
+
+let build ?(keep = fun _ -> true) relation ~positions =
+  let levels = Array.length positions in
+  (* nested mutable construction, converted on the fly *)
+  let rec insert node tuple level =
+    match node with
+    | Leaf n ->
+        assert (level = levels);
+        Leaf (n + 1)
+    | Node { total; children } ->
+        let key = tuple.(positions.(level)) in
+        let sub =
+          match Hashtbl.find_opt children key with
+          | Some s -> s
+          | None ->
+              if level + 1 = levels then Leaf 0
+              else Node { total = 0; children = Hashtbl.create 4 }
+        in
+        let sub = insert sub tuple (level + 1) in
+        Hashtbl.replace children key sub;
+        Node { total = total + 1; children }
+  in
+  let root =
+    if levels = 0 then Leaf 0 else Node { total = 0; children = Hashtbl.create 16 }
+  in
+  Relation.fold
+    (fun tuple acc -> if keep tuple then insert acc tuple 0 else acc)
+    relation root

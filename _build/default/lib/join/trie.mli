@@ -1,0 +1,31 @@
+(** Hash tries over relations, the index structure behind the generic
+    worst-case-optimal join.
+
+    A trie fixes an order of the (distinct) variables of an atom's scope
+    and stores the relation's tuples level by level in that order.
+    Repeated variables in a scope are checked during construction
+    (tuples with unequal components at repeated positions are dropped)
+    and collapsed to a single level. *)
+
+type t
+
+(** [build relation ~positions] indexes [relation] by the tuple positions
+    [positions] (distinct, in the desired level order; must cover a subset
+    of [0 .. arity-1]). Tuples are first filtered with [keep]. *)
+val build : ?keep:(Ac_relational.Tuple.t -> bool) -> Ac_relational.Relation.t -> positions:int array -> t
+
+(** Number of levels. *)
+val depth : t -> int
+
+(** [child t v] descends one level along value [v]. *)
+val child : t -> int -> t option
+
+(** Values available at the current level, unordered. [Invalid_argument]
+    below depth 1. *)
+val keys : t -> int list
+
+val num_keys : t -> int
+val mem_key : t -> int -> bool
+
+(** Number of tuples below this node. *)
+val weight : t -> int

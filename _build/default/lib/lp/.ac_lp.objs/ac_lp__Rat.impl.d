@@ -1,0 +1,1 @@
+lib/lp/rat.ml: Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/lp/simplex_exact.ml: Array List Rat

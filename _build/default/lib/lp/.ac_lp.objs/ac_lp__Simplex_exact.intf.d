@@ -1,0 +1,1 @@
+lib/lp/simplex_exact.mli: Rat

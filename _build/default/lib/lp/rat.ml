@@ -1,0 +1,65 @@
+type t = { num : int; den : int } (* den > 0, gcd(|num|, den) = 1 *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Guarded multiplication: native ints are 63-bit; the LPs solved here
+   keep coefficients tiny, so hitting this is a logic error worth a loud
+   failure. *)
+let mul_int a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let c = a * b in
+    if c / b <> a then failwith "Rat.overflow";
+    c
+  end
+
+let normalize num den =
+  if den = 0 then raise Division_by_zero;
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = gcd (Stdlib.abs num) den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let make num den = normalize num den
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let num t = t.num
+let den t = t.den
+
+let add a b =
+  (* reduce via gcd of denominators to delay overflow *)
+  let g = gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  normalize (mul_int a.num db + mul_int b.num da) (mul_int a.den db)
+
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* cross-reduce before multiplying *)
+  let g1 = gcd (Stdlib.abs a.num) b.den in
+  let g2 = gcd (Stdlib.abs b.num) a.den in
+  normalize
+    (mul_int (a.num / g1) (b.num / g2))
+    (mul_int (a.den / g2) (b.den / g1))
+
+let div a b =
+  if b.num = 0 then raise Division_by_zero;
+  mul a { num = b.den * (if b.num < 0 then -1 else 1); den = Stdlib.abs b.num }
+
+let abs a = { a with num = Stdlib.abs a.num }
+let sign a = Stdlib.compare a.num 0
+
+let compare a b = sign (sub a b)
+let equal a b = a.num = b.num && a.den = b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let to_string a =
+  if a.den = 1 then string_of_int a.num
+  else Printf.sprintf "%d/%d" a.num a.den
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,37 @@
+(** Exact rational arithmetic on native integers.
+
+    Values are kept reduced (gcd 1) with a positive denominator. Native
+    [int] (63-bit) components suffice for the small width-measure LPs this
+    library solves; arithmetic raises [Failure "Rat.overflow"] when a
+    product would overflow, rather than wrapping silently. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+
+(** [make num den] = num/den, reduced. Raises [Division_by_zero]. *)
+val make : int -> int -> t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Raises [Division_by_zero]. *)
+val div : t -> t -> t
+
+val neg : t -> t
+val abs : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,256 @@
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : float array;
+  relation : relation;
+  bound : float;
+}
+
+type outcome =
+  | Optimal of { value : float; point : float array }
+  | Infeasible
+  | Unbounded
+
+let epsilon = 1e-9
+
+let constr coeffs relation bound = { coeffs; relation; bound }
+
+(* The tableau layout is the classic one: [m] constraint rows over columns
+   [0 .. total_cols - 1] plus a right-hand-side column, and one objective
+   row. Column blocks: original variables, then slack/surplus variables,
+   then artificial variables. Rows are normalised so that every right-hand
+   side is non-negative before artificials are introduced, which makes the
+   all-artificial (plus non-negated slacks) basis feasible for phase 1. *)
+
+type tableau = {
+  rows : float array array;   (* m rows, each of length total_cols + 1 *)
+  mutable basis : int array;  (* basis.(i) = column basic in row i *)
+  total_cols : int;
+}
+
+let rhs_index t = t.total_cols
+
+let pivot t ~row ~col =
+  let r = t.rows.(row) in
+  let p = r.(col) in
+  for j = 0 to t.total_cols do
+    r.(j) <- r.(j) /. p
+  done;
+  Array.iteri
+    (fun i r' ->
+      if i <> row then begin
+        let f = r'.(col) in
+        if Float.abs f > 0.0 then
+          for j = 0 to t.total_cols do
+            r'.(j) <- r'.(j) -. (f *. r.(j))
+          done
+      end)
+    t.rows;
+  t.basis.(row) <- col
+
+(* Minimise [obj . x] over the tableau's feasible region, starting from the
+   current basis. [obj] has an entry per column (artificials included).
+   Returns the reduced objective row so callers can read the optimum, or
+   [None] when the problem is unbounded below. Dantzig's rule with a Bland
+   fallback after a safety threshold guards against cycling. *)
+let run_simplex t ~obj ~allowed =
+  let m = Array.length t.rows in
+  let z = Array.make (t.total_cols + 1) 0.0 in
+  Array.blit obj 0 z 0 t.total_cols;
+  (* Express the objective in terms of non-basic variables. *)
+  for i = 0 to m - 1 do
+    let c = z.(t.basis.(i)) in
+    if Float.abs c > 0.0 then
+      for j = 0 to t.total_cols do
+        z.(j) <- z.(j) -. (c *. t.rows.(i).(j))
+      done
+  done;
+  let max_iterations = 200 * (m + t.total_cols + 16) in
+  let bland_threshold = max_iterations / 2 in
+  let rec loop iter =
+    if iter > max_iterations then None
+    else begin
+      (* Entering column: most negative reduced cost (Dantzig), or first
+         negative (Bland) once we suspect cycling. *)
+      let entering = ref (-1) in
+      let best = ref (-.epsilon) in
+      (try
+         for j = 0 to t.total_cols - 1 do
+           if allowed.(j) && z.(j) < !best then begin
+             entering := j;
+             best := z.(j);
+             if iter > bland_threshold then raise Exit
+           end
+         done
+       with Exit -> ());
+      if !entering < 0 then Some z
+      else begin
+        let col = !entering in
+        (* Ratio test; Bland-style tie-break on basis column index. *)
+        let row = ref (-1) in
+        let best_ratio = ref infinity in
+        for i = 0 to m - 1 do
+          let a = t.rows.(i).(col) in
+          if a > epsilon then begin
+            let ratio = t.rows.(i).(rhs_index t) /. a in
+            if
+              ratio < !best_ratio -. epsilon
+              || (ratio < !best_ratio +. epsilon
+                  && !row >= 0
+                  && t.basis.(i) < t.basis.(!row))
+            then begin
+              row := i;
+              best_ratio := ratio
+            end
+          end
+        done;
+        if !row < 0 then None
+        else begin
+          pivot t ~row:!row ~col;
+          (* Update the reduced-cost row for the pivot. *)
+          let f = z.(col) in
+          if Float.abs f > 0.0 then begin
+            let r = t.rows.(!row) in
+            for j = 0 to t.total_cols do
+              z.(j) <- z.(j) -. (f *. r.(j))
+            done
+          end;
+          loop (iter + 1)
+        end
+      end
+    end
+  in
+  loop 0
+
+let check ?(tolerance = 1e-6) constraints point =
+  let sat c =
+    let lhs = ref 0.0 in
+    Array.iteri (fun i a -> lhs := !lhs +. (a *. point.(i))) c.coeffs;
+    match c.relation with
+    | Le -> !lhs <= c.bound +. tolerance
+    | Ge -> !lhs >= c.bound -. tolerance
+    | Eq -> Float.abs (!lhs -. c.bound) <= tolerance
+  in
+  Array.for_all (fun v -> v >= -.tolerance) point
+  && List.for_all sat constraints
+
+let maximize ~num_vars ~objective constraints =
+  if Array.length objective <> num_vars then
+    invalid_arg "Simplex.maximize: objective dimension";
+  List.iter
+    (fun c ->
+      if Array.length c.coeffs <> num_vars then
+        invalid_arg "Simplex.maximize: constraint dimension")
+    constraints;
+  let constraints = Array.of_list constraints in
+  let m = Array.length constraints in
+  (* Normalise rows to non-negative right-hand sides, flipping relations. *)
+  let normalised =
+    Array.map
+      (fun c ->
+        if c.bound < 0.0 then
+          {
+            coeffs = Array.map (fun a -> -.a) c.coeffs;
+            bound = -.c.bound;
+            relation =
+              (match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
+          }
+        else c)
+      constraints
+  in
+  let num_slack =
+    Array.fold_left
+      (fun acc c -> match c.relation with Eq -> acc | Le | Ge -> acc + 1)
+      0 normalised
+  in
+  let needs_artificial c = match c.relation with Le -> false | Ge | Eq -> true in
+  let num_artificial =
+    Array.fold_left (fun acc c -> acc + if needs_artificial c then 1 else 0) 0 normalised
+  in
+  let total_cols = num_vars + num_slack + num_artificial in
+  let rows = Array.make_matrix m (total_cols + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let slack_cursor = ref num_vars in
+  let artificial_cursor = ref (num_vars + num_slack) in
+  let artificial_cols = ref [] in
+  Array.iteri
+    (fun i c ->
+      Array.blit c.coeffs 0 rows.(i) 0 num_vars;
+      rows.(i).(total_cols) <- c.bound;
+      (match c.relation with
+      | Le ->
+          let s = !slack_cursor in
+          incr slack_cursor;
+          rows.(i).(s) <- 1.0;
+          basis.(i) <- s
+      | Ge ->
+          let s = !slack_cursor in
+          incr slack_cursor;
+          rows.(i).(s) <- -1.0
+      | Eq -> ());
+      if needs_artificial c then begin
+        let a = !artificial_cursor in
+        incr artificial_cursor;
+        rows.(i).(a) <- 1.0;
+        basis.(i) <- a;
+        artificial_cols := a :: !artificial_cols
+      end)
+    normalised;
+  let t = { rows; basis; total_cols } in
+  let artificial_set = Array.make total_cols false in
+  List.iter (fun a -> artificial_set.(a) <- true) !artificial_cols;
+  let allowed_phase1 = Array.make total_cols true in
+  let phase1_needed = num_artificial > 0 in
+  let infeasible = ref false in
+  if phase1_needed then begin
+    let obj1 = Array.make total_cols 0.0 in
+    List.iter (fun a -> obj1.(a) <- 1.0) !artificial_cols;
+    match run_simplex t ~obj:obj1 ~allowed:allowed_phase1 with
+    | None -> infeasible := true (* phase 1 is bounded; safety net *)
+    | Some z ->
+        if Float.abs z.(rhs_index t) > 1e-6 then infeasible := true
+        else
+          (* Drive any remaining artificial out of the basis. *)
+          Array.iteri
+            (fun i b ->
+              if artificial_set.(b) then begin
+                let found = ref false in
+                let j = ref 0 in
+                while (not !found) && !j < num_vars + num_slack do
+                  if Float.abs t.rows.(i).(!j) > epsilon then begin
+                    pivot t ~row:i ~col:!j;
+                    found := true
+                  end;
+                  incr j
+                done
+                (* If no pivot exists the row is redundant (all zeros);
+                   leaving the zero-valued artificial basic is harmless
+                   because its column is disallowed in phase 2. *)
+              end)
+            t.basis
+  end;
+  if !infeasible then Infeasible
+  else begin
+    let allowed_phase2 = Array.make total_cols true in
+    List.iter (fun a -> allowed_phase2.(a) <- false) !artificial_cols;
+    let obj2 = Array.make total_cols 0.0 in
+    (* run_simplex minimises, so negate to maximise. *)
+    Array.iteri (fun j c -> obj2.(j) <- -.c) objective;
+    match run_simplex t ~obj:obj2 ~allowed:allowed_phase2 with
+    | None -> Unbounded
+    | Some z ->
+        let point = Array.make num_vars 0.0 in
+        Array.iteri
+          (fun i b -> if b < num_vars then point.(b) <- t.rows.(i).(rhs_index t))
+          t.basis;
+        (* The reduced objective row keeps [-(current value of obj2 . x)] in
+           its right-hand cell; since obj2 = -objective, the maximum of the
+           original objective is exactly that cell. *)
+        Optimal { value = z.(rhs_index t); point }
+  end
+
+let minimize ~num_vars ~objective constraints =
+  let negated = Array.map (fun c -> -.c) objective in
+  match maximize ~num_vars ~objective:negated constraints with
+  | Optimal { value; point } -> Optimal { value = -.value; point }
+  | (Infeasible | Unbounded) as other -> other

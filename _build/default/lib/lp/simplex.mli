@@ -1,0 +1,44 @@
+(** Dense two-phase primal simplex.
+
+    This is the linear-programming substrate used by the width-measure
+    computations of the hypergraph library: fractional edge covers
+    (Definition 39 of the paper), fractional hypertreewidth bag costs
+    (Definition 41) and fractional independent sets witnessing adaptive
+    width (Definition 33).
+
+    Problems are stated over [n] non-negative variables. The solver
+    maximises the objective; use {!minimize} for minimisation. Numerics are
+    double precision with an explicit tolerance; {!check} re-verifies a
+    solution against the original constraints. *)
+
+(** Relation of a linear constraint [coeffs . x REL bound]. *)
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : float array;  (** length = number of variables *)
+  relation : relation;
+  bound : float;
+}
+
+type outcome =
+  | Optimal of { value : float; point : float array }
+  | Infeasible
+  | Unbounded
+
+val constr : float array -> relation -> float -> constr
+
+(** [maximize ~num_vars ~objective constraints] solves
+    [max objective . x] subject to [constraints] and [x >= 0]. Raises
+    [Invalid_argument] on dimension mismatches. *)
+val maximize : num_vars:int -> objective:float array -> constr list -> outcome
+
+(** [minimize] is {!maximize} on the negated objective, with the optimal
+    value negated back. *)
+val minimize : num_vars:int -> objective:float array -> constr list -> outcome
+
+(** [check ~tolerance constraints point] is [true] when [point] satisfies
+    every constraint and non-negativity up to [tolerance]. *)
+val check : ?tolerance:float -> constr list -> float array -> bool
+
+(** Default numeric tolerance ([1e-9]). *)
+val epsilon : float

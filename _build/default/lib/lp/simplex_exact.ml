@@ -1,0 +1,220 @@
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : Rat.t array;
+  relation : relation;
+  bound : Rat.t;
+}
+
+type outcome =
+  | Optimal of { value : Rat.t; point : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+let constr coeffs relation bound = { coeffs; relation; bound }
+
+type tableau = {
+  rows : Rat.t array array;
+  mutable basis : int array;
+  total_cols : int;
+}
+
+let rhs_index t = t.total_cols
+
+let pivot t ~row ~col =
+  let r = t.rows.(row) in
+  let p = r.(col) in
+  for j = 0 to t.total_cols do
+    r.(j) <- Rat.div r.(j) p
+  done;
+  Array.iteri
+    (fun i r' ->
+      if i <> row then begin
+        let f = r'.(col) in
+        if Rat.sign f <> 0 then
+          for j = 0 to t.total_cols do
+            r'.(j) <- Rat.sub r'.(j) (Rat.mul f r.(j))
+          done
+      end)
+    t.rows;
+  t.basis.(row) <- col
+
+(* Minimise [obj . x] from the current basis; Bland's rule (smallest
+   eligible column / smallest basis row on ties) guarantees termination
+   with exact arithmetic. Returns the reduced objective row, or [None]
+   when unbounded below. *)
+let run_simplex t ~obj ~allowed =
+  let m = Array.length t.rows in
+  let z = Array.make (t.total_cols + 1) Rat.zero in
+  Array.blit obj 0 z 0 t.total_cols;
+  for i = 0 to m - 1 do
+    let c = z.(t.basis.(i)) in
+    if Rat.sign c <> 0 then
+      for j = 0 to t.total_cols do
+        z.(j) <- Rat.sub z.(j) (Rat.mul c t.rows.(i).(j))
+      done
+  done;
+  let rec loop () =
+    (* entering: first column with negative reduced cost (Bland) *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.total_cols - 1 do
+         if allowed.(j) && Rat.sign z.(j) < 0 then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then Some z
+    else begin
+      let col = !entering in
+      let row = ref (-1) in
+      let best_ratio = ref Rat.zero in
+      for i = 0 to m - 1 do
+        let a = t.rows.(i).(col) in
+        if Rat.sign a > 0 then begin
+          let ratio = Rat.div t.rows.(i).(rhs_index t) a in
+          if
+            !row < 0
+            || Rat.compare ratio !best_ratio < 0
+            || (Rat.equal ratio !best_ratio && t.basis.(i) < t.basis.(!row))
+          then begin
+            row := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !row < 0 then None
+      else begin
+        pivot t ~row:!row ~col;
+        let f = z.(col) in
+        if Rat.sign f <> 0 then begin
+          let r = t.rows.(!row) in
+          for j = 0 to t.total_cols do
+            z.(j) <- Rat.sub z.(j) (Rat.mul f r.(j))
+          done
+        end;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let check constraints point =
+  let sat c =
+    let lhs = ref Rat.zero in
+    Array.iteri (fun i a -> lhs := Rat.add !lhs (Rat.mul a point.(i))) c.coeffs;
+    match c.relation with
+    | Le -> Rat.compare !lhs c.bound <= 0
+    | Ge -> Rat.compare !lhs c.bound >= 0
+    | Eq -> Rat.equal !lhs c.bound
+  in
+  Array.for_all (fun v -> Rat.sign v >= 0) point && List.for_all sat constraints
+
+let maximize ~num_vars ~objective constraints =
+  if Array.length objective <> num_vars then
+    invalid_arg "Simplex_exact.maximize: objective dimension";
+  List.iter
+    (fun c ->
+      if Array.length c.coeffs <> num_vars then
+        invalid_arg "Simplex_exact.maximize: constraint dimension")
+    constraints;
+  let constraints = Array.of_list constraints in
+  let m = Array.length constraints in
+  let normalised =
+    Array.map
+      (fun c ->
+        if Rat.sign c.bound < 0 then
+          {
+            coeffs = Array.map Rat.neg c.coeffs;
+            bound = Rat.neg c.bound;
+            relation = (match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
+          }
+        else c)
+      constraints
+  in
+  let num_slack =
+    Array.fold_left
+      (fun acc c -> match c.relation with Eq -> acc | Le | Ge -> acc + 1)
+      0 normalised
+  in
+  let needs_artificial c = match c.relation with Le -> false | Ge | Eq -> true in
+  let num_artificial =
+    Array.fold_left (fun acc c -> acc + if needs_artificial c then 1 else 0) 0 normalised
+  in
+  let total_cols = num_vars + num_slack + num_artificial in
+  let rows = Array.init m (fun _ -> Array.make (total_cols + 1) Rat.zero) in
+  let basis = Array.make m (-1) in
+  let slack_cursor = ref num_vars in
+  let artificial_cursor = ref (num_vars + num_slack) in
+  let artificial_cols = ref [] in
+  Array.iteri
+    (fun i c ->
+      Array.blit c.coeffs 0 rows.(i) 0 num_vars;
+      rows.(i).(total_cols) <- c.bound;
+      (match c.relation with
+      | Le ->
+          let s = !slack_cursor in
+          incr slack_cursor;
+          rows.(i).(s) <- Rat.one;
+          basis.(i) <- s
+      | Ge ->
+          let s = !slack_cursor in
+          incr slack_cursor;
+          rows.(i).(s) <- Rat.neg Rat.one
+      | Eq -> ());
+      if needs_artificial c then begin
+        let a = !artificial_cursor in
+        incr artificial_cursor;
+        rows.(i).(a) <- Rat.one;
+        basis.(i) <- a;
+        artificial_cols := a :: !artificial_cols
+      end)
+    normalised;
+  let t = { rows; basis; total_cols } in
+  let artificial_set = Array.make total_cols false in
+  List.iter (fun a -> artificial_set.(a) <- true) !artificial_cols;
+  let infeasible = ref false in
+  if num_artificial > 0 then begin
+    let obj1 = Array.make total_cols Rat.zero in
+    List.iter (fun a -> obj1.(a) <- Rat.one) !artificial_cols;
+    match run_simplex t ~obj:obj1 ~allowed:(Array.make total_cols true) with
+    | None -> infeasible := true
+    | Some z ->
+        if Rat.sign z.(rhs_index t) <> 0 then infeasible := true
+        else
+          Array.iteri
+            (fun i b ->
+              if artificial_set.(b) then begin
+                let found = ref false in
+                let j = ref 0 in
+                while (not !found) && !j < num_vars + num_slack do
+                  if Rat.sign t.rows.(i).(!j) <> 0 then begin
+                    pivot t ~row:i ~col:!j;
+                    found := true
+                  end;
+                  incr j
+                done
+              end)
+            t.basis
+  end;
+  if !infeasible then Infeasible
+  else begin
+    let allowed = Array.make total_cols true in
+    List.iter (fun a -> allowed.(a) <- false) !artificial_cols;
+    let obj2 = Array.make total_cols Rat.zero in
+    Array.iteri (fun j c -> obj2.(j) <- Rat.neg c) objective;
+    match run_simplex t ~obj:obj2 ~allowed with
+    | None -> Unbounded
+    | Some z ->
+        let point = Array.make num_vars Rat.zero in
+        Array.iteri
+          (fun i b -> if b < num_vars then point.(b) <- t.rows.(i).(rhs_index t))
+          t.basis;
+        Optimal { value = z.(rhs_index t); point }
+  end
+
+let minimize ~num_vars ~objective constraints =
+  match maximize ~num_vars ~objective:(Array.map Rat.neg objective) constraints with
+  | Optimal { value; point } -> Optimal { value = Rat.neg value; point }
+  | (Infeasible | Unbounded) as other -> other

@@ -1,0 +1,32 @@
+(** Exact two-phase simplex over rationals.
+
+    Same problem shape as {!Simplex} but with {!Rat} coefficients and
+    exact pivoting (Bland's rule throughout — with exact arithmetic it
+    both terminates and needs no tolerances). Used by the width-measure
+    computations to certify values like [fcn = 3/2] exactly; the float
+    solver remains for large/ad-hoc problems.
+
+    Kept separate from the float solver on purpose: they differ exactly
+    where it matters — tolerance logic in entering/ratio tests — and a
+    shared functor would have to abstract that difference away. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : Rat.t array;
+  relation : relation;
+  bound : Rat.t;
+}
+
+type outcome =
+  | Optimal of { value : Rat.t; point : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+val constr : Rat.t array -> relation -> Rat.t -> constr
+
+val maximize : num_vars:int -> objective:Rat.t array -> constr list -> outcome
+val minimize : num_vars:int -> objective:Rat.t array -> constr list -> outcome
+
+(** Exact feasibility check of a point. *)
+val check : constr list -> Rat.t array -> bool

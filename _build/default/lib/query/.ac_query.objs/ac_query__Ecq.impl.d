@@ -1,0 +1,1 @@
+lib/query/ecq.ml: Ac_hypergraph Ac_relational Array Format Fun Hashtbl List Printf String

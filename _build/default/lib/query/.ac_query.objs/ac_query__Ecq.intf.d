@@ -1,0 +1,1 @@
+lib/query/ecq.mli: Ac_hypergraph Ac_relational Format

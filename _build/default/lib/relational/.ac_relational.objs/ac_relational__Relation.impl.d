@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Format List String Tuple

@@ -1,0 +1,1 @@
+lib/relational/structure.ml: Array Format Hashtbl Int List Printf Relation String

@@ -1,0 +1,1 @@
+lib/relational/structure.mli: Format Relation Tuple

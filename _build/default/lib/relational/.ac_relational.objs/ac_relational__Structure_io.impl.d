@@ -1,0 +1,1 @@
+lib/relational/structure_io.ml: Array Buffer List Printf Relation String Structure Tuple

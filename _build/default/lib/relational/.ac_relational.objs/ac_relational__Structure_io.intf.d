@@ -1,0 +1,1 @@
+lib/relational/structure_io.mli: Structure

@@ -1,0 +1,72 @@
+type t = { arity : int; tuples : unit Tuple.Table.t }
+
+let create ~arity =
+  if arity < 1 then invalid_arg "Relation.create: arity must be positive";
+  { arity; tuples = Tuple.Table.create 64 }
+
+let arity r = r.arity
+let cardinality r = Tuple.Table.length r.tuples
+
+let add r tuple =
+  if Array.length tuple <> r.arity then
+    invalid_arg "Relation.add: tuple length does not match arity";
+  if not (Tuple.Table.mem r.tuples tuple) then
+    Tuple.Table.replace r.tuples tuple ()
+
+let mem r tuple = Tuple.Table.mem r.tuples tuple
+let iter f r = Tuple.Table.iter (fun t () -> f t) r.tuples
+let fold f r init = Tuple.Table.fold (fun t () acc -> f t acc) r.tuples init
+let to_list r = fold (fun t acc -> t :: acc) r []
+
+let of_list ~arity tuples =
+  let r = create ~arity in
+  List.iter (add r) tuples;
+  r
+
+let copy r = { arity = r.arity; tuples = Tuple.Table.copy r.tuples }
+let is_empty r = cardinality r = 0
+
+(* Enumerate U^arity in lexicographic order, applying [f] to a fresh copy
+   of each tuple. *)
+let iter_universal ~universe_size ~arity f =
+  if universe_size > 0 then begin
+    let cursor = Array.make arity 0 in
+    let rec bump i =
+      if i >= 0 then begin
+        cursor.(i) <- cursor.(i) + 1;
+        if cursor.(i) = universe_size then begin
+          cursor.(i) <- 0;
+          bump (i - 1)
+        end
+      end
+    in
+    let total =
+      let rec pow acc n = if n = 0 then acc else pow (acc * universe_size) (n - 1) in
+      pow 1 arity
+    in
+    for _ = 1 to total do
+      f (Array.copy cursor);
+      bump (arity - 1)
+    done
+  end
+
+let universal ~universe_size ~arity =
+  let r = create ~arity in
+  iter_universal ~universe_size ~arity (add r);
+  r
+
+let complement ~universe_size r =
+  let out = create ~arity:r.arity in
+  iter_universal ~universe_size ~arity:r.arity (fun t ->
+      if not (mem r t) then add out t);
+  out
+
+let equal a b =
+  a.arity = b.arity
+  && cardinality a = cardinality b
+  && fold (fun t acc -> acc && mem b t) a true
+
+let pp fmt r =
+  let tuples = List.sort Tuple.compare (to_list r) in
+  Format.fprintf fmt "{%s}"
+    (String.concat "; " (List.map Tuple.to_string tuples))

@@ -1,0 +1,38 @@
+(** Finite relations over an integer universe.
+
+    A relation is a set of equal-length tuples. Mutation (adding tuples) is
+    only expected during database construction; all query-time operations
+    treat relations as immutable. *)
+
+type t
+
+val create : arity:int -> t
+val arity : t -> int
+val cardinality : t -> int
+
+(** [add rel tuple] inserts [tuple]; duplicates are ignored. Raises
+    [Invalid_argument] if the tuple length differs from the arity. *)
+val add : t -> Tuple.t -> unit
+
+val mem : t -> Tuple.t -> bool
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Tuple.t list
+
+val of_list : arity:int -> Tuple.t list -> t
+val copy : t -> t
+val is_empty : t -> bool
+
+(** [complement ~universe_size rel] is the relation
+    [U^arity \ rel] — the explicit negated relation [R̄] used when a
+    negated predicate is turned into a positive one (Definition 20).
+    The result has [universe_size ^ arity - cardinality rel] tuples, so
+    callers must keep arities small, exactly as the paper's
+    Observation 21 cost analysis assumes. *)
+val complement : universe_size:int -> t -> t
+
+(** [universal ~universe_size ~arity] is [U^arity]. *)
+val universal : universe_size:int -> arity:int -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

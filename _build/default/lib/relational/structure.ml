@@ -1,0 +1,112 @@
+type t = {
+  universe_size : int;
+  relations : (string, Relation.t) Hashtbl.t;
+}
+
+let create ~universe_size =
+  if universe_size < 0 then invalid_arg "Structure.create: negative universe";
+  { universe_size; relations = Hashtbl.create 16 }
+
+let universe_size s = s.universe_size
+
+let symbols s =
+  Hashtbl.fold (fun name _ acc -> name :: acc) s.relations []
+  |> List.sort String.compare
+
+let mem_symbol s name = Hashtbl.mem s.relations name
+
+let declare s name ~arity =
+  match Hashtbl.find_opt s.relations name with
+  | Some r ->
+      if Relation.arity r <> arity then
+        invalid_arg
+          (Printf.sprintf "Structure.declare: %s redeclared with arity %d (was %d)"
+             name arity (Relation.arity r))
+  | None -> Hashtbl.replace s.relations name (Relation.create ~arity)
+
+let relation s name =
+  match Hashtbl.find_opt s.relations name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Structure.relation: unknown symbol %s" name)
+
+let relation_opt s name = Hashtbl.find_opt s.relations name
+
+let add_fact s name tuple =
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= s.universe_size then
+        invalid_arg
+          (Printf.sprintf "Structure.add_fact: element %d outside universe of size %d"
+             v s.universe_size))
+    tuple;
+  declare s name ~arity:(Array.length tuple);
+  Relation.add (relation s name) tuple
+
+let arity_of s name = Relation.arity (relation s name)
+
+let max_arity s =
+  Hashtbl.fold (fun _ r acc -> max acc (Relation.arity r)) s.relations 0
+
+let size s =
+  let facts =
+    Hashtbl.fold
+      (fun _ r acc -> acc + (Relation.cardinality r * Relation.arity r))
+      s.relations 0
+  in
+  Hashtbl.length s.relations + s.universe_size + facts
+
+let holds s name tuple =
+  match relation_opt s name with
+  | Some r -> Relation.mem r tuple
+  | None -> false
+
+let induced s elements =
+  let elements = List.sort_uniq Int.compare elements in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= s.universe_size then invalid_arg "Structure.induced")
+    elements;
+  let renumber = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace renumber v i) elements;
+  let out = create ~universe_size:(List.length elements) in
+  Hashtbl.iter
+    (fun name rel ->
+      declare out name ~arity:(Relation.arity rel);
+      Relation.iter
+        (fun tuple ->
+          if Array.for_all (Hashtbl.mem renumber) tuple then
+            add_fact out name (Array.map (Hashtbl.find renumber) tuple))
+        rel)
+    s.relations;
+  out
+
+let copy s =
+  let relations = Hashtbl.create (Hashtbl.length s.relations) in
+  Hashtbl.iter (fun name r -> Hashtbl.replace relations name (Relation.copy r)) s.relations;
+  { universe_size = s.universe_size; relations }
+
+let equal a b =
+  a.universe_size = b.universe_size
+  && symbols a = symbols b
+  && List.for_all (fun name -> Relation.equal (relation a name) (relation b name)) (symbols a)
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>universe: %d@," s.universe_size;
+  List.iter
+    (fun name -> Format.fprintf fmt "%s: %a@," name Relation.pp (relation s name))
+    (symbols s);
+  Format.fprintf fmt "@]"
+
+let of_facts ~universe_size facts =
+  let s = create ~universe_size in
+  List.iter (fun (name, tuple) -> add_fact s name tuple) facts;
+  s
+
+let singleton_symbol v = "=" ^ string_of_int v
+
+let with_singletons s =
+  let out = copy s in
+  for v = 0 to s.universe_size - 1 do
+    add_fact out (singleton_symbol v) [| v |]
+  done;
+  out

@@ -1,0 +1,59 @@
+(** Relational structures (and databases — the paper's [D] is exactly a
+    structure, §1.1 and §2.2).
+
+    A structure has a universe [{0, .., universe_size - 1}] and named
+    relations. [size] implements the paper's [‖A‖]
+    ([|sig| + |U| + Σ_R |R^A|·ar(R)], §2.2). *)
+
+type t
+
+val create : universe_size:int -> t
+val universe_size : t -> int
+
+(** Relation symbols present, sorted by name. *)
+val symbols : t -> string list
+
+val mem_symbol : t -> string -> bool
+
+(** [declare s name ~arity] creates an empty relation for [name]; a no-op
+    when [name] already exists with the same arity, [Invalid_argument]
+    when the arities disagree. *)
+val declare : t -> string -> arity:int -> unit
+
+(** [add_fact s name tuple] inserts the fact [name(tuple)], declaring the
+    symbol with the tuple's length as arity if needed. Raises
+    [Invalid_argument] if a component is outside the universe. *)
+val add_fact : t -> string -> Tuple.t -> unit
+
+val relation : t -> string -> Relation.t
+val relation_opt : t -> string -> Relation.t option
+val arity_of : t -> string -> int
+
+(** Maximum arity over the signature; [0] for an empty signature. *)
+val max_arity : t -> int
+
+(** The paper's [‖A‖]. *)
+val size : t -> int
+
+val holds : t -> string -> Tuple.t -> bool
+val copy : t -> t
+
+(** [induced s elements] — the substructure induced on the given universe
+    elements (deduplicated): element [i] of the sorted list becomes the
+    new universe element [i]; facts keep only tuples fully inside the
+    subset. Empty relations are preserved as declarations. *)
+val induced : t -> int list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** [of_facts ~universe_size facts] builds a structure from
+    [(name, tuple)] pairs. *)
+val of_facts : universe_size:int -> (string * Tuple.t) list -> t
+
+(** [with_singletons s] returns a copy with a unary relation ["=v"]
+    = [{v}] for every universe element [v] — the constant-implementation
+    trick from §1.1. *)
+val with_singletons : t -> t
+
+(** Name of the singleton relation for universe element [v]. *)
+val singleton_symbol : int -> string

@@ -1,0 +1,82 @@
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let structure = ref None in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let fail msg = failwith (Printf.sprintf "line %d: %s" lineno msg) in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let tokens =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun t -> t <> "")
+      in
+      match (tokens, !structure) with
+      | [], _ -> ()
+      | [ "universe"; n ], None -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> structure := Some (Structure.create ~universe_size:n)
+          | _ -> fail "invalid universe size")
+      | [ "universe"; _ ], Some _ -> fail "duplicate universe declaration"
+      | [ "relation"; name; arity ], Some s -> (
+          match int_of_string_opt arity with
+          | Some a when a >= 1 -> (
+              match Structure.declare s name ~arity:a with
+              | () -> ()
+              | exception Invalid_argument msg -> fail msg)
+          | _ -> fail "invalid relation arity")
+      | _, None -> fail "expected `universe <n>` first"
+      | name :: args, Some s -> (
+          let values =
+            List.map
+              (fun a ->
+                match int_of_string_opt a with
+                | Some v -> v
+                | None -> fail (Printf.sprintf "invalid element %S" a))
+              args
+          in
+          if values = [] then fail "facts need at least one element";
+          match Structure.add_fact s name (Array.of_list values) with
+          | () -> ()
+          | exception Invalid_argument msg -> fail msg))
+    lines;
+  match !structure with
+  | Some s -> s
+  | None -> failwith "empty database file (missing `universe <n>`)"
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  of_string content
+
+let to_string s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "universe %d\n" (Structure.universe_size s));
+  List.iter
+    (fun name ->
+      Buffer.add_string buf
+        (Printf.sprintf "relation %s %d\n" name (Structure.arity_of s name)))
+    (Structure.symbols s);
+  List.iter
+    (fun name ->
+      let tuples =
+        Relation.to_list (Structure.relation s name) |> List.sort Tuple.compare
+      in
+      List.iter
+        (fun tuple ->
+          Buffer.add_string buf name;
+          Array.iter (fun v -> Buffer.add_string buf (" " ^ string_of_int v)) tuple;
+          Buffer.add_char buf '\n')
+        tuples)
+    (Structure.symbols s);
+  Buffer.contents buf
+
+let save path s =
+  let oc = open_out path in
+  output_string oc (to_string s);
+  close_out oc

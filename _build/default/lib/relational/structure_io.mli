@@ -1,0 +1,24 @@
+(** Plain-text serialisation of structures/databases.
+
+    Format (one item per line, [#] comments and blank lines ignored):
+
+    {v
+    # people and friendships
+    universe 6
+    F 0 1
+    F 1 0
+    P 3
+    v}
+
+    The first non-comment line must be [universe <n>]. A line
+    [relation <name> <arity>] declares a (possibly empty) relation; any
+    other line is a fact [<name> <v_1> .. <v_k>], implicitly declaring the
+    symbol with the fact's length as arity. *)
+
+val of_string : string -> Structure.t
+
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+val load : string -> Structure.t
+
+val to_string : Structure.t -> string
+val save : string -> Structure.t -> unit

@@ -1,0 +1,1 @@
+lib/workload/dbgen.ml: Ac_relational Array Float Graph List Random

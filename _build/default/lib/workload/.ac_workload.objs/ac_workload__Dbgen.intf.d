@@ -1,0 +1,1 @@
+lib/workload/dbgen.mli: Ac_relational Random

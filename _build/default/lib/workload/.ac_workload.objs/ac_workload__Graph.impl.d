@@ -1,0 +1,1 @@
+lib/workload/graph.ml: Ac_hypergraph Ac_relational Array Fun Hashtbl Int List Random

@@ -1,0 +1,1 @@
+lib/workload/graph.mli: Ac_hypergraph Ac_relational Random

@@ -1,0 +1,1 @@
+lib/workload/query_families.ml: Ac_query Array Fun Graph List

@@ -1,0 +1,1 @@
+lib/workload/query_families.mli: Ac_query Graph

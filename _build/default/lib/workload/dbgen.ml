@@ -1,0 +1,36 @@
+module Structure = Ac_relational.Structure
+
+let pow_capped base exp cap =
+  let rec go acc n =
+    if n = 0 then acc
+    else if acc > cap / base then cap + 1
+    else go (acc * base) (n - 1)
+  in
+  go 1 exp
+
+let random_structure ~rng ~universe_size relations =
+  let s = Structure.create ~universe_size in
+  List.iter
+    (fun (name, arity, count) ->
+      Structure.declare s name ~arity;
+      let space = pow_capped universe_size arity 10_000_000 in
+      let count = min count space in
+      let rel = Structure.relation s name in
+      let attempts = ref 0 in
+      while
+        Ac_relational.Relation.cardinality rel < count && !attempts < 100 * (count + 1)
+      do
+        incr attempts;
+        let tuple = Array.init arity (fun _ -> Random.State.int rng universe_size) in
+        Ac_relational.Relation.add rel tuple
+      done)
+    relations;
+  s
+
+let friends_database ~rng ~n ~avg_degree =
+  let p = if n <= 1 then 0.0 else avg_degree /. float_of_int (n - 1) in
+  let g = Graph.random_gnp ~rng n (Float.min 1.0 p) in
+  Graph.to_structure ~symbol:"F" g
+
+let high_arity_database ~rng ~universe_size ~arity ~count =
+  random_structure ~rng ~universe_size [ ("R", arity, count) ]

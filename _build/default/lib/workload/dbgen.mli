@@ -1,0 +1,24 @@
+(** Random database generators for the experiments. *)
+
+(** [random_structure ~rng ~universe_size relations] builds a database
+    with, for each [(name, arity, count)], [count] distinct uniform random
+    tuples (or all tuples if [count] exceeds [universe_size^arity]). *)
+val random_structure :
+  rng:Random.State.t ->
+  universe_size:int ->
+  (string * int * int) list ->
+  Ac_relational.Structure.t
+
+(** A random "friends" database: a symmetric binary relation [F] over
+    [n] people with expected degree [avg_degree]. *)
+val friends_database :
+  rng:Random.State.t -> n:int -> avg_degree:float -> Ac_relational.Structure.t
+
+(** Database whose single relation [R] of the given arity contains
+    [count] random tuples; used by the high-arity DCQ experiments. *)
+val high_arity_database :
+  rng:Random.State.t ->
+  universe_size:int ->
+  arity:int ->
+  count:int ->
+  Ac_relational.Structure.t

@@ -1,0 +1,156 @@
+module Ecq = Ac_query.Ecq
+
+let friends () =
+  (* x = 0, y = 1, z = 2 *)
+  Ecq.make
+    ~var_names:[| "x"; "y"; "z" |]
+    ~num_free:1 ~num_vars:3
+    [ Ecq.Atom ("F", [| 0; 1 |]); Ecq.Atom ("F", [| 0; 2 |]); Ecq.Diseq (1, 2) ]
+
+let star_distinct k =
+  if k < 1 then invalid_arg "Query_families.star_distinct";
+  (* free x_0..x_{k-1}, existential centre y = k *)
+  let atoms = List.init k (fun i -> Ecq.Atom ("E", [| k; i |])) in
+  let diseqs = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      diseqs := Ecq.Diseq (i, j) :: !diseqs
+    done
+  done;
+  Ecq.make ~num_free:k ~num_vars:(k + 1) (atoms @ !diseqs)
+
+let path_endpoints n =
+  if n < 1 then invalid_arg "Query_families.path_endpoints";
+  (* variables: 0 = x (start), 1 = y (end), 2.. = middles; path 0 - 2 - 3
+     - .. - 1 with n edges *)
+  if n = 1 then Ecq.make ~num_free:2 ~num_vars:2 [ Ecq.Atom ("E", [| 0; 1 |]) ]
+  else begin
+    let middle i = 2 + i in
+    let atoms =
+      Ecq.Atom ("E", [| 0; middle 0 |])
+      :: Ecq.Atom ("E", [| middle (n - 2); 1 |])
+      :: List.init (n - 2) (fun i -> Ecq.Atom ("E", [| middle i; middle (i + 1) |]))
+    in
+    Ecq.make ~num_free:2 ~num_vars:(n + 1) atoms
+  end
+
+let triangle_negation () =
+  Ecq.make
+    ~var_names:[| "x"; "y"; "z" |]
+    ~num_free:2 ~num_vars:3
+    [
+      Ecq.Atom ("E", [| 0; 1 |]);
+      Ecq.Atom ("E", [| 1; 2 |]);
+      Ecq.Neg_atom ("E", [| 0; 2 |]);
+      Ecq.Diseq (0, 2);
+    ]
+
+let grid_query ?(num_free = 1) rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Query_families.grid_query";
+  let n = rows * cols in
+  if num_free < 0 || num_free > n then invalid_arg "Query_families.grid_query";
+  let idx i j = (i * cols) + j in
+  let atoms = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if j + 1 < cols then atoms := Ecq.Atom ("E", [| idx i j; idx i (j + 1) |]) :: !atoms;
+      if i + 1 < rows then atoms := Ecq.Atom ("E", [| idx i j; idx (i + 1) j |]) :: !atoms
+    done
+  done;
+  let atoms = if !atoms = [] then [ Ecq.Atom ("V", [| 0 |]) ] else !atoms in
+  Ecq.make ~num_free ~num_vars:n atoms
+
+let hamiltonian n =
+  if n < 2 then invalid_arg "Query_families.hamiltonian";
+  let atoms = List.init (n - 1) (fun i -> Ecq.Atom ("E", [| i; i + 1 |])) in
+  let q = Ecq.make ~num_free:n ~num_vars:n atoms in
+  Ecq.all_pairs_diseq_free q
+
+let lihom g =
+  let k = Graph.num_vertices g in
+  if k < 1 then invalid_arg "Query_families.lihom";
+  let atoms =
+    List.map (fun (u, v) -> Ecq.Atom ("E", [| u; v |])) (Graph.edges g)
+  in
+  let diseqs =
+    List.map (fun (u, v) -> Ecq.Diseq (u, v)) (Graph.common_neighbour_pairs g)
+  in
+  let atoms =
+    (* isolated vertices still need an atom; bind them with a unary V *)
+    let covered = Array.make k false in
+    List.iter
+      (fun (u, v) ->
+        covered.(u) <- true;
+        covered.(v) <- true)
+      (Graph.edges g);
+    let unary =
+      List.init k Fun.id
+      |> List.filter_map (fun v ->
+             if covered.(v) then None else Some (Ecq.Atom ("V", [| v |])))
+    in
+    atoms @ unary
+  in
+  Ecq.make ~num_free:k ~num_vars:k (atoms @ diseqs)
+
+let wide_path ?(num_free = 2) ~k ~arity () =
+  if k < 1 || arity < 2 then invalid_arg "Query_families.wide_path";
+  (* atom i covers variables [i*(a-1) .. i*(a-1) + a - 1]; consecutive
+     atoms share exactly one variable *)
+  let num_vars = (k * (arity - 1)) + 1 in
+  if num_free > num_vars then invalid_arg "Query_families.wide_path";
+  let atoms =
+    List.init k (fun i ->
+        Ecq.Atom ("R", Array.init arity (fun j -> (i * (arity - 1)) + j)))
+  in
+  let diseqs =
+    List.init k (fun i ->
+        let base = i * (arity - 1) in
+        Ecq.Diseq (base, base + 1))
+  in
+  Ecq.make ~num_free ~num_vars (atoms @ diseqs)
+
+let fractional_triangle () =
+  Ecq.make
+    ~var_names:[| "x"; "y"; "z" |]
+    ~num_free:1 ~num_vars:3
+    [
+      Ecq.Atom ("E1", [| 0; 1 |]);
+      Ecq.Atom ("E2", [| 1; 2 |]);
+      Ecq.Atom ("E3", [| 2; 0 |]);
+    ]
+
+let acyclic_join () =
+  Ecq.make
+    ~var_names:[| "x"; "y"; "z"; "w" |]
+    ~num_free:2 ~num_vars:4
+    [
+      Ecq.Atom ("R", [| 0; 2 |]);
+      Ecq.Atom ("S", [| 2; 1 |]);
+      Ecq.Atom ("T", [| 2; 3 |]);
+    ]
+
+let clique_query ?(num_free = 2) k =
+  if k < 2 then invalid_arg "Query_families.clique_query";
+  if num_free < 0 || num_free > k then invalid_arg "Query_families.clique_query";
+  let atoms = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      atoms := Ecq.Atom ("E", [| i; j |]) :: !atoms
+    done
+  done;
+  Ecq.make ~num_free ~num_vars:k !atoms
+
+let landscape () =
+  [
+    ("friends (eq. 1)", friends ());
+    ("star-distinct k=3", star_distinct 3);
+    ("path n=4", path_endpoints 4);
+    ("triangle-negation", triangle_negation ());
+    ("grid 2x3", grid_query 2 3);
+    ("grid 3x3", grid_query 3 3);
+    ("hamiltonian n=5", hamiltonian 5);
+    ("wide-path k=3 a=4", wide_path ~k:3 ~arity:4 ());
+    ("fractional-triangle", fractional_triangle ());
+    ("acyclic-join", acyclic_join ());
+    ("clique k=4", clique_query 4);
+  ]

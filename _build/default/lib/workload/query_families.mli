@@ -1,0 +1,56 @@
+(** The query families exercised by the paper's claims (see DESIGN.md §4).
+
+    Each constructor documents which experiment and theorem it belongs
+    to. All queries use relation symbols matching the generators in
+    {!Dbgen} / {!Graph}. *)
+
+(** Equation (1): [φ(x) = ∃y ∃z. F(x,y) ∧ F(x,z) ∧ y ≠ z] — "people with
+    at least two friends". DCQ, tw 1. (E1) *)
+val friends : unit -> Ac_query.Ecq.t
+
+(** Footnote 4 with distinctness: [φ(x_1..x_k) = ∃y. ⋀ E(y, x_i)] plus
+    pairwise disequalities on the [x_i]. DCQ, tw 1, ℓ = k. (E1) *)
+val star_distinct : int -> Ac_query.Ecq.t
+
+(** [φ(x, y) = ∃ mid. E-path of length n] from [x] to [y]. CQ, tw 1. *)
+val path_endpoints : int -> Ac_query.Ecq.t
+
+(** ECQ with a negated atom:
+    [φ(x,y) = ∃z. E(x,y) ∧ E(y,z) ∧ ¬E(x,z) ∧ x ≠ z]. tw 2, arity 2. (E1) *)
+val triangle_negation : unit -> Ac_query.Ecq.t
+
+(** CQ whose hypergraph is the [r × c] grid; treewidth [min r c]. The
+    first [num_free] variables (default 1) are free. (E3) *)
+val grid_query : ?num_free:int -> int -> int -> Ac_query.Ecq.t
+
+(** Observation 10: [φ(x_1..x_n) = ⋀ E(x_i, x_{i+1}) ∧ ⋀_{i<j} x_i ≠ x_j];
+    answers = Hamiltonian paths. DCQ, tw 1. (E4) *)
+val hamiltonian : int -> Ac_query.Ecq.t
+
+(** Corollary 6: [φ(G)] whose answers in [D(G')] are the locally injective
+    homomorphisms from [G] to [G']. (E2) *)
+val lihom : Graph.t -> Ac_query.Ecq.t
+
+(** High-arity bounded-adaptive-width DCQ: [k] atoms of arity [a] over
+    relation [R], consecutive atoms chaining on one shared variable, plus
+    one disequality inside each atom. Every bag is covered by one atom, so
+    fhw = aw-bound = 1 while the arity grows. First [num_free] variables
+    free (default 2). (E5) *)
+val wide_path : ?num_free:int -> k:int -> arity:int -> unit -> Ac_query.Ecq.t
+
+(** Triangle with three distinct symbols:
+    [φ(x) = ∃y z. E1(x,y) ∧ E2(y,z) ∧ E3(z,x)] — fhw = 1.5 < hw = 2:
+    the family separating Theorem 16 from Theorem 38. (E6) *)
+val fractional_triangle : unit -> Ac_query.Ecq.t
+
+(** Acyclic join with quantified middle variables:
+    [φ(x, y) = ∃z w. R(x,z) ∧ S(z,y) ∧ T(z,w)]. hw 1. (E6) *)
+val acyclic_join : unit -> Ac_query.Ecq.t
+
+(** [clique_query ?num_free k]: CQ whose hypergraph is [K_k]
+    (treewidth k-1) — counts edges/tuples extendable to a k-clique. The
+    family driving the exact-counting wall of E3. Default [num_free] 2. *)
+val clique_query : ?num_free:int -> int -> Ac_query.Ecq.t
+
+(** Named family list for the width-landscape experiment (E7). *)
+val landscape : unit -> (string * Ac_query.Ecq.t) list

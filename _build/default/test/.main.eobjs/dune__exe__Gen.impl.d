@@ -1,0 +1,1 @@
+test/gen.ml: Ac_query Ac_relational Array Fun List QCheck2

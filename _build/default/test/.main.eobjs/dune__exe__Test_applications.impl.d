@@ -1,0 +1,1 @@
+test/test_applications.ml: Ac_hypergraph Ac_query Ac_workload Alcotest Approxcount Fun List QCheck2 QCheck_alcotest Random

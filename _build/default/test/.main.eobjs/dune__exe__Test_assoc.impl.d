@@ -1,0 +1,1 @@
+test/test_assoc.ml: Ac_hom Ac_query Ac_relational Ac_workload Alcotest Approxcount Array Ecq Fun Gen List QCheck2 QCheck_alcotest Random Relation Structure

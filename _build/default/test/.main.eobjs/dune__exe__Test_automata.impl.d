@@ -1,0 +1,1 @@
+test/test_automata.ml: Ac_automata Acjr Alcotest Exact_ta Float List Ltree QCheck2 QCheck_alcotest Tree_automaton

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Ac_hypergraph Alcotest Bitset Int List QCheck2 QCheck_alcotest

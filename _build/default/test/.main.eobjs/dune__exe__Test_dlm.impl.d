@@ -1,0 +1,1 @@
+test/test_dlm.ml: Ac_dlm Alcotest Array Edge_count Float Fun List Partite Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_fpras.ml: Ac_automata Ac_hypergraph Ac_query Ac_relational Ac_workload Alcotest Approxcount Array Float Fun Gen Hashtbl List QCheck2 QCheck_alcotest Random

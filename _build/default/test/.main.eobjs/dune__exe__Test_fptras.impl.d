@@ -1,0 +1,1 @@
+test/test_fptras.ml: Ac_query Ac_relational Ac_workload Alcotest Approxcount Float Gen List Printf QCheck2 QCheck_alcotest Random

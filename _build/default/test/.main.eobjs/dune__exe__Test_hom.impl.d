@@ -1,0 +1,1 @@
+test/test_hom.ml: Ac_hom Ac_hypergraph Ac_relational Alcotest Array Fun Hom List QCheck2 QCheck_alcotest Structure

@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Ac_hypergraph Alcotest Array Bitset Hypergraph List QCheck2 QCheck_alcotest

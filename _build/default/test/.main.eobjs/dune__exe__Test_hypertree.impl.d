@@ -1,0 +1,1 @@
+test/test_hypertree.ml: Ac_hypergraph Alcotest Array Fun Hypergraph Hypertree List QCheck2 QCheck_alcotest Widths

@@ -1,0 +1,1 @@
+test/test_io.ml: Ac_relational Alcotest Filename Gen QCheck2 QCheck_alcotest Structure Structure_io Sys

@@ -1,0 +1,1 @@
+test/test_join.ml: Ac_join Ac_relational Alcotest Array Generic_join List QCheck2 QCheck_alcotest Relation

@@ -1,0 +1,1 @@
+test/test_misc.ml: Ac_automata Ac_dlm Ac_hypergraph Ac_query Ac_relational Ac_workload Alcotest Approxcount Array Float Gen List QCheck2 QCheck_alcotest Random

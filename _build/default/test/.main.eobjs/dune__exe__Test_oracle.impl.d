@@ -1,0 +1,1 @@
+test/test_oracle.ml: Ac_dlm Ac_query Ac_relational Ac_workload Alcotest Approxcount Array Fun Gen List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_planner.ml: Ac_dlm Ac_hom Ac_query Ac_relational Ac_workload Alcotest Approxcount Array Float Fun Hashtbl List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_query.ml: Ac_hypergraph Ac_query Ac_relational Alcotest Ecq List Structure

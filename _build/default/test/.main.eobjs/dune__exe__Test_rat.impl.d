@@ -1,0 +1,1 @@
+test/test_rat.ml: Ac_hypergraph Ac_lp Alcotest Array Float List QCheck2 QCheck_alcotest Rat Simplex_exact

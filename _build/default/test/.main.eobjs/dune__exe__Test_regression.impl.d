@@ -1,0 +1,1 @@
+test/test_regression.ml: Ac_query Ac_relational Ac_workload Alcotest Approxcount Float List Printf Random String

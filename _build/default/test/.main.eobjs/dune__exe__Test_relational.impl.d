@@ -1,0 +1,1 @@
+test/test_relational.ml: Ac_relational Alcotest List QCheck2 QCheck_alcotest Relation Structure Tuple

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Ac_query Ac_relational Ac_workload Alcotest Approxcount Array Float Gen Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_simplex.ml: Ac_lp Alcotest Array List QCheck2 QCheck_alcotest Random Simplex

@@ -1,0 +1,1 @@
+test/test_trie.ml: Ac_join Ac_relational Alcotest Array List Relation Trie

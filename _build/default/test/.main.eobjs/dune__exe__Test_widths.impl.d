@@ -1,0 +1,1 @@
+test/test_widths.ml: Ac_hypergraph Alcotest Array Bitset Float Fun Hypergraph List QCheck2 QCheck_alcotest Tree_decomposition Widths

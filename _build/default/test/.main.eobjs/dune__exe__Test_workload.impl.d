@@ -1,0 +1,1 @@
+test/test_workload.ml: Ac_hypergraph Ac_query Ac_relational Ac_workload Alcotest Approxcount List QCheck2 QCheck_alcotest Random

@@ -1,0 +1,76 @@
+(* Shared random generators for query/database pairs. *)
+
+module Ecq = Ac_query.Ecq
+module Structure = Ac_relational.Structure
+
+open QCheck2.Gen
+
+(* Random ECQ over 2–4 variables with symbols E/2, R/2, P/1; every
+   variable is covered (uncovered ones get a unary P atom). *)
+let ecq ~allow_neg ~allow_diseq =
+  int_range 2 4 >>= fun num_vars ->
+  int_range 0 num_vars >>= fun num_free ->
+  list_size (int_range 1 3)
+    (triple (oneofl [ `E; `R; `P ]) (int_range 0 (num_vars - 1))
+       (int_range 0 (num_vars - 1)))
+  >>= fun preds ->
+  (if allow_neg then oneofl [ []; [ `Neg ] ] else return []) >>= fun neg ->
+  (if allow_diseq then
+     list_size (int_range 0 2)
+       (pair (int_range 0 (num_vars - 1)) (int_range 0 (num_vars - 1)))
+   else return [])
+  >>= fun diseq_raw ->
+  int_range 0 (num_vars - 1) >>= fun nv1 ->
+  int_range 0 (num_vars - 1) >>= fun nv2 ->
+  let atoms =
+    List.map
+      (fun (sym, a, b) ->
+        match sym with
+        | `E -> Ecq.Atom ("E", [| a; b |])
+        | `R -> Ecq.Atom ("R", [| a; b |])
+        | `P -> Ecq.Atom ("P", [| a |]))
+      preds
+  in
+  let atoms =
+    atoms
+    @ (match neg with [ `Neg ] -> [ Ecq.Neg_atom ("E", [| nv1; nv2 |]) ] | _ -> [])
+  in
+  let diseqs =
+    List.filter_map
+      (fun (i, j) -> if i <> j then Some (Ecq.Diseq (i, j)) else None)
+      diseq_raw
+  in
+  let covered = Array.make num_vars false in
+  List.iter
+    (function
+      | Ecq.Atom (_, vs) | Ecq.Neg_atom (_, vs) ->
+          Array.iter (fun v -> covered.(v) <- true) vs
+      | Ecq.Diseq (i, j) ->
+          covered.(i) <- true;
+          covered.(j) <- true)
+    (atoms @ diseqs);
+  let fillers =
+    List.init num_vars Fun.id
+    |> List.filter_map (fun v ->
+           if covered.(v) then None else Some (Ecq.Atom ("P", [| v |])))
+  in
+  return (Ecq.make ~num_free ~num_vars (atoms @ fillers @ diseqs))
+
+(* A database compatible with any query built by [ecq]. *)
+let db =
+  int_range 2 5 >>= fun u ->
+  list_size (int_range 0 12) (pair (int_range 0 (u - 1)) (int_range 0 (u - 1)))
+  >>= fun es ->
+  list_size (int_range 0 12) (pair (int_range 0 (u - 1)) (int_range 0 (u - 1)))
+  >>= fun rs ->
+  list_size (int_range 0 4) (int_range 0 (u - 1)) >>= fun ps ->
+  let s = Structure.create ~universe_size:u in
+  Structure.declare s "E" ~arity:2;
+  Structure.declare s "R" ~arity:2;
+  Structure.declare s "P" ~arity:1;
+  List.iter (fun (a, b) -> Structure.add_fact s "E" [| a; b |]) es;
+  List.iter (fun (a, b) -> Structure.add_fact s "R" [| a; b |]) rs;
+  List.iter (fun a -> Structure.add_fact s "P" [| a |]) ps;
+  return s
+
+let ecq_with_db ~allow_neg ~allow_diseq = pair (ecq ~allow_neg ~allow_diseq) db

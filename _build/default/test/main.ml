@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "approxcount"
+    [
+      ("simplex", Test_simplex.tests);
+      ("rational", Test_rat.tests);
+      ("bitset", Test_bitset.tests);
+      ("relational", Test_relational.tests);
+      ("io", Test_io.tests);
+      ("hypergraph", Test_hypergraph.tests);
+      ("decomposition", Test_decomposition.tests);
+      ("widths", Test_widths.tests);
+      ("hypertree", Test_hypertree.tests);
+      ("query", Test_query.tests);
+      ("trie", Test_trie.tests);
+      ("join", Test_join.tests);
+      ("hom", Test_hom.tests);
+      ("dlm", Test_dlm.tests);
+      ("automata", Test_automata.tests);
+      ("assoc", Test_assoc.tests);
+      ("oracle", Test_oracle.tests);
+      ("fptras", Test_fptras.tests);
+      ("fpras", Test_fpras.tests);
+      ("applications", Test_applications.tests);
+      ("sampling", Test_sampling.tests);
+      ("workload", Test_workload.tests);
+      ("regression", Test_regression.tests);
+      ("planner-ucq-core", Test_planner.tests);
+      ("misc", Test_misc.tests);
+    ]

@@ -1,0 +1,69 @@
+open Ac_hypergraph
+
+(* Model-based qcheck: bitsets against sorted-int-list sets. *)
+
+let capacity = 100
+
+let gen_elements = QCheck2.Gen.(list_size (int_range 0 20) (int_range 0 (capacity - 1)))
+
+let model_of l = List.sort_uniq Int.compare l
+
+let prop_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"of_list/to_list roundtrip" gen_elements
+    (fun l ->
+      Bitset.to_list (Bitset.of_list ~capacity l) = model_of l)
+
+let prop_ops =
+  QCheck2.Test.make ~count:200 ~name:"union/inter/diff model"
+    QCheck2.Gen.(pair gen_elements gen_elements)
+    (fun (a, b) ->
+      let sa = Bitset.of_list ~capacity a and sb = Bitset.of_list ~capacity b in
+      let ma = model_of a and mb = model_of b in
+      Bitset.to_list (Bitset.union sa sb) = model_of (ma @ mb)
+      && Bitset.to_list (Bitset.inter sa sb) = List.filter (fun x -> List.mem x mb) ma
+      && Bitset.to_list (Bitset.diff sa sb)
+         = List.filter (fun x -> not (List.mem x mb)) ma
+      && Bitset.cardinal sa = List.length ma
+      && Bitset.subset sa (Bitset.union sa sb)
+      && Bitset.equal (Bitset.inter sa sa) sa)
+
+let prop_add_remove =
+  QCheck2.Test.make ~count:200 ~name:"add/remove/mem"
+    QCheck2.Gen.(pair gen_elements (int_range 0 (capacity - 1)))
+    (fun (l, x) ->
+      let s = Bitset.of_list ~capacity l in
+      Bitset.mem (Bitset.add s x) x
+      && (not (Bitset.mem (Bitset.remove s x) x))
+      && Bitset.equal (Bitset.remove (Bitset.add s x) x) (Bitset.remove s x))
+
+let prop_hash_equal =
+  QCheck2.Test.make ~count:200 ~name:"equal implies same hash"
+    QCheck2.Gen.(pair gen_elements gen_elements)
+    (fun (a, b) ->
+      let sa = Bitset.of_list ~capacity a and sb = Bitset.of_list ~capacity b in
+      (not (Bitset.equal sa sb)) || Bitset.hash sa = Bitset.hash sb)
+
+let test_basics () =
+  let s = Bitset.of_list ~capacity:70 [ 0; 5; 63; 64; 69 ] in
+  Alcotest.(check (list int)) "to_list" [ 0; 5; 63; 64; 69 ] (Bitset.to_list s);
+  Alcotest.(check int) "cardinal" 5 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem s 64);
+  Alcotest.(check bool) "not mem 1" false (Bitset.mem s 1);
+  Alcotest.(check bool) "choose" true (Bitset.choose s = Some 0);
+  Alcotest.(check bool) "empty" true (Bitset.is_empty (Bitset.create ~capacity:10));
+  Alcotest.(check int) "full" 10 (Bitset.cardinal (Bitset.full ~capacity:10))
+
+let test_capacity_mismatch () =
+  let a = Bitset.create ~capacity:5 and b = Bitset.create ~capacity:6 in
+  Alcotest.check_raises "union mismatch" (Invalid_argument "Bitset: capacity mismatch")
+    (fun () -> ignore (Bitset.union a b))
+
+let tests =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "capacity mismatch" `Quick test_capacity_mismatch;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_ops;
+    QCheck_alcotest.to_alcotest prop_add_remove;
+    QCheck_alcotest.to_alcotest prop_hash_equal;
+  ]

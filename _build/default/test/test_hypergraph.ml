@@ -1,0 +1,66 @@
+open Ac_hypergraph
+
+let bs capacity l = Bitset.of_list ~capacity l
+
+let test_create_dedup () =
+  let h = Hypergraph.create ~num_vertices:4 [ [ 0; 1 ]; [ 1; 0 ]; [ 2; 3 ] ] in
+  Alcotest.(check int) "dedup edges" 2 (Hypergraph.num_edges h);
+  Alcotest.(check int) "arity" 2 (Hypergraph.arity h)
+
+let test_families () =
+  Alcotest.(check int) "path edges" 4 (Hypergraph.num_edges (Hypergraph.path 5));
+  Alcotest.(check int) "cycle edges" 5 (Hypergraph.num_edges (Hypergraph.cycle 5));
+  Alcotest.(check int) "clique edges" 10 (Hypergraph.num_edges (Hypergraph.clique 5));
+  Alcotest.(check int) "star edges" 4 (Hypergraph.num_edges (Hypergraph.star 4));
+  Alcotest.(check int) "grid 2x3 edges" 7 (Hypergraph.num_edges (Hypergraph.grid 2 3));
+  let hc = Hypergraph.hypercycle 3 in
+  Alcotest.(check int) "hypercycle vertices" 6 (Hypergraph.num_vertices hc);
+  Alcotest.(check int) "hypercycle arity" 3 (Hypergraph.arity hc)
+
+let test_induced () =
+  let h = Hypergraph.create ~num_vertices:4 [ [ 0; 1; 2 ]; [ 2; 3 ] ] in
+  let sub = Hypergraph.induced_edges h (bs 4 [ 0; 2; 3 ]) in
+  let sorted = List.sort Bitset.compare sub in
+  Alcotest.(check int) "two induced edges" 2 (List.length sorted);
+  Alcotest.(check bool) "contains {0,2}" true
+    (List.exists (Bitset.equal (bs 4 [ 0; 2 ])) sorted);
+  Alcotest.(check bool) "contains {2,3}" true
+    (List.exists (Bitset.equal (bs 4 [ 2; 3 ])) sorted)
+
+let test_primal () =
+  let h = Hypergraph.create ~num_vertices:4 [ [ 0; 1; 2 ]; [ 2; 3 ] ] in
+  let adj = Hypergraph.primal_adjacency h in
+  Alcotest.(check (list int)) "adj 0" [ 1; 2 ] (Bitset.to_list adj.(0));
+  Alcotest.(check (list int)) "adj 2" [ 0; 1; 3 ] (Bitset.to_list adj.(2));
+  Alcotest.(check bool) "no self loop" false (Bitset.mem adj.(2) 2)
+
+let test_covered () =
+  let h = Hypergraph.create ~num_vertices:4 [ [ 0; 1; 2 ] ] in
+  Alcotest.(check bool) "covered" true (Hypergraph.covered_by_edge h (bs 4 [ 0; 2 ]));
+  Alcotest.(check bool) "not covered" false (Hypergraph.covered_by_edge h (bs 4 [ 0; 3 ]))
+
+let test_incident () =
+  let h = Hypergraph.create ~num_vertices:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  Alcotest.(check int) "two incident" 2 (List.length (Hypergraph.incident h 1))
+
+let prop_induced_subset =
+  QCheck2.Test.make ~count:100 ~name:"induced edges are subsets of X"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 6) (list_size (int_range 1 3) (int_range 0 7)))
+        (list_size (int_range 0 8) (int_range 0 7)))
+    (fun (edges, x) ->
+      let h = Hypergraph.create ~num_vertices:8 edges in
+      let xset = bs 8 x in
+      List.for_all (fun e -> Bitset.subset e xset) (Hypergraph.induced_edges h xset))
+
+let tests =
+  [
+    Alcotest.test_case "create dedup" `Quick test_create_dedup;
+    Alcotest.test_case "families" `Quick test_families;
+    Alcotest.test_case "induced" `Quick test_induced;
+    Alcotest.test_case "primal adjacency" `Quick test_primal;
+    Alcotest.test_case "covered_by_edge" `Quick test_covered;
+    Alcotest.test_case "incident" `Quick test_incident;
+    QCheck_alcotest.to_alcotest prop_induced_subset;
+  ]

@@ -1,0 +1,91 @@
+open Ac_hypergraph
+
+let gen_hypergraph =
+  QCheck2.Gen.(
+    int_range 2 7 >>= fun n ->
+    list_size (int_range 1 8) (list_size (int_range 1 3) (int_range 0 (n - 1)))
+    >>= fun edges ->
+    let edges = if edges = [] then [ [ 0 ] ] else edges in
+    let covered = Array.make n false in
+    List.iter (List.iter (fun v -> covered.(v) <- true)) edges;
+    let singles =
+      List.init n Fun.id
+      |> List.filter_map (fun v -> if covered.(v) then None else Some [ v ])
+    in
+    return (Hypergraph.create ~num_vertices:n (edges @ singles)))
+
+let test_single_edge () =
+  (* one big hyperedge: the one-bag decomposition has width 1 and
+     trivially satisfies the special condition *)
+  let h = Hypergraph.create ~num_vertices:4 [ [ 0; 1; 2; 3 ] ] in
+  let d = Hypertree.of_hypergraph h in
+  Alcotest.(check bool) "generalized" true (Hypertree.is_generalized h d);
+  Alcotest.(check int) "width 1" 1 (Hypertree.width d)
+
+let test_triangle_guards () =
+  let h = Hypergraph.cycle 3 in
+  let d = Hypertree.of_hypergraph h in
+  Alcotest.(check bool) "generalized" true (Hypertree.is_generalized h d);
+  (* integral cover of any 3-vertex bag of the triangle needs 2 edges *)
+  Alcotest.(check int) "width 2" 2 (Hypertree.width d)
+
+let test_path_width_one () =
+  let h = Hypergraph.path 6 in
+  let d = Hypertree.of_hypergraph h in
+  Alcotest.(check bool) "generalized" true (Hypertree.is_generalized h d);
+  Alcotest.(check int) "width 1" 1 (Hypertree.width d)
+
+let test_invalid_guard_detected () =
+  let h = Hypergraph.path 3 in
+  let td = Ac_hypergraph.Tree_decomposition.decompose h in
+  let d = Hypertree.of_tree_decomposition h td in
+  (* corrupt: drop all guards of node 0 *)
+  let bad = { d with Hypertree.guards = Array.map (fun _ -> []) d.Hypertree.guards } in
+  Alcotest.(check bool) "empty guards rejected" false (Hypertree.is_generalized h bad)
+
+let test_special_condition_violation () =
+  (* hand-built: root bag {1} guarded by the edge {0,1}, child bag {0,1}
+     below it — the root guard contains vertex 0, which occurs below but
+     not in the root bag: condition (iv) fails *)
+  let h = Hypergraph.create ~num_vertices:2 [ [ 0; 1 ]; [ 0 ]; [ 1 ] ] in
+  let e01 = Ac_hypergraph.Bitset.of_list ~capacity:2 [ 0; 1 ] in
+  let b1 = Ac_hypergraph.Bitset.of_list ~capacity:2 [ 1 ] in
+  let d =
+    {
+      Hypertree.bags = [| b1; e01 |];
+      parent = [| -1; 0 |];
+      guards = [| [ e01 ]; [ e01 ] |];
+    }
+  in
+  Alcotest.(check bool) "generalized holds" true (Hypertree.is_generalized h d);
+  Alcotest.(check bool) "special condition violated" false
+    (Hypertree.satisfies_special_condition d);
+  (* guarding the root with the singleton edge {1} instead repairs it *)
+  let good = { d with Hypertree.guards = [| [ b1 ]; [ e01 ] |] } in
+  Alcotest.(check bool) "repaired" true (Hypertree.is_valid h good)
+
+let prop_generalized_on_random =
+  QCheck2.Test.make ~count:100 ~name:"guarded decompositions are generalized HDs"
+    gen_hypergraph
+    (fun h ->
+      let d = Hypertree.of_hypergraph h in
+      Hypertree.is_generalized h d)
+
+let prop_width_matches_integral_cover =
+  QCheck2.Test.make ~count:60 ~name:"guard width = max bag integral cover"
+    gen_hypergraph
+    (fun h ->
+      let td = Ac_hypergraph.Tree_decomposition.decompose h in
+      let d = Hypertree.of_tree_decomposition h td in
+      Hypertree.width d = Widths.hw_of_decomposition h td)
+
+let tests =
+  [
+    Alcotest.test_case "single edge" `Quick test_single_edge;
+    Alcotest.test_case "triangle guards" `Quick test_triangle_guards;
+    Alcotest.test_case "path width one" `Quick test_path_width_one;
+    Alcotest.test_case "invalid guard detected" `Quick test_invalid_guard_detected;
+    Alcotest.test_case "special condition" `Quick test_special_condition_violation;
+    QCheck_alcotest.to_alcotest prop_generalized_on_random;
+    QCheck_alcotest.to_alcotest prop_width_matches_integral_cover;
+  ]

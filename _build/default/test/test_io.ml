@@ -1,0 +1,54 @@
+open Ac_relational
+
+let test_roundtrip () =
+  let s =
+    Structure.of_facts ~universe_size:5
+      [ ("E", [| 0; 1 |]); ("E", [| 1; 2 |]); ("P", [| 4 |]) ]
+  in
+  let s' = Structure_io.of_string (Structure_io.to_string s) in
+  Alcotest.(check bool) "roundtrip" true (Structure.equal s s')
+
+let test_parse_with_comments () =
+  let s =
+    Structure_io.of_string
+      "# a comment\n\nuniverse 3\nE 0 1 # trailing comment\n  E 1 2  \n"
+  in
+  Alcotest.(check int) "universe" 3 (Structure.universe_size s);
+  Alcotest.(check bool) "fact" true (Structure.holds s "E" [| 0; 1 |]);
+  Alcotest.(check bool) "trimmed" true (Structure.holds s "E" [| 1; 2 |])
+
+let expect_failure name input =
+  match Structure_io.of_string input with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail name
+
+let test_errors () =
+  expect_failure "missing universe" "E 0 1\n";
+  expect_failure "bad element" "universe 3\nE 0 x\n";
+  expect_failure "out of universe" "universe 2\nE 0 5\n";
+  expect_failure "duplicate universe" "universe 2\nuniverse 3\n";
+  expect_failure "empty" "";
+  expect_failure "arity clash" "universe 3\nE 0 1\nE 0\n"
+
+let test_save_load () =
+  let s = Structure.of_facts ~universe_size:4 [ ("R", [| 0; 1; 2 |]) ] in
+  let path = Filename.temp_file "acq_test" ".txt" in
+  Structure_io.save path s;
+  let s' = Structure_io.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "save/load" true (Structure.equal s s')
+
+let prop_roundtrip_random =
+  QCheck2.Test.make ~count:60 ~name:"io roundtrip on random structures" Gen.db
+    (fun db ->
+      Ac_relational.Structure.equal db
+        (Structure_io.of_string (Structure_io.to_string db)))
+
+let tests =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "comments and whitespace" `Quick test_parse_with_comments;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "save/load" `Quick test_save_load;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+  ]

@@ -1,0 +1,192 @@
+open Ac_query
+open Ac_relational
+
+let test_make_basic () =
+  let q =
+    Ecq.make ~num_free:1 ~num_vars:3
+      [ Ecq.Atom ("F", [| 0; 1 |]); Ecq.Atom ("F", [| 0; 2 |]); Ecq.Diseq (1, 2) ]
+  in
+  Alcotest.(check int) "free" 1 (Ecq.num_free q);
+  Alcotest.(check int) "existential" 2 (Ecq.num_existential q);
+  (* ‖φ‖ = 3 vars + 2 + 2 + 2 = 9 *)
+  Alcotest.(check int) "size" 9 (Ecq.size q);
+  Alcotest.(check int) "predicates" 2 (Ecq.num_predicates q);
+  Alcotest.(check int) "negated" 0 (Ecq.num_negated q);
+  Alcotest.(check bool) "is dcq" true (Ecq.is_dcq q);
+  Alcotest.(check bool) "not cq" false (Ecq.is_cq q);
+  Alcotest.(check (list (pair int int))) "delta" [ (1, 2) ] (Ecq.delta q)
+
+let test_make_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  expect_invalid "var out of range" (fun () ->
+      Ecq.make ~num_free:1 ~num_vars:1 [ Ecq.Atom ("E", [| 0; 1 |]) ]);
+  expect_invalid "unused variable" (fun () ->
+      Ecq.make ~num_free:1 ~num_vars:2 [ Ecq.Atom ("E", [| 0 |]) ]);
+  expect_invalid "self disequality" (fun () ->
+      Ecq.make ~num_free:1 ~num_vars:1 [ Ecq.Atom ("E", [| 0 |]); Ecq.Diseq (0, 0) ]);
+  expect_invalid "conflicting arity" (fun () ->
+      Ecq.make ~num_free:1 ~num_vars:2
+        [ Ecq.Atom ("E", [| 0; 1 |]); Ecq.Atom ("E", [| 0 |]) ]);
+  expect_invalid "free > vars" (fun () ->
+      Ecq.make ~num_free:3 ~num_vars:2 [ Ecq.Atom ("E", [| 0; 1 |]) ])
+
+let test_hypergraph () =
+  let q =
+    Ecq.make ~num_free:0 ~num_vars:3
+      [
+        Ecq.Atom ("E", [| 0; 1 |]);
+        Ecq.Neg_atom ("R", [| 1; 2 |]);
+        Ecq.Diseq (0, 2);
+      ]
+  in
+  let h = Ecq.hypergraph q in
+  Alcotest.(check int) "vertices" 3 (Ac_hypergraph.Hypergraph.num_vertices h);
+  (* edges from the atom and the negated atom, none from the disequality *)
+  Alcotest.(check int) "edges" 2 (Ac_hypergraph.Hypergraph.num_edges h)
+
+let test_hypergraph_diseq_only_var () =
+  (* a variable occurring only in disequalities gets a singleton edge *)
+  let q =
+    Ecq.make ~num_free:2 ~num_vars:2 [ Ecq.Atom ("P", [| 0 |]); Ecq.Diseq (0, 1) ]
+  in
+  let h = Ecq.hypergraph q in
+  Alcotest.(check int) "vertices" 2 (Ac_hypergraph.Hypergraph.num_vertices h);
+  Alcotest.(check int) "edges incl. singleton" 2 (Ac_hypergraph.Hypergraph.num_edges h)
+
+let test_signature_compat () =
+  let q =
+    Ecq.make ~num_free:1 ~num_vars:2
+      [ Ecq.Atom ("E", [| 0; 1 |]); Ecq.Neg_atom ("P", [| 1 |]) ]
+  in
+  Alcotest.(check (list (pair string int))) "signature" [ ("E", 2); ("P", 1) ]
+    (Ecq.signature q);
+  let db = Structure.of_facts ~universe_size:3 [ ("E", [| 0; 1 |]); ("P", [| 0 |]) ] in
+  Alcotest.(check bool) "compatible" true (Ecq.compatible_with q db);
+  let db2 = Structure.of_facts ~universe_size:3 [ ("E", [| 0; 1 |]) ] in
+  Alcotest.(check bool) "missing symbol" false (Ecq.compatible_with q db2);
+  let db3 = Structure.of_facts ~universe_size:3 [ ("E", [| 0 |]); ("P", [| 0 |]) ] in
+  Alcotest.(check bool) "wrong arity" false (Ecq.compatible_with q db3)
+
+let test_satisfied_by () =
+  let q =
+    Ecq.make ~num_free:1 ~num_vars:3
+      [
+        Ecq.Atom ("F", [| 0; 1 |]);
+        Ecq.Atom ("F", [| 0; 2 |]);
+        Ecq.Neg_atom ("F", [| 1; 2 |]);
+        Ecq.Diseq (1, 2);
+      ]
+  in
+  let db =
+    Structure.of_facts ~universe_size:4
+      [ ("F", [| 0; 1 |]); ("F", [| 0; 2 |]); ("F", [| 0; 3 |]); ("F", [| 1; 2 |]) ]
+  in
+  Alcotest.(check bool) "good" true (Ecq.satisfied_by q db [| 0; 1; 3 |]);
+  Alcotest.(check bool) "diseq violated" false (Ecq.satisfied_by q db [| 0; 1; 1 |]);
+  Alcotest.(check bool) "negation violated" false (Ecq.satisfied_by q db [| 0; 1; 2 |]);
+  Alcotest.(check bool) "atom violated" false (Ecq.satisfied_by q db [| 1; 0; 3 |])
+
+let test_parse () =
+  let q = Ecq.parse "ans(x, y) :- E(x, y), E(y, z), !R(x, z), x != z" in
+  Alcotest.(check int) "free" 2 (Ecq.num_free q);
+  Alcotest.(check int) "vars" 3 (Ecq.num_vars q);
+  Alcotest.(check int) "negated" 1 (Ecq.num_negated q);
+  Alcotest.(check (list (pair int int))) "delta" [ (0, 2) ] (Ecq.delta q);
+  Alcotest.(check string) "var name" "z" (Ecq.var_name q 2)
+
+let test_parse_not_keyword () =
+  let q = Ecq.parse "ans(x) :- E(x, y), not R(y, y)" in
+  Alcotest.(check int) "negated" 1 (Ecq.num_negated q)
+
+let test_parse_boolean () =
+  let q = Ecq.parse "ans() :- E(x, y)" in
+  Alcotest.(check int) "no free" 0 (Ecq.num_free q);
+  Alcotest.(check int) "two vars" 2 (Ecq.num_vars q)
+
+let test_parse_roundtrip () =
+  let original = "ans(x, y) :- E(x, y), E(y, z), !R(x, z), x != z" in
+  let q = Ecq.parse original in
+  let q2 = Ecq.parse (Ecq.to_string q) in
+  Alcotest.(check int) "same size" (Ecq.size q) (Ecq.size q2);
+  Alcotest.(check int) "same free" (Ecq.num_free q) (Ecq.num_free q2);
+  Alcotest.(check (list (pair int int))) "same delta" (Ecq.delta q) (Ecq.delta q2)
+
+let test_parse_errors () =
+  let expect_fail s =
+    match Ecq.parse s with
+    | exception Failure _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail ("expected parse failure: " ^ s)
+  in
+  expect_fail "foo(x) :- E(x, x)";
+  expect_fail "ans(x) :- ";
+  expect_fail "ans(x) :- E(x";
+  expect_fail "ans(x, x) :- E(x, x)"
+
+let test_add_diseqs () =
+  let q = Ecq.parse "ans(x, y) :- E(x, y)" in
+  let q' = Ecq.all_pairs_diseq_free q in
+  Alcotest.(check (list (pair int int))) "all pairs" [ (0, 1) ] (Ecq.delta q');
+  (* idempotent *)
+  let q'' = Ecq.all_pairs_diseq_free q' in
+  Alcotest.(check (list (pair int int))) "idempotent" [ (0, 1) ] (Ecq.delta q'')
+
+let tests =
+  [
+    Alcotest.test_case "make basic" `Quick test_make_basic;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "hypergraph" `Quick test_hypergraph;
+    Alcotest.test_case "hypergraph diseq-only var" `Quick test_hypergraph_diseq_only_var;
+    Alcotest.test_case "signature compat" `Quick test_signature_compat;
+    Alcotest.test_case "satisfied_by" `Quick test_satisfied_by;
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "parse not keyword" `Quick test_parse_not_keyword;
+    Alcotest.test_case "parse boolean" `Quick test_parse_boolean;
+    Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "add diseqs" `Quick test_add_diseqs;
+  ]
+
+let test_parse_equalities () =
+  (* §1.1 rewriting: x = z unifies an existential variable into a free one *)
+  let q = Ecq.parse "ans(x) :- E(x, y), E(y, z), x = z" in
+  Alcotest.(check int) "vars after unification" 2 (Ecq.num_vars q);
+  Alcotest.(check int) "free unchanged" 1 (Ecq.num_free q);
+  (* the rewritten query is E(x, y) ∧ E(y, x) *)
+  let db =
+    Ac_relational.Structure.of_facts ~universe_size:3
+      [ ("E", [| 0; 1 |]); ("E", [| 1; 0 |]); ("E", [| 1; 2 |]) ]
+  in
+  Alcotest.(check bool) "semantics" true
+    (Ecq.satisfied_by q db [| 0; 1 |]);
+  Alcotest.(check bool) "semantics neg" false (Ecq.satisfied_by q db [| 1; 2 |])
+
+let test_parse_equalities_existential () =
+  let q = Ecq.parse "ans(x) :- E(x, y), R(z, w), y = z" in
+  Alcotest.(check int) "vars" 3 (Ecq.num_vars q);
+  Alcotest.(check int) "atoms" 2 (List.length (Ecq.atoms q))
+
+let test_parse_equalities_two_free_rejected () =
+  match Ecq.parse "ans(x, y) :- E(x, y), x = y" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "two free variables equated must be rejected"
+
+let test_parse_equality_chain () =
+  (* a chain a = b = c collapses to one variable *)
+  let q = Ecq.parse "ans(x) :- E(x, a), P(b), P(c), a = b, b = c" in
+  Alcotest.(check int) "chain collapsed" 2 (Ecq.num_vars q)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "parse equalities" `Quick test_parse_equalities;
+      Alcotest.test_case "parse equalities existential" `Quick
+        test_parse_equalities_existential;
+      Alcotest.test_case "parse equality two free rejected" `Quick
+        test_parse_equalities_two_free_rejected;
+      Alcotest.test_case "parse equality chain" `Quick test_parse_equality_chain;
+    ]

@@ -1,0 +1,171 @@
+open Ac_lp
+
+let check_opt ~expected outcome =
+  match outcome with
+  | Simplex.Optimal { value; point } ->
+      Alcotest.(check (float 1e-6)) "objective" expected value;
+      Alcotest.(check bool) "point feasible" true (point |> Array.for_all (fun x -> x >= -1e-9))
+  | Simplex.Infeasible -> Alcotest.fail "unexpectedly infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpectedly unbounded"
+
+let test_basic_max () =
+  (* max x + y st x <= 2, y <= 3 *)
+  let outcome =
+    Simplex.maximize ~num_vars:2 ~objective:[| 1.0; 1.0 |]
+      [
+        Simplex.constr [| 1.0; 0.0 |] Simplex.Le 2.0;
+        Simplex.constr [| 0.0; 1.0 |] Simplex.Le 3.0;
+      ]
+  in
+  check_opt ~expected:5.0 outcome
+
+let test_classic_lp () =
+  (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 → 36 at (2, 6) *)
+  let outcome =
+    Simplex.maximize ~num_vars:2 ~objective:[| 3.0; 5.0 |]
+      [
+        Simplex.constr [| 1.0; 0.0 |] Simplex.Le 4.0;
+        Simplex.constr [| 0.0; 2.0 |] Simplex.Le 12.0;
+        Simplex.constr [| 3.0; 2.0 |] Simplex.Le 18.0;
+      ]
+  in
+  check_opt ~expected:36.0 outcome
+
+let test_minimize_with_ge () =
+  (* min x + y st x + y >= 2, x >= 0.5 → 2 *)
+  let outcome =
+    Simplex.minimize ~num_vars:2 ~objective:[| 1.0; 1.0 |]
+      [
+        Simplex.constr [| 1.0; 1.0 |] Simplex.Ge 2.0;
+        Simplex.constr [| 1.0; 0.0 |] Simplex.Ge 0.5;
+      ]
+  in
+  match outcome with
+  | Simplex.Optimal { value; _ } -> Alcotest.(check (float 1e-6)) "objective" 2.0 value
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_equality () =
+  (* max x st x + y = 3, y >= 1 → x = 2 *)
+  let outcome =
+    Simplex.maximize ~num_vars:2 ~objective:[| 1.0; 0.0 |]
+      [
+        Simplex.constr [| 1.0; 1.0 |] Simplex.Eq 3.0;
+        Simplex.constr [| 0.0; 1.0 |] Simplex.Ge 1.0;
+      ]
+  in
+  check_opt ~expected:2.0 outcome
+
+let test_infeasible () =
+  let outcome =
+    Simplex.maximize ~num_vars:1 ~objective:[| 1.0 |]
+      [
+        Simplex.constr [| 1.0 |] Simplex.Le 1.0;
+        Simplex.constr [| 1.0 |] Simplex.Ge 2.0;
+      ]
+  in
+  match outcome with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let outcome =
+    Simplex.maximize ~num_vars:2 ~objective:[| 1.0; 0.0 |]
+      [ Simplex.constr [| 0.0; 1.0 |] Simplex.Le 1.0 ]
+  in
+  match outcome with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_negative_rhs () =
+  (* max -x st -x <= -2 (i.e. x >= 2) → -2 *)
+  let outcome =
+    Simplex.maximize ~num_vars:1 ~objective:[| -1.0 |]
+      [ Simplex.constr [| -1.0 |] Simplex.Le (-2.0) ]
+  in
+  check_opt ~expected:(-2.0) outcome
+
+let test_fractional_cover_triangle () =
+  (* fcn of the triangle: min γ1+γ2+γ3 st each vertex covered:
+     edges ab, bc, ca → optimum 1.5 *)
+  let outcome =
+    Simplex.minimize ~num_vars:3 ~objective:[| 1.0; 1.0; 1.0 |]
+      [
+        Simplex.constr [| 1.0; 0.0; 1.0 |] Simplex.Ge 1.0;
+        Simplex.constr [| 1.0; 1.0; 0.0 |] Simplex.Ge 1.0;
+        Simplex.constr [| 0.0; 1.0; 1.0 |] Simplex.Ge 1.0;
+      ]
+  in
+  match outcome with
+  | Simplex.Optimal { value; _ } -> Alcotest.(check (float 1e-6)) "fcn" 1.5 value
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_check_function () =
+  let constraints =
+    [
+      Simplex.constr [| 1.0; 1.0 |] Simplex.Le 2.0;
+      Simplex.constr [| 1.0; 0.0 |] Simplex.Ge 0.5;
+    ]
+  in
+  Alcotest.(check bool) "feasible point" true (Simplex.check constraints [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "violates le" false (Simplex.check constraints [| 2.0; 1.0 |]);
+  Alcotest.(check bool) "violates ge" false (Simplex.check constraints [| 0.0; 1.0 |]);
+  Alcotest.(check bool) "negative var" false (Simplex.check constraints [| 1.0; -1.0 |])
+
+(* Property: on random LPs with box constraints the solver returns a
+   feasible point whose objective beats random feasible points. *)
+let prop_dominates_random_points =
+  QCheck2.Test.make ~count:60 ~name:"simplex dominates random feasible points"
+    QCheck2.Gen.(
+      let dim = int_range 1 4 in
+      dim >>= fun n ->
+      let coeff = float_range (-3.0) 3.0 in
+      list_size (int_range 1 5) (pair (array_size (return n) coeff) (float_range 0.5 4.0))
+      >>= fun rows ->
+      array_size (return n) coeff >>= fun objective ->
+      return (n, objective, rows))
+    (fun (n, objective, rows) ->
+      (* constraints a.x <= b with b > 0, plus x <= 2 boxes: always feasible
+         (x = 0) and bounded *)
+      let constraints =
+        List.map (fun (a, b) -> Simplex.constr a Simplex.Le b) rows
+        @ List.init n (fun i ->
+              let c = Array.make n 0.0 in
+              c.(i) <- 1.0;
+              Simplex.constr c Simplex.Le 2.0)
+      in
+      match Simplex.maximize ~num_vars:n ~objective constraints with
+      | Simplex.Optimal { value; point } ->
+          Simplex.check ~tolerance:1e-5 constraints point
+          &&
+          (* compare against a grid of random feasible points *)
+          let rand_state = Random.State.make [| Array.length point; n |] in
+          let ok = ref true in
+          for _ = 1 to 30 do
+            let candidate =
+              Array.init n (fun _ -> Random.State.float rand_state 2.0)
+            in
+            if Simplex.check ~tolerance:0.0 constraints candidate then begin
+              let v =
+                Array.to_list (Array.mapi (fun i c -> c *. candidate.(i)) objective)
+                |> List.fold_left ( +. ) 0.0
+              in
+              if v > value +. 1e-4 then ok := false
+            end
+          done;
+          !ok
+      | Simplex.Infeasible -> false (* x = 0 is always feasible *)
+      | Simplex.Unbounded -> false (* boxes bound the region *))
+
+let tests =
+  [
+    Alcotest.test_case "basic max" `Quick test_basic_max;
+    Alcotest.test_case "classic lp" `Quick test_classic_lp;
+    Alcotest.test_case "minimize with ge" `Quick test_minimize_with_ge;
+    Alcotest.test_case "equality" `Quick test_equality;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+    Alcotest.test_case "triangle fractional cover" `Quick test_fractional_cover_triangle;
+    Alcotest.test_case "check function" `Quick test_check_function;
+    QCheck_alcotest.to_alcotest prop_dominates_random_points;
+  ]

@@ -1,0 +1,56 @@
+open Ac_relational
+open Ac_join
+
+let rel tuples = Relation.of_list ~arity:3 tuples
+
+let test_build_and_walk () =
+  let r = rel [ [| 0; 1; 2 |]; [| 0; 1; 3 |]; [| 1; 0; 0 |] ] in
+  let t = Trie.build r ~positions:[| 0; 1; 2 |] in
+  Alcotest.(check int) "weight" 3 (Trie.weight t);
+  Alcotest.(check (list int)) "roots" [ 0; 1 ] (List.sort compare (Trie.keys t));
+  (match Trie.child t 0 with
+  | None -> Alcotest.fail "expected child 0"
+  | Some sub ->
+      Alcotest.(check int) "subtree weight" 2 (Trie.weight sub);
+      Alcotest.(check (list int)) "level 2" [ 1 ] (Trie.keys sub));
+  Alcotest.(check bool) "missing child" true (Trie.child t 7 = None)
+
+let test_projection_positions () =
+  let r = rel [ [| 0; 1; 2 |]; [| 0; 5; 2 |]; [| 1; 1; 1 |] ] in
+  (* index by (position 2, position 0) only *)
+  let t = Trie.build r ~positions:[| 2; 0 |] in
+  Alcotest.(check (list int)) "first level = position 2 values" [ 1; 2 ]
+    (List.sort compare (Trie.keys t));
+  match Trie.child t 2 with
+  | None -> Alcotest.fail "expected branch"
+  | Some sub ->
+      (* both (0,1,2) and (0,5,2) collapse to the same path 2 → 0 *)
+      Alcotest.(check int) "collapsed weight" 2 (Trie.weight sub);
+      Alcotest.(check (list int)) "second level" [ 0 ] (Trie.keys sub)
+
+let test_keep_filter () =
+  let r = rel [ [| 0; 0; 1 |]; [| 0; 1; 1 |] ] in
+  let t = Trie.build ~keep:(fun tup -> tup.(0) = tup.(1)) r ~positions:[| 0; 2 |] in
+  Alcotest.(check int) "filtered" 1 (Trie.weight t)
+
+let test_empty_relation () =
+  let r = Relation.create ~arity:2 in
+  let t = Trie.build r ~positions:[| 0; 1 |] in
+  Alcotest.(check int) "no weight" 0 (Trie.weight t);
+  Alcotest.(check (list int)) "no keys" [] (Trie.keys t);
+  Alcotest.(check int) "num_keys" 0 (Trie.num_keys t)
+
+let test_mem_key () =
+  let r = rel [ [| 3; 1; 2 |] ] in
+  let t = Trie.build r ~positions:[| 0 |] in
+  Alcotest.(check bool) "mem" true (Trie.mem_key t 3);
+  Alcotest.(check bool) "not mem" false (Trie.mem_key t 1)
+
+let tests =
+  [
+    Alcotest.test_case "build and walk" `Quick test_build_and_walk;
+    Alcotest.test_case "projection positions" `Quick test_projection_positions;
+    Alcotest.test_case "keep filter" `Quick test_keep_filter;
+    Alcotest.test_case "empty relation" `Quick test_empty_relation;
+    Alcotest.test_case "mem key" `Quick test_mem_key;
+  ]

@@ -1,0 +1,156 @@
+open Ac_hypergraph
+
+let bs capacity l = Bitset.of_list ~capacity l
+
+let gen_hypergraph =
+  QCheck2.Gen.(
+    int_range 2 7 >>= fun n ->
+    list_size (int_range 1 8) (list_size (int_range 1 3) (int_range 0 (n - 1)))
+    >>= fun edges ->
+    let edges = if edges = [] then [ [ 0 ] ] else edges in
+    (* cover every vertex (as query hypergraphs always do) so that fcn
+       stays finite *)
+    let covered = Array.make n false in
+    List.iter (List.iter (fun v -> covered.(v) <- true)) edges;
+    let singles =
+      List.init n Fun.id
+      |> List.filter_map (fun v -> if covered.(v) then None else Some [ v ])
+    in
+    return (Hypergraph.create ~num_vertices:n (edges @ singles)))
+
+let test_fcn_triangle () =
+  let h = Hypergraph.cycle 3 in
+  let v, weights = Widths.fcn h (Bitset.full ~capacity:3) in
+  Alcotest.(check (float 1e-6)) "triangle fcn" 1.5 v;
+  Alcotest.(check int) "three weights" 3 (Array.length weights)
+
+let test_fcn_single_edge () =
+  let h = Hypergraph.create ~num_vertices:4 [ [ 0; 1; 2; 3 ] ] in
+  let v, _ = Widths.fcn h (Bitset.full ~capacity:4) in
+  Alcotest.(check (float 1e-6)) "one big edge" 1.0 v
+
+let test_fcn_isolated () =
+  let h = Hypergraph.create ~num_vertices:3 [ [ 0; 1 ] ] in
+  (* vertex 2 lies in no edge: induced on {1, 2} has no edge covering 2 *)
+  let v, _ = Widths.fcn h (bs 3 [ 1; 2 ]) in
+  Alcotest.(check bool) "infinite" true (v = infinity)
+
+let test_integral_cover () =
+  let h = Hypergraph.cycle 3 in
+  Alcotest.(check int) "triangle integral" 2
+    (Widths.integral_cover_number h (Bitset.full ~capacity:3));
+  let h2 = Hypergraph.create ~num_vertices:4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  Alcotest.(check int) "two disjoint edges" 2
+    (Widths.integral_cover_number h2 (Bitset.full ~capacity:4));
+  Alcotest.(check int) "empty set" 0
+    (Widths.integral_cover_number h2 (Bitset.create ~capacity:4))
+
+let test_fhw_values () =
+  (* triangle as three binary edges: single-bag decomposition, fhw 1.5 *)
+  let triangle = Hypergraph.cycle 3 in
+  let v, d = Widths.fhw_exact triangle in
+  Alcotest.(check (float 1e-6)) "triangle fhw" 1.5 v;
+  Alcotest.(check bool) "witness valid" true (Tree_decomposition.is_valid triangle d);
+  (* a path has fhw 1 *)
+  let path = Hypergraph.path 6 in
+  Alcotest.(check (float 1e-6)) "path fhw" 1.0 (fst (Widths.fhw_exact path));
+  (* one big hyperedge: fhw 1 *)
+  let big = Hypergraph.create ~num_vertices:5 [ [ 0; 1; 2; 3; 4 ] ] in
+  Alcotest.(check (float 1e-6)) "big edge fhw" 1.0 (fst (Widths.fhw_exact big))
+
+let test_ghw_values () =
+  Alcotest.(check (float 1e-6)) "triangle ghw" 2.0 (Widths.ghw_exact (Hypergraph.cycle 3));
+  Alcotest.(check (float 1e-6)) "path ghw" 1.0 (Widths.ghw_exact (Hypergraph.path 5))
+
+let test_fis () =
+  let h = Hypergraph.cycle 5 in
+  let v, mu = Widths.max_fractional_independent_set h in
+  Alcotest.(check bool) "is fis" true (Widths.is_fractional_independent_set h mu);
+  (* C5 fractional independence number is 5/2 *)
+  Alcotest.(check (float 1e-4)) "C5 value" 2.5 v
+
+let test_adaptive_bounds () =
+  let check_bounds h =
+    let lo, hi = Widths.adaptive_width_bounds h in
+    Alcotest.(check bool) "lo <= hi" true (lo <= hi +. 1e-9)
+  in
+  List.iter check_bounds
+    [ Hypergraph.path 5; Hypergraph.cycle 4; Hypergraph.clique 4; Hypergraph.hypercycle 3 ];
+  (* one big hyperedge: aw = 1 exactly *)
+  let big = Hypergraph.create ~num_vertices:5 [ [ 0; 1; 2; 3; 4 ] ] in
+  let lo, hi = Widths.adaptive_width_bounds big in
+  Alcotest.(check (float 1e-6)) "big edge aw hi" 1.0 hi;
+  Alcotest.(check bool) "big edge aw lo" true (lo <= 1.0 +. 1e-9)
+
+(* Observation 40: fcn is monotone under subsets. *)
+let prop_fcn_monotone =
+  QCheck2.Test.make ~count:80 ~name:"Observation 40: fcn monotone"
+    QCheck2.Gen.(
+      gen_hypergraph >>= fun h ->
+      let n = Hypergraph.num_vertices h in
+      pair (return h) (pair (list_size (int_range 0 n) (int_range 0 (n - 1)))
+        (list_size (int_range 0 n) (int_range 0 (n - 1)))))
+    (fun (h, (a, b)) ->
+      let n = Hypergraph.num_vertices h in
+      let sa = bs n a in
+      let sb = Bitset.union sa (bs n b) in
+      let fa = fst (Widths.fcn h sa) and fb = fst (Widths.fcn h sb) in
+      fa <= fb +. 1e-6)
+
+(* Observation 34: tw(H) <= arity · aw(H) - 1 — checked against the upper
+   bound since aw >= the lower bound we can certify. *)
+let prop_obs34_with_fhw =
+  QCheck2.Test.make ~count:60 ~name:"tw <= arity*fhw - 1 (Observation 34 via aw<=fhw)"
+    gen_hypergraph
+    (fun h ->
+      let tw = fst (Tree_decomposition.treewidth_exact h) in
+      let fhw = fst (Widths.fhw_exact h) in
+      let a = max 1 (Hypergraph.arity h) in
+      float_of_int tw <= (float_of_int a *. fhw) -. 1.0 +. 1e-6)
+
+(* Lemma 12 instances: fhw <= ghw <= tw + 1 on every hypergraph. *)
+let prop_width_chain =
+  QCheck2.Test.make ~count:60 ~name:"fhw <= ghw <= tw+1" gen_hypergraph
+    (fun h ->
+      let tw = fst (Tree_decomposition.treewidth_exact h) in
+      let fhw = fst (Widths.fhw_exact h) in
+      let ghw = Widths.ghw_exact h in
+      fhw <= ghw +. 1e-6 && ghw <= float_of_int (tw + 1) +. 1e-6)
+
+let tests =
+  [
+    Alcotest.test_case "fcn triangle" `Quick test_fcn_triangle;
+    Alcotest.test_case "fcn single edge" `Quick test_fcn_single_edge;
+    Alcotest.test_case "fcn isolated vertex" `Quick test_fcn_isolated;
+    Alcotest.test_case "integral cover" `Quick test_integral_cover;
+    Alcotest.test_case "fhw values" `Quick test_fhw_values;
+    Alcotest.test_case "ghw values" `Quick test_ghw_values;
+    Alcotest.test_case "fractional independent set" `Quick test_fis;
+    Alcotest.test_case "adaptive bounds" `Quick test_adaptive_bounds;
+    QCheck_alcotest.to_alcotest prop_fcn_monotone;
+    QCheck_alcotest.to_alcotest prop_obs34_with_fhw;
+    QCheck_alcotest.to_alcotest prop_width_chain;
+  ]
+
+(* The LP weights returned by fcn really are a fractional edge cover. *)
+let prop_fcn_certificate =
+  QCheck2.Test.make ~count:60 ~name:"fcn returns a valid fractional cover"
+    gen_hypergraph
+    (fun h ->
+      let x = Bitset.full ~capacity:(Hypergraph.num_vertices h) in
+      let value, weights = Widths.fcn h x in
+      let edges = Hypergraph.induced_edges h x in
+      Array.length weights = List.length edges
+      && Array.for_all (fun w -> w >= -1e-6) weights
+      && Float.abs (Array.fold_left ( +. ) 0.0 weights -. value) < 1e-5
+      && Bitset.for_all
+           (fun v ->
+             let covered =
+               List.fold_left2
+                 (fun acc e w -> if Bitset.mem e v then acc +. w else acc)
+                 0.0 edges (Array.to_list weights)
+             in
+             covered >= 1.0 -. 1e-5)
+           x)
+
+let tests = tests @ [ QCheck_alcotest.to_alcotest prop_fcn_certificate ]

@@ -1,0 +1,132 @@
+module G = Ac_workload.Graph
+module Dbgen = Ac_workload.Dbgen
+module QF = Ac_workload.Query_families
+module Structure = Ac_relational.Structure
+module Ecq = Ac_query.Ecq
+
+let test_graph_basics () =
+  let g = G.create ~num_vertices:4 [ (0, 1); (1, 0); (1, 2); (2, 2) ] in
+  Alcotest.(check int) "dedup + drop loops" 2 (G.num_edges g);
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (1, 2) ] (G.edges g);
+  Alcotest.(check bool) "has edge" true (G.has_edge g 1 0);
+  Alcotest.(check bool) "no edge" false (G.has_edge g 0 2);
+  Alcotest.(check int) "degree" 2 (G.degree g 1)
+
+let test_families () =
+  Alcotest.(check int) "path edges" 4 (G.num_edges (G.path 5));
+  Alcotest.(check int) "cycle edges" 5 (G.num_edges (G.cycle 5));
+  Alcotest.(check int) "clique edges" 10 (G.num_edges (G.clique 5));
+  Alcotest.(check int) "grid edges" 7 (G.num_edges (G.grid 2 3));
+  Alcotest.(check int) "binary tree vertices" 7 (G.num_vertices (G.binary_tree ~depth:2));
+  Alcotest.(check int) "binary tree edges" 6 (G.num_edges (G.binary_tree ~depth:2))
+
+let test_common_neighbours () =
+  (* star: all leaf pairs share the centre *)
+  let g = G.star 3 in
+  Alcotest.(check (list (pair int int))) "star pairs"
+    [ (1, 2); (1, 3); (2, 3) ]
+    (G.common_neighbour_pairs g);
+  (* path 0-1-2: only (0,2) *)
+  Alcotest.(check (list (pair int int))) "path pairs" [ (0, 2) ]
+    (G.common_neighbour_pairs (G.path 3))
+
+let test_to_structure () =
+  let g = G.path 3 in
+  let s = G.to_structure g in
+  Alcotest.(check bool) "forward" true (Structure.holds s "E" [| 0; 1 |]);
+  Alcotest.(check bool) "backward" true (Structure.holds s "E" [| 1; 0 |]);
+  Alcotest.(check int) "4 facts" 4
+    (Ac_relational.Relation.cardinality (Structure.relation s "E"))
+
+let test_random_gnm () =
+  let rng = Random.State.make [| 1 |] in
+  let g = G.random_gnm ~rng 8 10 in
+  Alcotest.(check int) "exactly m edges" 10 (G.num_edges g);
+  match G.random_gnm ~rng 3 5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "too many edges should raise"
+
+let prop_gnp_bounds =
+  QCheck2.Test.make ~count:50 ~name:"G(n,p) edges within range"
+    QCheck2.Gen.(pair (int_range 1 10) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = G.random_gnp ~rng n 0.5 in
+      G.num_edges g <= n * (n - 1) / 2
+      && List.for_all (fun (u, v) -> u < v && v < n) (G.edges g))
+
+let test_dbgen_counts () =
+  let rng = Random.State.make [| 2 |] in
+  let s = Dbgen.random_structure ~rng ~universe_size:10 [ ("E", 2, 30); ("P", 1, 5) ] in
+  Alcotest.(check int) "E count" 30
+    (Ac_relational.Relation.cardinality (Structure.relation s "E"));
+  Alcotest.(check int) "P count" 5
+    (Ac_relational.Relation.cardinality (Structure.relation s "P"));
+  (* requesting more tuples than the space holds saturates *)
+  let s2 = Dbgen.random_structure ~rng ~universe_size:2 [ ("E", 2, 100) ] in
+  Alcotest.(check int) "saturated" 4
+    (Ac_relational.Relation.cardinality (Structure.relation s2 "E"))
+
+let test_query_families_structure () =
+  let q = QF.friends () in
+  Alcotest.(check int) "friends vars" 3 (Ecq.num_vars q);
+  let q2 = QF.star_distinct 3 in
+  Alcotest.(check int) "star free" 3 (Ecq.num_free q2);
+  Alcotest.(check int) "star diseqs" 3 (List.length (Ecq.delta q2));
+  let q3 = QF.path_endpoints 4 in
+  Alcotest.(check int) "path vars" 5 (Ecq.num_vars q3);
+  Alcotest.(check bool) "path is cq" true (Ecq.is_cq q3);
+  let q4 = QF.wide_path ~k:3 ~arity:4 () in
+  Alcotest.(check int) "wide path vars" 10 (Ecq.num_vars q4);
+  Alcotest.(check bool) "wide path is dcq" true (Ecq.is_dcq q4);
+  let q5 = QF.hamiltonian 4 in
+  Alcotest.(check int) "hamiltonian diseqs" 6 (List.length (Ecq.delta q5));
+  let q6 = QF.grid_query 3 3 in
+  Alcotest.(check int) "grid vars" 9 (Ecq.num_vars q6)
+
+let test_grid_query_treewidth () =
+  let tw q =
+    fst (Ac_hypergraph.Tree_decomposition.treewidth_exact (Ecq.hypergraph q))
+  in
+  Alcotest.(check int) "grid 2xk tw" 2 (tw (QF.grid_query 2 4));
+  Alcotest.(check int) "grid 3x3 tw" 3 (tw (QF.grid_query 3 3));
+  Alcotest.(check int) "path tw" 1 (tw (QF.path_endpoints 5))
+
+let test_wide_path_fhw () =
+  (* every bag covered by one atom: fhw = 1 despite arity 4 *)
+  let q = QF.wide_path ~k:3 ~arity:4 () in
+  let h = Ecq.hypergraph q in
+  let fhw, _ = Ac_hypergraph.Widths.fhw_exact h in
+  Alcotest.(check (float 1e-6)) "fhw 1" 1.0 fhw;
+  Alcotest.(check int) "arity 4" 4 (Ac_hypergraph.Hypergraph.arity h)
+
+let test_landscape_nonempty () =
+  let families = QF.landscape () in
+  Alcotest.(check bool) "at least 8 families" true (List.length families >= 8);
+  List.iter (fun (name, q) -> if Ecq.num_vars q < 1 then Alcotest.fail name) families
+
+let test_path_endpoints_semantics () =
+  (* path of length 2 in a concrete graph *)
+  let q = QF.path_endpoints 2 in
+  let g = G.path 3 in
+  let db = G.to_structure g in
+  (* walks of length exactly 2 in the path 0-1-2: 0-1-0, 0-1-2, 1-0-1,
+     1-2-1, 2-1-0, 2-1-2; distinct endpoint pairs: (0,0), (0,2), (1,1),
+     (2,0), (2,2) = 5 *)
+  Alcotest.(check int) "length-2 walks" 5 (Approxcount.Exact.by_join_projection q db)
+
+let tests =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "graph families" `Quick test_families;
+    Alcotest.test_case "common neighbours" `Quick test_common_neighbours;
+    Alcotest.test_case "to structure" `Quick test_to_structure;
+    Alcotest.test_case "random gnm" `Quick test_random_gnm;
+    Alcotest.test_case "dbgen counts" `Quick test_dbgen_counts;
+    Alcotest.test_case "query family structure" `Quick test_query_families_structure;
+    Alcotest.test_case "grid query treewidth" `Quick test_grid_query_treewidth;
+    Alcotest.test_case "wide path fhw" `Quick test_wide_path_fhw;
+    Alcotest.test_case "landscape nonempty" `Quick test_landscape_nonempty;
+    Alcotest.test_case "path endpoints semantics" `Quick test_path_endpoints_semantics;
+    QCheck_alcotest.to_alcotest prop_gnp_bounds;
+  ]
