@@ -2,17 +2,54 @@
 
      acq count  --db facts.txt --query "ans(x) :- F(x,y), F(x,z), y != z"
      acq count  --db facts.txt --query "..." --method fpras
+     acq count  --db facts.txt --query "..." --timeout-ms 500 --max-heap-mb 512
      acq sample --db facts.txt --query "..." --draws 5
      acq widths --query "..."
      acq generate --kind friends --size 100 --out facts.txt
 
-   Databases use the plain-text format of Ac_relational.Structure_io. *)
+   Databases use the plain-text format of Ac_relational.Structure_io.
+
+   Exit codes (see docs/robustness.md): 0 success; 3 answered but
+   degraded (a budget tripped and a fallback rung produced the value);
+   10-16 typed error classes (Ac_runtime.Error.exit_code); 124/125 are
+   cmdliner's. *)
 
 open Cmdliner
 
 module Ecq = Ac_query.Ecq
 module Structure = Ac_relational.Structure
 module Structure_io = Ac_relational.Structure_io
+module Budget = Ac_runtime.Budget
+module Error = Ac_runtime.Error
+module Entropy = Ac_runtime.Entropy
+module Planner = Approxcount.Planner
+
+let exit_degraded = 3
+
+let report err =
+  Printf.eprintf "acq: error [%s]: %s\n%!" (Error.class_name err)
+    (Error.message err);
+  Error.exit_code err
+
+(* All-or-nothing: [Error.guard]ed body, typed-error exit code on failure. *)
+let guarded f = match Error.guard f with Ok code -> code | Error e -> report e
+
+let resolve_seed ~verbose = function
+  | Some s -> s
+  | None ->
+      let s = Entropy.fresh_seed () in
+      if verbose then
+        Printf.eprintf "acq: self-init rng seed = %d (pass --seed %d to replay)\n%!" s s;
+      s
+
+let make_budget ~timeout_ms ~max_heap_mb =
+  match (timeout_ms, max_heap_mb) with
+  | None, None -> None
+  | _ ->
+      Some
+        (Budget.create ~label:"cli"
+           ?deadline_ms:(Option.map float_of_int timeout_ms)
+           ?max_heap_mb ())
 
 let query_term =
   let doc = "The query, e.g. \"ans(x) :- E(x, y), !R(y, y), x != y\"." in
@@ -20,7 +57,9 @@ let query_term =
 
 let db_term =
   let doc = "Database file (see Structure_io format)." in
-  Arg.(required & opt (some file) None & info [ "db" ] ~docv:"FILE" ~doc)
+  (* a plain string, not Arg.file: existence failures should flow through
+     the typed Io error (exit 11), not cmdliner's 124 *)
+  Arg.(required & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
 
 let epsilon_term =
   Arg.(value & opt float 0.25 & info [ "epsilon" ] ~docv:"EPS" ~doc:"Accuracy target.")
@@ -29,7 +68,42 @@ let delta_term =
   Arg.(value & opt float 0.1 & info [ "delta" ] ~docv:"DELTA" ~doc:"Failure probability.")
 
 let seed_term =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"RNG seed; omitted, a fresh seed is drawn (logged with --verbose).")
+
+let timeout_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:"Wall-clock budget in milliseconds (cooperative: loops poll it).")
+
+let max_heap_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-heap-mb" ] ~docv:"MB"
+        ~doc:"Live-heap watermark in megabytes (checked via Gc.quick_stat).")
+
+let max_db_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-db-mb" ] ~docv:"MB"
+        ~doc:"Refuse database files larger than this (checked before reading).")
+
+let strict_term =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:"Fail fast with a typed error instead of degrading along the \
+              fallback chain when a budget trips (--method auto).")
+
+let verbose_term =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty stderr diagnostics.")
 
 let engine_term =
   (* note: must not be named [conv] — Arg.( ) would shadow it *)
@@ -56,89 +130,145 @@ let method_term =
              ("fpras", `Fpras); ("brute", `Brute) ])
         `Auto
     & info [ "m"; "method" ] ~docv:"METHOD"
-        ~doc:"auto (planner), exact (join+project), fptras (Theorems 5/13), fpras (Theorem 16, CQs only), brute.")
+        ~doc:"auto (planner + governed fallback), exact (join+project), fptras (Theorems 5/13), fpras (Theorem 16, CQs only), brute.")
 
-let with_input query_text db_path f =
-  match Ecq.parse query_text with
-  | exception Failure msg -> `Error (false, msg)
-  | query -> (
-      match Structure_io.load db_path with
-      | exception Failure msg -> `Error (false, "database: " ^ msg)
-      | db ->
+let with_input ?max_db_mb query_text db_path f =
+  match Ecq.parse_result query_text with
+  | Error e -> report e
+  | Ok query -> (
+      let max_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_db_mb in
+      match Structure_io.load_result ?max_bytes db_path with
+      | Error e -> report e
+      | Ok db ->
           if not (Ecq.compatible_with query db) then
-            `Error (false, "query signature is not contained in the database's")
+            report
+              (Error.Signature_mismatch
+                 "query signature is not contained in the database's")
           else f query db)
 
 let count_cmd =
-  let run query_text db_path method_ engine epsilon delta seed =
-    with_input query_text db_path (fun query db ->
-        let rng = Random.State.make [| seed |] in
-        (match method_ with
-        | `Auto ->
-            let v, d =
-              Approxcount.Planner.count ~rng ~epsilon ~delta query db
-            in
-            Printf.printf "%.1f\n" v;
-            Printf.eprintf "plan: %s\n" d.Approxcount.Planner.reason
+  let run query_text db_path method_ engine epsilon delta seed timeout_ms
+      max_heap_mb max_db_mb strict verbose =
+    with_input ?max_db_mb query_text db_path (fun query db ->
+        let budget = make_budget ~timeout_ms ~max_heap_mb in
+        match method_ with
+        | `Auto -> (
+            (* No explicit seed: let the planner self-init so its seed
+               logging (--verbose) names the value actually used. *)
+            let rng = Option.map (fun s -> Random.State.make [| s |]) seed in
+            match
+              Planner.count_governed ?rng ~verbose ~strict ?budget ~epsilon
+                ~delta query db
+            with
+            | Error e -> report e
+            | Ok g ->
+                Printf.printf "%.1f\n" g.Planner.estimate;
+                Printf.eprintf "plan: %s\n%!" g.Planner.decision.Planner.reason;
+                if g.Planner.degraded then begin
+                  let failed =
+                    g.Planner.attempts
+                    |> List.map (fun (a : Planner.attempt) ->
+                           Printf.sprintf "%s (%s)"
+                             (Planner.rung_name a.Planner.rung)
+                             (Error.message a.Planner.error))
+                    |> String.concat "; "
+                  in
+                  Printf.eprintf
+                    "acq: degraded answer from rung %s — %s; failed rungs: %s\n%!"
+                    (Planner.rung_name g.Planner.rung)
+                    (if g.Planner.guarantee then "(eps,delta) guarantee holds"
+                     else "lower bound only, no guarantee")
+                    failed;
+                  exit_degraded
+                end
+                else begin
+                  if verbose then
+                    Printf.eprintf "acq: rung %s, guarantee %b\n%!"
+                      (Planner.rung_name g.Planner.rung) g.Planner.guarantee;
+                  0
+                end)
         | `Exact ->
-            Printf.printf "%d\n" (Approxcount.Exact.by_join_projection query db)
-        | `Brute -> Printf.printf "%d\n" (Approxcount.Exact.brute_force query db)
+            guarded (fun () ->
+                Printf.printf "%d\n"
+                  (Approxcount.Exact.by_join_projection ?budget query db);
+                0)
+        | `Brute ->
+            guarded (fun () ->
+                Printf.printf "%d\n"
+                  (Approxcount.Exact.brute_force ?budget query db);
+                0)
         | `Fptras ->
-            let r =
-              Approxcount.Fptras.approx_count ~rng ~engine ~epsilon ~delta query db
-            in
-            Printf.printf "%.1f%s\n" r.Approxcount.Fptras.estimate
-              (if r.exact then " (exact)" else "")
+            guarded (fun () ->
+                let rng =
+                  Random.State.make [| resolve_seed ~verbose seed |]
+                in
+                let r =
+                  Approxcount.Fptras.approx_count ~rng ?budget ~engine ~epsilon
+                    ~delta query db
+                in
+                Printf.printf "%.1f%s\n" r.Approxcount.Fptras.estimate
+                  (if r.exact then " (exact)" else "");
+                0)
         | `Fpras ->
             if not (Ecq.is_cq query) then
-              failwith "the FPRAS requires a CQ (no disequalities or negations)"
+              report
+                (Error.Signature_mismatch
+                   "the FPRAS (Theorem 16) requires a CQ: remove \
+                    disequalities and negations, or use --method fptras")
             else
-              let config =
-                { (Ac_automata.Acjr.default_config ~seed ()) with
-                  Ac_automata.Acjr.sketch_size = 48 }
-              in
-              Printf.printf "%.1f\n"
-                (Approxcount.Fpras.approx_count ~config query db));
-        `Ok ())
+              guarded (fun () ->
+                  let seed = resolve_seed ~verbose seed in
+                  let config =
+                    { (Ac_automata.Acjr.default_config ~seed ()) with
+                      Ac_automata.Acjr.sketch_size = 48 }
+                  in
+                  Printf.printf "%.1f\n"
+                    (Approxcount.Fpras.approx_count ?budget ~config query db);
+                  0))
   in
   let doc = "Count the answers of a query in a database." in
   Cmd.v (Cmd.info "count" ~doc)
     Term.(
-      ret
-        (const run $ query_term $ db_term $ method_term $ engine_term
-       $ epsilon_term $ delta_term $ seed_term))
+      const run $ query_term $ db_term $ method_term $ engine_term
+      $ epsilon_term $ delta_term $ seed_term $ timeout_term $ max_heap_term
+      $ max_db_term $ strict_term $ verbose_term)
 
 let sample_cmd =
   let draws_term =
     Arg.(value & opt int 1 & info [ "draws" ] ~docv:"N" ~doc:"Number of samples.")
   in
-  let run query_text db_path engine epsilon delta seed draws =
-    with_input query_text db_path (fun query db ->
-        let rng = Random.State.make [| seed |] in
-        let sampler =
-          Approxcount.Sampling.make_sampler ~rng ~engine ~epsilon ~delta query db
-        in
-        for _ = 1 to draws do
-          match sampler () with
-          | None -> print_endline "(no sample)"
-          | Some tau ->
-              print_endline
-                (String.concat " " (Array.to_list (Array.map string_of_int tau)))
-        done;
-        `Ok ())
+  let run query_text db_path engine epsilon delta seed draws timeout_ms
+      max_heap_mb max_db_mb verbose =
+    with_input ?max_db_mb query_text db_path (fun query db ->
+        guarded (fun () ->
+            let budget = make_budget ~timeout_ms ~max_heap_mb in
+            let rng = Random.State.make [| resolve_seed ~verbose seed |] in
+            let sampler =
+              Approxcount.Sampling.make_sampler ~rng ?budget ~engine ~epsilon
+                ~delta query db
+            in
+            for _ = 1 to draws do
+              match sampler () with
+              | None -> print_endline "(no sample)"
+              | Some tau ->
+                  print_endline
+                    (String.concat " "
+                       (Array.to_list (Array.map string_of_int tau)))
+            done;
+            0))
   in
   let doc = "Draw approximately-uniform answers (§6 JVV sampling)." in
   Cmd.v (Cmd.info "sample" ~doc)
     Term.(
-      ret
-        (const run $ query_term $ db_term $ engine_term $ epsilon_term
-       $ delta_term $ seed_term $ draws_term))
+      const run $ query_term $ db_term $ engine_term $ epsilon_term
+      $ delta_term $ seed_term $ draws_term $ timeout_term $ max_heap_term
+      $ max_db_term $ verbose_term)
 
 let widths_cmd =
   let run query_text =
-    match Ecq.parse query_text with
-    | exception Failure msg -> `Error (false, msg)
-    | query ->
+    match Ecq.parse_result query_text with
+    | Error e -> report e
+    | Ok query ->
         let h = Ecq.hypergraph query in
         let small = Ac_hypergraph.Hypergraph.num_vertices h <= 14 in
         let tw =
@@ -166,10 +296,10 @@ let widths_cmd =
            else if Ecq.is_dcq query then
              "FPTRAS (Theorem 13, bounded adaptive width); no FPRAS (Obs. 10)"
            else "FPTRAS (Theorem 5, bounded tw & arity); no FPRAS (Obs. 10)");
-        `Ok ()
+        0
   in
   let doc = "Width measures and the paper's guarantee for a query." in
-  Cmd.v (Cmd.info "widths" ~doc) Term.(ret (const run $ query_term))
+  Cmd.v (Cmd.info "widths" ~doc) Term.(const run $ query_term)
 
 let generate_cmd =
   let kind_term =
@@ -185,27 +315,28 @@ let generate_cmd =
     Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output file.")
   in
   let run kind size out seed =
-    let rng = Random.State.make [| seed |] in
-    let db =
-      match kind with
-      | `Friends -> Ac_workload.Dbgen.friends_database ~rng ~n:size ~avg_degree:6.0
-      | `Graph ->
-          Ac_workload.Graph.to_structure
-            (Ac_workload.Graph.random_gnp ~rng size 0.3)
-      | `Relation ->
-          Ac_workload.Dbgen.random_structure ~rng ~universe_size:size
-            [ ("R", 2, 4 * size) ]
-    in
-    Structure_io.save out db;
-    Printf.printf "wrote %s (universe %d, ‖D‖ = %d)\n" out
-      (Structure.universe_size db) (Structure.size db);
-    `Ok ()
+    guarded (fun () ->
+        let rng = Random.State.make [| Option.value seed ~default:42 |] in
+        let db =
+          match kind with
+          | `Friends -> Ac_workload.Dbgen.friends_database ~rng ~n:size ~avg_degree:6.0
+          | `Graph ->
+              Ac_workload.Graph.to_structure
+                (Ac_workload.Graph.random_gnp ~rng size 0.3)
+          | `Relation ->
+              Ac_workload.Dbgen.random_structure ~rng ~universe_size:size
+                [ ("R", 2, 4 * size) ]
+        in
+        Structure_io.save out db;
+        Printf.printf "wrote %s (universe %d, ‖D‖ = %d)\n" out
+          (Structure.universe_size db) (Structure.size db);
+        0)
   in
   let doc = "Generate a random database file." in
   Cmd.v (Cmd.info "generate" ~doc)
-    Term.(ret (const run $ kind_term $ size_term $ out_term $ seed_term))
+    Term.(const run $ kind_term $ size_term $ out_term $ seed_term)
 
 let () =
   let doc = "approximately counting answers to conjunctive queries" in
   let info = Cmd.info "acq" ~doc in
-  exit (Cmd.eval (Cmd.group info [ count_cmd; sample_cmd; widths_cmd; generate_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ count_cmd; sample_cmd; widths_cmd; generate_cmd ]))

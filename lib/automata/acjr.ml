@@ -1,18 +1,20 @@
 module Iset = Set.Make (Int)
+module Budget = Ac_runtime.Budget
 
 type config = {
   sketch_size : int;
   union_rounds : int;
   rng : Random.State.t;
+  budget : Budget.t;
 }
 
-let default_config ?seed () =
+let default_config ?seed ?(budget = Budget.none) () =
   let rng =
     match seed with
     | Some s -> Random.State.make [| s |]
     | None -> Random.State.make_self_init ()
   in
-  { sketch_size = 48; union_rounds = 48; rng }
+  { sketch_size = 48; union_rounds = 48; rng; budget }
 
 (* Shape nodes flattened in postorder (children get smaller ids). *)
 type snode = { children : int list }
@@ -178,6 +180,7 @@ let union_estimate config branches =
         in
         let acc = ref 0.0 and used = ref 0 in
         for _ = 1 to config.union_rounds do
+          Budget.tick config.budget;
           let i = pick_weighted config.rng weights total in
           match arr.(i).draw_children () with
           | None -> ()
@@ -208,6 +211,7 @@ let pool_of config draw =
   let samples = ref [] and size = ref 0 in
   let misses = ref 0 in
   while !size < config.sketch_size && !misses < 4 * config.sketch_size do
+    Budget.tick config.budget;
     match draw () with
     | Some x ->
         samples := x :: !samples;
@@ -243,6 +247,7 @@ let process a config shape =
     let kids = nodes.(u).children in
     Iset.iter
       (fun s ->
+        Budget.tick config.budget;
         (* per fired symbol: a union over the transitions (s, symbol) *)
         let groups =
           List.filter_map
@@ -382,6 +387,7 @@ let slice_estimator ?config a n =
     in
     for size = 1 to n do
       for s = 0 to states - 1 do
+        Budget.tick config.budget;
         let groups =
           List.filter_map
             (fun (symbol, rhss) ->

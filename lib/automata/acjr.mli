@@ -19,9 +19,13 @@ type config = {
   sketch_size : int;    (** samples kept per (node, state) *)
   union_rounds : int;   (** Karp–Luby rounds per union estimate *)
   rng : Random.State.t;
+  budget : Ac_runtime.Budget.t;
+      (** cooperative cancellation: ticked per sketch cell, per
+          Karp–Luby round and per pool draw; a tripped budget aborts
+          the propagation with [Budget_exceeded] *)
 }
 
-val default_config : ?seed:int -> unit -> config
+val default_config : ?seed:int -> ?budget:Ac_runtime.Budget.t -> unit -> config
 
 (** Estimate of the number of labelings of [shape] accepted by the
     automaton. *)

@@ -3,6 +3,7 @@ module Structure = Ac_relational.Structure
 module Hom = Ac_hom.Hom
 module Partite = Ac_dlm.Partite
 module Generic_join = Ac_join.Generic_join
+module Budget = Ac_runtime.Budget
 
 type engine = Tree_dp | Generic | Direct
 
@@ -15,6 +16,7 @@ type t = {
   engine : engine;
   base_budget : int; (* colouring rounds per remaining disequality = base_budget · 4^{|Δ'|} *)
   probe_budget : int; (* witnesses enumerated before colouring; 0 disables the shortcut *)
+  budget : Budget.t; (* cooperative cancellation: ticked per oracle call and per colouring round *)
   rng : Random.State.t;
   mutable homs : int;
   mutable oracles : int;
@@ -41,7 +43,8 @@ let default_base q db =
 
 let budget_cap = 65536
 
-let create ?rng ?rounds ?(probe_budget = 128) ~engine q db =
+let create ?rng ?rounds ?(probe_budget = 128) ?(budget = Budget.none) ~engine
+    q db =
   let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
   let base_budget =
     match rounds with None -> default_base q db | Some r -> max 1 r
@@ -56,11 +59,12 @@ let create ?rng ?rounds ?(probe_budget = 128) ~engine q db =
     query = q;
     universe_size = Structure.universe_size db;
     instance;
-    solver = Hom.prepare ~strategy instance;
+    solver = Hom.prepare ~strategy ~budget instance;
     delta = Ecq.delta q;
     engine;
     base_budget;
     probe_budget = max 0 probe_budget;
+    budget;
     rng;
     homs = 0;
     oracles = 0;
@@ -159,6 +163,7 @@ let decide_direct t domains delta =
   end
 
 let has_answer_in_box t parts =
+  Budget.tick t.budget;
   t.oracles <- t.oracles + 1;
   if Array.exists (fun p -> Array.length p = 0) parts then false
   else begin
@@ -214,6 +219,7 @@ let has_answer_in_box t parts =
               let found = ref false in
               let round = ref 0 in
               while (not !found) && !round < budget do
+                Budget.tick t.budget;
                 incr round;
                 let coloured = Array.copy domains in
                 let dead = ref false in

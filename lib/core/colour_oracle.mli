@@ -45,11 +45,16 @@ val oracle_calls : t -> int
     disequalities. [probe_budget] (default 128) bounds the colour-free
     witness pre-pass — enumerating up to that many homomorphisms settles
     most boxes outright; [0] disables it, leaving the pure Lemma 22
-    colouring (used by the A1 ablation). *)
+    colouring (used by the A1 ablation). [budget], when given, is the
+    cooperative-cancellation hook: it is ticked on every oracle call,
+    every colouring round and (through {!Ac_hom.Hom}) every
+    search/DP step, so a tripped budget aborts the oracle with
+    [Ac_runtime.Budget.Budget_exceeded] mid-loop. *)
 val create :
   ?rng:Random.State.t ->
   ?rounds:int ->
   ?probe_budget:int ->
+  ?budget:Ac_runtime.Budget.t ->
   engine:engine ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->

@@ -2,8 +2,9 @@ module Ecq = Ac_query.Ecq
 module Structure = Ac_relational.Structure
 module Tuple = Ac_relational.Tuple
 module Hom = Ac_hom.Hom
+module Budget = Ac_runtime.Budget
 
-let brute_force q db =
+let brute_force ?(budget = Budget.none) q db =
   let n = Ecq.num_vars q in
   let u = Structure.universe_size db in
   let l = Ecq.num_free q in
@@ -11,6 +12,7 @@ let brute_force q db =
   let seen = Tuple.Table.create 64 in
   let rec go i =
     if i = n then begin
+      Budget.tick budget;
       if Ecq.satisfied_by q db assignment then
         Tuple.Table.replace seen (Array.sub assignment 0 l) ()
     end
@@ -23,18 +25,18 @@ let brute_force q db =
   if u > 0 then go 0;
   Tuple.Table.length seen
 
-let prepared_solver q db =
-  Hom.prepare ~strategy:Hom.Backtracking (Assoc.hom_instance q db)
+let prepared_solver ?budget q db =
+  Hom.prepare ~strategy:Hom.Backtracking ?budget (Assoc.hom_instance q db)
 
-let by_hom_dp q db =
+let by_hom_dp ?budget q db =
   if Ecq.num_existential q > 0 || Ecq.delta q <> [] then None
-  else Some (Hom.count_dp (Assoc.hom_instance q db))
+  else Some (Hom.count_dp ?budget (Assoc.hom_instance q db))
 
 (* Enumerate solutions via the generic join over A(φ) → B(φ, D) (with
    complements for negated predicates), filter disequalities in the
    callback and collect distinct projections. *)
-let answer_table q db =
-  let solver = prepared_solver q db in
+let answer_table ?budget q db =
+  let solver = prepared_solver ?budget q db in
   let delta = Ecq.delta q in
   let l = Ecq.num_free q in
   let seen = Tuple.Table.create 256 in
@@ -44,10 +46,29 @@ let answer_table q db =
       true);
   seen
 
-let by_join_projection q db = Tuple.Table.length (answer_table q db)
+let by_join_projection ?budget q db =
+  Tuple.Table.length (answer_table ?budget q db)
 
-let answers q db =
-  Tuple.Table.fold (fun t () acc -> t :: acc) (answer_table q db) []
+let answers ?budget q db =
+  Tuple.Table.fold (fun t () acc -> t :: acc) (answer_table ?budget q db) []
+
+(* Best-effort count under a budget: enumerate distinct answers until the
+   budget trips; the boolean is [true] when the enumeration completed (so
+   the count is exact) and [false] when it was cut off (then the count is
+   a lower bound — the planner's last-resort estimate). *)
+let partial_count ?budget q db =
+  let delta = Ecq.delta q in
+  let l = Ecq.num_free q in
+  let seen = Tuple.Table.create 256 in
+  match
+    let solver = prepared_solver ?budget q db in
+    Hom.iter_solutions solver ~f:(fun (sol : int array) ->
+        if List.for_all (fun (i, j) -> sol.(i) <> sol.(j)) delta then
+          Tuple.Table.replace seen (Array.sub sol 0 l) ();
+        true)
+  with
+  | () -> (Tuple.Table.length seen, true)
+  | exception Budget.Budget_exceeded _ -> (Tuple.Table.length seen, false)
 
 (* Shared decision core: does [tau] (over the free variables) extend to a
    solution? *)
@@ -65,15 +86,15 @@ let is_answer_with q solver tau =
       not ok);
   !found
 
-let is_answer q db tau =
+let is_answer ?budget q db tau =
   if Array.length tau <> Ecq.num_free q then
     invalid_arg "Exact.is_answer: wrong arity";
-  is_answer_with q (prepared_solver q db) tau
+  is_answer_with q (prepared_solver ?budget q db) tau
 
-let by_free_enumeration q db =
+let by_free_enumeration ?budget q db =
   let l = Ecq.num_free q in
   let u = Structure.universe_size db in
-  let solver = prepared_solver q db in
+  let solver = prepared_solver ?budget q db in
   let tau = Array.make l 0 in
   let count = ref 0 in
   let decide () = if is_answer_with q solver tau then incr count in

@@ -9,11 +9,38 @@
     - [by_free_enumeration]: for each of the [|U|^ℓ] free tuples decide
       extendability (cost driven by [|U|^ℓ]).
 
-    All three compute [|Ans(φ, D)|] exactly; tests cross-check them. *)
+    All three compute [|Ans(φ, D)|] exactly; tests cross-check them.
+    Every entry point takes an optional [budget] (cooperative
+    cancellation: a tripped budget aborts the enumeration with
+    [Ac_runtime.Budget.Budget_exceeded]). *)
 
-val brute_force : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int
-val by_join_projection : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int
-val by_free_enumeration : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int
+val brute_force :
+  ?budget:Ac_runtime.Budget.t ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  int
+
+val by_join_projection :
+  ?budget:Ac_runtime.Budget.t ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  int
+
+val by_free_enumeration :
+  ?budget:Ac_runtime.Budget.t ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  int
+
+(** Best-effort count under a budget: enumerates distinct answers until
+    the budget trips. Returns [(count, completed)] — when [completed]
+    the count is exact; otherwise it is a lower bound (the planner's
+    last-resort partial estimate). Never raises [Budget_exceeded]. *)
+val partial_count :
+  ?budget:Ac_runtime.Budget.t ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  int * bool
 
 (** The paper's footnote-4 easiness result: a quantifier-free query
     without disequalities counts homomorphisms, which is
@@ -21,12 +48,25 @@ val by_free_enumeration : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int
     {!Ac_hom.Hom.count_dp}). [None] when the query has existential
     variables or disequalities (negated atoms are fine — they are
     positive atoms over the complement relations). *)
-val by_hom_dp : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int option
+val by_hom_dp :
+  ?budget:Ac_runtime.Budget.t ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  int option
 
 (** The set of answers (projections), via join + projection. Each answer
     is an array of length [ℓ]. *)
-val answers : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int array list
+val answers :
+  ?budget:Ac_runtime.Budget.t ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  int array list
 
 (** [is_answer φ db τ]: can the free-variable assignment [τ] be extended
     to a solution? *)
-val is_answer : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int array -> bool
+val is_answer :
+  ?budget:Ac_runtime.Budget.t ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  int array ->
+  bool

@@ -8,6 +8,7 @@ module Tree_automaton = Ac_automata.Tree_automaton
 module Ltree = Ac_automata.Ltree
 module Acjr = Ac_automata.Acjr
 module Exact_ta = Ac_automata.Exact_ta
+module Budget = Ac_runtime.Budget
 
 (* A tuple is self-consistent when repeated variables of the scope carry
    equal values. *)
@@ -22,7 +23,7 @@ let self_consistent scope tuple =
     scope;
   !ok
 
-let bag_solutions q db bag =
+let bag_solutions ?budget q db bag =
   if not (Ecq.is_cq q) then invalid_arg "Fpras.bag_solutions: CQ required";
   let u = Structure.universe_size db in
   let bag_vars = Array.of_list (Bitset.to_list bag) in
@@ -80,7 +81,7 @@ let bag_solutions q db bag =
   else
     Some
       (Generic_join.solutions ~num_vars:(Array.length bag_vars) ~universe_size:u
-         local_atoms)
+         ?budget local_atoms)
 
 type build = {
   automaton : Tree_automaton.t;
@@ -96,7 +97,7 @@ type build = {
 type decoder = (int * int array * int array) array
 (* symbol -> (node, free vars, values) *)
 
-let build_with_decoder q db =
+let build_with_decoder ?(budget = Budget.none) q db =
   if not (Ecq.is_cq q) then invalid_arg "Fpras.build: CQ required";
   if not (Ecq.compatible_with q db) then invalid_arg "Fpras.build: incompatible db";
   let h = Ecq.hypergraph q in
@@ -111,7 +112,7 @@ let build_with_decoder q db =
     | Some s -> s
     | None ->
         let s =
-          match bag_solutions q db bag with
+          match bag_solutions ~budget q db bag with
           | None ->
               zero := true;
               []
@@ -168,6 +169,7 @@ let build_with_decoder q db =
       (fun node alphas ->
         List.iter
           (fun alpha ->
+            Budget.tick budget;
             ignore (state_of node alpha);
             ignore (symbol_of node alpha))
           alphas)
@@ -201,6 +203,7 @@ let build_with_decoder q db =
         Array.iteri
           (fun node alphas ->
             let add_t alpha rhs =
+              Budget.tick budget;
               Tree_automaton.add_transition automaton ~state:(state_of node alpha)
                 ~symbol:(symbol_of node alpha) rhs
             in
@@ -272,23 +275,38 @@ let build_with_decoder q db =
             (decoder : decoder) )
   end
 
-let build q db = Option.map fst (build_with_decoder q db)
+let build ?budget q db = Option.map fst (build_with_decoder ?budget q db)
 
-let approx_count ?config q db =
-  match build q db with
+(* [budget], when given, governs both the automaton construction and the
+   sketch propagation (overriding the config's own budget). *)
+let config_with_budget budget config =
+  let config = match config with Some c -> c | None -> Acjr.default_config () in
+  match budget with
+  | None -> config
+  | Some b -> { config with Acjr.budget = b }
+
+let approx_count ?budget ?config q db =
+  match build ?budget q db with
   | None -> 0.0
-  | Some b -> Acjr.estimate_fixed_shape ?config b.automaton b.shape
+  | Some b ->
+      Acjr.estimate_fixed_shape
+        ~config:(config_with_budget budget config)
+        b.automaton b.shape
 
-let exact_count_automaton q db =
-  match build q db with
+let exact_count_automaton ?budget q db =
+  match build ?budget q db with
   | None -> 0
   | Some b -> Exact_ta.count_fixed_shape b.automaton b.shape
 
-let sample_answer ?config q db =
-  match build_with_decoder q db with
+let sample_answer ?budget ?config q db =
+  match build_with_decoder ?budget q db with
   | None -> None
   | Some (b, decoder) -> (
-      match Acjr.sample_fixed_shape ?config b.automaton b.shape with
+      match
+        Acjr.sample_fixed_shape
+          ~config:(config_with_budget budget config)
+          b.automaton b.shape
+      with
       | None -> None
       | Some tree ->
           let l = Ecq.num_free q in

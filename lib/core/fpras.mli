@@ -19,6 +19,7 @@
     atom. [None] when some relation of [φ] is empty in [db] (then
     [Ans(φ, D) = ∅]). *)
 val bag_solutions :
+  ?budget:Ac_runtime.Budget.t ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
   Ac_hypergraph.Bitset.t ->
@@ -34,11 +35,19 @@ type build = {
 }
 
 (** Build the Lemma 52 automaton for a CQ. [None] when the answer count
-    is trivially 0. Raises [Invalid_argument] on non-CQ input. *)
-val build : Ac_query.Ecq.t -> Ac_relational.Structure.t -> build option
+    is trivially 0. Raises [Invalid_argument] on non-CQ input; a tripped
+    [budget] aborts with [Ac_runtime.Budget.Budget_exceeded]. *)
+val build :
+  ?budget:Ac_runtime.Budget.t ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  build option
 
-(** Approximate [|Ans(φ, D)|] end to end (the Theorem 16 FPRAS). *)
+(** Approximate [|Ans(φ, D)|] end to end (the Theorem 16 FPRAS).
+    [budget] governs both the automaton construction and the sketch
+    propagation (overriding [config]'s own budget field). *)
 val approx_count :
+  ?budget:Ac_runtime.Budget.t ->
   ?config:Ac_automata.Acjr.config ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
@@ -47,12 +56,17 @@ val approx_count :
 (** Exact count through the automaton (exponential in the number of
     states; validation on small instances — checks the Lemma 52
     bijection). *)
-val exact_count_automaton : Ac_query.Ecq.t -> Ac_relational.Structure.t -> int
+val exact_count_automaton :
+  ?budget:Ac_runtime.Budget.t ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  int
 
 (** Approximately-uniform answer sampling via the automaton (the §6
     extension backed by ACJR's sampler): returns an answer tuple over the
     free variables. *)
 val sample_answer :
+  ?budget:Ac_runtime.Budget.t ->
   ?config:Ac_automata.Acjr.config ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->

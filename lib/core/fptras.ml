@@ -1,6 +1,7 @@
 module Ecq = Ac_query.Ecq
 module Partite = Ac_dlm.Partite
 module Edge_count = Ac_dlm.Edge_count
+module Budget = Ac_runtime.Budget
 
 type result = {
   estimate : float;
@@ -21,9 +22,11 @@ let boolean_result oracle =
   }
 
 let approx_count ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ?probe_budget
-    ~epsilon ~delta q db =
+    ?budget ~epsilon ~delta q db =
   let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
-  let oracle = Colour_oracle.create ~rng ?rounds ?probe_budget ~engine q db in
+  let oracle =
+    Colour_oracle.create ~rng ?rounds ?probe_budget ?budget ~engine q db
+  in
   if Ecq.num_free q = 0 then boolean_result oracle
   else begin
     let space = Colour_oracle.space oracle in
@@ -38,9 +41,10 @@ let approx_count ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ?probe_budget
     }
   end
 
-let exact_count_via_oracle ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds q db =
+let exact_count_via_oracle ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds
+    ?budget q db =
   let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
-  let oracle = Colour_oracle.create ~rng ?rounds ~engine q db in
+  let oracle = Colour_oracle.create ~rng ?rounds ?budget ~engine q db in
   if Ecq.num_free q = 0 then boolean_result oracle
   else begin
     let space = Colour_oracle.space oracle in

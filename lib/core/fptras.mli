@@ -28,12 +28,16 @@ type result = {
 (** [(ε, δ)]-approximation of [|Ans(φ, D)|]. Boolean queries (ℓ = 0) are
     answered by a single oracle decision (the count is 0 or 1).
     [rounds] overrides the colouring budget per oracle call;
-    [probe_budget] the witness pre-pass (see {!Colour_oracle.create}). *)
+    [probe_budget] the witness pre-pass (see {!Colour_oracle.create});
+    [budget] is the cooperative-cancellation hook threaded into every
+    oracle call — a tripped budget aborts with
+    [Ac_runtime.Budget.Budget_exceeded]. *)
 val approx_count :
   ?rng:Random.State.t ->
   ?engine:Colour_oracle.engine ->
   ?rounds:int ->
   ?probe_budget:int ->
+  ?budget:Ac_runtime.Budget.t ->
   epsilon:float ->
   delta:float ->
   Ac_query.Ecq.t ->
@@ -49,6 +53,7 @@ val exact_count_via_oracle :
   ?rng:Random.State.t ->
   ?engine:Colour_oracle.engine ->
   ?rounds:int ->
+  ?budget:Ac_runtime.Budget.t ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
   result

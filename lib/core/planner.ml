@@ -1,7 +1,12 @@
 module Ecq = Ac_query.Ecq
+module Structure = Ac_relational.Structure
 module Hypergraph = Ac_hypergraph.Hypergraph
 module Tree_decomposition = Ac_hypergraph.Tree_decomposition
 module Widths = Ac_hypergraph.Widths
+module Budget = Ac_runtime.Budget
+module Error = Ac_runtime.Error
+module Chaos = Ac_runtime.Chaos
+module Entropy = Ac_runtime.Entropy
 
 type algorithm =
   | Use_fpras
@@ -78,20 +83,214 @@ let plan q =
           treewidth arity;
     }
 
-let count ?rng ~epsilon ~delta q db =
-  let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
-  let d = plan q in
-  let value =
-    match d.algorithm with
-    | Use_fpras ->
-        let config =
-          {
-            (Ac_automata.Acjr.default_config ()) with
-            Ac_automata.Acjr.rng;
-          }
-        in
-        Fpras.approx_count ~config q db
-    | Use_fptras engine ->
-        (Fptras.approx_count ~rng ~engine ~epsilon ~delta q db).Fptras.estimate
+let plan_result q = Error.guard (fun () -> plan q)
+
+(* Self-init draws a seed explicitly so [verbose] can log it: a governed
+   run that degrades on one machine must be replayable elsewhere. *)
+let make_rng ?rng ~verbose () =
+  match rng with
+  | Some r -> r
+  | None ->
+      let seed = Entropy.fresh_seed () in
+      if verbose then
+        Printf.eprintf "planner: self-init rng seed = %d (pass it back to replay)\n%!" seed;
+      Random.State.make [| seed |]
+
+let mismatch_message q db =
+  let bad =
+    List.filter_map
+      (fun (name, arity) ->
+        if not (Structure.mem_symbol db name) then
+          Some (Printf.sprintf "%s/%d missing from the database" name arity)
+        else
+          let a = Structure.arity_of db name in
+          if a <> arity then
+            Some
+              (Printf.sprintf "%s has arity %d in the query but %d in the database"
+                 name arity a)
+          else None)
+      (Ecq.signature q)
   in
+  "query signature not contained in the database signature: "
+  ^ String.concat "; " bad
+
+let run_decision ~rng ?budget ~epsilon ~delta d q db =
+  match d.algorithm with
+  | Use_fpras ->
+      let config =
+        { (Ac_automata.Acjr.default_config ()) with Ac_automata.Acjr.rng }
+      in
+      Fpras.approx_count ?budget ~config q db
+  | Use_fptras engine ->
+      (Fptras.approx_count ~rng ?budget ~engine ~epsilon ~delta q db)
+        .Fptras.estimate
+
+let count ?rng ?budget ?(verbose = false) ~epsilon ~delta q db =
+  let rng = make_rng ?rng ~verbose () in
+  let d = plan q in
+  if verbose then Printf.eprintf "planner: %s\n%!" d.reason;
+  let value = run_decision ~rng ?budget ~epsilon ~delta d q db in
   (value, d)
+
+let count_result ?rng ?budget ?verbose ~epsilon ~delta q db =
+  if not (Ecq.compatible_with q db) then
+    Error (Error.Signature_mismatch (mismatch_message q db))
+  else
+    match Error.guard (fun () -> count ?rng ?budget ?verbose ~epsilon ~delta q db) with
+    | Ok (v, d) when not (Float.is_finite v) ->
+        Error
+          (Error.Numeric_overflow
+             (Printf.sprintf "estimate is %h (plan: %s)" v d.reason))
+    | other -> other
+
+(* Governed execution *)
+
+type rung = Fpras_rung | Exact_rung | Tree_dp_rung | Generic_rung | Partial_rung
+
+let rung_name = function
+  | Fpras_rung -> "fpras"
+  | Exact_rung -> "exact"
+  | Tree_dp_rung -> "tree-dp"
+  | Generic_rung -> "generic-join"
+  | Partial_rung -> "partial"
+
+type attempt = { rung : rung; error : Error.t }
+
+type governed = {
+  estimate : float;
+  rung : rung;
+  guarantee : bool;
+  degraded : bool;
+  attempts : attempt list;
+  decision : decision;
+}
+
+let planned_rung d =
+  match d.algorithm with
+  | Use_fpras -> Fpras_rung
+  | Use_fptras Colour_oracle.Tree_dp -> Tree_dp_rung
+  | Use_fptras (Colour_oracle.Generic | Colour_oracle.Direct) -> Generic_rung
+
+(* Returns (estimate, guarantee-held). Only [Partial_rung] can complete
+   without the guarantee; every other rung either meets (ε, δ) — or
+   better, exactness — or raises. *)
+let run_rung ~rng ~budget ~epsilon ~delta rung q db =
+  match rung with
+  | Fpras_rung ->
+      let config =
+        { (Ac_automata.Acjr.default_config ()) with Ac_automata.Acjr.rng }
+      in
+      (Fpras.approx_count ~budget ~config q db, true)
+  | Exact_rung -> (float_of_int (Exact.by_join_projection ~budget q db), true)
+  | Tree_dp_rung ->
+      ( (Fptras.approx_count ~rng ~budget ~engine:Colour_oracle.Tree_dp
+           ~epsilon ~delta q db)
+          .Fptras.estimate,
+        true )
+  | Generic_rung ->
+      ( (Fptras.approx_count ~rng ~budget ~engine:Colour_oracle.Generic
+           ~epsilon ~delta q db)
+          .Fptras.estimate,
+        true )
+  | Partial_rung ->
+      let n, completed = Exact.partial_count ~budget q db in
+      (float_of_int n, completed)
+
+let count_governed ?rng ?(verbose = false) ?(strict = false) ?chaos ?budget
+    ~epsilon ~delta q db =
+  let budget = match budget with Some b -> b | None -> Budget.none in
+  if not (Ecq.compatible_with q db) then
+    Error (Error.Signature_mismatch (mismatch_message q db))
+  else
+    match plan_result q with
+    | Error err -> Error err
+    | Ok d ->
+        let rng = make_rng ?rng ~verbose () in
+        if verbose then Printf.eprintf "planner: %s\n%!" d.reason;
+        let guard_rung r =
+          match chaos with
+          | Some c -> Chaos.guard c ("rung:" ^ rung_name r)
+          | None -> ()
+        in
+        let finish ~rung ~guarantee ~attempts estimate =
+          if not (Float.is_finite estimate) then
+            Error
+              (Error.Numeric_overflow
+                 (Printf.sprintf "rung %s produced %h" (rung_name rung)
+                    estimate))
+          else begin
+            let attempts = List.rev attempts in
+            if verbose && attempts <> [] then
+              Printf.eprintf "planner: degraded to rung %s after %d failure(s)\n%!"
+                (rung_name rung) (List.length attempts);
+            Ok
+              {
+                estimate;
+                rung;
+                guarantee;
+                degraded = attempts <> [];
+                attempts;
+                decision = d;
+              }
+          end
+        in
+        let planned = planned_rung d in
+        if strict then
+          (* Strict mode: the planned algorithm under the whole budget,
+             first failure propagated — no degradation. *)
+          match
+            Error.guard (fun () ->
+                guard_rung planned;
+                run_rung ~rng ~budget ~epsilon ~delta planned q db)
+          with
+          | Error _ as e -> e
+          | Ok (v, guarantee) -> finish ~rung:planned ~guarantee ~attempts:[] v
+        else begin
+          let chain =
+            (planned
+            :: List.filter
+                 (fun r -> r <> planned)
+                 [ Exact_rung; Tree_dp_rung; Generic_rung ])
+            @ [ Partial_rung ]
+          in
+          let rec go attempts = function
+            | [] -> (
+                (* Even the partial rung failed (e.g. an injected fault):
+                   surface the most recent error. *)
+                match attempts with
+                | { error; _ } :: _ -> Error error
+                | [] -> Error (Error.Internal "empty fallback chain"))
+            | rung :: rest ->
+                (* Non-final rungs get half the remaining budget so a
+                   runaway attempt cannot starve the fallbacks; the final
+                   partial sweep gets everything left. If the parent has
+                   already tripped, the slice trips immediately and the
+                   rung falls through in O(1). *)
+                let fraction = if rest = [] then 1.0 else 0.5 in
+                let sub = Budget.slice ~fraction ~label:(rung_name rung) budget in
+                let outcome =
+                  Error.guard (fun () ->
+                      guard_rung rung;
+                      run_rung ~rng ~budget:sub ~epsilon ~delta rung q db)
+                in
+                if sub != budget then Budget.absorb budget sub;
+                (match outcome with
+                | Ok (v, guarantee) when Float.is_finite v ->
+                    finish ~rung ~guarantee ~attempts v
+                | Ok (v, _) ->
+                    let error =
+                      Error.Numeric_overflow
+                        (Printf.sprintf "rung %s produced %h" (rung_name rung) v)
+                    in
+                    if verbose then
+                      Printf.eprintf "planner: rung %s failed: %s\n%!"
+                        (rung_name rung) (Error.message error);
+                    go ({ rung; error } :: attempts) rest
+                | Error error ->
+                    if verbose then
+                      Printf.eprintf "planner: rung %s failed: %s\n%!"
+                        (rung_name rung) (Error.message error);
+                    go ({ rung; error } :: attempts) rest)
+          in
+          go [] chain
+        end

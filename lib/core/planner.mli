@@ -1,11 +1,28 @@
-(** Automatic algorithm selection following Figure 1.
+(** Automatic algorithm selection following Figure 1, plus
+    resource-governed execution.
 
     Given a query, {!plan} reads off the paper's classification — CQs get
     the Theorem 16 FPRAS; DCQs and ECQs get an FPTRAS (no FPRAS exists for
     them unless NP = RP, Observation 10), with the engine chosen by the
     regime: tree-decomposition DP in the bounded-arity/treewidth regime of
     Theorem 5, generic join in the unbounded-arity regime of Theorem 13.
-    {!count} plans and runs. *)
+    {!count} plans and runs.
+
+    The widths that make these running times polynomial are only bounded
+    for well-behaved queries; on an adversarial instance any pipeline can
+    blow up combinatorially. {!count_governed} therefore runs the planned
+    algorithm under a slice of an {!Ac_runtime.Budget.t} and, when the
+    slice trips, degrades along a fallback chain
+
+    {v planned → exact join → tree-DP FPTRAS → generic-join FPTRAS
+       → partial enumeration v}
+
+    (skipping the rung that equals the planned algorithm), returning the
+    first completed estimate tagged with the rung that produced it and
+    whether the (ε, δ) guarantee still holds. The final rung never
+    raises: it enumerates answers until the leftover budget trips and
+    reports the count found so far — a crude lower bound, but a bounded
+    answer instead of a hang or a crash. *)
 
 type algorithm =
   | Use_fpras                              (** Theorem 16 *)
@@ -24,11 +41,80 @@ type decision = {
 
 val plan : Ac_query.Ecq.t -> decision
 
-(** Plan, run the chosen scheme, return the estimate and the decision. *)
+(** {!plan} with [Invalid_argument]/[Failure] mapped to typed errors. *)
+val plan_result : Ac_query.Ecq.t -> (decision, Ac_runtime.Error.t) result
+
+(** Plan, run the chosen scheme, return the estimate and the decision.
+    [budget] is threaded into every inner loop (a trip raises
+    [Ac_runtime.Budget.Budget_exceeded] — use {!count_governed} to
+    degrade instead). When [rng] is omitted a seed is drawn from
+    {!Ac_runtime.Entropy.fresh_seed}; [verbose] logs it on stderr so the
+    run can be replayed exactly. *)
 val count :
   ?rng:Random.State.t ->
+  ?budget:Ac_runtime.Budget.t ->
+  ?verbose:bool ->
   epsilon:float ->
   delta:float ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
   float * decision
+
+(** {!count} with all failures (including budget trips) as typed errors.
+    Also validates [Ecq.compatible_with] up front
+    ([Error (Signature_mismatch _)]) and that the estimate is finite
+    ([Error (Numeric_overflow _)]). *)
+val count_result :
+  ?rng:Random.State.t ->
+  ?budget:Ac_runtime.Budget.t ->
+  ?verbose:bool ->
+  epsilon:float ->
+  delta:float ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  (float * decision, Ac_runtime.Error.t) result
+
+(** {2 Governed execution} *)
+
+(** A rung of the fallback chain. *)
+type rung =
+  | Fpras_rung     (** Theorem 16 sketch pipeline (CQs) *)
+  | Exact_rung     (** exact join + projection *)
+  | Tree_dp_rung   (** Theorem 5 FPTRAS, tree-DP engine *)
+  | Generic_rung   (** Theorem 13 FPTRAS, generic-join engine *)
+  | Partial_rung   (** best-effort partial enumeration, lower bound *)
+
+val rung_name : rung -> string
+
+(** A failed attempt at an earlier rung. *)
+type attempt = { rung : rung; error : Ac_runtime.Error.t }
+
+type governed = {
+  estimate : float;
+  rung : rung;        (** the rung that produced [estimate] *)
+  guarantee : bool;
+      (** [true]: the (ε, δ) guarantee (or better — exactness) holds;
+          [false]: [estimate] is a best-effort lower bound *)
+  degraded : bool;    (** some rung before [rung] failed *)
+  attempts : attempt list;  (** failed rungs, in the order tried *)
+  decision : decision;      (** the original plan *)
+}
+
+(** Run the planned algorithm under a slice of [budget] and degrade down
+    the chain on [Budget_exceeded] (or any typed error). With
+    [strict:true] the planned algorithm runs under the whole budget and
+    its first failure is returned as [Error] — no degradation. [chaos],
+    when given, is consulted once per rung ([Chaos.guard] with site
+    ["rung:<name>"]) so fault-injection tests can force any rung to
+    fire deterministically. *)
+val count_governed :
+  ?rng:Random.State.t ->
+  ?verbose:bool ->
+  ?strict:bool ->
+  ?chaos:Ac_runtime.Chaos.t ->
+  ?budget:Ac_runtime.Budget.t ->
+  epsilon:float ->
+  delta:float ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  (governed, Ac_runtime.Error.t) result

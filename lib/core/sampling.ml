@@ -3,6 +3,7 @@ module Structure = Ac_relational.Structure
 module Tuple = Ac_relational.Tuple
 module Partite = Ac_dlm.Partite
 module Edge_count = Ac_dlm.Edge_count
+module Budget = Ac_runtime.Budget
 
 (* Estimate the number of answers inside the box given by [pins]:
    [pins.(i) = Some values] confines free variable [i]; the restricted
@@ -29,12 +30,15 @@ let pinned_estimate ~rng ~epsilon ~delta oracle space pins =
   in
   (Edge_count.estimate ~rng ~epsilon ~delta space' aligned').Edge_count.value
 
-let make_sampler ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ~epsilon ~delta q
-    db =
+let make_sampler ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ?budget
+    ~epsilon ~delta q db =
   let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
   let l = Ecq.num_free q in
   let u = Structure.universe_size db in
-  let oracle = Colour_oracle.create ~rng ?rounds ~engine q db in
+  let checkpoint =
+    match budget with None -> Budget.none | Some b -> b
+  in
+  let oracle = Colour_oracle.create ~rng ?rounds ?budget ~engine q db in
   fun () ->
   if l = 0 then
     if Colour_oracle.has_answer_in_box oracle [||] then Some [||] else None
@@ -49,6 +53,7 @@ let make_sampler ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ~epsilon ~delta 
       if !ok then begin
         let candidates = ref (Array.init u Fun.id) in
         while !ok && Array.length !candidates > 1 do
+          Budget.tick checkpoint;
           let n = Array.length !candidates in
           let left = Array.sub !candidates 0 (n / 2) in
           let right = Array.sub !candidates (n / 2) (n - (n / 2)) in
@@ -88,16 +93,16 @@ let make_sampler ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ~epsilon ~delta 
     end
   end
 
-let sample ?rng ?engine ?rounds ~epsilon ~delta q db =
-  make_sampler ?rng ?engine ?rounds ~epsilon ~delta q db ()
+let sample ?rng ?engine ?rounds ?budget ~epsilon ~delta q db =
+  make_sampler ?rng ?engine ?rounds ?budget ~epsilon ~delta q db ()
 
 (* §6 first bullet: answers are the hyperedges of H(φ, D), so the
    DLM-style edge sampler applied to the colour-coded oracle samples an
    answer directly. *)
-let sample_dlm ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ~epsilon ~delta q db
-    =
+let sample_dlm ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ?budget ~epsilon
+    ~delta q db =
   let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
-  let oracle = Colour_oracle.create ~rng ?rounds ~engine q db in
+  let oracle = Colour_oracle.create ~rng ?rounds ?budget ~engine q db in
   if Ecq.num_free q = 0 then
     if Colour_oracle.has_answer_in_box oracle [||] then Some [||] else None
   else

@@ -23,6 +23,7 @@ val make_sampler :
   ?rng:Random.State.t ->
   ?engine:Colour_oracle.engine ->
   ?rounds:int ->
+  ?budget:Ac_runtime.Budget.t ->
   epsilon:float ->
   delta:float ->
   Ac_query.Ecq.t ->
@@ -38,6 +39,7 @@ val sample_dlm :
   ?rng:Random.State.t ->
   ?engine:Colour_oracle.engine ->
   ?rounds:int ->
+  ?budget:Ac_runtime.Budget.t ->
   epsilon:float ->
   delta:float ->
   Ac_query.Ecq.t ->
@@ -49,6 +51,7 @@ val sample :
   ?rng:Random.State.t ->
   ?engine:Colour_oracle.engine ->
   ?rounds:int ->
+  ?budget:Ac_runtime.Budget.t ->
   epsilon:float ->
   delta:float ->
   Ac_query.Ecq.t ->

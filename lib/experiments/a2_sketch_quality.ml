@@ -32,6 +32,7 @@ let run fmt =
                       Ac_automata.Acjr.sketch_size = kappa;
                       union_rounds = kappa;
                       rng = Random.State.make [| seed |];
+                      budget = Ac_runtime.Budget.none;
                     }
                   in
                   let est = Fpras.approx_count ~config q db in

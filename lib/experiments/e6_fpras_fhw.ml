@@ -44,6 +44,7 @@ let run fmt =
                 sketch_size = 48;
                 union_rounds = 48;
                 rng = Random.State.make [| n |];
+                budget = Ac_runtime.Budget.none;
               }
           in
           let stats =

@@ -4,6 +4,7 @@ module Hypergraph = Ac_hypergraph.Hypergraph
 module Bitset = Ac_hypergraph.Bitset
 module Tree_decomposition = Ac_hypergraph.Tree_decomposition
 module Generic_join = Ac_join.Generic_join
+module Budget = Ac_runtime.Budget
 
 type instance = {
   source : Structure.t;
@@ -101,9 +102,10 @@ type prepared = {
   base_domains : int list array option; (* None: trivially unsatisfiable *)
   full_join : Generic_join.prepared;
   dp : dp option;
+  budget : Budget.t;
 }
 
-let build_dp inst atoms =
+let build_dp ~budget inst atoms =
   let h = hypergraph inst.source in
   let d = Tree_decomposition.decompose h in
   let num_nodes = Tree_decomposition.num_nodes d in
@@ -146,7 +148,7 @@ let build_dp inst atoms =
         in
         let join =
           Generic_join.prepare ~num_vars:(Array.length vars) ~universe_size
-            local_atoms
+            ~budget local_atoms
         in
         let children =
           List.map
@@ -177,16 +179,17 @@ let build_dp inst atoms =
   visit root;
   { nodes; postorder = Array.of_list (List.rev !order); root }
 
-let prepare ~strategy inst =
+let prepare ~strategy ?(budget = Budget.none) inst =
   let atoms = to_atoms inst in
   let num_vars = Structure.universe_size inst.source in
   let universe_size = Structure.universe_size inst.target in
   let base_domains = restrict_domains inst in
-  let full_join = Generic_join.prepare ~num_vars ~universe_size atoms in
+  let full_join = Generic_join.prepare ~num_vars ~universe_size ~budget atoms in
   let dp =
     match strategy with
     | Backtracking -> None
-    | Decomposition -> if num_vars = 0 then None else Some (build_dp inst atoms)
+    | Decomposition ->
+        if num_vars = 0 then None else Some (build_dp ~budget inst atoms)
   in
   {
     instance = inst;
@@ -196,6 +199,7 @@ let prepare ~strategy inst =
     base_domains;
     full_join;
     dp;
+    budget;
   }
 
 let strategy p = p.strat
@@ -230,12 +234,13 @@ let solve_backtracking p merged =
       false);
   !result
 
-let decide_dp dp merged =
+let decide_dp ~budget dp merged =
   let num_nodes = Array.length dp.nodes in
   let solutions = Array.make num_nodes [] in
   let alive = ref true in
   Array.iter
     (fun node ->
+      Budget.tick budget;
       if !alive then begin
         let n = dp.nodes.(node) in
         let local_domains = Array.map (fun v -> Some merged.(v)) n.vars in
@@ -277,7 +282,7 @@ let decide p ?domains () =
       match (p.strat, p.dp) with
       | Backtracking, _ | Decomposition, None ->
           Option.is_some (solve_backtracking p merged)
-      | Decomposition, Some dp -> decide_dp dp merged)
+      | Decomposition, Some dp -> decide_dp ~budget:p.budget dp merged)
 
 let solve p ?domains () =
   match merged_domains p domains with
@@ -361,7 +366,7 @@ module Nice = Ac_hypergraph.Nice_decomposition
    enforced by filtering at every node whose bag contains an atom's whole
    scope — filtering is idempotent, so enforcing at several nodes is
    harmless; multiplicities arise only from forget-sums. *)
-let count_dp ({ source; target = _ } as inst) =
+let count_dp ?(budget = Budget.none) ({ source; target = _ } as inst) =
   let n = Structure.universe_size source in
   if n = 0 then 1
   else begin
@@ -403,6 +408,7 @@ let count_dp ({ source; target = _ } as inst) =
         in
         let kids = Nice.children nice in
         let bump table key count =
+          Budget.tick budget;
           if count > 0 then
             Hashtbl.replace table key
               (count + Option.value ~default:0 (Hashtbl.find_opt table key))

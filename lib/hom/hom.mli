@@ -40,7 +40,12 @@ type strategy = Backtracking | Decomposition
 
 type prepared
 
-val prepare : strategy:strategy -> instance -> prepared
+(** [budget], when given, is ticked by every later decision/enumeration
+    (per generic-join search node, per DP table row), so a tripped
+    budget cancels the computation with
+    [Ac_runtime.Budget.Budget_exceeded]. *)
+val prepare :
+  strategy:strategy -> ?budget:Ac_runtime.Budget.t -> instance -> prepared
 val strategy : prepared -> strategy
 
 (** [decide p ?domains ()] — is there a homomorphism mapping each
@@ -72,8 +77,8 @@ val count_brute_force : instance -> int
     decomposition of [H(A)] — Dalmau–Jonsson's fixed-parameter algorithm
     (the paper's footnote 4: counting answers to quantifier-free CQs is
     counting homomorphisms, easy for bounded treewidth). Polynomial in
-    [‖B‖] for bounded [tw(A)]. *)
-val count_dp : instance -> int
+    [‖B‖] for bounded [tw(A)]. [budget] is ticked per table row. *)
+val count_dp : ?budget:Ac_runtime.Budget.t -> instance -> int
 
 (** {2 Homomorphic cores}
 

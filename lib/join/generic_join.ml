@@ -1,4 +1,5 @@
 module Relation = Ac_relational.Relation
+module Budget = Ac_runtime.Budget
 
 type atom = {
   scope : int array;
@@ -25,6 +26,7 @@ type prepared = {
   order : int array;
   indexed : indexed array;
   at_level : (int * int) list array; (* order position → (atom, level) *)
+  budget : Budget.t; (* ticked once per search-tree node *)
 }
 
 let index_atom ~position a =
@@ -76,7 +78,7 @@ let default_order ~num_vars atoms =
   in
   Array.of_list sorted
 
-let prepare ~num_vars ~universe_size ?order atoms =
+let prepare ~num_vars ~universe_size ?(budget = Budget.none) ?order atoms =
   validate ~num_vars atoms;
   let order =
     match order with
@@ -98,7 +100,7 @@ let prepare ~num_vars ~universe_size ?order atoms =
           at_level.(position.(v)) <- (ai, level) :: at_level.(position.(v)))
         idx.vars_in_order)
     indexed;
-  { num_vars; universe_size; order; indexed; at_level }
+  { num_vars; universe_size; order; indexed; at_level; budget }
 
 let run ?domains p ~f =
   let nodes = Array.map (fun idx -> idx.trie) p.indexed in
@@ -110,6 +112,7 @@ let run ?domains p ~f =
   in
   let stop = ref false in
   let rec assign i =
+    Budget.tick p.budget;
     if !stop then ()
     else if i = p.num_vars then begin
       if not (f (Array.copy assignment)) then stop := true
@@ -174,29 +177,29 @@ let run ?domains p ~f =
   in
   assign 0
 
-let iter ~num_vars ~universe_size ?domains ?order atoms ~f =
-  run ?domains (prepare ~num_vars ~universe_size ?order atoms) ~f
+let iter ~num_vars ~universe_size ?budget ?domains ?order atoms ~f =
+  run ?domains (prepare ~num_vars ~universe_size ?budget ?order atoms) ~f
 
-let find ~num_vars ~universe_size ?domains ?order atoms =
+let find ~num_vars ~universe_size ?budget ?domains ?order atoms =
   let result = ref None in
-  iter ~num_vars ~universe_size ?domains ?order atoms ~f:(fun a ->
+  iter ~num_vars ~universe_size ?budget ?domains ?order atoms ~f:(fun a ->
       result := Some a;
       false);
   !result
 
-let exists ~num_vars ~universe_size ?domains ?order atoms =
-  Option.is_some (find ~num_vars ~universe_size ?domains ?order atoms)
+let exists ~num_vars ~universe_size ?budget ?domains ?order atoms =
+  Option.is_some (find ~num_vars ~universe_size ?budget ?domains ?order atoms)
 
-let count ~num_vars ~universe_size ?domains ?order atoms =
+let count ~num_vars ~universe_size ?budget ?domains ?order atoms =
   let n = ref 0 in
-  iter ~num_vars ~universe_size ?domains ?order atoms ~f:(fun _ ->
+  iter ~num_vars ~universe_size ?budget ?domains ?order atoms ~f:(fun _ ->
       incr n;
       true);
   !n
 
-let solutions ~num_vars ~universe_size ?domains ?order atoms =
+let solutions ~num_vars ~universe_size ?budget ?domains ?order atoms =
   let acc = ref [] in
-  iter ~num_vars ~universe_size ?domains ?order atoms ~f:(fun a ->
+  iter ~num_vars ~universe_size ?budget ?domains ?order atoms ~f:(fun a ->
       acc := a :: !acc;
       true);
   List.rev !acc

@@ -27,10 +27,18 @@ type prepared
 
 (** [prepare ~num_vars ~universe_size ?order atoms]. [order], when given,
     must be a permutation of the variables; the default order takes
-    variables ascending by the smallest relation they appear in. Raises
-    [Invalid_argument] on malformed atoms. *)
+    variables ascending by the smallest relation they appear in.
+    [budget], when given, is ticked once per backtracking-search node on
+    every later {!run}, so a tripped budget cancels the enumeration with
+    [Ac_runtime.Budget.Budget_exceeded]. Raises [Invalid_argument] on
+    malformed atoms. *)
 val prepare :
-  num_vars:int -> universe_size:int -> ?order:int array -> atom list -> prepared
+  num_vars:int ->
+  universe_size:int ->
+  ?budget:Ac_runtime.Budget.t ->
+  ?order:int array ->
+  atom list ->
+  prepared
 
 (** [run prepared ?domains ~f] calls [f] on each satisfying assignment (a
     fresh array); [f] returning [false] stops the enumeration.
@@ -43,6 +51,7 @@ val run : ?domains:int list option array -> prepared -> f:(int array -> bool) ->
 val iter :
   num_vars:int ->
   universe_size:int ->
+  ?budget:Ac_runtime.Budget.t ->
   ?domains:int list option array ->
   ?order:int array ->
   atom list ->
@@ -52,6 +61,7 @@ val iter :
 val find :
   num_vars:int ->
   universe_size:int ->
+  ?budget:Ac_runtime.Budget.t ->
   ?domains:int list option array ->
   ?order:int array ->
   atom list ->
@@ -60,6 +70,7 @@ val find :
 val exists :
   num_vars:int ->
   universe_size:int ->
+  ?budget:Ac_runtime.Budget.t ->
   ?domains:int list option array ->
   ?order:int array ->
   atom list ->
@@ -68,6 +79,7 @@ val exists :
 val count :
   num_vars:int ->
   universe_size:int ->
+  ?budget:Ac_runtime.Budget.t ->
   ?domains:int list option array ->
   ?order:int array ->
   atom list ->
@@ -76,6 +88,7 @@ val count :
 val solutions :
   num_vars:int ->
   universe_size:int ->
+  ?budget:Ac_runtime.Budget.t ->
   ?domains:int list option array ->
   ?order:int array ->
   atom list ->

@@ -384,3 +384,9 @@ let parse input =
       if var_names.(r) = "" || find v = v then var_names.(r) <- name)
     var_ids;
   make ~var_names ~num_free ~num_vars atoms
+
+let parse_result input =
+  match parse input with
+  | q -> Ok q
+  | exception (Failure msg | Invalid_argument msg) ->
+      Error (Ac_runtime.Error.Parse { source = "query"; msg })

@@ -87,3 +87,7 @@ val all_pairs_diseq_free : t -> t
 
     Raises [Failure] on syntax errors. *)
 val parse : string -> t
+
+(** {!parse} with syntax errors as typed [Parse] errors ([source] is
+    ["query"]). Never raises. *)
+val parse_result : string -> (t, Ac_runtime.Error.t) result

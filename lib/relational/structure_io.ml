@@ -1,10 +1,17 @@
-let of_string text =
+let of_string ?name ?max_bytes text =
+  let prefix = match name with None -> "" | Some n -> n ^ ": " in
+  (match max_bytes with
+  | Some cap when String.length text > cap ->
+      failwith
+        (Printf.sprintf "%sinput is %d bytes, over the %d-byte cap" prefix
+           (String.length text) cap)
+  | _ -> ());
   let lines = String.split_on_char '\n' text in
   let structure = ref None in
   List.iteri
     (fun idx line ->
       let lineno = idx + 1 in
-      let fail msg = failwith (Printf.sprintf "line %d: %s" lineno msg) in
+      let fail msg = failwith (Printf.sprintf "%sline %d: %s" prefix lineno msg) in
       let line =
         match String.index_opt line '#' with
         | Some i -> String.sub line 0 i
@@ -39,20 +46,60 @@ let of_string text =
               args
           in
           if values = [] then fail "facts need at least one element";
+          if Structure.mem_symbol s name then begin
+            let declared = Structure.arity_of s name in
+            if declared <> List.length values then
+              fail
+                (Printf.sprintf
+                   "fact for %s has %d elements but %s is used with arity %d"
+                   name (List.length values) name declared)
+          end;
           match Structure.add_fact s name (Array.of_list values) with
           | () -> ()
           | exception Invalid_argument msg -> fail msg))
     lines;
   match !structure with
   | Some s -> s
-  | None -> failwith "empty database file (missing `universe <n>`)"
+  | None -> failwith (prefix ^ "empty database file (missing `universe <n>`)")
 
-let load path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let content = really_input_string ic n in
-  close_in ic;
-  of_string content
+let slurp ?max_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      match max_bytes with
+      | Some cap when n > cap ->
+          Error
+            (Printf.sprintf "file is %d bytes, over the %d-byte load cap" n cap)
+      | _ -> Ok (really_input_string ic n))
+
+let load ?max_bytes path =
+  match slurp ?max_bytes path with
+  | Ok content -> of_string ~name:path content
+  | Error msg -> failwith (path ^ ": " ^ msg)
+
+let load_result ?max_bytes path =
+  match slurp ?max_bytes path with
+  | exception Sys_error msg ->
+      (* [Sys_error] messages already start with the path; the [Io] error
+         carries it separately, so drop the duplicate. *)
+      let msg =
+        let prefix = path ^ ": " in
+        let n = String.length prefix in
+        if String.length msg > n && String.sub msg 0 n = prefix then
+          String.sub msg n (String.length msg - n)
+        else msg
+      in
+      Error (Ac_runtime.Error.Io { file = path; msg })
+  | Error msg -> Error (Ac_runtime.Error.Io { file = path; msg })
+  | Ok content -> (
+      (* [of_string] without [name] keeps the message a bare line-numbered
+         description; the path travels in the error's [source] field. *)
+      match of_string content with
+      | s -> Ok s
+      | exception Failure msg ->
+          Error (Ac_runtime.Error.Parse { source = path; msg }))
 
 let to_string s =
   let buf = Buffer.create 1024 in

@@ -10,15 +10,29 @@
     P 3
     v}
 
-    The first non-comment line must be [universe <n>]. A line
-    [relation <name> <arity>] declares a (possibly empty) relation; any
-    other line is a fact [<name> <v_1> .. <v_k>], implicitly declaring the
-    symbol with the fact's length as arity. *)
+    The first non-comment line must be [universe <n>] (a duplicate
+    declaration is rejected). A line [relation <name> <arity>] declares a
+    (possibly empty) relation; any other line is a fact
+    [<name> <v_1> .. <v_k>], implicitly declaring the symbol with the
+    fact's length as arity. A fact whose length disagrees with the
+    symbol's declared (or previously used) arity is rejected with a
+    message naming both arities. *)
 
-val of_string : string -> Structure.t
+(** Raises [Failure] with a line-numbered message on malformed input.
+    [name], when given, prefixes every message (the loaders pass the file
+    path). [max_bytes] caps the accepted input size. *)
+val of_string : ?name:string -> ?max_bytes:int -> string -> Structure.t
 
-(** Raises [Failure] with a line-numbered message on malformed input. *)
-val load : string -> Structure.t
+(** Raises [Failure] (prefixed with the file path) on malformed input or
+    when the file exceeds [max_bytes]; the size check happens before the
+    file is read into memory. *)
+val load : ?max_bytes:int -> string -> Structure.t
+
+(** {!load} with failures as typed errors: missing/unreadable file and a
+    tripped size cap map to [Io], malformed content to [Parse] with the
+    path as [source]. Never raises. *)
+val load_result :
+  ?max_bytes:int -> string -> (Structure.t, Ac_runtime.Error.t) result
 
 val to_string : Structure.t -> string
 val save : string -> Structure.t -> unit

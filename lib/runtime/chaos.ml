@@ -1,0 +1,73 @@
+type action = Fail of string | Delay_ms of int | Exhaust
+
+type t = {
+  plan : (int, action) Hashtbl.t;
+  p_fail : float;
+  p_delay : float;
+  delay_ms : int;
+  budget : Budget.t option;
+  rng : Random.State.t;
+  mutable count : int;
+  mutable log : (int * string * string) list;
+}
+
+let create ?(plan = []) ?(p_fail = 0.0) ?(p_delay = 0.0) ?(delay_ms = 1)
+    ?budget ~seed () =
+  let table = Hashtbl.create 8 in
+  List.iter (fun (i, a) -> Hashtbl.replace table i a) plan;
+  {
+    plan = table;
+    p_fail;
+    p_delay;
+    delay_ms;
+    budget;
+    rng = Random.State.make [| seed; 0x5eed |];
+    count = 0;
+    log = [];
+  }
+
+let calls t = t.count
+let history t = List.rev t.log
+
+let describe = function
+  | Fail msg -> "fail: " ^ msg
+  | Delay_ms ms -> Printf.sprintf "delay %d ms" ms
+  | Exhaust -> "exhaust budget"
+
+let apply t site action =
+  t.log <- (t.count, site, describe action) :: t.log;
+  match action with
+  | Fail msg ->
+      Error.raise_e
+        (Error.Fault (Printf.sprintf "%s (site %s, call %d)" msg site t.count))
+  | Delay_ms ms -> Unix.sleepf (float_of_int ms /. 1000.0)
+  | Exhaust -> (
+      match t.budget with
+      | Some b ->
+          Budget.exhaust ~note:(Printf.sprintf "chaos exhaust at %s" site) b;
+          Budget.check b
+      | None ->
+          Error.raise_e
+            (Error.Fault
+               (Printf.sprintf "chaos exhaust at %s (no budget attached)" site))
+      )
+
+let guard t site =
+  t.count <- t.count + 1;
+  (* draw both randoms unconditionally so the stream position only
+     depends on the call count, never on the plan *)
+  let r_fail = Random.State.float t.rng 1.0 in
+  let r_delay = Random.State.float t.rng 1.0 in
+  match Hashtbl.find_opt t.plan t.count with
+  | Some action -> apply t site action
+  | None ->
+      if r_fail < t.p_fail then apply t site (Fail "random fault")
+      else if r_delay < t.p_delay then apply t site (Delay_ms t.delay_ms)
+
+let wrap t ?(site = "wrap") f x =
+  guard t site;
+  f x
+
+let wrap_oracle t ?(site = "oracle") f x =
+  guard t site;
+  f x

@@ -1,0 +1,52 @@
+(** Deterministic fault injection.
+
+    A {!t} is a seeded stream of chaos decisions consulted at
+    instrumentation sites (one {!guard} call per site visit): it can
+    raise a typed {!Error.Fault}, sleep to simulate a slow dependency,
+    or trip an attached {!Budget.t} to simulate exhaustion mid-run.
+    Faults are reproducible two ways: positionally via [plan] (exact
+    call numbers, what the fallback-chain tests use) and statistically
+    via [p_fail]/[p_delay] with a fixed [seed] (what the chaos suite's
+    smoke tests use — same seed, same event stream).
+
+    [wrap] turns any function — typically a hom-counting oracle — into
+    a chaotic one that consults the stream before every call. *)
+
+type action =
+  | Fail of string  (** raise [Error.E (Fault _)] *)
+  | Delay_ms of int  (** sleep that many milliseconds *)
+  | Exhaust  (** {!Budget.exhaust} the attached budget, then check it *)
+
+type t
+
+(** [plan] maps 1-based {!guard}-call numbers to actions (takes
+    precedence over the random stream). [p_fail]/[p_delay] are per-call
+    probabilities; random delays last [delay_ms] (default 1). [budget]
+    is what [Exhaust] trips; exhausting without one raises a [Fault]
+    instead. *)
+val create :
+  ?plan:(int * action) list ->
+  ?p_fail:float ->
+  ?p_delay:float ->
+  ?delay_ms:int ->
+  ?budget:Budget.t ->
+  seed:int ->
+  unit ->
+  t
+
+(** Number of {!guard} calls so far. *)
+val calls : t -> int
+
+(** Injected events so far, oldest first: (call number, site, action
+    description). *)
+val history : t -> (int * string * string) list
+
+(** Consult the stream once; [site] labels the instrumentation point in
+    fault messages and {!history}. *)
+val guard : t -> string -> unit
+
+(** [wrap t ~site f] guards every application of [f]. *)
+val wrap : t -> ?site:string -> ('a -> 'b) -> 'a -> 'b
+
+(** {!wrap} specialised to decision oracles, for intent. *)
+val wrap_oracle : t -> ?site:string -> ('a -> bool) -> 'a -> bool

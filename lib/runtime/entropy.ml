@@ -1,0 +1,7 @@
+let counter = ref 0
+
+let fresh_seed () =
+  incr counter;
+  let micros = Int64.of_float (Unix.gettimeofday () *. 1e6) in
+  let mixed = Int64.add micros (Int64.of_int (!counter * 0x9E3779B9)) in
+  Int64.to_int (Int64.logand mixed 0x3FFFFFFFL)

@@ -1,0 +1,44 @@
+(** Typed errors for the public API.
+
+    Every failure class the pipelines can hit maps to one constructor,
+    one stable message shape and one CLI exit code (see
+    [docs/robustness.md]); [Result]-returning entry points
+    ([Planner.count_result], [Structure_io.load_result], …) return these
+    instead of raising bare [Failure] strings. *)
+
+type t =
+  | Parse of { source : string; msg : string }
+      (** malformed query text or database file; [source] names it *)
+  | Io of { file : string; msg : string }
+      (** filesystem-level failure, including the loader's size cap *)
+  | Signature_mismatch of string
+      (** query signature not contained in the database's *)
+  | Budget of Budget.trip  (** a resource budget tripped *)
+  | Numeric_overflow of string
+      (** an estimate left the representable range (nan/infinite) *)
+  | Fault of string  (** injected by {!Chaos} *)
+  | Internal of string  (** everything else — a bug if a user sees it *)
+
+exception E of t
+
+val message : t -> string
+
+(** Stable class slug: parse | io | signature | budget | overflow |
+    fault | internal. *)
+val class_name : t -> string
+
+(** CLI exit codes: 10 parse, 11 io, 12 signature, 13 budget,
+    14 overflow, 15 fault, 16 internal. *)
+val exit_code : t -> int
+
+(** Map an exception to its typed error; [None] for exceptions that
+    should keep propagating (e.g. [Stack_overflow], [Sys.Break]). *)
+val of_exn : exn -> t option
+
+(** Run [f], catching {!E}, {!Budget.Budget_exceeded}, [Failure] and
+    [Invalid_argument]. With [source], [Failure]/[Invalid_argument]
+    become [Parse { source; _ }]; without, they become [Internal]. *)
+val guard : ?source:string -> (unit -> 'a) -> ('a, t) result
+
+val raise_e : t -> 'a
+val pp : Format.formatter -> t -> unit

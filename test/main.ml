@@ -26,4 +26,6 @@ let () =
       ("regression", Test_regression.tests);
       ("planner-ucq-core", Test_planner.tests);
       ("misc", Test_misc.tests);
+      ("runtime", Test_runtime.tests);
+      ("malformed", Test_malformed.tests);
     ]

@@ -1,0 +1,137 @@
+(* Malformed inputs must surface as typed errors, never as crashes or
+   bare exceptions. *)
+
+module Error = Ac_runtime.Error
+module Ecq = Ac_query.Ecq
+module Structure = Ac_relational.Structure
+module Structure_io = Ac_relational.Structure_io
+
+let with_temp_file content f =
+  let path = Filename.temp_file "acq_test" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      f path)
+
+let expect_parse name result =
+  match result with
+  | Error (Error.Parse _) -> ()
+  | Error e -> Alcotest.failf "%s: wrong class %s" name (Error.class_name e)
+  | Ok _ -> Alcotest.failf "%s: accepted" name
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+(* ---------- query parsing ---------- *)
+
+let test_parse_result_garbage () =
+  List.iter
+    (fun text -> expect_parse text (Ecq.parse_result text))
+    [
+      "";
+      "ans(x :- E(x, y)";
+      "ans(x) :- ";
+      "ans(x) :- E(x,, y)";
+      "ans(x) :- x != x";
+      "ans(x, y) :- E(x, y), x = y";
+      "garbage";
+    ];
+  match Ecq.parse_result "ans(x) :- E(x, y)" with
+  | Ok q -> Alcotest.(check int) "good query parses" 1 (Ecq.num_free q)
+  | Error e -> Alcotest.failf "rejected valid query: %s" (Error.message e)
+
+(* ---------- database loading ---------- *)
+
+let test_load_result_malformed () =
+  let cases =
+    [
+      ("garbled", "!!not a database!!\n");
+      ("no universe", "E 0 1\n");
+      ("negative universe", "universe -4\n");
+      ("duplicate universe", "universe 3\nuniverse 3\n");
+      ("bad element", "universe 3\nE 0 x\n");
+      ("element out of range", "universe 3\nE 0 7\n");
+      ("arity disagreement", "universe 3\nE 0 1\nE 0 1 2\n");
+      ("declared arity disagreement", "universe 3\nrelation E 3\nE 0 1\n");
+      ("nullary relation", "universe 3\nrelation E 0\n");
+    ]
+  in
+  List.iter
+    (fun (name, content) ->
+      with_temp_file content (fun path ->
+          expect_parse name (Structure_io.load_result path)))
+    cases
+
+let test_load_result_messages () =
+  with_temp_file "universe 3\nuniverse 3\n" (fun path ->
+      match Structure_io.load_result path with
+      | Error (Error.Parse { source; msg }) ->
+          Alcotest.(check string) "source is the path" path source;
+          Alcotest.(check bool) "message says duplicate" true
+            (contains msg "duplicate");
+          Alcotest.(check bool) "message has the line number" true
+            (contains msg "line 2")
+      | _ -> Alcotest.fail "duplicate universe accepted");
+  with_temp_file "universe 3\nE 0 1\nE 0 1 2\n" (fun path ->
+      match Structure_io.load_result path with
+      | Error (Error.Parse { msg; _ }) ->
+          Alcotest.(check bool) "message names both arities" true
+            (contains msg "3 elements" && contains msg "arity 2")
+      | _ -> Alcotest.fail "arity disagreement accepted")
+
+let test_load_result_io () =
+  (match Structure_io.load_result "/nonexistent/definitely/missing.txt" with
+  | Error (Error.Io _) -> ()
+  | Error e -> Alcotest.failf "wrong class %s" (Error.class_name e)
+  | Ok _ -> Alcotest.fail "missing file accepted");
+  with_temp_file "universe 2\nE 0 1\n" (fun path ->
+      match Structure_io.load_result ~max_bytes:4 path with
+      | Error (Error.Io { msg; _ }) ->
+          Alcotest.(check bool) "cap named in message" true (contains msg "cap")
+      | Error e -> Alcotest.failf "wrong class %s" (Error.class_name e)
+      | Ok _ -> Alcotest.fail "size cap ignored")
+
+let test_load_result_ok () =
+  with_temp_file "# comment\nuniverse 4\nrelation E 2\nE 0 1\nE 2 3\nP 1\n"
+    (fun path ->
+      match Structure_io.load_result path with
+      | Ok db ->
+          Alcotest.(check int) "universe" 4 (Structure.universe_size db);
+          (* ‖D‖ = 2 relations + 4 universe + (2·2 + 1·1) fact weight *)
+          Alcotest.(check int) "‖D‖" 11 (Structure.size db)
+      | Error e -> Alcotest.failf "rejected valid file: %s" (Error.message e))
+
+let test_load_raising_variant () =
+  (* the raising [load] keeps its Failure contract, now path-prefixed *)
+  with_temp_file "universe 3\nuniverse 3\n" (fun path ->
+      match Structure_io.load path with
+      | _ -> Alcotest.fail "duplicate universe accepted"
+      | exception Failure msg ->
+          Alcotest.(check bool) "path in message" true (contains msg path));
+  match Structure_io.of_string ~max_bytes:2 "universe 3\n" with
+  | _ -> Alcotest.fail "of_string cap ignored"
+  | exception Failure msg ->
+      Alcotest.(check bool) "cap in message" true (contains msg "cap")
+
+let tests =
+  [
+    Alcotest.test_case "parse_result: garbage is a typed Parse error" `Quick
+      test_parse_result_garbage;
+    Alcotest.test_case "load_result: malformed files are Parse errors" `Quick
+      test_load_result_malformed;
+    Alcotest.test_case "load_result: messages carry path/line/arity" `Quick
+      test_load_result_messages;
+    Alcotest.test_case "load_result: missing file and size cap are Io" `Quick
+      test_load_result_io;
+    Alcotest.test_case "load_result: valid file still loads" `Quick
+      test_load_result_ok;
+    Alcotest.test_case "load/of_string keep the Failure contract" `Quick
+      test_load_raising_variant;
+  ]
