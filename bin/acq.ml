@@ -21,8 +21,8 @@ module Structure = Ac_relational.Structure
 module Structure_io = Ac_relational.Structure_io
 module Budget = Ac_runtime.Budget
 module Error = Ac_runtime.Error
-module Entropy = Ac_runtime.Entropy
 module Planner = Approxcount.Planner
+module Api = Approxcount.Api
 
 let exit_degraded = 3
 
@@ -33,14 +33,6 @@ let report err =
 
 (* All-or-nothing: [Error.guard]ed body, typed-error exit code on failure. *)
 let guarded f = match Error.guard f with Ok code -> code | Error e -> report e
-
-let resolve_seed ~verbose = function
-  | Some s -> s
-  | None ->
-      let s = Entropy.fresh_seed () in
-      if verbose then
-        Printf.eprintf "acq: self-init rng seed = %d (pass --seed %d to replay)\n%!" s s;
-      s
 
 let make_budget ~timeout_ms ~max_heap_mb =
   match (timeout_ms, max_heap_mb) with
@@ -62,7 +54,9 @@ let db_term =
   Arg.(required & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
 
 let epsilon_term =
-  Arg.(value & opt float 0.25 & info [ "epsilon" ] ~docv:"EPS" ~doc:"Accuracy target.")
+  Arg.(
+    value & opt float 0.25
+    & info [ "eps"; "epsilon" ] ~docv:"EPS" ~doc:"Accuracy target.")
 
 let delta_term =
   Arg.(value & opt float 0.1 & info [ "delta" ] ~docv:"DELTA" ~doc:"Failure probability.")
@@ -104,6 +98,16 @@ let strict_term =
 
 let verbose_term =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty stderr diagnostics.")
+
+let jobs_term =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent trials; 0 (default) picks \
+           one per available core, 1 is fully sequential. Estimates \
+           are bit-identical for any value — jobs only changes \
+           throughput.")
 
 let engine_term =
   (* note: must not be named [conv] — Arg.( ) would shadow it *)
@@ -147,122 +151,113 @@ let with_input ?max_db_mb query_text db_path f =
           else f query db)
 
 let count_cmd =
-  let run query_text db_path method_ engine epsilon delta seed timeout_ms
+  let run query_text db_path method_ engine eps delta seed jobs timeout_ms
       max_heap_mb max_db_mb strict verbose =
     with_input ?max_db_mb query_text db_path (fun query db ->
         let budget = make_budget ~timeout_ms ~max_heap_mb in
-        match method_ with
-        | `Auto -> (
-            (* No explicit seed: let the planner self-init so its seed
-               logging (--verbose) names the value actually used. *)
-            let rng = Option.map (fun s -> Random.State.make [| s |]) seed in
-            match
-              Planner.count_governed ?rng ~verbose ~strict ?budget ~epsilon
-                ~delta query db
-            with
-            | Error e -> report e
-            | Ok g ->
-                Printf.printf "%.1f\n" g.Planner.estimate;
-                Printf.eprintf "plan: %s\n%!" g.Planner.decision.Planner.reason;
-                if g.Planner.degraded then begin
-                  let failed =
-                    g.Planner.attempts
-                    |> List.map (fun (a : Planner.attempt) ->
-                           Printf.sprintf "%s (%s)"
-                             (Planner.rung_name a.Planner.rung)
-                             (Error.message a.Planner.error))
-                    |> String.concat "; "
-                  in
-                  Printf.eprintf
-                    "acq: degraded answer from rung %s — %s; failed rungs: %s\n%!"
-                    (Planner.rung_name g.Planner.rung)
-                    (if g.Planner.guarantee then "(eps,delta) guarantee holds"
-                     else "lower bound only, no guarantee")
-                    failed;
-                  exit_degraded
-                end
-                else begin
-                  if verbose then
-                    Printf.eprintf "acq: rung %s, guarantee %b\n%!"
-                      (Planner.rung_name g.Planner.rung) g.Planner.guarantee;
-                  0
-                end)
-        | `Exact ->
-            guarded (fun () ->
-                Printf.printf "%d\n"
-                  (Approxcount.Exact.by_join_projection ?budget query db);
-                0)
-        | `Brute ->
-            guarded (fun () ->
-                Printf.printf "%d\n"
-                  (Approxcount.Exact.brute_force ?budget query db);
-                0)
-        | `Fptras ->
-            guarded (fun () ->
-                let rng =
-                  Random.State.make [| resolve_seed ~verbose seed |]
-                in
-                let r =
-                  Approxcount.Fptras.approx_count ~rng ?budget ~engine ~epsilon
-                    ~delta query db
-                in
-                Printf.printf "%.1f%s\n" r.Approxcount.Fptras.estimate
-                  (if r.exact then " (exact)" else "");
-                0)
-        | `Fpras ->
-            if not (Ecq.is_cq query) then
-              report
-                (Error.Signature_mismatch
-                   "the FPRAS (Theorem 16) requires a CQ: remove \
-                    disequalities and negations, or use --method fptras")
-            else
-              guarded (fun () ->
-                  let seed = resolve_seed ~verbose seed in
-                  let config =
-                    { (Ac_automata.Acjr.default_config ~seed ()) with
-                      Ac_automata.Acjr.sketch_size = 48 }
-                  in
-                  Printf.printf "%.1f\n"
-                    (Approxcount.Fpras.approx_count ?budget ~config query db);
-                  0))
+        let method_ =
+          match method_ with
+          | `Auto -> Api.Auto
+          | `Exact -> Api.Exact
+          | `Brute -> Api.Brute
+          | `Fptras -> Api.Fptras engine
+          | `Fpras -> Api.Fpras
+        in
+        let jobs = if jobs <= 0 then None else Some jobs in
+        let r =
+          Api.request ~eps ~delta ~method_ ?seed ?jobs ?budget ~strict ~verbose
+            query db
+        in
+        match Api.run r with
+        | Error e -> report e
+        | Ok resp ->
+            if resp.Api.exact then Printf.printf "%.0f\n" resp.Api.estimate
+            else Printf.printf "%.1f\n" resp.Api.estimate;
+            (match resp.Api.decision with
+            | Some d -> Printf.eprintf "plan: %s\n%!" d.Planner.reason
+            | None -> ());
+            if verbose then begin
+              let t = resp.Api.telemetry in
+              Printf.eprintf
+                "acq: seed %d, jobs %d, %d ticks, %.1f ms (replay with --seed %d --jobs %d)\n%!"
+                t.Api.seed t.Api.jobs t.Api.ticks t.Api.elapsed_ms t.Api.seed
+                t.Api.jobs
+            end;
+            if resp.Api.degraded then begin
+              let failed =
+                resp.Api.attempts
+                |> List.map (fun (a : Planner.attempt) ->
+                       Printf.sprintf "%s (%s)"
+                         (Planner.rung_name a.Planner.rung)
+                         (Error.message a.Planner.error))
+                |> String.concat "; "
+              in
+              let rung =
+                match resp.Api.rung with
+                | Some r -> Planner.rung_name r
+                | None -> "?"
+              in
+              Printf.eprintf
+                "acq: degraded answer from rung %s — %s; failed rungs: %s\n%!"
+                rung
+                (if resp.Api.guarantee then "(eps,delta) guarantee holds"
+                 else "lower bound only, no guarantee")
+                failed;
+              exit_degraded
+            end
+            else begin
+              (match (verbose, resp.Api.rung) with
+              | true, Some rung ->
+                  Printf.eprintf "acq: rung %s, guarantee %b\n%!"
+                    (Planner.rung_name rung) resp.Api.guarantee
+              | _ -> ());
+              0
+            end)
   in
   let doc = "Count the answers of a query in a database." in
   Cmd.v (Cmd.info "count" ~doc)
     Term.(
       const run $ query_term $ db_term $ method_term $ engine_term
-      $ epsilon_term $ delta_term $ seed_term $ timeout_term $ max_heap_term
-      $ max_db_term $ strict_term $ verbose_term)
+      $ epsilon_term $ delta_term $ seed_term $ jobs_term $ timeout_term
+      $ max_heap_term $ max_db_term $ strict_term $ verbose_term)
 
 let sample_cmd =
   let draws_term =
     Arg.(value & opt int 1 & info [ "draws" ] ~docv:"N" ~doc:"Number of samples.")
   in
-  let run query_text db_path engine epsilon delta seed draws timeout_ms
+  let run query_text db_path engine eps delta seed jobs draws timeout_ms
       max_heap_mb max_db_mb verbose =
     with_input ?max_db_mb query_text db_path (fun query db ->
-        guarded (fun () ->
-            let budget = make_budget ~timeout_ms ~max_heap_mb in
-            let rng = Random.State.make [| resolve_seed ~verbose seed |] in
-            let sampler =
-              Approxcount.Sampling.make_sampler ~rng ?budget ~engine ~epsilon
-                ~delta query db
-            in
-            for _ = 1 to draws do
-              match sampler () with
-              | None -> print_endline "(no sample)"
-              | Some tau ->
-                  print_endline
-                    (String.concat " "
-                       (Array.to_list (Array.map string_of_int tau)))
-            done;
-            0))
+        let budget = make_budget ~timeout_ms ~max_heap_mb in
+        let jobs = if jobs <= 0 then None else Some jobs in
+        let r =
+          Api.request ~eps ~delta ~method_:(Api.Fptras engine) ?seed ?jobs
+            ?budget ~verbose query db
+        in
+        match Api.sample ~draws r with
+        | Error e -> report e
+        | Ok (samples, t) ->
+            Array.iter
+              (function
+                | None -> print_endline "(no sample)"
+                | Some tau ->
+                    print_endline
+                      (String.concat " "
+                         (Array.to_list (Array.map string_of_int tau))))
+              samples;
+            if verbose then
+              Printf.eprintf
+                "acq: seed %d, jobs %d, %d ticks, %.1f ms (replay with --seed %d --jobs %d)\n%!"
+                t.Api.seed t.Api.jobs t.Api.ticks t.Api.elapsed_ms t.Api.seed
+                t.Api.jobs;
+            0)
   in
   let doc = "Draw approximately-uniform answers (§6 JVV sampling)." in
   Cmd.v (Cmd.info "sample" ~doc)
     Term.(
       const run $ query_term $ db_term $ engine_term $ epsilon_term
-      $ delta_term $ seed_term $ draws_term $ timeout_term $ max_heap_term
-      $ max_db_term $ verbose_term)
+      $ delta_term $ seed_term $ jobs_term $ draws_term $ timeout_term
+      $ max_heap_term $ max_db_term $ verbose_term)
 
 let widths_cmd =
   let run query_text =

@@ -49,14 +49,17 @@ let () =
     (fun text ->
       let q = Ecq.parse text in
       let exact = Approxcount.Exact.by_join_projection q db in
-      let estimate, decision = Planner.count ~rng ~epsilon:0.2 ~delta:0.1 q db in
       Format.printf "@.%s@." text;
-      Format.printf "  plan:     %s@." decision.Planner.reason;
-      Format.printf "  widths:   tw %d, fhw %.2f%s@." decision.treewidth
-        decision.fhw
-        (if decision.exact_widths then "" else " (bounds)");
-      Format.printf "  exact:    %d@." exact;
-      Format.printf "  estimate: %.1f@." estimate)
+      match Planner.count_result ~rng ~eps:0.2 ~delta:0.1 q db with
+      | Error e ->
+          Format.printf "  failed:   %s@." (Ac_runtime.Error.message e)
+      | Ok (estimate, decision) ->
+          Format.printf "  plan:     %s@." decision.Planner.reason;
+          Format.printf "  widths:   tw %d, fhw %.2f%s@." decision.treewidth
+            decision.fhw
+            (if decision.exact_widths then "" else " (bounds)");
+          Format.printf "  exact:    %d@." exact;
+          Format.printf "  estimate: %.1f@." estimate)
     queries;
 
   (* §6: a union of two queries, counted with the fully approximate
@@ -66,5 +69,6 @@ let () =
   in
   Format.printf "@.union: %a@." Ucq.pp u;
   Format.printf "  exact:    %d@." (Ucq.exact_count u db);
-  Format.printf "  karp-luby (FPTRAS + JVV): %.1f@."
-    (Ucq.approx_count ~rng ~kl_rounds:120 ~epsilon:0.25 ~delta:0.1 u db)
+  match Ucq.approx_count_result ~rng ~kl_rounds:120 ~eps:0.25 ~delta:0.1 u db with
+  | Ok est -> Format.printf "  karp-luby (FPTRAS + JVV): %.1f@." est
+  | Error e -> Format.printf "  karp-luby failed: %s@." (Ac_runtime.Error.message e)

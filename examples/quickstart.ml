@@ -37,9 +37,18 @@ let () =
      edge-count layer. On an instance this small it returns the exact
      count. *)
   let rng = Random.State.make [| 42 |] in
-  let r = Approxcount.Fptras.approx_count ~rng ~epsilon:0.1 ~delta:0.05 q db in
+  let r = Approxcount.Fptras.approx_count ~rng ~eps:0.1 ~delta:0.05 q db in
   Format.printf "FPTRAS estimate = %.1f (exact path: %b, oracle calls %d, hom calls %d)@."
     r.Approxcount.Fptras.estimate r.exact r.oracle_calls r.hom_calls;
+
+  (* The same count through the unified Api facade: result-typed,
+     seeded (replayable) and parallelisable with ~jobs. *)
+  (match Approxcount.Api.(run (request ~eps:0.1 ~delta:0.05 ~seed:42 q db)) with
+  | Ok resp ->
+      Format.printf "Api estimate   = %.1f (seed %d, jobs %d, %d ticks)@."
+        resp.Approxcount.Api.estimate resp.telemetry.seed resp.telemetry.jobs
+        resp.telemetry.ticks
+  | Error e -> Format.printf "Api failed: %s@." (Ac_runtime.Error.message e));
 
   (* Who are they? Enumerate the answers. *)
   let answers = Approxcount.Exact.answers q db |> List.map (fun t -> t.(0)) in

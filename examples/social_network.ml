@@ -19,7 +19,7 @@ module Dbgen = Ac_workload.Dbgen
 let run_query ?engine rng name q db =
   let exact = Approxcount.Exact.by_join_projection q db in
   let t0 = Unix.gettimeofday () in
-  let r = Approxcount.Fptras.approx_count ?engine ~rng ~epsilon:0.25 ~delta:0.1 q db in
+  let r = Approxcount.Fptras.approx_count ?engine ~rng ~eps:0.25 ~delta:0.1 q db in
   let dt = Unix.gettimeofday () -. t0 in
   Format.printf "%-12s exact=%6d  fptras=%8.1f  (%s, %d oracle / %d hom calls, %.2fs)@."
     name exact r.Approxcount.Fptras.estimate
@@ -49,10 +49,12 @@ let () =
   Format.printf "@.sampled open triads:@.";
   for _ = 1 to 5 do
     match
-      Approxcount.Sampling.sample ~rng ~epsilon:0.4 ~delta:0.2 triad db
+      Approxcount.Sampling.sample_result ~rng ~eps:0.4 ~delta:0.2 triad db
     with
-    | Some [| x; y |] -> Format.printf "  %d -?- %d (friend of a friend)@." x y
-    | _ -> Format.printf "  (no sample)@."
+    | Ok (Some [| x; y |]) ->
+        Format.printf "  %d -?- %d (friend of a friend)@." x y
+    | Ok _ -> Format.printf "  (no sample)@."
+    | Error e -> Format.printf "  (failed: %s)@." (Ac_runtime.Error.message e)
   done;
 
   (* §6: union of queries — people who are popular OR lonely-adjacent *)

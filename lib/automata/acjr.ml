@@ -351,6 +351,30 @@ let estimator ?config a shape =
 
 let estimate_fixed_shape ?config a shape = fst (estimator ?config a shape)
 
+(* The paper's confidence amplification: independent repetitions of the
+   whole sketch propagation, combined by median. Each trial re-seeds the
+   config from its own stream and ticks its chunk's budget slice, so the
+   batch parallelises over domains without sharing any mutable sketch
+   state (the automaton itself is read-only here; its run-state memo is
+   domain-local). *)
+let estimate_median ?budget ?config ~exec ~repetitions a shape =
+  let base = match config with Some c -> c | None -> default_config () in
+  if repetitions <= 1 then
+    estimate_fixed_shape ~config:base a shape
+  else begin
+    let trials =
+      Ac_exec.Engine.run ?budget exec ~trials:repetitions
+        (fun ~rng ~budget i ->
+          ignore i;
+          estimate_fixed_shape ~config:{ base with rng; budget } a shape)
+    in
+    let sorted = Array.copy trials in
+    Array.sort Float.compare sorted;
+    let n = Array.length sorted in
+    if n land 1 = 1 then sorted.(n / 2)
+    else 0.5 *. (sorted.((n / 2) - 1) +. sorted.(n / 2))
+  end
+
 let sample_fixed_shape ?config a shape =
   let _, draw = estimator ?config a shape in
   draw ()

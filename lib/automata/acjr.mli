@@ -31,6 +31,23 @@ val default_config : ?seed:int -> ?budget:Ac_runtime.Budget.t -> unit -> config
     automaton. *)
 val estimate_fixed_shape : ?config:config -> Tree_automaton.t -> Ltree.shape -> float
 
+(** Median over [repetitions] independent sketch propagations, each on
+    its own deterministic RNG stream, fanned out over [exec]'s domains
+    ({!Ac_exec.Engine}). The automaton is shared read-only across the
+    trials (its run-state memo is domain-local); trial [i] draws all
+    randomness from stream [i] of [exec]'s seed, so the median is
+    bit-identical for any jobs count. [budget] governs the whole batch
+    through per-chunk sub-slices; [config]'s own [rng]/[budget] fields
+    are overridden per trial. *)
+val estimate_median :
+  ?budget:Ac_runtime.Budget.t ->
+  ?config:config ->
+  exec:Ac_exec.Engine.t ->
+  repetitions:int ->
+  Tree_automaton.t ->
+  Ltree.shape ->
+  float
+
 (** Approximately-uniform sample of an accepted labeling ([None] when the
     estimate is 0). *)
 val sample_fixed_shape :

@@ -4,12 +4,14 @@ type t = {
   children : t list;
 }
 
-let counter = ref 0
+(* Ids must stay unique when trees are built from several domains at
+   once (parallel sketch trials) — the automaton's run-state memo keys
+   on them, and a duplicated id would silently corrupt it. *)
+let counter = Atomic.make 0
 
 let node label children =
   if List.length children > 2 then invalid_arg "Ltree.node: more than 2 children";
-  incr counter;
-  { id = !counter; label; children }
+  { id = Atomic.fetch_and_add counter 1 + 1; label; children }
 
 let leaf label = node label []
 

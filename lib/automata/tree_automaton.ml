@@ -12,7 +12,13 @@ type t = {
   by_symbol : (int, (int * rhs) list ref) Hashtbl.t; (* symbol → (state, rhs) *)
   seen : (int * int * rhs, unit) Hashtbl.t;
   mutable count : int;
-  reach_memo : (int, Iset.t) Hashtbl.t; (* Ltree id → run states *)
+  reach_memo : (int, Iset.t) Hashtbl.t Domain.DLS.key;
+      (* Ltree id → run states. Domain-local: the parallel sketch trials
+         share one (read-only) automaton across domains, and a plain
+         shared hashtable would race on memoisation writes. Each domain
+         memoises independently — the memo is semantics-free cache, so
+         results stay bit-identical regardless of which domain ran a
+         trial. *)
 }
 
 let create ~num_states ~num_symbols ~initial =
@@ -26,7 +32,7 @@ let create ~num_states ~num_symbols ~initial =
     by_symbol = Hashtbl.create 64;
     seen = Hashtbl.create 256;
     count = 0;
-    reach_memo = Hashtbl.create 1024;
+    reach_memo = Domain.DLS.new_key (fun () -> Hashtbl.create 1024);
   }
 
 let num_states a = a.num_states
@@ -74,7 +80,8 @@ let iter_transitions a f =
     a.by_symbol
 
 let rec reach a (tree : Ltree.t) =
-  match Hashtbl.find_opt a.reach_memo tree.Ltree.id with
+  let memo = Domain.DLS.get a.reach_memo in
+  match Hashtbl.find_opt memo tree.Ltree.id with
   | Some r -> r
   | None ->
       let result =
@@ -107,7 +114,7 @@ let rec reach a (tree : Ltree.t) =
               Iset.empty candidates
         | _ -> invalid_arg "Tree_automaton: tree node with more than 2 children"
       in
-      Hashtbl.replace a.reach_memo tree.Ltree.id result;
+      Hashtbl.replace memo tree.Ltree.id result;
       result
 
 let run_states a tree = Iset.elements (reach a tree)

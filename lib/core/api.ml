@@ -1,0 +1,181 @@
+module Ecq = Ac_query.Ecq
+module Structure = Ac_relational.Structure
+module Budget = Ac_runtime.Budget
+module Error = Ac_runtime.Error
+module Chaos = Ac_runtime.Chaos
+module Entropy = Ac_runtime.Entropy
+module Engine = Ac_exec.Engine
+
+type method_ =
+  | Auto
+  | Fpras
+  | Fptras of Colour_oracle.engine
+  | Exact
+  | Brute
+
+let method_name = function
+  | Auto -> "auto"
+  | Fpras -> "fpras"
+  | Fptras Colour_oracle.Tree_dp -> "fptras/tree-dp"
+  | Fptras Colour_oracle.Generic -> "fptras/generic"
+  | Fptras Colour_oracle.Direct -> "fptras/direct"
+  | Exact -> "exact"
+  | Brute -> "brute"
+
+type request = {
+  query : Ecq.t;
+  db : Structure.t;
+  eps : float;
+  delta : float;
+  method_ : method_;
+  seed : int option;
+  jobs : int option;
+  budget : Budget.t option;
+  strict : bool;
+  verbose : bool;
+  chaos : Chaos.t option;
+}
+
+let request ?(eps = 0.25) ?(delta = 0.1) ?(method_ = Auto) ?seed ?jobs ?budget
+    ?(strict = false) ?(verbose = false) ?chaos query db =
+  { query; db; eps; delta; method_; seed; jobs; budget; strict; verbose; chaos }
+
+type telemetry = {
+  seed : int;
+  jobs : int;
+  ticks : int;
+  elapsed_ms : float;
+}
+
+type response = {
+  estimate : float;
+  exact : bool;
+  decision : Planner.decision option;
+  rung : Planner.rung option;
+  guarantee : bool;
+  degraded : bool;
+  attempts : Planner.attempt list;
+  telemetry : telemetry;
+}
+
+(* Seed resolution happens — and is logged — before any computation, so
+   a run that later stalls or degrades can still be replayed. *)
+let resolve_seed (r : request) =
+  match r.seed with
+  | Some s -> s
+  | None ->
+      let s = Entropy.fresh_seed () in
+      if r.verbose then
+        Printf.eprintf
+          "api: method %s, self-init seed = %d (pass it back to replay)\n%!"
+          (method_name r.method_) s;
+      s
+
+let resolve_jobs (r : request) =
+  match r.jobs with Some j -> max 1 j | None -> Engine.default_jobs ()
+
+let fpras_requires_cq =
+  "the FPRAS (Theorem 16) requires a CQ: remove disequalities and negations, \
+   or use the fptras method"
+
+let mismatch = Error.Signature_mismatch "query signature is not contained in the database's"
+
+let run r =
+  let seed = resolve_seed r in
+  let jobs = resolve_jobs r in
+  if r.verbose && r.seed <> None then
+    Printf.eprintf "api: method %s, seed = %d, jobs = %d\n%!"
+      (method_name r.method_) seed jobs;
+  let exec = Engine.make ~jobs ~seed () in
+  (* telemetry needs a tick counter even when the caller set no limit *)
+  let budget =
+    match r.budget with Some b -> b | None -> Budget.create ~label:"api" ()
+  in
+  let telemetry () =
+    { seed; jobs; ticks = Budget.ticks budget; elapsed_ms = Budget.elapsed_ms budget }
+  in
+  let finish ?decision ?rung ?(guarantee = true) ?(degraded = false)
+      ?(attempts = []) ~exact estimate =
+    if not (Float.is_finite estimate) then
+      Error
+        (Error.Numeric_overflow
+           (Printf.sprintf "estimate is %h (method %s)" estimate
+              (method_name r.method_)))
+    else
+      Ok
+        {
+          estimate;
+          exact;
+          decision;
+          rung;
+          guarantee;
+          degraded;
+          attempts;
+          telemetry = telemetry ();
+        }
+  in
+  if not (Ecq.compatible_with r.query r.db) then Error mismatch
+  else
+    match r.method_ with
+    | Auto -> (
+        match
+          Planner.count_governed ~budget ~exec ~verbose:r.verbose
+            ~strict:r.strict ?chaos:r.chaos ~eps:r.eps ~delta:r.delta r.query
+            r.db
+        with
+        | Error e -> Error e
+        | Ok g ->
+            finish ~decision:g.Planner.decision ~rung:g.Planner.rung
+              ~guarantee:g.Planner.guarantee ~degraded:g.Planner.degraded
+              ~attempts:g.Planner.attempts
+              ~exact:(g.Planner.rung = Planner.Exact_rung)
+              g.Planner.estimate)
+    | Fpras ->
+        if not (Ecq.is_cq r.query) then
+          Error (Error.Signature_mismatch fpras_requires_cq)
+        else
+          Result.bind
+            (Error.guard (fun () ->
+                 Fpras.approx_count ~budget ~exec
+                   ~repetitions:(Fpras.repetitions_for ~delta:r.delta)
+                   r.query r.db))
+            (fun estimate -> finish ~exact:false estimate)
+    | Fptras engine ->
+        Result.bind
+          (Error.guard (fun () ->
+               Fptras.approx_count ~budget ~exec ~engine ~eps:r.eps
+                 ~delta:r.delta r.query r.db))
+          (fun fr -> finish ~exact:fr.Fptras.exact fr.Fptras.estimate)
+    | Exact ->
+        Result.bind
+          (Error.guard (fun () -> Exact.by_join_projection ~budget r.query r.db))
+          (fun n -> finish ~exact:true (float_of_int n))
+    | Brute ->
+        Result.bind
+          (Error.guard (fun () -> Exact.brute_force ~budget r.query r.db))
+          (fun n -> finish ~exact:true (float_of_int n))
+
+let sample ?(draws = 1) r =
+  let seed = resolve_seed r in
+  let jobs = resolve_jobs r in
+  let exec = Engine.make ~jobs ~seed () in
+  let budget =
+    match r.budget with Some b -> b | None -> Budget.create ~label:"api" ()
+  in
+  let engine =
+    match r.method_ with Fptras engine -> engine | _ -> Colour_oracle.Tree_dp
+  in
+  if not (Ecq.compatible_with r.query r.db) then Error mismatch
+  else
+    Result.map
+      (fun samples ->
+        ( samples,
+          {
+            seed;
+            jobs;
+            ticks = Budget.ticks budget;
+            elapsed_ms = Budget.elapsed_ms budget;
+          } ))
+      (Error.guard (fun () ->
+           Sampling.sample_many ~budget ~engine ~exec ~draws ~eps:r.eps
+             ~delta:r.delta r.query r.db))

@@ -1,0 +1,92 @@
+(** The unified entry point.
+
+    Everything the CLI (and any embedding application) needs is behind
+    two calls: {!run} for counting and {!sample} for answer sampling.
+    A {!request} names the query, the database, the accuracy targets
+    and the execution envelope (method, seed, jobs, budget, strictness,
+    fault injection); a {!response} carries the estimate together with
+    everything needed to interpret and replay it (plan, rung,
+    degradation trail, resolved seed, jobs, tick count, wall time).
+
+    {b Determinism.} For a fixed [seed], estimates are bit-identical
+    for {e any} [jobs] value: all randomness derives from per-trial
+    SplitMix streams of the seed ({!Ac_exec.Seeds}) and trial results
+    are combined in index order — [jobs] is purely a throughput knob.
+
+    {b Errors.} No exception escapes {!run}/{!sample}; every failure is
+    an [Ac_runtime.Error.t] ([Error.exit_code] gives the stable CLI
+    exit code). The raising entry points of the inner layers
+    ([Fpras.approx_count], [Fptras.approx_count], [Sampling.sample],
+    …) remain available as documented internal variants. *)
+
+type method_ =
+  | Auto                              (** planner + governed fallback chain *)
+  | Fpras                             (** Theorem 16 (CQs only) *)
+  | Fptras of Colour_oracle.engine    (** Theorems 5 / 13 by engine *)
+  | Exact                             (** exact join + projection *)
+  | Brute                             (** brute-force enumeration *)
+
+val method_name : method_ -> string
+
+type request = {
+  query : Ac_query.Ecq.t;
+  db : Ac_relational.Structure.t;
+  eps : float;            (** accuracy target (default 0.25) *)
+  delta : float;          (** failure probability (default 0.1) *)
+  method_ : method_;      (** default [Auto] *)
+  seed : int option;      (** [None]: fresh seed, logged when [verbose] *)
+  jobs : int option;      (** [None]: {!Ac_exec.Engine.default_jobs} *)
+  budget : Ac_runtime.Budget.t option;
+  strict : bool;          (** [Auto]: fail fast instead of degrading *)
+  verbose : bool;         (** stderr diagnostics *)
+  chaos : Ac_runtime.Chaos.t option;  (** fault injection (tests) *)
+}
+
+(** Request builder with the documented defaults; positional arguments
+    are the query and the database. *)
+val request :
+  ?eps:float ->
+  ?delta:float ->
+  ?method_:method_ ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?budget:Ac_runtime.Budget.t ->
+  ?strict:bool ->
+  ?verbose:bool ->
+  ?chaos:Ac_runtime.Chaos.t ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  request
+
+type telemetry = {
+  seed : int;        (** the seed actually used — pass back to replay *)
+  jobs : int;        (** the jobs count actually used *)
+  ticks : int;       (** budget work ticks at completion *)
+  elapsed_ms : float;
+}
+
+type response = {
+  estimate : float;
+  exact : bool;                        (** the value is an exact count *)
+  decision : Planner.decision option;  (** the plan ([Auto] only) *)
+  rung : Planner.rung option;          (** producing rung ([Auto] only) *)
+  guarantee : bool;   (** the (ε, δ) guarantee (or exactness) holds *)
+  degraded : bool;    (** a fallback rung produced the value *)
+  attempts : Planner.attempt list;     (** failed rungs, in order *)
+  telemetry : telemetry;
+}
+
+(** Count. The resolved seed is logged to stderr {e before} any
+    computation starts (when [verbose] and self-initialised), so even a
+    run that stalls can be replayed. *)
+val run : request -> (response, Ac_runtime.Error.t) result
+
+(** Draw [draws] (default 1) approximately-uniform answers via the JVV
+    sampler, fanned out over the request's jobs
+    ({!Sampling.sample_many}); [method_] selects the oracle engine when
+    it is [Fptras _] (otherwise the tree-DP engine). Entry [i] is
+    [None] when draw [i] failed to pin an answer. *)
+val sample :
+  ?draws:int ->
+  request ->
+  (int array option array * telemetry, Ac_runtime.Error.t) result

@@ -18,12 +18,12 @@ type t = {
   probe_budget : int; (* witnesses enumerated before colouring; 0 disables the shortcut *)
   budget : Budget.t; (* cooperative cancellation: ticked per oracle call and per colouring round *)
   rng : Random.State.t;
-  mutable homs : int;
-  mutable oracles : int;
+  homs : int Atomic.t; (* atomic: probed concurrently from parallel trial domains *)
+  oracles : int Atomic.t;
 }
 
-let hom_calls t = t.homs
-let oracle_calls t = t.oracles
+let hom_calls t = Atomic.get t.homs
+let oracle_calls t = Atomic.get t.oracles
 
 let factorial n =
   let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
@@ -66,9 +66,13 @@ let create ?rng ?rounds ?(probe_budget = 128) ?(budget = Budget.none) ~engine
     probe_budget = max 0 probe_budget;
     budget;
     rng;
-    homs = 0;
-    oracles = 0;
+    homs = Atomic.make 0;
+    oracles = Atomic.make 0;
   }
+
+let create_result ?rng ?rounds ?probe_budget ?budget ~engine q db =
+  Ac_runtime.Error.guard (fun () ->
+      create ?rng ?rounds ?probe_budget ?budget ~engine q db)
 
 let space t =
   let l = Ecq.num_free t.query in
@@ -145,13 +149,13 @@ let propagate t domains delta =
   (domains, !delta)
 
 let decide t domains =
-  t.homs <- t.homs + 1;
+  Atomic.incr t.homs;
   Hom.decide t.solver ~domains ()
 
 (* Direct engine: enumerate join solutions, accept the first satisfying
    all remaining disequalities. No colour-coding, no width guarantee. *)
 let decide_direct t domains delta =
-  t.homs <- t.homs + 1;
+  Atomic.incr t.homs;
   if delta = [] then Hom.decide t.solver ~domains ()
   else begin
     let found = ref false in
@@ -162,9 +166,13 @@ let decide_direct t domains delta =
     !found
   end
 
-let has_answer_in_box t parts =
+(* [rng] defaults to the oracle's own state; parallel trial engines pass
+   their per-trial stream instead, so probe outcomes depend only on the
+   stream (everything else in [t] is read-only during a probe). *)
+let has_answer_in_box ?rng t parts =
+  let rng = match rng with Some r -> r | None -> t.rng in
   Budget.tick t.budget;
-  t.oracles <- t.oracles + 1;
+  Atomic.incr t.oracles;
   if Array.exists (fun p -> Array.length p = 0) parts then false
   else begin
     let domains0 = base_domains t parts in
@@ -187,7 +195,7 @@ let has_answer_in_box t parts =
                  guarantees where they matter). *)
               let verdict = ref `Unknown in
               if t.probe_budget > 0 then begin
-                t.homs <- t.homs + 1;
+                Atomic.incr t.homs;
                 let seen = ref 0 in
                 Hom.iter_solutions t.solver ~domains ~f:(fun h ->
                     incr seen;
@@ -226,7 +234,7 @@ let has_answer_in_box t parts =
                 List.iter
                   (fun (i, j) ->
                     let f =
-                      Array.init t.universe_size (fun _ -> Random.State.bool t.rng)
+                      Array.init t.universe_size (fun _ -> Random.State.bool rng)
                     in
                     let keep v pred =
                       let current =
@@ -248,3 +256,4 @@ let has_answer_in_box t parts =
   end
 
 let aligned_oracle t parts = not (has_answer_in_box t parts)
+let seeded_oracle t ~rng parts = not (has_answer_in_box ~rng t parts)

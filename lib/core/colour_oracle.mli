@@ -60,6 +60,18 @@ val create :
   Ac_relational.Structure.t ->
   t
 
+(** {!create} wrapped in {!Ac_runtime.Error.guard}: the result form for
+    public callers ([create] itself is the internal raising variant). *)
+val create_result :
+  ?rng:Random.State.t ->
+  ?rounds:int ->
+  ?probe_budget:int ->
+  ?budget:Ac_runtime.Budget.t ->
+  engine:engine ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  (t, Ac_runtime.Error.t) result
+
 (** The paper's colouring budget [⌈ln(2 T ℓ! / δ)⌉ · 4^{|Δ|}]. *)
 val rounds_for :
   delta:float -> ell:int -> num_diseq:int -> expected_oracle_calls:int -> int
@@ -68,11 +80,22 @@ val rounds_for :
     values of free variable [i]). *)
 val aligned_oracle : t -> Ac_dlm.Partite.aligned_oracle
 
+(** Same oracle with the probe's RNG passed per call
+    ({!Ac_dlm.Edge_count.seeded_oracle}): the form the parallel trial
+    engine needs, so each trial's colourings come from its own stream.
+    The oracle value itself is safe to share across domains — the
+    prepared solver and relations are read-only after {!create}, the
+    call counters are atomic, and the baked [budget] is ticked from all
+    domains (racy counts, but trips reach every domain). *)
+val seeded_oracle : t -> Ac_dlm.Edge_count.seeded_oracle
+
 (** The partite space of [H(φ, D)]: ℓ classes of size [|U(D)|]. Raises
     [Invalid_argument] for Boolean queries (ℓ = 0) — see
     {!Fptras.approx_count}, which handles them separately. *)
 val space : t -> Ac_dlm.Partite.space
 
 (** Decision with explicit free-variable domains — [false] iff edge-free.
-    Exposed for the Boolean-query path and for tests. *)
-val has_answer_in_box : t -> int array array -> bool
+    Exposed for the Boolean-query path and for tests. [rng] (default:
+    the oracle's own state) supplies the colouring randomness for this
+    one probe. *)
+val has_answer_in_box : ?rng:Random.State.t -> t -> int array array -> bool

@@ -285,13 +285,33 @@ let config_with_budget budget config =
   | None -> config
   | Some b -> { config with Acjr.budget = b }
 
-let approx_count ?budget ?config q db =
+(* Median repetitions for confidence 1 - delta: the single-sketch
+   estimator is within the accuracy band with constant probability, so
+   ~ln(1/δ) independent repetitions around the median amplify it. *)
+let repetitions_for ~delta =
+  let delta = Float.min 0.49 (Float.max 1e-12 delta) in
+  let m = int_of_float (ceil (1.25 *. Float.log (1.0 /. delta))) in
+  max 3 ((2 * m) + 1)
+
+let approx_count ?budget ?config ?exec ?repetitions q db =
   match build ?budget q db with
   | None -> 0.0
-  | Some b ->
-      Acjr.estimate_fixed_shape
-        ~config:(config_with_budget budget config)
-        b.automaton b.shape
+  | Some b -> (
+      let config = config_with_budget budget config in
+      match exec with
+      | None -> Acjr.estimate_fixed_shape ~config b.automaton b.shape
+      | Some exec ->
+          (* Engine path: the automaton is built once (sequential — it is
+             a deterministic construction) and shared read-only by the
+             repetitions. A single sketch propagation is the legacy
+             behaviour; [repetitions] defaults to the δ=0.05 batch. *)
+          let repetitions =
+            match repetitions with
+            | Some r -> max 1 r
+            | None -> repetitions_for ~delta:0.05
+          in
+          Acjr.estimate_median ?budget ~config ~exec ~repetitions b.automaton
+            b.shape)
 
 let exact_count_automaton ?budget q db =
   match build ?budget q db with

@@ -43,12 +43,27 @@ val build :
   Ac_relational.Structure.t ->
   build option
 
+(** Median repetitions giving confidence [1 - delta] for the sketch
+    estimator ([max 3 (2⌈1.25 ln(1/δ)⌉ + 1)]). *)
+val repetitions_for : delta:float -> int
+
 (** Approximate [|Ans(φ, D)|] end to end (the Theorem 16 FPRAS).
     [budget] governs both the automaton construction and the sketch
-    propagation (overriding [config]'s own budget field). *)
+    propagation (overriding [config]'s own budget field). Accuracy knobs
+    live in [config] (sketch size ~ 1/ε²).
+
+    With [exec], a median over [repetitions] independent sketch
+    propagations (default: the δ=0.05 batch of {!repetitions_for}) is
+    fanned out over the engine's domains via
+    {!Ac_automata.Acjr.estimate_median}; [config]'s [rng] is overridden
+    by per-trial streams, so the result is bit-identical for any jobs
+    count. Without [exec], a single propagation runs sequentially under
+    [config]'s own rng — the legacy cost. *)
 val approx_count :
   ?budget:Ac_runtime.Budget.t ->
   ?config:Ac_automata.Acjr.config ->
+  ?exec:Ac_exec.Engine.t ->
+  ?repetitions:int ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
   float

@@ -2,47 +2,76 @@ module Ecq = Ac_query.Ecq
 module Partite = Ac_dlm.Partite
 module Edge_count = Ac_dlm.Edge_count
 module Budget = Ac_runtime.Budget
+module Engine = Ac_exec.Engine
 
 type result = {
   estimate : float;
   exact : bool;
   level : int;
+  repetitions : int;
   oracle_calls : int;
   hom_calls : int;
 }
 
-let boolean_result oracle =
-  let found = Colour_oracle.has_answer_in_box oracle [||] in
+let boolean_result ?rng oracle =
+  let found = Colour_oracle.has_answer_in_box ?rng oracle [||] in
   {
     estimate = (if found then 1.0 else 0.0);
     exact = true;
     level = 0;
+    repetitions = 1;
     oracle_calls = Colour_oracle.oracle_calls oracle;
     hom_calls = Colour_oracle.hom_calls oracle;
   }
 
-let approx_count ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ?probe_budget
-    ?budget ~epsilon ~delta q db =
-  let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
-  let oracle =
-    Colour_oracle.create ~rng ?rounds ?probe_budget ?budget ~engine q db
-  in
-  if Ecq.num_free q = 0 then boolean_result oracle
-  else begin
-    let space = Colour_oracle.space oracle in
-    let aligned = Colour_oracle.aligned_oracle oracle in
-    let r = Edge_count.estimate ~rng ~epsilon ~delta space aligned in
-    {
-      estimate = r.Edge_count.value;
-      exact = r.Edge_count.exact;
-      level = r.Edge_count.level;
-      oracle_calls = Colour_oracle.oracle_calls oracle;
-      hom_calls = Colour_oracle.hom_calls oracle;
-    }
-  end
+let of_edge_count oracle (r : Edge_count.result) =
+  {
+    estimate = r.Edge_count.value;
+    exact = r.Edge_count.exact;
+    level = r.Edge_count.level;
+    repetitions = r.Edge_count.repetitions;
+    oracle_calls = Colour_oracle.oracle_calls oracle;
+    hom_calls = Colour_oracle.hom_calls oracle;
+  }
 
-let exact_count_via_oracle ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds
-    ?budget q db =
+let approx_count ?budget ?rng ?exec ?(engine = Colour_oracle.Tree_dp) ?rounds
+    ?probe_budget ~eps ~delta q db =
+  match exec with
+  | None ->
+      (* Sequential path: one global RNG drives the oracle and the
+         estimator, exactly as before the engine existed. *)
+      let rng =
+        match rng with Some r -> r | None -> Random.State.make_self_init ()
+      in
+      let oracle =
+        Colour_oracle.create ~rng ?rounds ?probe_budget ?budget ~engine q db
+      in
+      if Ecq.num_free q = 0 then boolean_result oracle
+      else
+        let space = Colour_oracle.space oracle in
+        let aligned = Colour_oracle.aligned_oracle oracle in
+        of_edge_count oracle (Edge_count.estimate ~rng ~epsilon:eps ~delta space aligned)
+  | Some exec ->
+      (* Engine path: the oracle's baked rng is never consulted — every
+         probe receives the stream of the trial (or sequential phase)
+         that issued it, so the estimate is bit-identical for any jobs
+         count. [rng] is ignored here by construction: randomness must
+         come from the engine's seed alone. *)
+      let oracle =
+        Colour_oracle.create
+          ~rng:(Engine.state exec ~stream:0)
+          ?rounds ?probe_budget ?budget ~engine q db
+      in
+      if Ecq.num_free q = 0 then
+        boolean_result ~rng:(Engine.state exec ~stream:0) oracle
+      else
+        let space = Colour_oracle.space oracle in
+        let seeded = Colour_oracle.seeded_oracle oracle in
+        of_edge_count oracle
+          (Edge_count.estimate_exec ~exec ?budget ~epsilon:eps ~delta space seeded)
+
+let exact_count_via_oracle ?budget ?rng ?(engine = Colour_oracle.Tree_dp)
+    ?rounds q db =
   let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
   let oracle = Colour_oracle.create ~rng ?rounds ?budget ~engine q db in
   if Ecq.num_free q = 0 then boolean_result oracle
@@ -54,6 +83,7 @@ let exact_count_via_oracle ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds
       estimate = float_of_int count;
       exact = true;
       level = 0;
+      repetitions = 1;
       oracle_calls = Colour_oracle.oracle_calls oracle;
       hom_calls = Colour_oracle.hom_calls oracle;
     }

@@ -21,6 +21,7 @@ type result = {
   estimate : float;
   exact : bool;        (** the edge-count layer answered exactly *)
   level : int;         (** subsampling level used by the estimator *)
+  repetitions : int;   (** median repetitions the estimator ran *)
   oracle_calls : int;  (** [EdgeFree] oracle invocations *)
   hom_calls : int;     (** homomorphism tests behind them *)
 }
@@ -31,14 +32,22 @@ type result = {
     [probe_budget] the witness pre-pass (see {!Colour_oracle.create});
     [budget] is the cooperative-cancellation hook threaded into every
     oracle call — a tripped budget aborts with
-    [Ac_runtime.Budget.Budget_exceeded]. *)
+    [Ac_runtime.Budget.Budget_exceeded].
+
+    With [exec], the estimator's median repetitions fan out over the
+    engine's domains ({!Ac_dlm.Edge_count.estimate_exec}) and {e all}
+    randomness — colourings included — derives from the engine's seed
+    ([rng] is ignored), so the result is bit-identical for any jobs
+    count. Without it, [rng] drives everything sequentially, as
+    before. *)
 val approx_count :
+  ?budget:Ac_runtime.Budget.t ->
   ?rng:Random.State.t ->
+  ?exec:Ac_exec.Engine.t ->
   ?engine:Colour_oracle.engine ->
   ?rounds:int ->
   ?probe_budget:int ->
-  ?budget:Ac_runtime.Budget.t ->
-  epsilon:float ->
+  eps:float ->
   delta:float ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
@@ -50,10 +59,10 @@ val approx_count :
     this "exact up to the one-sided colouring failure probability"; use
     [rounds] to push it down. *)
 val exact_count_via_oracle :
+  ?budget:Ac_runtime.Budget.t ->
   ?rng:Random.State.t ->
   ?engine:Colour_oracle.engine ->
   ?rounds:int ->
-  ?budget:Ac_runtime.Budget.t ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
   result

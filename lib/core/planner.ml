@@ -114,29 +114,40 @@ let mismatch_message q db =
   "query signature not contained in the database signature: "
   ^ String.concat "; " bad
 
-let run_decision ~rng ?budget ~epsilon ~delta d q db =
+(* With [exec], all randomness comes from the engine's seed: the Fpras
+   rung runs a median batch of sketch repetitions, the Fptras rungs hand
+   per-trial streams to the edge-count layer, and [rng] is bypassed.
+   [delta] sizes the Fpras median batch. *)
+let run_decision ~rng ?budget ?exec ~eps ~delta d q db =
   match d.algorithm with
-  | Use_fpras ->
-      let config =
-        { (Ac_automata.Acjr.default_config ()) with Ac_automata.Acjr.rng }
-      in
-      Fpras.approx_count ?budget ~config q db
+  | Use_fpras -> (
+      match exec with
+      | None ->
+          let config =
+            { (Ac_automata.Acjr.default_config ()) with Ac_automata.Acjr.rng }
+          in
+          Fpras.approx_count ?budget ~config q db
+      | Some exec ->
+          Fpras.approx_count ?budget ~exec
+            ~repetitions:(Fpras.repetitions_for ~delta) q db)
   | Use_fptras engine ->
-      (Fptras.approx_count ~rng ?budget ~engine ~epsilon ~delta q db)
+      (Fptras.approx_count ?budget ~rng ?exec ~engine ~eps ~delta q db)
         .Fptras.estimate
 
-let count ?rng ?budget ?(verbose = false) ~epsilon ~delta q db =
-  let rng = make_rng ?rng ~verbose () in
+let count ?budget ?rng ?exec ?(verbose = false) ~eps ~delta q db =
+  let rng = make_rng ?rng ~verbose:(verbose && exec = None) () in
   let d = plan q in
   if verbose then Printf.eprintf "planner: %s\n%!" d.reason;
-  let value = run_decision ~rng ?budget ~epsilon ~delta d q db in
+  let value = run_decision ~rng ?budget ?exec ~eps ~delta d q db in
   (value, d)
 
-let count_result ?rng ?budget ?verbose ~epsilon ~delta q db =
+let count_result ?budget ?rng ?exec ?verbose ~eps ~delta q db =
   if not (Ecq.compatible_with q db) then
     Error (Error.Signature_mismatch (mismatch_message q db))
   else
-    match Error.guard (fun () -> count ?rng ?budget ?verbose ~epsilon ~delta q db) with
+    match
+      Error.guard (fun () -> count ?budget ?rng ?exec ?verbose ~eps ~delta q db)
+    with
     | Ok (v, d) when not (Float.is_finite v) ->
         Error
           (Error.Numeric_overflow
@@ -171,33 +182,52 @@ let planned_rung d =
   | Use_fptras Colour_oracle.Tree_dp -> Tree_dp_rung
   | Use_fptras (Colour_oracle.Generic | Colour_oracle.Direct) -> Generic_rung
 
+(* Stable per-rung ordinal, used to derive an independent engine seed
+   for each rung: a degraded retry must not replay the failed rung's
+   random choices. *)
+let rung_ordinal = function
+  | Fpras_rung -> 0
+  | Exact_rung -> 1
+  | Tree_dp_rung -> 2
+  | Generic_rung -> 3
+  | Partial_rung -> 4
+
 (* Returns (estimate, guarantee-held). Only [Partial_rung] can complete
    without the guarantee; every other rung either meets (ε, δ) — or
    better, exactness — or raises. *)
-let run_rung ~rng ~budget ~epsilon ~delta rung q db =
+let run_rung ~rng ~budget ?exec ~eps ~delta rung q db =
+  let exec =
+    Option.map (fun e -> Ac_exec.Engine.split e (rung_ordinal rung)) exec
+  in
   match rung with
-  | Fpras_rung ->
-      let config =
-        { (Ac_automata.Acjr.default_config ()) with Ac_automata.Acjr.rng }
-      in
-      (Fpras.approx_count ~budget ~config q db, true)
+  | Fpras_rung -> (
+      match exec with
+      | None ->
+          let config =
+            { (Ac_automata.Acjr.default_config ()) with Ac_automata.Acjr.rng }
+          in
+          (Fpras.approx_count ~budget ~config q db, true)
+      | Some exec ->
+          ( Fpras.approx_count ~budget ~exec
+              ~repetitions:(Fpras.repetitions_for ~delta) q db,
+            true ))
   | Exact_rung -> (float_of_int (Exact.by_join_projection ~budget q db), true)
   | Tree_dp_rung ->
-      ( (Fptras.approx_count ~rng ~budget ~engine:Colour_oracle.Tree_dp
-           ~epsilon ~delta q db)
+      ( (Fptras.approx_count ~budget ~rng ?exec ~engine:Colour_oracle.Tree_dp
+           ~eps ~delta q db)
           .Fptras.estimate,
         true )
   | Generic_rung ->
-      ( (Fptras.approx_count ~rng ~budget ~engine:Colour_oracle.Generic
-           ~epsilon ~delta q db)
+      ( (Fptras.approx_count ~budget ~rng ?exec ~engine:Colour_oracle.Generic
+           ~eps ~delta q db)
           .Fptras.estimate,
         true )
   | Partial_rung ->
       let n, completed = Exact.partial_count ~budget q db in
       (float_of_int n, completed)
 
-let count_governed ?rng ?(verbose = false) ?(strict = false) ?chaos ?budget
-    ~epsilon ~delta q db =
+let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
+    ?chaos ~eps ~delta q db =
   let budget = match budget with Some b -> b | None -> Budget.none in
   if not (Ecq.compatible_with q db) then
     Error (Error.Signature_mismatch (mismatch_message q db))
@@ -205,7 +235,7 @@ let count_governed ?rng ?(verbose = false) ?(strict = false) ?chaos ?budget
     match plan_result q with
     | Error err -> Error err
     | Ok d ->
-        let rng = make_rng ?rng ~verbose () in
+        let rng = make_rng ?rng ~verbose:(verbose && exec = None) () in
         if verbose then Printf.eprintf "planner: %s\n%!" d.reason;
         let guard_rung r =
           match chaos with
@@ -241,7 +271,7 @@ let count_governed ?rng ?(verbose = false) ?(strict = false) ?chaos ?budget
           match
             Error.guard (fun () ->
                 guard_rung planned;
-                run_rung ~rng ~budget ~epsilon ~delta planned q db)
+                run_rung ~rng ~budget ?exec ~eps ~delta planned q db)
           with
           | Error _ as e -> e
           | Ok (v, guarantee) -> finish ~rung:planned ~guarantee ~attempts:[] v
@@ -271,7 +301,7 @@ let count_governed ?rng ?(verbose = false) ?(strict = false) ?chaos ?budget
                 let outcome =
                   Error.guard (fun () ->
                       guard_rung rung;
-                      run_rung ~rng ~budget:sub ~epsilon ~delta rung q db)
+                      run_rung ~rng ~budget:sub ?exec ~eps ~delta rung q db)
                 in
                 if sub != budget then Budget.absorb budget sub;
                 (match outcome with

@@ -49,12 +49,20 @@ val plan_result : Ac_query.Ecq.t -> (decision, Ac_runtime.Error.t) result
     [Ac_runtime.Budget.Budget_exceeded] — use {!count_governed} to
     degrade instead). When [rng] is omitted a seed is drawn from
     {!Ac_runtime.Entropy.fresh_seed}; [verbose] logs it on stderr so the
-    run can be replayed exactly. *)
+    run can be replayed exactly.
+
+    With [exec], the chosen scheme's independent trials fan out over the
+    engine's domains and {e all} randomness derives from the engine's
+    seed ([rng] is bypassed): the Fpras pipeline runs a median batch of
+    sketch repetitions sized by [delta], the Fptras pipelines hand
+    per-trial streams to the edge-count layer. Results are bit-identical
+    for any jobs count. *)
 val count :
-  ?rng:Random.State.t ->
   ?budget:Ac_runtime.Budget.t ->
+  ?rng:Random.State.t ->
+  ?exec:Ac_exec.Engine.t ->
   ?verbose:bool ->
-  epsilon:float ->
+  eps:float ->
   delta:float ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
@@ -65,10 +73,11 @@ val count :
     ([Error (Signature_mismatch _)]) and that the estimate is finite
     ([Error (Numeric_overflow _)]). *)
 val count_result :
-  ?rng:Random.State.t ->
   ?budget:Ac_runtime.Budget.t ->
+  ?rng:Random.State.t ->
+  ?exec:Ac_exec.Engine.t ->
   ?verbose:bool ->
-  epsilon:float ->
+  eps:float ->
   delta:float ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
@@ -106,14 +115,18 @@ type governed = {
     its first failure is returned as [Error] — no degradation. [chaos],
     when given, is consulted once per rung ([Chaos.guard] with site
     ["rung:<name>"]) so fault-injection tests can force any rung to
-    fire deterministically. *)
+    fire deterministically. [exec] parallelises each rung's independent
+    trials as in {!count}; every rung derives its own engine seed
+    (ordinal split), so a degraded retry does not replay the failed
+    rung's random choices. *)
 val count_governed :
+  ?budget:Ac_runtime.Budget.t ->
   ?rng:Random.State.t ->
+  ?exec:Ac_exec.Engine.t ->
   ?verbose:bool ->
   ?strict:bool ->
   ?chaos:Ac_runtime.Chaos.t ->
-  ?budget:Ac_runtime.Budget.t ->
-  epsilon:float ->
+  eps:float ->
   delta:float ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->

@@ -4,12 +4,16 @@ module Tuple = Ac_relational.Tuple
 module Partite = Ac_dlm.Partite
 module Edge_count = Ac_dlm.Edge_count
 module Budget = Ac_runtime.Budget
+module Error = Ac_runtime.Error
+module Engine = Ac_exec.Engine
 
 (* Estimate the number of answers inside the box given by [pins]:
    [pins.(i) = Some values] confines free variable [i]; the restricted
    space relabels each pinned class to [0 .. |values|-1], and the wrapper
-   translates parts back before hitting the real oracle. *)
-let pinned_estimate ~rng ~epsilon ~delta oracle space pins =
+   translates parts back before hitting the real oracle. [rng] drives
+   both the estimator and the oracle's colouring probes, so a draw is a
+   pure function of the RNG state handed to it. *)
+let pinned_estimate ~rng ~eps ~delta oracle space pins =
   let sizes =
     Array.mapi
       (fun i size ->
@@ -26,26 +30,22 @@ let pinned_estimate ~rng ~epsilon ~delta oracle space pins =
           | None -> part)
         parts'
     in
-    Colour_oracle.aligned_oracle oracle parts
+    not (Colour_oracle.has_answer_in_box ~rng oracle parts)
   in
-  (Edge_count.estimate ~rng ~epsilon ~delta space' aligned').Edge_count.value
+  (Edge_count.estimate ~rng ~epsilon:eps ~delta space' aligned').Edge_count.value
 
-let make_sampler ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ?budget
-    ~epsilon ~delta q db =
-  let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
-  let l = Ecq.num_free q in
-  let u = Structure.universe_size db in
-  let checkpoint =
-    match budget with None -> Budget.none | Some b -> b
-  in
-  let oracle = Colour_oracle.create ~rng ?rounds ?budget ~engine q db in
-  fun () ->
+(* One JVV draw over a prepared oracle. Every random choice — the
+   halving decisions, the counting estimates behind them and the oracle
+   colourings — comes from [rng], so independent draws on disjoint RNG
+   streams are independent trials for the parallel engine. *)
+let draw_one ~rng ~budget ~eps ~delta oracle ~num_free ~universe_size =
+  let l = num_free and u = universe_size in
   if l = 0 then
-    if Colour_oracle.has_answer_in_box oracle [||] then Some [||] else None
+    if Colour_oracle.has_answer_in_box ~rng oracle [||] then Some [||] else None
   else begin
     let space = Colour_oracle.space oracle in
     let pins = Array.make l None in
-    let estimate () = pinned_estimate ~rng ~epsilon ~delta oracle space pins in
+    let estimate () = pinned_estimate ~rng ~eps ~delta oracle space pins in
     let ok = ref true in
     (* JVV: pin classes one by one, choosing by recursive halving so that
        each class costs O(log |U|) counting calls. *)
@@ -53,7 +53,7 @@ let make_sampler ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ?budget
       if !ok then begin
         let candidates = ref (Array.init u Fun.id) in
         while !ok && Array.length !candidates > 1 do
-          Budget.tick checkpoint;
+          Budget.tick budget;
           let n = Array.length !candidates in
           let left = Array.sub !candidates 0 (n / 2) in
           let right = Array.sub !candidates (n / 2) (n - (n / 2)) in
@@ -81,32 +81,59 @@ let make_sampler ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ?budget
     done;
     if not !ok then None
     else begin
-      let tau =
-        Array.map (function Some [| v |] -> v | _ -> -1) pins
-      in
+      let tau = Array.map (function Some [| v |] -> v | _ -> -1) pins in
       if Array.exists (( = ) (-1)) tau then None
       else begin
         (* final verification: the pinned box must contain an answer *)
         let parts = Array.map (fun v -> [| v |]) tau in
-        if Colour_oracle.has_answer_in_box oracle parts then Some tau else None
+        if Colour_oracle.has_answer_in_box ~rng oracle parts then Some tau
+        else None
       end
     end
   end
 
-let sample ?rng ?engine ?rounds ?budget ~epsilon ~delta q db =
-  make_sampler ?rng ?engine ?rounds ?budget ~epsilon ~delta q db ()
+let make_sampler ?budget ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ~eps
+    ~delta q db =
+  let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
+  let checkpoint = match budget with None -> Budget.none | Some b -> b in
+  let oracle = Colour_oracle.create ~rng ?rounds ?budget ~engine q db in
+  let num_free = Ecq.num_free q and universe_size = Structure.universe_size db in
+  fun () ->
+    draw_one ~rng ~budget:checkpoint ~eps ~delta oracle ~num_free ~universe_size
+
+let sample ?budget ?rng ?engine ?rounds ~eps ~delta q db =
+  make_sampler ?budget ?rng ?engine ?rounds ~eps ~delta q db ()
+
+let sample_result ?budget ?rng ?engine ?rounds ~eps ~delta q db =
+  Error.guard (fun () -> sample ?budget ?rng ?engine ?rounds ~eps ~delta q db)
+
+(* Independent draws fanned out over the engine: the oracle and solver
+   are built once (read-only afterwards), draw [i] runs on stream [i],
+   and the returned array is in draw order — bit-identical for any jobs
+   count. *)
+let sample_many ?budget ?(engine = Colour_oracle.Tree_dp) ?rounds ~exec ~draws
+    ~eps ~delta q db =
+  let oracle =
+    Colour_oracle.create
+      ~rng:(Engine.state exec ~stream:0)
+      ?rounds ?budget ~engine q db
+  in
+  let num_free = Ecq.num_free q and universe_size = Structure.universe_size db in
+  Engine.run ?budget exec ~trials:draws (fun ~rng ~budget i ->
+      ignore i;
+      draw_one ~rng ~budget ~eps ~delta oracle ~num_free ~universe_size)
 
 (* §6 first bullet: answers are the hyperedges of H(φ, D), so the
    DLM-style edge sampler applied to the colour-coded oracle samples an
    answer directly. *)
-let sample_dlm ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ?budget ~epsilon
+let sample_dlm ?budget ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds ~eps
     ~delta q db =
   let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
   let oracle = Colour_oracle.create ~rng ?rounds ?budget ~engine q db in
   if Ecq.num_free q = 0 then
     if Colour_oracle.has_answer_in_box oracle [||] then Some [||] else None
   else
-    Edge_count.sample_edge ~rng ~epsilon ~delta (Colour_oracle.space oracle)
+    Edge_count.sample_edge ~rng ~epsilon:eps ~delta (Colour_oracle.space oracle)
       (Colour_oracle.aligned_oracle oracle)
 
 let sample_exact ?rng q db =
@@ -176,7 +203,7 @@ let union_count_karp_luby ?rng ?(rounds = 2000) queries db =
   end
 
 let union_count_approx ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds
-    ?(kl_rounds = 60) ~epsilon ~delta queries db =
+    ?(kl_rounds = 60) ~eps ~delta queries db =
   check_same_arity queries;
   let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
   let queries = Array.of_list queries in
@@ -193,13 +220,13 @@ let union_count_approx ?rng ?(engine = Colour_oracle.Tree_dp) ?rounds
   let counts =
     Array.map
       (fun q ->
-        (Fptras.approx_count ~rng ~engine ?rounds ~epsilon ~delta q db)
+        (Fptras.approx_count ~rng ~engine ?rounds ~eps ~delta q db)
           .Fptras.estimate)
       queries
   in
   let samplers =
     Array.map
-      (fun q -> make_sampler ~rng ~engine ?rounds ~epsilon ~delta q db)
+      (fun q -> make_sampler ~rng ~engine ?rounds ~eps ~delta q db)
       queries
   in
   let total = Array.fold_left ( +. ) 0.0 counts in

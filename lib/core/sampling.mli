@@ -12,47 +12,82 @@
     Union counting is the classic Karp–Luby estimator over
     [Ans(φ₁) ∪ .. ∪ Ans(φ_m)] (all queries over the same free variables):
     draw a query proportionally to its answer count, draw one of its
-    answers, weight by the inverse multiplicity. *)
+    answers, weight by the inverse multiplicity.
 
-(** [make_sampler ~epsilon ~delta q db] prepares a reusable sampler (the
+    The sampling entry points come in three forms: {!make_sampler} /
+    {!sample} are the internal raising variants (a tripped budget raises
+    [Ac_runtime.Budget.Budget_exceeded]); {!sample_result} is the public
+    result form; {!sample_many} fans independent draws out over an
+    {!Ac_exec.Engine}. *)
+
+(** [make_sampler ~eps ~delta q db] prepares a reusable sampler (the
     oracle and solver are built once); each call draws one
     approximately-uniform answer, or [None] when the (approximate) count
     is 0. Cost per draw: [ℓ · log |U|] counting calls (pinning by
-    recursive halving). *)
+    recursive halving). Raising variant — see {!sample_result}. *)
 val make_sampler :
+  ?budget:Ac_runtime.Budget.t ->
   ?rng:Random.State.t ->
   ?engine:Colour_oracle.engine ->
   ?rounds:int ->
-  ?budget:Ac_runtime.Budget.t ->
-  epsilon:float ->
+  eps:float ->
   delta:float ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
   unit ->
   int array option
 
-(** The §6 alternative sampler: answers are the hyperedges of [H(φ, D)],
-    so the Dell–Lapinskas–Meeks edge sampler
-    ({!Ac_dlm.Edge_count.sample_edge}) over the colour-coded oracle draws
-    an answer directly. *)
-val sample_dlm :
+(** One-shot {!make_sampler}. Raising variant — see {!sample_result}. *)
+val sample :
+  ?budget:Ac_runtime.Budget.t ->
   ?rng:Random.State.t ->
   ?engine:Colour_oracle.engine ->
   ?rounds:int ->
-  ?budget:Ac_runtime.Budget.t ->
-  epsilon:float ->
+  eps:float ->
   delta:float ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
   int array option
 
-(** One-shot {!make_sampler}. *)
-val sample :
+(** {!sample} with all failures as typed errors — the public form. *)
+val sample_result :
+  ?budget:Ac_runtime.Budget.t ->
   ?rng:Random.State.t ->
   ?engine:Colour_oracle.engine ->
   ?rounds:int ->
+  eps:float ->
+  delta:float ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  (int array option, Ac_runtime.Error.t) result
+
+(** [draws] independent JVV draws fanned out over [exec]'s domains: the
+    oracle is built once and shared read-only, draw [i] runs entirely on
+    stream [i] of the engine's seed, results come back in draw order —
+    bit-identical for any jobs count. [budget] governs the batch through
+    per-chunk sub-slices. *)
+val sample_many :
   ?budget:Ac_runtime.Budget.t ->
-  epsilon:float ->
+  ?engine:Colour_oracle.engine ->
+  ?rounds:int ->
+  exec:Ac_exec.Engine.t ->
+  draws:int ->
+  eps:float ->
+  delta:float ->
+  Ac_query.Ecq.t ->
+  Ac_relational.Structure.t ->
+  int array option array
+
+(** The §6 alternative sampler: answers are the hyperedges of [H(φ, D)],
+    so the Dell–Lapinskas–Meeks edge sampler
+    ({!Ac_dlm.Edge_count.sample_edge}) over the colour-coded oracle draws
+    an answer directly. *)
+val sample_dlm :
+  ?budget:Ac_runtime.Budget.t ->
+  ?rng:Random.State.t ->
+  ?engine:Colour_oracle.engine ->
+  ?rounds:int ->
+  eps:float ->
   delta:float ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
@@ -88,7 +123,7 @@ val union_count_approx :
   ?engine:Colour_oracle.engine ->
   ?rounds:int ->
   ?kl_rounds:int ->
-  epsilon:float ->
+  eps:float ->
   delta:float ->
   Ac_query.Ecq.t list ->
   Ac_relational.Structure.t ->

@@ -56,6 +56,29 @@ type result = {
   repetitions : int;
 }
 
+(* Median repetitions giving confidence 1 - delta (Chernoff on the
+   majority of trials landing inside the per-trial error band). *)
+let repetitions_for ~delta =
+  let m = int_of_float (ceil (2.5 *. Float.log (1.0 /. delta))) in
+  (2 * max 2 m) + 1
+
+(* Keep probability at subsampling level [j]: every vertex survives with
+   probability [2^{-j/l}], so an l-vertex edge survives with [2^{-j}]. *)
+let keep_probability ~classes j =
+  Float.exp (-.(float_of_int j) *. Float.log 2.0 /. float_of_int classes)
+
+(* |E| ≤ ∏|U_i|; beyond log2 of that, survivors are ~0. *)
+let top_level space =
+  int_of_float
+    (Float.log (Float.max 2.0 (Partite.tuple_count (Partite.all space)))
+    /. Float.log 2.0)
+  + 2
+
+let quartiles values =
+  let sorted = List.sort Float.compare values in
+  let n = List.length sorted in
+  (List.nth sorted (n / 4), List.nth sorted (n / 2), List.nth sorted (3 * n / 4))
+
 (* Random aligned subsample where each vertex is kept independently with
    probability [p]. *)
 let subsample rng (space : Partite.space) p : Partite.aligned =
@@ -95,11 +118,8 @@ let rec estimate ?rng ?within ~epsilon ~delta space oracle =
   if complete then
     { value = float_of_int (List.length all_edges); exact = true; level = 0; repetitions = 1 }
   else begin
-    let keep_probability j =
-      Float.exp (-.(float_of_int j) *. Float.log 2.0 /. float_of_int l)
-    in
     let capped_count ~limit j =
-      let parts = subsample rng space (keep_probability j) in
+      let parts = subsample rng space (keep_probability ~classes:l j) in
       let edges, complete = enumerate space oracle ~within:parts ~limit () in
       (List.length edges, complete)
     in
@@ -107,13 +127,7 @@ let rec estimate ?rng ?within ~epsilon ~delta space oracle =
        DOWNWARD from the sparsest level: probes above the boundary see few
        survivors and are cheap, and the first over-full probe stops the
        descent (expected total work ~ 2·target enumerated edges). *)
-    let max_level =
-      (* |E| ≤ ∏|U_i|; beyond log2 of that, survivors are ~0 *)
-      int_of_float
-        (Float.log (Float.max 2.0 (Partite.tuple_count (Partite.all space)))
-        /. Float.log 2.0)
-      + 2
-    in
+    let max_level = top_level space in
     let rec locate j =
       if j <= 1 then 1
       else
@@ -122,10 +136,7 @@ let rec estimate ?rng ?within ~epsilon ~delta space oracle =
     in
     let level = min max_level (locate max_level) in
     (* fresh unbiased trials at the located level; median for confidence *)
-    let repetitions =
-      let m = int_of_float (ceil (2.5 *. Float.log (1.0 /. delta))) in
-      (2 * max 2 m) + 1
-    in
+    let repetitions = repetitions_for ~delta in
     let run_trials ~cap level =
       List.init repetitions (fun _ ->
           let c, complete = capped_count ~limit:cap level in
@@ -140,11 +151,6 @@ let rec estimate ?rng ?within ~epsilon ~delta space oracle =
        they see far fewer survivors than planned), descend two levels —
        quadrupling expected survivors and the enumeration cap — and redo,
        up to three times. *)
-    let quartiles values =
-      let sorted = List.sort Float.compare values in
-      let n = List.length sorted in
-      (List.nth sorted (n / 4), List.nth sorted (n / 2), List.nth sorted (3 * n / 4))
-    in
     let rec refine level cap attempts =
       let trials = run_trials ~cap level in
       let q1, med, q3 = quartiles trials in
@@ -157,6 +163,91 @@ let rec estimate ?rng ?within ~epsilon ~delta space oracle =
       else (level, med)
     in
     let level, value = refine level cap 3 in
+    { value; exact = false; level; repetitions }
+  end
+
+(* Oracle whose probes are themselves randomized (the Lemma 22 colourful
+   oracle re-colours per call): the per-trial stream must feed it too,
+   or trial results would depend on global mutable RNG state and the
+   jobs count. *)
+type seeded_oracle = rng:Random.State.t -> Partite.aligned -> bool
+
+let restrict_seeded (space : Partite.space) (box : Partite.aligned)
+    (oracle : seeded_oracle) =
+  if Array.length box <> Partite.num_classes space then
+    invalid_arg "Edge_count.restrict: wrong class count";
+  let space' = Partite.space (Array.map Array.length box) in
+  let oracle' ~rng (parts' : Partite.aligned) =
+    oracle ~rng
+      (Array.mapi (fun i part -> Array.map (fun k -> box.(i).(k)) part) parts')
+  in
+  (space', oracle')
+
+(* Same estimator as {!estimate}, with the independent median trials
+   fanned out over the engine's domains. Stream discipline (all indices
+   relative to [exec]'s seed): stream 0 feeds the exact pre-enumeration,
+   stream 1 the level-locating descent — both sequential — and refine
+   round [k] runs its trials on the derived engine [split exec (2 + k)],
+   trial [i] on that engine's stream [i]. Every random draw is pinned to
+   a stream, so the result is bit-identical for any jobs count. *)
+let rec estimate_exec ~exec ?budget ?within ~epsilon ~delta space
+    (oracle : seeded_oracle) =
+  match within with
+  | Some box ->
+      let space', oracle' = restrict_seeded space box oracle in
+      estimate_exec ~exec ?budget ~epsilon ~delta space' oracle'
+  | None ->
+  if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Edge_count.estimate: epsilon";
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Edge_count.estimate: delta";
+  let l = Partite.num_classes space in
+  let target = max 24 (int_of_float (ceil (8.0 /. (epsilon *. epsilon)))) in
+  let cap = 8 * target in
+  let pre_rng = Ac_exec.Engine.state exec ~stream:0 in
+  let all_edges, complete =
+    enumerate space (oracle ~rng:pre_rng) ~limit:(2 * target) ()
+  in
+  if complete then
+    { value = float_of_int (List.length all_edges); exact = true; level = 0; repetitions = 1 }
+  else begin
+    let locate_rng = Ac_exec.Engine.state exec ~stream:1 in
+    let capped_count ~rng ~limit j =
+      let parts = subsample rng space (keep_probability ~classes:l j) in
+      let edges, complete = enumerate space (oracle ~rng) ~within:parts ~limit () in
+      (List.length edges, complete)
+    in
+    let max_level = top_level space in
+    let rec locate j =
+      if j <= 1 then 1
+      else
+        let c, complete = capped_count ~rng:locate_rng ~limit:target j in
+        if complete && c <= target then locate (j - 1) else j + 1
+    in
+    let level = min max_level (locate max_level) in
+    let repetitions = repetitions_for ~delta in
+    let run_trials ~round ~cap level =
+      let sub = Ac_exec.Engine.split exec (2 + round) in
+      Array.to_list
+        (Ac_exec.Engine.run ?budget sub ~trials:repetitions
+           (fun ~rng ~budget:_ _i ->
+             let parts = subsample rng space (keep_probability ~classes:l level) in
+             let edges, complete =
+               enumerate space (oracle ~rng) ~within:parts ~limit:cap ()
+             in
+             let c = if complete then List.length edges else cap in
+             float_of_int c *. Float.pow 2.0 (float_of_int level)))
+    in
+    let rec refine ~round level cap attempts =
+      let trials = run_trials ~round ~cap level in
+      let q1, med, q3 = quartiles trials in
+      let dispersion = (q3 -. q1) /. Float.max med 1.0 in
+      let raw = med /. Float.pow 2.0 (float_of_int level) in
+      if
+        attempts > 0 && level > 1
+        && (dispersion > epsilon || raw < float_of_int target /. 3.0)
+      then refine ~round:(round + 1) (max 1 (level - 2)) (cap * 4) (attempts - 1)
+      else (level, med)
+    in
+    let level, value = refine ~round:0 level cap 3 in
     { value; exact = false; level; repetitions }
   end
 

@@ -51,6 +51,10 @@ val restrict :
   Partite.aligned_oracle ->
   Partite.space * Partite.aligned_oracle
 
+(** Median repetitions giving confidence [1 - delta] — exposed so
+    callers (and their parallel engines) can size a batch up front. *)
+val repetitions_for : delta:float -> int
+
 (** [(ε,δ)]-style estimate of [|E(H)|] (or of [|E(H[within])|]). [rng]
     defaults to a self-init state. *)
 val estimate :
@@ -60,6 +64,28 @@ val estimate :
   delta:float ->
   Partite.space ->
   Partite.aligned_oracle ->
+  result
+
+(** An oracle whose probes are themselves randomized (e.g. the Lemma 22
+    colourful oracle re-colours per probe). The estimator passes the
+    per-trial stream in, keeping the result independent of global RNG
+    state and of the jobs count. *)
+type seeded_oracle = rng:Random.State.t -> Partite.aligned -> bool
+
+(** {!estimate} with its median trials fanned out over [exec]'s domains
+    ({!Ac_exec.Engine.run}); bit-identical for any jobs count. The exact
+    pre-enumeration and the level-locating descent run sequentially on
+    dedicated streams (0 and 1); refine round [k] runs its repetitions
+    on the derived engine [split exec (2 + k)]. [budget] governs the
+    parallel trials through per-chunk sub-slices. *)
+val estimate_exec :
+  exec:Ac_exec.Engine.t ->
+  ?budget:Ac_runtime.Budget.t ->
+  ?within:Partite.aligned ->
+  epsilon:float ->
+  delta:float ->
+  Partite.space ->
+  seeded_oracle ->
   result
 
 (** Approximately-uniform random edge — the sampling counterpart the paper

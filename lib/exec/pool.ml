@@ -1,0 +1,99 @@
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t; (* signalled when the queue gains a task *)
+  queue : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable stopping : bool;
+}
+
+let max_workers = 32
+
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+let worker_loop pool =
+  Domain.DLS.set in_worker_key true;
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stopping do
+      Condition.wait pool.work pool.mutex
+    done;
+    if pool.stopping && Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      (* tasks wrap their own failures; a stray exception must not kill
+         the domain mid-pool, so it is dropped here *)
+      (try task () with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    queue = Queue.create ();
+    workers = [];
+    stopping = false;
+  }
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.work;
+  let workers = pool.workers in
+  pool.workers <- [];
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+let shared_pool = lazy (
+  let pool = create () in
+  at_exit (fun () -> shutdown pool);
+  pool)
+
+let shared () = Lazy.force shared_pool
+
+let spawned pool =
+  Mutex.lock pool.mutex;
+  let n = List.length pool.workers in
+  Mutex.unlock pool.mutex;
+  n
+
+(* Under [pool.mutex]: grow the pool towards [want] workers. *)
+let ensure_workers pool want =
+  let have = List.length pool.workers in
+  let want = min want max_workers in
+  for _ = have + 1 to want do
+    pool.workers <- Domain.spawn (fun () -> worker_loop pool) :: pool.workers
+  done
+
+let run_tasks pool tasks =
+  let n = Array.length tasks in
+  if n = 1 then tasks.(0) ()
+  else if n > 1 then begin
+    (* completion latch: workers run tasks 1..n-1, the caller task 0 *)
+    let remaining = ref (n - 1) in
+    let done_ = Condition.create () in
+    let wrap task () =
+      (try task () with _ -> ());
+      Mutex.lock pool.mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast done_;
+      Mutex.unlock pool.mutex
+    in
+    Mutex.lock pool.mutex;
+    ensure_workers pool (n - 1);
+    for i = 1 to n - 1 do
+      Queue.push (wrap tasks.(i)) pool.queue
+    done;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    tasks.(0) ();
+    Mutex.lock pool.mutex;
+    while !remaining > 0 do
+      Condition.wait done_ pool.mutex
+    done;
+    Mutex.unlock pool.mutex
+  end

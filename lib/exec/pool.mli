@@ -1,0 +1,36 @@
+(** A lazily-created pool of worker domains.
+
+    One process-wide pool serves every parallel section: domains are
+    expensive (a few ms and a GC participant each), so they are spawned
+    on first demand, kept parked on a condition variable between
+    sections, and torn down by an [at_exit] hook. The pool only ever
+    holds {e independent} tasks — workers never submit nested parallel
+    work (nested sections run sequentially, see {!in_worker}) — so queue
+    order cannot deadlock.
+
+    The pool's capacity follows demand up to {!max_workers}; asking for
+    more parallelism than the machine has domains is allowed (the
+    runtime timeslices), it just stops paying off. *)
+
+type t
+
+(** The process-wide pool (created on first use). *)
+val shared : unit -> t
+
+(** Hard ceiling on worker domains ever spawned (the OCaml runtime caps
+    total domains at 128; we stay well below). *)
+val max_workers : int
+
+(** [true] inside a pool worker — used to run nested parallel sections
+    sequentially instead of deadlocking on a full pool. *)
+val in_worker : unit -> bool
+
+(** [run_tasks pool tasks] executes every task, using up to
+    [Array.length tasks - 1] pool workers plus the calling domain, and
+    returns when all have finished. Tasks must capture their own
+    exceptions; an escaping exception kills a worker's usefulness for
+    the section but is swallowed, never re-raised here. *)
+val run_tasks : t -> (unit -> unit) array -> unit
+
+(** Number of worker domains currently spawned (for tests/telemetry). *)
+val spawned : t -> int

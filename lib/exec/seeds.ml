@@ -1,0 +1,20 @@
+(* SplitMix64 (Steele–Lea–Flood), on OCaml's 63-bit ints. The golden-gamma
+   increment walks the state; the finaliser is the standard xor-shift
+   multiply avalanche. Masking to 62 bits keeps results positive and
+   identical on every 64-bit platform. *)
+
+(* The reference 64-bit constants truncated to OCaml's 62-bit int range
+   (top bits dropped, oddness preserved) — same avalanche structure. *)
+let mask = (1 lsl 62) - 1
+let golden = 0x1E3779B97F4A7C15
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land mask
+
+let derive ~seed i = mix (seed + ((i + 1) * golden))
+
+let state ~seed ~stream =
+  let s = derive ~seed stream in
+  Random.State.make [| mix s; mix (s + golden); mix (s + (2 * golden)) |]

@@ -1,0 +1,19 @@
+(** Deterministic seed-splitting (SplitMix64-style).
+
+    Every estimation trial must draw its randomness from a stream that
+    depends only on the root seed and the trial's {e index} — never on
+    which domain ran it or how trials were chunked — so that an estimate
+    is bit-identical for any [jobs] count. {!derive} hashes
+    [(seed, index)] through the SplitMix64 finaliser (a bijective
+    avalanche mix, so distinct indices cannot collide into correlated
+    streams); {!state} builds a [Random.State.t] from three derived
+    words. *)
+
+(** [derive ~seed i] — the [i]-th child seed of [seed]. Total (any
+    [int] index, negative included) and deterministic across runs,
+    architectures and domain counts. *)
+val derive : seed:int -> int -> int
+
+(** [state ~seed ~stream] — a fresh PRNG for stream [stream] of [seed].
+    Equal arguments give observationally equal states. *)
+val state : seed:int -> stream:int -> Random.State.t

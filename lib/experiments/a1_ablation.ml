@@ -49,7 +49,7 @@ let run fmt =
               Common.time (fun () ->
                   Fptras.approx_count
                     ~rng:(Random.State.make [| 5 |])
-                    ~engine ~epsilon:0.3 ~delta:0.1 q db)
+                    ~engine ~eps:0.3 ~delta:0.1 q db)
             in
             [
               name;
@@ -83,7 +83,7 @@ let run fmt =
           Common.time (fun () ->
               Fptras.approx_count
                 ~rng:(Random.State.make [| 7 |])
-                ~rounds:base ~probe_budget:0 ~epsilon:0.3 ~delta:0.1 q db)
+                ~rounds:base ~probe_budget:0 ~eps:0.3 ~delta:0.1 q db)
         in
         [
           string_of_int base;

@@ -37,7 +37,7 @@ let run fmt =
             (fun epsilon ->
               let r, t =
                 Common.time (fun () ->
-                    Fptras.approx_count ~rng ~epsilon ~delta:0.1 q db)
+                    Fptras.approx_count ~rng ~eps:epsilon ~delta:0.1 q db)
               in
               let err =
                 Common.rel_err ~estimate:r.Fptras.estimate

@@ -31,7 +31,7 @@ let run fmt =
             Common.time (fun () ->
                 Hardness.approx_via_query
                   ~rng:(Random.State.make [| n |])
-                  ~engine ~rounds:16 ~epsilon:0.3 ~delta:0.2 g)
+                  ~engine ~rounds:16 ~eps:0.3 ~delta:0.2 g)
           in
           rows :=
             [

@@ -32,7 +32,7 @@ let run fmt =
       let exact, t_exact = Common.time (fun () -> Exact.by_join_projection q db) in
       let r, t =
         Common.time (fun () ->
-            Fptras.approx_count ~rng ~engine:Colour_oracle.Generic ~epsilon:0.3
+            Fptras.approx_count ~rng ~engine:Colour_oracle.Generic ~eps:0.3
               ~delta:0.1 q db)
       in
       let err =

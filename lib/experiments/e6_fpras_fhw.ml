@@ -59,7 +59,7 @@ let run fmt =
           let err = Common.rel_err ~estimate:est ~truth:(float_of_int exact) in
           let r_fptras, t_fptras =
             Common.time (fun () ->
-                Fptras.approx_count ~rng ~epsilon:0.3 ~delta:0.1 q db)
+                Fptras.approx_count ~rng ~eps:0.3 ~delta:0.1 q db)
           in
           rows :=
             [

@@ -46,7 +46,7 @@ let run fmt =
   let jvv = Array.make k 0 and uniform = Array.make k 0 in
   let jvv_miss = ref 0 in
   for _ = 1 to draws do
-    (match Sampling.sample ~rng ~rounds:32 ~epsilon:0.4 ~delta:0.2 q db with
+    (match Sampling.sample ~rng ~rounds:32 ~eps:0.4 ~delta:0.2 q db with
     | Some [| v |] when index v >= 0 -> jvv.(index v) <- jvv.(index v) + 1
     | _ -> incr jvv_miss);
     match Sampling.sample_exact ~rng q db with
@@ -103,7 +103,7 @@ let run fmt =
   in
   let kl_full, t_full =
     Common.time (fun () ->
-        Sampling.union_count_approx ~rng ~kl_rounds:150 ~epsilon:0.25 ~delta:0.1
+        Sampling.union_count_approx ~rng ~kl_rounds:150 ~eps:0.25 ~delta:0.1
           [ q1; q2 ] db)
   in
   Common.table fmt
@@ -129,7 +129,7 @@ let run fmt =
   (* (d) the DLM-style edge sampler at the query level *)
   let dlm_valid = ref 0 and dlm_total = 30 in
   for _ = 1 to dlm_total do
-    match Sampling.sample_dlm ~rng ~rounds:32 ~epsilon:0.3 ~delta:0.2 q db with
+    match Sampling.sample_dlm ~rng ~rounds:32 ~eps:0.3 ~delta:0.2 q db with
     | Some tau when Exact.is_answer q db tau -> incr dlm_valid
     | _ -> ()
   done;

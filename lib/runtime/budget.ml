@@ -171,3 +171,40 @@ let slice ?(fraction = 0.5) ?label t =
   end
 
 let absorb t child = if t != child then t.count <- t.count + child.count
+
+let split ?label ~into t =
+  let n = max 1 into in
+  let child_label i =
+    match label with
+    | Some l -> Printf.sprintf "%s/%d" l i
+    | None -> Printf.sprintf "%s/split%d" t.label i
+  in
+  if not (limited t) then
+    (* unarmed but cancellable children: first-trip cancellation must
+       work even when the caller asked for no limits *)
+    Array.init n (fun i -> create ~label:(child_label i) ())
+  else begin
+    let now_ = now () in
+    let per_child_ticks =
+      if t.max_ticks = max_int then max_int
+      else Stdlib.max 1 (Stdlib.max 0 (t.max_ticks - t.count) / n)
+    in
+    let forced =
+      match t.trip with
+      | Some tr -> Some (tr.limit, tr.note)
+      | None -> t.forced
+    in
+    Array.init n (fun i ->
+        {
+          t with
+          label = child_label i;
+          start = now_;
+          (* absolute, shared: the children run concurrently *)
+          deadline = t.deadline;
+          max_ticks = per_child_ticks;
+          armed = true;
+          count = 0;
+          forced;
+          trip = None;
+        })
+  end

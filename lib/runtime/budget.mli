@@ -89,6 +89,19 @@ val slice : ?fraction:float -> ?label:string -> t -> t
     raise). *)
 val absorb : t -> t -> unit
 
+(** [split ~into:n t] — [n] sibling sub-budgets for {e concurrent}
+    execution: unlike {!slice}, every child keeps the parent's full
+    remaining wall-clock deadline (the children run at the same time,
+    not one after another) and its heap watermark, while the remaining
+    work ticks are divided evenly. Children are independently
+    cancellable and a tripped child never poisons the parent or its
+    siblings — the parallel trial engine cancels the siblings
+    explicitly on the first trip and {!absorb}s every child after the
+    join. Splitting an unlimited budget returns fresh unarmed (but
+    cancellable) children, so cancellation works even when no limit was
+    requested. *)
+val split : ?label:string -> into:int -> t -> t array
+
 val now_ms : unit -> float
 val limit_name : limit -> string
 val pp_trip : Format.formatter -> trip -> unit

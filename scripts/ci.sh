@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI entry point: build everything, run the full test suite, then the
+# parallel determinism sweep (jobs 1/2/4 must agree bit-for-bit).
+#
+# Usage: scripts/ci.sh [--with-bench]
+#   --with-bench  also run the jobs sweep and leave BENCH_parallel.json
+#                 in the repository root (slow: ~2 min on one core).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+if [ "${1:-}" = "--with-bench" ]; then
+  echo "== parallel jobs sweep (BENCH_parallel.json)"
+  dune exec bench/main.exe -- --parallel
+fi
+
+echo "== CI green"

@@ -28,7 +28,7 @@ let run_once ~seed =
   let chaos = Chaos.create ~p_fail:0.35 ~p_delay:0.0 ~budget ~seed () in
   let rng = Random.State.make [| seed |] in
   match
-    Planner.count_governed ~rng ~chaos ~budget ~epsilon:0.3 ~delta:0.2
+    Planner.count_governed ~rng ~chaos ~budget ~eps:0.3 ~delta:0.2
       (query ()) (db ())
   with
   | Ok g ->
@@ -76,7 +76,7 @@ let test_delays_only_slow_down () =
   let chaos = Chaos.create ~p_fail:0.0 ~p_delay:0.5 ~delay_ms:1 ~seed:7 () in
   let rng = Random.State.make [| 7 |] in
   match
-    Planner.count_governed ~rng ~chaos ~epsilon:0.3 ~delta:0.2 (query ())
+    Planner.count_governed ~rng ~chaos ~eps:0.3 ~delta:0.2 (query ())
       (db ())
   with
   | Ok g -> Alcotest.(check bool) "not degraded" false g.Planner.degraded

@@ -28,4 +28,5 @@ let () =
       ("misc", Test_misc.tests);
       ("runtime", Test_runtime.tests);
       ("malformed", Test_malformed.tests);
+      ("exec", Test_exec.tests);
     ]

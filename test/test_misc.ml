@@ -83,7 +83,7 @@ let prop_planner_correct =
       let v, _ =
         Approxcount.Planner.count
           ~rng:(Random.State.make [| seed |])
-          ~epsilon:0.3 ~delta:0.2 q db
+          ~eps:0.3 ~delta:0.2 q db
       in
       if exact = 0.0 then v < 1.0
       else Float.abs (v -. exact) /. exact <= 0.6)

@@ -37,13 +37,13 @@ let test_planner_count_dispatch () =
   let rng = Random.State.make [| 3 |] in
   (* CQ through the FPRAS *)
   let cq = Ecq.parse "ans(x) :- E(x, y), E(y, z)" in
-  let v, d = Planner.count ~rng ~epsilon:0.3 ~delta:0.2 cq db in
+  let v, d = Planner.count ~rng ~eps:0.3 ~delta:0.2 cq db in
   Alcotest.(check bool) "fpras path" true (d.Planner.algorithm = Planner.Use_fpras);
   let exact = float_of_int (Exact.by_join_projection cq db) in
   Alcotest.(check bool) "fpras close" true (Float.abs (v -. exact) /. exact < 0.4);
   (* DCQ through the FPTRAS: small instance, exact path *)
   let dcq = Ecq.parse "ans(x) :- E(x, y), E(x, z), y != z" in
-  let v2, _ = Planner.count ~rng ~epsilon:0.3 ~delta:0.2 dcq db in
+  let v2, _ = Planner.count ~rng ~eps:0.3 ~delta:0.2 dcq db in
   Alcotest.(check (float 1e-9)) "fptras exact-path value"
     (float_of_int (Exact.by_join_projection dcq db))
     v2
@@ -73,7 +73,7 @@ let test_ucq_counts () =
   let est =
     Ucq.approx_count
       ~rng:(Random.State.make [| 7 |])
-      ~kl_rounds:100 ~epsilon:0.3 ~delta:0.2 u db
+      ~kl_rounds:100 ~eps:0.3 ~delta:0.2 u db
   in
   Alcotest.(check bool)
     (Printf.sprintf "approx union (got %.2f)" est)
@@ -155,7 +155,7 @@ let test_sample_dlm_query_level () =
   let rng = Random.State.make [| 11 |] in
   for _ = 1 to 5 do
     match
-      Approxcount.Sampling.sample_dlm ~rng ~rounds:32 ~epsilon:0.3 ~delta:0.2 q db
+      Approxcount.Sampling.sample_dlm ~rng ~rounds:32 ~eps:0.3 ~delta:0.2 q db
     with
     | None -> Alcotest.fail "expected a sample"
     | Some tau -> Alcotest.(check bool) "valid answer" true (Exact.is_answer q db tau)

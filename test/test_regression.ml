@@ -19,7 +19,7 @@ let test_repeated_variable_atom () =
   Alcotest.(check int) "exact self loops" 2 (Exact.by_join_projection q db);
   Alcotest.(check int) "brute agrees" 2 (Exact.brute_force q db);
   let r =
-    Fptras.approx_count ~rng:(Random.State.make [| 1 |]) ~epsilon:0.3 ~delta:0.2 q db
+    Fptras.approx_count ~rng:(Random.State.make [| 1 |]) ~eps:0.3 ~delta:0.2 q db
   in
   Alcotest.(check (float 1e-9)) "fptras" 2.0 r.Fptras.estimate;
   Alcotest.(check int) "fpras automaton" 2 (Fpras.exact_count_automaton q db)
@@ -126,7 +126,7 @@ let test_medium_estimator_accuracy_sweep () =
       let r =
         Fptras.approx_count
           ~rng:(Random.State.make [| n |])
-          ~epsilon:0.25 ~delta:0.1 q db
+          ~eps:0.25 ~delta:0.1 q db
       in
       let err = Float.abs (r.Fptras.estimate -. exact) /. Float.max exact 1.0 in
       Alcotest.(check bool)

@@ -216,7 +216,7 @@ let little_db () =
 
 let governed ?chaos ?budget ?(strict = false) () =
   let rng = Random.State.make [| 11 |] in
-  Planner.count_governed ~rng ~strict ?chaos ?budget ~epsilon:0.3 ~delta:0.2
+  Planner.count_governed ~rng ~strict ?chaos ?budget ~eps:0.3 ~delta:0.2
     (little_query ()) (little_db ())
 
 let ok = function
@@ -306,14 +306,14 @@ let test_count_result_signature () =
   let q = little_query () in
   let bad_db = Structure.of_facts ~universe_size:4 [ ("F", [| 0; 1 |]) ] in
   (match
-     Planner.count_result ~rng:(Random.State.make [| 1 |]) ~epsilon:0.3
+     Planner.count_result ~rng:(Random.State.make [| 1 |]) ~eps:0.3
        ~delta:0.2 q bad_db
    with
   | Error (Error.Signature_mismatch _) -> ()
   | Error e -> Alcotest.failf "wrong error class: %s" (Error.class_name e)
   | Ok _ -> Alcotest.fail "incompatible signature accepted");
   match
-    Planner.count_governed ~rng:(Random.State.make [| 1 |]) ~epsilon:0.3
+    Planner.count_governed ~rng:(Random.State.make [| 1 |]) ~eps:0.3
       ~delta:0.2 q bad_db
   with
   | Error (Error.Signature_mismatch _) -> ()
@@ -323,7 +323,7 @@ let test_count_result_budget_error () =
   let b = Budget.create ~max_ticks:50 ~check_every:16 () in
   match
     Planner.count_result ~rng:(Random.State.make [| 1 |]) ~budget:b
-      ~epsilon:0.3 ~delta:0.2 (little_query ()) (little_db ())
+      ~eps:0.3 ~delta:0.2 (little_query ()) (little_db ())
   with
   | Error (Error.Budget tr) -> (
       match tr.Budget.limit with

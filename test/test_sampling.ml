@@ -8,7 +8,7 @@ let prop_sample_is_answer =
     QCheck2.Gen.(pair (Gen.ecq_with_db ~allow_neg:true ~allow_diseq:true) (int_range 0 10000))
     (fun ((q, db), seed) ->
       let rng = Random.State.make [| seed |] in
-      match Sampling.sample ~rng ~rounds:48 ~epsilon:0.3 ~delta:0.2 q db with
+      match Sampling.sample ~rng ~rounds:48 ~eps:0.3 ~delta:0.2 q db with
       | None -> true (* may fail to sample; validity is what we check *)
       | Some tau -> Exact.is_answer q db tau)
 
@@ -18,7 +18,7 @@ let prop_sample_none_iff_empty =
     (fun ((q, db), seed) ->
       let rng = Random.State.make [| seed |] in
       let has_answers = Exact.by_join_projection q db > 0 in
-      match Sampling.sample ~rng ~rounds:48 ~epsilon:0.3 ~delta:0.2 q db with
+      match Sampling.sample ~rng ~rounds:48 ~eps:0.3 ~delta:0.2 q db with
       | None -> not has_answers
       | Some _ -> has_answers)
 
@@ -46,7 +46,7 @@ let test_sample_roughly_uniform () =
   let rng = Random.State.make [| 2 |] in
   let counts = Array.make 4 0 in
   for _ = 1 to 40 do
-    match Sampling.sample ~rng ~rounds:48 ~epsilon:0.3 ~delta:0.2 q db with
+    match Sampling.sample ~rng ~rounds:48 ~eps:0.3 ~delta:0.2 q db with
     | Some [| v |] -> counts.(v) <- counts.(v) + 1
     | _ -> ()
   done;
@@ -103,7 +103,7 @@ let test_union_approx () =
   let q1, q2, db = union_fixture () in
   let rng = Random.State.make [| 4 |] in
   let est =
-    Sampling.union_count_approx ~rng ~kl_rounds:120 ~epsilon:0.25 ~delta:0.1
+    Sampling.union_count_approx ~rng ~kl_rounds:120 ~eps:0.25 ~delta:0.1
       [ q1; q2 ] db
   in
   Alcotest.(check bool)
@@ -120,7 +120,7 @@ let test_make_sampler_reuse () =
   let sampler =
     Sampling.make_sampler
       ~rng:(Random.State.make [| 6 |])
-      ~rounds:32 ~epsilon:0.3 ~delta:0.2 q db
+      ~rounds:32 ~eps:0.3 ~delta:0.2 q db
   in
   for _ = 1 to 5 do
     match sampler () with
@@ -190,7 +190,7 @@ let test_jvv_uniformity () =
   let sampler =
     Sampling.make_sampler
       ~rng:(Random.State.make [| 31 |])
-      ~rounds:24 ~epsilon:0.3 ~delta:0.2 q db
+      ~rounds:24 ~eps:0.3 ~delta:0.2 q db
   in
   run_uniformity "jvv" sampler
 
@@ -198,7 +198,7 @@ let test_dlm_sampler_uniformity () =
   let q, db = uniformity_fixture () in
   let rng = Random.State.make [| 33 |] in
   run_uniformity "dlm" (fun () ->
-      Sampling.sample_dlm ~rng ~rounds:24 ~epsilon:0.3 ~delta:0.2 q db)
+      Sampling.sample_dlm ~rng ~rounds:24 ~eps:0.3 ~delta:0.2 q db)
 
 let test_exact_sampler_uniformity () =
   let q, db = uniformity_fixture () in
