@@ -296,6 +296,82 @@ let widths_cmd =
   let doc = "Width measures and the paper's guarantee for a query." in
   Cmd.v (Cmd.info "widths" ~doc) Term.(const run $ query_term)
 
+(* ---------- lint & explain ---------- *)
+
+let db_opt_term =
+  let doc =
+    "Optional database file: enables the database-aware checks (QL006 \
+     signature mismatch, QL010 empty relation)."
+  in
+  Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+
+let json_term =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the report as JSON (stable schema, see docs/analysis.md).")
+
+(* Load the optional database, hand the (possibly absent) structure to
+   [f]; Io/parse failures use the typed exit codes like every other
+   subcommand. *)
+let with_optional_db ?max_db_mb db_path f =
+  match db_path with
+  | None -> f None
+  | Some path -> (
+      let max_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_db_mb in
+      match Structure_io.load_result ?max_bytes path with
+      | Error e -> report e
+      | Ok db -> f (Some db))
+
+let lint_cmd =
+  let run query_text db_path max_db_mb json =
+    with_optional_db ?max_db_mb db_path (fun db ->
+        let report_ = Ac_analysis.Report.analyze_text ?db query_text in
+        if json then
+          print_endline
+            (Ac_analysis.Json.to_string_pretty
+               (Ac_analysis.Report.to_json report_))
+        else Format.printf "%a%!" Ac_analysis.Report.pp report_;
+        Ac_analysis.Report.exit_status report_)
+  in
+  let doc =
+    "Statically analyse a query: stable-coded diagnostics (QL000-QL011) \
+     plus the Figure 1 classification. Exit 0 when free of errors, 1 \
+     otherwise."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ query_term $ db_opt_term $ max_db_term $ json_term)
+
+let explain_cmd =
+  let run query_text json =
+    let report_ = Ac_analysis.Report.analyze_text query_text in
+    match report_.Ac_analysis.Report.classification with
+    | None ->
+        (* parse failed: surface the diagnostics and fail like lint *)
+        Format.printf "%a%!" Ac_analysis.Report.pp report_;
+        Ac_analysis.Report.exit_status report_
+    | Some c ->
+        if json then
+          print_endline
+            (Ac_analysis.Json.to_string_pretty
+               (Ac_analysis.Classification.to_json c))
+        else begin
+          let q = Option.get report_.Ac_analysis.Report.query in
+          Format.printf "%a"
+            (Ac_analysis.Classification.pp ~var_name:(Ecq.var_name q))
+            c;
+          let d = Planner.decision_of_classification c in
+          Format.printf "plan:         %s@." d.Planner.reason
+        end;
+        0
+  in
+  let doc =
+    "Explain the planner's decision for a query: the Figure 1 \
+     classification with its structural witnesses, and the plan it \
+     induces."
+  in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ query_term $ json_term)
+
 let generate_cmd =
   let kind_term =
     Arg.(
@@ -334,4 +410,8 @@ let generate_cmd =
 let () =
   let doc = "approximately counting answers to conjunctive queries" in
   let info = Cmd.info "acq" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ count_cmd; sample_cmd; widths_cmd; generate_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ count_cmd; sample_cmd; widths_cmd; lint_cmd; explain_cmd;
+            generate_cmd ]))

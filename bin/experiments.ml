@@ -1,14 +1,52 @@
 (* Experiment driver: regenerates every table of EXPERIMENTS.md.
 
-     dune exec bin/experiments.exe            # all experiments
-     dune exec bin/experiments.exe -- e4 e6   # a subset
-     dune exec bin/experiments.exe -- --list  # the registry *)
+     dune exec bin/experiments.exe                    # all experiments
+     dune exec bin/experiments.exe -- e4 e6           # a subset
+     dune exec bin/experiments.exe -- --list          # the registry
+     dune exec bin/experiments.exe -- --lint-families # static analysis *)
 
 open Cmdliner
 
-let run_ids list_only ids =
+(* One deterministic line per experiment family: id, family name, regime
+   and diagnostic summary. CI diffs this output against a golden file,
+   so it must stay stable (no timings, no randomness). *)
+let lint_families fmt =
+  let errors = ref 0 in
+  List.iter
+    (fun (id, name, q) ->
+      let report = Ac_analysis.Report.analyze q in
+      let c = Ac_analysis.Report.classification_exn report in
+      let e, w, i, h = Ac_analysis.Report.tally report in
+      errors := !errors + e;
+      let codes =
+        match report.Ac_analysis.Report.diagnostics with
+        | [] -> "clean"
+        | ds ->
+            String.concat ","
+              (List.map
+                 (fun d ->
+                   Ac_analysis.Diagnostic.code_id d.Ac_analysis.Diagnostic.code)
+                 ds)
+      in
+      Format.fprintf fmt "%-4s %-20s %-22s tw=%d fhw=%.2f e=%d w=%d i=%d h=%d %s@."
+        id name
+        (Ac_analysis.Classification.regime_name
+           c.Ac_analysis.Classification.regime)
+        c.Ac_analysis.Classification.treewidth
+        c.Ac_analysis.Classification.fhw e w i h codes)
+    (Ac_experiments.Registry.families ());
+  !errors
+
+let run_ids list_only lint_only ids =
   let fmt = Format.std_formatter in
-  if list_only then begin
+  if lint_only then begin
+    let errors = lint_families fmt in
+    Format.pp_print_flush fmt ();
+    if errors > 0 then
+      `Error (false, Printf.sprintf "%d lint error(s) in experiment families" errors)
+    else `Ok ()
+  end
+  else if list_only then begin
     List.iter
       (fun e -> Format.fprintf fmt "%-4s %s@." e.Ac_experiments.Common.id e.claim)
       Ac_experiments.Registry.all;
@@ -46,10 +84,18 @@ let ids =
 let list_flag =
   Arg.(value & flag & info [ "list" ] ~doc:"List the experiment registry and exit.")
 
+let lint_flag =
+  Arg.(
+    value & flag
+    & info [ "lint-families" ]
+        ~doc:"Run the static analysis over every experiment's query \
+              families and print one deterministic summary line each \
+              (the CI golden output); non-zero exit on lint errors.")
+
 let cmd =
   let doc = "Regenerate the paper-claim experiments (DESIGN.md §4)" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(ret (const run_ids $ list_flag $ ids))
+    Term.(ret (const run_ids $ list_flag $ lint_flag $ ids))
 
 let () = exit (Cmd.eval cmd)

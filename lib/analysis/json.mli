@@ -1,0 +1,24 @@
+(** A minimal JSON document tree and printer — just enough for the
+    machine-readable output of [acq lint --json] / [acq explain --json]
+    without pulling a JSON dependency into the core.
+
+    Printing is deterministic (object fields keep insertion order,
+    floats render with [%.6g], non-finite floats become [null]), so the
+    output can be used as a golden file in CI. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+
+(** Compact single-line rendering. *)
+val to_string : t -> string
+
+(** Indented multi-line rendering (two-space indent, stable layout). *)
+val to_string_pretty : t -> string

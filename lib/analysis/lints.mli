@@ -1,0 +1,14 @@
+(** The QL lint checks (see [docs/analysis.md] for the code table).
+
+    Structural checks (QL001–QL005, QL007–QL009, QL011) need only the
+    query and its {!Classification}; database-aware checks (QL006,
+    QL010) run when [db] is given. [spans] — one character range per
+    atom, in [Ecq.atoms] order, as returned by [Ecq.parse_spans] —
+    attaches source spans to atom-level diagnostics. *)
+
+val run :
+  ?db:Ac_relational.Structure.t ->
+  ?spans:(int * int) array ->
+  Ac_query.Ecq.t ->
+  Classification.t ->
+  Diagnostic.t list

@@ -1,0 +1,108 @@
+module Ecq = Ac_query.Ecq
+module D = Diagnostic
+
+type t = {
+  query : Ecq.t option;
+  classification : Classification.t option;
+  diagnostics : D.t list;
+}
+
+let analyze ?db ?spans q =
+  let c = Classify.classify q in
+  {
+    query = Some q;
+    classification = Some c;
+    diagnostics = Lints.run ?db ?spans q c;
+  }
+
+(* A parse failure becomes one span-carrying diagnostic. The
+   contradictory-disequality shape is semantic rather than syntactic, so
+   it keeps its own stable code (QL003). *)
+let of_parse_error (pe : Ecq.parse_error) =
+  let contradictory =
+    let has_sub needle hay =
+      let ln = String.length needle and lh = String.length hay in
+      let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+      go 0
+    in
+    has_sub "contradictory disequality" pe.Ecq.msg
+    || has_sub "disequality between equal variables" pe.Ecq.msg
+  in
+  let span =
+    if pe.Ecq.offset < 0 then None
+    else
+      Some
+        {
+          D.start = pe.Ecq.offset;
+          stop = pe.Ecq.offset + max 1 (String.length pe.Ecq.token);
+        }
+  in
+  if contradictory then
+    {
+      D.code = D.Diseq_degenerate;
+      severity = D.Error;
+      span;
+      message = pe.Ecq.msg ^ " — the query is always empty";
+      theorem = Some "Definition 1 semantics";
+    }
+  else
+    {
+      D.code = D.Syntax_error;
+      severity = D.Error;
+      span;
+      message = Ecq.parse_error_message pe;
+      theorem = None;
+    }
+
+let analyze_text ?db text =
+  match Ecq.parse_spans text with
+  | q, spans -> analyze ?db ~spans q
+  | exception Ecq.Parse_error pe ->
+      { query = None; classification = None; diagnostics = [ of_parse_error pe ] }
+
+let classification_exn t =
+  match t.classification with
+  | Some c -> c
+  | None -> invalid_arg "Report.classification_exn: parse failed"
+
+let errors t = List.filter D.is_error t.diagnostics
+let has_errors t = errors t <> []
+
+let tally t =
+  List.fold_left
+    (fun (e, w, i, h) (d : D.t) ->
+      match d.D.severity with
+      | D.Error -> (e + 1, w, i, h)
+      | D.Warning -> (e, w + 1, i, h)
+      | D.Info -> (e, w, i + 1, h)
+      | D.Hint -> (e, w, i, h + 1))
+    (0, 0, 0, 0) t.diagnostics
+
+let exit_status t = if has_errors t then 1 else 0
+
+let pp fmt t =
+  List.iter (fun d -> Format.fprintf fmt "%a@." D.pp d) t.diagnostics;
+  let e, w, i, h = tally t in
+  if e + w + i + h = 0 then Format.fprintf fmt "clean@."
+  else
+    Format.fprintf fmt "%d error(s), %d warning(s), %d info(s), %d hint(s)@."
+      e w i h
+
+let to_json t =
+  let e, w, i, h = tally t in
+  Json.Obj
+    [
+      ( "query",
+        match t.query with
+        | Some q -> Json.String (Ecq.to_string q)
+        | None -> Json.Null );
+      ( "classification",
+        match t.classification with
+        | Some c -> Classification.to_json c
+        | None -> Json.Null );
+      ("diagnostics", Json.List (List.map D.to_json t.diagnostics));
+      ("errors", Json.Int e);
+      ("warnings", Json.Int w);
+      ("infos", Json.Int i);
+      ("hints", Json.Int h);
+    ]

@@ -1,0 +1,40 @@
+(** A full analysis report: classification + diagnostics, renderable as
+    text or JSON (the [acq lint --json] schema, see [docs/analysis.md]).
+
+    {!analyze} works on an already-built query (classification always
+    present); {!analyze_text} parses first and turns parse failures into
+    span-carrying diagnostics — QL000 for plain syntax errors, QL003
+    when the text contains a contradictory disequality ([x != x],
+    possibly via equality unification) — with no classification. *)
+
+type t = {
+  query : Ac_query.Ecq.t option;  (** [None] only when parsing failed *)
+  classification : Classification.t option;
+  diagnostics : Diagnostic.t list;  (** sorted: errors first *)
+}
+
+val analyze :
+  ?db:Ac_relational.Structure.t ->
+  ?spans:(int * int) array ->
+  Ac_query.Ecq.t ->
+  t
+
+val analyze_text : ?db:Ac_relational.Structure.t -> string -> t
+
+(** The classification; raises [Invalid_argument] on a parse-failure
+    report (callers on the {!analyze} path may rely on its presence). *)
+val classification_exn : t -> Classification.t
+
+val errors : t -> Diagnostic.t list
+val has_errors : t -> bool
+
+(** [(errors, warnings, infos, hints)]. *)
+val tally : t -> int * int * int * int
+
+(** CI exit status: [0] clean of errors, [1] otherwise. *)
+val exit_status : t -> int
+
+(** Human rendering: one diagnostic per line, then a summary line. *)
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t

@@ -5,6 +5,7 @@ module Error = Ac_runtime.Error
 module Chaos = Ac_runtime.Chaos
 module Entropy = Ac_runtime.Entropy
 module Engine = Ac_exec.Engine
+module Report = Ac_analysis.Report
 
 type method_ =
   | Auto
@@ -55,6 +56,7 @@ type response = {
   guarantee : bool;
   degraded : bool;
   attempts : Planner.attempt list;
+  report : Report.t;
   telemetry : telemetry;
 }
 
@@ -94,6 +96,10 @@ let run r =
   let telemetry () =
     { seed; jobs; ticks = Budget.ticks budget; elapsed_ms = Budget.elapsed_ms budget }
   in
+  (* The static analysis runs once, up front; the Auto path hands its
+     classification to the planner (no re-derivation) and every response
+     carries the full report. *)
+  let report = Report.analyze ~db:r.db r.query in
   let finish ?decision ?rung ?(guarantee = true) ?(degraded = false)
       ?(attempts = []) ~exact estimate =
     if not (Float.is_finite estimate) then
@@ -111,6 +117,7 @@ let run r =
           guarantee;
           degraded;
           attempts;
+          report;
           telemetry = telemetry ();
         }
   in
@@ -118,10 +125,13 @@ let run r =
   else
     match r.method_ with
     | Auto -> (
+        let decision =
+          Planner.decision_of_classification (Report.classification_exn report)
+        in
         match
           Planner.count_governed ~budget ~exec ~verbose:r.verbose
-            ~strict:r.strict ?chaos:r.chaos ~eps:r.eps ~delta:r.delta r.query
-            r.db
+            ~strict:r.strict ?chaos:r.chaos ~decision ~eps:r.eps ~delta:r.delta
+            r.query r.db
         with
         | Error e -> Error e
         | Ok g ->

@@ -73,6 +73,10 @@ type response = {
   guarantee : bool;   (** the (ε, δ) guarantee (or exactness) holds *)
   degraded : bool;    (** a fallback rung produced the value *)
   attempts : Planner.attempt list;     (** failed rungs, in order *)
+  report : Ac_analysis.Report.t;
+      (** the static analysis (classification + lint diagnostics, with
+          the database-aware checks); on the [Auto] path the plan is
+          read off this report's classification *)
   telemetry : telemetry;
 }
 

@@ -1,16 +1,16 @@
 module Ecq = Ac_query.Ecq
 module Structure = Ac_relational.Structure
-module Hypergraph = Ac_hypergraph.Hypergraph
-module Tree_decomposition = Ac_hypergraph.Tree_decomposition
-module Widths = Ac_hypergraph.Widths
 module Budget = Ac_runtime.Budget
 module Error = Ac_runtime.Error
 module Chaos = Ac_runtime.Chaos
 module Entropy = Ac_runtime.Entropy
+module Classification = Ac_analysis.Classification
+module Classify = Ac_analysis.Classify
 
 type algorithm =
   | Use_fpras
   | Use_fptras of Colour_oracle.engine
+  | Use_exact
 
 type query_class = Cq | Dcq | Ecq_full
 
@@ -21,67 +21,38 @@ type decision = {
   fhw : float;
   exact_widths : bool;
   reason : string;
+  classification : Classification.t;
 }
 
-let plan q =
-  let h = Ecq.hypergraph q in
-  let exact_widths = Hypergraph.num_vertices h <= 14 in
-  let treewidth =
-    if exact_widths then fst (Tree_decomposition.treewidth_exact h)
-    else Tree_decomposition.width (Tree_decomposition.decompose h)
+(* The decision is a pure function of the classification: the regime
+   picks the algorithm, the reason is pretty-printed from the record.
+   Nothing is re-derived here, so plan output, [acq explain] and
+   [acq lint] can never disagree. *)
+let decision_of_classification (c : Classification.t) =
+  let query_class =
+    match c.Classification.query_class with
+    | Classification.Cq -> Cq
+    | Classification.Dcq -> Dcq
+    | Classification.Ecq_full -> Ecq_full
   in
-  let fhw =
-    if exact_widths then fst (Widths.fhw_exact h) else Widths.fhw_upper h
+  let algorithm =
+    match c.Classification.regime with
+    | Classification.Exact_empty -> Use_exact
+    | Classification.Fpras_ta -> Use_fpras
+    | Classification.Fptras_tree_dp -> Use_fptras Colour_oracle.Tree_dp
+    | Classification.Fptras_generic_join -> Use_fptras Colour_oracle.Generic
   in
-  let arity = Hypergraph.arity h in
-  if Ecq.is_cq q then
-    {
-      algorithm = Use_fpras;
-      query_class = Cq;
-      treewidth;
-      fhw;
-      exact_widths;
-      reason =
-        Printf.sprintf
-          "CQ with fhw %.2f: Theorem 16 FPRAS (tree-automaton pipeline)" fhw;
-    }
-  else if Ecq.is_dcq q then
-    if arity <= 2 && treewidth <= 3 then
-      {
-        algorithm = Use_fptras Colour_oracle.Tree_dp;
-        query_class = Dcq;
-        treewidth;
-        fhw;
-        exact_widths;
-        reason =
-          Printf.sprintf
-            "DCQ (no FPRAS, Observation 10); arity %d, tw %d: Theorem 5 FPTRAS with the tree-DP engine"
-            arity treewidth;
-      }
-    else
-      {
-        algorithm = Use_fptras Colour_oracle.Generic;
-        query_class = Dcq;
-        treewidth;
-        fhw;
-        exact_widths;
-        reason =
-          Printf.sprintf
-            "DCQ (no FPRAS, Observation 10) of arity %d: Theorem 13 FPTRAS with the generic-join engine (bounded adaptive width)"
-            arity;
-      }
-  else
-    {
-      algorithm = Use_fptras Colour_oracle.Tree_dp;
-      query_class = Ecq_full;
-      treewidth;
-      fhw;
-      exact_widths;
-      reason =
-        Printf.sprintf
-          "ECQ with negations (no FPRAS, Observation 10): Theorem 5 FPTRAS, tw %d, arity %d"
-          treewidth arity;
-    }
+  {
+    algorithm;
+    query_class;
+    treewidth = c.Classification.treewidth;
+    fhw = c.Classification.fhw;
+    exact_widths = c.Classification.exact_widths;
+    reason = Classification.describe c;
+    classification = c;
+  }
+
+let plan q = decision_of_classification (Classify.classify q)
 
 let plan_result q = Error.guard (fun () -> plan q)
 
@@ -133,6 +104,7 @@ let run_decision ~rng ?budget ?exec ~eps ~delta d q db =
   | Use_fptras engine ->
       (Fptras.approx_count ?budget ~rng ?exec ~engine ~eps ~delta q db)
         .Fptras.estimate
+  | Use_exact -> float_of_int (Exact.by_join_projection ?budget q db)
 
 let count ?budget ?rng ?exec ?(verbose = false) ~eps ~delta q db =
   let rng = make_rng ?rng ~verbose:(verbose && exec = None) () in
@@ -181,6 +153,7 @@ let planned_rung d =
   | Use_fpras -> Fpras_rung
   | Use_fptras Colour_oracle.Tree_dp -> Tree_dp_rung
   | Use_fptras (Colour_oracle.Generic | Colour_oracle.Direct) -> Generic_rung
+  | Use_exact -> Exact_rung
 
 (* Stable per-rung ordinal, used to derive an independent engine seed
    for each rung: a degraded retry must not replay the failed rung's
@@ -227,12 +200,14 @@ let run_rung ~rng ~budget ?exec ~eps ~delta rung q db =
       (float_of_int n, completed)
 
 let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
-    ?chaos ~eps ~delta q db =
+    ?chaos ?decision ~eps ~delta q db =
   let budget = match budget with Some b -> b | None -> Budget.none in
   if not (Ecq.compatible_with q db) then
     Error (Error.Signature_mismatch (mismatch_message q db))
   else
-    match plan_result q with
+    match
+      match decision with Some d -> Ok d | None -> plan_result q
+    with
     | Error err -> Error err
     | Ok d ->
         let rng = make_rng ?rng ~verbose:(verbose && exec = None) () in

@@ -27,6 +27,8 @@
 type algorithm =
   | Use_fpras                              (** Theorem 16 *)
   | Use_fptras of Colour_oracle.engine     (** Theorems 5 / 13 *)
+  | Use_exact
+      (** statically always empty (negated twin, QL005): exact count 0 *)
 
 type query_class = Cq | Dcq | Ecq_full
 
@@ -36,8 +38,14 @@ type decision = {
   treewidth : int;     (** exact when [exact_widths] *)
   fhw : float;         (** exact when [exact_widths] *)
   exact_widths : bool; (** widths are exact for ≤ 14 variables *)
-  reason : string;     (** human-readable justification *)
+  reason : string;     (** pretty-printed from [classification] *)
+  classification : Ac_analysis.Classification.t;
+      (** the full static analysis the decision was read off from *)
 }
+
+(** Builds a decision from a classification — the only way decisions are
+    made; {!plan} is [decision_of_classification ∘ Ac_analysis.Classify.classify]. *)
+val decision_of_classification : Ac_analysis.Classification.t -> decision
 
 val plan : Ac_query.Ecq.t -> decision
 
@@ -118,7 +126,9 @@ type governed = {
     fire deterministically. [exec] parallelises each rung's independent
     trials as in {!count}; every rung derives its own engine seed
     (ordinal split), so a degraded retry does not replay the failed
-    rung's random choices. *)
+    rung's random choices. [decision], when given (e.g. by [Api.run],
+    which has already analysed the query), skips re-planning — and in
+    particular re-computing the width measures. *)
 val count_governed :
   ?budget:Ac_runtime.Budget.t ->
   ?rng:Random.State.t ->
@@ -126,6 +136,7 @@ val count_governed :
   ?verbose:bool ->
   ?strict:bool ->
   ?chaos:Ac_runtime.Chaos.t ->
+  ?decision:decision ->
   eps:float ->
   delta:float ->
   Ac_query.Ecq.t ->

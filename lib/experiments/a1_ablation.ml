@@ -106,5 +106,7 @@ let experiment =
   {
     Common.id = "A1";
     claim = "Ablations: Hom engines and the Lemma 22 colouring budget";
+    queries =
+      [ ("friends", QF.friends ()); ("star-distinct-2", QF.star_distinct 2) ];
     run;
   }

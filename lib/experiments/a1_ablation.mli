@@ -1,0 +1,2 @@
+(** A1 — see the module header for the claim. *)
+val experiment : Common.t

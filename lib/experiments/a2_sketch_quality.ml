@@ -59,5 +59,6 @@ let experiment =
   {
     Common.id = "A2";
     claim = "Ablation: ACJR sketch size vs FPRAS accuracy and cost";
+    queries = [ ("acyclic-join", QF.acyclic_join ()) ];
     run;
   }

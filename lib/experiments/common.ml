@@ -35,5 +35,6 @@ let f3 x = Printf.sprintf "%.3f" x
 type t = {
   id : string;
   claim : string;
+  queries : (string * Ac_query.Ecq.t) list;
   run : Format.formatter -> unit;
 }

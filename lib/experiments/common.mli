@@ -20,5 +20,8 @@ val f3 : float -> string
 type t = {
   id : string;        (** "E1" .. "E8" *)
   claim : string;     (** the paper claim it regenerates *)
+  queries : (string * Ac_query.Ecq.t) list;
+      (** named representative queries of the experiment's family — the
+          lint surface checked by [experiments --lint-families] in CI *)
   run : Format.formatter -> unit;
 }

@@ -75,5 +75,11 @@ let experiment =
   {
     Common.id = "E1";
     claim = "Theorem 5: FPTRAS for bounded-treewidth bounded-arity ECQs";
+    queries =
+      [
+        ("friends", QF.friends ());
+        ("star-distinct-2", QF.star_distinct 2);
+        ("triangle-negation", QF.triangle_negation ());
+      ];
     run;
   }

@@ -1,0 +1,2 @@
+(** E1 — see the module header for the claim. *)
+val experiment : Common.t

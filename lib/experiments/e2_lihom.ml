@@ -66,5 +66,10 @@ let experiment =
   {
     Common.id = "E2";
     claim = "Corollary 6: FPTRAS for locally injective homomorphisms";
+    queries =
+      List.map
+        (fun (name, pattern) ->
+          ("lihom-" ^ name, Ac_workload.Query_families.lihom pattern))
+        patterns;
     run;
   }

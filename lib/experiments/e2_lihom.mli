@@ -1,0 +1,2 @@
+(** E2 — see the module header for the claim. *)
+val experiment : Common.t

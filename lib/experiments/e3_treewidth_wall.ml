@@ -77,5 +77,8 @@ let experiment =
     Common.id = "E3";
     claim =
       "Observations 9/15 shape: exact counting pays n^{Θ(tw)}, the FPTRAS stays FPT";
+    queries =
+      [ ("clique-3", QF.clique_query ~num_free:2 3);
+        ("clique-4", QF.clique_query ~num_free:2 4) ];
     run;
   }

@@ -58,5 +58,6 @@ let experiment =
   {
     Common.id = "E4";
     claim = "Observation 10: tw-1 DCQs count Hamiltonian paths (no FPRAS unless NP=RP)";
+    queries = [ ("hamiltonian-4", Ac_workload.Query_families.hamiltonian 4) ];
     run;
   }

@@ -67,5 +67,7 @@ let experiment =
   {
     Common.id = "E5";
     claim = "Theorem 13: FPTRAS for bounded-adaptive-width DCQs of unbounded arity";
+    queries =
+      [ ("wide-path-3x4", QF.wide_path ~num_free:2 ~k:3 ~arity:4 ()) ];
     run;
   }

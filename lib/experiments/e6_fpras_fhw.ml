@@ -91,5 +91,11 @@ let experiment =
   {
     Common.id = "E6";
     claim = "Theorem 16: FPRAS for CQs of bounded fractional hypertreewidth";
+    queries =
+      [
+        ("acyclic-join", QF.acyclic_join ());
+        ("path-endpoints-3", QF.path_endpoints 3);
+        ("fractional-triangle", QF.fractional_triangle ());
+      ];
     run;
   }

@@ -58,5 +58,6 @@ let experiment =
   {
     Common.id = "E7";
     claim = "Figure 1 / Lemma 12: width-measure landscape across the query families";
+    queries = QF.landscape ();
     run;
   }

@@ -142,5 +142,10 @@ let experiment =
   {
     Common.id = "E8";
     claim = "§6 extensions: JVV sampling, ACJR sampling, Karp-Luby unions";
+    queries =
+      [
+        ("friends", Ac_workload.Query_families.friends ());
+        ("acyclic-join", Ac_workload.Query_families.acyclic_join ());
+      ];
     run;
   }

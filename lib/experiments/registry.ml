@@ -14,6 +14,14 @@ let all : Common.t list =
     A2_sketch_quality.experiment;
   ]
 
+(* Every experiment's representative queries, flattened: the lint
+   surface for [experiments --lint-families]. *)
+let families () =
+  List.concat_map
+    (fun e ->
+      List.map (fun (name, q) -> (e.Common.id, name, q)) e.Common.queries)
+    all
+
 let find id =
   List.find_opt
     (fun e -> String.lowercase_ascii e.Common.id = String.lowercase_ascii id)

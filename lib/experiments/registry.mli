@@ -1,0 +1,10 @@
+(** All experiments in DESIGN.md §4 order. *)
+val all : Common.t list
+
+(** [(experiment id, family name, query)] triples across all experiments,
+    in registry order — the lint surface for [experiments
+    --lint-families]. *)
+val families : unit -> (string * string * Ac_query.Ecq.t) list
+
+(** Case-insensitive lookup by id ("E1" … "A2"). *)
+val find : string -> Common.t option

@@ -174,7 +174,9 @@ let all_pairs_diseq_free q =
 (* ------------------------------------------------------------------ *)
 (* Parser for the textual form:
      ans(x, y) :- E(x, y), E(y, z), !R(x, z), x != z
-   Tokens: identifiers, '(', ')', ',', ':-', '!', '!=', 'not'. *)
+   Tokens: identifiers, '(', ')', ',', ':-', '!', '!=', 'not'. Every
+   token carries its character offsets so that errors can point at the
+   offending token and atoms can carry source spans for `acq lint`. *)
 
 type token =
   | Ident of string
@@ -186,6 +188,31 @@ type token =
   | Neq
   | Equal
 
+type parse_error = { offset : int; token : string; msg : string }
+
+exception Parse_error of parse_error
+
+let parse_error_message pe =
+  if pe.offset < 0 then "Ecq.parse: " ^ pe.msg
+  else if pe.token = "" then
+    Printf.sprintf "Ecq.parse: %s at offset %d" pe.msg pe.offset
+  else
+    Printf.sprintf "Ecq.parse: %s at offset %d (near %S)" pe.msg pe.offset
+      pe.token
+
+let fail_at ~offset ~token msg = raise (Parse_error { offset; token; msg })
+
+let token_text = function
+  | Ident s -> s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Turnstile -> ":-"
+  | Bang -> "!"
+  | Neq -> "!="
+  | Equal -> "="
+
+(* [(token, start, stop)] with [stop] exclusive. *)
 let tokenize input =
   let n = String.length input in
   let tokens = ref [] in
@@ -196,163 +223,185 @@ let tokenize input =
     || (c >= '0' && c <= '9')
     || c = '_' || c = '\'' || c = '='
   in
+  let push t start stop = tokens := (t, start, stop) :: !tokens in
   while !i < n do
     let c = input.[!i] in
     if c = ' ' || c = '\t' || c = '\n' then incr i
-    else if c = '(' then (tokens := Lparen :: !tokens; incr i)
-    else if c = ')' then (tokens := Rparen :: !tokens; incr i)
-    else if c = ',' then (tokens := Comma :: !tokens; incr i)
+    else if c = '(' then (push Lparen !i (!i + 1); incr i)
+    else if c = ')' then (push Rparen !i (!i + 1); incr i)
+    else if c = ',' then (push Comma !i (!i + 1); incr i)
     else if c = ':' && !i + 1 < n && input.[!i + 1] = '-' then begin
-      tokens := Turnstile :: !tokens;
+      push Turnstile !i (!i + 2);
       i := !i + 2
     end
     else if c = '!' && !i + 1 < n && input.[!i + 1] = '=' then begin
-      tokens := Neq :: !tokens;
+      push Neq !i (!i + 2);
       i := !i + 2
     end
-    else if c = '!' then (tokens := Bang :: !tokens; incr i)
-    else if c = '=' then (tokens := Equal :: !tokens; incr i)
+    else if c = '!' then (push Bang !i (!i + 1); incr i)
+    else if c = '=' then (push Equal !i (!i + 1); incr i)
     else if is_ident_char c && c <> '=' then begin
       let start = !i in
       while !i < n && is_ident_char input.[!i] && input.[!i] <> '=' do incr i done;
-      tokens := Ident (String.sub input start (!i - start)) :: !tokens
+      push (Ident (String.sub input start (!i - start))) start !i
     end
-    else failwith (Printf.sprintf "Ecq.parse: unexpected character %c" c)
+    else
+      fail_at ~offset:!i ~token:(String.make 1 c) "unexpected character"
   done;
   List.rev !tokens
 
-let parse input =
+let parse_spans input =
   let tokens = ref (tokenize input) in
-  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
-  let next () =
+  let eof = String.length input in
+  let peek () = match !tokens with [] -> None | (t, _, _) :: _ -> Some t in
+  let next_pos () =
     match !tokens with
-    | [] -> failwith "Ecq.parse: unexpected end of input"
-    | t :: rest ->
+    | [] -> fail_at ~offset:eof ~token:"" "unexpected end of input"
+    | (t, s, e) :: rest ->
         tokens := rest;
-        t
+        (t, s, e)
   in
   let expect t what =
-    if next () <> t then failwith ("Ecq.parse: expected " ^ what)
+    let got, s, _ = next_pos () in
+    if got <> t then
+      fail_at ~offset:s ~token:(token_text got) ("expected " ^ what)
   in
-  let ident what =
-    match next () with
-    | Ident s -> s
-    | _ -> failwith ("Ecq.parse: expected " ^ what)
+  let ident_pos what =
+    match next_pos () with
+    | Ident s, start, stop -> (s, start, stop)
+    | got, s, _ ->
+        fail_at ~offset:s ~token:(token_text got) ("expected " ^ what)
   in
   let var_ids : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let var_order = ref [] in
   let var_of name =
     match Hashtbl.find_opt var_ids name with
     | Some v -> v
     | None ->
         let v = Hashtbl.length var_ids in
         Hashtbl.replace var_ids name v;
-        var_order := name :: !var_order;
         v
   in
   (* head *)
-  let head = ident "head predicate" in
+  let head, head_start, _ = ident_pos "head predicate" in
   if String.lowercase_ascii head <> "ans" then
-    failwith "Ecq.parse: head predicate must be named ans";
+    fail_at ~offset:head_start ~token:head "head predicate must be named ans";
   expect Lparen "(";
   let rec head_vars acc =
-    match next () with
-    | Ident v ->
-        let acc = var_of v :: acc in
-        (match next () with
-        | Comma -> head_vars acc
-        | Rparen -> List.rev acc
-        | _ -> failwith "Ecq.parse: bad head")
-    | Rparen when acc = [] -> []
-    | _ -> failwith "Ecq.parse: bad head"
+    match next_pos () with
+    | Ident v, start, stop -> (
+        let acc = (var_of v, v, start, stop) :: acc in
+        match next_pos () with
+        | Comma, _, _ -> head_vars acc
+        | Rparen, _, _ -> List.rev acc
+        | got, s, _ -> fail_at ~offset:s ~token:(token_text got) "bad head")
+    | Rparen, _, _ when acc = [] -> []
+    | got, s, _ -> fail_at ~offset:s ~token:(token_text got) "bad head"
   in
   let frees =
     match peek () with
     | Some Rparen ->
-        ignore (next ());
+        ignore (next_pos ());
         []
     | _ -> head_vars []
   in
   (* the head must list variables 0..ℓ-1 in order, which holds because
      var_of numbers them on first occurrence *)
   List.iteri
-    (fun i v ->
-      if v <> i then failwith "Ecq.parse: repeated variable in head")
+    (fun i (v, name, start, _) ->
+      if v <> i then
+        fail_at ~offset:start ~token:name "repeated variable in head")
     frees;
   expect Turnstile ":-";
   let parse_args () =
     expect Lparen "(";
     let rec go acc =
-      match next () with
-      | Ident v -> (
+      match next_pos () with
+      | Ident v, _, _ -> (
           let acc = var_of v :: acc in
-          match next () with
-          | Comma -> go acc
-          | Rparen -> List.rev acc
-          | _ -> failwith "Ecq.parse: bad argument list")
-      | _ -> failwith "Ecq.parse: bad argument list"
+          match next_pos () with
+          | Comma, _, _ -> go acc
+          | Rparen, _, stop -> (List.rev acc, stop)
+          | got, s, _ ->
+              fail_at ~offset:s ~token:(token_text got) "bad argument list")
+      | got, s, _ ->
+          fail_at ~offset:s ~token:(token_text got) "bad argument list"
     in
     go []
   in
+  (* body items: atoms with their source spans, and equalities *)
   let rec body acc =
-    let atom =
-      match next () with
-      | Bang ->
-          let name = ident "predicate after !" in
-          `Atom (Neg_atom (name, Array.of_list (parse_args ())))
-      | Ident "not" ->
-          let name = ident "predicate after not" in
-          `Atom (Neg_atom (name, Array.of_list (parse_args ())))
-      | Ident name -> (
+    let item =
+      match next_pos () with
+      | Bang, start, _ ->
+          let name, _, _ = ident_pos "predicate after !" in
+          let args, stop = parse_args () in
+          `Atom (Neg_atom (name, Array.of_list args), start, stop)
+      | Ident "not", start, _ ->
+          let name, _, _ = ident_pos "predicate after not" in
+          let args, stop = parse_args () in
+          `Atom (Neg_atom (name, Array.of_list args), start, stop)
+      | Ident name, start, _ -> (
           match peek () with
-          | Some Lparen -> `Atom (Atom (name, Array.of_list (parse_args ())))
+          | Some Lparen ->
+              let args, stop = parse_args () in
+              `Atom (Atom (name, Array.of_list args), start, stop)
           | Some Neq ->
-              ignore (next ());
-              let rhs = ident "variable after !=" in
-              `Atom (Diseq (var_of name, var_of rhs))
+              ignore (next_pos ());
+              let rhs, _, stop = ident_pos "variable after !=" in
+              `Atom (Diseq (var_of name, var_of rhs), start, stop)
           | Some Equal ->
-              ignore (next ());
-              let rhs = ident "variable after =" in
-              `Equality (var_of name, var_of rhs)
-          | _ -> failwith "Ecq.parse: expected (, != or = after identifier")
-      | _ -> failwith "Ecq.parse: expected atom"
+              ignore (next_pos ());
+              let rhs, _, stop = ident_pos "variable after =" in
+              `Equality (var_of name, var_of rhs, start, stop)
+          | _ ->
+              let offset, token =
+                match !tokens with
+                | (t, s, _) :: _ -> (s, token_text t)
+                | [] -> (eof, "")
+              in
+              fail_at ~offset ~token "expected (, != or = after identifier")
+      | got, s, _ -> fail_at ~offset:s ~token:(token_text got) "expected atom"
     in
-    let acc = atom :: acc in
+    let acc = item :: acc in
     match peek () with
     | Some Comma ->
-        ignore (next ());
+        ignore (next_pos ());
         body acc
     | None -> List.rev acc
-    | _ -> failwith "Ecq.parse: trailing tokens"
+    | Some got ->
+        let offset = match !tokens with (_, s, _) :: _ -> s | [] -> eof in
+        fail_at ~offset ~token:(token_text got) "trailing tokens"
   in
   let items = body [] in
   let raw_atoms =
-    List.filter_map (function `Atom a -> Some a | `Equality _ -> None) items
+    List.filter_map
+      (function `Atom (a, s, e) -> Some (a, s, e) | `Equality _ -> None)
+      items
   in
   let equalities =
-    List.filter_map (function `Equality e -> Some e | `Atom _ -> None) items
+    List.filter_map
+      (function `Equality (a, b, s, e) -> Some (a, b, s, e) | `Atom _ -> None)
+      items
   in
   let num_raw = Hashtbl.length var_ids in
   let num_free = List.length frees in
   (* §1.1 preprocessing: rewrite equalities away by unifying variables
-     (union-find); a class may contain at most one free variable. *)
+     (union-find); a class may contain at most one free variable, and a
+     free variable is always its class's representative. *)
   let uf = Array.init num_raw Fun.id in
   let rec find v = if uf.(v) = v then v else (uf.(v) <- find uf.(v); uf.(v)) in
   List.iter
-    (fun (a, b) ->
+    (fun (a, b, start, stop) ->
       let ra = find a and rb = find b in
       if ra <> rb then
-        (* prefer a free representative *)
-        if rb < num_free then uf.(ra) <- rb else uf.(rb) <- ra)
+        if ra < num_free && rb < num_free then
+          fail_at ~offset:start
+            ~token:(String.sub input start (stop - start))
+            "equality between two free variables"
+        else if ra < num_free then uf.(rb) <- ra
+        else if rb < num_free then uf.(ra) <- rb
+        else uf.(ra) <- rb)
     equalities;
-  (* reject classes with two free variables *)
-  let free_rep = Hashtbl.create 8 in
-  for v = 0 to num_free - 1 do
-    let r = find v in
-    (match Hashtbl.find_opt free_rep r with
-    | Some _ -> failwith "Ecq.parse: equality between two free variables"
-    | None -> Hashtbl.replace free_rep r v)
-  done;
   (* compact renumbering: free variables keep their ids, surviving
      existential representatives follow *)
   let remap = Hashtbl.create 16 in
@@ -368,13 +417,32 @@ let parse input =
     end
   done;
   let rename v = Hashtbl.find remap (find v) in
-  let atoms =
+  let atoms_spanned =
     List.map
-      (function
-        | Atom (name, vs) -> Atom (name, Array.map rename vs)
-        | Neg_atom (name, vs) -> Neg_atom (name, Array.map rename vs)
-        | Diseq (i, j) -> Diseq (rename i, rename j))
+      (fun (atom, start, stop) ->
+        let atom =
+          match atom with
+          | Atom (name, vs) -> Atom (name, Array.map rename vs)
+          | Neg_atom (name, vs) -> Neg_atom (name, Array.map rename vs)
+          | Diseq (i, j) -> Diseq (rename i, rename j)
+        in
+        (atom, start, stop))
       raw_atoms
+  in
+  (* a disequality whose sides were unified (x != x, directly or through
+     equalities) is always false: reject with the offending span so the
+     linter can report it as QL003 *)
+  List.iter
+    (function
+      | Diseq (i, j), start, stop when i = j ->
+          fail_at ~offset:start
+            ~token:(String.sub input start (stop - start))
+            "contradictory disequality: both sides denote the same variable"
+      | _ -> ())
+    atoms_spanned;
+  let atoms = List.map (fun (a, _, _) -> a) atoms_spanned in
+  let spans =
+    Array.of_list (List.map (fun (_, s, e) -> (s, e)) atoms_spanned)
   in
   let num_vars = !next_id in
   let var_names = Array.make num_vars "" in
@@ -383,10 +451,20 @@ let parse input =
       let r = rename v in
       if var_names.(r) = "" || find v = v then var_names.(r) <- name)
     var_ids;
-  make ~var_names ~num_free ~num_vars atoms
+  match make ~var_names ~num_free ~num_vars atoms with
+  | q -> (q, spans)
+  | exception Invalid_argument msg -> fail_at ~offset:(-1) ~token:"" msg
+
+let parse input =
+  match parse_spans input with
+  | q, _ -> q
+  | exception Parse_error pe -> failwith (parse_error_message pe)
 
 let parse_result input =
-  match parse input with
-  | q -> Ok q
+  match parse_spans input with
+  | q, _ -> Ok q
+  | exception Parse_error pe ->
+      Error
+        (Ac_runtime.Error.Parse { source = "query"; msg = parse_error_message pe })
   | exception (Failure msg | Invalid_argument msg) ->
       Error (Ac_runtime.Error.Parse { source = "query"; msg })

@@ -88,6 +88,24 @@ val all_pairs_diseq_free : t -> t
     Raises [Failure] on syntax errors. *)
 val parse : string -> t
 
+(** A positioned parse failure: [offset] is the character offset of the
+    offending token in the input ([-1] when no position applies, e.g.
+    validation failures), [token] the offending token's text ([""] at
+    end of input), [msg] the bare description. *)
+type parse_error = { offset : int; token : string; msg : string }
+
+exception Parse_error of parse_error
+
+(** Renders a {!parse_error} in the classic [Failure] style:
+    ["Ecq.parse: <msg> at offset <n> (near <token>)"]. *)
+val parse_error_message : parse_error -> string
+
+(** Like {!parse} but raises {!Parse_error} (position-carrying) instead
+    of [Failure], and additionally returns one character span
+    [(start, stop)] per atom — aligned with {!atoms} order — so that
+    diagnostics can point back into the source text. *)
+val parse_spans : string -> t * (int * int) array
+
 (** {!parse} with syntax errors as typed [Parse] errors ([source] is
     ["query"]). Never raises. *)
 val parse_result : string -> (t, Ac_runtime.Error.t) result

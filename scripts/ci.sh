@@ -9,11 +9,17 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== source lint"
+scripts/lint.sh
+
 echo "== dune build"
 dune build
 
 echo "== dune runtest"
 dune runtest
+
+echo "== query-analysis goldens"
+scripts/lint_queries.sh
 
 if [ "${1:-}" = "--with-bench" ]; then
   echo "== parallel jobs sweep (BENCH_parallel.json)"

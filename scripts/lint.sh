@@ -1,0 +1,71 @@
+#!/bin/sh
+# Source lint: repository-wide invariants that the compiler cannot check.
+# Run from anywhere; exits non-zero with one line per violation.
+#
+#   1. Entropy discipline — all seeding goes through Ac_runtime.Entropy:
+#      no Random.self_init anywhere, no bare Random.<fn> (anything but
+#      Random.State) in lib/ outside lib/runtime/entropy.ml. A stray
+#      global-RNG call would silently break replayability.
+#   2. Library purity — lib/ never writes to stdout (Printf.printf,
+#      print_endline, print_string) and never calls exit: rendering and
+#      process control belong to bin/.
+#   3. Interface discipline — every lib/**/*.ml has a matching .mli.
+#   4. Budget discipline — hot-loop files (lib/core, lib/dlm,
+#      lib/automata, lib/join, lib/hom) that contain a while loop must
+#      reference Budget.tick/Budget.check, or a runaway loop would be
+#      invisible to the cooperative-cancellation governor.
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+complain() {
+  echo "lint: $1" >&2
+  fail=1
+}
+
+# --- 1. entropy discipline -------------------------------------------------
+if grep -rn "Random\.self_init" --include="*.ml" lib bin test examples bench 2>/dev/null; then
+  complain "Random.self_init is forbidden: draw seeds from Ac_runtime.Entropy"
+fi
+bare_random=$(grep -rn "Random\." --include="*.ml" lib 2>/dev/null \
+  | grep -v "Random\.State" \
+  | grep -v "^lib/runtime/entropy\.ml:" || true)
+if [ -n "$bare_random" ]; then
+  echo "$bare_random" >&2
+  complain "bare Random.* in lib/ (only Random.State and lib/runtime/entropy.ml may touch the global RNG)"
+fi
+
+# --- 2. library purity -----------------------------------------------------
+stdout_writes=$(grep -rnw "Printf\.printf\|print_endline\|print_string\|print_newline" \
+  --include="*.ml" lib 2>/dev/null || true)
+if [ -n "$stdout_writes" ]; then
+  echo "$stdout_writes" >&2
+  complain "stdout writes in lib/ (render through Format/fmt; printing belongs to bin/)"
+fi
+exits=$(grep -rn "[^_a-zA-Z.]exit [0-9(]" --include="*.ml" lib 2>/dev/null || true)
+if [ -n "$exits" ]; then
+  echo "$exits" >&2
+  complain "exit in lib/ (raise a typed Ac_runtime.Error instead; exiting belongs to bin/)"
+fi
+
+# --- 3. interface discipline -----------------------------------------------
+for f in $(find lib -name "*.ml" | sort); do
+  if [ ! -f "${f%.ml}.mli" ]; then
+    complain "$f has no interface: add ${f%.ml}.mli"
+  fi
+done
+
+# --- 4. budget discipline --------------------------------------------------
+for f in $(grep -rl "while " --include="*.ml" \
+    lib/core lib/dlm lib/automata lib/join lib/hom 2>/dev/null | sort); do
+  if ! grep -q "Budget\.tick\|Budget\.check" "$f"; then
+    complain "$f has a while loop but never polls Budget.tick/Budget.check"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: clean"

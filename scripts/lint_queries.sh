@@ -1,0 +1,70 @@
+#!/bin/sh
+# Golden-output check for the static analysis.
+#
+# Runs `acq lint --json` over every query in examples/queries/*.acq and
+# `experiments --lint-families` over the experiment query families, and
+# diffs the output against the checked-in goldens in
+# examples/queries/expected/. Any behaviour change in the analyser —
+# a new code, a reworded message, a reordered field — shows up as a
+# diff here and must be reviewed with the change that caused it.
+#
+# Usage: scripts/lint_queries.sh [--update]
+#   --update  regenerate the goldens instead of diffing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+update=0
+[ "${1:-}" = "--update" ] && update=1
+
+dune build bin/acq.exe bin/experiments.exe 2>/dev/null
+
+ACQ=_build/default/bin/acq.exe
+EXPERIMENTS=_build/default/bin/experiments.exe
+CORPUS=examples/queries
+EXPECTED=$CORPUS/expected
+mkdir -p "$EXPECTED"
+
+fail=0
+
+check() {
+  name=$1
+  golden=$2
+  actual=$3
+  if [ "$update" -eq 1 ]; then
+    cp "$actual" "$golden"
+    echo "updated $golden"
+  elif [ ! -f "$golden" ]; then
+    echo "lint-queries: missing golden $golden (run with --update)" >&2
+    fail=1
+  elif ! diff -u "$golden" "$actual" >&2; then
+    echo "lint-queries: $name drifted from $golden" >&2
+    fail=1
+  fi
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for f in "$CORPUS"/*.acq; do
+  name=$(basename "$f" .acq)
+  # lint exits 1 on Error-severity diagnostics (e.g. the always_empty
+  # query): that is expected corpus content, not a driver failure.
+  status=0
+  "$ACQ" lint --json -q "$(cat "$f")" > "$tmp/$name.json" || status=$?
+  if [ "$status" -gt 1 ]; then
+    echo "lint-queries: acq lint crashed on $f (exit $status)" >&2
+    fail=1
+    continue
+  fi
+  check "$name" "$EXPECTED/$name.json" "$tmp/$name.json"
+done
+
+"$EXPERIMENTS" --lint-families > "$tmp/families.txt"
+check "families" "$EXPECTED/families.txt" "$tmp/families.txt"
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint-queries: FAILED" >&2
+  exit 1
+fi
+[ "$update" -eq 1 ] || echo "lint-queries: clean"

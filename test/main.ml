@@ -28,5 +28,6 @@ let () =
       ("misc", Test_misc.tests);
       ("runtime", Test_runtime.tests);
       ("malformed", Test_malformed.tests);
+      ("analysis", Test_analysis.tests);
       ("exec", Test_exec.tests);
     ]

@@ -16,6 +16,7 @@ let test_plan_classification () =
       | Planner.Use_fptras Approxcount.Colour_oracle.Tree_dp -> `Tree_dp
       | Planner.Use_fptras Approxcount.Colour_oracle.Generic -> `Generic
       | Planner.Use_fptras Approxcount.Colour_oracle.Direct -> `Direct
+      | Planner.Use_exact -> `Exact
     in
     if got <> expected then Alcotest.fail name
   in
