@@ -3,15 +3,23 @@
      acq count  --db facts.txt --query "ans(x) :- F(x,y), F(x,z), y != z"
      acq count  --db facts.txt --query "..." --method fpras
      acq count  --db facts.txt --query "..." --timeout-ms 500 --max-heap-mb 512
+     acq count  --db - --query "..."             # database from stdin
+     acq count  --connect /run/acqd.sock --use people --query "..."
      acq sample --db facts.txt --query "..." --draws 5
      acq widths --query "..."
      acq generate --kind friends --size 100 --out facts.txt
+     acq ping   --connect /run/acqd.sock
+     acq stats  --connect /run/acqd.sock
 
-   Databases use the plain-text format of Ac_relational.Structure_io.
+   Databases use the plain-text format of Ac_relational.Structure_io;
+   [--db -] reads the same format from stdin. With [--connect ADDR]
+   (unix:PATH, tcp:HOST:PORT or a bare socket path) count/sample are
+   executed by a resident acqd daemon over the wire protocol of
+   docs/server.md — same estimates, same exit codes.
 
    Exit codes (see docs/robustness.md): 0 success; 3 answered but
    degraded (a budget tripped and a fallback rung produced the value);
-   10-16 typed error classes (Ac_runtime.Error.exit_code); 124/125 are
+   10-17 typed error classes (Ac_runtime.Error.exit_code); 124/125 are
    cmdliner's. *)
 
 open Cmdliner
@@ -23,6 +31,8 @@ module Budget = Ac_runtime.Budget
 module Error = Ac_runtime.Error
 module Planner = Approxcount.Planner
 module Api = Approxcount.Api
+module Wire = Ac_server.Wire
+module Client = Ac_server.Client
 
 let exit_degraded = 3
 
@@ -46,12 +56,6 @@ let make_budget ~timeout_ms ~max_heap_mb =
 let query_term =
   let doc = "The query, e.g. \"ans(x) :- E(x, y), !R(y, y), x != y\"." in
   Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
-
-let db_term =
-  let doc = "Database file (see Structure_io format)." in
-  (* a plain string, not Arg.file: existence failures should flow through
-     the typed Io error (exit 11), not cmdliner's 124 *)
-  Arg.(required & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
 
 let epsilon_term =
   Arg.(
@@ -136,12 +140,20 @@ let method_term =
     & info [ "m"; "method" ] ~docv:"METHOD"
         ~doc:"auto (planner + governed fallback), exact (join+project), fptras (Theorems 5/13), fpras (Theorem 16, CQs only), brute.")
 
+(* [--db -] is the standard input; everything else is a file path. *)
+let load_db ?max_db_mb db_path =
+  let max_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_db_mb in
+  if db_path = "-" then
+    Result.map
+      (fun (l : Structure_io.loaded) -> l.Structure_io.db)
+      (Structure_io.of_channel_result ?max_bytes stdin)
+  else Structure_io.load_result ?max_bytes db_path
+
 let with_input ?max_db_mb query_text db_path f =
   match Ecq.parse_result query_text with
   | Error e -> report e
   | Ok query -> (
-      let max_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_db_mb in
-      match Structure_io.load_result ?max_bytes db_path with
+      match load_db ?max_db_mb db_path with
       | Error e -> report e
       | Ok db ->
           if not (Ecq.compatible_with query db) then
@@ -150,20 +162,127 @@ let with_input ?max_db_mb query_text db_path f =
                  "query signature is not contained in the database's")
           else f query db)
 
+(* ---------- the daemon client (--connect) ---------- *)
+
+let connect_term =
+  let doc =
+    "Run the request on a resident acqd daemon at $(docv) (unix:PATH, \
+     tcp:HOST:PORT, or a bare socket path) instead of in-process."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+let use_term =
+  let doc =
+    "With --connect: name a database of the daemon's catalog instead of \
+     shipping one with --db."
+  in
+  Arg.(value & opt (some string) None & info [ "use" ] ~docv:"NAME" ~doc)
+
+(* Resolve how a remote request names its database: a catalog name
+   beats an inline copy of the (file or stdin) database text. *)
+let remote_db_ref ~use_name ~db_path =
+  match (use_name, db_path) with
+  | Some name, _ -> Ok (Wire.Named name)
+  | None, Some "-" -> (
+      match In_channel.input_all stdin with
+      | text -> Ok (Wire.Inline text)
+      | exception Sys_error msg -> Error (Error.Io { file = "<stdin>"; msg }))
+  | None, Some path -> (
+      match In_channel.with_open_bin path In_channel.input_all with
+      | text -> Ok (Wire.Inline text)
+      | exception Sys_error msg -> Error (Error.Io { file = path; msg }))
+  | None, None ->
+      Error
+        (Error.Io
+           { file = "<db>"; msg = "--connect needs --use NAME or --db FILE" })
+
+let with_connection addr f =
+  match Client.address_of_string addr with
+  | Error msg -> report (Error.Io { file = addr; msg })
+  | Ok address -> (
+      match Client.connect address with
+      | Error e -> report e
+      | Ok conn ->
+          Fun.protect ~finally:(fun () -> Client.close conn) (fun () -> f conn))
+
+let report_refused ~error_class ~message code =
+  Printf.eprintf "acq: error [%s]: %s\n%!" error_class message;
+  code
+
+let print_remote_telemetry ~verbose (o : Wire.outcome) =
+  if verbose then
+    Printf.eprintf
+      "acq: seed %d, jobs %d, %d ticks, %.1f ms, cache plan=%s result=%s \
+       (replay with --seed %d)\n\
+       %!"
+      o.Wire.seed o.Wire.jobs o.Wire.ticks o.Wire.elapsed_ms o.Wire.plan_cache
+      o.Wire.result_cache o.Wire.seed
+
+let remote_count conn ~verbose params =
+  match Client.call conn (Wire.Count params) with
+  | Error e -> report e
+  | Ok (Wire.Refused { code; error_class; message }) ->
+      report_refused ~error_class ~message code
+  | Ok (Wire.Counted o) ->
+      if o.Wire.exact then Printf.printf "%.0f\n" o.Wire.estimate
+      else Printf.printf "%.1f\n" o.Wire.estimate;
+      print_remote_telemetry ~verbose o;
+      if o.Wire.degraded then begin
+        let failed =
+          o.Wire.attempts
+          |> List.map (fun (a : Wire.attempt) ->
+                 Printf.sprintf "%s (%s)" a.Wire.rung a.Wire.error_message)
+          |> String.concat "; "
+        in
+        Printf.eprintf
+          "acq: degraded answer from rung %s — %s; failed rungs: %s\n%!"
+          (Option.value o.Wire.rung ~default:"?")
+          (if o.Wire.guarantee then "(eps,delta) guarantee holds"
+           else "lower bound only, no guarantee")
+          failed;
+        exit_degraded
+      end
+      else 0
+  | Ok _ -> report (Error.Internal "unexpected response to COUNT")
+
+let remote_sample conn ~verbose params ~draws =
+  match Client.call conn (Wire.Sample { params; draws }) with
+  | Error e -> report e
+  | Ok (Wire.Refused { code; error_class; message }) ->
+      report_refused ~error_class ~message code
+  | Ok (Wire.Sampled { samples; seed; jobs; ticks; elapsed_ms }) ->
+      Array.iter
+        (function
+          | None -> print_endline "(no sample)"
+          | Some tau ->
+              print_endline
+                (String.concat " "
+                   (Array.to_list (Array.map string_of_int tau))))
+        samples;
+      if verbose then
+        Printf.eprintf "acq: seed %d, jobs %d, %d ticks, %.1f ms\n%!" seed jobs
+          ticks elapsed_ms;
+      0
+  | Ok _ -> report (Error.Internal "unexpected response to SAMPLE")
+
+(* count/sample: [--db] is only required without [--connect --use], so
+   the remotable variants take it as an option and check at run time. *)
+let db_remotable_term =
+  let doc = "Database file (Structure_io format), or - for stdin." in
+  Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+
+let require_db = function
+  | Some path -> Ok path
+  | None -> Error (Error.Io { file = "<db>"; msg = "--db is required" })
+
 let count_cmd =
-  let run query_text db_path method_ engine eps delta seed jobs timeout_ms
-      max_heap_mb max_db_mb strict verbose =
+  let local query_text db_path ~method_ ~eps ~delta ~seed ~jobs ~timeout_ms
+      ~max_heap_mb ~max_db_mb ~strict ~verbose =
     with_input ?max_db_mb query_text db_path (fun query db ->
         let budget = make_budget ~timeout_ms ~max_heap_mb in
-        let method_ =
-          match method_ with
-          | `Auto -> Api.Auto
-          | `Exact -> Api.Exact
-          | `Brute -> Api.Brute
-          | `Fptras -> Api.Fptras engine
-          | `Fpras -> Api.Fpras
-        in
-        let jobs = if jobs <= 0 then None else Some jobs in
         let r =
           Api.request ~eps ~delta ~method_ ?seed ?jobs ?budget ~strict ~verbose
             query db
@@ -214,22 +333,51 @@ let count_cmd =
               0
             end)
   in
+  let run query_text db_path connect use_name method_ engine eps delta seed
+      jobs timeout_ms max_heap_mb max_db_mb strict verbose =
+    let method_ =
+      match method_ with
+      | `Auto -> Api.Auto
+      | `Exact -> Api.Exact
+      | `Brute -> Api.Brute
+      | `Fptras -> Api.Fptras engine
+      | `Fpras -> Api.Fpras
+    in
+    let jobs = if jobs <= 0 then None else Some jobs in
+    match connect with
+    | Some addr -> (
+        match remote_db_ref ~use_name ~db_path with
+        | Error e -> report e
+        | Ok db ->
+            let params =
+              Wire.params ~eps ~delta ~method_ ?seed ?jobs ?timeout_ms
+                ?max_heap_mb ~strict ~db query_text
+            in
+            with_connection addr (fun conn ->
+                remote_count conn ~verbose params))
+    | None -> (
+        match require_db db_path with
+        | Error e -> report e
+        | Ok db_path ->
+            local query_text db_path ~method_ ~eps ~delta ~seed ~jobs
+              ~timeout_ms ~max_heap_mb ~max_db_mb ~strict ~verbose)
+  in
   let doc = "Count the answers of a query in a database." in
   Cmd.v (Cmd.info "count" ~doc)
     Term.(
-      const run $ query_term $ db_term $ method_term $ engine_term
-      $ epsilon_term $ delta_term $ seed_term $ jobs_term $ timeout_term
-      $ max_heap_term $ max_db_term $ strict_term $ verbose_term)
+      const run $ query_term $ db_remotable_term $ connect_term $ use_term
+      $ method_term $ engine_term $ epsilon_term $ delta_term $ seed_term
+      $ jobs_term $ timeout_term $ max_heap_term $ max_db_term $ strict_term
+      $ verbose_term)
 
 let sample_cmd =
   let draws_term =
     Arg.(value & opt int 1 & info [ "draws" ] ~docv:"N" ~doc:"Number of samples.")
   in
-  let run query_text db_path engine eps delta seed jobs draws timeout_ms
-      max_heap_mb max_db_mb verbose =
+  let local query_text db_path ~engine ~eps ~delta ~seed ~jobs ~draws
+      ~timeout_ms ~max_heap_mb ~max_db_mb ~verbose =
     with_input ?max_db_mb query_text db_path (fun query db ->
         let budget = make_budget ~timeout_ms ~max_heap_mb in
-        let jobs = if jobs <= 0 then None else Some jobs in
         let r =
           Api.request ~eps ~delta ~method_:(Api.Fptras engine) ?seed ?jobs
             ?budget ~verbose query db
@@ -252,12 +400,33 @@ let sample_cmd =
                 t.Api.jobs;
             0)
   in
+  let run query_text db_path connect use_name engine eps delta seed jobs draws
+      timeout_ms max_heap_mb max_db_mb verbose =
+    let jobs = if jobs <= 0 then None else Some jobs in
+    match connect with
+    | Some addr -> (
+        match remote_db_ref ~use_name ~db_path with
+        | Error e -> report e
+        | Ok db ->
+            let params =
+              Wire.params ~eps ~delta ~method_:(Api.Fptras engine) ?seed ?jobs
+                ?timeout_ms ?max_heap_mb ~db query_text
+            in
+            with_connection addr (fun conn ->
+                remote_sample conn ~verbose params ~draws))
+    | None -> (
+        match require_db db_path with
+        | Error e -> report e
+        | Ok db_path ->
+            local query_text db_path ~engine ~eps ~delta ~seed ~jobs ~draws
+              ~timeout_ms ~max_heap_mb ~max_db_mb ~verbose)
+  in
   let doc = "Draw approximately-uniform answers (§6 JVV sampling)." in
   Cmd.v (Cmd.info "sample" ~doc)
     Term.(
-      const run $ query_term $ db_term $ engine_term $ epsilon_term
-      $ delta_term $ seed_term $ jobs_term $ draws_term $ timeout_term
-      $ max_heap_term $ max_db_term $ verbose_term)
+      const run $ query_term $ db_remotable_term $ connect_term $ use_term
+      $ engine_term $ epsilon_term $ delta_term $ seed_term $ jobs_term
+      $ draws_term $ timeout_term $ max_heap_term $ max_db_term $ verbose_term)
 
 let widths_cmd =
   let run query_text =
@@ -300,8 +469,8 @@ let widths_cmd =
 
 let db_opt_term =
   let doc =
-    "Optional database file: enables the database-aware checks (QL006 \
-     signature mismatch, QL010 empty relation)."
+    "Optional database file (or - for stdin): enables the database-aware \
+     checks (QL006 signature mismatch, QL010 empty relation)."
   in
   Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
 
@@ -318,8 +487,7 @@ let with_optional_db ?max_db_mb db_path f =
   match db_path with
   | None -> f None
   | Some path -> (
-      let max_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_db_mb in
-      match Structure_io.load_result ?max_bytes path with
+      match load_db ?max_db_mb path with
       | Error e -> report e
       | Ok db -> f (Some db))
 
@@ -383,7 +551,11 @@ let generate_cmd =
     Arg.(value & opt int 50 & info [ "size" ] ~docv:"N" ~doc:"Universe size.")
   in
   let out_term =
-    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output file.")
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Output file ($(b,-) for stdout, for piping into --db -).")
   in
   let run kind size out seed =
     guarded (fun () ->
@@ -398,14 +570,62 @@ let generate_cmd =
               Ac_workload.Dbgen.random_structure ~rng ~universe_size:size
                 [ ("R", 2, 4 * size) ]
         in
-        Structure_io.save out db;
-        Printf.printf "wrote %s (universe %d, ‖D‖ = %d)\n" out
+        if out = "-" then print_string (Structure_io.to_string db)
+        else Structure_io.save out db;
+        (* status goes to stderr so `--out -` / `--out /dev/stdout`
+           leave a clean database stream on stdout *)
+        Printf.eprintf "wrote %s (universe %d, ‖D‖ = %d)\n"
+          (if out = "-" then "<stdout>" else out)
           (Structure.universe_size db) (Structure.size db);
         0)
   in
   let doc = "Generate a random database file." in
   Cmd.v (Cmd.info "generate" ~doc)
     Term.(const run $ kind_term $ size_term $ out_term $ seed_term)
+
+(* ---------- daemon service verbs ---------- *)
+
+let connect_req_term =
+  let doc = "The acqd daemon's address (unix:PATH, tcp:HOST:PORT or a \
+             bare socket path)."
+  in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+let ping_cmd =
+  let run addr =
+    with_connection addr (fun conn ->
+        match Client.call conn Wire.Ping with
+        | Error e -> report e
+        | Ok Wire.Pong ->
+            print_endline "pong";
+            0
+        | Ok (Wire.Refused { code; error_class; message }) ->
+            report_refused ~error_class ~message code
+        | Ok _ -> report (Error.Internal "unexpected response to PING"))
+  in
+  let doc = "Check that an acqd daemon answers." in
+  Cmd.v (Cmd.info "ping" ~doc) Term.(const run $ connect_req_term)
+
+let stats_cmd =
+  let run addr =
+    with_connection addr (fun conn ->
+        match Client.call conn Wire.Stats with
+        | Error e -> report e
+        | Ok (Wire.Stats_reply j) ->
+            print_endline (Ac_analysis.Json.to_string_pretty j);
+            0
+        | Ok (Wire.Refused { code; error_class; message }) ->
+            report_refused ~error_class ~message code
+        | Ok _ -> report (Error.Internal "unexpected response to STATS"))
+  in
+  let doc =
+    "Print an acqd daemon's statistics (uptime, per-verb counters, \
+     catalog, cache hit/miss/eviction counts, scheduler load) as JSON."
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ connect_req_term)
 
 let () =
   let doc = "approximately counting answers to conjunctive queries" in
@@ -414,4 +634,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ count_cmd; sample_cmd; widths_cmd; lint_cmd; explain_cmd;
-            generate_cmd ]))
+            generate_cmd; ping_cmd; stats_cmd ]))

@@ -1,0 +1,152 @@
+(* acqd — the resident approximate-counting query service.
+
+     acqd --socket /tmp/acqd.sock --load people=facts.txt
+     acqd --tcp 127.0.0.1:7464 --load g=graph.txt --load h=other.txt
+     acqd --socket /tmp/acqd.sock --queue 16 --result-cache 0 --verbose
+
+   Clients speak newline-delimited JSON (docs/server.md); `acq count
+   --connect ...` and `acq ping/stats --connect ...` are ready-made
+   clients. SIGINT/SIGTERM drain the in-flight requests and exit 0. *)
+
+open Cmdliner
+module Server = Ac_server.Server
+module Catalog = Ac_server.Catalog
+module Error = Ac_runtime.Error
+
+let socket_term =
+  let doc = "Listen on a Unix-domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_term =
+  let doc = "Listen on TCP at $(docv) (HOST:PORT)." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let load_term =
+  let doc =
+    "Preload a database into the catalog as $(docv); repeatable. Clients \
+     select it with the USE verb (acq --use NAME)."
+  in
+  Arg.(value & opt_all string [] & info [ "load" ] ~docv:"NAME=FILE" ~doc)
+
+let queue_term =
+  let doc =
+    "Admission bound: concurrent requests beyond this are refused with \
+     the typed `overloaded' status (exit 17) instead of queueing \
+     unboundedly."
+  in
+  Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+
+let plan_cache_term =
+  let doc = "Plan-cache capacity (0 disables)." in
+  Arg.(value & opt int 256 & info [ "plan-cache" ] ~docv:"N" ~doc)
+
+let result_cache_term =
+  let doc = "Result-cache capacity (0 disables)." in
+  Arg.(value & opt int 1024 & info [ "result-cache" ] ~docv:"N" ~doc)
+
+let timeout_term =
+  let doc =
+    "Default per-request wall-clock budget in milliseconds, applied when \
+     a request names none."
+  in
+  Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+
+let verbose_term =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty stderr diagnostics.")
+
+let parse_load spec =
+  match String.index_opt spec '=' with
+  | Some i when i > 0 ->
+      Ok
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+  | _ -> Error (Printf.sprintf "--load %S: expected NAME=FILE" spec)
+
+let run socket tcp loads queue plan_cache result_cache timeout_ms verbose =
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "acqd: %s\n%!" m) fmt in
+  let config =
+    {
+      Server.queue_capacity = queue;
+      plan_cache_capacity = plan_cache;
+      result_cache_capacity = result_cache;
+      default_timeout_ms = timeout_ms;
+      verbose;
+    }
+  in
+  let server = Server.create ~config () in
+  (* load the catalog before binding: a daemon that cannot serve its
+     databases should not be connectable *)
+  let rec load_all = function
+    | [] -> Ok ()
+    | spec :: rest -> (
+        match parse_load spec with
+        | Error msg ->
+            fail "%s" msg;
+            Error 124
+        | Ok (name, path) -> (
+            match Catalog.load (Server.catalog server) ~name ~path with
+            | Ok entry ->
+                if verbose then
+                  Printf.eprintf
+                    "acqd: loaded %s from %s (universe %d, ‖D‖ = %d, %s)\n%!"
+                    entry.Catalog.name path entry.Catalog.universe
+                    entry.Catalog.size entry.Catalog.fingerprint;
+                load_all rest
+            | Error e ->
+                fail "cannot load %s: [%s] %s" spec (Error.class_name e)
+                  (Error.message e);
+                Error (Error.exit_code e)))
+  in
+  match load_all loads with
+  | Error code -> code
+  | Ok () -> (
+      let listeners = [] in
+      let listeners =
+        match socket with
+        | None -> listeners
+        | Some path -> Server.listen_unix ~path :: listeners
+      in
+      let listeners =
+        match tcp with
+        | None -> listeners
+        | Some spec -> (
+            match Ac_server.Client.address_of_string ("tcp:" ^ spec) with
+            | Ok (Ac_server.Client.Tcp (host, port)) ->
+                Server.listen_tcp ~host ~port :: listeners
+            | _ ->
+                fail "--tcp %S: expected HOST:PORT" spec;
+                []
+            )
+      in
+      match listeners with
+      | [] ->
+          fail "nothing to listen on (need --socket and/or --tcp)";
+          124
+      | listeners ->
+          let stop _ = Server.request_stop server in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          if verbose then begin
+            (match socket with
+            | Some path -> Printf.eprintf "acqd: listening on unix:%s\n%!" path
+            | None -> ());
+            match tcp with
+            | Some spec -> Printf.eprintf "acqd: listening on tcp:%s\n%!" spec
+            | None -> ()
+          end;
+          Server.serve server listeners;
+          (match socket with
+          | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+          | None -> ());
+          if verbose then Printf.eprintf "acqd: drained, bye\n%!";
+          0)
+
+let () =
+  let doc = "resident query service for approximate conjunctive-query counting" in
+  let info = Cmd.info "acqd" ~doc in
+  let term =
+    Term.(
+      const run $ socket_term $ tcp_term $ load_term $ queue_term
+      $ plan_cache_term $ result_cache_term $ timeout_term $ verbose_term)
+  in
+  exit (Cmd.eval' (Cmd.v info term))

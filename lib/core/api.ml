@@ -82,7 +82,7 @@ let fpras_requires_cq =
 
 let mismatch = Error.Signature_mismatch "query signature is not contained in the database's"
 
-let run r =
+let run ?report r =
   let seed = resolve_seed r in
   let jobs = resolve_jobs r in
   if r.verbose && r.seed <> None then
@@ -98,8 +98,13 @@ let run r =
   in
   (* The static analysis runs once, up front; the Auto path hands its
      classification to the planner (no re-derivation) and every response
-     carries the full report. *)
-  let report = Report.analyze ~db:r.db r.query in
+     carries the full report. A caller that has already analysed this
+     (query, db) pair — e.g. the server's plan cache — passes it in. *)
+  let report =
+    match report with
+    | Some rep -> rep
+    | None -> Report.analyze ~db:r.db r.query
+  in
   let finish ?decision ?rung ?(guarantee = true) ?(degraded = false)
       ?(attempts = []) ~exact estimate =
     if not (Float.is_finite estimate) then

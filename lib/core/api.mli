@@ -82,8 +82,17 @@ type response = {
 
 (** Count. The resolved seed is logged to stderr {e before} any
     computation starts (when [verbose] and self-initialised), so even a
-    run that stalls can be replayed. *)
-val run : request -> (response, Ac_runtime.Error.t) result
+    run that stalls can be replayed.
+
+    [report], when given, must be the result of
+    [Ac_analysis.Report.analyze ~db r.query] — callers that analyse
+    once and serve many requests (the [acqd] plan cache) pass it to
+    skip the static analysis, including the width computations; the
+    response is identical either way. *)
+val run :
+  ?report:Ac_analysis.Report.t ->
+  request ->
+  (response, Ac_runtime.Error.t) result
 
 (** Draw [draws] (default 1) approximately-uniform answers via the JVV
     sampler, fanned out over the request's jobs

@@ -85,6 +85,28 @@ let copy s =
   Hashtbl.iter (fun name r -> Hashtbl.replace relations name (Relation.copy r)) s.relations;
   { universe_size = s.universe_size; relations }
 
+let fingerprint s =
+  (* canonical rendering: sorted symbols, sorted tuples — the digest
+     cannot see insertion order *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "universe %d\n" s.universe_size);
+  List.iter
+    (fun name ->
+      let rel = relation s name in
+      Buffer.add_string buf
+        (Printf.sprintf "relation %s %d\n" name (Relation.arity rel));
+      let tuples = List.sort Tuple.compare (Relation.to_list rel) in
+      List.iter
+        (fun tuple ->
+          Buffer.add_string buf name;
+          Array.iter
+            (fun v -> Buffer.add_string buf (" " ^ string_of_int v))
+            tuple;
+          Buffer.add_char buf '\n')
+        tuples)
+    (symbols s);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let equal a b =
   a.universe_size = b.universe_size
   && symbols a = symbols b

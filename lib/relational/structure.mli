@@ -44,6 +44,13 @@ val copy : t -> t
     subset. Empty relations are preserved as declarations. *)
 val induced : t -> int list -> t
 val equal : t -> t -> bool
+
+(** Stable hex digest of the structure's contents: universe size,
+    declared relations (name and arity, including empty ones) and every
+    fact. Insertion-order-insensitive — two structures that are
+    {!equal} have equal fingerprints — and stable across processes, so
+    it can key caches and name catalog entries on the wire. *)
+val fingerprint : t -> string
 val pp : Format.formatter -> t -> unit
 
 (** [of_facts ~universe_size facts] builds a structure from

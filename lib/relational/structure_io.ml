@@ -101,6 +101,40 @@ let load_result ?max_bytes path =
       | exception Failure msg ->
           Error (Ac_runtime.Error.Parse { source = path; msg }))
 
+type loaded = { db : Structure.t; fingerprint : string }
+
+let load_fingerprinted ?max_bytes path =
+  Result.map
+    (fun db -> { db; fingerprint = Structure.fingerprint db })
+    (load_result ?max_bytes path)
+
+let of_channel_result ?(name = "<stdin>") ?max_bytes ic =
+  let read_all () =
+    let cap = match max_bytes with Some c -> c | None -> max_int in
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 65536 in
+    let rec go () =
+      let n = input ic chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        if Buffer.length buf > cap then
+          Error
+            (Printf.sprintf "input is over the %d-byte cap" cap)
+        else go ()
+      end
+      else Ok (Buffer.contents buf)
+    in
+    go ()
+  in
+  match read_all () with
+  | exception Sys_error msg -> Error (Ac_runtime.Error.Io { file = name; msg })
+  | Error msg -> Error (Ac_runtime.Error.Io { file = name; msg })
+  | Ok content -> (
+      match of_string content with
+      | db -> Ok { db; fingerprint = Structure.fingerprint db }
+      | exception Failure msg ->
+          Error (Ac_runtime.Error.Parse { source = name; msg }))
+
 let to_string s =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "universe %d\n" (Structure.universe_size s));

@@ -34,5 +34,25 @@ val load : ?max_bytes:int -> string -> Structure.t
 val load_result :
   ?max_bytes:int -> string -> (Structure.t, Ac_runtime.Error.t) result
 
+(** A loaded structure together with its {!Structure.fingerprint} —
+    computed once at load time so the server catalog and the result
+    cache share one definition of identity. *)
+type loaded = { db : Structure.t; fingerprint : string }
+
+(** {!load_result}, plus the fingerprint. *)
+val load_fingerprinted :
+  ?max_bytes:int -> string -> (loaded, Ac_runtime.Error.t) result
+
+(** Read a database from a channel until end of input (the CLI's
+    [--db -]). [name] (default ["<stdin>"]) labels errors; an input
+    larger than [max_bytes] is an [Io] error, an empty or truncated
+    stream a [Parse] error like any other malformed text. Never
+    raises. *)
+val of_channel_result :
+  ?name:string ->
+  ?max_bytes:int ->
+  in_channel ->
+  (loaded, Ac_runtime.Error.t) result
+
 val to_string : Structure.t -> string
 val save : string -> Structure.t -> unit

@@ -5,6 +5,7 @@ type t =
   | Budget of Budget.trip
   | Numeric_overflow of string
   | Fault of string
+  | Overloaded of string
   | Internal of string
 
 exception E of t
@@ -16,6 +17,7 @@ let message = function
   | Budget tr -> Format.asprintf "%a" Budget.pp_trip tr
   | Numeric_overflow msg -> "numeric overflow: " ^ msg
   | Fault msg -> "injected fault: " ^ msg
+  | Overloaded msg -> "overloaded: " ^ msg
   | Internal msg -> "internal error: " ^ msg
 
 let class_name = function
@@ -25,6 +27,7 @@ let class_name = function
   | Budget _ -> "budget"
   | Numeric_overflow _ -> "overflow"
   | Fault _ -> "fault"
+  | Overloaded _ -> "overloaded"
   | Internal _ -> "internal"
 
 let exit_code = function
@@ -35,6 +38,7 @@ let exit_code = function
   | Numeric_overflow _ -> 14
   | Fault _ -> 15
   | Internal _ -> 16
+  | Overloaded _ -> 17
 
 let of_exn = function
   | E e -> Some e

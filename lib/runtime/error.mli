@@ -17,6 +17,9 @@ type t =
   | Numeric_overflow of string
       (** an estimate left the representable range (nan/infinite) *)
   | Fault of string  (** injected by {!Chaos} *)
+  | Overloaded of string
+      (** admission control refused the request: the server's bounded
+          queue is full — retry later, the server is healthy *)
   | Internal of string  (** everything else — a bug if a user sees it *)
 
 exception E of t
@@ -24,11 +27,11 @@ exception E of t
 val message : t -> string
 
 (** Stable class slug: parse | io | signature | budget | overflow |
-    fault | internal. *)
+    fault | overloaded | internal. *)
 val class_name : t -> string
 
 (** CLI exit codes: 10 parse, 11 io, 12 signature, 13 budget,
-    14 overflow, 15 fault, 16 internal. *)
+    14 overflow, 15 fault, 16 internal, 17 overloaded. *)
 val exit_code : t -> int
 
 (** Map an exception to its typed error; [None] for exceptions that

@@ -1,0 +1,125 @@
+module Ecq = Ac_query.Ecq
+module Json = Ac_analysis.Json
+
+type stats = {
+  capacity : int;
+  length : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+module Lru = struct
+  type 'a entry = { value : 'a; mutable last_used : int }
+
+  (* Recency is a monotone stamp per entry; eviction scans for the
+     minimum. O(n) per eviction, but n is the (small) cache capacity
+     and evictions only happen once the cache is full — simple beats
+     clever for a correctness-critical shared structure. *)
+  type 'a t = {
+    capacity : int;
+    table : (string, 'a entry) Hashtbl.t;
+    mutex : Mutex.t;
+    mutable clock : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ~capacity =
+    if capacity < 0 then invalid_arg "Cache.Lru.create: negative capacity";
+    {
+      capacity;
+      table = Hashtbl.create (max 16 capacity);
+      mutex = Mutex.create ();
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let find t key =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some entry ->
+            t.clock <- t.clock + 1;
+            entry.last_used <- t.clock;
+            t.hits <- t.hits + 1;
+            Some entry.value
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+
+  let evict_lru t =
+    let victim =
+      Hashtbl.fold
+        (fun key entry acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= entry.last_used -> acc
+          | _ -> Some (key, entry.last_used))
+        t.table None
+    in
+    match victim with
+    | Some (key, _) ->
+        Hashtbl.remove t.table key;
+        t.evictions <- t.evictions + 1
+    | None -> ()
+
+  let add t key value =
+    if t.capacity > 0 then
+      locked t (fun () ->
+          t.clock <- t.clock + 1;
+          (if not (Hashtbl.mem t.table key) then
+             while Hashtbl.length t.table >= t.capacity do
+               evict_lru t
+             done);
+          Hashtbl.replace t.table key { value; last_used = t.clock })
+
+  let stats t =
+    locked t (fun () ->
+        {
+          capacity = t.capacity;
+          length = Hashtbl.length t.table;
+          hits = t.hits;
+          misses = t.misses;
+          evictions = t.evictions;
+        })
+end
+
+let stats_to_json s =
+  Json.Obj
+    [
+      ("capacity", Json.Int s.capacity);
+      ("length", Json.Int s.length);
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("evictions", Json.Int s.evictions);
+    ]
+
+let query_key q =
+  let buf = Buffer.create 64 in
+  Printf.bprintf buf "%d/%d" (Ecq.num_free q) (Ecq.num_vars q);
+  let var_list vs =
+    String.concat "," (List.map string_of_int (Array.to_list vs))
+  in
+  List.iter
+    (fun atom ->
+      match atom with
+      | Ecq.Atom (r, vs) -> Printf.bprintf buf ";+%s(%s)" r (var_list vs)
+      | Ecq.Neg_atom (r, vs) -> Printf.bprintf buf ";-%s(%s)" r (var_list vs)
+      | Ecq.Diseq (i, j) -> Printf.bprintf buf ";%d!=%d" i j)
+    (Ecq.atoms q);
+  Buffer.contents buf
+
+let plan_key ~db_fingerprint q =
+  Printf.sprintf "plan|%s|%s" db_fingerprint (query_key q)
+
+let result_key ~db_fingerprint ~eps ~delta ~method_name ~seed q =
+  (* floats in hex: the key must distinguish every representable
+     accuracy target, not just six significant digits *)
+  Printf.sprintf "result|%s|%h|%h|%s|%d|%s" db_fingerprint eps delta
+    method_name seed (query_key q)

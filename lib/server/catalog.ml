@@ -1,0 +1,97 @@
+module Structure = Ac_relational.Structure
+module Relation = Ac_relational.Relation
+module Structure_io = Ac_relational.Structure_io
+module Json = Ac_analysis.Json
+
+type relation_stats = {
+  symbol : string;
+  arity : int;
+  cardinality : int;
+  active_domain : int;
+}
+
+type entry = {
+  name : string;
+  db : Structure.t;
+  fingerprint : string;
+  universe : int;
+  size : int;
+  relations : relation_stats list;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let create () = { table = Hashtbl.create 8; mutex = Mutex.create () }
+
+let stats_of db =
+  List.map
+    (fun symbol ->
+      let rel = Structure.relation db symbol in
+      let seen = Hashtbl.create 64 in
+      Relation.iter
+        (fun tuple -> Array.iter (fun v -> Hashtbl.replace seen v ()) tuple)
+        rel;
+      {
+        symbol;
+        arity = Relation.arity rel;
+        cardinality = Relation.cardinality rel;
+        active_domain = Hashtbl.length seen;
+      })
+    (Structure.symbols db)
+
+let entry_of ~name ~fingerprint db =
+  {
+    name;
+    db;
+    fingerprint;
+    universe = Structure.universe_size db;
+    size = Structure.size db;
+    relations = stats_of db;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let add t ~name db =
+  let entry = entry_of ~name ~fingerprint:(Structure.fingerprint db) db in
+  locked t (fun () -> Hashtbl.replace t.table name entry);
+  entry
+
+let load t ~name ~path =
+  match Structure_io.load_fingerprinted path with
+  | Error e -> Error e
+  | Ok { Structure_io.db; fingerprint } ->
+      let entry = entry_of ~name ~fingerprint db in
+      locked t (fun () -> Hashtbl.replace t.table name entry);
+      Ok entry
+
+let find t name = locked t (fun () -> Hashtbl.find_opt t.table name)
+
+let entries t =
+  locked t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("name", Json.String e.name);
+      ("fingerprint", Json.String e.fingerprint);
+      ("universe", Json.Int e.universe);
+      ("size", Json.Int e.size);
+      ( "relations",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("symbol", Json.String r.symbol);
+                   ("arity", Json.Int r.arity);
+                   ("cardinality", Json.Int r.cardinality);
+                   ("active_domain", Json.Int r.active_domain);
+                 ])
+             e.relations) );
+    ]

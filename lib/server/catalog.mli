@@ -1,0 +1,51 @@
+(** A named-database registry.
+
+    The daemon loads each structure through [Structure_io] {e once}
+    (paying the parse and the fingerprint at registration time) and
+    serves it to every session: clients say [USE <name>] instead of
+    re-shipping the database with each request. An {!entry} carries the
+    structure together with its stable fingerprint and per-relation
+    statistics (arity, cardinality, active-domain size) — the numbers a
+    planner or an operator wants without touching the data.
+
+    All operations are thread-safe. Registering an existing name
+    replaces the entry (a reload picks up a regenerated file). *)
+
+type relation_stats = {
+  symbol : string;
+  arity : int;
+  cardinality : int;  (** number of facts *)
+  active_domain : int;
+      (** distinct universe elements occurring in the relation's facts *)
+}
+
+type entry = {
+  name : string;
+  db : Ac_relational.Structure.t;
+  fingerprint : string;  (** {!Ac_relational.Structure.fingerprint} *)
+  universe : int;
+  size : int;  (** the paper's [‖D‖] *)
+  relations : relation_stats list;  (** sorted by symbol *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Register an in-memory structure (fingerprint computed here). *)
+val add : t -> name:string -> Ac_relational.Structure.t -> entry
+
+(** Load from a file via [Structure_io.load_fingerprinted] and
+    register; typed [Io]/[Parse] errors pass through. *)
+val load :
+  t -> name:string -> path:string -> (entry, Ac_runtime.Error.t) result
+
+val find : t -> string -> entry option
+
+(** All entries, sorted by name. *)
+val entries : t -> entry list
+
+(** Statistics of a loose structure (used for inline databases too). *)
+val stats_of : Ac_relational.Structure.t -> relation_stats list
+
+val entry_to_json : entry -> Ac_analysis.Json.t

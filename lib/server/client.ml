@@ -1,0 +1,80 @@
+module Error = Ac_runtime.Error
+
+type address = Unix_socket of string | Tcp of string * int
+
+let address_of_string s =
+  if s = "" then Error "empty address"
+  else if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_socket (String.sub s 5 (String.length s - 5)))
+  else
+    let tcp spec =
+      match String.rindex_opt spec ':' with
+      | None -> Error (Printf.sprintf "%S: expected HOST:PORT" spec)
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 ->
+              Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+          | _ -> Error (Printf.sprintf "%S: bad port %S" spec port))
+    in
+    if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+      tcp (String.sub s 4 (String.length s - 4))
+    else if s.[0] = '/' || s.[0] = '.' || not (String.contains s ':') then
+      Ok (Unix_socket s)
+    else tcp s
+
+let address_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect address =
+  let target, sockaddr =
+    match address with
+    | Unix_socket path -> (path, Ok (Unix.ADDR_UNIX path))
+    | Tcp (host, port) -> (
+        ( Printf.sprintf "%s:%d" host port,
+          match (Unix.gethostbyname host).Unix.h_addr_list.(0) with
+          | addr -> Ok (Unix.ADDR_INET (addr, port))
+          | exception Not_found -> (
+              match Unix.inet_addr_of_string host with
+              | addr -> Ok (Unix.ADDR_INET (addr, port))
+              | exception Failure _ ->
+                  Error (Printf.sprintf "cannot resolve host %S" host)) ))
+  in
+  match sockaddr with
+  | Error msg -> Error (Error.Io { file = target; msg })
+  | Ok sockaddr -> (
+      let domain = Unix.domain_of_sockaddr sockaddr in
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      match Unix.connect fd sockaddr with
+      | () ->
+          Ok
+            {
+              fd;
+              ic = Unix.in_channel_of_descr fd;
+              oc = Unix.out_channel_of_descr fd;
+            }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Error.Io { file = target; msg = Unix.error_message e }))
+
+let call t request =
+  match Wire.write_json t.oc (Wire.request_to_json request) with
+  | exception Sys_error msg -> Error (Error.Io { file = "<server>"; msg })
+  | () -> (
+      match Wire.read_json t.ic with
+      | Wire.Eof ->
+          Error
+            (Error.Io
+               { file = "<server>"; msg = "connection closed by server" })
+      | Wire.Bad msg ->
+          Error (Error.Parse { source = "<server>"; msg })
+      | Wire.Msg j -> (
+          match Wire.response_of_json j with
+          | Ok r -> Ok r
+          | Error msg -> Error (Error.Parse { source = "<server>"; msg })))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,28 @@
+(** Client side of the {!Wire} protocol: connect, call, close.
+
+    Used by [acq --connect] and the benchmark harness. One {!t} is one
+    connection (and therefore one server session — [USE] sticks).
+    Calls are synchronous: {!call} writes one request line and blocks
+    for the one response line. Not thread-safe; open one connection
+    per thread. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+(** Accepts ["unix:PATH"], ["tcp:HOST:PORT"], ["HOST:PORT"] and a bare
+    filesystem path (anything without a colon, or starting with [/] or
+    [.]). *)
+val address_of_string : string -> (address, string) result
+
+val address_to_string : address -> string
+
+type t
+
+(** Connection failures surface as typed [Io] errors. *)
+val connect : address -> (t, Ac_runtime.Error.t) result
+
+(** One round trip. [Error] covers transport failures (the server
+    closing mid-call, malformed response JSON) — a server-side refusal
+    is a successful call returning [Wire.Refused]. *)
+val call : t -> Wire.request -> (Wire.response, Ac_runtime.Error.t) result
+
+val close : t -> unit

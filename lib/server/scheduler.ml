@@ -1,0 +1,115 @@
+module Budget = Ac_runtime.Budget
+module Error = Ac_runtime.Error
+module Json = Ac_analysis.Json
+
+type stats = {
+  capacity : int;
+  in_flight : int;
+  peak_in_flight : int;
+  admitted : int;
+  rejected : int;
+  completed : int;
+  ticks : int;
+}
+
+type t = {
+  capacity : int;
+  budget : Budget.t;
+  mutex : Mutex.t;
+  idle : Condition.t;  (* signalled whenever in_flight drops *)
+  mutable in_flight : int;
+  mutable peak_in_flight : int;
+  mutable admitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+}
+
+let create ?(capacity = 64) ?budget () =
+  if capacity < 1 then invalid_arg "Scheduler.create: capacity < 1";
+  let budget =
+    match budget with Some b -> b | None -> Budget.create ~label:"acqd" ()
+  in
+  {
+    capacity;
+    budget;
+    mutex = Mutex.create ();
+    idle = Condition.create ();
+    in_flight = 0;
+    peak_in_flight = 0;
+    admitted = 0;
+    rejected = 0;
+    completed = 0;
+  }
+
+let capacity t = t.capacity
+
+let submit t ~label f =
+  Mutex.lock t.mutex;
+  if t.in_flight >= t.capacity then begin
+    t.rejected <- t.rejected + 1;
+    Mutex.unlock t.mutex;
+    Error
+      (Error.Overloaded
+         (Printf.sprintf
+            "%d requests in flight (capacity %d) — retry later" t.in_flight
+            t.capacity))
+  end
+  else begin
+    t.in_flight <- t.in_flight + 1;
+    t.admitted <- t.admitted + 1;
+    if t.in_flight > t.peak_in_flight then t.peak_in_flight <- t.in_flight;
+    Mutex.unlock t.mutex;
+    let slice = (Budget.split ~label ~into:1 t.budget).(0) in
+    let release () =
+      Budget.absorb t.budget slice;
+      Mutex.lock t.mutex;
+      t.in_flight <- t.in_flight - 1;
+      t.completed <- t.completed + 1;
+      Condition.broadcast t.idle;
+      Mutex.unlock t.mutex
+    in
+    match f slice with
+    | v ->
+        release ();
+        Ok v
+    | exception e ->
+        release ();
+        (match Error.of_exn e with
+        | Some err -> Error err
+        | None -> Error (Error.Internal (Printexc.to_string e)))
+  end
+
+let drain t =
+  Mutex.lock t.mutex;
+  while t.in_flight > 0 do
+    Condition.wait t.idle t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      capacity = t.capacity;
+      in_flight = t.in_flight;
+      peak_in_flight = t.peak_in_flight;
+      admitted = t.admitted;
+      rejected = t.rejected;
+      completed = t.completed;
+      ticks = Budget.ticks t.budget;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let stats_to_json (s : stats) =
+  Json.Obj
+    [
+      ("capacity", Json.Int s.capacity);
+      ("in_flight", Json.Int s.in_flight);
+      ("peak_in_flight", Json.Int s.peak_in_flight);
+      ("admitted", Json.Int s.admitted);
+      ("rejected", Json.Int s.rejected);
+      ("completed", Json.Int s.completed);
+      ("ticks", Json.Int s.ticks);
+    ]

@@ -1,0 +1,49 @@
+(** Admission control: a bounded in-flight set over a global budget.
+
+    Every request enters through {!submit}. When [capacity] requests
+    are already in flight the scheduler {e rejects immediately} with a
+    typed [Ac_runtime.Error.Overloaded] — backpressure is a fast, typed
+    answer, never a hang or a growing queue. An admitted request runs
+    on the calling (connection) thread under a sub-budget obtained with
+    [Ac_runtime.Budget.split] from the scheduler's global budget: the
+    sub-budget inherits the global heap watermark and remaining
+    wall-clock/work limits, its ticks are absorbed back into the global
+    budget after the request (so a server-wide work ceiling is
+    enforceable), and a tripped request never poisons its siblings.
+    The estimation trials inside a request fan out over the shared
+    [Ac_exec.Pool] exactly as in single-shot runs.
+
+    {!drain} blocks until the in-flight set is empty — the graceful
+    shutdown path: stop admitting (close the listeners), then drain,
+    then exit 0. *)
+
+type stats = {
+  capacity : int;
+  in_flight : int;
+  peak_in_flight : int;
+  admitted : int;
+  rejected : int;
+  completed : int;
+  ticks : int;  (** total work ticks absorbed from finished requests *)
+}
+
+type t
+
+(** [capacity] defaults to 64; [budget] defaults to an unarmed (but
+    tick-counting) budget labelled ["acqd"]. *)
+val create : ?capacity:int -> ?budget:Ac_runtime.Budget.t -> unit -> t
+
+val capacity : t -> int
+
+(** [submit t ~label f] — admit and run [f sub_budget] on the calling
+    thread, or reject with [Error (Overloaded _)] when full. An
+    exception escaping [f] is mapped to its typed error (unknown
+    exceptions become [Internal]); the slot is released either way. *)
+val submit :
+  t -> label:string -> (Ac_runtime.Budget.t -> 'a) -> ('a, Ac_runtime.Error.t) result
+
+(** Block until no request is in flight. *)
+val drain : t -> unit
+
+val stats : t -> stats
+val stats_to_json : stats -> Ac_analysis.Json.t

@@ -1,0 +1,456 @@
+module Api = Approxcount.Api
+module Planner = Approxcount.Planner
+module Ecq = Ac_query.Ecq
+module Structure_io = Ac_relational.Structure_io
+module Budget = Ac_runtime.Budget
+module Error = Ac_runtime.Error
+module Engine = Ac_exec.Engine
+module Pool = Ac_exec.Pool
+module Report = Ac_analysis.Report
+module Json = Ac_analysis.Json
+
+type config = {
+  queue_capacity : int;
+  plan_cache_capacity : int;
+  result_cache_capacity : int;
+  default_timeout_ms : int option;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    queue_capacity = 64;
+    plan_cache_capacity = 256;
+    result_cache_capacity = 1024;
+    default_timeout_ms = None;
+    verbose = false;
+  }
+
+type counters = {
+  mutable count : int;
+  mutable sample : int;
+  mutable use : int;
+  mutable stats : int;
+  mutable ping : int;
+  mutable bad : int;
+}
+
+type t = {
+  config : config;
+  catalog : Catalog.t;
+  plan_cache : Report.t Cache.Lru.t;
+  result_cache : Wire.outcome Cache.Lru.t;
+  scheduler : Scheduler.t;
+  started_ms : float;
+  counters : counters;
+  counters_mutex : Mutex.t;
+  stopping : bool Atomic.t;
+  (* self-pipe: request_stop writes one byte, the accept loop selects
+     on the read end — signal-handler-safe wakeup *)
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  conns_mutex : Mutex.t;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+}
+
+let create ?(config = default_config) () =
+  let stop_r, stop_w = Unix.pipe () in
+  {
+    config;
+    catalog = Catalog.create ();
+    plan_cache = Cache.Lru.create ~capacity:config.plan_cache_capacity;
+    result_cache = Cache.Lru.create ~capacity:config.result_cache_capacity;
+    scheduler = Scheduler.create ~capacity:config.queue_capacity ();
+    started_ms = Unix.gettimeofday () *. 1000.0;
+    counters = { count = 0; sample = 0; use = 0; stats = 0; ping = 0; bad = 0 };
+    counters_mutex = Mutex.create ();
+    stopping = Atomic.make false;
+    stop_r;
+    stop_w;
+    conns_mutex = Mutex.create ();
+    conns = [];
+  }
+
+let catalog t = t.catalog
+let scheduler t = t.scheduler
+
+type session = { mutable current : Catalog.entry option }
+
+let new_session _t = { current = None }
+
+let bump t f =
+  Mutex.lock t.counters_mutex;
+  f t.counters;
+  Mutex.unlock t.counters_mutex
+
+(* ---------- db resolution ---------- *)
+
+let resolve_db t session = function
+  | Wire.Named name -> (
+      match Catalog.find t.catalog name with
+      | Some entry -> Ok entry
+      | None ->
+          Error
+            (Error.Io
+               { file = name; msg = "unknown database (not in the catalog)" }))
+  | Wire.Inline text -> (
+      match Structure_io.of_string ~name:"<inline>" text with
+      | db ->
+          (* not registered in the catalog: inline databases are
+             per-request, but the fingerprint still keys the caches *)
+          Ok
+            (Catalog.
+               {
+                 name = "<inline>";
+                 db;
+                 fingerprint = Ac_relational.Structure.fingerprint db;
+                 universe = Ac_relational.Structure.universe_size db;
+                 size = Ac_relational.Structure.size db;
+                 relations = [];
+               })
+      | exception Failure msg ->
+          Error (Error.Parse { source = "<inline>"; msg }))
+  | Wire.Session -> (
+      match session.current with
+      | Some entry -> Ok entry
+      | None ->
+          Error
+            (Error.Io
+               {
+                 file = "<session>";
+                 msg = "no database selected — send USE <name> first";
+               }))
+
+(* Per-request budget: the scheduler's sub-slice when the request sets
+   no limits (unarmed — bit-parity with a single-shot run), a fresh
+   armed budget otherwise, with its work absorbed into the slice so the
+   global ceiling still sees it. *)
+let request_budget (p : Wire.params) ~default_timeout_ms slice =
+  let timeout_ms =
+    match p.Wire.timeout_ms with Some v -> Some v | None -> default_timeout_ms
+  in
+  match (timeout_ms, p.Wire.max_heap_mb) with
+  | None, None -> (slice, fun () -> ())
+  | _ ->
+      let b =
+        Budget.create ~label:"req"
+          ?deadline_ms:(Option.map float_of_int timeout_ms)
+          ?max_heap_mb:p.Wire.max_heap_mb ()
+      in
+      (b, fun () -> Budget.absorb slice b)
+
+let resolved_jobs (p : Wire.params) =
+  match p.Wire.jobs with Some j -> max 1 j | None -> Engine.default_jobs ()
+
+let outcome_of_response ~plan_cache ~result_cache (r : Api.response) =
+  {
+    Wire.estimate = r.Api.estimate;
+    exact = r.Api.exact;
+    rung = Option.map Planner.rung_name r.Api.rung;
+    guarantee = r.Api.guarantee;
+    degraded = r.Api.degraded;
+    attempts =
+      List.map
+        (fun (a : Planner.attempt) ->
+          {
+            Wire.rung = Planner.rung_name a.Planner.rung;
+            error_class = Error.class_name a.Planner.error;
+            error_message = Error.message a.Planner.error;
+          })
+        r.Api.attempts;
+    seed = r.Api.telemetry.Api.seed;
+    jobs = r.Api.telemetry.Api.jobs;
+    ticks = r.Api.telemetry.Api.ticks;
+    elapsed_ms = r.Api.telemetry.Api.elapsed_ms;
+    plan_cache;
+    result_cache;
+  }
+
+(* ---------- COUNT ---------- *)
+
+let run_count t session (p : Wire.params) =
+  match resolve_db t session p.Wire.db with
+  | Error e -> Wire.response_of_error e
+  | Ok entry -> (
+      match Ecq.parse_result p.Wire.query with
+      | Error e -> Wire.response_of_error e
+      | Ok query -> (
+          let result_key =
+            Option.map
+              (fun seed ->
+                Cache.result_key ~db_fingerprint:entry.Catalog.fingerprint
+                  ~eps:p.Wire.eps ~delta:p.Wire.delta
+                  ~method_name:(Api.method_name p.Wire.method_)
+                  ~seed query)
+              p.Wire.seed
+          in
+          (* result-cache-hot requests skip admission too: they do no
+             estimation work, so they must not occupy a queue slot *)
+          match Option.map (Cache.Lru.find t.result_cache) result_key with
+          | Some (Some cached) ->
+              Wire.Counted
+                {
+                  cached with
+                  Wire.jobs = resolved_jobs p;
+                  ticks = 0;
+                  elapsed_ms = 0.0;
+                  plan_cache = "bypass";
+                  result_cache = "hit";
+                }
+          | Some None | None -> (
+              let outcome =
+                Scheduler.submit t.scheduler ~label:"count" (fun slice ->
+                    let plan_key =
+                      Cache.plan_key
+                        ~db_fingerprint:entry.Catalog.fingerprint query
+                    in
+                    let report, plan_state =
+                      match Cache.Lru.find t.plan_cache plan_key with
+                      | Some rep -> (rep, "hit")
+                      | None ->
+                          let rep =
+                            Report.analyze ~db:entry.Catalog.db query
+                          in
+                          Cache.Lru.add t.plan_cache plan_key rep;
+                          (rep, "miss")
+                    in
+                    let budget, absorb =
+                      request_budget p
+                        ~default_timeout_ms:t.config.default_timeout_ms slice
+                    in
+                    let request =
+                      Api.request ~eps:p.Wire.eps ~delta:p.Wire.delta
+                        ~method_:p.Wire.method_ ?seed:p.Wire.seed
+                        ?jobs:p.Wire.jobs ~budget ~strict:p.Wire.strict
+                        ~verbose:t.config.verbose query entry.Catalog.db
+                    in
+                    let result = Api.run ~report request in
+                    absorb ();
+                    Result.map
+                      (fun r ->
+                        outcome_of_response ~plan_cache:plan_state
+                          ~result_cache:
+                            (if result_key = None then "bypass" else "miss")
+                          r)
+                      result)
+              in
+              match outcome with
+              | Error e -> Wire.response_of_error e
+              | Ok (Error e) -> Wire.response_of_error e
+              | Ok (Ok outcome) ->
+                  (match result_key with
+                  | Some key when not outcome.Wire.degraded ->
+                      (* degraded answers depend on budget timing — only
+                         deterministic, guaranteed results are cached *)
+                      Cache.Lru.add t.result_cache key outcome
+                  | _ -> ());
+                  Wire.Counted outcome)))
+
+(* ---------- SAMPLE ---------- *)
+
+let run_sample t session (p : Wire.params) ~draws =
+  match resolve_db t session p.Wire.db with
+  | Error e -> Wire.response_of_error e
+  | Ok entry -> (
+      match Ecq.parse_result p.Wire.query with
+      | Error e -> Wire.response_of_error e
+      | Ok query -> (
+          let result =
+            Scheduler.submit t.scheduler ~label:"sample" (fun slice ->
+                let budget, absorb =
+                  request_budget p
+                    ~default_timeout_ms:t.config.default_timeout_ms slice
+                in
+                let request =
+                  Api.request ~eps:p.Wire.eps ~delta:p.Wire.delta
+                    ~method_:p.Wire.method_ ?seed:p.Wire.seed ?jobs:p.Wire.jobs
+                    ~budget ~verbose:t.config.verbose query entry.Catalog.db
+                in
+                let result = Api.sample ~draws request in
+                absorb ();
+                result)
+          in
+          match result with
+          | Error e -> Wire.response_of_error e
+          | Ok (Error e) -> Wire.response_of_error e
+          | Ok (Ok (samples, telemetry)) ->
+              Wire.Sampled
+                {
+                  samples;
+                  seed = telemetry.Api.seed;
+                  jobs = telemetry.Api.jobs;
+                  ticks = telemetry.Api.ticks;
+                  elapsed_ms = telemetry.Api.elapsed_ms;
+                }))
+
+(* ---------- STATS ---------- *)
+
+let stats_json t =
+  let c = t.counters in
+  let requests =
+    Mutex.lock t.counters_mutex;
+    let j =
+      Json.Obj
+        [
+          ("count", Json.Int c.count);
+          ("sample", Json.Int c.sample);
+          ("use", Json.Int c.use);
+          ("stats", Json.Int c.stats);
+          ("ping", Json.Int c.ping);
+          ("malformed", Json.Int c.bad);
+        ]
+    in
+    Mutex.unlock t.counters_mutex;
+    j
+  in
+  Json.Obj
+    [
+      ( "uptime_ms",
+        Json.Float ((Unix.gettimeofday () *. 1000.0) -. t.started_ms) );
+      ("requests", requests);
+      ( "catalog",
+        Json.List (List.map Catalog.entry_to_json (Catalog.entries t.catalog))
+      );
+      ("plan_cache", Cache.stats_to_json (Cache.Lru.stats t.plan_cache));
+      ( "result_cache",
+        Cache.stats_to_json (Cache.Lru.stats t.result_cache) );
+      ("scheduler", Scheduler.stats_to_json (Scheduler.stats t.scheduler));
+      ("pool_workers", Json.Int (Pool.spawned (Pool.shared ())));
+    ]
+
+(* ---------- dispatch ---------- *)
+
+let handle t session req =
+  match req with
+  | Wire.Ping ->
+      bump t (fun c -> c.ping <- c.ping + 1);
+      Wire.Pong
+  | Wire.Stats ->
+      bump t (fun c -> c.stats <- c.stats + 1);
+      Wire.Stats_reply (stats_json t)
+  | Wire.Use name -> (
+      bump t (fun c -> c.use <- c.use + 1);
+      match Catalog.find t.catalog name with
+      | Some entry ->
+          session.current <- Some entry;
+          Wire.Used
+            {
+              name = entry.Catalog.name;
+              fingerprint = entry.Catalog.fingerprint;
+              universe = entry.Catalog.universe;
+              size = entry.Catalog.size;
+            }
+      | None ->
+          Wire.response_of_error
+            (Error.Io
+               { file = name; msg = "unknown database (not in the catalog)" }))
+  | Wire.Count p ->
+      bump t (fun c -> c.count <- c.count + 1);
+      run_count t session p
+  | Wire.Sample { params = p; draws } ->
+      bump t (fun c -> c.sample <- c.sample + 1);
+      run_sample t session p ~draws
+
+(* ---------- connections ---------- *)
+
+let serve_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let session = new_session t in
+  let refuse msg =
+    bump t (fun c -> c.bad <- c.bad + 1);
+    Wire.response_of_error (Error.Parse { source = "wire"; msg })
+  in
+  let rec loop () =
+    match Wire.read_json ic with
+    | Wire.Eof -> ()
+    | Wire.Bad msg -> (
+        match Wire.write_json oc (Wire.response_to_json (refuse msg)) with
+        | () -> loop ()
+        | exception Sys_error _ -> ())
+    | Wire.Msg j -> (
+        let response =
+          match Wire.request_of_json j with
+          | Ok req -> handle t session req
+          | Error msg -> refuse msg
+        in
+        match Wire.write_json oc (Wire.response_to_json response) with
+        | () -> loop ()
+        | exception Sys_error _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+(* ---------- listeners and the accept loop ---------- *)
+
+let listen_unix ~path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp ~host ~port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  fd
+
+let request_stop t =
+  if not (Atomic.exchange t.stopping true) then
+    (* one byte on the self-pipe wakes the select loop *)
+    try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1)
+    with Unix.Unix_error _ -> ()
+
+let register_conn t fd thread =
+  Mutex.lock t.conns_mutex;
+  t.conns <- (fd, thread) :: t.conns;
+  Mutex.unlock t.conns_mutex
+
+let serve t listeners =
+  (* a client hanging up mid-response must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select (t.stop_r :: listeners) [] [] (-1.0) with
+      | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd <> t.stop_r && not (Atomic.get t.stopping) then begin
+                match Unix.accept fd with
+                | client, _ ->
+                    let thread =
+                      Thread.create (fun () -> serve_connection t client) ()
+                    in
+                    register_conn t client thread
+                | exception Unix.Unix_error _ -> ()
+              end)
+            readable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* graceful shutdown: stop accepting, finish what is in flight, then
+     disconnect whoever is still connected *)
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  Scheduler.drain t.scheduler;
+  Mutex.lock t.conns_mutex;
+  let conns = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.conns_mutex;
+  List.iter
+    (fun (fd, _) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter (fun (_, thread) -> Thread.join thread) conns

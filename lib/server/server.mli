@@ -1,0 +1,74 @@
+(** The resident query service behind [acqd].
+
+    One {!t} holds the {!Catalog}, the plan and result {!Cache}s, the
+    admission {!Scheduler} and the per-verb counters; {!handle} is the
+    pure-ish dispatch (unit-testable without sockets),
+    {!serve_connection} speaks the {!Wire} protocol over one file
+    descriptor, and {!serve} is the accept loop with the
+    graceful-shutdown contract.
+
+    {b Determinism.} A [COUNT] with an explicit seed returns exactly
+    what single-shot [acq count --seed N] returns — same estimate
+    (bit-for-bit), rung, degradation trail — for any jobs count: the
+    server builds the identical [Approxcount.Api.request] and runs it
+    under an equivalent (unarmed) budget slice. Responses of seeded,
+    non-degraded counts are cached; a result-cache hit skips estimation
+    entirely (its telemetry reports 0 ticks).
+
+    {b Shutdown.} {!request_stop} (async-signal-safe enough for a
+    [Sys.Signal_handle]) makes {!serve} stop accepting, drain every
+    in-flight request, disconnect the remaining clients and return;
+    the daemon then exits 0. *)
+
+type config = {
+  queue_capacity : int;  (** admission bound (default 64) *)
+  plan_cache_capacity : int;  (** default 256 *)
+  result_cache_capacity : int;  (** default 1024 *)
+  default_timeout_ms : int option;
+      (** per-request wall-clock budget applied when the request names
+          none (default [None] — bit-parity with single-shot runs) *)
+  verbose : bool;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+val catalog : t -> Catalog.t
+val scheduler : t -> Scheduler.t
+
+(** Per-connection state: the database selected by [USE]. *)
+type session
+
+val new_session : t -> session
+
+(** Dispatch one request. Never raises; every failure is a
+    [Wire.Refused] with the typed class and exit code. *)
+val handle : t -> session -> Wire.request -> Wire.response
+
+(** The [STATS] payload: uptime, per-verb counters, catalog entries,
+    cache and scheduler statistics, pool workers. *)
+val stats_json : t -> Ac_analysis.Json.t
+
+(** Serve one established connection (blocking loop until EOF or
+    disconnect); used directly by tests over [Unix.socketpair]. Closes
+    the descriptor before returning. *)
+val serve_connection : t -> Unix.file_descr -> unit
+
+(** Bind helpers: a Unix-domain socket at [path] (an existing socket
+    file is replaced) or a TCP listener. Both return descriptors ready
+    for {!serve}. *)
+val listen_unix : path:string -> Unix.file_descr
+
+val listen_tcp : host:string -> port:int -> Unix.file_descr
+
+(** Accept loop over the given listening descriptors. Returns after
+    {!request_stop}: stops accepting, closes the listeners, drains the
+    scheduler, shuts down client connections and joins their threads.
+    Ignores [SIGPIPE] for the whole process (a disconnecting client
+    must not kill the daemon). *)
+val serve : t -> Unix.file_descr list -> unit
+
+(** Ask a running {!serve} to shut down gracefully. Idempotent. *)
+val request_stop : t -> unit

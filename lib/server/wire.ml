@@ -1,0 +1,464 @@
+module Json = Ac_analysis.Json
+module Api = Approxcount.Api
+module Colour_oracle = Approxcount.Colour_oracle
+module Error = Ac_runtime.Error
+
+type db_ref = Named of string | Inline of string | Session
+
+type params = {
+  query : string;
+  db : db_ref;
+  eps : float;
+  delta : float;
+  method_ : Api.method_;
+  seed : int option;
+  jobs : int option;
+  timeout_ms : int option;
+  max_heap_mb : int option;
+  strict : bool;
+}
+
+let params ?(eps = 0.25) ?(delta = 0.1) ?(method_ = Api.Auto) ?seed ?jobs
+    ?timeout_ms ?max_heap_mb ?(strict = false) ~db query =
+  { query; db; eps; delta; method_; seed; jobs; timeout_ms; max_heap_mb; strict }
+
+type request =
+  | Count of params
+  | Sample of { params : params; draws : int }
+  | Use of string
+  | Stats
+  | Ping
+
+let method_of_name = function
+  | "auto" -> Some Api.Auto
+  | "fpras" -> Some Api.Fpras
+  | "fptras" | "fptras/tree-dp" -> Some (Api.Fptras Colour_oracle.Tree_dp)
+  | "fptras/generic" -> Some (Api.Fptras Colour_oracle.Generic)
+  | "fptras/direct" -> Some (Api.Fptras Colour_oracle.Direct)
+  | "exact" -> Some Api.Exact
+  | "brute" -> Some Api.Brute
+  | _ -> None
+
+type attempt = { rung : string; error_class : string; error_message : string }
+
+type outcome = {
+  estimate : float;
+  exact : bool;
+  rung : string option;
+  guarantee : bool;
+  degraded : bool;
+  attempts : attempt list;
+  seed : int;
+  jobs : int;
+  ticks : int;
+  elapsed_ms : float;
+  plan_cache : string;
+  result_cache : string;
+}
+
+type response =
+  | Counted of outcome
+  | Sampled of {
+      samples : int array option array;
+      seed : int;
+      jobs : int;
+      ticks : int;
+      elapsed_ms : float;
+    }
+  | Used of { name : string; fingerprint : string; universe : int; size : int }
+  | Stats_reply of Json.t
+  | Pong
+  | Refused of { code : int; error_class : string; message : string }
+
+let status_of_response = function
+  | Counted o -> if o.degraded then 3 else 0
+  | Sampled _ | Used _ | Stats_reply _ | Pong -> 0
+  | Refused r -> r.code
+
+let response_of_error e =
+  Refused
+    {
+      code = Error.exit_code e;
+      error_class = Error.class_name e;
+      message = Error.message e;
+    }
+
+(* ---------- encoding ---------- *)
+
+let opt_int_field name = function
+  | Some v -> [ (name, Json.Int v) ]
+  | None -> []
+
+let params_fields (p : params) =
+  [
+    ("query", Json.String p.query);
+    ("eps", Json.Float p.eps);
+    ("delta", Json.Float p.delta);
+    ("method", Json.String (Api.method_name p.method_));
+    ("strict", Json.Bool p.strict);
+  ]
+  @ (match p.db with
+    | Named n -> [ ("use", Json.String n) ]
+    | Inline text -> [ ("db_inline", Json.String text) ]
+    | Session -> [])
+  @ opt_int_field "seed" p.seed
+  @ opt_int_field "jobs" p.jobs
+  @ opt_int_field "timeout_ms" p.timeout_ms
+  @ opt_int_field "max_heap_mb" p.max_heap_mb
+
+let request_to_json = function
+  | Count p -> Json.Obj (("verb", Json.String "count") :: params_fields p)
+  | Sample { params = p; draws } ->
+      Json.Obj
+        ((("verb", Json.String "sample") :: params_fields p)
+        @ [ ("draws", Json.Int draws) ])
+  | Use name ->
+      Json.Obj [ ("verb", Json.String "use"); ("name", Json.String name) ]
+  | Stats -> Json.Obj [ ("verb", Json.String "stats") ]
+  | Ping -> Json.Obj [ ("verb", Json.String "ping") ]
+
+let telemetry_json ~seed ~jobs ~ticks ~elapsed_ms =
+  Json.Obj
+    [
+      ("seed", Json.Int seed);
+      ("jobs", Json.Int jobs);
+      ("ticks", Json.Int ticks);
+      ("elapsed_ms", Json.Float elapsed_ms);
+    ]
+
+let response_to_json r =
+  let status = ("status", Json.Int (status_of_response r)) in
+  match r with
+  | Counted o ->
+      Json.Obj
+        [
+          status;
+          ("verb", Json.String "count");
+          ("estimate", Json.Float o.estimate);
+          ("estimate_hex", Json.String (Printf.sprintf "%h" o.estimate));
+          ("exact", Json.Bool o.exact);
+          ( "rung",
+            match o.rung with Some r -> Json.String r | None -> Json.Null );
+          ("guarantee", Json.Bool o.guarantee);
+          ("degraded", Json.Bool o.degraded);
+          ( "attempts",
+            Json.List
+              (List.map
+                 (fun (a : attempt) ->
+                   Json.Obj
+                     [
+                       ("rung", Json.String a.rung);
+                       ("class", Json.String a.error_class);
+                       ("message", Json.String a.error_message);
+                     ])
+                 o.attempts) );
+          ( "telemetry",
+            telemetry_json ~seed:o.seed ~jobs:o.jobs ~ticks:o.ticks
+              ~elapsed_ms:o.elapsed_ms );
+          ( "cache",
+            Json.Obj
+              [
+                ("plan", Json.String o.plan_cache);
+                ("result", Json.String o.result_cache);
+              ] );
+        ]
+  | Sampled s ->
+      Json.Obj
+        [
+          status;
+          ("verb", Json.String "sample");
+          ( "samples",
+            Json.List
+              (Array.to_list s.samples
+              |> List.map (function
+                   | None -> Json.Null
+                   | Some tau ->
+                       Json.List
+                         (Array.to_list (Array.map (fun v -> Json.Int v) tau)))) );
+          ( "telemetry",
+            telemetry_json ~seed:s.seed ~jobs:s.jobs ~ticks:s.ticks
+              ~elapsed_ms:s.elapsed_ms );
+        ]
+  | Used u ->
+      Json.Obj
+        [
+          status;
+          ("verb", Json.String "use");
+          ("name", Json.String u.name);
+          ("fingerprint", Json.String u.fingerprint);
+          ("universe", Json.Int u.universe);
+          ("size", Json.Int u.size);
+        ]
+  | Stats_reply blob ->
+      Json.Obj [ status; ("verb", Json.String "stats"); ("stats", blob) ]
+  | Pong -> Json.Obj [ status; ("verb", Json.String "ping") ]
+  | Refused r ->
+      Json.Obj
+        [
+          status;
+          ( "error",
+            Json.Obj
+              [
+                ("class", Json.String r.error_class);
+                ("message", Json.String r.message);
+              ] );
+        ]
+
+(* ---------- decoding ---------- *)
+
+let ( let* ) = Result.bind
+
+let field_or name default j =
+  match Json.mem name j with None | Some Json.Null -> default | Some v -> v
+
+let req_str name j =
+  match Json.mem name j with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let opt_int name j =
+  match Json.mem name j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let opt_float name ~default j =
+  match Json.mem name j with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S must be a number" name))
+
+let opt_bool name ~default j =
+  match Json.mem name j with
+  | None | Some Json.Null -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+
+let params_of_json j =
+  let* query = req_str "query" j in
+  let* db =
+    match (Json.mem "use" j, Json.mem "db_inline" j) with
+    | Some (Json.String n), None -> Ok (Named n)
+    | None, Some (Json.String text) -> Ok (Inline text)
+    | None, None -> Ok Session
+    | Some _, Some _ -> Error "give either \"use\" or \"db_inline\", not both"
+    | _ -> Error "fields \"use\"/\"db_inline\" must be strings"
+  in
+  let* eps = opt_float "eps" ~default:0.25 j in
+  let* delta = opt_float "delta" ~default:0.1 j in
+  let* method_ =
+    match field_or "method" (Json.String "auto") j with
+    | Json.String name -> (
+        match method_of_name name with
+        | Some m -> Ok m
+        | None -> Error (Printf.sprintf "unknown method %S" name))
+    | _ -> Error "field \"method\" must be a string"
+  in
+  let* seed = opt_int "seed" j in
+  let* jobs = opt_int "jobs" j in
+  let* timeout_ms = opt_int "timeout_ms" j in
+  let* max_heap_mb = opt_int "max_heap_mb" j in
+  let* strict = opt_bool "strict" ~default:false j in
+  Ok { query; db; eps; delta; method_; seed; jobs; timeout_ms; max_heap_mb; strict }
+
+let request_of_json j =
+  let* verb = req_str "verb" j in
+  match verb with
+  | "count" ->
+      let* p = params_of_json j in
+      Ok (Count p)
+  | "sample" ->
+      let* p = params_of_json j in
+      let* draws = opt_int "draws" j in
+      let draws = Option.value draws ~default:1 in
+      if draws < 1 then Error "field \"draws\" must be positive"
+      else Ok (Sample { params = p; draws })
+  | "use" ->
+      let* name = req_str "name" j in
+      Ok (Use name)
+  | "stats" -> Ok Stats
+  | "ping" -> Ok Ping
+  | v -> Error (Printf.sprintf "unknown verb %S" v)
+
+let telemetry_of_json j =
+  match Json.mem "telemetry" j with
+  | Some t -> (
+      match
+        ( Option.bind (Json.mem "seed" t) Json.to_int,
+          Option.bind (Json.mem "jobs" t) Json.to_int,
+          Option.bind (Json.mem "ticks" t) Json.to_int,
+          Option.bind (Json.mem "elapsed_ms" t) Json.to_float )
+      with
+      | Some seed, Some jobs, Some ticks, Some elapsed_ms ->
+          Ok (seed, jobs, ticks, elapsed_ms)
+      | _ -> Error "malformed \"telemetry\" object")
+  | None -> Error "missing \"telemetry\" object"
+
+let estimate_of_json j =
+  (* prefer the bit-exact hex rendering *)
+  match Json.mem "estimate_hex" j with
+  | Some (Json.String h) -> (
+      match float_of_string_opt h with
+      | Some f -> Ok f
+      | None -> Error "unreadable \"estimate_hex\"")
+  | _ -> (
+      match Option.bind (Json.mem "estimate" j) Json.to_float with
+      | Some f -> Ok f
+      | None -> Error "missing \"estimate\"")
+
+let counted_of_json j =
+  let* estimate = estimate_of_json j in
+  let exact = field_or "exact" (Json.Bool false) j = Json.Bool true in
+  let rung =
+    match Json.mem "rung" j with Some (Json.String r) -> Some r | _ -> None
+  in
+  let guarantee = field_or "guarantee" (Json.Bool true) j = Json.Bool true in
+  let degraded = field_or "degraded" (Json.Bool false) j = Json.Bool true in
+  let* attempts =
+    match field_or "attempts" (Json.List []) j with
+    | Json.List items ->
+        let decode item =
+          match
+            ( Option.bind (Json.mem "rung" item) Json.to_str,
+              Option.bind (Json.mem "class" item) Json.to_str,
+              Option.bind (Json.mem "message" item) Json.to_str )
+          with
+          | Some rung, Some error_class, Some error_message ->
+              Ok { rung; error_class; error_message }
+          | _ -> Error "malformed attempt entry"
+        in
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* a = decode item in
+            Ok (a :: acc))
+          (Ok []) items
+        |> Result.map List.rev
+    | _ -> Error "field \"attempts\" must be a list"
+  in
+  let* seed, jobs, ticks, elapsed_ms = telemetry_of_json j in
+  let cache_field name =
+    match Json.mem "cache" j with
+    | Some c -> (
+        match Option.bind (Json.mem name c) Json.to_str with
+        | Some s -> s
+        | None -> "bypass")
+    | None -> "bypass"
+  in
+  Ok
+    (Counted
+       {
+         estimate;
+         exact;
+         rung;
+         guarantee;
+         degraded;
+         attempts;
+         seed;
+         jobs;
+         ticks;
+         elapsed_ms;
+         plan_cache = cache_field "plan";
+         result_cache = cache_field "result";
+       })
+
+let sampled_of_json j =
+  let* samples =
+    match Json.mem "samples" j with
+    | Some (Json.List items) ->
+        let decode = function
+          | Json.Null -> Ok None
+          | Json.List vs ->
+              let* tau =
+                List.fold_left
+                  (fun acc v ->
+                    let* acc = acc in
+                    match Json.to_int v with
+                    | Some i -> Ok (i :: acc)
+                    | None -> Error "sample entries must be integers")
+                  (Ok []) vs
+              in
+              Ok (Some (Array.of_list (List.rev tau)))
+          | _ -> Error "malformed sample entry"
+        in
+        let* rev =
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              let* s = decode item in
+              Ok (s :: acc))
+            (Ok []) items
+        in
+        Ok (Array.of_list (List.rev rev))
+    | _ -> Error "missing \"samples\" list"
+  in
+  let* seed, jobs, ticks, elapsed_ms = telemetry_of_json j in
+  Ok (Sampled { samples; seed; jobs; ticks; elapsed_ms })
+
+let response_of_json j =
+  match Json.mem "error" j with
+  | Some err ->
+      let code =
+        match Option.bind (Json.mem "status" j) Json.to_int with
+        | Some c -> c
+        | None -> 16
+      in
+      let error_class =
+        Option.value
+          (Option.bind (Json.mem "class" err) Json.to_str)
+          ~default:"internal"
+      in
+      let message =
+        Option.value
+          (Option.bind (Json.mem "message" err) Json.to_str)
+          ~default:"(no message)"
+      in
+      Ok (Refused { code; error_class; message })
+  | None -> (
+      let* verb = req_str "verb" j in
+      match verb with
+      | "count" -> counted_of_json j
+      | "sample" -> sampled_of_json j
+      | "use" ->
+          let* name = req_str "name" j in
+          let* fingerprint = req_str "fingerprint" j in
+          let universe =
+            Option.value
+              (Option.bind (Json.mem "universe" j) Json.to_int)
+              ~default:0
+          in
+          let size =
+            Option.value
+              (Option.bind (Json.mem "size" j) Json.to_int)
+              ~default:0
+          in
+          Ok (Used { name; fingerprint; universe; size })
+      | "stats" -> (
+          match Json.mem "stats" j with
+          | Some blob -> Ok (Stats_reply blob)
+          | None -> Error "missing \"stats\" object")
+      | "ping" -> Ok Pong
+      | v -> Error (Printf.sprintf "unknown response verb %S" v))
+
+(* ---------- framing ---------- *)
+
+type read = Msg of Json.t | Eof | Bad of string
+
+let read_json ic =
+  match input_line ic with
+  | exception End_of_file -> Eof
+  | exception Sys_error _ -> Eof
+  | line -> (
+      if String.trim line = "" then Bad "empty line"
+      else
+        match Json.parse line with
+        | Ok j -> Msg j
+        | Error e -> Bad (Json.error_message e))
+
+let write_json oc j =
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  flush oc

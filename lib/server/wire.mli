@@ -1,0 +1,124 @@
+(** The acqd wire protocol: newline-delimited JSON envelopes.
+
+    Each message is one JSON object on one line ([\n]-terminated).
+    Requests map 1:1 onto [Approxcount.Api.request] (verbs [COUNT] and
+    [SAMPLE]) plus the service verbs [USE], [STATS] and [PING];
+    responses carry everything [Approxcount.Api.response] does —
+    estimate, rung, degradation trail, telemetry — plus cache
+    provenance, with [Ac_runtime.Error.exit_code] as the wire status
+    ([0] success, [3] degraded, [10..17] the typed error classes).
+
+    {b Exactness.} The estimate travels twice: human-readable
+    ([estimate], [%.6g]) and bit-exact ([estimate_hex], OCaml [%h]).
+    Decoders prefer the hex field, so a replayed estimate survives the
+    wire bit-for-bit — the protocol preserves the
+    same-seed-same-answer guarantee of the engine.
+
+    See [docs/server.md] for the grammar and examples. *)
+
+module Json = Ac_analysis.Json
+
+(** How a request names its database. *)
+type db_ref =
+  | Named of string  (** a catalog entry ([USE]-style, field ["use"]) *)
+  | Inline of string
+      (** the database text itself (field ["db_inline"], for one-shot
+          clients without a catalog entry) *)
+  | Session  (** whatever the connection last [USE]d *)
+
+type params = {
+  query : string;
+  db : db_ref;
+  eps : float;
+  delta : float;
+  method_ : Approxcount.Api.method_;
+  seed : int option;
+  jobs : int option;
+  timeout_ms : int option;
+  max_heap_mb : int option;
+  strict : bool;
+}
+
+(** Builder with the CLI defaults ([eps = 0.25], [delta = 0.1],
+    [method_ = Auto], [strict = false]). *)
+val params :
+  ?eps:float ->
+  ?delta:float ->
+  ?method_:Approxcount.Api.method_ ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?timeout_ms:int ->
+  ?max_heap_mb:int ->
+  ?strict:bool ->
+  db:db_ref ->
+  string ->
+  params
+
+type request =
+  | Count of params
+  | Sample of { params : params; draws : int }
+  | Use of string
+  | Stats
+  | Ping
+
+(** Inverse of [Approxcount.Api.method_name] (["auto"], ["fpras"],
+    ["fptras/tree-dp"], ["fptras/generic"], ["fptras/direct"],
+    ["exact"], ["brute"]). *)
+val method_of_name : string -> Approxcount.Api.method_ option
+
+(** One failed rung of the degradation trail, flattened for the wire. *)
+type attempt = { rung : string; error_class : string; error_message : string }
+
+(** A finished [COUNT], 1:1 with [Approxcount.Api.response]. *)
+type outcome = {
+  estimate : float;
+  exact : bool;
+  rung : string option;
+  guarantee : bool;
+  degraded : bool;
+  attempts : attempt list;
+  seed : int;
+  jobs : int;
+  ticks : int;
+  elapsed_ms : float;
+  plan_cache : string;  (** ["hit"] | ["miss"] | ["bypass"] *)
+  result_cache : string;
+}
+
+type response =
+  | Counted of outcome
+  | Sampled of {
+      samples : int array option array;
+      seed : int;
+      jobs : int;
+      ticks : int;
+      elapsed_ms : float;
+    }
+  | Used of { name : string; fingerprint : string; universe : int; size : int }
+  | Stats_reply of Json.t
+  | Pong
+  | Refused of { code : int; error_class : string; message : string }
+
+(** [0] success, [3] a degraded (but answered) [COUNT], an
+    [Ac_runtime.Error.exit_code] otherwise. *)
+val status_of_response : response -> int
+
+val response_of_error : Ac_runtime.Error.t -> response
+
+(** {2 JSON mapping} *)
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> (response, string) result
+
+(** {2 Framing} *)
+
+type read = Msg of Json.t | Eof | Bad of string
+
+(** Read one newline-delimited JSON message. [Bad] keeps the stream in
+    sync (the offending line has been consumed). *)
+val read_json : in_channel -> read
+
+(** Write one message and flush. *)
+val write_json : out_channel -> Json.t -> unit

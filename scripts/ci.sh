@@ -21,9 +21,14 @@ dune runtest
 echo "== query-analysis goldens"
 scripts/lint_queries.sh
 
+echo "== daemon smoke (acqd boot, cache hit, graceful SIGTERM)"
+scripts/smoke_server.sh
+
 if [ "${1:-}" = "--with-bench" ]; then
   echo "== parallel jobs sweep (BENCH_parallel.json)"
   dune exec bench/main.exe -- --parallel
+  echo "== server bench (BENCH_server.json)"
+  dune exec bench/main.exe -- --server
 fi
 
 echo "== CI green"

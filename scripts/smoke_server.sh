@@ -1,0 +1,54 @@
+#!/bin/sh
+# Daemon smoke test: boot acqd on a temporary Unix socket, serve three
+# client requests (the third must be a result-cache hit doing zero
+# estimation work), send SIGTERM and assert a clean drain (exit 0).
+#
+# Runs the installed build products directly — not through `dune exec` —
+# so the signal reaches the daemon itself.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ACQ=_build/default/bin/acq.exe
+ACQD=_build/default/bin/acqd.exe
+[ -x "$ACQ" ] && [ -x "$ACQD" ] || { echo "smoke_server: build first (dune build)"; exit 1; }
+
+workdir=$(mktemp -d)
+sock="$workdir/acqd.sock"
+db="$workdir/facts.txt"
+trap 'rm -rf "$workdir"' EXIT
+
+"$ACQ" generate --kind graph --size 24 --out "$db" >/dev/null
+
+"$ACQD" --socket "$sock" --load g="$db" &
+pid=$!
+
+# wait for the socket to answer (the daemon binds before serving)
+i=0
+until "$ACQ" ping --connect "$sock" >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ $i -lt 50 ] || { echo "smoke_server: daemon never answered"; kill "$pid" 2>/dev/null; exit 1; }
+  sleep 0.1
+done
+
+query='ans(x,y) :- E(x,y), x != y'
+
+# request 1: a seeded COUNT (cold: fills plan + result caches)
+est1=$("$ACQ" count --connect "$sock" --use g -q "$query" --seed 11)
+# request 2: a different seed (plan-hot)
+"$ACQ" count --connect "$sock" --use g -q "$query" --seed 12 >/dev/null
+# request 3: seed 11 again — must be a result-cache hit, bit-identical
+est3=$("$ACQ" count --connect "$sock" --use g -q "$query" --seed 11)
+
+[ "$est1" = "$est3" ] || { echo "smoke_server: replay mismatch: $est1 vs $est3"; exit 1; }
+
+hits=$("$ACQ" stats --connect "$sock" | grep -A5 '"result_cache"' | grep '"hits"' | tr -dc '0-9')
+[ "$hits" -ge 1 ] || { echo "smoke_server: expected a result-cache hit, counters say $hits"; exit 1; }
+
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+[ "$status" -eq 0 ] || { echo "smoke_server: daemon exited $status after SIGTERM"; exit 1; }
+[ ! -e "$sock" ] || { echo "smoke_server: socket not cleaned up"; exit 1; }
+
+echo "smoke_server: ok (estimate $est1 replayed from cache, clean shutdown)"

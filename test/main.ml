@@ -30,4 +30,5 @@ let () =
       ("malformed", Test_malformed.tests);
       ("analysis", Test_analysis.tests);
       ("exec", Test_exec.tests);
+      ("server", Test_server.tests);
     ]

@@ -318,6 +318,119 @@ let prop_classification_renaming_invariant =
         Classification.equal_invariants (Classify.classify q) (Classify.classify q')
       end)
 
+(* ---------- Json.parse (grown for the acqd wire protocol) ---------- *)
+
+module Json = Ac_analysis.Json
+
+let json_testable =
+  Alcotest.testable (fun ppf j -> Fmt.string ppf (Json.to_string j)) ( = )
+
+let test_json_parse_values () =
+  let ok text expect =
+    match Json.parse text with
+    | Ok j -> Alcotest.check json_testable text expect j
+    | Error e -> Alcotest.failf "%S: %s" text (Json.error_message e)
+  in
+  ok "null" Json.Null;
+  ok "  true " (Json.Bool true);
+  ok "-17" (Json.Int (-17));
+  ok "3.5e2" (Json.Float 350.0);
+  ok "0.0" (Json.Float 0.0);
+  ok "1e3" (Json.Float 1000.0);
+  ok {|"a\nb\t\"\\"|} (Json.String "a\nb\t\"\\");
+  (* é is é, the surrogate pair is 😀 — both must land as UTF-8 *)
+  ok {|"é😀"|} (Json.String "\xc3\xa9\xf0\x9f\x98\x80");
+  ok "[]" (Json.List []);
+  ok "{}" (Json.Obj []);
+  ok {|[1,[2,{"k":null}]]|}
+    (Json.List [ Json.Int 1; Json.List [ Json.Int 2; Json.Obj [ ("k", Json.Null) ] ] ])
+
+let test_json_parse_offsets () =
+  let err text offset =
+    match Json.parse text with
+    | Ok _ -> Alcotest.failf "%S parsed" text
+    | Error e ->
+        Alcotest.(check int)
+          (Printf.sprintf "offset in %S" text)
+          offset e.Json.offset
+  in
+  err "" 0;
+  err "[1," 3;
+  err "[1, 2" 5;
+  err "{\"a\":1} x" 8;
+  err "{\"a\" 1}" 5;
+  err "nul" 0;
+  (* the depth cap turns adversarial nesting into a parse error *)
+  match Json.parse (String.make (Json.max_depth + 10) '[') with
+  | Ok _ -> Alcotest.fail "over-deep input accepted"
+  | Error e ->
+      Alcotest.(check bool) "depth error is positioned" true (e.Json.offset > 0)
+
+let test_json_accessors () =
+  let j = Json.Obj [ ("n", Json.Int 7); ("f", Json.Float 2.5) ] in
+  Alcotest.(check (option int)) "mem/to_int" (Some 7)
+    (Option.bind (Json.mem "n" j) Json.to_int);
+  (* ints widen when a float is expected *)
+  Alcotest.(check (option (float 0.0))) "int widens" (Some 7.0)
+    (Option.bind (Json.mem "n" j) Json.to_float);
+  Alcotest.(check (option int)) "missing field" None
+    (Option.bind (Json.mem "zzz" j) Json.to_int)
+
+(* Emitter-normal trees: finite floats that survive the %.6g rendering,
+   so parse ∘ emit is the identity (the documented contract). *)
+let json_gen =
+  let open QCheck2.Gen in
+  let normal_float =
+    map
+      (fun f ->
+        let f = if Float.is_finite f then f else 0.0 in
+        float_of_string (Printf.sprintf "%.6g" f))
+      float
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f) normal_float;
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 8));
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           oneof
+             [
+               scalar;
+               map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 3)));
+               map
+                 (fun kvs -> Json.Obj kvs)
+                 (list_size (int_range 0 4)
+                    (pair
+                       (string_size ~gen:printable (int_range 0 6))
+                       (self (n / 3))));
+             ])
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"Json.parse ∘ Json.to_string = Ok" json_gen
+    (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> j' = j
+      | Error e ->
+          QCheck2.Test.fail_reportf "parse failed at %d (%s) on %s"
+            e.Json.offset e.Json.msg (Json.to_string j))
+
+let prop_json_roundtrip_pretty =
+  QCheck2.Test.make ~count:150
+    ~name:"Json.parse ∘ Json.to_string_pretty = Ok" json_gen (fun j ->
+      match Json.parse (Json.to_string_pretty j) with
+      | Ok j' -> j' = j
+      | Error e ->
+          QCheck2.Test.fail_reportf "parse failed at %d (%s) on %s"
+            e.Json.offset e.Json.msg (Json.to_string_pretty j))
+
 let tests =
   [
     Alcotest.test_case "QL000 syntax error + span" `Quick test_ql000_syntax;
@@ -336,7 +449,13 @@ let tests =
     Alcotest.test_case "parse errors carry positions" `Quick test_parse_error_positions;
     Alcotest.test_case "decision = f(classification)" `Quick test_decision_from_classification;
     Alcotest.test_case "report JSON smoke" `Quick test_json_smoke;
+    Alcotest.test_case "Json.parse: values" `Quick test_json_parse_values;
+    Alcotest.test_case "Json.parse: error offsets" `Quick
+      test_json_parse_offsets;
+    Alcotest.test_case "Json accessors" `Quick test_json_accessors;
     QCheck_alcotest.to_alcotest prop_clean_never_raises;
     QCheck_alcotest.to_alcotest prop_always_empty_counts_zero;
     QCheck_alcotest.to_alcotest prop_classification_renaming_invariant;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip_pretty;
   ]

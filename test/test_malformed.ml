@@ -120,6 +120,44 @@ let test_load_raising_variant () =
   | exception Failure msg ->
       Alcotest.(check bool) "cap in message" true (contains msg "cap")
 
+(* ---------- streamed databases (acq --db -) ---------- *)
+
+let with_stream content f =
+  with_temp_file content (fun path ->
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic))
+
+let test_stream_empty () =
+  with_stream "" (fun ic ->
+      match Structure_io.of_channel_result ic with
+      | Error (Error.Parse { source; _ }) ->
+          Alcotest.(check string) "source is the stream name" "<stdin>" source
+      | Error e ->
+          Alcotest.failf "wrong class %s" (Error.class_name e)
+      | Ok _ -> Alcotest.fail "empty stream accepted")
+
+let test_stream_truncated () =
+  (* cut off mid-fact: the last line lost a column, tripping the arity
+     check exactly like a malformed file would *)
+  with_stream "universe 3\nE 0 1\nE 0" (fun ic ->
+      expect_parse "truncated stream" (Structure_io.of_channel_result ic));
+  with_stream "universe" (fun ic ->
+      expect_parse "truncated header" (Structure_io.of_channel_result ic))
+
+let test_stream_cap_and_ok () =
+  with_stream "universe 3\nE 0 1\n" (fun ic ->
+      match Structure_io.of_channel_result ~max_bytes:4 ic with
+      | Error (Error.Io _) -> ()
+      | Error e -> Alcotest.failf "wrong class %s" (Error.class_name e)
+      | Ok _ -> Alcotest.fail "size cap ignored");
+  with_stream "universe 3\nE 0 1\nE 1 2\n" (fun ic ->
+      match Structure_io.of_channel_result ~name:"pipe" ic with
+      | Ok { Structure_io.db; fingerprint } ->
+          Alcotest.(check int) "universe" 3 (Structure.universe_size db);
+          Alcotest.(check string) "fingerprint is the structure's"
+            (Structure.fingerprint db) fingerprint
+      | Error e -> Alcotest.failf "rejected valid stream: %s" (Error.message e))
+
 let tests =
   [
     Alcotest.test_case "parse_result: garbage is a typed Parse error" `Quick
@@ -134,4 +172,10 @@ let tests =
       test_load_result_ok;
     Alcotest.test_case "load/of_string keep the Failure contract" `Quick
       test_load_raising_variant;
+    Alcotest.test_case "of_channel_result: empty stream" `Quick
+      test_stream_empty;
+    Alcotest.test_case "of_channel_result: truncated stream" `Quick
+      test_stream_truncated;
+    Alcotest.test_case "of_channel_result: size cap and success" `Quick
+      test_stream_cap_and_ok;
   ]

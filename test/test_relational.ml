@@ -84,6 +84,44 @@ let prop_complement_partition =
       Relation.cardinality r + Relation.cardinality c = u * u
       && Relation.fold (fun t acc -> acc && not (Relation.mem c t)) r true)
 
+let test_fingerprint () =
+  let fp = Structure.fingerprint in
+  let a =
+    Structure.of_facts ~universe_size:4
+      [ ("E", [| 0; 1 |]); ("E", [| 1; 2 |]); ("P", [| 3 |]) ]
+  in
+  let b =
+    (* same facts, registered in a different order *)
+    Structure.of_facts ~universe_size:4
+      [ ("P", [| 3 |]); ("E", [| 1; 2 |]); ("E", [| 0; 1 |]) ]
+  in
+  Alcotest.(check string) "insertion-order insensitive" (fp a) (fp b);
+  Alcotest.(check int) "hex digest length" 32 (String.length (fp a));
+  let c =
+    Structure.of_facts ~universe_size:5
+      [ ("E", [| 0; 1 |]); ("E", [| 1; 2 |]); ("P", [| 3 |]) ]
+  in
+  Alcotest.(check bool) "universe size matters" false (fp a = fp c);
+  let d =
+    Structure.of_facts ~universe_size:4
+      [ ("E", [| 0; 1 |]); ("E", [| 1; 2 |]); ("P", [| 3 |]); ("P", [| 0 |]) ]
+  in
+  Alcotest.(check bool) "extra fact matters" false (fp a = fp d);
+  Alcotest.(check string) "copy preserves it" (fp a) (fp (Structure.copy a))
+
+let test_fingerprint_empty_relation () =
+  (* a declared-but-empty relation is part of the signature, so it must
+     be part of the identity too *)
+  let with_decl = Structure_io.of_string "universe 2\nrelation E 2\n" in
+  let without = Structure_io.of_string "universe 2\n" in
+  Alcotest.(check bool) "declared empty relation matters" false
+    (Structure.fingerprint with_decl = Structure.fingerprint without)
+
+let prop_fingerprint_equal_structures =
+  QCheck2.Test.make ~count:60 ~name:"equal structures fingerprint alike"
+    Gen.db (fun db ->
+      Structure.fingerprint db = Structure.fingerprint (Structure.copy db))
+
 let tests =
   [
     Alcotest.test_case "tuple" `Quick test_tuple;
@@ -93,5 +131,9 @@ let tests =
     Alcotest.test_case "structure" `Quick test_structure;
     Alcotest.test_case "structure equal/copy" `Quick test_structure_equal_copy;
     Alcotest.test_case "singletons" `Quick test_singletons;
+    Alcotest.test_case "fingerprint" `Quick test_fingerprint;
+    Alcotest.test_case "fingerprint: empty relation" `Quick
+      test_fingerprint_empty_relation;
     QCheck_alcotest.to_alcotest prop_complement_partition;
+    QCheck_alcotest.to_alcotest prop_fingerprint_equal_structures;
   ]

@@ -129,6 +129,7 @@ let test_error_codes_distinct () =
         };
       Error.Numeric_overflow "m";
       Error.Fault "m";
+      Error.Overloaded "m";
       Error.Internal "m";
     ]
   in
@@ -139,7 +140,7 @@ let test_error_codes_distinct () =
   Alcotest.(check int) "classes distinct" (List.length errors)
     (List.length (List.sort_uniq compare classes));
   List.iter
-    (fun c -> Alcotest.(check bool) "codes in 10..16" true (c >= 10 && c <= 16))
+    (fun c -> Alcotest.(check bool) "codes in 10..17" true (c >= 10 && c <= 17))
     codes
 
 let test_error_guard () =
