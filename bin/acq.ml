@@ -33,6 +33,7 @@ module Planner = Approxcount.Planner
 module Api = Approxcount.Api
 module Wire = Ac_server.Wire
 module Client = Ac_server.Client
+module Trace = Ac_obs.Trace
 
 let exit_degraded = 3
 
@@ -130,15 +131,30 @@ let engine_term =
         ~doc:"Hom engine for the FPTRAS: tree-dp (Theorem 5), generic (Theorem 13) or direct (ablation).")
 
 let method_term =
+  (* parses through the shared [Api.method_of_string] codec, so the
+     CLI, the wire protocol and the bench harness accept exactly the
+     same spellings *)
+  let method_conv =
+    let parse s =
+      match Api.method_of_string s with
+      | Some m -> Ok m
+      | None -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+    in
+    let print ppf m = Format.pp_print_string ppf (Api.method_to_string m) in
+    Arg.conv ~docv:"METHOD" (parse, print)
+  in
   Arg.(
-    value
-    & opt
-        (enum
-           [ ("auto", `Auto); ("exact", `Exact); ("fptras", `Fptras);
-             ("fpras", `Fpras); ("brute", `Brute) ])
-        `Auto
+    value & opt method_conv Api.Auto
     & info [ "m"; "method" ] ~docv:"METHOD"
-        ~doc:"auto (planner + governed fallback), exact (join+project), fptras (Theorems 5/13), fpras (Theorem 16, CQs only), brute.")
+        ~doc:"auto (planner + governed fallback), exact (join+project), fptras (Theorems 5/13; --engine picks the hom engine), fpras (Theorem 16, CQs only), brute.")
+
+(* [--method fptras] (or tree-dp, the default engine) still combines
+   with [--engine]: the explicit engine spellings generic/direct win
+   over the flag only because they already name one. *)
+let resolve_engine method_ engine =
+  match method_ with
+  | Api.Fptras Approxcount.Colour_oracle.Tree_dp -> Api.Fptras engine
+  | m -> m
 
 (* [--db -] is the standard input; everything else is a file path. *)
 let load_db ?max_db_mb db_path =
@@ -161,6 +177,37 @@ let with_input ?max_db_mb query_text db_path f =
               (Error.Signature_mismatch
                  "query signature is not contained in the database's")
           else f query db)
+
+(* ---------- tracing (--trace) ---------- *)
+
+let trace_term =
+  let doc =
+    "Record a span trace of the run (plan, rungs, trials, oracle \
+     calls) and write it to $(docv) ($(b,-) for stdout). With \
+     --connect the daemon traces the request and the per-span-name \
+     summary is written instead of the full span list."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_term =
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:
+          "Trace file format: jsonl (one span object per line) or \
+           chrome (trace_event JSON for chrome://tracing / Perfetto). \
+           Local runs only.")
+
+let write_out ~path text =
+  if path = "-" then print_string text
+  else
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc text)
+
+let write_trace ~path ~fmt tr =
+  write_out ~path
+    (match fmt with `Jsonl -> Trace.to_jsonl tr | `Chrome -> Trace.to_chrome tr)
 
 (* ---------- the daemon client (--connect) ---------- *)
 
@@ -221,7 +268,7 @@ let print_remote_telemetry ~verbose (o : Wire.outcome) =
       o.Wire.seed o.Wire.jobs o.Wire.ticks o.Wire.elapsed_ms o.Wire.plan_cache
       o.Wire.result_cache o.Wire.seed
 
-let remote_count conn ~verbose params =
+let remote_count conn ~verbose ?trace_file params =
   match Client.call conn (Wire.Count params) with
   | Error e -> report e
   | Ok (Wire.Refused { code; error_class; message }) ->
@@ -229,6 +276,15 @@ let remote_count conn ~verbose params =
   | Ok (Wire.Counted o) ->
       if o.Wire.exact then Printf.printf "%.0f\n" o.Wire.estimate
       else Printf.printf "%.1f\n" o.Wire.estimate;
+      (match (trace_file, o.Wire.trace) with
+      | Some path, Some s ->
+          write_out ~path
+            (Ac_analysis.Json.to_string_pretty (Wire.trace_summary_json s)
+            ^ "\n")
+      | Some _, None ->
+          (* e.g. a result-cache replay: no work, no spans *)
+          Printf.eprintf "acq: no trace in the response\n%!"
+      | None, _ -> ());
       print_remote_telemetry ~verbose o;
       if o.Wire.degraded then begin
         let failed =
@@ -253,7 +309,7 @@ let remote_sample conn ~verbose params ~draws =
   | Error e -> report e
   | Ok (Wire.Refused { code; error_class; message }) ->
       report_refused ~error_class ~message code
-  | Ok (Wire.Sampled { samples; seed; jobs; ticks; elapsed_ms }) ->
+  | Ok (Wire.Sampled { samples; seed; jobs; ticks; elapsed_ms; trace = _ }) ->
       Array.iter
         (function
           | None -> print_endline "(no sample)"
@@ -280,14 +336,21 @@ let require_db = function
 
 let count_cmd =
   let local query_text db_path ~method_ ~eps ~delta ~seed ~jobs ~timeout_ms
-      ~max_heap_mb ~max_db_mb ~strict ~verbose =
+      ~max_heap_mb ~max_db_mb ~strict ~verbose ~trace_file ~trace_fmt =
     with_input ?max_db_mb query_text db_path (fun query db ->
         let budget = make_budget ~timeout_ms ~max_heap_mb in
+        let tracer = Option.map (fun _ -> Trace.create ()) trace_file in
         let r =
           Api.request ~eps ~delta ~method_ ?seed ?jobs ?budget ~strict ~verbose
-            query db
+            ?trace:tracer query db
         in
-        match Api.run r with
+        let outcome = Api.run r in
+        (* the trace is written even when the run failed — the spans up
+           to the failure are exactly what one wants to look at then *)
+        (match (trace_file, tracer) with
+        | Some path, Some tr -> write_trace ~path ~fmt:trace_fmt tr
+        | _ -> ());
+        match outcome with
         | Error e -> report e
         | Ok resp ->
             if resp.Api.exact then Printf.printf "%.0f\n" resp.Api.estimate
@@ -334,15 +397,9 @@ let count_cmd =
             end)
   in
   let run query_text db_path connect use_name method_ engine eps delta seed
-      jobs timeout_ms max_heap_mb max_db_mb strict verbose =
-    let method_ =
-      match method_ with
-      | `Auto -> Api.Auto
-      | `Exact -> Api.Exact
-      | `Brute -> Api.Brute
-      | `Fptras -> Api.Fptras engine
-      | `Fpras -> Api.Fpras
-    in
+      jobs timeout_ms max_heap_mb max_db_mb strict verbose trace_file
+      trace_fmt =
+    let method_ = resolve_engine method_ engine in
     let jobs = if jobs <= 0 then None else Some jobs in
     match connect with
     | Some addr -> (
@@ -351,16 +408,17 @@ let count_cmd =
         | Ok db ->
             let params =
               Wire.params ~eps ~delta ~method_ ?seed ?jobs ?timeout_ms
-                ?max_heap_mb ~strict ~db query_text
+                ?max_heap_mb ~strict ~trace:(trace_file <> None) ~db query_text
             in
             with_connection addr (fun conn ->
-                remote_count conn ~verbose params))
+                remote_count conn ~verbose ?trace_file params))
     | None -> (
         match require_db db_path with
         | Error e -> report e
         | Ok db_path ->
             local query_text db_path ~method_ ~eps ~delta ~seed ~jobs
-              ~timeout_ms ~max_heap_mb ~max_db_mb ~strict ~verbose)
+              ~timeout_ms ~max_heap_mb ~max_db_mb ~strict ~verbose ~trace_file
+              ~trace_fmt)
   in
   let doc = "Count the answers of a query in a database." in
   Cmd.v (Cmd.info "count" ~doc)
@@ -368,7 +426,7 @@ let count_cmd =
       const run $ query_term $ db_remotable_term $ connect_term $ use_term
       $ method_term $ engine_term $ epsilon_term $ delta_term $ seed_term
       $ jobs_term $ timeout_term $ max_heap_term $ max_db_term $ strict_term
-      $ verbose_term)
+      $ verbose_term $ trace_term $ trace_format_term)
 
 let sample_cmd =
   let draws_term =
@@ -384,7 +442,7 @@ let sample_cmd =
         in
         match Api.sample ~draws r with
         | Error e -> report e
-        | Ok (samples, t) ->
+        | Ok s ->
             Array.iter
               (function
                 | None -> print_endline "(no sample)"
@@ -392,13 +450,19 @@ let sample_cmd =
                     print_endline
                       (String.concat " "
                          (Array.to_list (Array.map string_of_int tau))))
-              samples;
+              s.Api.draws;
+            let t = s.Api.telemetry in
             if verbose then
               Printf.eprintf
                 "acq: seed %d, jobs %d, %d ticks, %.1f ms (replay with --seed %d --jobs %d)\n%!"
                 t.Api.seed t.Api.jobs t.Api.ticks t.Api.elapsed_ms t.Api.seed
                 t.Api.jobs;
-            0)
+            if s.Api.degraded then begin
+              Printf.eprintf
+                "acq: some draws failed (the JVV walk could not pin an answer)\n%!";
+              exit_degraded
+            end
+            else 0)
   in
   let run query_text db_path connect use_name engine eps delta seed jobs draws
       timeout_ms max_heap_mb max_db_mb verbose =
@@ -610,22 +674,60 @@ let ping_cmd =
   Cmd.v (Cmd.info "ping" ~doc) Term.(const run $ connect_req_term)
 
 let stats_cmd =
-  let run addr =
+  let metrics_term =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Fetch the daemon's metrics registry (the METRICS verb: \
+             counters, gauges, latency histograms) instead of the \
+             stats document.")
+  in
+  let prometheus_term =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "With --metrics: print the Prometheus text exposition \
+             instead of JSON.")
+  in
+  let run addr metrics prometheus =
     with_connection addr (fun conn ->
-        match Client.call conn Wire.Stats with
-        | Error e -> report e
-        | Ok (Wire.Stats_reply j) ->
-            print_endline (Ac_analysis.Json.to_string_pretty j);
-            0
-        | Ok (Wire.Refused { code; error_class; message }) ->
-            report_refused ~error_class ~message code
-        | Ok _ -> report (Error.Internal "unexpected response to STATS"))
+        if metrics then begin
+          let format =
+            if prometheus then Wire.Metrics_prometheus else Wire.Metrics_json
+          in
+          match Client.call conn (Wire.Metrics_req { format }) with
+          | Error e -> report e
+          | Ok (Wire.Metrics_reply { payload = Ac_analysis.Json.String s; _ })
+            ->
+              print_string s;
+              0
+          | Ok (Wire.Metrics_reply { payload; _ }) ->
+              print_endline (Ac_analysis.Json.to_string_pretty payload);
+              0
+          | Ok (Wire.Refused { code; error_class; message }) ->
+              report_refused ~error_class ~message code
+          | Ok _ -> report (Error.Internal "unexpected response to METRICS")
+        end
+        else
+          match Client.call conn Wire.Stats with
+          | Error e -> report e
+          | Ok (Wire.Stats_reply j) ->
+              print_endline (Ac_analysis.Json.to_string_pretty j);
+              0
+          | Ok (Wire.Refused { code; error_class; message }) ->
+              report_refused ~error_class ~message code
+          | Ok _ -> report (Error.Internal "unexpected response to STATS"))
   in
   let doc =
     "Print an acqd daemon's statistics (uptime, per-verb counters, \
-     catalog, cache hit/miss/eviction counts, scheduler load) as JSON."
+     catalog, cache hit/miss/eviction counts, scheduler load) as JSON, \
+     or with --metrics the process-wide metrics registry."
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ connect_req_term)
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(const run $ connect_req_term $ metrics_term $ prometheus_term)
 
 let () =
   let doc = "approximately counting answers to conjunctive queries" in

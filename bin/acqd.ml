@@ -138,7 +138,13 @@ let run socket tcp loads queue plan_cache result_cache timeout_ms verbose =
           (match socket with
           | Some path -> ( try Sys.remove path with Sys_error _ -> ())
           | None -> ());
-          if verbose then Printf.eprintf "acqd: drained, bye\n%!";
+          if verbose then begin
+            (* final scrape of the process-wide registry: what this
+               daemon's life looked like, in the same exposition the
+               METRICS verb serves *)
+            Printf.eprintf "%s%!" (Ac_obs.Metrics.to_prometheus Ac_obs.Metrics.global);
+            Printf.eprintf "acqd: drained, bye\n%!"
+          end;
           0)
 
 let () =

@@ -50,6 +50,38 @@ let () =
         resp.telemetry.ticks
   | Error e -> Format.printf "Api failed: %s@." (Ac_runtime.Error.message e));
 
+  (* The same request, traced: the span summary says where the time
+     (and the budget's work ticks) went — plan, rungs, trials. *)
+  let tracer = Ac_obs.Trace.create () in
+  (match
+     Approxcount.Api.(
+       run (request ~eps:0.1 ~delta:0.05 ~seed:42 ~trace:tracer q db))
+   with
+  | Ok resp -> (
+      match resp.Approxcount.Api.telemetry.Approxcount.Api.trace with
+      | Some s ->
+          Format.printf "trace: %d spans in %.1f ms@." s.Ac_obs.Trace.spans
+            s.Ac_obs.Trace.wall_ms;
+          List.iter
+            (fun a ->
+              Format.printf "  %-16s x%-3d %6.1f ms %6d ticks@."
+                a.Ac_obs.Trace.agg_name a.Ac_obs.Trace.count
+                a.Ac_obs.Trace.total_ms a.Ac_obs.Trace.agg_ticks)
+            (Ac_obs.Trace.summary_aggs s)
+      | None -> ())
+  | Error e -> Format.printf "traced Api failed: %s@." (Ac_runtime.Error.message e));
+
+  (* Draw approximately-uniform answers: Api.sample returns a response
+     record like Api.run — draws plus the same telemetry envelope. *)
+  (match Approxcount.Api.(sample ~draws:3 (request ~seed:42 q db)) with
+  | Ok s ->
+      Array.iter
+        (function
+          | Some tau -> Format.printf "sampled answer: x = %d@." tau.(0)
+          | None -> Format.printf "sampled answer: (walk failed)@.")
+        s.Approxcount.Api.draws
+  | Error e -> Format.printf "sample failed: %s@." (Ac_runtime.Error.message e));
+
   (* Who are they? Enumerate the answers. *)
   let answers = Approxcount.Exact.answers q db |> List.map (fun t -> t.(0)) in
   Format.printf "people with ≥ 2 friends: %s@."

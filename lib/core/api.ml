@@ -6,6 +6,7 @@ module Chaos = Ac_runtime.Chaos
 module Entropy = Ac_runtime.Entropy
 module Engine = Ac_exec.Engine
 module Report = Ac_analysis.Report
+module Trace = Ac_obs.Trace
 
 type method_ =
   | Auto
@@ -14,7 +15,7 @@ type method_ =
   | Exact
   | Brute
 
-let method_name = function
+let method_to_string = function
   | Auto -> "auto"
   | Fpras -> "fpras"
   | Fptras Colour_oracle.Tree_dp -> "fptras/tree-dp"
@@ -22,6 +23,24 @@ let method_name = function
   | Fptras Colour_oracle.Direct -> "fptras/direct"
   | Exact -> "exact"
   | Brute -> "brute"
+
+let method_name = method_to_string
+
+(* The single method codec: [bin/acq], the wire protocol and the bench
+   harness all parse through here, so the accepted spellings cannot
+   drift apart. Every [method_to_string] output round-trips. *)
+let method_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Some Auto
+  | "fpras" -> Some Fpras
+  | "fptras" | "fptras/tree-dp" | "tree-dp" | "tree_dp" ->
+      Some (Fptras Colour_oracle.Tree_dp)
+  | "fptras/generic" | "generic" | "generic-join" ->
+      Some (Fptras Colour_oracle.Generic)
+  | "fptras/direct" | "direct" -> Some (Fptras Colour_oracle.Direct)
+  | "exact" -> Some Exact
+  | "brute" -> Some Brute
+  | _ -> None
 
 type request = {
   query : Ecq.t;
@@ -35,17 +54,32 @@ type request = {
   strict : bool;
   verbose : bool;
   chaos : Chaos.t option;
+  trace : Trace.t option;
 }
 
 let request ?(eps = 0.25) ?(delta = 0.1) ?(method_ = Auto) ?seed ?jobs ?budget
-    ?(strict = false) ?(verbose = false) ?chaos query db =
-  { query; db; eps; delta; method_; seed; jobs; budget; strict; verbose; chaos }
+    ?(strict = false) ?(verbose = false) ?chaos ?trace query db =
+  {
+    query;
+    db;
+    eps;
+    delta;
+    method_;
+    seed;
+    jobs;
+    budget;
+    strict;
+    verbose;
+    chaos;
+    trace;
+  }
 
 type telemetry = {
   seed : int;
   jobs : int;
   ticks : int;
   elapsed_ms : float;
+  trace : Trace.summary option;
 }
 
 type response = {
@@ -82,28 +116,64 @@ let fpras_requires_cq =
 
 let mismatch = Error.Signature_mismatch "query signature is not contained in the database's"
 
+(* Root span of a traced request: the whole call, tagged with the
+   resolved execution envelope. [None] (the default) keeps the entire
+   observability layer to a single branch per layer. *)
+let open_root (r : request) ~seed ~jobs name =
+  match r.trace with
+  | None -> None
+  | Some tr ->
+      Some
+        (Trace.root tr name
+           ~tags:
+             [
+               ("method", method_to_string r.method_);
+               ("seed", string_of_int seed);
+               ("jobs", string_of_int jobs);
+             ])
+
+(* The static analysis as its own child span — planning cost is part of
+   the attribution story. *)
+let analyze_traced root (r : request) =
+  match root with
+  | None -> Report.analyze ~db:r.db r.query
+  | Some _ ->
+      let sp = Trace.child root "analyze" in
+      Fun.protect
+        ~finally:(fun () -> Trace.stop sp)
+        (fun () -> Report.analyze ~db:r.db r.query)
+
+(* Closing the root span with the final tick count before summarising
+   gives the root the whole run's tick attribution. *)
+let make_telemetry (r : request) ~seed ~jobs ~budget ~root () =
+  Trace.stop ~ticks:(Budget.ticks budget) root;
+  {
+    seed;
+    jobs;
+    ticks = Budget.ticks budget;
+    elapsed_ms = Budget.elapsed_ms budget;
+    trace = Option.map Trace.summary r.trace;
+  }
+
 let run ?report r =
   let seed = resolve_seed r in
   let jobs = resolve_jobs r in
   if r.verbose && r.seed <> None then
     Printf.eprintf "api: method %s, seed = %d, jobs = %d\n%!"
       (method_name r.method_) seed jobs;
-  let exec = Engine.make ~jobs ~seed () in
+  let root = open_root r ~seed ~jobs "api:count" in
+  let exec = Engine.with_span (Engine.make ~jobs ~seed ()) root in
   (* telemetry needs a tick counter even when the caller set no limit *)
   let budget =
     match r.budget with Some b -> b | None -> Budget.create ~label:"api" ()
   in
-  let telemetry () =
-    { seed; jobs; ticks = Budget.ticks budget; elapsed_ms = Budget.elapsed_ms budget }
-  in
+  let telemetry = make_telemetry r ~seed ~jobs ~budget ~root in
   (* The static analysis runs once, up front; the Auto path hands its
      classification to the planner (no re-derivation) and every response
      carries the full report. A caller that has already analysed this
      (query, db) pair — e.g. the server's plan cache — passes it in. *)
   let report =
-    match report with
-    | Some rep -> rep
-    | None -> Report.analyze ~db:r.db r.query
+    match report with Some rep -> rep | None -> analyze_traced root r
   in
   let finish ?decision ?rung ?(guarantee = true) ?(degraded = false)
       ?(attempts = []) ~exact estimate =
@@ -170,27 +240,38 @@ let run ?report r =
           (Error.guard (fun () -> Exact.brute_force ~budget r.query r.db))
           (fun n -> finish ~exact:true (float_of_int n))
 
-let sample ?(draws = 1) r =
+type sample_response = {
+  draws : int array option array;
+  degraded : bool;
+  report : Report.t;
+  telemetry : telemetry;
+}
+
+let sample ?report ?(draws = 1) r =
   let seed = resolve_seed r in
   let jobs = resolve_jobs r in
-  let exec = Engine.make ~jobs ~seed () in
+  let root = open_root r ~seed ~jobs "api:sample" in
+  let exec = Engine.with_span (Engine.make ~jobs ~seed ()) root in
   let budget =
     match r.budget with Some b -> b | None -> Budget.create ~label:"api" ()
   in
+  let telemetry = make_telemetry r ~seed ~jobs ~budget ~root in
   let engine =
     match r.method_ with Fptras engine -> engine | _ -> Colour_oracle.Tree_dp
   in
   if not (Ecq.compatible_with r.query r.db) then Error mismatch
   else
+    let report =
+      match report with Some rep -> rep | None -> analyze_traced root r
+    in
     Result.map
       (fun samples ->
-        ( samples,
-          {
-            seed;
-            jobs;
-            ticks = Budget.ticks budget;
-            elapsed_ms = Budget.elapsed_ms budget;
-          } ))
+        {
+          draws = samples;
+          degraded = Array.exists Option.is_none samples;
+          report;
+          telemetry = telemetry ();
+        })
       (Error.guard (fun () ->
            Sampling.sample_many ~budget ~engine ~exec ~draws ~eps:r.eps
              ~delta:r.delta r.query r.db))

@@ -28,6 +28,18 @@ type method_ =
 
 val method_name : method_ -> string
 
+(** Canonical method spelling — the single codec shared by [bin/acq],
+    the wire protocol and the bench harness. Every output of
+    {!method_to_string} round-trips through {!method_of_string};
+    [method_name] is the historical alias for {!method_to_string}. *)
+val method_to_string : method_ -> string
+
+(** Parse a method name (case-insensitive, surrounding whitespace
+    ignored). Accepts the canonical spellings plus the short aliases
+    ["fptras"], ["tree-dp"], ["generic"], ["direct"]; [None] for
+    anything else. *)
+val method_of_string : string -> method_ option
+
 type request = {
   query : Ac_query.Ecq.t;
   db : Ac_relational.Structure.t;
@@ -40,6 +52,10 @@ type request = {
   strict : bool;          (** [Auto]: fail fast instead of degrading *)
   verbose : bool;         (** stderr diagnostics *)
   chaos : Ac_runtime.Chaos.t option;  (** fault injection (tests) *)
+  trace : Ac_obs.Trace.t option;
+      (** span collector; [None] (default) disables tracing — the whole
+          observability layer then costs one branch per layer, and
+          estimates are bit-identical either way *)
 }
 
 (** Request builder with the documented defaults; positional arguments
@@ -54,6 +70,7 @@ val request :
   ?strict:bool ->
   ?verbose:bool ->
   ?chaos:Ac_runtime.Chaos.t ->
+  ?trace:Ac_obs.Trace.t ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
   request
@@ -63,6 +80,10 @@ type telemetry = {
   jobs : int;        (** the jobs count actually used *)
   ticks : int;       (** budget work ticks at completion *)
   elapsed_ms : float;
+  trace : Ac_obs.Trace.summary option;
+      (** per-name span aggregates (counts, wall time, tick
+          attribution — e.g. which ["rung:…"] burned the budget) when
+          the request carried a collector; [None] otherwise *)
 }
 
 type response = {
@@ -94,12 +115,23 @@ val run :
   request ->
   (response, Ac_runtime.Error.t) result
 
+(** The sampling counterpart of {!response} — estimate-free, but
+    carrying the same interpretation context. *)
+type sample_response = {
+  draws : int array option array;
+      (** draw [i] is [None] when the JVV walk failed to pin an answer *)
+  degraded : bool;  (** some draw came back [None] *)
+  report : Ac_analysis.Report.t;
+  telemetry : telemetry;
+}
+
 (** Draw [draws] (default 1) approximately-uniform answers via the JVV
     sampler, fanned out over the request's jobs
     ({!Sampling.sample_many}); [method_] selects the oracle engine when
-    it is [Fptras _] (otherwise the tree-DP engine). Entry [i] is
-    [None] when draw [i] failed to pin an answer. *)
+    it is [Fptras _] (otherwise the tree-DP engine). [report] plays the
+    same role as in {!run}. *)
 val sample :
+  ?report:Ac_analysis.Report.t ->
   ?draws:int ->
   request ->
-  (int array option array * telemetry, Ac_runtime.Error.t) result
+  (sample_response, Ac_runtime.Error.t) result

@@ -4,6 +4,7 @@ module Hom = Ac_hom.Hom
 module Partite = Ac_dlm.Partite
 module Generic_join = Ac_join.Generic_join
 module Budget = Ac_runtime.Budget
+module Trace = Ac_obs.Trace
 
 type engine = Tree_dp | Generic | Direct
 
@@ -20,6 +21,7 @@ type t = {
   rng : Random.State.t;
   homs : int Atomic.t; (* atomic: probed concurrently from parallel trial domains *)
   oracles : int Atomic.t;
+  span : Trace.span option; (* parent for per-call "oracle" spans; None = untraced *)
 }
 
 let hom_calls t = Atomic.get t.homs
@@ -43,8 +45,8 @@ let default_base q db =
 
 let budget_cap = 65536
 
-let create ?rng ?rounds ?(probe_budget = 128) ?(budget = Budget.none) ~engine
-    q db =
+let create ?rng ?rounds ?(probe_budget = 128) ?(budget = Budget.none)
+    ?(span = None) ~engine q db =
   let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
   let base_budget =
     match rounds with None -> default_base q db | Some r -> max 1 r
@@ -68,11 +70,12 @@ let create ?rng ?rounds ?(probe_budget = 128) ?(budget = Budget.none) ~engine
     rng;
     homs = Atomic.make 0;
     oracles = Atomic.make 0;
+    span;
   }
 
-let create_result ?rng ?rounds ?probe_budget ?budget ~engine q db =
+let create_result ?rng ?rounds ?probe_budget ?budget ?span ~engine q db =
   Ac_runtime.Error.guard (fun () ->
-      create ?rng ?rounds ?probe_budget ?budget ~engine q db)
+      create ?rng ?rounds ?probe_budget ?budget ?span ~engine q db)
 
 let space t =
   let l = Ecq.num_free t.query in
@@ -169,8 +172,7 @@ let decide_direct t domains delta =
 (* [rng] defaults to the oracle's own state; parallel trial engines pass
    their per-trial stream instead, so probe outcomes depend only on the
    stream (everything else in [t] is read-only during a probe). *)
-let has_answer_in_box ?rng t parts =
-  let rng = match rng with Some r -> r | None -> t.rng in
+let answer_in_box ~rng t parts =
   Budget.tick t.budget;
   Atomic.incr t.oracles;
   if Array.exists (fun p -> Array.length p = 0) parts then false
@@ -254,6 +256,20 @@ let has_answer_in_box ?rng t parts =
               !found
             end)
   end
+
+(* Oracle-call spans sit at the bottom of the hierarchy (plan → rung →
+   trial → oracle call). Untraced oracles ([span = None], the default)
+   pay one branch per call; traced calls are recorded up to the
+   collector's [max_spans] cap (a governed run can issue thousands). *)
+let has_answer_in_box ?rng t parts =
+  let rng = match rng with Some r -> r | None -> t.rng in
+  match t.span with
+  | None -> answer_in_box ~rng t parts
+  | Some _ ->
+      let sp = Trace.child t.span "oracle" in
+      Fun.protect
+        ~finally:(fun () -> Trace.stop sp)
+        (fun () -> answer_in_box ~rng t parts)
 
 let aligned_oracle t parts = not (has_answer_in_box t parts)
 let seeded_oracle t ~rng parts = not (has_answer_in_box ~rng t parts)

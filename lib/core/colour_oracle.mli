@@ -49,12 +49,17 @@ val oracle_calls : t -> int
     cooperative-cancellation hook: it is ticked on every oracle call,
     every colouring round and (through {!Ac_hom.Hom}) every
     search/DP step, so a tripped budget aborts the oracle with
-    [Ac_runtime.Budget.Budget_exceeded] mid-loop. *)
+    [Ac_runtime.Budget.Budget_exceeded] mid-loop. [span], when given, is
+    the parent under which every oracle call records an ["oracle"]
+    tracing span (capped by the collector; one branch per call when
+    absent) — the bottom level of the plan → rung → trial → oracle-call
+    hierarchy. *)
 val create :
   ?rng:Random.State.t ->
   ?rounds:int ->
   ?probe_budget:int ->
   ?budget:Ac_runtime.Budget.t ->
+  ?span:Ac_obs.Trace.span option ->
   engine:engine ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->
@@ -67,6 +72,7 @@ val create_result :
   ?rounds:int ->
   ?probe_budget:int ->
   ?budget:Ac_runtime.Budget.t ->
+  ?span:Ac_obs.Trace.span option ->
   engine:engine ->
   Ac_query.Ecq.t ->
   Ac_relational.Structure.t ->

@@ -9,6 +9,8 @@ module Ltree = Ac_automata.Ltree
 module Acjr = Ac_automata.Acjr
 module Exact_ta = Ac_automata.Exact_ta
 module Budget = Ac_runtime.Budget
+module Engine = Ac_exec.Engine
+module Trace = Ac_obs.Trace
 
 (* A tuple is self-consistent when repeated variables of the scope carry
    equal values. *)
@@ -293,8 +295,24 @@ let repetitions_for ~delta =
   let m = int_of_float (ceil (1.25 *. Float.log (1.0 /. delta))) in
   max 3 ((2 * m) + 1)
 
+(* Phase span: [k] receives the span (None when [parent] is — one
+   branch on the untraced path). The phase's tick delta on [budget] is
+   attributed to the span so "which phase burned the budget" is
+   answerable from the trace alone. *)
+let phase ?budget parent name k =
+  match parent with
+  | None -> k None
+  | Some _ ->
+      let sp = Trace.child parent name in
+      let ticks () = match budget with Some b -> Budget.ticks b | None -> 0 in
+      let t0 = ticks () in
+      Fun.protect
+        ~finally:(fun () -> Trace.stop ~ticks:(ticks () - t0) sp)
+        (fun () -> k sp)
+
 let approx_count ?budget ?config ?exec ?repetitions q db =
-  match build ?budget q db with
+  let parent = match exec with Some e -> Engine.span e | None -> None in
+  match phase ?budget parent "fpras:build" (fun _ -> build ?budget q db) with
   | None -> 0.0
   | Some b -> (
       let config = config_with_budget budget config in
@@ -310,8 +328,10 @@ let approx_count ?budget ?config ?exec ?repetitions q db =
             | Some r -> max 1 r
             | None -> repetitions_for ~delta:0.05
           in
-          Acjr.estimate_median ?budget ~config ~exec ~repetitions b.automaton
-            b.shape)
+          phase ?budget parent "fpras:median" (fun sp ->
+              Acjr.estimate_median ?budget ~config
+                ~exec:(Engine.with_span exec sp)
+                ~repetitions b.automaton b.shape))
 
 let exact_count_automaton ?budget q db =
   match build ?budget q db with

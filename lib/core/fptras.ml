@@ -3,6 +3,7 @@ module Partite = Ac_dlm.Partite
 module Edge_count = Ac_dlm.Edge_count
 module Budget = Ac_runtime.Budget
 module Engine = Ac_exec.Engine
+module Trace = Ac_obs.Trace
 
 type result = {
   estimate : float;
@@ -57,18 +58,36 @@ let approx_count ?budget ?rng ?exec ?(engine = Colour_oracle.Tree_dp) ?rounds
          that issued it, so the estimate is bit-identical for any jobs
          count. [rng] is ignored here by construction: randomness must
          come from the engine's seed alone. *)
+      let parent = Engine.span exec in
       let oracle =
         Colour_oracle.create
           ~rng:(Engine.state exec ~stream:0)
-          ?rounds ?probe_budget ?budget ~engine q db
+          ?rounds ?probe_budget ?budget ~span:parent ~engine q db
       in
       if Ecq.num_free q = 0 then
         boolean_result ~rng:(Engine.state exec ~stream:0) oracle
       else
         let space = Colour_oracle.space oracle in
         let seeded = Colour_oracle.seeded_oracle oracle in
+        let estimate exec =
+          Edge_count.estimate_exec ~exec ?budget ~epsilon:eps ~delta space
+            seeded
+        in
         of_edge_count oracle
-          (Edge_count.estimate_exec ~exec ?budget ~epsilon:eps ~delta space seeded)
+          (match parent with
+          | None -> estimate exec
+          | Some _ ->
+              (* Phase span for the DLM edge-count loop; its tick delta
+                 answers "which phase burned the budget". Trials nest
+                 under it via the re-spanned engine context. *)
+              let sp = Trace.child parent "fptras:estimate" in
+              let ticks () =
+                match budget with Some b -> Budget.ticks b | None -> 0
+              in
+              let t0 = ticks () in
+              Fun.protect
+                ~finally:(fun () -> Trace.stop ~ticks:(ticks () - t0) sp)
+                (fun () -> estimate (Engine.with_span exec sp)))
 
 let exact_count_via_oracle ?budget ?rng ?(engine = Colour_oracle.Tree_dp)
     ?rounds q db =

@@ -6,6 +6,9 @@ module Chaos = Ac_runtime.Chaos
 module Entropy = Ac_runtime.Entropy
 module Classification = Ac_analysis.Classification
 module Classify = Ac_analysis.Classify
+module Engine = Ac_exec.Engine
+module Trace = Ac_obs.Trace
+module Metrics = Ac_obs.Metrics
 
 type algorithm =
   | Use_fpras
@@ -169,9 +172,7 @@ let rung_ordinal = function
    without the guarantee; every other rung either meets (ε, δ) — or
    better, exactness — or raises. *)
 let run_rung ~rng ~budget ?exec ~eps ~delta rung q db =
-  let exec =
-    Option.map (fun e -> Ac_exec.Engine.split e (rung_ordinal rung)) exec
-  in
+  let exec = Option.map (fun e -> Engine.split e (rung_ordinal rung)) exec in
   match rung with
   | Fpras_rung -> (
       match exec with
@@ -199,6 +200,27 @@ let run_rung ~rng ~budget ?exec ~eps ~delta rung q db =
       let n, completed = Exact.partial_count ~budget q db in
       (float_of_int n, completed)
 
+(* Governed-execution metrics. Counters are get-or-created per attempt —
+   a mutex-guarded table lookup, negligible next to running a rung. *)
+let observe_attempt rung outcome =
+  Metrics.incr
+    (Metrics.counter Metrics.global "acq_rung_attempts_total"
+       ~help:"Planner rung attempts by outcome"
+       ~labels:[ ("rung", rung_name rung); ("outcome", outcome) ])
+
+let observe_trip = function
+  | Error.Budget trip ->
+      Metrics.incr
+        (Metrics.counter Metrics.global "acq_budget_trips_total"
+           ~help:"Budget trips observed during governed execution"
+           ~labels:[ ("limit", Budget.limit_name trip.Budget.limit) ])
+  | _ -> ()
+
+let observe_degradation () =
+  Metrics.incr
+    (Metrics.counter Metrics.global "acq_degradations_total"
+       ~help:"Governed runs that completed on a fallback rung")
+
 let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
     ?chaos ?decision ~eps ~delta q db =
   let budget = match budget with Some b -> b | None -> Budget.none in
@@ -217,6 +239,25 @@ let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
           | Some c -> Chaos.guard c ("rung:" ^ rung_name r)
           | None -> ()
         in
+        (* Per-rung tracing span, carrying the rung's tick delta on its
+           budget slice: the per-rung attribution ("which rung burned
+           the budget") surfaced in [telemetry.trace]. The engine is
+           re-spanned so trials nest under the rung. One branch when the
+           run is untraced. *)
+        let parent = match exec with Some e -> Engine.span e | None -> None in
+        let run_traced ~sub rung () =
+          guard_rung rung;
+          match parent with
+          | None -> run_rung ~rng ~budget:sub ?exec ~eps ~delta rung q db
+          | Some _ ->
+              let sp = Trace.child parent ("rung:" ^ rung_name rung) in
+              let ticks0 = Budget.ticks sub in
+              let exec = Option.map (fun e -> Engine.with_span e sp) exec in
+              Fun.protect
+                ~finally:(fun () ->
+                  Trace.stop ~ticks:(Budget.ticks sub - ticks0) sp)
+                (fun () -> run_rung ~rng ~budget:sub ?exec ~eps ~delta rung q db)
+        in
         let finish ~rung ~guarantee ~attempts estimate =
           if not (Float.is_finite estimate) then
             Error
@@ -225,6 +266,7 @@ let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
                     estimate))
           else begin
             let attempts = List.rev attempts in
+            if attempts <> [] then observe_degradation ();
             if verbose && attempts <> [] then
               Printf.eprintf "planner: degraded to rung %s after %d failure(s)\n%!"
                 (rung_name rung) (List.length attempts);
@@ -243,13 +285,14 @@ let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
         if strict then
           (* Strict mode: the planned algorithm under the whole budget,
              first failure propagated — no degradation. *)
-          match
-            Error.guard (fun () ->
-                guard_rung planned;
-                run_rung ~rng ~budget ?exec ~eps ~delta planned q db)
-          with
-          | Error _ as e -> e
-          | Ok (v, guarantee) -> finish ~rung:planned ~guarantee ~attempts:[] v
+          match Error.guard (run_traced ~sub:budget planned) with
+          | Error err as e ->
+              observe_attempt planned "error";
+              observe_trip err;
+              e
+          | Ok (v, guarantee) ->
+              observe_attempt planned "ok";
+              finish ~rung:planned ~guarantee ~attempts:[] v
         else begin
           let chain =
             (planned
@@ -273,16 +316,14 @@ let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
                    rung falls through in O(1). *)
                 let fraction = if rest = [] then 1.0 else 0.5 in
                 let sub = Budget.slice ~fraction ~label:(rung_name rung) budget in
-                let outcome =
-                  Error.guard (fun () ->
-                      guard_rung rung;
-                      run_rung ~rng ~budget:sub ?exec ~eps ~delta rung q db)
-                in
+                let outcome = Error.guard (run_traced ~sub rung) in
                 if sub != budget then Budget.absorb budget sub;
                 (match outcome with
                 | Ok (v, guarantee) when Float.is_finite v ->
+                    observe_attempt rung "ok";
                     finish ~rung ~guarantee ~attempts v
                 | Ok (v, _) ->
+                    observe_attempt rung "error";
                     let error =
                       Error.Numeric_overflow
                         (Printf.sprintf "rung %s produced %h" (rung_name rung) v)
@@ -292,6 +333,8 @@ let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
                         (rung_name rung) (Error.message error);
                     go ({ rung; error } :: attempts) rest
                 | Error error ->
+                    observe_attempt rung "error";
+                    observe_trip error;
                     if verbose then
                       Printf.eprintf "planner: rung %s failed: %s\n%!"
                         (rung_name rung) (Error.message error);

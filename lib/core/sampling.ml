@@ -116,7 +116,7 @@ let sample_many ?budget ?(engine = Colour_oracle.Tree_dp) ?rounds ~exec ~draws
   let oracle =
     Colour_oracle.create
       ~rng:(Engine.state exec ~stream:0)
-      ?rounds ?budget ~engine q db
+      ?rounds ?budget ~span:(Engine.span exec) ~engine q db
   in
   let num_free = Ecq.num_free q and universe_size = Structure.universe_size db in
   Engine.run ?budget exec ~trials:draws (fun ~rng ~budget i ->

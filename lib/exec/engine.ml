@@ -1,23 +1,60 @@
 module Budget = Ac_runtime.Budget
+module Trace = Ac_obs.Trace
+module Metrics = Ac_obs.Metrics
 
-type t = { seed : int; jobs : int }
+type t = { seed : int; jobs : int; span : Trace.span option }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
 let make ?jobs ~seed () =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  { seed; jobs }
+  { seed; jobs; span = None }
 
-let sequential ~seed = { seed; jobs = 1 }
+let sequential ~seed = { seed; jobs = 1; span = None }
 let jobs t = t.jobs
 let seed t = t.seed
 let split t i = { t with seed = Seeds.derive ~seed:t.seed i }
 let state t ~stream = Seeds.state ~seed:t.seed ~stream
+let with_span t span = { t with span }
+let span t = t.span
+
+let trials_total =
+  lazy
+    (Metrics.counter Metrics.global "acq_trials_total"
+       ~help:"Independent estimation trials executed by the engine")
+
+let trial_duration =
+  lazy
+    (Metrics.histogram Metrics.global "acq_trial_duration_ms"
+       ~help:"Wall-clock duration of traced engine trials (milliseconds)")
+
+(* One trial, with observability. Untraced ([t.span = None], the default)
+   this is one branch and one atomic increment on top of [k]; traced it
+   opens a per-trial span, attributes the trial's tick delta on [slice]
+   to it and feeds the wall duration to the latency histogram. Nothing
+   here touches [k]'s randomness — traced and untraced runs are
+   bit-identical. *)
+let observed_trial t ~slice i k =
+  Metrics.incr (Lazy.force trials_total);
+  match t.span with
+  | None -> k ()
+  | Some _ ->
+      let sp = Trace.child ~tags:[ ("trial", string_of_int i) ] t.span "trial" in
+      let ticks0 = Budget.ticks slice in
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.stop ~ticks:(Budget.ticks slice - ticks0) sp;
+          Metrics.observe
+            (Lazy.force trial_duration)
+            ((Unix.gettimeofday () -. t0) *. 1000.0))
+        k
 
 let run_sequential ~budget t ~trials f =
   Array.init trials (fun i ->
       Budget.tick budget;
-      f ~rng:(Seeds.state ~seed:t.seed ~stream:i) ~budget i)
+      observed_trial t ~slice:budget i (fun () ->
+          f ~rng:(Seeds.state ~seed:t.seed ~stream:i) ~budget i))
 
 (* Rank failures so the re-raised error is deterministic: a sibling
    cancelled by the first trip must never shadow the trip itself. *)
@@ -56,7 +93,9 @@ let run ?(budget = Budget.none) t ~trials f =
           for i = lo to hi - 1 do
             Budget.tick slice;
             results.(i) <-
-              Some (f ~rng:(Seeds.state ~seed:t.seed ~stream:i) ~budget:slice i)
+              Some
+                (observed_trial t ~slice i (fun () ->
+                     f ~rng:(Seeds.state ~seed:t.seed ~stream:i) ~budget:slice i))
           done
         with e ->
           let bt = Printexc.get_raw_backtrace () in

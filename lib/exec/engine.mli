@@ -52,6 +52,16 @@ val split : t -> int -> t
     (convenience for sequential phases). *)
 val state : t -> stream:int -> Random.State.t
 
+(** [with_span t sp] — the same context carrying tracing span [sp] as
+    the parent for the per-trial spans {!run} opens (and, transitively,
+    for the phase spans the estimators hang off {!span}). [None]
+    (the default everywhere) disables trial tracing: {!run} pays a
+    single branch per trial. {!split} preserves the span — sub-phases
+    trace into the same parent unless re-spanned. *)
+val with_span : t -> Ac_obs.Trace.span option -> t
+
+val span : t -> Ac_obs.Trace.span option
+
 (** [run t ?budget ~trials f] — [f ~rng ~budget i] for [i = 0 ..
     trials - 1], results in index order. [f] must take its randomness
     from [rng] only and may cooperate with the passed budget slice.

@@ -1,0 +1,205 @@
+type record = {
+  id : int;
+  parent : int;
+  name : string;
+  tags : (string * string) list;
+  start_ms : float;
+  mutable stop_ms : float; (* negative while the span is still open *)
+  mutable ticks : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable records : record option array;
+  mutable length : int;
+  max_spans : int;
+  mutable dropped : int;
+  (* Monotone stamp: raw clock readings can repeat or step backwards
+     (NTP); clamping under the collector mutex makes every exported
+     interval well-formed by construction. *)
+  mutable last : float;
+  t0 : float;
+}
+
+type span = { tr : t; id : int }
+
+let default_max_spans = 65536
+
+let create ?(max_spans = default_max_spans) () =
+  let now = Unix.gettimeofday () *. 1000.0 in
+  {
+    mutex = Mutex.create ();
+    records = Array.make 256 None;
+    length = 0;
+    max_spans = max 1 max_spans;
+    dropped = 0;
+    last = now;
+    t0 = now;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let stamp t =
+  let raw = Unix.gettimeofday () *. 1000.0 in
+  let v = if raw > t.last then raw else t.last in
+  t.last <- v;
+  v
+
+(* -1 marks a span that was not recorded (collector at capacity): the
+   handle stays valid, [stop] on it is a no-op. *)
+let dropped_span tr = { tr; id = -1 }
+
+let open_span tr ~parent ~tags name =
+  locked tr (fun () ->
+      if tr.length >= tr.max_spans then begin
+        tr.dropped <- tr.dropped + 1;
+        dropped_span tr
+      end
+      else begin
+        if tr.length = Array.length tr.records then begin
+          let bigger =
+            Array.make (min tr.max_spans (2 * Array.length tr.records)) None
+          in
+          Array.blit tr.records 0 bigger 0 tr.length;
+          tr.records <- bigger
+        end;
+        let id = tr.length in
+        tr.records.(id) <-
+          Some
+            { id; parent; name; tags; start_ms = stamp tr; stop_ms = -1.0; ticks = 0 };
+        tr.length <- tr.length + 1;
+        { tr; id }
+      end)
+
+let root ?(tags = []) tr name = open_span tr ~parent:(-1) ~tags name
+
+let child ?(tags = []) parent name =
+  match parent with
+  | None -> None
+  | Some p -> Some (open_span p.tr ~parent:p.id ~tags name)
+
+let stop ?(ticks = 0) span =
+  match span with
+  | None -> ()
+  | Some { tr; id } ->
+      if id >= 0 then
+        locked tr (fun () ->
+            match tr.records.(id) with
+            | Some r when r.stop_ms < 0.0 ->
+                r.stop_ms <- stamp tr;
+                r.ticks <- r.ticks + ticks
+            | Some _ | None -> ())
+
+(* Snapshot with open spans closed at the last stamp, so exports and
+   summaries always see well-formed intervals. *)
+let snapshot t =
+  locked t (fun () ->
+      let out = ref [] in
+      for i = t.length - 1 downto 0 do
+        match t.records.(i) with
+        | None -> ()
+        | Some r ->
+            let stop_ms = if r.stop_ms < 0.0 then t.last else r.stop_ms in
+            out := { r with stop_ms } :: !out
+      done;
+      (!out, t.dropped, t.last -. t.t0))
+
+let records t =
+  let rs, _, _ = snapshot t in
+  rs
+
+let span_count t = locked t (fun () -> t.length)
+let dropped t = locked t (fun () -> t.dropped)
+
+(* ---------- summary ---------- *)
+
+type agg = { agg_name : string; count : int; total_ms : float; agg_ticks : int }
+
+type summary = {
+  spans : int;
+  summary_dropped : int;
+  wall_ms : float;
+  aggs : agg list;
+}
+
+let summary t =
+  let rs, dropped, wall_ms = snapshot t in
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let count, total, ticks =
+        Option.value (Hashtbl.find_opt by_name r.name) ~default:(0, 0.0, 0)
+      in
+      Hashtbl.replace by_name r.name
+        (count + 1, total +. (r.stop_ms -. r.start_ms), ticks + r.ticks))
+    rs;
+  let aggs =
+    Hashtbl.fold
+      (fun agg_name (count, total_ms, agg_ticks) acc ->
+        { agg_name; count; total_ms; agg_ticks } :: acc)
+      by_name []
+    |> List.sort (fun a b -> compare a.agg_name b.agg_name)
+  in
+  { spans = List.length rs; summary_dropped = dropped; wall_ms; aggs }
+
+(* ---------- export ---------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let tags_json tags =
+  String.concat ","
+    (List.map
+       (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+       tags)
+
+let to_jsonl t =
+  let rs, _, _ = snapshot t in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (r : record) ->
+      Printf.bprintf buf
+        "{\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"start_ms\":%.3f,\"dur_ms\":%.3f,\"ticks\":%d,\"tags\":{%s}}\n"
+        r.id r.parent (escape r.name) (r.start_ms -. t.t0)
+        (r.stop_ms -. r.start_ms) r.ticks (tags_json r.tags))
+    rs;
+  Buffer.contents buf
+
+(* Chrome trace_event format: "X" (complete) events with microsecond
+   timestamps, loadable at chrome://tracing and in Perfetto. *)
+let to_chrome t =
+  let rs, _, _ = snapshot t in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      let args =
+        tags_json (("ticks", string_of_int r.ticks) :: r.tags)
+      in
+      Printf.bprintf buf
+        "{\"name\":\"%s\",\"cat\":\"acq\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.1f,\"dur\":%.1f,\"args\":{%s}}"
+        (escape r.name)
+        ((r.start_ms -. t.t0) *. 1000.0)
+        ((r.stop_ms -. r.start_ms) *. 1000.0)
+        args)
+    rs;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let summary_aggs s = s.aggs

@@ -1,0 +1,93 @@
+(** Hierarchical tracing spans with monotone timestamps.
+
+    A {!t} is a span collector; a {!span} is a handle into one. The
+    hot-path contract is that {e all} span operations take the parent as
+    a [span option] and are a single branch when it is [None] — code
+    threads [span option] values (usually riding inside
+    [Ac_exec.Engine.t]) and pays nothing measurable when tracing is off.
+
+    {b Domain safety.} The collector is protected by a mutex; spans may
+    be opened and stopped from any domain or thread. Timestamps are
+    clamped monotone {e per collector} under that mutex, so in every
+    export a span that was stopped before another span's stop carries
+    the smaller stamp — child intervals nest inside their parents by
+    construction (the parent's [stop] happens after the children's).
+
+    {b Bit-transparency.} Nothing here touches any RNG or changes
+    control flow of the traced computation: traced and untraced runs of
+    a seeded estimator produce bit-identical results.
+
+    {b Capacity.} A collector records at most [max_spans] spans
+    (default 65536); further spans are counted in {!dropped} and their
+    handles become no-ops, bounding memory on oracle-call-granularity
+    traces. *)
+
+type t
+(** A span collector. *)
+
+type span
+(** A handle to one recorded span (carries its collector). *)
+
+val create : ?max_spans:int -> unit -> t
+
+(** Open a top-level span. *)
+val root : ?tags:(string * string) list -> t -> string -> span
+
+(** Open a child of [parent]; [None] parent → [None] child (one
+    branch, no allocation — the disabled-tracing fast path). *)
+val child : ?tags:(string * string) list -> span option -> string -> span option
+
+(** Close the span, stamping its end and attributing [ticks] work ticks
+    (default 0) to it — callers pass a [Budget.ticks] delta. Stopping
+    [None], a dropped span, or an already-stopped span is a no-op. *)
+val stop : ?ticks:int -> span option -> unit
+
+(** {2 Inspection} *)
+
+(** One finished (or snapshot-closed) span. [parent = -1] for roots;
+    [stop_ms >= start_ms] always holds in anything returned by
+    {!records}. *)
+type record = {
+  id : int;
+  parent : int;
+  name : string;
+  tags : (string * string) list;
+  start_ms : float;
+  mutable stop_ms : float;
+  mutable ticks : int;
+}
+
+(** Snapshot of all recorded spans in id (creation) order; spans still
+    open are closed at the collector's last stamp. *)
+val records : t -> record list
+
+val span_count : t -> int
+val dropped : t -> int
+
+(** {2 Summary} *)
+
+(** Per-span-name aggregate: ["rung:fpras"], ["trial"], … — the
+    [agg_ticks] of the ["rung:*"] entries are the per-rung tick
+    attribution carried in [Api.telemetry]. *)
+type agg = { agg_name : string; count : int; total_ms : float; agg_ticks : int }
+
+type summary = {
+  spans : int;
+  summary_dropped : int;
+  wall_ms : float;          (** first stamp to last stamp *)
+  aggs : agg list;          (** sorted by [agg_name] *)
+}
+
+val summary : t -> summary
+val summary_aggs : summary -> agg list
+
+(** {2 Export} *)
+
+(** One JSON object per line:
+    [{"id":…,"parent":…,"name":…,"start_ms":…,"dur_ms":…,"ticks":…,"tags":{…}}];
+    [start_ms] is relative to the collector's creation. *)
+val to_jsonl : t -> string
+
+(** Chrome [trace_event] JSON (["X"] complete events, µs timestamps) —
+    loadable at [chrome://tracing] / Perfetto. *)
+val to_chrome : t -> string

@@ -1,5 +1,6 @@
 module Ecq = Ac_query.Ecq
 module Json = Ac_analysis.Json
+module Metrics = Ac_obs.Metrics
 
 type stats = {
   capacity : int;
@@ -12,6 +13,17 @@ type stats = {
 module Lru = struct
   type 'a entry = { value : 'a; mutable last_used : int }
 
+  (* Per-instance counters stay exact under the instance mutex (the
+     [stats] contract); named caches additionally mirror every event to
+     the process-wide metrics registry, where the [cache] label keeps
+     the plan and result caches apart on the METRICS surface. *)
+  type meters = {
+    m_hits : Metrics.counter;
+    m_misses : Metrics.counter;
+    m_evictions : Metrics.counter;
+    m_entries : Metrics.gauge;
+  }
+
   (* Recency is a monotone stamp per entry; eviction scans for the
      minimum. O(n) per eviction, but n is the (small) cache capacity
      and evictions only happen once the cache is full — simple beats
@@ -20,23 +32,47 @@ module Lru = struct
     capacity : int;
     table : (string, 'a entry) Hashtbl.t;
     mutex : Mutex.t;
+    meters : meters option;
     mutable clock : int;
     mutable hits : int;
     mutable misses : int;
     mutable evictions : int;
   }
 
-  let create ~capacity =
+  let create ?name ~capacity () =
     if capacity < 0 then invalid_arg "Cache.Lru.create: negative capacity";
+    let meters =
+      Option.map
+        (fun name ->
+          let labels = [ ("cache", name) ] in
+          {
+            m_hits =
+              Metrics.counter Metrics.global "acq_cache_hits_total" ~labels
+                ~help:"Cache lookups that hit";
+            m_misses =
+              Metrics.counter Metrics.global "acq_cache_misses_total" ~labels
+                ~help:"Cache lookups that missed";
+            m_evictions =
+              Metrics.counter Metrics.global "acq_cache_evictions_total"
+                ~labels ~help:"Entries evicted to make room";
+            m_entries =
+              Metrics.gauge Metrics.global "acq_cache_entries" ~labels
+                ~help:"Entries currently cached";
+          })
+        name
+    in
     {
       capacity;
       table = Hashtbl.create (max 16 capacity);
       mutex = Mutex.create ();
+      meters;
       clock = 0;
       hits = 0;
       misses = 0;
       evictions = 0;
     }
+
+  let meter t f = match t.meters with None -> () | Some m -> f m
 
   let locked t f =
     Mutex.lock t.mutex;
@@ -49,9 +85,11 @@ module Lru = struct
             t.clock <- t.clock + 1;
             entry.last_used <- t.clock;
             t.hits <- t.hits + 1;
+            meter t (fun m -> Metrics.incr m.m_hits);
             Some entry.value
         | None ->
             t.misses <- t.misses + 1;
+            meter t (fun m -> Metrics.incr m.m_misses);
             None)
 
   let evict_lru t =
@@ -66,7 +104,8 @@ module Lru = struct
     match victim with
     | Some (key, _) ->
         Hashtbl.remove t.table key;
-        t.evictions <- t.evictions + 1
+        t.evictions <- t.evictions + 1;
+        meter t (fun m -> Metrics.incr m.m_evictions)
     | None -> ()
 
   let add t key value =
@@ -77,7 +116,8 @@ module Lru = struct
              while Hashtbl.length t.table >= t.capacity do
                evict_lru t
              done);
-          Hashtbl.replace t.table key { value; last_used = t.clock })
+          Hashtbl.replace t.table key { value; last_used = t.clock };
+          meter t (fun m -> Metrics.set m.m_entries (Hashtbl.length t.table)))
 
   let stats t =
     locked t (fun () ->

@@ -22,8 +22,12 @@ module Lru : sig
   type 'a t
 
   (** [capacity = 0] disables the cache: every [find] is a miss and
-      [add] is a no-op — used to measure cold paths honestly. *)
-  val create : capacity:int -> 'a t
+      [add] is a no-op — used to measure cold paths honestly. [name],
+      when given, mirrors the counters to the process-wide metrics
+      registry as [acq_cache_{hits,misses,evictions}_total{cache=name}]
+      and [acq_cache_entries{cache=name}]; anonymous caches (tests,
+      ad-hoc uses) keep only their exact per-instance {!stats}. *)
+  val create : ?name:string -> capacity:int -> unit -> 'a t
 
   (** Refreshes the entry's recency on a hit. *)
   val find : 'a t -> string -> 'a option

@@ -1,6 +1,35 @@
 module Budget = Ac_runtime.Budget
 module Error = Ac_runtime.Error
 module Json = Ac_analysis.Json
+module Metrics = Ac_obs.Metrics
+
+(* Global admission-control metrics: queue depth as gauges, admission
+   outcomes as counters. Exact per-instance numbers stay in [stats];
+   these are the scrape surface. *)
+let m_in_flight =
+  lazy
+    (Metrics.gauge Metrics.global "acq_scheduler_in_flight"
+       ~help:"Requests currently executing under admission control")
+
+let m_capacity =
+  lazy
+    (Metrics.gauge Metrics.global "acq_scheduler_capacity"
+       ~help:"Admission-control concurrency limit")
+
+let m_admitted =
+  lazy
+    (Metrics.counter Metrics.global "acq_scheduler_admitted_total"
+       ~help:"Requests admitted by the scheduler")
+
+let m_rejected =
+  lazy
+    (Metrics.counter Metrics.global "acq_scheduler_rejected_total"
+       ~help:"Requests rejected at admission (capacity reached)")
+
+let m_completed =
+  lazy
+    (Metrics.counter Metrics.global "acq_scheduler_completed_total"
+       ~help:"Requests that finished executing (ok or error)")
 
 type stats = {
   capacity : int;
@@ -29,6 +58,7 @@ let create ?(capacity = 64) ?budget () =
   let budget =
     match budget with Some b -> b | None -> Budget.create ~label:"acqd" ()
   in
+  Metrics.set (Lazy.force m_capacity) capacity;
   {
     capacity;
     budget;
@@ -47,6 +77,7 @@ let submit t ~label f =
   Mutex.lock t.mutex;
   if t.in_flight >= t.capacity then begin
     t.rejected <- t.rejected + 1;
+    Metrics.incr (Lazy.force m_rejected);
     Mutex.unlock t.mutex;
     Error
       (Error.Overloaded
@@ -57,6 +88,8 @@ let submit t ~label f =
   else begin
     t.in_flight <- t.in_flight + 1;
     t.admitted <- t.admitted + 1;
+    Metrics.incr (Lazy.force m_admitted);
+    Metrics.incr_gauge (Lazy.force m_in_flight);
     if t.in_flight > t.peak_in_flight then t.peak_in_flight <- t.in_flight;
     Mutex.unlock t.mutex;
     let slice = (Budget.split ~label ~into:1 t.budget).(0) in
@@ -65,6 +98,8 @@ let submit t ~label f =
       Mutex.lock t.mutex;
       t.in_flight <- t.in_flight - 1;
       t.completed <- t.completed + 1;
+      Metrics.incr (Lazy.force m_completed);
+      Metrics.decr_gauge (Lazy.force m_in_flight);
       Condition.broadcast t.idle;
       Mutex.unlock t.mutex
     in

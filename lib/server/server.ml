@@ -8,6 +8,8 @@ module Engine = Ac_exec.Engine
 module Pool = Ac_exec.Pool
 module Report = Ac_analysis.Report
 module Json = Ac_analysis.Json
+module Trace = Ac_obs.Trace
+module Metrics = Ac_obs.Metrics
 
 type config = {
   queue_capacity : int;
@@ -31,6 +33,7 @@ type counters = {
   mutable sample : int;
   mutable use : int;
   mutable stats : int;
+  mutable metrics : int;
   mutable ping : int;
   mutable bad : int;
 }
@@ -58,11 +61,22 @@ let create ?(config = default_config) () =
   {
     config;
     catalog = Catalog.create ();
-    plan_cache = Cache.Lru.create ~capacity:config.plan_cache_capacity;
-    result_cache = Cache.Lru.create ~capacity:config.result_cache_capacity;
+    plan_cache =
+      Cache.Lru.create ~name:"plan" ~capacity:config.plan_cache_capacity ();
+    result_cache =
+      Cache.Lru.create ~name:"result" ~capacity:config.result_cache_capacity ();
     scheduler = Scheduler.create ~capacity:config.queue_capacity ();
     started_ms = Unix.gettimeofday () *. 1000.0;
-    counters = { count = 0; sample = 0; use = 0; stats = 0; ping = 0; bad = 0 };
+    counters =
+      {
+        count = 0;
+        sample = 0;
+        use = 0;
+        stats = 0;
+        metrics = 0;
+        ping = 0;
+        bad = 0;
+      };
     counters_mutex = Mutex.create ();
     stopping = Atomic.make false;
     stop_r;
@@ -162,6 +176,7 @@ let outcome_of_response ~plan_cache ~result_cache (r : Api.response) =
     jobs = r.Api.telemetry.Api.jobs;
     ticks = r.Api.telemetry.Api.ticks;
     elapsed_ms = r.Api.telemetry.Api.elapsed_ms;
+    trace = r.Api.telemetry.Api.trace;
     plan_cache;
     result_cache;
   }
@@ -188,12 +203,15 @@ let run_count t session (p : Wire.params) =
              estimation work, so they must not occupy a queue slot *)
           match Option.map (Cache.Lru.find t.result_cache) result_key with
           | Some (Some cached) ->
+              (* a replay does no work, so it carries no trace even when
+                 the request asked for one *)
               Wire.Counted
                 {
                   cached with
                   Wire.jobs = resolved_jobs p;
                   ticks = 0;
                   elapsed_ms = 0.0;
+                  trace = None;
                   plan_cache = "bypass";
                   result_cache = "hit";
                 }
@@ -218,11 +236,15 @@ let run_count t session (p : Wire.params) =
                       request_budget p
                         ~default_timeout_ms:t.config.default_timeout_ms slice
                     in
+                    let tracer =
+                      if p.Wire.trace then Some (Trace.create ()) else None
+                    in
                     let request =
                       Api.request ~eps:p.Wire.eps ~delta:p.Wire.delta
                         ~method_:p.Wire.method_ ?seed:p.Wire.seed
                         ?jobs:p.Wire.jobs ~budget ~strict:p.Wire.strict
-                        ~verbose:t.config.verbose query entry.Catalog.db
+                        ~verbose:t.config.verbose ?trace:tracer query
+                        entry.Catalog.db
                     in
                     let result = Api.run ~report request in
                     absorb ();
@@ -261,10 +283,14 @@ let run_sample t session (p : Wire.params) ~draws =
                   request_budget p
                     ~default_timeout_ms:t.config.default_timeout_ms slice
                 in
+                let tracer =
+                  if p.Wire.trace then Some (Trace.create ()) else None
+                in
                 let request =
                   Api.request ~eps:p.Wire.eps ~delta:p.Wire.delta
                     ~method_:p.Wire.method_ ?seed:p.Wire.seed ?jobs:p.Wire.jobs
-                    ~budget ~verbose:t.config.verbose query entry.Catalog.db
+                    ~budget ~verbose:t.config.verbose ?trace:tracer query
+                    entry.Catalog.db
                 in
                 let result = Api.sample ~draws request in
                 absorb ();
@@ -273,14 +299,15 @@ let run_sample t session (p : Wire.params) ~draws =
           match result with
           | Error e -> Wire.response_of_error e
           | Ok (Error e) -> Wire.response_of_error e
-          | Ok (Ok (samples, telemetry)) ->
+          | Ok (Ok s) ->
               Wire.Sampled
                 {
-                  samples;
-                  seed = telemetry.Api.seed;
-                  jobs = telemetry.Api.jobs;
-                  ticks = telemetry.Api.ticks;
-                  elapsed_ms = telemetry.Api.elapsed_ms;
+                  samples = s.Api.draws;
+                  seed = s.Api.telemetry.Api.seed;
+                  jobs = s.Api.telemetry.Api.jobs;
+                  ticks = s.Api.telemetry.Api.ticks;
+                  elapsed_ms = s.Api.telemetry.Api.elapsed_ms;
+                  trace = s.Api.telemetry.Api.trace;
                 }))
 
 (* ---------- STATS ---------- *)
@@ -296,6 +323,7 @@ let stats_json t =
           ("sample", Json.Int c.sample);
           ("use", Json.Int c.use);
           ("stats", Json.Int c.stats);
+          ("metrics", Json.Int c.metrics);
           ("ping", Json.Int c.ping);
           ("malformed", Json.Int c.bad);
         ]
@@ -320,7 +348,28 @@ let stats_json t =
 
 (* ---------- dispatch ---------- *)
 
-let handle t session req =
+let verb_name = function
+  | Wire.Ping -> "ping"
+  | Wire.Stats -> "stats"
+  | Wire.Metrics_req _ -> "metrics"
+  | Wire.Use _ -> "use"
+  | Wire.Count _ -> "count"
+  | Wire.Sample _ -> "sample"
+
+(* Every handled request lands in the global registry: volume by verb
+   and wire status, latency by verb. *)
+let observe_request ~verb ~status ~elapsed_ms =
+  Metrics.incr
+    (Metrics.counter Metrics.global "acq_requests_total"
+       ~help:"Wire requests handled, by verb and status"
+       ~labels:[ ("verb", verb); ("status", string_of_int status) ]);
+  Metrics.observe
+    (Metrics.histogram Metrics.global "acq_request_duration_ms"
+       ~help:"Wire request handling duration (milliseconds)"
+       ~labels:[ ("verb", verb) ])
+    elapsed_ms
+
+let handle_request t session req =
   match req with
   | Wire.Ping ->
       bump t (fun c -> c.ping <- c.ping + 1);
@@ -328,6 +377,10 @@ let handle t session req =
   | Wire.Stats ->
       bump t (fun c -> c.stats <- c.stats + 1);
       Wire.Stats_reply (stats_json t)
+  | Wire.Metrics_req { format } ->
+      bump t (fun c -> c.metrics <- c.metrics + 1);
+      Wire.Metrics_reply
+        { format; payload = Wire.metrics_payload ~format Metrics.global }
   | Wire.Use name -> (
       bump t (fun c -> c.use <- c.use + 1);
       match Catalog.find t.catalog name with
@@ -350,6 +403,14 @@ let handle t session req =
   | Wire.Sample { params = p; draws } ->
       bump t (fun c -> c.sample <- c.sample + 1);
       run_sample t session p ~draws
+
+let handle t session req =
+  let t0 = Unix.gettimeofday () in
+  let response = handle_request t session req in
+  observe_request ~verb:(verb_name req)
+    ~status:(Wire.status_of_response response)
+    ~elapsed_ms:((Unix.gettimeofday () -. t0) *. 1000.0);
+  response
 
 (* ---------- connections ---------- *)
 

@@ -1,7 +1,15 @@
 module Json = Ac_analysis.Json
 module Api = Approxcount.Api
-module Colour_oracle = Approxcount.Colour_oracle
 module Error = Ac_runtime.Error
+module Trace = Ac_obs.Trace
+module Metrics = Ac_obs.Metrics
+
+(* Protocol version. Negotiation rule (docs/server.md): every message
+   may carry a "version" field; a missing field means version 1; a
+   peer seeing a version it does not speak refuses with a typed error;
+   unknown fields are always ignored, so additive evolution does not
+   bump the version. *)
+let protocol_version = 1
 
 type db_ref = Named of string | Inline of string | Session
 
@@ -16,28 +24,45 @@ type params = {
   timeout_ms : int option;
   max_heap_mb : int option;
   strict : bool;
+  trace : bool;
 }
 
 let params ?(eps = 0.25) ?(delta = 0.1) ?(method_ = Api.Auto) ?seed ?jobs
-    ?timeout_ms ?max_heap_mb ?(strict = false) ~db query =
-  { query; db; eps; delta; method_; seed; jobs; timeout_ms; max_heap_mb; strict }
+    ?timeout_ms ?max_heap_mb ?(strict = false) ?(trace = false) ~db query =
+  {
+    query;
+    db;
+    eps;
+    delta;
+    method_;
+    seed;
+    jobs;
+    timeout_ms;
+    max_heap_mb;
+    strict;
+    trace;
+  }
+
+type metrics_format = Metrics_json | Metrics_prometheus
+
+let metrics_format_name = function
+  | Metrics_json -> "json"
+  | Metrics_prometheus -> "prometheus"
+
+let metrics_format_of_name = function
+  | "json" -> Some Metrics_json
+  | "prometheus" | "prom" | "text" -> Some Metrics_prometheus
+  | _ -> None
 
 type request =
   | Count of params
   | Sample of { params : params; draws : int }
   | Use of string
   | Stats
+  | Metrics_req of { format : metrics_format }
   | Ping
 
-let method_of_name = function
-  | "auto" -> Some Api.Auto
-  | "fpras" -> Some Api.Fpras
-  | "fptras" | "fptras/tree-dp" -> Some (Api.Fptras Colour_oracle.Tree_dp)
-  | "fptras/generic" -> Some (Api.Fptras Colour_oracle.Generic)
-  | "fptras/direct" -> Some (Api.Fptras Colour_oracle.Direct)
-  | "exact" -> Some Api.Exact
-  | "brute" -> Some Api.Brute
-  | _ -> None
+let method_of_name = Api.method_of_string
 
 type attempt = { rung : string; error_class : string; error_message : string }
 
@@ -52,6 +77,7 @@ type outcome = {
   jobs : int;
   ticks : int;
   elapsed_ms : float;
+  trace : Trace.summary option;
   plan_cache : string;
   result_cache : string;
 }
@@ -64,15 +90,17 @@ type response =
       jobs : int;
       ticks : int;
       elapsed_ms : float;
+      trace : Trace.summary option;
     }
   | Used of { name : string; fingerprint : string; universe : int; size : int }
   | Stats_reply of Json.t
+  | Metrics_reply of { format : metrics_format; payload : Json.t }
   | Pong
   | Refused of { code : int; error_class : string; message : string }
 
 let status_of_response = function
   | Counted o -> if o.degraded then 3 else 0
-  | Sampled _ | Used _ | Stats_reply _ | Pong -> 0
+  | Sampled _ | Used _ | Stats_reply _ | Metrics_reply _ | Pong -> 0
   | Refused r -> r.code
 
 let response_of_error e =
@@ -94,9 +122,10 @@ let params_fields (p : params) =
     ("query", Json.String p.query);
     ("eps", Json.Float p.eps);
     ("delta", Json.Float p.delta);
-    ("method", Json.String (Api.method_name p.method_));
+    ("method", Json.String (Api.method_to_string p.method_));
     ("strict", Json.Bool p.strict);
   ]
+  @ (if p.trace then [ ("trace", Json.Bool true) ] else [])
   @ (match p.db with
     | Named n -> [ ("use", Json.String n) ]
     | Inline text -> [ ("db_inline", Json.String text) ]
@@ -106,33 +135,107 @@ let params_fields (p : params) =
   @ opt_int_field "timeout_ms" p.timeout_ms
   @ opt_int_field "max_heap_mb" p.max_heap_mb
 
+let version_field = ("version", Json.Int protocol_version)
+
 let request_to_json = function
-  | Count p -> Json.Obj (("verb", Json.String "count") :: params_fields p)
+  | Count p ->
+      Json.Obj (("verb", Json.String "count") :: version_field :: params_fields p)
   | Sample { params = p; draws } ->
       Json.Obj
-        ((("verb", Json.String "sample") :: params_fields p)
+        ((("verb", Json.String "sample") :: version_field :: params_fields p)
         @ [ ("draws", Json.Int draws) ])
   | Use name ->
-      Json.Obj [ ("verb", Json.String "use"); ("name", Json.String name) ]
-  | Stats -> Json.Obj [ ("verb", Json.String "stats") ]
-  | Ping -> Json.Obj [ ("verb", Json.String "ping") ]
+      Json.Obj
+        [ ("verb", Json.String "use"); version_field; ("name", Json.String name) ]
+  | Stats -> Json.Obj [ ("verb", Json.String "stats"); version_field ]
+  | Metrics_req { format } ->
+      Json.Obj
+        [
+          ("verb", Json.String "metrics");
+          version_field;
+          ("format", Json.String (metrics_format_name format));
+        ]
+  | Ping -> Json.Obj [ ("verb", Json.String "ping"); version_field ]
 
-let telemetry_json ~seed ~jobs ~ticks ~elapsed_ms =
+let trace_summary_json (s : Trace.summary) =
   Json.Obj
     [
-      ("seed", Json.Int seed);
-      ("jobs", Json.Int jobs);
-      ("ticks", Json.Int ticks);
-      ("elapsed_ms", Json.Float elapsed_ms);
+      ("spans", Json.Int s.Trace.spans);
+      ("dropped", Json.Int s.Trace.summary_dropped);
+      ("wall_ms", Json.Float s.Trace.wall_ms);
+      ( "aggs",
+        Json.List
+          (List.map
+             (fun (a : Trace.agg) ->
+               Json.Obj
+                 [
+                   ("name", Json.String a.Trace.agg_name);
+                   ("count", Json.Int a.Trace.count);
+                   ("total_ms", Json.Float a.Trace.total_ms);
+                   ("ticks", Json.Int a.Trace.agg_ticks);
+                 ])
+             s.Trace.aggs) );
     ]
+
+let telemetry_json ?trace ~seed ~jobs ~ticks ~elapsed_ms () =
+  Json.Obj
+    ([
+       ("seed", Json.Int seed);
+       ("jobs", Json.Int jobs);
+       ("ticks", Json.Int ticks);
+       ("elapsed_ms", Json.Float elapsed_ms);
+     ]
+    @
+    match trace with
+    | None -> []
+    | Some s -> [ ("trace", trace_summary_json s) ])
+
+(* The registry snapshot as structured JSON: one entry per series.
+   Histogram bucket upper bounds are the stable
+   [Ac_obs.Metrics.bucket_bounds] contract, so only counts travel. *)
+let metrics_json registry =
+  let labels_json labels =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+  in
+  let metric_json (m : Metrics.metric) =
+    let value_fields =
+      match m.Metrics.value with
+      | Metrics.Counter v ->
+          [ ("type", Json.String "counter"); ("value", Json.Int v) ]
+      | Metrics.Gauge v ->
+          [ ("type", Json.String "gauge"); ("value", Json.Int v) ]
+      | Metrics.Histogram h ->
+          [
+            ("type", Json.String "histogram");
+            ("count", Json.Int h.Metrics.count);
+            ("sum", Json.Float h.Metrics.sum);
+            ( "buckets",
+              Json.List
+                (Array.to_list
+                   (Array.map (fun c -> Json.Int c) h.Metrics.counts)) );
+          ]
+    in
+    Json.Obj
+      (("name", Json.String m.Metrics.metric_name)
+      :: ("labels", labels_json m.Metrics.metric_labels)
+      :: value_fields)
+  in
+  Json.List (List.map metric_json (Metrics.snapshot registry))
+
+let metrics_payload ~format registry =
+  match format with
+  | Metrics_json -> metrics_json registry
+  | Metrics_prometheus -> Json.String (Metrics.to_prometheus registry)
 
 let response_to_json r =
   let status = ("status", Json.Int (status_of_response r)) in
+  let version = version_field in
   match r with
   | Counted o ->
       Json.Obj
         [
           status;
+          version;
           ("verb", Json.String "count");
           ("estimate", Json.Float o.estimate);
           ("estimate_hex", Json.String (Printf.sprintf "%h" o.estimate));
@@ -153,8 +256,8 @@ let response_to_json r =
                      ])
                  o.attempts) );
           ( "telemetry",
-            telemetry_json ~seed:o.seed ~jobs:o.jobs ~ticks:o.ticks
-              ~elapsed_ms:o.elapsed_ms );
+            telemetry_json ?trace:o.trace ~seed:o.seed ~jobs:o.jobs
+              ~ticks:o.ticks ~elapsed_ms:o.elapsed_ms () );
           ( "cache",
             Json.Obj
               [
@@ -166,6 +269,7 @@ let response_to_json r =
       Json.Obj
         [
           status;
+          version;
           ("verb", Json.String "sample");
           ( "samples",
             Json.List
@@ -176,13 +280,14 @@ let response_to_json r =
                        Json.List
                          (Array.to_list (Array.map (fun v -> Json.Int v) tau)))) );
           ( "telemetry",
-            telemetry_json ~seed:s.seed ~jobs:s.jobs ~ticks:s.ticks
-              ~elapsed_ms:s.elapsed_ms );
+            telemetry_json ?trace:s.trace ~seed:s.seed ~jobs:s.jobs
+              ~ticks:s.ticks ~elapsed_ms:s.elapsed_ms () );
         ]
   | Used u ->
       Json.Obj
         [
           status;
+          version;
           ("verb", Json.String "use");
           ("name", Json.String u.name);
           ("fingerprint", Json.String u.fingerprint);
@@ -190,12 +295,23 @@ let response_to_json r =
           ("size", Json.Int u.size);
         ]
   | Stats_reply blob ->
-      Json.Obj [ status; ("verb", Json.String "stats"); ("stats", blob) ]
-  | Pong -> Json.Obj [ status; ("verb", Json.String "ping") ]
+      Json.Obj
+        [ status; version; ("verb", Json.String "stats"); ("stats", blob) ]
+  | Metrics_reply { format; payload } ->
+      Json.Obj
+        [
+          status;
+          version;
+          ("verb", Json.String "metrics");
+          ("format", Json.String (metrics_format_name format));
+          ("metrics", payload);
+        ]
+  | Pong -> Json.Obj [ status; version; ("verb", Json.String "ping") ]
   | Refused r ->
       Json.Obj
         [
           status;
+          version;
           ( "error",
             Json.Obj
               [
@@ -262,9 +378,36 @@ let params_of_json j =
   let* timeout_ms = opt_int "timeout_ms" j in
   let* max_heap_mb = opt_int "max_heap_mb" j in
   let* strict = opt_bool "strict" ~default:false j in
-  Ok { query; db; eps; delta; method_; seed; jobs; timeout_ms; max_heap_mb; strict }
+  let* trace = opt_bool "trace" ~default:false j in
+  Ok
+    {
+      query;
+      db;
+      eps;
+      delta;
+      method_;
+      seed;
+      jobs;
+      timeout_ms;
+      max_heap_mb;
+      strict;
+      trace;
+    }
+
+(* The negotiation rule: absent means version 1, anything we do not
+   speak is a hard (typed) refusal — never a silent misparse. *)
+let check_version j =
+  match Json.mem "version" j with
+  | None | Some Json.Null -> Ok ()
+  | Some (Json.Int v) when v = protocol_version -> Ok ()
+  | Some (Json.Int v) ->
+      Error
+        (Printf.sprintf "unsupported protocol version %d (this peer speaks %d)"
+           v protocol_version)
+  | Some _ -> Error "field \"version\" must be an integer"
 
 let request_of_json j =
+  let* () = check_version j in
   let* verb = req_str "verb" j in
   match verb with
   | "count" ->
@@ -280,8 +423,45 @@ let request_of_json j =
       let* name = req_str "name" j in
       Ok (Use name)
   | "stats" -> Ok Stats
+  | "metrics" -> (
+      match field_or "format" (Json.String "json") j with
+      | Json.String f -> (
+          match metrics_format_of_name f with
+          | Some format -> Ok (Metrics_req { format })
+          | None -> Error (Printf.sprintf "unknown metrics format %S" f))
+      | _ -> Error "field \"format\" must be a string")
   | "ping" -> Ok Ping
   | v -> Error (Printf.sprintf "unknown verb %S" v)
+
+let trace_summary_of_json t =
+  let aggs =
+    match Json.mem "aggs" t with
+    | Some (Json.List items) ->
+        List.filter_map
+          (fun item ->
+            match
+              ( Option.bind (Json.mem "name" item) Json.to_str,
+                Option.bind (Json.mem "count" item) Json.to_int,
+                Option.bind (Json.mem "total_ms" item) Json.to_float,
+                Option.bind (Json.mem "ticks" item) Json.to_int )
+            with
+            | Some agg_name, Some count, Some total_ms, Some agg_ticks ->
+                Some { Trace.agg_name; count; total_ms; agg_ticks }
+            | _ -> None)
+          items
+    | _ -> []
+  in
+  {
+    Trace.spans =
+      Option.value (Option.bind (Json.mem "spans" t) Json.to_int) ~default:0;
+    summary_dropped =
+      Option.value (Option.bind (Json.mem "dropped" t) Json.to_int) ~default:0;
+    wall_ms =
+      Option.value
+        (Option.bind (Json.mem "wall_ms" t) Json.to_float)
+        ~default:0.0;
+    aggs;
+  }
 
 let telemetry_of_json j =
   match Json.mem "telemetry" j with
@@ -293,7 +473,12 @@ let telemetry_of_json j =
           Option.bind (Json.mem "elapsed_ms" t) Json.to_float )
       with
       | Some seed, Some jobs, Some ticks, Some elapsed_ms ->
-          Ok (seed, jobs, ticks, elapsed_ms)
+          let trace =
+            match Json.mem "trace" t with
+            | Some (Json.Obj _ as tr) -> Some (trace_summary_of_json tr)
+            | _ -> None
+          in
+          Ok (seed, jobs, ticks, elapsed_ms, trace)
       | _ -> Error "malformed \"telemetry\" object")
   | None -> Error "missing \"telemetry\" object"
 
@@ -339,7 +524,7 @@ let counted_of_json j =
         |> Result.map List.rev
     | _ -> Error "field \"attempts\" must be a list"
   in
-  let* seed, jobs, ticks, elapsed_ms = telemetry_of_json j in
+  let* seed, jobs, ticks, elapsed_ms, trace = telemetry_of_json j in
   let cache_field name =
     match Json.mem "cache" j with
     | Some c -> (
@@ -361,6 +546,7 @@ let counted_of_json j =
          jobs;
          ticks;
          elapsed_ms;
+         trace;
          plan_cache = cache_field "plan";
          result_cache = cache_field "result";
        })
@@ -395,10 +581,11 @@ let sampled_of_json j =
         Ok (Array.of_list (List.rev rev))
     | _ -> Error "missing \"samples\" list"
   in
-  let* seed, jobs, ticks, elapsed_ms = telemetry_of_json j in
-  Ok (Sampled { samples; seed; jobs; ticks; elapsed_ms })
+  let* seed, jobs, ticks, elapsed_ms, trace = telemetry_of_json j in
+  Ok (Sampled { samples; seed; jobs; ticks; elapsed_ms; trace })
 
 let response_of_json j =
+  let* () = check_version j in
   match Json.mem "error" j with
   | Some err ->
       let code =
@@ -440,6 +627,18 @@ let response_of_json j =
           match Json.mem "stats" j with
           | Some blob -> Ok (Stats_reply blob)
           | None -> Error "missing \"stats\" object")
+      | "metrics" -> (
+          let* format =
+            match field_or "format" (Json.String "json") j with
+            | Json.String f -> (
+                match metrics_format_of_name f with
+                | Some format -> Ok format
+                | None -> Error (Printf.sprintf "unknown metrics format %S" f))
+            | _ -> Error "field \"format\" must be a string"
+          in
+          match Json.mem "metrics" j with
+          | Some payload -> Ok (Metrics_reply { format; payload })
+          | None -> Error "missing \"metrics\" payload")
       | "ping" -> Ok Pong
       | v -> Error (Printf.sprintf "unknown response verb %S" v))
 

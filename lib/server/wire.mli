@@ -14,9 +14,18 @@
     wire bit-for-bit — the protocol preserves the
     same-seed-same-answer guarantee of the engine.
 
+    {b Versioning.} Every message may carry a ["version"] field
+    (absent = version 1 = {!protocol_version}). Unknown {e fields} are
+    ignored — additive evolution is free — but a peer that receives a
+    version it does not speak refuses the message with a typed error
+    instead of guessing. See [docs/server.md].
+
     See [docs/server.md] for the grammar and examples. *)
 
 module Json = Ac_analysis.Json
+
+(** The protocol version this build speaks (1). *)
+val protocol_version : int
 
 (** How a request names its database. *)
 type db_ref =
@@ -37,10 +46,13 @@ type params = {
   timeout_ms : int option;
   max_heap_mb : int option;
   strict : bool;
+  trace : bool;
+      (** ask the server to trace this request and return the span
+          summary inside the response telemetry *)
 }
 
 (** Builder with the CLI defaults ([eps = 0.25], [delta = 0.1],
-    [method_ = Auto], [strict = false]). *)
+    [method_ = Auto], [strict = false], [trace = false]). *)
 val params :
   ?eps:float ->
   ?delta:float ->
@@ -50,20 +62,28 @@ val params :
   ?timeout_ms:int ->
   ?max_heap_mb:int ->
   ?strict:bool ->
+  ?trace:bool ->
   db:db_ref ->
   string ->
   params
+
+(** Exposition format of the [METRICS] verb. *)
+type metrics_format = Metrics_json | Metrics_prometheus
+
+val metrics_format_name : metrics_format -> string
+val metrics_format_of_name : string -> metrics_format option
 
 type request =
   | Count of params
   | Sample of { params : params; draws : int }
   | Use of string
   | Stats
+  | Metrics_req of { format : metrics_format }
   | Ping
 
-(** Inverse of [Approxcount.Api.method_name] (["auto"], ["fpras"],
-    ["fptras/tree-dp"], ["fptras/generic"], ["fptras/direct"],
-    ["exact"], ["brute"]). *)
+(** The shared method codec — an alias for
+    [Approxcount.Api.method_of_string], so the wire and the CLI accept
+    exactly the same spellings. *)
 val method_of_name : string -> Approxcount.Api.method_ option
 
 (** One failed rung of the degradation trail, flattened for the wire. *)
@@ -81,6 +101,9 @@ type outcome = {
   jobs : int;
   ticks : int;
   elapsed_ms : float;
+  trace : Ac_obs.Trace.summary option;
+      (** span summary, present iff the request set [trace] (and the
+          outcome was computed, not replayed from the result cache) *)
   plan_cache : string;  (** ["hit"] | ["miss"] | ["bypass"] *)
   result_cache : string;
 }
@@ -93,9 +116,14 @@ type response =
       jobs : int;
       ticks : int;
       elapsed_ms : float;
+      trace : Ac_obs.Trace.summary option;
     }
   | Used of { name : string; fingerprint : string; universe : int; size : int }
   | Stats_reply of Json.t
+  | Metrics_reply of { format : metrics_format; payload : Json.t }
+      (** [payload] is the structured snapshot for [Metrics_json] and a
+          [Json.String] holding the Prometheus text exposition for
+          [Metrics_prometheus] *)
   | Pong
   | Refused of { code : int; error_class : string; message : string }
 
@@ -111,6 +139,18 @@ val request_to_json : request -> Json.t
 val request_of_json : Json.t -> (request, string) result
 val response_to_json : response -> Json.t
 val response_of_json : Json.t -> (response, string) result
+
+(** A span summary as carried inside the ["telemetry"] object. *)
+val trace_summary_json : Ac_obs.Trace.summary -> Json.t
+
+(** Registry snapshot as the [METRICS] JSON payload: a list of series
+    objects ([name], [labels], [type], and the kind-specific value
+    fields; histogram bucket bounds are the stable
+    [Ac_obs.Metrics.bucket_bounds] contract and do not travel). *)
+val metrics_json : Ac_obs.Metrics.t -> Json.t
+
+(** The payload for a [Metrics_reply] in the requested format. *)
+val metrics_payload : format:metrics_format -> Ac_obs.Metrics.t -> Json.t
 
 (** {2 Framing} *)
 

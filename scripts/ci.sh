@@ -29,6 +29,8 @@ if [ "${1:-}" = "--with-bench" ]; then
   dune exec bench/main.exe -- --parallel
   echo "== server bench (BENCH_server.json)"
   dune exec bench/main.exe -- --server
+  echo "== observability overhead (BENCH_obs.json, metrics p50 within 5%)"
+  dune exec bench/main.exe -- --obs
 fi
 
 echo "== CI green"

@@ -45,6 +45,22 @@ est3=$("$ACQ" count --connect "$sock" --use g -q "$query" --seed 11)
 hits=$("$ACQ" stats --connect "$sock" | grep -A5 '"result_cache"' | grep '"hits"' | tr -dc '0-9')
 [ "$hits" -ge 1 ] || { echo "smoke_server: expected a result-cache hit, counters say $hits"; exit 1; }
 
+# the METRICS verb: the JSON snapshot must carry the request counters,
+# and the Prometheus exposition must show a nonzero acq_requests_total
+"$ACQ" stats --connect "$sock" --metrics | grep -q '"acq_requests_total"' \
+  || { echo "smoke_server: METRICS (json) lacks acq_requests_total"; exit 1; }
+requests=$("$ACQ" stats --connect "$sock" --metrics --prometheus \
+  | grep '^acq_requests_total' | tr -s ' ' | cut -d' ' -f2 \
+  | awk '{ s += $1 } END { print s }')
+[ "${requests:-0}" -ge 3 ] || { echo "smoke_server: acq_requests_total says $requests, expected >= 3"; exit 1; }
+"$ACQ" stats --connect "$sock" --metrics --prometheus | grep -q '^acq_cache_hits_total{cache="result"} [1-9]' \
+  || { echo "smoke_server: expected a nonzero acq_cache_hits_total{cache=\"result\"}"; exit 1; }
+
+# a traced COUNT returns the span summary alongside the estimate
+trace="$workdir/trace.json"
+"$ACQ" count --connect "$sock" --use g -q "$query" --seed 13 --trace "$trace" >/dev/null
+grep -q '"aggs"' "$trace" || { echo "smoke_server: traced COUNT returned no span summary"; exit 1; }
+
 kill -TERM "$pid"
 status=0
 wait "$pid" || status=$?

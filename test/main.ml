@@ -30,5 +30,6 @@ let () =
       ("malformed", Test_malformed.tests);
       ("analysis", Test_analysis.tests);
       ("exec", Test_exec.tests);
+      ("obs", Test_obs.tests);
       ("server", Test_server.tests);
     ]

@@ -152,7 +152,7 @@ let test_api_sample_determinism () =
            ~method_:(Api.Fptras Colour_oracle.Tree_dp)
            ~seed:77 ~jobs diseq db)
     with
-    | Ok (samples, _) -> samples
+    | Ok s -> s.Api.draws
     | Error e -> Alcotest.failf "sample error: %s" (Error.message e)
   in
   let base = draw 1 in

@@ -70,6 +70,7 @@ let test_wire_estimate_bit_exact () =
           jobs = 2;
           ticks = 123;
           elapsed_ms = 1.5;
+          trace = None;
           plan_cache = "miss";
           result_cache = "miss";
         }
@@ -501,7 +502,7 @@ let test_inline_db () =
 (* ---------- the LRU itself ---------- *)
 
 let test_lru_eviction () =
-  let lru = Cache.Lru.create ~capacity:2 in
+  let lru = Cache.Lru.create ~capacity:2 () in
   Cache.Lru.add lru "a" 1;
   Cache.Lru.add lru "b" 2;
   ignore (Cache.Lru.find lru "a");
@@ -515,7 +516,7 @@ let test_lru_eviction () =
   Alcotest.(check int) "evictions" 1 s.Cache.evictions;
   Alcotest.(check int) "length" 2 s.Cache.length;
   (* capacity 0 disables caching entirely *)
-  let off = Cache.Lru.create ~capacity:0 in
+  let off = Cache.Lru.create ~capacity:0 () in
   Cache.Lru.add off "a" 1;
   Alcotest.(check (option int)) "disabled cache stores nothing" None
     (Cache.Lru.find off "a")
