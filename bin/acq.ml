@@ -255,6 +255,41 @@ let with_connection addr f =
       | Ok conn ->
           Fun.protect ~finally:(fun () -> Client.close conn) (fun () -> f conn))
 
+let retries_term =
+  let doc =
+    "With --connect: transport-fault retries (reconnect + resend under \
+     capped jittered backoff). Only idempotent requests — service verbs \
+     and seeded COUNT/SAMPLE — are ever retried; 0 disables."
+  in
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+
+let deadline_term =
+  let doc =
+    "With --connect: end-to-end deadline in milliseconds. Carried on the \
+     wire so the daemon sheds the request (exit 18) once it cannot be \
+     answered in time; also bounds the retry loop."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+(* Remote requests go through the durable client: reconnects and
+   retries are safe exactly when the request is idempotent, which the
+   client enforces. *)
+let with_durable addr ~retries ~deadline_ms f =
+  match Client.address_of_string addr with
+  | Error msg -> report (Error.Io { file = addr; msg })
+  | Ok address ->
+      let config =
+        {
+          Client.Durable.default_config with
+          Client.Durable.retries = max 0 retries;
+          deadline_ms;
+        }
+      in
+      let client = Client.Durable.create ~config address in
+      Fun.protect
+        ~finally:(fun () -> Client.Durable.close client)
+        (fun () -> f client)
+
 let report_refused ~error_class ~message code =
   Printf.eprintf "acq: error [%s]: %s\n%!" error_class message;
   code
@@ -268,13 +303,14 @@ let print_remote_telemetry ~verbose (o : Wire.outcome) =
       o.Wire.seed o.Wire.jobs o.Wire.ticks o.Wire.elapsed_ms o.Wire.plan_cache
       o.Wire.result_cache o.Wire.seed
 
-let remote_count conn ~verbose ?trace_file params =
-  match Client.call conn (Wire.Count params) with
+let remote_count client ~verbose ~hex ?trace_file params =
+  match Client.Durable.call client (Wire.Count params) with
   | Error e -> report e
   | Ok (Wire.Refused { code; error_class; message }) ->
       report_refused ~error_class ~message code
   | Ok (Wire.Counted o) ->
-      if o.Wire.exact then Printf.printf "%.0f\n" o.Wire.estimate
+      if hex then Printf.printf "%h\n" o.Wire.estimate
+      else if o.Wire.exact then Printf.printf "%.0f\n" o.Wire.estimate
       else Printf.printf "%.1f\n" o.Wire.estimate;
       (match (trace_file, o.Wire.trace) with
       | Some path, Some s ->
@@ -304,8 +340,8 @@ let remote_count conn ~verbose ?trace_file params =
       else 0
   | Ok _ -> report (Error.Internal "unexpected response to COUNT")
 
-let remote_sample conn ~verbose params ~draws =
-  match Client.call conn (Wire.Sample { params; draws }) with
+let remote_sample client ~verbose params ~draws =
+  match Client.Durable.call client (Wire.Sample { params; draws }) with
   | Error e -> report e
   | Ok (Wire.Refused { code; error_class; message }) ->
       report_refused ~error_class ~message code
@@ -334,9 +370,16 @@ let require_db = function
   | Some path -> Ok path
   | None -> Error (Error.Io { file = "<db>"; msg = "--db is required" })
 
+let hex_term =
+  let doc =
+    "Print the estimate bit-exactly (hexadecimal floating point, OCaml \
+     %h) — for comparing replays across processes and restarts."
+  in
+  Arg.(value & flag & info [ "hex" ] ~doc)
+
 let count_cmd =
   let local query_text db_path ~method_ ~eps ~delta ~seed ~jobs ~timeout_ms
-      ~max_heap_mb ~max_db_mb ~strict ~verbose ~trace_file ~trace_fmt =
+      ~max_heap_mb ~max_db_mb ~strict ~verbose ~hex ~trace_file ~trace_fmt =
     with_input ?max_db_mb query_text db_path (fun query db ->
         let budget = make_budget ~timeout_ms ~max_heap_mb in
         let tracer = Option.map (fun _ -> Trace.create ()) trace_file in
@@ -353,7 +396,8 @@ let count_cmd =
         match outcome with
         | Error e -> report e
         | Ok resp ->
-            if resp.Api.exact then Printf.printf "%.0f\n" resp.Api.estimate
+            if hex then Printf.printf "%h\n" resp.Api.estimate
+            else if resp.Api.exact then Printf.printf "%.0f\n" resp.Api.estimate
             else Printf.printf "%.1f\n" resp.Api.estimate;
             (match resp.Api.decision with
             | Some d -> Printf.eprintf "plan: %s\n%!" d.Planner.reason
@@ -397,8 +441,8 @@ let count_cmd =
             end)
   in
   let run query_text db_path connect use_name method_ engine eps delta seed
-      jobs timeout_ms max_heap_mb max_db_mb strict verbose trace_file
-      trace_fmt =
+      jobs timeout_ms deadline_ms retries max_heap_mb max_db_mb strict verbose
+      hex trace_file trace_fmt =
     let method_ = resolve_engine method_ engine in
     let jobs = if jobs <= 0 then None else Some jobs in
     match connect with
@@ -408,25 +452,27 @@ let count_cmd =
         | Ok db ->
             let params =
               Wire.params ~eps ~delta ~method_ ?seed ?jobs ?timeout_ms
-                ?max_heap_mb ~strict ~trace:(trace_file <> None) ~db query_text
+                ?deadline_ms ?max_heap_mb ~strict ~trace:(trace_file <> None)
+                ~db query_text
             in
-            with_connection addr (fun conn ->
-                remote_count conn ~verbose ?trace_file params))
+            with_durable addr ~retries ~deadline_ms (fun client ->
+                remote_count client ~verbose ~hex ?trace_file params))
     | None -> (
         match require_db db_path with
         | Error e -> report e
         | Ok db_path ->
             local query_text db_path ~method_ ~eps ~delta ~seed ~jobs
-              ~timeout_ms ~max_heap_mb ~max_db_mb ~strict ~verbose ~trace_file
-              ~trace_fmt)
+              ~timeout_ms ~max_heap_mb ~max_db_mb ~strict ~verbose ~hex
+              ~trace_file ~trace_fmt)
   in
   let doc = "Count the answers of a query in a database." in
   Cmd.v (Cmd.info "count" ~doc)
     Term.(
       const run $ query_term $ db_remotable_term $ connect_term $ use_term
       $ method_term $ engine_term $ epsilon_term $ delta_term $ seed_term
-      $ jobs_term $ timeout_term $ max_heap_term $ max_db_term $ strict_term
-      $ verbose_term $ trace_term $ trace_format_term)
+      $ jobs_term $ timeout_term $ deadline_term $ retries_term $ max_heap_term
+      $ max_db_term $ strict_term $ verbose_term $ hex_term $ trace_term
+      $ trace_format_term)
 
 let sample_cmd =
   let draws_term =
@@ -465,7 +511,7 @@ let sample_cmd =
             else 0)
   in
   let run query_text db_path connect use_name engine eps delta seed jobs draws
-      timeout_ms max_heap_mb max_db_mb verbose =
+      timeout_ms deadline_ms retries max_heap_mb max_db_mb verbose =
     let jobs = if jobs <= 0 then None else Some jobs in
     match connect with
     | Some addr -> (
@@ -474,10 +520,10 @@ let sample_cmd =
         | Ok db ->
             let params =
               Wire.params ~eps ~delta ~method_:(Api.Fptras engine) ?seed ?jobs
-                ?timeout_ms ?max_heap_mb ~db query_text
+                ?timeout_ms ?deadline_ms ?max_heap_mb ~db query_text
             in
-            with_connection addr (fun conn ->
-                remote_sample conn ~verbose params ~draws))
+            with_durable addr ~retries ~deadline_ms (fun client ->
+                remote_sample client ~verbose params ~draws))
     | None -> (
         match require_db db_path with
         | Error e -> report e
@@ -490,7 +536,8 @@ let sample_cmd =
     Term.(
       const run $ query_term $ db_remotable_term $ connect_term $ use_term
       $ engine_term $ epsilon_term $ delta_term $ seed_term $ jobs_term
-      $ draws_term $ timeout_term $ max_heap_term $ max_db_term $ verbose_term)
+      $ draws_term $ timeout_term $ deadline_term $ retries_term $ max_heap_term
+      $ max_db_term $ verbose_term)
 
 let widths_cmd =
   let run query_text =
@@ -673,6 +720,40 @@ let ping_cmd =
   let doc = "Check that an acqd daemon answers." in
   Cmd.v (Cmd.info "ping" ~doc) Term.(const run $ connect_req_term)
 
+let health_cmd =
+  let run addr =
+    with_connection addr (fun conn ->
+        match Client.call conn Wire.Health with
+        | Error e -> report e
+        | Ok (Wire.Health_reply h) ->
+            print_endline
+              (Ac_analysis.Json.to_string_pretty
+                 (Ac_analysis.Json.Obj
+                    [
+                      ("ready", Ac_analysis.Json.Bool h.Wire.ready);
+                      ("live", Ac_analysis.Json.Bool h.Wire.live);
+                      ("draining", Ac_analysis.Json.Bool h.Wire.draining);
+                      ("in_flight", Ac_analysis.Json.Int h.Wire.in_flight);
+                      ( "queue_capacity",
+                        Ac_analysis.Json.Int h.Wire.queue_capacity );
+                      ( "catalog_entries",
+                        Ac_analysis.Json.Int h.Wire.catalog_entries );
+                      ("recovered", Ac_analysis.Json.Bool h.Wire.recovered);
+                      ("uptime_ms", Ac_analysis.Json.Float h.Wire.uptime_ms);
+                    ]));
+            (* probe semantics: exit 0 iff the daemon would serve a
+               request arriving now — scriptable as a readiness gate *)
+            if h.Wire.ready && h.Wire.live then 0 else 1
+        | Ok (Wire.Refused { code; error_class; message }) ->
+            report_refused ~error_class ~message code
+        | Ok _ -> report (Error.Internal "unexpected response to HEALTH"))
+  in
+  let doc =
+    "Probe an acqd daemon's health: readiness/liveness, queue depth, \
+     catalog size and the crash-recovery flag. Exit 0 when ready."
+  in
+  Cmd.v (Cmd.info "health" ~doc) Term.(const run $ connect_req_term)
+
 let stats_cmd =
   let metrics_term =
     Arg.(
@@ -736,4 +817,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ count_cmd; sample_cmd; widths_cmd; lint_cmd; explain_cmd;
-            generate_cmd; ping_cmd; stats_cmd ]))
+            generate_cmd; ping_cmd; health_cmd; stats_cmd ]))

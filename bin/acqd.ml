@@ -51,6 +51,22 @@ let timeout_term =
   in
   Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
 
+let manifest_term =
+  let doc =
+    "Crash-recovery manifest: the catalog (name, path, fingerprint) is \
+     snapshotted to $(docv) with an atomic rename after every load, and \
+     replayed — fingerprints re-verified — on restart. STATS/HEALTH \
+     then report recovered=true."
+  in
+  Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+
+let force_term =
+  let doc =
+    "Clean up a stale socket file (one no daemon answers on) instead of \
+     refusing to start. Never steals a socket a live daemon holds."
+  in
+  Arg.(value & flag & info [ "force" ] ~doc)
+
 let verbose_term =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty stderr diagnostics.")
 
@@ -62,7 +78,8 @@ let parse_load spec =
           String.sub spec (i + 1) (String.length spec - i - 1) )
   | _ -> Error (Printf.sprintf "--load %S: expected NAME=FILE" spec)
 
-let run socket tcp loads queue plan_cache result_cache timeout_ms verbose =
+let run socket tcp loads queue plan_cache result_cache timeout_ms manifest
+    force verbose =
   let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "acqd: %s\n%!" m) fmt in
   let config =
     {
@@ -70,10 +87,26 @@ let run socket tcp loads queue plan_cache result_cache timeout_ms verbose =
       plan_cache_capacity = plan_cache;
       result_cache_capacity = result_cache;
       default_timeout_ms = timeout_ms;
+      manifest;
       verbose;
     }
   in
   let server = Server.create ~config () in
+  (* crash recovery first: replay the manifest (if any), then let
+     explicit --load flags override or extend what it restored *)
+  let recovery =
+    match Server.recover server with
+    | Ok [] -> Ok ()
+    | Ok names ->
+        if verbose then
+          Printf.eprintf "acqd: recovered %s from manifest\n%!"
+            (String.concat ", " names);
+        Ok ()
+    | Error e ->
+        fail "cannot recover catalog: [%s] %s" (Error.class_name e)
+          (Error.message e);
+        Error (Error.exit_code e)
+  in
   (* load the catalog before binding: a daemon that cannot serve its
      databases should not be connectable *)
   let rec load_all = function
@@ -84,7 +117,7 @@ let run socket tcp loads queue plan_cache result_cache timeout_ms verbose =
             fail "%s" msg;
             Error 124
         | Ok (name, path) -> (
-            match Catalog.load (Server.catalog server) ~name ~path with
+            match Server.load_db server ~name ~path with
             | Ok entry ->
                 if verbose then
                   Printf.eprintf
@@ -97,32 +130,37 @@ let run socket tcp loads queue plan_cache result_cache timeout_ms verbose =
                   (Error.message e);
                 Error (Error.exit_code e)))
   in
-  match load_all loads with
-  | Error code -> code
-  | Ok () -> (
-      let listeners = [] in
+  match (recovery, load_all loads) with
+  | Error code, _ | _, Error code -> code
+  | Ok (), Ok () -> (
       let listeners =
         match socket with
-        | None -> listeners
-        | Some path -> Server.listen_unix ~path :: listeners
+        | None -> Ok []
+        | Some path -> (
+            match Server.listen_unix ~force ~path () with
+            | Ok fd -> Ok [ fd ]
+            | Error e ->
+                fail "cannot listen on unix:%s: [%s] %s" path
+                  (Error.class_name e) (Error.message e);
+                Error (Error.exit_code e))
       in
       let listeners =
-        match tcp with
-        | None -> listeners
-        | Some spec -> (
+        match (listeners, tcp) with
+        | Error _, _ | _, None -> listeners
+        | Ok acc, Some spec -> (
             match Ac_server.Client.address_of_string ("tcp:" ^ spec) with
             | Ok (Ac_server.Client.Tcp (host, port)) ->
-                Server.listen_tcp ~host ~port :: listeners
+                Ok (Server.listen_tcp ~host ~port :: acc)
             | _ ->
                 fail "--tcp %S: expected HOST:PORT" spec;
-                []
-            )
+                Error 124)
       in
       match listeners with
-      | [] ->
+      | Error code -> code
+      | Ok [] ->
           fail "nothing to listen on (need --socket and/or --tcp)";
           124
-      | listeners ->
+      | Ok listeners ->
           let stop _ = Server.request_stop server in
           Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
@@ -153,6 +191,7 @@ let () =
   let term =
     Term.(
       const run $ socket_term $ tcp_term $ load_term $ queue_term
-      $ plan_cache_term $ result_cache_term $ timeout_term $ verbose_term)
+      $ plan_cache_term $ result_cache_term $ timeout_term $ manifest_term
+      $ force_term $ verbose_term)
   in
   exit (Cmd.eval' (Cmd.v info term))

@@ -71,3 +71,85 @@ let wrap t ?(site = "wrap") f x =
 let wrap_oracle t ?(site = "oracle") f x =
   guard t site;
   f x
+
+(* ---------- wire-level fault plans ---------- *)
+
+type wire_fault =
+  | Truncate_frame of int
+  | Delay_frame_ms of int
+  | Drop_connection
+  | Garbage_bytes of int
+  | Duplicate_frame
+
+let wire_fault_name = function
+  | Truncate_frame n -> Printf.sprintf "truncate(%d)" n
+  | Delay_frame_ms ms -> Printf.sprintf "delay(%dms)" ms
+  | Drop_connection -> "drop"
+  | Garbage_bytes n -> Printf.sprintf "garbage(%d)" n
+  | Duplicate_frame -> "duplicate"
+
+module Wire_plan = struct
+  type t = {
+    plan : (int, wire_fault) Hashtbl.t;
+    p_fault : float;
+    delay_ms : int;
+    rng : Random.State.t;
+    mutex : Mutex.t;
+    mutable frames : int;
+    mutable log : (int * wire_fault) list;
+  }
+
+  let create ?(faults = []) ?(p_fault = 0.0) ?(delay_ms = 5) ~seed () =
+    let table = Hashtbl.create 8 in
+    List.iter (fun (i, f) -> Hashtbl.replace table i f) faults;
+    {
+      plan = table;
+      p_fault;
+      delay_ms;
+      rng = Random.State.make [| seed; 0x31173 |];
+      mutex = Mutex.create ();
+      frames = 0;
+      log = [];
+    }
+
+  (* One decision per frame. As with [guard], every frame advances the
+     random stream by a fixed number of draws, so the event sequence
+     depends only on the seed and the frame count — never on the plan
+     or on which faults actually fired. *)
+  let next t =
+    Mutex.lock t.mutex;
+    t.frames <- t.frames + 1;
+    let r_fault = Random.State.float t.rng 1.0 in
+    let r_kind = Random.State.int t.rng 5 in
+    let decision =
+      match Hashtbl.find_opt t.plan t.frames with
+      | Some f -> Some f
+      | None ->
+          if r_fault < t.p_fault then
+            Some
+              (match r_kind with
+              | 0 -> Truncate_frame 3
+              | 1 -> Delay_frame_ms t.delay_ms
+              | 2 -> Drop_connection
+              | 3 -> Garbage_bytes 16
+              | _ -> Duplicate_frame)
+          else None
+    in
+    (match decision with
+    | Some f -> t.log <- (t.frames, f) :: t.log
+    | None -> ());
+    Mutex.unlock t.mutex;
+    decision
+
+  let frames t =
+    Mutex.lock t.mutex;
+    let n = t.frames in
+    Mutex.unlock t.mutex;
+    n
+
+  let history t =
+    Mutex.lock t.mutex;
+    let l = List.rev t.log in
+    Mutex.unlock t.mutex;
+    l
+end

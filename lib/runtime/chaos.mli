@@ -50,3 +50,49 @@ val wrap : t -> ?site:string -> ('a -> 'b) -> 'a -> 'b
 
 (** {!wrap} specialised to decision oracles, for intent. *)
 val wrap_oracle : t -> ?site:string -> ('a -> bool) -> 'a -> bool
+
+(** {1 Wire-level faults}
+
+    The connection-fault vocabulary of the chaos proxy
+    ([Ac_server.Chaos_proxy]): what can happen to one response frame on
+    its way back to the client. *)
+
+type wire_fault =
+  | Truncate_frame of int
+      (** forward only the first [n] bytes, then drop the connection *)
+  | Delay_frame_ms of int  (** hold the frame for [n] ms, then forward *)
+  | Drop_connection  (** drop the connection instead of forwarding *)
+  | Garbage_bytes of int
+      (** replace the frame with [n] garbage bytes (the connection
+          stays open — the peer must resynchronise) *)
+  | Duplicate_frame  (** forward the frame twice *)
+
+(** Stable short rendering: [truncate(3)], [delay(5ms)], [drop],
+    [garbage(16)], [duplicate]. *)
+val wire_fault_name : wire_fault -> string
+
+(** A seeded per-frame fault schedule, the wire analogue of the
+    call-site plan above: positional [faults] (1-based frame numbers)
+    take precedence, then a per-frame probability draw. Same seed, same
+    fault sequence — every proxy failure mode is replayable. Thread-safe
+    (the proxy consults it from per-connection pump threads). *)
+module Wire_plan : sig
+  type t
+
+  val create :
+    ?faults:(int * wire_fault) list ->
+    ?p_fault:float ->
+    ?delay_ms:int ->
+    seed:int ->
+    unit ->
+    t
+
+  (** Decision for the next frame (advances the frame counter). *)
+  val next : t -> wire_fault option
+
+  (** Frames decided so far. *)
+  val frames : t -> int
+
+  (** Faults fired so far, oldest first, with their frame numbers. *)
+  val history : t -> (int * wire_fault) list
+end

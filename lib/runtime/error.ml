@@ -7,6 +7,8 @@ type t =
   | Fault of string
   | Overloaded of string
   | Internal of string
+  | Deadline_exceeded of { deadline_ms : int; msg : string }
+  | Retry_unsafe of { verb : string; msg : string }
 
 exception E of t
 
@@ -19,6 +21,10 @@ let message = function
   | Fault msg -> "injected fault: " ^ msg
   | Overloaded msg -> "overloaded: " ^ msg
   | Internal msg -> "internal error: " ^ msg
+  | Deadline_exceeded { deadline_ms; msg } ->
+      Printf.sprintf "deadline exceeded (%d ms): %s" deadline_ms msg
+  | Retry_unsafe { verb; msg } ->
+      Printf.sprintf "%s cannot be retried safely: %s" verb msg
 
 let class_name = function
   | Parse _ -> "parse"
@@ -29,6 +35,8 @@ let class_name = function
   | Fault _ -> "fault"
   | Overloaded _ -> "overloaded"
   | Internal _ -> "internal"
+  | Deadline_exceeded _ -> "deadline"
+  | Retry_unsafe _ -> "retry"
 
 let exit_code = function
   | Parse _ -> 10
@@ -39,6 +47,8 @@ let exit_code = function
   | Fault _ -> 15
   | Internal _ -> 16
   | Overloaded _ -> 17
+  | Deadline_exceeded _ -> 18
+  | Retry_unsafe _ -> 19
 
 let of_exn = function
   | E e -> Some e

@@ -21,17 +21,26 @@ type t =
       (** admission control refused the request: the server's bounded
           queue is full — retry later, the server is healthy *)
   | Internal of string  (** everything else — a bug if a user sees it *)
+  | Deadline_exceeded of { deadline_ms : int; msg : string }
+      (** the request's end-to-end deadline passed before (or instead
+          of) an answer: shed at admission, or the client-side retry
+          loop ran out of time *)
+  | Retry_unsafe of { verb : string; msg : string }
+      (** a transport fault hit a non-idempotent request (unseeded
+          COUNT/SAMPLE): retrying could double-spend or change the
+          answer, so the client refuses instead of guessing *)
 
 exception E of t
 
 val message : t -> string
 
 (** Stable class slug: parse | io | signature | budget | overflow |
-    fault | overloaded | internal. *)
+    fault | overloaded | internal | deadline | retry. *)
 val class_name : t -> string
 
 (** CLI exit codes: 10 parse, 11 io, 12 signature, 13 budget,
-    14 overflow, 15 fault, 16 internal, 17 overloaded. *)
+    14 overflow, 15 fault, 16 internal, 17 overloaded, 18 deadline,
+    19 retry. *)
 val exit_code : t -> int
 
 (** Map an exception to its typed error; [None] for exceptions that

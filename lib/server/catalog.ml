@@ -17,6 +17,7 @@ type entry = {
   universe : int;
   size : int;
   relations : relation_stats list;
+  source : string option;
 }
 
 type t = {
@@ -42,7 +43,7 @@ let stats_of db =
       })
     (Structure.symbols db)
 
-let entry_of ~name ~fingerprint db =
+let entry_of ?source ~name ~fingerprint db =
   {
     name;
     db;
@@ -50,6 +51,7 @@ let entry_of ~name ~fingerprint db =
     universe = Structure.universe_size db;
     size = Structure.size db;
     relations = stats_of db;
+    source;
   }
 
 let locked t f =
@@ -65,7 +67,7 @@ let load t ~name ~path =
   match Structure_io.load_fingerprinted path with
   | Error e -> Error e
   | Ok { Structure_io.db; fingerprint } ->
-      let entry = entry_of ~name ~fingerprint db in
+      let entry = entry_of ~source:path ~name ~fingerprint db in
       locked t (fun () -> Hashtbl.replace t.table name entry);
       Ok entry
 

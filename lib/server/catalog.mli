@@ -26,6 +26,9 @@ type entry = {
   universe : int;
   size : int;  (** the paper's [‖D‖] *)
   relations : relation_stats list;  (** sorted by symbol *)
+  source : string option;
+      (** the file the entry was {!load}ed from — what the recovery
+          manifest replays after a crash; [None] for in-memory entries *)
 }
 
 type t

@@ -1,0 +1,179 @@
+module Chaos = Ac_runtime.Chaos
+
+type t = {
+  path : string;
+  listener : Unix.file_descr;
+  plan : Chaos.Wire_plan.t;
+  stopping : bool Atomic.t;
+  mutex : Mutex.t;
+  mutable accept_thread : Thread.t option;
+  mutable conn_threads : Thread.t list;
+  mutable conn_fds : Unix.file_descr list;
+}
+
+let plan t = t.plan
+let path t = t.path
+
+(* ---------- byte plumbing ---------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Printable junk that can never parse as JSON — visible in a captured
+   stream, guaranteed to produce a framing error at the peer. *)
+let garbage n = String.init n (fun i -> "#?!%&*~^".[i mod 8])
+
+let quietly f = try f () with Unix.Unix_error _ | Sys_error _ -> ()
+
+(* Requests pass through untouched: the harness models a flaky
+   {e response} path, which is where retry correctness is interesting
+   (the client cannot tell a lost request from a lost reply). *)
+let pump_requests ~client ~upstream () =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read client buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+        let rec put off =
+          if off < n then
+            match Unix.write upstream buf off (n - off) with
+            | written -> put (off + written)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> put off
+        in
+        put 0;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ();
+  (* EOF from the client: tell the upstream server the session is over *)
+  quietly (fun () -> Unix.shutdown upstream Unix.SHUTDOWN_SEND)
+
+(* Response frames are read whole (newline-delimited), and the fault
+   plan decides the fate of each one. Returns when the upstream closes
+   or a connection-killing fault fires. *)
+let pump_responses t ~upstream_ic ~client () =
+  let rec go () =
+    match input_line upstream_ic with
+    | exception (End_of_file | Sys_error _) -> `Upstream_closed
+    | frame -> (
+        match Chaos.Wire_plan.next t.plan with
+        | None ->
+            write_all client (frame ^ "\n");
+            go ()
+        | Some (Chaos.Truncate_frame n) ->
+            write_all client (String.sub frame 0 (min n (String.length frame)));
+            `Killed
+        | Some (Chaos.Delay_frame_ms ms) ->
+            Unix.sleepf (float_of_int ms /. 1000.0);
+            write_all client (frame ^ "\n");
+            go ()
+        | Some Chaos.Drop_connection -> `Killed
+        | Some (Chaos.Garbage_bytes n) ->
+            write_all client (garbage n ^ "\n");
+            go ()
+        | Some Chaos.Duplicate_frame ->
+            write_all client (frame ^ "\n");
+            write_all client (frame ^ "\n");
+            go ())
+  in
+  ignore (go () : [ `Upstream_closed | `Killed ])
+
+let handle_connection t ~serve client =
+  let upstream_client, upstream_server =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  (* the real server speaks on its own descriptor, oblivious to the
+     proxy — exactly the code path production connections take *)
+  let server_thread = Thread.create (fun () -> serve upstream_server) () in
+  let req_thread =
+    Thread.create (pump_requests ~client ~upstream:upstream_client) ()
+  in
+  let upstream_ic = Unix.in_channel_of_descr upstream_client in
+  (match pump_responses t ~upstream_ic ~client () with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ()
+  | exception Sys_error _ -> ());
+  (* kill the client side first (wakes the request pump), then unwind *)
+  quietly (fun () -> Unix.shutdown client Unix.SHUTDOWN_ALL);
+  quietly (fun () -> Unix.close client);
+  Thread.join req_thread;
+  quietly (fun () -> Unix.close upstream_client);
+  Thread.join server_thread
+
+let accept_loop t ~serve () =
+  let rec go () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.accept t.listener with
+      | client, _ when Atomic.get t.stopping ->
+          (* the wake-up connection from [stop] *)
+          quietly (fun () -> Unix.close client)
+      | client, _ ->
+          let thread = Thread.create (fun () -> handle_connection t ~serve client) () in
+          Mutex.lock t.mutex;
+          t.conn_threads <- thread :: t.conn_threads;
+          t.conn_fds <- client :: t.conn_fds;
+          Mutex.unlock t.mutex
+      | exception Unix.Unix_error _ -> ());
+      go ()
+    end
+  in
+  go ()
+
+let start ~path ~plan ~serve () =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 16;
+  let t =
+    {
+      path;
+      listener;
+      plan;
+      stopping = Atomic.make false;
+      mutex = Mutex.create ();
+      accept_thread = None;
+      conn_threads = [];
+      conn_fds = [];
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t ~serve) ());
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Closing a listener does NOT wake a thread blocked in accept(2)
+       on Linux. Shutting it down does; the self-connect is the
+       portable fallback (the accept loop recognises it via the
+       stopping flag and just closes it). *)
+    quietly (fun () -> Unix.shutdown t.listener Unix.SHUTDOWN_ALL);
+    quietly (fun () ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> quietly (fun () -> Unix.close fd))
+          (fun () -> Unix.connect fd (Unix.ADDR_UNIX t.path)));
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    t.accept_thread <- None;
+    quietly (fun () -> Unix.close t.listener);
+    Mutex.lock t.mutex;
+    let fds = t.conn_fds and threads = t.conn_threads in
+    t.conn_fds <- [];
+    t.conn_threads <- [];
+    Mutex.unlock t.mutex;
+    List.iter
+      (fun fd -> quietly (fun () -> Unix.shutdown fd Unix.SHUTDOWN_ALL))
+      fds;
+    List.iter Thread.join threads;
+    quietly (fun () -> Unix.unlink t.path)
+  end

@@ -1,0 +1,38 @@
+(** A fault-injecting proxy between a wire client and the daemon.
+
+    The proxy listens on its own Unix-domain socket; each accepted
+    connection is bridged to a fresh server-side descriptor (handed to
+    the [serve] callback — in tests, [Server.serve_connection]) through
+    two pumps. Requests pass through {e untouched}; every {e response}
+    frame is submitted to the shared [Ac_runtime.Chaos.Wire_plan],
+    which can truncate it mid-frame, delay it, drop the connection,
+    replace it with printable garbage (the connection stays open — the
+    client must resynchronise), or duplicate it. The plan is seeded, so
+    every failure mode a test observes is replayable from the seed.
+
+    The client cannot tell a lost request from a lost reply — faulting
+    only the response path therefore exercises the full retry /
+    idempotency surface while keeping the injected fault sequence
+    deterministic (requests never consume plan decisions). *)
+
+type t
+
+(** [start ~path ~plan ~serve ()] binds [path] (an existing socket file
+    is replaced) and starts accepting. Each connection runs [serve] on
+    its own thread with a private descriptor; [serve] must close it
+    (as [Server.serve_connection] does). *)
+val start :
+  path:string ->
+  plan:Ac_runtime.Chaos.Wire_plan.t ->
+  serve:(Unix.file_descr -> unit) ->
+  unit ->
+  t
+
+(** The shared fault plan (for inspecting [history] after a run). *)
+val plan : t -> Ac_runtime.Chaos.Wire_plan.t
+
+val path : t -> string
+
+(** Stop accepting, tear down live connections, join every thread and
+    remove the socket file. Idempotent. *)
+val stop : t -> unit

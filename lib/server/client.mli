@@ -4,7 +4,21 @@
     connection (and therefore one server session — [USE] sticks).
     Calls are synchronous: {!call} writes one request line and blocks
     for the one response line. Not thread-safe; open one connection
-    per thread. *)
+    per thread.
+
+    Every error a client returns names the address it was talking to
+    (in the [file]/[source] field) and the verb it was sending (as a
+    message prefix) — a transport failure is attributable without
+    reproducing it.
+
+    {!Durable} layers fault tolerance on top: per-call deadlines, read
+    timeouts, reconnection, capped exponential backoff with
+    decorrelated jitter, and envelope request ids that make duplicated
+    or delayed frames harmless. It only ever retries {e idempotent}
+    requests ([Wire.idempotent]: service verbs and seeded
+    [COUNT]/[SAMPLE]); a transport fault on an unseeded request is
+    refused with a typed [Retry_unsafe] instead of silently answering
+    a different random experiment. *)
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -20,9 +34,60 @@ type t
 (** Connection failures surface as typed [Io] errors. *)
 val connect : address -> (t, Ac_runtime.Error.t) result
 
+val address : t -> address
+
 (** One round trip. [Error] covers transport failures (the server
     closing mid-call, malformed response JSON) — a server-side refusal
     is a successful call returning [Wire.Refused]. *)
 val call : t -> Wire.request -> (Wire.response, Ac_runtime.Error.t) result
 
 val close : t -> unit
+
+(** The retrying client. *)
+module Durable : sig
+  type config = {
+    retries : int;  (** max retries after the first attempt (default 3) *)
+    backoff_base_ms : float;  (** first sleep (default 10) *)
+    backoff_cap_ms : float;  (** sleep ceiling (default 500) *)
+    read_timeout_ms : int option;
+        (** per-receive [SO_RCVTIMEO]; an expired timer is treated as a
+            dead connection (reconnect + retry). Default none. *)
+    deadline_ms : int option;
+        (** default end-to-end deadline per {!call} when the request
+            itself names none. Default none. *)
+    seed : int;  (** seeds the backoff jitter (default 0) *)
+  }
+
+  val default_config : config
+
+  type t
+
+  (** No connection is opened until the first {!call} (and a dead one
+      is transparently reopened). *)
+  val create : ?config:config -> address -> t
+
+  val address : t -> address
+
+  (** Retries performed over the client's lifetime (also counted by the
+      [acq_retries_total] metric, labelled by verb). *)
+  val retries_total : t -> int
+
+  (** One logical request, transparently surviving transport faults:
+
+      - each attempt carries a fresh envelope id — a digest of the
+        canonical request plus the attempt number — and frames whose id
+        does not match are discarded, so duplicated or delayed frames
+        from earlier attempts are harmless;
+      - each attempt tells the server the {e remaining} deadline
+        ([deadline_ms] on the wire), so admission control can shed work
+        nobody will wait for; when the deadline passes, the call
+        returns a typed [Deadline_exceeded];
+      - transport faults on idempotent requests reconnect and retry
+        under capped decorrelated-jitter backoff; on non-idempotent
+        (unseeded) requests they return [Retry_unsafe];
+      - a decoded response, including a server-side [Refused], is final
+        — the retry layer never second-guesses the server. *)
+  val call : t -> Wire.request -> (Wire.response, Ac_runtime.Error.t) result
+
+  val close : t -> unit
+end

@@ -1,0 +1,72 @@
+type 'a outcome = Value of 'a | Raised of exn
+
+type 'a slot = {
+  mutex : Mutex.t;
+  done_ : Condition.t;
+  mutable outcome : 'a outcome option;
+}
+
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a slot) Hashtbl.t;
+  mutable led : int;
+  mutable followed : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); table = Hashtbl.create 8; led = 0; followed = 0 }
+
+type role = Leader | Follower
+
+let run t ~key f =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some slot ->
+      (* a retry of a request that is still being computed: wait for
+         the leader's answer instead of spending budget twice *)
+      t.followed <- t.followed + 1;
+      Mutex.unlock t.mutex;
+      Mutex.lock slot.mutex;
+      while slot.outcome = None do
+        Condition.wait slot.done_ slot.mutex
+      done;
+      let outcome = Option.get slot.outcome in
+      Mutex.unlock slot.mutex;
+      (match outcome with
+      | Value v -> (Follower, v)
+      | Raised e -> raise e)
+  | None ->
+      let slot =
+        { mutex = Mutex.create (); done_ = Condition.create (); outcome = None }
+      in
+      Hashtbl.replace t.table key slot;
+      t.led <- t.led + 1;
+      Mutex.unlock t.mutex;
+      let publish outcome =
+        (* unregister first so a request arriving after completion
+           starts fresh (the result cache serves it), then wake the
+           followers that joined while we ran *)
+        Mutex.lock t.mutex;
+        Hashtbl.remove t.table key;
+        Mutex.unlock t.mutex;
+        Mutex.lock slot.mutex;
+        slot.outcome <- Some outcome;
+        Condition.broadcast slot.done_;
+        Mutex.unlock slot.mutex
+      in
+      (match f () with
+      | v ->
+          publish (Value v);
+          (Leader, v)
+      | exception e ->
+          (* the contract is that [f] returns errors as values; an
+             escaping exception still must not strand followers *)
+          let bt = Printexc.get_raw_backtrace () in
+          publish (Raised e);
+          Printexc.raise_with_backtrace e bt)
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = (t.led, t.followed, Hashtbl.length t.table) in
+  Mutex.unlock t.mutex;
+  s

@@ -1,0 +1,27 @@
+(** Single-flight deduplication of identical in-progress requests.
+
+    The idempotency backstop behind retried seeded [COUNT]s: the first
+    request for a key (the result-cache key — db fingerprint, eps,
+    delta, method, seed, canonical query) becomes the {e leader} and
+    computes; any identical request arriving while the leader runs
+    becomes a {e follower} and blocks for the leader's answer instead
+    of entering the scheduler. A retry therefore {e never} spends
+    estimation budget twice: before completion it joins the leader,
+    after completion it hits the result cache.
+
+    Keys are removed on completion (the result cache owns finished
+    answers); an exception escaping the leader is re-raised in every
+    waiter so nobody is stranded. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+type role = Leader | Follower
+
+(** [run t ~key f] — compute [f ()] as the leader, or wait for the
+    in-progress leader of [key] and return its answer. *)
+val run : 'a t -> key:string -> (unit -> 'a) -> role * 'a
+
+(** [(led, followed, currently_in_flight)]. *)
+val stats : 'a t -> int * int * int

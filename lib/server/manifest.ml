@@ -1,0 +1,142 @@
+module Json = Ac_analysis.Json
+module Error = Ac_runtime.Error
+module Metrics = Ac_obs.Metrics
+
+let m_recoveries =
+  lazy
+    (Metrics.counter Metrics.global "acq_recovery_total"
+       ~help:"Catalog recoveries attempted from a manifest")
+
+let m_recovered_entries =
+  lazy
+    (Metrics.counter Metrics.global "acq_recovery_entries_total"
+       ~help:"Catalog entries replayed (fingerprint-verified) from a manifest")
+
+type entry = { name : string; path : string; fingerprint : string }
+
+let version = 1
+
+(* ---------- encoding ---------- *)
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("name", Json.String e.name);
+      ("path", Json.String e.path);
+      ("fingerprint", Json.String e.fingerprint);
+    ]
+
+let to_json entries =
+  Json.Obj
+    [
+      ("manifest_version", Json.Int version);
+      ("databases", Json.List (List.map entry_to_json entries));
+    ]
+
+let entry_of_json j =
+  let str field =
+    match Json.mem field j with Some (Json.String s) -> Some s | _ -> None
+  in
+  match (str "name", str "path", str "fingerprint") with
+  | Some name, Some path, Some fingerprint -> Ok { name; path; fingerprint }
+  | _ -> Result.Error "manifest entry: need name, path, fingerprint strings"
+
+let of_json j =
+  match Json.mem "manifest_version" j with
+  | Some (Json.Int v) when v <> version ->
+      Result.Error (Printf.sprintf "unsupported manifest version %d" v)
+  | _ -> (
+      match Json.mem "databases" j with
+      | Some (Json.List l) ->
+          List.fold_left
+            (fun acc e ->
+              match (acc, entry_of_json e) with
+              | Ok entries, Ok entry -> Ok (entry :: entries)
+              | (Result.Error _ as err), _ -> err
+              | _, (Result.Error _ as err) -> err)
+            (Ok []) l
+          |> Result.map List.rev
+      | _ -> Result.Error "manifest: missing \"databases\" list")
+
+(* ---------- atomic persistence ---------- *)
+
+(* Write-to-temp + rename: the manifest at [path] is always either the
+   previous complete snapshot or the new complete snapshot, never a
+   torn write — a crash at any instruction leaves a loadable file. *)
+let write ~path entries =
+  let tmp = path ^ ".tmp" in
+  let run () =
+    let oc = open_out tmp in
+    (match
+       output_string oc (Json.to_string_pretty (to_json entries));
+       output_char oc '\n';
+       flush oc
+     with
+    | () -> close_out oc
+    | exception e ->
+        close_out_noerr oc;
+        raise e);
+    Unix.rename tmp path
+  in
+  match run () with
+  | () -> Ok ()
+  | exception Sys_error msg -> Result.Error (Error.Io { file = path; msg })
+  | exception Unix.Unix_error (e, _, _) ->
+      Result.Error (Error.Io { file = path; msg = Unix.error_message e })
+
+let snapshot catalog =
+  List.filter_map
+    (fun (e : Catalog.entry) ->
+      Option.map
+        (fun path ->
+          { name = e.Catalog.name; path; fingerprint = e.Catalog.fingerprint })
+        e.Catalog.source)
+    (Catalog.entries catalog)
+
+let store ~path catalog = write ~path (snapshot catalog)
+
+let read ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Result.Error (Error.Io { file = path; msg })
+  | text -> (
+      match Json.parse text with
+      | Result.Error e ->
+          Result.Error
+            (Error.Parse { source = path; msg = Json.error_message e })
+      | Ok j -> (
+          match of_json j with
+          | Ok entries -> Ok entries
+          | Result.Error msg -> Result.Error (Error.Parse { source = path; msg })
+          ))
+
+(* ---------- recovery ---------- *)
+
+let recover ~path catalog =
+  match read ~path with
+  | Result.Error e -> Result.Error e
+  | Ok entries ->
+      Metrics.incr (Lazy.force m_recoveries);
+      let rec replay recovered = function
+        | [] -> Ok (List.rev recovered)
+        | e :: rest -> (
+            match Catalog.load catalog ~name:e.name ~path:e.path with
+            | Result.Error err -> Result.Error err
+            | Ok loaded ->
+                if loaded.Catalog.fingerprint <> e.fingerprint then
+                  Result.Error
+                    (Error.Io
+                       {
+                         file = e.path;
+                         msg =
+                           Printf.sprintf
+                             "fingerprint mismatch recovering %s: manifest has \
+                              %s, file has %s — the data changed since the \
+                              manifest was written"
+                             e.name e.fingerprint loaded.Catalog.fingerprint;
+                       })
+                else begin
+                  Metrics.incr (Lazy.force m_recovered_entries);
+                  replay (e.name :: recovered) rest
+                end)
+      in
+      replay [] entries

@@ -1,0 +1,42 @@
+(** The crash-safe catalog manifest.
+
+    [acqd] snapshots the catalog — database name, source path,
+    fingerprint — to a JSON manifest after every file-backed load,
+    using write-to-temp + [rename]: the file on disk is always one
+    complete snapshot, never a torn write, so a [kill -9] at any
+    instruction leaves a loadable manifest.
+
+    On restart {!recover} replays the manifest: each entry is reloaded
+    from its recorded path and its fingerprint re-verified against the
+    recorded one. A mismatch is a hard typed error — the data changed
+    under the manifest, and serving it would silently change estimates
+    that clients may have cached. A successful recovery is surfaced as
+    the [recovered] flag in [STATS]/[HEALTH] and counted by the
+    [acq_recovery_total] / [acq_recovery_entries_total] metrics. *)
+
+type entry = { name : string; path : string; fingerprint : string }
+
+(** The manifest schema version this build writes (1). Reading refuses
+    other versions with a typed parse error. *)
+val version : int
+
+(** The file-backed entries of a catalog (in-memory/inline entries have
+    no path to replay and are skipped). *)
+val snapshot : Catalog.t -> entry list
+
+(** Atomic write (temp file + rename, same directory). *)
+val write : path:string -> entry list -> (unit, Ac_runtime.Error.t) result
+
+(** [write] of [snapshot]. *)
+val store : path:string -> Catalog.t -> (unit, Ac_runtime.Error.t) result
+
+val read : path:string -> (entry list, Ac_runtime.Error.t) result
+
+(** Replay a manifest into the catalog, re-verifying every fingerprint;
+    returns the recovered names in manifest order. Typed [Io]/[Parse]
+    errors on unreadable files or fingerprint drift. *)
+val recover :
+  path:string -> Catalog.t -> (string list, Ac_runtime.Error.t) result
+
+val entry_to_json : entry -> Ac_analysis.Json.t
+val to_json : entry list -> Ac_analysis.Json.t

@@ -26,6 +26,11 @@ let m_rejected =
     (Metrics.counter Metrics.global "acq_scheduler_rejected_total"
        ~help:"Requests rejected at admission (capacity reached)")
 
+let m_deadline_shed =
+  lazy
+    (Metrics.counter Metrics.global "acq_deadline_shed_total"
+       ~help:"Requests shed at admission because their deadline had passed")
+
 let m_completed =
   lazy
     (Metrics.counter Metrics.global "acq_scheduler_completed_total"
@@ -37,6 +42,7 @@ type stats = {
   peak_in_flight : int;
   admitted : int;
   rejected : int;
+  deadline_shed : int;
   completed : int;
   ticks : int;
 }
@@ -50,6 +56,7 @@ type t = {
   mutable peak_in_flight : int;
   mutable admitted : int;
   mutable rejected : int;
+  mutable deadline_shed : int;
   mutable completed : int;
 }
 
@@ -68,12 +75,31 @@ let create ?(capacity = 64) ?budget () =
     peak_in_flight = 0;
     admitted = 0;
     rejected = 0;
+    deadline_shed = 0;
     completed = 0;
   }
 
 let capacity t = t.capacity
 
-let submit t ~label f =
+let submit t ~label ?deadline_ms f =
+  (* Shed before taking a slot: a request whose deadline has already
+     passed cannot be answered in time, and running it anyway would
+     spend budget on an answer nobody is waiting for. The rule is
+     deterministic — shed iff the remaining deadline is <= 0 at
+     admission — so tests can pin it exactly. *)
+  match deadline_ms with
+  | Some d when d <= 0 ->
+      Mutex.lock t.mutex;
+      t.deadline_shed <- t.deadline_shed + 1;
+      Mutex.unlock t.mutex;
+      Metrics.incr (Lazy.force m_deadline_shed);
+      Error
+        (Error.Deadline_exceeded
+           {
+             deadline_ms = d;
+             msg = Printf.sprintf "shed %s request at admission" label;
+           })
+  | _ ->
   Mutex.lock t.mutex;
   if t.in_flight >= t.capacity then begin
     t.rejected <- t.rejected + 1;
@@ -130,6 +156,7 @@ let stats t =
       peak_in_flight = t.peak_in_flight;
       admitted = t.admitted;
       rejected = t.rejected;
+      deadline_shed = t.deadline_shed;
       completed = t.completed;
       ticks = Budget.ticks t.budget;
     }
@@ -145,6 +172,7 @@ let stats_to_json (s : stats) =
       ("peak_in_flight", Json.Int s.peak_in_flight);
       ("admitted", Json.Int s.admitted);
       ("rejected", Json.Int s.rejected);
+      ("deadline_shed", Json.Int s.deadline_shed);
       ("completed", Json.Int s.completed);
       ("ticks", Json.Int s.ticks);
     ]

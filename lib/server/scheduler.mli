@@ -23,6 +23,8 @@ type stats = {
   peak_in_flight : int;
   admitted : int;
   rejected : int;
+  deadline_shed : int;
+      (** requests shed at admission because their deadline had passed *)
   completed : int;
   ticks : int;  (** total work ticks absorbed from finished requests *)
 }
@@ -38,9 +40,19 @@ val capacity : t -> int
 (** [submit t ~label f] — admit and run [f sub_budget] on the calling
     thread, or reject with [Error (Overloaded _)] when full. An
     exception escaping [f] is mapped to its typed error (unknown
-    exceptions become [Internal]); the slot is released either way. *)
+    exceptions become [Internal]); the slot is released either way.
+
+    [deadline_ms] is the time the client is still willing to wait.
+    When it is [<= 0] the request is {e shed} before taking a slot —
+    [Error (Deadline_exceeded _)], counted in [deadline_shed] and the
+    [acq_deadline_shed_total] metric — because answering late is
+    indistinguishable from not answering, but costs budget. *)
 val submit :
-  t -> label:string -> (Ac_runtime.Budget.t -> 'a) -> ('a, Ac_runtime.Error.t) result
+  t ->
+  label:string ->
+  ?deadline_ms:int ->
+  (Ac_runtime.Budget.t -> 'a) ->
+  ('a, Ac_runtime.Error.t) result
 
 (** Block until no request is in flight. *)
 val drain : t -> unit

@@ -16,6 +16,7 @@ type config = {
   plan_cache_capacity : int;
   result_cache_capacity : int;
   default_timeout_ms : int option;
+  manifest : string option;
   verbose : bool;
 }
 
@@ -25,6 +26,7 @@ let default_config =
     plan_cache_capacity = 256;
     result_cache_capacity = 1024;
     default_timeout_ms = None;
+    manifest = None;
     verbose = false;
   }
 
@@ -35,6 +37,7 @@ type counters = {
   mutable stats : int;
   mutable metrics : int;
   mutable ping : int;
+  mutable health : int;
   mutable bad : int;
 }
 
@@ -44,6 +47,8 @@ type t = {
   plan_cache : Report.t Cache.Lru.t;
   result_cache : Wire.outcome Cache.Lru.t;
   scheduler : Scheduler.t;
+  inflight : Wire.response Inflight.t;
+  recovered : bool Atomic.t;
   started_ms : float;
   counters : counters;
   counters_mutex : Mutex.t;
@@ -66,6 +71,8 @@ let create ?(config = default_config) () =
     result_cache =
       Cache.Lru.create ~name:"result" ~capacity:config.result_cache_capacity ();
     scheduler = Scheduler.create ~capacity:config.queue_capacity ();
+    inflight = Inflight.create ();
+    recovered = Atomic.make false;
     started_ms = Unix.gettimeofday () *. 1000.0;
     counters =
       {
@@ -75,6 +82,7 @@ let create ?(config = default_config) () =
         stats = 0;
         metrics = 0;
         ping = 0;
+        health = 0;
         bad = 0;
       };
     counters_mutex = Mutex.create ();
@@ -87,6 +95,40 @@ let create ?(config = default_config) () =
 
 let catalog t = t.catalog
 let scheduler t = t.scheduler
+let recovered t = Atomic.get t.recovered
+
+(* ---------- crash-safe catalog ---------- *)
+
+(* Every file-backed load refreshes the manifest, so the snapshot on
+   disk always names exactly the databases a restarted daemon must
+   replay. Failing to persist the manifest is a hard error: a daemon
+   that cannot write its recovery state should not pretend it can
+   recover. *)
+let sync_manifest t =
+  match t.config.manifest with
+  | None -> Ok ()
+  | Some path -> Manifest.store ~path t.catalog
+
+let load_db t ~name ~path =
+  match Catalog.load t.catalog ~name ~path with
+  | Error e -> Error e
+  | Ok entry -> (
+      match sync_manifest t with
+      | Ok () -> Ok entry
+      | Error e -> Error e)
+
+let recover t =
+  match t.config.manifest with
+  | None -> Ok []
+  | Some path -> (
+      match Unix.access path [ Unix.F_OK ] with
+      | exception Unix.Unix_error _ -> Ok []
+      | () -> (
+          match Manifest.recover ~path t.catalog with
+          | Error e -> Error e
+          | Ok names ->
+              if names <> [] then Atomic.set t.recovered true;
+              Ok names))
 
 type session = { mutable current : Catalog.entry option }
 
@@ -121,6 +163,7 @@ let resolve_db t session = function
                  universe = Ac_relational.Structure.universe_size db;
                  size = Ac_relational.Structure.size db;
                  relations = [];
+                 source = None;
                })
       | exception Failure msg ->
           Error (Error.Parse { source = "<inline>"; msg }))
@@ -142,6 +185,13 @@ let resolve_db t session = function
 let request_budget (p : Wire.params) ~default_timeout_ms slice =
   let timeout_ms =
     match p.Wire.timeout_ms with Some v -> Some v | None -> default_timeout_ms
+  in
+  (* the deadline also caps the wall clock: work past it is wasted *)
+  let timeout_ms =
+    match (timeout_ms, p.Wire.deadline_ms) with
+    | Some t, Some d -> Some (min t d)
+    | None, d -> d
+    | t, None -> t
   in
   match (timeout_ms, p.Wire.max_heap_mb) with
   | None, None -> (slice, fun () -> ())
@@ -215,9 +265,11 @@ let run_count t session (p : Wire.params) =
                   plan_cache = "bypass";
                   result_cache = "hit";
                 }
-          | Some None | None -> (
-              let outcome =
-                Scheduler.submit t.scheduler ~label:"count" (fun slice ->
+          | Some None | None ->
+              let compute () =
+              match
+                Scheduler.submit t.scheduler ~label:"count"
+                  ?deadline_ms:p.Wire.deadline_ms (fun slice ->
                     let plan_key =
                       Cache.plan_key
                         ~db_fingerprint:entry.Catalog.fingerprint query
@@ -255,8 +307,7 @@ let run_count t session (p : Wire.params) =
                             (if result_key = None then "bypass" else "miss")
                           r)
                       result)
-              in
-              match outcome with
+              with
               | Error e -> Wire.response_of_error e
               | Ok (Error e) -> Wire.response_of_error e
               | Ok (Ok outcome) ->
@@ -266,7 +317,36 @@ let run_count t session (p : Wire.params) =
                          deterministic, guaranteed results are cached *)
                       Cache.Lru.add t.result_cache key outcome
                   | _ -> ());
-                  Wire.Counted outcome)))
+                  Wire.Counted outcome
+              in
+              (* a seeded request is deduplicated against identical
+                 in-flight work: a retry that races its original joins
+                 the leader instead of spending budget twice *)
+              (match result_key with
+              | None -> compute ()
+              | Some key -> (
+                  match Inflight.run t.inflight ~key compute with
+                  | Inflight.Leader, response -> response
+                  | Inflight.Follower, response -> (
+                      Metrics.incr
+                        (Metrics.counter Metrics.global
+                           "acq_inflight_deduped_total"
+                           ~help:
+                             "Requests answered by joining identical \
+                              in-flight work instead of recomputing");
+                      match response with
+                      | Wire.Counted o ->
+                          (* like a cache replay: the follower did no
+                             work of its own *)
+                          Wire.Counted
+                            {
+                              o with
+                              Wire.ticks = 0;
+                              elapsed_ms = 0.0;
+                              trace = None;
+                              result_cache = "inflight";
+                            }
+                      | other -> other)))))
 
 (* ---------- SAMPLE ---------- *)
 
@@ -278,7 +358,8 @@ let run_sample t session (p : Wire.params) ~draws =
       | Error e -> Wire.response_of_error e
       | Ok query -> (
           let result =
-            Scheduler.submit t.scheduler ~label:"sample" (fun slice ->
+            Scheduler.submit t.scheduler ~label:"sample"
+              ?deadline_ms:p.Wire.deadline_ms (fun slice ->
                 let budget, absorb =
                   request_budget p
                     ~default_timeout_ms:t.config.default_timeout_ms slice
@@ -325,17 +406,27 @@ let stats_json t =
           ("stats", Json.Int c.stats);
           ("metrics", Json.Int c.metrics);
           ("ping", Json.Int c.ping);
+          ("health", Json.Int c.health);
           ("malformed", Json.Int c.bad);
         ]
     in
     Mutex.unlock t.counters_mutex;
     j
   in
+  let led, followed, waiting = Inflight.stats t.inflight in
   Json.Obj
     [
       ( "uptime_ms",
         Json.Float ((Unix.gettimeofday () *. 1000.0) -. t.started_ms) );
+      ("recovered", Json.Bool (Atomic.get t.recovered));
       ("requests", requests);
+      ( "inflight_dedup",
+        Json.Obj
+          [
+            ("led", Json.Int led);
+            ("followed", Json.Int followed);
+            ("waiting", Json.Int waiting);
+          ] );
       ( "catalog",
         Json.List (List.map Catalog.entry_to_json (Catalog.entries t.catalog))
       );
@@ -347,14 +438,6 @@ let stats_json t =
     ]
 
 (* ---------- dispatch ---------- *)
-
-let verb_name = function
-  | Wire.Ping -> "ping"
-  | Wire.Stats -> "stats"
-  | Wire.Metrics_req _ -> "metrics"
-  | Wire.Use _ -> "use"
-  | Wire.Count _ -> "count"
-  | Wire.Sample _ -> "sample"
 
 (* Every handled request lands in the global registry: volume by verb
    and wire status, latency by verb. *)
@@ -374,6 +457,21 @@ let handle_request t session req =
   | Wire.Ping ->
       bump t (fun c -> c.ping <- c.ping + 1);
       Wire.Pong
+  | Wire.Health ->
+      bump t (fun c -> c.health <- c.health + 1);
+      let s = Scheduler.stats t.scheduler in
+      let draining = Atomic.get t.stopping in
+      Wire.Health_reply
+        {
+          Wire.ready = not draining;
+          live = true;
+          draining;
+          in_flight = s.Scheduler.in_flight;
+          queue_capacity = s.Scheduler.capacity;
+          catalog_entries = List.length (Catalog.entries t.catalog);
+          recovered = Atomic.get t.recovered;
+          uptime_ms = (Unix.gettimeofday () *. 1000.0) -. t.started_ms;
+        }
   | Wire.Stats ->
       bump t (fun c -> c.stats <- c.stats + 1);
       Wire.Stats_reply (stats_json t)
@@ -407,7 +505,7 @@ let handle_request t session req =
 let handle t session req =
   let t0 = Unix.gettimeofday () in
   let response = handle_request t session req in
-  observe_request ~verb:(verb_name req)
+  observe_request ~verb:(Wire.verb_name req)
     ~status:(Wire.status_of_response response)
     ~elapsed_ms:((Unix.gettimeofday () -. t0) *. 1000.0);
   response
@@ -430,12 +528,15 @@ let serve_connection t fd =
         | () -> loop ()
         | exception Sys_error _ -> ())
     | Wire.Msg j -> (
+        (* echo the client's envelope id so a retrying client can match
+           this response to its request and drop duplicate frames *)
+        let id = Wire.json_id j in
         let response =
           match Wire.request_of_json j with
           | Ok req -> handle t session req
           | Error msg -> refuse msg
         in
-        match Wire.write_json oc (Wire.response_to_json response) with
+        match Wire.write_json oc (Wire.response_to_json ?id response) with
         | () -> loop ()
         | exception Sys_error _ -> ())
   in
@@ -445,15 +546,46 @@ let serve_connection t fd =
 
 (* ---------- listeners and the accept loop ---------- *)
 
-let listen_unix ~path =
-  (match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
-  | _ -> ()
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind fd (Unix.ADDR_UNIX path);
-  Unix.listen fd 64;
-  fd
+let listen_unix ?(force = false) ~path () =
+  let io msg = Error (Error.Io { file = path; msg }) in
+  let bind_fresh () =
+    match
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+    with
+    | fd -> Ok fd
+    | exception Unix.Unix_error (e, _, _) -> io (Unix.error_message e)
+  in
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> bind_fresh ()
+  | exception Unix.Unix_error (e, _, _) -> io (Unix.error_message e)
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+      (* the file alone is ambiguous: probe-connect to learn whether a
+         daemon is behind it (refuse — two daemons on one socket) or it
+         is the residue of a crash (refuse with guidance, or clean up
+         under --force) *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let close_probe () =
+        try Unix.close probe with Unix.Unix_error _ -> ()
+      in
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () ->
+          close_probe ();
+          io "a daemon is already listening on this socket"
+      | exception Unix.Unix_error _ ->
+          close_probe ();
+          if force then (
+            match Unix.unlink path with
+            | () -> bind_fresh ()
+            | exception Unix.Unix_error (e, _, _) ->
+                io (Unix.error_message e))
+          else
+            io
+              "stale socket file (no daemon is listening) — a previous \
+               daemon crashed; remove the file or restart with --force")
+  | _ -> io "path exists and is not a socket"
 
 let listen_tcp ~host ~port =
   let addr =

@@ -27,6 +27,9 @@ type config = {
   default_timeout_ms : int option;
       (** per-request wall-clock budget applied when the request names
           none (default [None] — bit-parity with single-shot runs) *)
+  manifest : string option;
+      (** where to persist the crash-recovery {!Manifest} (default
+          [None] — no manifest, no recovery) *)
   verbose : bool;
 }
 
@@ -37,6 +40,23 @@ type t
 val create : ?config:config -> unit -> t
 val catalog : t -> Catalog.t
 val scheduler : t -> Scheduler.t
+
+(** The catalog was replayed from the manifest after a crash (surfaced
+    in [STATS] and [HEALTH]). *)
+val recovered : t -> bool
+
+(** Load a database file into the catalog {e and} atomically refresh
+    the recovery manifest (when configured). The daemon's loading path
+    — use this instead of [Catalog.load] so a [kill -9] after any load
+    finds a complete manifest on restart. *)
+val load_db :
+  t -> name:string -> path:string -> (Catalog.entry, Ac_runtime.Error.t) result
+
+(** Replay the configured manifest, if it exists: reload every recorded
+    database and re-verify its fingerprint (see {!Manifest.recover}).
+    Returns the recovered names ([[]] when there is no manifest or no
+    file yet) and sets the {!recovered} flag when any were. *)
+val recover : t -> (string list, Ac_runtime.Error.t) result
 
 (** Per-connection state: the database selected by [USE]. *)
 type session
@@ -56,10 +76,17 @@ val stats_json : t -> Ac_analysis.Json.t
     the descriptor before returning. *)
 val serve_connection : t -> Unix.file_descr -> unit
 
-(** Bind helpers: a Unix-domain socket at [path] (an existing socket
-    file is replaced) or a TCP listener. Both return descriptors ready
-    for {!serve}. *)
-val listen_unix : path:string -> Unix.file_descr
+(** Bind a Unix-domain socket at [path], refusing to fight over it:
+    if the file exists and a daemon answers a probe-connect, this is a
+    typed [Io] error (two daemons must not share a socket); if nothing
+    answers, the file is the residue of a crash — also a typed error
+    naming the remedy, unless [force] (default false) cleans it up and
+    binds. *)
+val listen_unix :
+  ?force:bool ->
+  path:string ->
+  unit ->
+  (Unix.file_descr, Ac_runtime.Error.t) result
 
 val listen_tcp : host:string -> port:int -> Unix.file_descr
 

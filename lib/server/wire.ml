@@ -22,13 +22,15 @@ type params = {
   seed : int option;
   jobs : int option;
   timeout_ms : int option;
+  deadline_ms : int option;
   max_heap_mb : int option;
   strict : bool;
   trace : bool;
 }
 
 let params ?(eps = 0.25) ?(delta = 0.1) ?(method_ = Api.Auto) ?seed ?jobs
-    ?timeout_ms ?max_heap_mb ?(strict = false) ?(trace = false) ~db query =
+    ?timeout_ms ?deadline_ms ?max_heap_mb ?(strict = false) ?(trace = false)
+    ~db query =
   {
     query;
     db;
@@ -38,6 +40,7 @@ let params ?(eps = 0.25) ?(delta = 0.1) ?(method_ = Api.Auto) ?seed ?jobs
     seed;
     jobs;
     timeout_ms;
+    deadline_ms;
     max_heap_mb;
     strict;
     trace;
@@ -61,8 +64,29 @@ type request =
   | Stats
   | Metrics_req of { format : metrics_format }
   | Ping
+  | Health
 
 let method_of_name = Api.method_of_string
+
+let verb_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Metrics_req _ -> "metrics"
+  | Use _ -> "use"
+  | Count _ -> "count"
+  | Sample _ -> "sample"
+  | Health -> "health"
+
+(* A request is idempotent — safe to resend after a transport fault —
+   iff replaying it cannot change the answer or spend budget twice.
+   Seeded COUNT/SAMPLE are deterministic (and the daemon dedupes them
+   against the result cache and in-flight table); unseeded ones draw a
+   fresh seed per run, so a retry would silently answer a different
+   random experiment. *)
+let idempotent = function
+  | Ping | Stats | Metrics_req _ | Use _ | Health -> true
+  | Count p -> p.seed <> None
+  | Sample { params; _ } -> params.seed <> None
 
 type attempt = { rung : string; error_class : string; error_message : string }
 
@@ -82,6 +106,17 @@ type outcome = {
   result_cache : string;
 }
 
+type health = {
+  ready : bool;
+  live : bool;
+  draining : bool;
+  in_flight : int;
+  queue_capacity : int;
+  catalog_entries : int;
+  recovered : bool;
+  uptime_ms : float;
+}
+
 type response =
   | Counted of outcome
   | Sampled of {
@@ -96,11 +131,14 @@ type response =
   | Stats_reply of Json.t
   | Metrics_reply of { format : metrics_format; payload : Json.t }
   | Pong
+  | Health_reply of health
   | Refused of { code : int; error_class : string; message : string }
 
 let status_of_response = function
   | Counted o -> if o.degraded then 3 else 0
-  | Sampled _ | Used _ | Stats_reply _ | Metrics_reply _ | Pong -> 0
+  | Sampled _ | Used _ | Stats_reply _ | Metrics_reply _ | Pong
+  | Health_reply _ ->
+      0
   | Refused r -> r.code
 
 let response_of_error e =
@@ -133,29 +171,49 @@ let params_fields (p : params) =
   @ opt_int_field "seed" p.seed
   @ opt_int_field "jobs" p.jobs
   @ opt_int_field "timeout_ms" p.timeout_ms
+  @ opt_int_field "deadline_ms" p.deadline_ms
   @ opt_int_field "max_heap_mb" p.max_heap_mb
 
 let version_field = ("version", Json.Int protocol_version)
 
-let request_to_json = function
+(* The optional envelope-level request id: the client's handle for
+   matching responses to requests across retries and duplicated frames.
+   Echoed verbatim by the server; requests without one get responses
+   without one (the pre-id protocol). *)
+let id_fields = function
+  | None -> []
+  | Some id -> [ ("id", Json.String id) ]
+
+let json_id j =
+  match Json.mem "id" j with Some (Json.String s) -> Some s | _ -> None
+
+let request_to_json ?id = function
   | Count p ->
-      Json.Obj (("verb", Json.String "count") :: version_field :: params_fields p)
+      Json.Obj
+        (("verb", Json.String "count")
+        :: version_field
+        :: (id_fields id @ params_fields p))
   | Sample { params = p; draws } ->
       Json.Obj
-        ((("verb", Json.String "sample") :: version_field :: params_fields p)
+        ((("verb", Json.String "sample")
+         :: version_field
+         :: (id_fields id @ params_fields p))
         @ [ ("draws", Json.Int draws) ])
   | Use name ->
       Json.Obj
-        [ ("verb", Json.String "use"); version_field; ("name", Json.String name) ]
-  | Stats -> Json.Obj [ ("verb", Json.String "stats"); version_field ]
+        (("verb", Json.String "use")
+        :: version_field
+        :: (id_fields id @ [ ("name", Json.String name) ]))
+  | Stats -> Json.Obj (("verb", Json.String "stats") :: version_field :: id_fields id)
   | Metrics_req { format } ->
       Json.Obj
-        [
-          ("verb", Json.String "metrics");
-          version_field;
-          ("format", Json.String (metrics_format_name format));
-        ]
-  | Ping -> Json.Obj [ ("verb", Json.String "ping"); version_field ]
+        (("verb", Json.String "metrics")
+        :: version_field
+        :: (id_fields id
+           @ [ ("format", Json.String (metrics_format_name format)) ]))
+  | Ping -> Json.Obj (("verb", Json.String "ping") :: version_field :: id_fields id)
+  | Health ->
+      Json.Obj (("verb", Json.String "health") :: version_field :: id_fields id)
 
 let trace_summary_json (s : Trace.summary) =
   Json.Obj
@@ -227,15 +285,15 @@ let metrics_payload ~format registry =
   | Metrics_json -> metrics_json registry
   | Metrics_prometheus -> Json.String (Metrics.to_prometheus registry)
 
-let response_to_json r =
+let response_to_json ?id r =
   let status = ("status", Json.Int (status_of_response r)) in
   let version = version_field in
+  let base = status :: version :: id_fields id in
   match r with
   | Counted o ->
       Json.Obj
-        [
-          status;
-          version;
+        (base
+        @ [
           ("verb", Json.String "count");
           ("estimate", Json.Float o.estimate);
           ("estimate_hex", Json.String (Printf.sprintf "%h" o.estimate));
@@ -264,12 +322,11 @@ let response_to_json r =
                 ("plan", Json.String o.plan_cache);
                 ("result", Json.String o.result_cache);
               ] );
-        ]
+        ])
   | Sampled s ->
       Json.Obj
-        [
-          status;
-          version;
+        (base
+        @ [
           ("verb", Json.String "sample");
           ( "samples",
             Json.List
@@ -282,43 +339,57 @@ let response_to_json r =
           ( "telemetry",
             telemetry_json ?trace:s.trace ~seed:s.seed ~jobs:s.jobs
               ~ticks:s.ticks ~elapsed_ms:s.elapsed_ms () );
-        ]
+        ])
   | Used u ->
       Json.Obj
-        [
-          status;
-          version;
-          ("verb", Json.String "use");
-          ("name", Json.String u.name);
-          ("fingerprint", Json.String u.fingerprint);
-          ("universe", Json.Int u.universe);
-          ("size", Json.Int u.size);
-        ]
+        (base
+        @ [
+            ("verb", Json.String "use");
+            ("name", Json.String u.name);
+            ("fingerprint", Json.String u.fingerprint);
+            ("universe", Json.Int u.universe);
+            ("size", Json.Int u.size);
+          ])
   | Stats_reply blob ->
-      Json.Obj
-        [ status; version; ("verb", Json.String "stats"); ("stats", blob) ]
+      Json.Obj (base @ [ ("verb", Json.String "stats"); ("stats", blob) ])
   | Metrics_reply { format; payload } ->
       Json.Obj
-        [
-          status;
-          version;
-          ("verb", Json.String "metrics");
-          ("format", Json.String (metrics_format_name format));
-          ("metrics", payload);
-        ]
-  | Pong -> Json.Obj [ status; version; ("verb", Json.String "ping") ]
+        (base
+        @ [
+            ("verb", Json.String "metrics");
+            ("format", Json.String (metrics_format_name format));
+            ("metrics", payload);
+          ])
+  | Pong -> Json.Obj (base @ [ ("verb", Json.String "ping") ])
+  | Health_reply h ->
+      Json.Obj
+        (base
+        @ [
+            ("verb", Json.String "health");
+            ("ready", Json.Bool h.ready);
+            ("live", Json.Bool h.live);
+            ("draining", Json.Bool h.draining);
+            ( "queue",
+              Json.Obj
+                [
+                  ("in_flight", Json.Int h.in_flight);
+                  ("capacity", Json.Int h.queue_capacity);
+                ] );
+            ("catalog_entries", Json.Int h.catalog_entries);
+            ("recovered", Json.Bool h.recovered);
+            ("uptime_ms", Json.Float h.uptime_ms);
+          ])
   | Refused r ->
       Json.Obj
-        [
-          status;
-          version;
-          ( "error",
-            Json.Obj
-              [
-                ("class", Json.String r.error_class);
-                ("message", Json.String r.message);
-              ] );
-        ]
+        (base
+        @ [
+            ( "error",
+              Json.Obj
+                [
+                  ("class", Json.String r.error_class);
+                  ("message", Json.String r.message);
+                ] );
+          ])
 
 (* ---------- decoding ---------- *)
 
@@ -376,6 +447,7 @@ let params_of_json j =
   let* seed = opt_int "seed" j in
   let* jobs = opt_int "jobs" j in
   let* timeout_ms = opt_int "timeout_ms" j in
+  let* deadline_ms = opt_int "deadline_ms" j in
   let* max_heap_mb = opt_int "max_heap_mb" j in
   let* strict = opt_bool "strict" ~default:false j in
   let* trace = opt_bool "trace" ~default:false j in
@@ -389,6 +461,7 @@ let params_of_json j =
       seed;
       jobs;
       timeout_ms;
+      deadline_ms;
       max_heap_mb;
       strict;
       trace;
@@ -431,6 +504,7 @@ let request_of_json j =
           | None -> Error (Printf.sprintf "unknown metrics format %S" f))
       | _ -> Error "field \"format\" must be a string")
   | "ping" -> Ok Ping
+  | "health" -> Ok Health
   | v -> Error (Printf.sprintf "unknown verb %S" v)
 
 let trace_summary_of_json t =
@@ -640,6 +714,35 @@ let response_of_json j =
           | Some payload -> Ok (Metrics_reply { format; payload })
           | None -> Error "missing \"metrics\" payload")
       | "ping" -> Ok Pong
+      | "health" ->
+          let bool_field name ~default =
+            match Json.mem name j with
+            | Some (Json.Bool b) -> b
+            | _ -> default
+          in
+          let queue name ~default =
+            match Option.bind (Json.mem "queue" j) (Json.mem name) with
+            | Some (Json.Int v) -> v
+            | _ -> default
+          in
+          Ok
+            (Health_reply
+               {
+                 ready = bool_field "ready" ~default:false;
+                 live = bool_field "live" ~default:false;
+                 draining = bool_field "draining" ~default:false;
+                 in_flight = queue "in_flight" ~default:0;
+                 queue_capacity = queue "capacity" ~default:0;
+                 catalog_entries =
+                   Option.value
+                     (Option.bind (Json.mem "catalog_entries" j) Json.to_int)
+                     ~default:0;
+                 recovered = bool_field "recovered" ~default:false;
+                 uptime_ms =
+                   Option.value
+                     (Option.bind (Json.mem "uptime_ms" j) Json.to_float)
+                     ~default:0.0;
+               })
       | v -> Error (Printf.sprintf "unknown response verb %S" v))
 
 (* ---------- framing ---------- *)
@@ -650,6 +753,9 @@ let read_json ic =
   match input_line ic with
   | exception End_of_file -> Eof
   | exception Sys_error _ -> Eof
+  (* an expired SO_RCVTIMEO surfaces as EAGAIN, which the channel layer
+     reports as Sys_blocked_io: same contract as a dead connection *)
+  | exception Sys_blocked_io -> Eof
   | line -> (
       if String.trim line = "" then Bad "empty line"
       else

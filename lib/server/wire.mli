@@ -44,6 +44,11 @@ type params = {
   seed : int option;
   jobs : int option;
   timeout_ms : int option;
+  deadline_ms : int option;
+      (** end-to-end time the client is still willing to wait; the
+          scheduler sheds the request (class [deadline], exit 18) when
+          it cannot possibly answer in time, and the remaining time
+          additionally caps the request budget *)
   max_heap_mb : int option;
   strict : bool;
   trace : bool;
@@ -60,6 +65,7 @@ val params :
   ?seed:int ->
   ?jobs:int ->
   ?timeout_ms:int ->
+  ?deadline_ms:int ->
   ?max_heap_mb:int ->
   ?strict:bool ->
   ?trace:bool ->
@@ -80,11 +86,22 @@ type request =
   | Stats
   | Metrics_req of { format : metrics_format }
   | Ping
+  | Health
 
 (** The shared method codec — an alias for
     [Approxcount.Api.method_of_string], so the wire and the CLI accept
     exactly the same spellings. *)
 val method_of_name : string -> Approxcount.Api.method_ option
+
+(** Stable lowercase verb slug, used in error messages and the
+    per-verb request metrics. *)
+val verb_name : request -> string
+
+(** Safe to resend after a transport fault: the service verbs and any
+    {e seeded} [COUNT]/[SAMPLE]. Unseeded requests draw a fresh seed
+    per run, so a retry would answer a different random experiment —
+    the retrying client refuses those with a typed [Retry_unsafe]. *)
+val idempotent : request -> bool
 
 (** One failed rung of the degradation trail, flattened for the wire. *)
 type attempt = { rung : string; error_class : string; error_message : string }
@@ -108,6 +125,20 @@ type outcome = {
   result_cache : string;
 }
 
+(** The [HEALTH] verb's payload: liveness (the dispatch loop answers),
+    readiness (not draining), queue depth and the crash-recovery flag. *)
+type health = {
+  ready : bool;  (** accepting and serving (false while draining) *)
+  live : bool;  (** the process answers at all — always true in-band *)
+  draining : bool;
+  in_flight : int;
+  queue_capacity : int;
+  catalog_entries : int;
+  recovered : bool;
+      (** the catalog was replayed from the manifest after a crash *)
+  uptime_ms : float;
+}
+
 type response =
   | Counted of outcome
   | Sampled of {
@@ -125,6 +156,7 @@ type response =
           [Json.String] holding the Prometheus text exposition for
           [Metrics_prometheus] *)
   | Pong
+  | Health_reply of health
   | Refused of { code : int; error_class : string; message : string }
 
 (** [0] success, [3] a degraded (but answered) [COUNT], an
@@ -133,12 +165,21 @@ val status_of_response : response -> int
 
 val response_of_error : Ac_runtime.Error.t -> response
 
-(** {2 JSON mapping} *)
+(** {2 JSON mapping}
 
-val request_to_json : request -> Json.t
+    [id] is the optional envelope-level request id: an opaque client
+    token echoed verbatim in the response, letting a retrying client
+    match responses to requests and discard duplicated or stale frames.
+    Decoders expose it through {!json_id}; messages without one decode
+    exactly as before. *)
+
+val request_to_json : ?id:string -> request -> Json.t
 val request_of_json : Json.t -> (request, string) result
-val response_to_json : response -> Json.t
+val response_to_json : ?id:string -> response -> Json.t
 val response_of_json : Json.t -> (response, string) result
+
+(** The envelope id of a decoded message, if any. *)
+val json_id : Json.t -> string option
 
 (** A span summary as carried inside the ["telemetry"] object. *)
 val trace_summary_json : Ac_obs.Trace.summary -> Json.t

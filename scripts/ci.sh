@@ -24,6 +24,9 @@ scripts/lint_queries.sh
 echo "== daemon smoke (acqd boot, cache hit, graceful SIGTERM)"
 scripts/smoke_server.sh
 
+echo "== chaos soak (wire faults, kill -9 recovery, deadline shed)"
+scripts/smoke_server.sh --chaos
+
 if [ "${1:-}" = "--with-bench" ]; then
   echo "== parallel jobs sweep (BENCH_parallel.json)"
   dune exec bench/main.exe -- --parallel
@@ -31,6 +34,8 @@ if [ "${1:-}" = "--with-bench" ]; then
   dune exec bench/main.exe -- --server
   echo "== observability overhead (BENCH_obs.json, metrics p50 within 5%)"
   dune exec bench/main.exe -- --obs
+  echo "== retry-layer overhead (BENCH_chaos.json, durable p50 within 5%)"
+  dune exec bench/main.exe -- --chaos
 fi
 
 echo "== CI green"

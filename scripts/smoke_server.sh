@@ -3,6 +3,13 @@
 # client requests (the third must be a result-cache hit doing zero
 # estimation work), send SIGTERM and assert a clean drain (exit 0).
 #
+# With --chaos, instead runs the fault-tolerance suite: the seeded
+# wire-chaos soak (every answer bit-identical under injected frame
+# faults), then a kill -9 crash with manifest recovery (the restarted
+# daemon must refuse the stale socket without --force, recover the
+# catalog, report recovered=true on HEALTH, and replay the pre-crash
+# estimate bit-for-bit via --hex), and a deadline_ms=0 shed (exit 18).
+#
 # Runs the installed build products directly — not through `dune exec` —
 # so the signal reaches the daemon itself.
 set -eu
@@ -12,6 +19,73 @@ cd "$(dirname "$0")/.."
 ACQ=_build/default/bin/acq.exe
 ACQD=_build/default/bin/acqd.exe
 [ -x "$ACQ" ] && [ -x "$ACQD" ] || { echo "smoke_server: build first (dune build)"; exit 1; }
+
+if [ "${1:-}" = "--chaos" ]; then
+  CHAOS=_build/default/test/chaos/chaos_wire_main.exe
+  [ -x "$CHAOS" ] || { echo "smoke_server: build first (dune build)"; exit 1; }
+
+  echo "chaos: wire-fault soak (seeded, bit-identical answers)"
+  "$CHAOS" >/dev/null
+
+  workdir=$(mktemp -d)
+  sock="$workdir/acqd.sock"
+  db="$workdir/facts.txt"
+  manifest="$workdir/catalog.manifest"
+  trap 'rm -rf "$workdir"' EXIT
+
+  "$ACQ" generate --kind graph --size 24 --out "$db" >/dev/null
+
+  "$ACQD" --socket "$sock" --load g="$db" --manifest "$manifest" &
+  pid=$!
+  i=0
+  until "$ACQ" ping --connect "$sock" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ $i -lt 50 ] || { echo "smoke_server: daemon never answered"; kill "$pid" 2>/dev/null; exit 1; }
+    sleep 0.1
+  done
+
+  query='ans(x,y) :- E(x,y), x != y'
+  est1=$("$ACQ" count --connect "$sock" --use g -q "$query" --seed 11 --hex)
+  grep -q '"fingerprint"' "$manifest" || { echo "smoke_server: manifest has no fingerprints"; exit 1; }
+
+  echo "chaos: kill -9, stale socket, manifest recovery"
+  kill -9 "$pid"
+  wait "$pid" 2>/dev/null || true
+  [ -e "$sock" ] || { echo "smoke_server: kill -9 should leave the socket file behind"; exit 1; }
+
+  # without --force the stale socket is a typed refusal (Io, exit 11)
+  status=0
+  timeout 10 "$ACQD" --socket "$sock" --manifest "$manifest" >/dev/null 2>&1 || status=$?
+  [ "$status" -eq 11 ] || { echo "smoke_server: stale socket not refused (exit $status, wanted 11)"; exit 1; }
+
+  "$ACQD" --socket "$sock" --manifest "$manifest" --force &
+  pid=$!
+  i=0
+  until "$ACQ" ping --connect "$sock" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ $i -lt 50 ] || { echo "smoke_server: recovered daemon never answered"; kill "$pid" 2>/dev/null; exit 1; }
+    sleep 0.1
+  done
+
+  "$ACQ" health --connect "$sock" | grep -q '"recovered": true' \
+    || { echo "smoke_server: HEALTH does not report recovered=true"; exit 1; }
+
+  est2=$("$ACQ" count --connect "$sock" --use g -q "$query" --seed 11 --hex)
+  [ "$est1" = "$est2" ] || { echo "smoke_server: estimate changed across crash: $est1 vs $est2"; exit 1; }
+
+  # a request whose deadline already passed is shed at admission
+  status=0
+  "$ACQ" count --connect "$sock" --use g -q "$query" --seed 11 --deadline-ms 0 >/dev/null 2>&1 || status=$?
+  [ "$status" -eq 18 ] || { echo "smoke_server: deadline_ms=0 exited $status, wanted 18"; exit 1; }
+
+  kill -TERM "$pid"
+  status=0
+  wait "$pid" || status=$?
+  [ "$status" -eq 0 ] || { echo "smoke_server: recovered daemon exited $status after SIGTERM"; exit 1; }
+
+  echo "smoke_server: chaos ok (soak bit-identical, crash recovery replayed $est1)"
+  exit 0
+fi
 
 workdir=$(mktemp -d)
 sock="$workdir/acqd.sock"

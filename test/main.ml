@@ -32,4 +32,5 @@ let () =
       ("exec", Test_exec.tests);
       ("obs", Test_obs.tests);
       ("server", Test_server.tests);
+      ("fault", Test_fault.tests);
     ]
