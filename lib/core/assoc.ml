@@ -18,7 +18,16 @@ let source q =
 let target q db =
   if not (Ecq.compatible_with q db) then
     invalid_arg "Assoc.target: sig(phi) is not contained in sig(D)";
-  let out = Structure.create ~universe_size:(Structure.universe_size db) in
+  (* Seal the database and share its columnar relations with the target
+     structure — a target per request used to copy every fact, which
+     also threw away the relations' memoized sorted projections between
+     requests. Negated symbols become lazy complement views
+     (Definition 20): membership and iteration over [U^a \ R] without
+     ever materializing it — the ν·|U|^a cost of Observation 21 is paid
+     only by algorithms that actually enumerate the complement. *)
+  let db = Structure.seal db in
+  let u = Structure.universe_size db in
+  let out = Structure.create ~universe_size:u in
   let add_positive = Hashtbl.create 8 and add_negative = Hashtbl.create 8 in
   List.iter
     (function
@@ -27,35 +36,15 @@ let target q db =
       | Ecq.Diseq _ -> ())
     (Ecq.atoms q);
   Hashtbl.iter
-    (fun name () ->
-      let rel = Structure.relation db name in
-      Structure.declare out name ~arity:(Relation.arity rel);
-      Relation.iter (fun t -> Structure.add_fact out name (Array.copy t)) rel)
+    (fun name () -> Structure.install out name (Structure.relation db name))
     add_positive;
   Hashtbl.iter
     (fun name () ->
       let rel = Structure.relation db name in
-      (* the ν·|U|^a complement cost is intrinsic (Observation 21), but an
-         accidental high-arity negation should fail loudly, not OOM *)
-      let cells =
-        Float.pow
-          (float_of_int (Structure.universe_size db))
-          (float_of_int (Relation.arity rel))
-      in
-      if cells > 2e7 then
-        invalid_arg
-          (Printf.sprintf
-             "Assoc.target: complement of %s would have ~%.0f tuples (|U|^%d); \
-              negations require small arity or a small universe (Observation 21)"
-             name cells (Relation.arity rel));
-      let complement =
-        Relation.complement ~universe_size:(Structure.universe_size db) rel
-      in
-      let nname = negated_symbol name in
-      Structure.declare out nname ~arity:(Relation.arity rel);
-      Relation.iter (fun t -> Structure.add_fact out nname (Array.copy t)) complement)
+      Structure.install out (negated_symbol name)
+        (Relation.complement_view ~universe_size:u rel))
     add_negative;
-  out
+  Structure.seal out
 
 let hom_instance q db =
   { Ac_hom.Hom.source = source q; target = target q db }
@@ -132,4 +121,4 @@ let hat_target q db ~parts colours =
         done
       done)
     colours;
-  out
+  Structure.seal out

@@ -3,10 +3,35 @@ module Structure = Ac_relational.Structure
 module Hom = Ac_hom.Hom
 module Partite = Ac_dlm.Partite
 module Generic_join = Ac_join.Generic_join
+module Intset = Ac_kernels.Intset
 module Budget = Ac_runtime.Budget
 module Trace = Ac_obs.Trace
 
 type engine = Tree_dp | Generic | Direct
+
+(* Box-answer cache keyed by the parts themselves. The polymorphic hash
+   only inspects a prefix of a nested array, and DLM boxes frequently
+   share prefixes, so hash every element. *)
+module Box_key = struct
+  type t = int array array
+
+  let equal (a : t) b =
+    Array.length a = Array.length b
+    && (let ok = ref true in
+        Array.iteri (fun i p -> if !ok && p <> b.(i) then ok := false) a;
+        !ok)
+
+  let hash (parts : t) =
+    let h = ref 0x9e3779b9 in
+    Array.iter
+      (fun p ->
+        h := (!h * 31) + 0x85ebca6b;
+        Array.iter (fun x -> h := (!h * 31) + x) p)
+      parts;
+    !h land max_int
+end
+
+module Box_cache = Hashtbl.Make (Box_key)
 
 type t = {
   query : Ecq.t;
@@ -15,6 +40,7 @@ type t = {
   solver : Hom.prepared;
   delta : (int * int) list;
   engine : engine;
+  full : int array; (* 0..universe-1, shared by every domain filter *)
   base_budget : int; (* colouring rounds per remaining disequality = base_budget · 4^{|Δ'|} *)
   probe_budget : int; (* witnesses enumerated before colouring; 0 disables the shortcut *)
   budget : Budget.t; (* cooperative cancellation: ticked per oracle call and per colouring round *)
@@ -22,6 +48,8 @@ type t = {
   homs : int Atomic.t; (* atomic: probed concurrently from parallel trial domains *)
   oracles : int Atomic.t;
   span : Trace.span option; (* parent for per-call "oracle" spans; None = untraced *)
+  cache : bool Box_cache.t; (* deterministic box verdicts; see [answer_in_box] *)
+  cache_lock : Mutex.t;
 }
 
 let hom_calls t = Atomic.get t.homs
@@ -45,7 +73,7 @@ let default_base q db =
 
 let budget_cap = 65536
 
-let create ?rng ?rounds ?(probe_budget = 128) ?(budget = Budget.none)
+let create ?rng ?rounds ?(probe_budget = 1024) ?(budget = Budget.none)
     ?(span = None) ~engine q db =
   let rng = match rng with Some r -> r | None -> Random.State.make_self_init () in
   let base_budget =
@@ -60,6 +88,7 @@ let create ?rng ?rounds ?(probe_budget = 128) ?(budget = Budget.none)
   {
     query = q;
     universe_size = Structure.universe_size db;
+    full = Intset.range (Structure.universe_size db);
     instance;
     solver = Hom.prepare ~strategy ~budget instance;
     delta = Ecq.delta q;
@@ -71,6 +100,8 @@ let create ?rng ?rounds ?(probe_budget = 128) ?(budget = Budget.none)
     homs = Atomic.make 0;
     oracles = Atomic.make 0;
     span;
+    cache = Box_cache.create 1024;
+    cache_lock = Mutex.create ();
   }
 
 let create_result ?rng ?rounds ?probe_budget ?budget ?span ~engine q db =
@@ -89,7 +120,8 @@ let base_domains t parts =
   let l = Ecq.num_free t.query in
   let domains = Array.make n None in
   for i = 0 to min l (Array.length parts) - 1 do
-    domains.(i) <- Some (Array.to_list parts.(i))
+    (* Partite parts arrive sorted, so canon aliases without copying *)
+    domains.(i) <- Some (Intset.canon parts.(i))
   done;
   domains
 
@@ -101,26 +133,22 @@ exception Unsatisfiable
    disappears. This is a deterministic refinement of the colour-coding —
    only the surviving disequalities need random colours, shrinking the
    4^{|Δ|} budget. Raises [Unsatisfiable] when a domain empties. *)
+(* Owns [domains]: callers pass a fresh array ([base_domains] output)
+   that is refined in place. *)
 let propagate t domains delta =
-  let domains = Array.copy domains in
   let delta = ref delta and progress = ref true in
-  let singleton v = match domains.(v) with Some [ x ] -> Some x | _ -> None in
+  let singleton v =
+    match domains.(v) with Some [| x |] -> Some x | _ -> None
+  in
   let remove_value v x =
-    let current =
-      match domains.(v) with
-      | Some l -> l
-      | None -> List.init t.universe_size Fun.id
-    in
-    let filtered = List.filter (( <> ) x) current in
-    if filtered = [] then raise Unsatisfiable;
+    let current = match domains.(v) with Some a -> a | None -> t.full in
+    let filtered = Intset.remove current x in
+    if filtered = [||] then raise Unsatisfiable;
     domains.(v) <- Some filtered
   in
   let disjoint i j =
     match (domains.(i), domains.(j)) with
-    | Some a, Some b ->
-        let set = Hashtbl.create (List.length a) in
-        List.iter (fun x -> Hashtbl.replace set x ()) a;
-        not (List.exists (Hashtbl.mem set) b)
+    | Some a, Some b -> Intset.disjoint a b
     | _ -> false
   in
   while !progress do
@@ -162,59 +190,61 @@ let decide_direct t domains delta =
   if delta = [] then Hom.decide t.solver ~domains ()
   else begin
     let found = ref false in
-    Hom.iter_solutions t.solver ~domains ~f:(fun sol ->
-        let ok = List.for_all (fun (i, j) -> sol.(i) <> sol.(j)) delta in
-        if ok then found := true;
-        not ok);
+    Hom.iter_solutions t.solver ~domains ~reuse:true
+      ~diseqs:(Array.of_list delta)
+      ~f:(fun _ ->
+        found := true;
+        false);
     !found
   end
 
 (* [rng] defaults to the oracle's own state; parallel trial engines pass
    their per-trial stream instead, so probe outcomes depend only on the
-   stream (everything else in [t] is read-only during a probe). *)
-let answer_in_box ~rng t parts =
-  Budget.tick t.budget;
-  Atomic.incr t.oracles;
-  if Array.exists (fun p -> Array.length p = 0) parts then false
+   stream (everything else in [t] is read-only during a probe).
+
+   Every path below except the colouring rounds is deterministic in
+   [parts] alone — propagation, the probe shortcut and the engine
+   decisions never touch [rng] — so those verdicts are cached per box.
+   The DLM split revisits boxes heavily, and a cache hit provably
+   returns the same verdict recomputation would (and consumes no
+   randomness, exactly like the computation it replaces), so estimates
+   are bit-identical with and without the cache, at any [--jobs]. *)
+let answer_in_box_uncached ~rng t parts =
+  if Array.exists (fun p -> Array.length p = 0) parts then (false, true)
   else begin
     let domains0 = base_domains t parts in
     match propagate t domains0 t.delta with
-    | exception Unsatisfiable -> false
+    | exception Unsatisfiable -> (false, true)
     | domains, remaining -> (
         match t.engine with
-        | Direct -> decide_direct t domains remaining
+        | Direct -> (decide_direct t domains remaining, true)
         | Tree_dp | Generic ->
-            if remaining = [] then decide t domains
+            if remaining = [] then (decide t domains, true)
             else begin
-              (* Colour-free shortcut: colourings only restrict domains, so
-                 a bounded enumeration of homomorphisms settles most boxes
-                 outright — if some early witness satisfies the remaining
-                 disequalities the box has an edge; if the join exhausts
-                 without one, it provably has none. Only boxes with more
-                 than [probe_budget] witnesses, all violating a
-                 disequality, fall through to the colouring rounds (whose
-                 decisions use the chosen engine, preserving the width
-                 guarantees where they matter). *)
+              (* Colour-free shortcut: colourings only restrict domains,
+                 so one generic-join search with the remaining
+                 disequalities pushed into it (violating subtrees pruned
+                 as the second endpoint binds) settles the box exactly —
+                 first surviving witness means an edge, exhaustion means
+                 provably none. The colouring rounds below only run when
+                 the probe is disabled ([probe_budget = 0], the ablation
+                 knob) — they use the chosen engine, preserving the width
+                 guarantees where they matter. *)
               let verdict = ref `Unknown in
               if t.probe_budget > 0 then begin
                 Atomic.incr t.homs;
-                let seen = ref 0 in
-                Hom.iter_solutions t.solver ~domains ~f:(fun h ->
-                    incr seen;
-                    if List.for_all (fun (i, j) -> h.(i) <> h.(j)) remaining
-                    then begin
-                      verdict := `Edge;
-                      false
-                    end
-                    else !seen < t.probe_budget);
-                if !seen < t.probe_budget && !verdict = `Unknown then
-                  verdict := `Empty
+                let found = ref false in
+                Hom.iter_solutions t.solver ~domains ~reuse:true
+                  ~diseqs:(Array.of_list remaining)
+                  ~f:(fun _ ->
+                    found := true;
+                    false);
+                verdict := (if !found then `Edge else `Empty)
               end;
               match !verdict with
-              | `Edge -> true
-              | `Empty -> false
+              | `Edge -> (true, true)
+              | `Empty -> (false, true)
               | `Unknown ->
-
               let budget =
                 let scaled =
                   float_of_int t.base_budget
@@ -240,12 +270,10 @@ let answer_in_box ~rng t parts =
                     in
                     let keep v pred =
                       let current =
-                        match coloured.(v) with
-                        | Some l -> l
-                        | None -> List.init t.universe_size Fun.id
+                        match coloured.(v) with Some a -> a | None -> t.full
                       in
-                      let filtered = List.filter pred current in
-                      if filtered = [] then dead := true;
+                      let filtered = Intset.filter pred current in
+                      if filtered = [||] then dead := true;
                       coloured.(v) <- Some filtered
                     in
                     keep i (fun w -> f.(w));
@@ -253,9 +281,34 @@ let answer_in_box ~rng t parts =
                   remaining;
                 if (not !dead) && decide t coloured then found := true
               done;
-              !found
+              (* one-sided Monte Carlo over [rng]: not a deterministic
+                 fact about the box, so never cached *)
+              (!found, false)
             end)
   end
+
+let answer_in_box ~rng t parts =
+  Budget.tick t.budget;
+  Atomic.incr t.oracles;
+  let cached =
+    Mutex.lock t.cache_lock;
+    let c = Box_cache.find_opt t.cache parts in
+    Mutex.unlock t.cache_lock;
+    c
+  in
+  match cached with
+  | Some answer -> answer
+  | None ->
+      let answer, cacheable = answer_in_box_uncached ~rng t parts in
+      if cacheable then begin
+        (* keys are copied: callers may reuse their part buffers. A
+           racing duplicate add is benign (same deterministic value). *)
+        let key = Array.map Array.copy parts in
+        Mutex.lock t.cache_lock;
+        Box_cache.add t.cache key answer;
+        Mutex.unlock t.cache_lock
+      end;
+      answer
 
 (* Oracle-call spans sit at the bottom of the hierarchy (plan → rung →
    trial → oracle call). Untraced oracles ([span = None], the default)

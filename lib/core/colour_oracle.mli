@@ -42,10 +42,12 @@ val oracle_calls : t -> int
     endpoint domains are resolved deterministically first, so most oracle
     calls near the leaves of the splitting enumeration pay no colouring
     rounds at all. Ignored by [Direct] and when [φ] has no
-    disequalities. [probe_budget] (default 128) bounds the colour-free
-    witness pre-pass — enumerating up to that many homomorphisms settles
-    most boxes outright; [0] disables it, leaving the pure Lemma 22
-    colouring (used by the A1 ablation). [budget], when given, is the
+    disequalities. [probe_budget] (default 1024) enables the colour-free
+    probe: the surviving disequalities are pushed into one generic-join
+    search (see {!Ac_join.Generic_join.run}), whose first surviving
+    witness — or exhaustion — settles the box {e exactly}, so no
+    colouring rounds run at all; [0] disables the probe, leaving the
+    pure Lemma 22 colouring (used by the A1 ablation). [budget], when given, is the
     cooperative-cancellation hook: it is ticked on every oracle call,
     every colouring round and (through {!Ac_hom.Hom}) every
     search/DP step, so a tripped budget aborts the oracle with

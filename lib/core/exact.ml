@@ -37,12 +37,11 @@ let by_hom_dp ?budget q db =
    callback and collect distinct projections. *)
 let answer_table ?budget q db =
   let solver = prepared_solver ?budget q db in
-  let delta = Ecq.delta q in
+  let diseqs = Array.of_list (Ecq.delta q) in
   let l = Ecq.num_free q in
   let seen = Tuple.Table.create 256 in
-  Hom.iter_solutions solver ~f:(fun (sol : int array) ->
-      if List.for_all (fun (i, j) -> sol.(i) <> sol.(j)) delta then
-        Tuple.Table.replace seen (Array.sub sol 0 l) ();
+  Hom.iter_solutions solver ~reuse:true ~diseqs ~f:(fun (sol : int array) ->
+      Tuple.Table.replace seen (Array.sub sol 0 l) ();
       true);
   seen
 
@@ -57,14 +56,13 @@ let answers ?budget q db =
    the count is exact) and [false] when it was cut off (then the count is
    a lower bound — the planner's last-resort estimate). *)
 let partial_count ?budget q db =
-  let delta = Ecq.delta q in
+  let diseqs = Array.of_list (Ecq.delta q) in
   let l = Ecq.num_free q in
   let seen = Tuple.Table.create 256 in
   match
     let solver = prepared_solver ?budget q db in
-    Hom.iter_solutions solver ~f:(fun (sol : int array) ->
-        if List.for_all (fun (i, j) -> sol.(i) <> sol.(j)) delta then
-          Tuple.Table.replace seen (Array.sub sol 0 l) ();
+    Hom.iter_solutions solver ~reuse:true ~diseqs ~f:(fun (sol : int array) ->
+        Tuple.Table.replace seen (Array.sub sol 0 l) ();
         true)
   with
   | () -> (Tuple.Table.length seen, true)
@@ -74,16 +72,15 @@ let partial_count ?budget q db =
    solution? *)
 let is_answer_with q solver tau =
   let l = Ecq.num_free q in
-  let delta = Ecq.delta q in
+  let diseqs = Array.of_list (Ecq.delta q) in
   let domains = Array.make (Ecq.num_vars q) None in
   for i = 0 to l - 1 do
-    domains.(i) <- Some [ tau.(i) ]
+    domains.(i) <- Some [| tau.(i) |]
   done;
   let found = ref false in
-  Hom.iter_solutions solver ~domains ~f:(fun sol ->
-      let ok = List.for_all (fun (i, j) -> sol.(i) <> sol.(j)) delta in
-      if ok then found := true;
-      not ok);
+  Hom.iter_solutions solver ~domains ~reuse:true ~diseqs ~f:(fun _ ->
+      found := true;
+      false);
   !found
 
 let is_answer ?budget q db tau =

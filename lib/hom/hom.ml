@@ -4,6 +4,7 @@ module Hypergraph = Ac_hypergraph.Hypergraph
 module Bitset = Ac_hypergraph.Bitset
 module Tree_decomposition = Ac_hypergraph.Tree_decomposition
 module Generic_join = Ac_join.Generic_join
+module Intset = Ac_kernels.Intset
 module Budget = Ac_runtime.Budget
 
 type instance = {
@@ -47,17 +48,22 @@ let restrict_domains ({ source; target } as inst) =
   let m = Structure.universe_size target in
   let atoms = to_atoms inst in
   let domains = Array.make n None in
-  let all = List.init m Fun.id in
+  let all = Intset.range m in
   let empty = ref false in
   List.iter
     (fun (a : Generic_join.atom) ->
+      (* complement views are dense (almost every value has support), and
+         computing their support would sweep U^arity — the join treats
+         them as filter atoms instead, so restriction skips them *)
+      if Relation.is_complement a.Generic_join.relation then ()
+      else begin
       let seen = Hashtbl.create 4 in
       Array.iteri
         (fun pos v -> if not (Hashtbl.mem seen v) then Hashtbl.replace seen v pos)
         a.Generic_join.scope;
       Hashtbl.iter
         (fun v pos ->
-          let support = Hashtbl.create 16 in
+          let support = Array.make m false in
           Relation.iter
             (fun tuple ->
               let ok = ref true in
@@ -65,16 +71,17 @@ let restrict_domains ({ source; target } as inst) =
                 (fun p u ->
                   if tuple.(p) <> tuple.(Hashtbl.find seen u) then ok := false)
                 a.Generic_join.scope;
-              if !ok then Hashtbl.replace support tuple.(pos) ())
+              if !ok then support.(tuple.(pos)) <- true)
             a.Generic_join.relation;
-          let current = match domains.(v) with None -> all | Some l -> l in
-          let filtered = List.filter (Hashtbl.mem support) current in
-          if filtered = [] then empty := true;
+          let current = match domains.(v) with None -> all | Some d -> d in
+          let filtered = Intset.filter (fun x -> support.(x)) current in
+          if filtered = [||] then empty := true;
           domains.(v) <- Some filtered)
-        seen)
+        seen
+      end)
     atoms;
   if !empty then None
-  else Some (Array.map (function None -> all | Some l -> l) domains)
+  else Some (Array.map (function None -> all | Some d -> d) domains)
 
 type strategy = Backtracking | Decomposition
 
@@ -86,12 +93,24 @@ type dp_node = {
   join : Generic_join.prepared;
   children : (int * int array * int array) list;
       (* child id, positions of shared vars in this bag, in child bag *)
+  mutable up : int array;
+      (* positions (in this bag) of the vars shared with the parent;
+         [||] at the root — the decision DP keys its tables on this
+         projection, so bag solutions never need to be retained *)
 }
 
 type dp = {
   nodes : dp_node array;
   postorder : int array;
   root : int;
+  fast_keys : bool;
+      (* every shared-var projection encodes into one int (u^w fits) *)
+  key_pool : (int, bool) Hashtbl.t array list Atomic.t;
+      (* recycled per-node memo tables for the fast decision search:
+         the oracle path decides thousands of times per second against
+         one [dp], and a fresh 64-bucket table per bag per call would
+         be most of the allocation; pooled tables are cleared (bucket
+         arrays kept) between calls *)
 }
 
 type prepared = {
@@ -99,13 +118,20 @@ type prepared = {
   strat : strategy;
   num_vars : int;
   universe_size : int;
-  base_domains : int list array option; (* None: trivially unsatisfiable *)
+  base_domains : int array array option; (* None: trivially unsatisfiable *)
   full_join : Generic_join.prepared;
   dp : dp option;
   budget : Budget.t;
 }
 
-let build_dp ~budget inst atoms =
+(* Does [u^w] fit an OCaml int? Decides whether a shared-variable tuple
+   can be semijoin-hashed as a single int instead of an allocated key. *)
+let pow_fits u w =
+  let u = max u 2 in
+  let rec go acc i = i = 0 || (acc <= max_int / u && go (acc * u) (i - 1)) in
+  go u (w - 1)
+
+let build_dp ~budget ?impl inst atoms =
   let h = hypergraph inst.source in
   let d = Tree_decomposition.decompose h in
   let num_nodes = Tree_decomposition.num_nodes d in
@@ -148,7 +174,7 @@ let build_dp ~budget inst atoms =
         in
         let join =
           Generic_join.prepare ~num_vars:(Array.length vars) ~universe_size
-            ~budget local_atoms
+            ~budget ?impl local_atoms
         in
         let children =
           List.map
@@ -168,7 +194,20 @@ let build_dp ~budget inst atoms =
                 Array.of_list (List.map (pos_in cvars) shared) ))
             kids.(node)
         in
-        { vars; join; children })
+        { vars; join; children; up = [||] })
+  in
+  (* a child's upward projection is [there] as seen from its parent *)
+  Array.iter
+    (fun n ->
+      List.iter (fun (child, _, there) -> nodes.(child).up <- there) n.children)
+    nodes;
+  let fast_keys =
+    Array.for_all
+      (fun n ->
+        List.for_all
+          (fun (_, _, there) -> pow_fits universe_size (Array.length there))
+          n.children)
+      nodes
   in
   let root = Tree_decomposition.root d in
   let order = ref [] in
@@ -177,19 +216,27 @@ let build_dp ~budget inst atoms =
     order := node :: !order
   in
   visit root;
-  { nodes; postorder = Array.of_list (List.rev !order); root }
+  {
+    nodes;
+    postorder = Array.of_list (List.rev !order);
+    root;
+    fast_keys;
+    key_pool = Atomic.make [];
+  }
 
-let prepare ~strategy ?(budget = Budget.none) inst =
+let prepare ~strategy ?(budget = Budget.none) ?impl inst =
   let atoms = to_atoms inst in
   let num_vars = Structure.universe_size inst.source in
   let universe_size = Structure.universe_size inst.target in
   let base_domains = restrict_domains inst in
-  let full_join = Generic_join.prepare ~num_vars ~universe_size ~budget atoms in
+  let full_join =
+    Generic_join.prepare ~num_vars ~universe_size ~budget ?impl atoms
+  in
   let dp =
     match strategy with
     | Backtracking -> None
     | Decomposition ->
-        if num_vars = 0 then None else Some (build_dp ~budget inst atoms)
+        if num_vars = 0 then None else Some (build_dp ~budget ?impl inst atoms)
   in
   {
     instance = inst;
@@ -216,13 +263,10 @@ let merged_domains p domains =
               (fun v d ->
                 match ds.(v) with
                 | None -> d
-                | Some restriction ->
-                    let set = Hashtbl.create (List.length restriction) in
-                    List.iter (fun x -> Hashtbl.replace set x ()) restriction;
-                    List.filter (Hashtbl.mem set) d)
+                | Some restriction -> Intset.inter d (Intset.canon restriction))
               base
       in
-      if Array.exists (( = ) []) merged then None else Some merged
+      if Array.exists (fun d -> d = [||]) merged then None else Some merged
 
 let solve_backtracking p merged =
   let result = ref None in
@@ -234,7 +278,82 @@ let solve_backtracking p merged =
       false);
   !result
 
-let decide_dp ~budget dp merged =
+(* Decision DP over the tree decomposition. Fast path (every shared-var
+   projection encodes into one int): each bag keeps only the set of
+   upward projections of its surviving solutions, the semijoin against
+   the children is an int-hashtable probe inside the join callback, and
+   no solution array is ever copied out of the join — the root
+   early-exits on its first surviving solution. The slow path (huge
+   universes) keeps full solutions keyed by allocated projections. *)
+(* Treiber stack, CAS-retry via recursion (concurrent trial engines
+   decide against one shared [dp]). *)
+let rec pool_take pool =
+  match Atomic.get pool with
+  | [] -> None
+  | s :: rest as old ->
+      if Atomic.compare_and_set pool old rest then Some s else pool_take pool
+
+let rec pool_give pool s =
+  let old = Atomic.get pool in
+  if not (Atomic.compare_and_set pool old (s :: old)) then pool_give pool s
+
+let decide_dp_fast ~budget ~universe dp merged =
+  let num_nodes = Array.length dp.nodes in
+  let memo =
+    match pool_take dp.key_pool with
+    | Some tables -> tables
+    | None -> Array.init num_nodes (fun _ -> Hashtbl.create 64)
+  in
+  (* Top-down with memoization: [sat node key] — does the subtree rooted
+     at [node] have a solution whose shared-with-parent projection
+     decodes [key]? Each (node, key) pair is evaluated at most once (the
+     bottom-up DP's worst case), but the search early-exits at every
+     level: the root stops at its first satisfiable solution, and bags
+     never enumerate outside the parent's surviving projections. *)
+  let encode sol positions =
+    let acc = ref 0 in
+    for idx = 0 to Array.length positions - 1 do
+      acc := (!acc * universe) + sol.(positions.(idx))
+    done;
+    !acc
+  in
+  let rec sat node key =
+    match Hashtbl.find_opt memo.(node) key with
+    | Some b -> b
+    | None ->
+        Budget.tick budget;
+        let n = dp.nodes.(node) in
+        let local = Array.map (fun v -> Some merged.(v)) n.vars in
+        (* pin the shared positions to [key]'s digits (base [universe],
+           most-significant first — the encoding order of [encode]) *)
+        let k = ref key in
+        for idx = Array.length n.up - 1 downto 0 do
+          local.(n.up.(idx)) <- Some [| !k mod universe |];
+          k := !k / universe
+        done;
+        let found = ref false in
+        Generic_join.run ~reuse:true ~domains:local n.join ~f:(fun sol ->
+            if
+              List.for_all
+                (fun (child, here, _) -> sat child (encode sol here))
+                n.children
+            then begin
+              found := true;
+              false
+            end
+            else true);
+        Hashtbl.add memo.(node) key !found;
+        !found
+  in
+  let answer = sat dp.root 0 (* root: [up = [||]], key 0, no pins *) in
+  (* clear (keeping bucket arrays) and recycle; like the generic-join
+     cursor pool, states are dropped on the exception path — a budget
+     trip mid-search leaves tables in an unknown fill state worth GCing *)
+  Array.iter Hashtbl.clear memo;
+  pool_give dp.key_pool memo;
+  answer
+
+let decide_dp_exact ~budget dp merged =
   let num_nodes = Array.length dp.nodes in
   let solutions = Array.make num_nodes [] in
   let alive = ref true in
@@ -275,6 +394,10 @@ let decide_dp ~budget dp merged =
     dp.postorder;
   !alive && solutions.(dp.root) <> []
 
+let decide_dp ~budget ~universe dp merged =
+  if dp.fast_keys then decide_dp_fast ~budget ~universe dp merged
+  else decide_dp_exact ~budget dp merged
+
 let decide p ?domains () =
   match merged_domains p domains with
   | None -> false
@@ -282,18 +405,21 @@ let decide p ?domains () =
       match (p.strat, p.dp) with
       | Backtracking, _ | Decomposition, None ->
           Option.is_some (solve_backtracking p merged)
-      | Decomposition, Some dp -> decide_dp ~budget:p.budget dp merged)
+      | Decomposition, Some dp ->
+          decide_dp ~budget:p.budget ~universe:p.universe_size dp merged)
 
 let solve p ?domains () =
   match merged_domains p domains with
   | None -> None
   | Some merged -> solve_backtracking p merged
 
-let iter_solutions ?domains p ~f =
+let iter_solutions ?domains ?reuse ?diseqs p ~f =
   match merged_domains p domains with
   | None -> ()
   | Some merged ->
-      Generic_join.run ~domains:(Array.map Option.some merged) p.full_join ~f
+      Generic_join.run ?reuse ?diseqs
+        ~domains:(Array.map Option.some merged)
+        p.full_join ~f
 
 let decide_backtracking ?domains inst =
   decide (prepare ~strategy:Backtracking inst) ?domains ()
@@ -426,7 +552,7 @@ let count_dp ?(budget = Budget.none) ({ source; target = _ } as inst) =
                 Hashtbl.iter
                   (fun key count ->
                     let key = Array.of_list key in
-                    List.iter
+                    Array.iter
                       (fun x ->
                         let alpha =
                           Array.init (Array.length vars) (fun i ->

@@ -30,11 +30,12 @@ val hypergraph : Ac_relational.Structure.t -> Ac_hypergraph.Hypergraph.t
     from [B]. *)
 val to_atoms : instance -> Ac_join.Generic_join.atom list
 
-(** Arc-consistent unary domains: [domains.(a)] lists the values [b] such
-    that every fact of [A] containing [a] has a supporting fact in [B]
-    with [b] at [a]'s position. [None] when some domain is empty (no
-    homomorphism exists). *)
-val restrict_domains : instance -> int list array option
+(** Arc-consistent unary domains: [domains.(a)] is the ascending array
+    of values [b] such that every fact of [A] containing [a] has a
+    supporting fact in [B] with [b] at [a]'s position ([Intset]
+    canonical form). [None] when some domain is empty (no homomorphism
+    exists). *)
+val restrict_domains : instance -> int array array option
 
 type strategy = Backtracking | Decomposition
 
@@ -45,27 +46,37 @@ type prepared
     budget cancels the computation with
     [Ac_runtime.Budget.Budget_exceeded]. *)
 val prepare :
-  strategy:strategy -> ?budget:Ac_runtime.Budget.t -> instance -> prepared
+  strategy:strategy ->
+  ?budget:Ac_runtime.Budget.t ->
+  ?impl:Ac_join.Generic_join.impl ->
+  instance ->
+  prepared
 val strategy : prepared -> strategy
 
 (** [decide p ?domains ()] — is there a homomorphism mapping each
     variable inside its domain (intersected with the precomputed
     arc-consistent base domains)? *)
-val decide : prepared -> ?domains:int list option array -> unit -> bool
+val decide : prepared -> ?domains:int array option array -> unit -> bool
 
 (** First homomorphism found ([Backtracking] search order). *)
-val solve : prepared -> ?domains:int list option array -> unit -> int array option
+val solve : prepared -> ?domains:int array option array -> unit -> int array option
 
 (** Enumerate all homomorphisms (backtracking order); [f] returning
-    [false] stops. *)
+    [false] stops. [diseqs] prunes disequality-violating assignments
+    inside the search (see {!Ac_join.Generic_join.run}). *)
 val iter_solutions :
-  ?domains:int list option array -> prepared -> f:(int array -> bool) -> unit
+  ?domains:int array option array ->
+  ?reuse:bool ->
+  ?diseqs:(int * int) array ->
+  prepared ->
+  f:(int array -> bool) ->
+  unit
 
 (** {2 One-shot wrappers} *)
 
-val decide_backtracking : ?domains:int list option array -> instance -> bool
-val decide_decomposition : ?domains:int list option array -> instance -> bool
-val find : ?domains:int list option array -> instance -> int array option
+val decide_backtracking : ?domains:int array option array -> instance -> bool
+val decide_decomposition : ?domains:int array option array -> instance -> bool
+val find : ?domains:int array option array -> instance -> int array option
 
 (** Checks that [h] is a homomorphism. *)
 val is_homomorphism : instance -> int array -> bool

@@ -1,5 +1,8 @@
 module Relation = Ac_relational.Relation
+module Column = Ac_relational.Column
 module Budget = Ac_runtime.Budget
+module Gallop = Ac_kernels.Gallop
+module Intset = Ac_kernels.Intset
 
 type atom = {
   scope : int array;
@@ -11,25 +14,82 @@ let atom scope relation =
     invalid_arg "Generic_join.atom: scope length must equal relation arity";
   { scope; relation }
 
-(* Per-atom preprocessed index: the distinct variables of the scope in
-   global-order position, and a trie over their first-occurrence tuple
-   positions (tuples violating repeated-variable equality are dropped at
-   build time). *)
+type impl = Trie | Columnar
+
+(* Process-wide default, settable so the bench harness and the
+   differential tests can pit the two paths against each other. *)
+let default_impl_ref = Atomic.make Columnar
+let set_default_impl i = Atomic.set default_impl_ref i
+let default_impl () = Atomic.get default_impl_ref
+
+(* Per-atom preprocessed index over the first-occurrence positions of the
+   scope's distinct variables (in global elimination order; tuples
+   violating repeated-variable equality are dropped at build time):
+   either a trie (the reference path) or a sorted columnar projection
+   read by the leapfrog kernels. *)
+type index = I_trie of Trie.t | I_cols of Relation.cols
+
 type indexed = {
   vars_in_order : int array;
-  trie : Trie.t;
+  index : index;
+}
+
+(* Complement views never get an index: materializing or even
+   enumerating [U^k \ R] is exactly the blow-up the lazy views exist to
+   avoid. They join as {e filter atoms}: once the last of their
+   variables binds, one O(k log n) membership probe on the base decides
+   the whole atom. Both impls do this identically, so enumeration
+   order — and everything downstream of it — cannot diverge. *)
+type filter = {
+  f_scope : int array;
+  f_relation : Relation.t;
 }
 
 type prepared = {
   num_vars : int;
   universe_size : int;
+  impl : impl;
   order : int array;
   indexed : indexed array;
   at_level : (int * int) list array; (* order position → (atom, level) *)
+  parts_at : (int * int) array array; (* at_level as arrays, for the kernels *)
+  filters_at : filter list array; (* order position → filters now decidable *)
+  start_filters : filter list; (* variable-free filters, checked once *)
   budget : Budget.t; (* ticked once per search-tree node *)
+  pool : state list Atomic.t;
+      (* recycled columnar run states: the oracle path runs thousands of
+         tiny joins per second over one [prepared], and cursor-state
+         allocation would dominate them *)
 }
 
-let index_atom ~position a =
+(* Per-run cursor state, so one [prepared] can serve concurrent runs
+   (the parallel estimator shares prepares across trial domains). A
+   state is owned by exactly one run at a time; columnar states return
+   to the pool on normal completion (never after an exception — a
+   half-unwound trie walk or cursor stack is not worth repairing). *)
+and state =
+  | S_trie of Trie.t array
+  | S_cols of cols_state
+
+and cols_state = {
+  los : int array array; (* per atom: row-range stack, one slot per level *)
+  his : int array array;
+  with_dom : Gallop.run array array;
+      (* per order position: leapfrog cursors for that level's
+         participants, preceded by a slot for the domain run *)
+  no_dom : Gallop.run array array;
+      (* the same run records minus the domain slot — which array a run
+         uses is decided per run in [sel]/[offs] *)
+  domcols : Column.t option array;
+      (* per order position: lazily-created scratch column the domain
+         values are copied into (capacity = universe) *)
+  sel : Gallop.run array array; (* per order position: chosen cursor array *)
+  offs : int array; (* 1 when the domain slot is active at that level *)
+  pos : int array array; (* per order position: leapfrog cursor scratch *)
+  bounds : int array array; (* per order position: value-range scratch *)
+}
+
+let scope_index a =
   let seen = Hashtbl.create 8 in
   let distinct = ref [] in
   Array.iteri
@@ -39,21 +99,40 @@ let index_atom ~position a =
         distinct := v :: !distinct
       end)
     a.scope;
-  let distinct = List.rev !distinct in
+  (seen, List.rev !distinct)
+
+let index_atom ~impl ~position a =
+  let seen, distinct = scope_index a in
   let sorted =
     List.sort (fun u v -> Int.compare position.(u) position.(v)) distinct
   in
   let positions = Array.of_list (List.map (Hashtbl.find seen) sorted) in
-  let keep tuple =
-    let ok = ref true in
-    Array.iteri
-      (fun pos v ->
-        let first = Hashtbl.find seen v in
-        if tuple.(pos) <> tuple.(first) then ok := false)
-      a.scope;
-    !ok
+  let index =
+    match impl with
+    | Trie ->
+        let keep tuple =
+          let ok = ref true in
+          Array.iteri
+            (fun pos v ->
+              let first = Hashtbl.find seen v in
+              if tuple.(pos) <> tuple.(first) then ok := false)
+            a.scope;
+          !ok
+        in
+        I_trie (Trie.build ~keep a.relation ~positions)
+    | Columnar ->
+        let equalities = ref [] in
+        Array.iteri
+          (fun pos v ->
+            let first = Hashtbl.find seen v in
+            if pos <> first then equalities := (pos, first) :: !equalities)
+          a.scope;
+        Relation.seal a.relation;
+        I_cols
+          (Relation.projection a.relation ~positions
+             ~equalities:(Array.of_list (List.rev !equalities)))
   in
-  { vars_in_order = Array.of_list sorted; trie = Trie.build ~keep a.relation ~positions }
+  { vars_in_order = Array.of_list sorted; index }
 
 let validate ~num_vars atoms =
   List.iter
@@ -78,7 +157,9 @@ let default_order ~num_vars atoms =
   in
   Array.of_list sorted
 
-let prepare ~num_vars ~universe_size ?(budget = Budget.none) ?order atoms =
+let prepare ~num_vars ~universe_size ?(budget = Budget.none) ?impl ?order atoms
+    =
+  let impl = match impl with Some i -> i | None -> default_impl () in
   validate ~num_vars atoms;
   let order =
     match order with
@@ -91,7 +172,12 @@ let prepare ~num_vars ~universe_size ?(budget = Budget.none) ?order atoms =
   Array.iteri (fun i v -> position.(v) <- i) order;
   if Array.exists (fun p -> p < 0) position then
     invalid_arg "Generic_join: order is not a permutation";
-  let indexed = Array.of_list (List.map (index_atom ~position) atoms) in
+  let positive, complements =
+    List.partition (fun a -> not (Relation.is_complement a.relation)) atoms
+  in
+  let indexed =
+    Array.of_list (List.map (index_atom ~impl ~position) positive)
+  in
   let at_level = Array.make num_vars [] in
   Array.iteri
     (fun ai idx ->
@@ -100,106 +186,300 @@ let prepare ~num_vars ~universe_size ?(budget = Budget.none) ?order atoms =
           at_level.(position.(v)) <- (ai, level) :: at_level.(position.(v)))
         idx.vars_in_order)
     indexed;
-  { num_vars; universe_size; order; indexed; at_level; budget }
+  let filters_at = Array.make num_vars [] in
+  let start_filters = ref [] in
+  List.iter
+    (fun a ->
+      let flt = { f_scope = a.scope; f_relation = a.relation } in
+      if Array.length a.scope = 0 then start_filters := flt :: !start_filters
+      else begin
+        let last =
+          Array.fold_left (fun acc v -> max acc position.(v)) (-1) a.scope
+        in
+        filters_at.(last) <- flt :: filters_at.(last)
+      end)
+    complements;
+  {
+    num_vars;
+    universe_size;
+    impl;
+    order;
+    indexed;
+    at_level;
+    parts_at = Array.map Array.of_list at_level;
+    filters_at;
+    start_filters = !start_filters;
+    budget;
+    pool = Atomic.make [];
+  }
 
-let run ?domains p ~f =
-  let nodes = Array.map (fun idx -> idx.trie) p.indexed in
-  let assignment = Array.make p.num_vars (-1) in
-  let domain_of v =
-    match domains with
-    | Some ds -> ds.(v)
-    | None -> None
+let cols_of idx =
+  match idx.index with
+  | I_cols c -> c
+  | I_trie _ -> invalid_arg "Generic_join: trie index in columnar run"
+
+let filter_ok assignment flt =
+  Relation.mem flt.f_relation
+    (Array.map (fun v -> assignment.(v)) flt.f_scope)
+
+let fresh_cols_state p =
+  let acols = Array.map cols_of p.indexed in
+  let depth idx = Array.length idx.vars_in_order in
+  let los = Array.map (fun idx -> Array.make (depth idx + 1) 0) p.indexed in
+  let his =
+    Array.mapi
+      (fun ai idx ->
+        let a = Array.make (depth idx + 1) 0 in
+        a.(0) <- acols.(ai).Relation.rows;
+        a)
+      p.indexed
   in
+  let no_dom =
+    Array.init p.num_vars (fun i ->
+        Array.map
+          (fun (ai, lvl) ->
+            { Gallop.col = acols.(ai).Relation.columns.(lvl); lo = 0; hi = 0 })
+          p.parts_at.(i))
+  in
+  let with_dom =
+    (* slot 0 is the domain cursor; slots 1.. SHARE the no-dom records,
+       so per-node bound rewrites are visible through either array *)
+    Array.map
+      (fun base ->
+        Array.append [| { Gallop.col = Column.create 0; lo = 0; hi = 0 } |] base)
+      no_dom
+  in
+  {
+    los;
+    his;
+    with_dom;
+    no_dom;
+    domcols = Array.make p.num_vars None;
+    sel = Array.copy no_dom;
+    offs = Array.make p.num_vars 0;
+    pos = Array.map (fun rs -> Array.make (max 1 (Array.length rs)) 0) with_dom;
+    bounds =
+      Array.map (fun rs -> Array.make (2 * max 1 (Array.length rs)) 0) with_dom;
+  }
+
+(* Treiber stack, CAS-retry via recursion. *)
+let rec pool_take pool =
+  match Atomic.get pool with
+  | [] -> None
+  | s :: rest as old ->
+      if Atomic.compare_and_set pool old rest then Some s else pool_take pool
+
+let rec pool_give pool s =
+  let old = Atomic.get pool in
+  if not (Atomic.compare_and_set pool old (s :: old)) then pool_give pool s
+
+let run ?domains ?(reuse = false) ?(diseqs = [||]) p ~f =
+  (* canonical per-variable domains (ascending, deduplicated): arrays
+     already in canonical order are used as-is, without copying *)
+  let domain_arr = Array.make p.num_vars None in
+  (match domains with
+  | None -> ()
+  | Some ds ->
+      Array.iteri
+        (fun v d ->
+          match d with
+          | None -> ()
+          | Some a as dom ->
+              let c = Intset.canon a in
+              domain_arr.(v) <- (if c == a then dom else Some c))
+        ds);
+  let state =
+    match p.impl with
+    | Trie ->
+        S_trie
+          (Array.map
+             (fun idx ->
+               match idx.index with
+               | I_trie t -> t
+               | I_cols _ -> invalid_arg "Generic_join: mixed index")
+             p.indexed)
+    | Columnar -> (
+        match pool_take p.pool with
+        | Some s -> s
+        | None -> S_cols (fresh_cols_state p))
+  in
+  (match state with
+  | S_trie _ -> ()
+  | S_cols cs ->
+      for i = 0 to p.num_vars - 1 do
+        match domain_arr.(p.order.(i)) with
+        | Some arr when Array.length p.parts_at.(i) > 0 ->
+            let len = Array.length arr in
+            let dcol =
+              match cs.domcols.(i) with
+              | Some c when Column.length c >= len -> c
+              | _ ->
+                  let c = Column.create (max p.universe_size len) in
+                  cs.domcols.(i) <- Some c;
+                  c
+            in
+            for k = 0 to len - 1 do
+              Column.set dcol k arr.(k)
+            done;
+            let r0 = cs.with_dom.(i).(0) in
+            r0.Gallop.col <- dcol;
+            r0.Gallop.lo <- 0;
+            r0.Gallop.hi <- len;
+            cs.sel.(i) <- cs.with_dom.(i);
+            cs.offs.(i) <- 1
+        | _ ->
+            cs.sel.(i) <- cs.no_dom.(i);
+            cs.offs.(i) <- 0
+      done);
+  let assignment = Array.make p.num_vars (-1) in
   let stop = ref false in
-  let rec assign i =
+  (* [descend]/[filters_pass] live in the [rec] group rather than inside
+     [assign], so the hot path allocates no closures per search node
+     (the oracle layer runs thousands of these joins per second) *)
+  let rec filters_pass i =
+    match p.filters_at.(i) with
+    | [] -> true
+    | fs -> List.for_all (fun flt -> filter_ok assignment flt) fs
+  (* a pair (a, b) prunes at whichever endpoint binds second (the other
+     still holds the [-1] sentinel before that, which can never collide
+     with a candidate value) *)
+  and diseqs_pass v value =
+    let ok = ref true in
+    for k = 0 to Array.length diseqs - 1 do
+      let a, b = diseqs.(k) in
+      if (a = v && assignment.(b) = value) || (b = v && assignment.(a) = value)
+      then ok := false
+    done;
+    !ok
+  and descend i v value =
+    if diseqs_pass v value then begin
+      assignment.(v) <- value;
+      if filters_pass i then assign (i + 1)
+    end
+  and assign i =
     Budget.tick p.budget;
     if !stop then ()
     else if i = p.num_vars then begin
-      if not (f (Array.copy assignment)) then stop := true
+      let sol = if reuse then assignment else Array.copy assignment in
+      if not (f sol) then stop := true
     end
     else begin
       let v = p.order.(i) in
-      let participants = p.at_level.(i) in
-      match participants with
-      | [] ->
-          let values =
-            match domain_of v with
-            | Some l -> List.sort_uniq Int.compare l
-            | None -> List.init p.universe_size Fun.id
-          in
-          List.iter
-            (fun value ->
-              if not !stop then begin
-                assignment.(v) <- value;
-                assign (i + 1)
-              end)
-            values;
-          assignment.(v) <- -1
-      | _ ->
-          (* candidates: keys of the smallest participating trie, filtered
-             by the others and by the domain *)
-          let smallest =
-            List.fold_left
-              (fun (bai, bn) (ai, _) ->
-                let n = Trie.num_keys nodes.(ai) in
-                if n < bn then (ai, n) else (bai, bn))
-              (-1, max_int) participants
-            |> fst
-          in
-          let candidates =
-            match domain_of v with
-            | Some l ->
-                List.sort_uniq Int.compare l
-                |> List.filter (Trie.mem_key nodes.(smallest))
-            | None -> Trie.keys nodes.(smallest)
-          in
-          let saved = List.map (fun (ai, _) -> (ai, nodes.(ai))) participants in
-          List.iter
-            (fun value ->
-              if not !stop then begin
-                let ok = ref true in
-                List.iter
-                  (fun (ai, _) ->
-                    if !ok then
-                      match Trie.child nodes.(ai) value with
-                      | Some sub -> nodes.(ai) <- sub
-                      | None -> ok := false)
-                  participants;
-                if !ok then begin
-                  assignment.(v) <- value;
-                  assign (i + 1)
-                end;
-                List.iter (fun (ai, node) -> nodes.(ai) <- node) saved
-              end)
-            candidates;
-          assignment.(v) <- -1
+      (match p.at_level.(i) with
+      | [] -> (
+          match domain_arr.(v) with
+          | Some arr ->
+              let n = Array.length arr in
+              let k = ref 0 in
+              while (not !stop) && !k < n do
+                descend i v arr.(!k);
+                incr k
+              done
+          | None ->
+              let value = ref 0 in
+              while (not !stop) && !value < p.universe_size do
+                descend i v !value;
+                incr value
+              done)
+      | participants -> (
+          match state with
+          | S_trie nodes ->
+              (* candidates: keys of the smallest participating trie,
+                 ascending, filtered by the others and by the domain *)
+              let smallest =
+                List.fold_left
+                  (fun (bai, bn) (ai, _) ->
+                    let n = Trie.num_keys nodes.(ai) in
+                    if n < bn then (ai, n) else (bai, bn))
+                  (-1, max_int) participants
+                |> fst
+              in
+              let source, need_mem_check =
+                match domain_arr.(v) with
+                | Some arr -> (arr, true)
+                | None -> (Trie.keys nodes.(smallest), false)
+              in
+              let saved =
+                List.map (fun (ai, _) -> (ai, nodes.(ai))) participants
+              in
+              Array.iter
+                (fun value ->
+                  if
+                    (not !stop)
+                    && ((not need_mem_check)
+                       || Trie.mem_key nodes.(smallest) value)
+                  then begin
+                    let ok = ref true in
+                    List.iter
+                      (fun (ai, _) ->
+                        if !ok then
+                          match Trie.child nodes.(ai) value with
+                          | Some sub -> nodes.(ai) <- sub
+                          | None -> ok := false)
+                      participants;
+                    if !ok then descend i v value;
+                    List.iter (fun (ai, node) -> nodes.(ai) <- node) saved
+                  end)
+                source
+          | S_cols cs ->
+              (* leapfrog: every participant contributes its current
+                 sorted run; common values arrive ascending, and their
+                 per-run bounds become the child cursors *)
+              let parts = p.parts_at.(i) in
+              let nparts = Array.length parts in
+              let runs = cs.sel.(i) and off = cs.offs.(i) in
+              let los = cs.los and his = cs.his in
+              for j = 0 to nparts - 1 do
+                let ai, lvl = parts.(j) in
+                let r = runs.(j + off) in
+                r.Gallop.lo <- los.(ai).(lvl);
+                r.Gallop.hi <- his.(ai).(lvl)
+              done;
+              Gallop.intersect_into ~pos:cs.pos.(i) ~bounds:cs.bounds.(i) runs
+                (fun value bounds ->
+                  if not !stop then begin
+                    for j = 0 to nparts - 1 do
+                      let ai, lvl = parts.(j) in
+                      los.(ai).(lvl + 1) <- bounds.(2 * (j + off));
+                      his.(ai).(lvl + 1) <- bounds.((2 * (j + off)) + 1)
+                    done;
+                    descend i v value
+                  end)));
+      assignment.(v) <- -1
     end
   in
-  assign 0
+  if List.for_all (filter_ok assignment) p.start_filters then assign 0;
+  match state with
+  | S_cols _ -> pool_give p.pool state
+  | S_trie _ -> ()
 
-let iter ~num_vars ~universe_size ?budget ?domains ?order atoms ~f =
-  run ?domains (prepare ~num_vars ~universe_size ?budget ?order atoms) ~f
+let iter ~num_vars ~universe_size ?budget ?domains ?impl ?order atoms ~f =
+  run ?domains (prepare ~num_vars ~universe_size ?budget ?impl ?order atoms) ~f
 
-let find ~num_vars ~universe_size ?budget ?domains ?order atoms =
+let find ~num_vars ~universe_size ?budget ?domains ?impl ?order atoms =
   let result = ref None in
-  iter ~num_vars ~universe_size ?budget ?domains ?order atoms ~f:(fun a ->
+  iter ~num_vars ~universe_size ?budget ?domains ?impl ?order atoms
+    ~f:(fun a ->
       result := Some a;
       false);
   !result
 
-let exists ~num_vars ~universe_size ?budget ?domains ?order atoms =
-  Option.is_some (find ~num_vars ~universe_size ?budget ?domains ?order atoms)
+let exists ~num_vars ~universe_size ?budget ?domains ?impl ?order atoms =
+  Option.is_some
+    (find ~num_vars ~universe_size ?budget ?domains ?impl ?order atoms)
 
-let count ~num_vars ~universe_size ?budget ?domains ?order atoms =
+let count ~num_vars ~universe_size ?budget ?domains ?impl ?order atoms =
   let n = ref 0 in
-  iter ~num_vars ~universe_size ?budget ?domains ?order atoms ~f:(fun _ ->
+  iter ~num_vars ~universe_size ?budget ?domains ?impl ?order atoms
+    ~f:(fun _ ->
       incr n;
       true);
   !n
 
-let solutions ~num_vars ~universe_size ?budget ?domains ?order atoms =
+let solutions ~num_vars ~universe_size ?budget ?domains ?impl ?order atoms =
   let acc = ref [] in
-  iter ~num_vars ~universe_size ?budget ?domains ?order atoms ~f:(fun a ->
+  iter ~num_vars ~universe_size ?budget ?domains ?impl ?order atoms
+    ~f:(fun a ->
       acc := a :: !acc;
       true);
   List.rev !acc

@@ -2,18 +2,38 @@
 
     Enumerates all assignments [α : {0..num_vars-1} → U] that satisfy every
     atom [R(scope)] (the tuple [α(scope)] is in the atom's relation), by
-    the classic variable-at-a-time intersection of tries. With a variable
-    order compatible with a fractional edge cover, the running time is
-    within the AGM bound — this is the engine behind the paper's Lemma 48
+    the classic variable-at-a-time intersection. With a variable order
+    compatible with a fractional edge cover, the running time is within
+    the AGM bound — this is the engine behind the paper's Lemma 48
     (enumerating [Sol(φ, D, B)]) and behind the [Hom] decision solvers.
 
-    Variables contained in no atom range over their [domains] entry (or
-    the full universe).
+    Two interchangeable implementations share the search skeleton:
+
+    - {!Columnar} (the default) reads sealed relations' sorted columnar
+      projections and intersects per-level runs with the galloping
+      leapfrog kernels of [Ac_kernels] — batch-at-a-time, no per-tuple
+      allocation. {!prepare} seals the atoms' relations.
+    - {!Trie} builds hash tries per atom — the reference oracle the
+      differential tests compare against. Leaves relation phases alone.
+
+    Both paths enumerate candidates in ascending order at every level,
+    so they produce {e identical} solution sequences — and therefore
+    bit-identical estimates downstream, where bounded oracles make the
+    order observable.
+
+    Atoms over {!Ac_relational.Relation.complement_view}s are never
+    indexed (that would materialize the blow-up the views avoid): they
+    join as filter atoms, decided by one membership probe when the last
+    of their variables binds — identically in both implementations.
+
+    Variables contained in no candidate-providing atom range over their
+    [domains] entry (or the full universe).
 
     When the same join is evaluated many times under different [domains]
     (the colour-coding oracle of Lemma 22 does exactly this), {!prepare}
-    once and {!run} repeatedly: the tries and the variable order are
-    built a single time. *)
+    once and {!run} repeatedly: indexes and the variable order are built
+    a single time, and cursor state is per-run, so concurrent runs over
+    one [prepared] are safe. *)
 
 type atom = {
   scope : int array;                    (** variable per position *)
@@ -22,20 +42,33 @@ type atom = {
 
 val atom : int array -> Ac_relational.Relation.t -> atom
 
-(** A compiled join: tries and variable order, reusable across runs. *)
+(** Index implementation: columnar leapfrog kernels (production) or hash
+    tries (reference oracle). *)
+type impl = Trie | Columnar
+
+(** Process-wide default used when {!prepare} gets no [?impl];
+    initially {!Columnar}. *)
+val set_default_impl : impl -> unit
+
+val default_impl : unit -> impl
+
+(** A compiled join: per-atom indexes and variable order, reusable
+    across (concurrent) runs. *)
 type prepared
 
-(** [prepare ~num_vars ~universe_size ?order atoms]. [order], when given,
-    must be a permutation of the variables; the default order takes
-    variables ascending by the smallest relation they appear in.
+(** [prepare ~num_vars ~universe_size ?impl ?order atoms]. [order], when
+    given, must be a permutation of the variables; the default order
+    takes variables ascending by the smallest relation they appear in.
     [budget], when given, is ticked once per backtracking-search node on
     every later {!run}, so a tripped budget cancels the enumeration with
-    [Ac_runtime.Budget.Budget_exceeded]. Raises [Invalid_argument] on
+    [Ac_runtime.Budget.Budget_exceeded]. With the {!Columnar} impl the
+    atoms' relations are sealed here. Raises [Invalid_argument] on
     malformed atoms. *)
 val prepare :
   num_vars:int ->
   universe_size:int ->
   ?budget:Ac_runtime.Budget.t ->
+  ?impl:impl ->
   ?order:int array ->
   atom list ->
   prepared
@@ -43,8 +76,25 @@ val prepare :
 (** [run prepared ?domains ~f] calls [f] on each satisfying assignment (a
     fresh array); [f] returning [false] stops the enumeration.
     [domains.(v)], when given, restricts variable [v] to the listed
-    values. *)
-val run : ?domains:int list option array -> prepared -> f:(int array -> bool) -> unit
+    values, treated as a set. A strictly-ascending array (the
+    [Ac_kernels.Intset] canonical form — what the oracle/[Hom] path
+    always passes) is used as-is without copying, so don't mutate it
+    during the run; anything else is canonicalized into a copy first.
+    With [~reuse:true], [f] is handed the run's internal assignment
+    array — valid only until [f] returns; callers that do not retain
+    solutions (decision probes, semijoin scans) skip a copy per
+    solution. [diseqs] pushes disequality pairs [(a, b)] (variable
+    indices, [α(a) ≠ α(b)]) into the search: violating subtrees are
+    pruned when the second endpoint binds, so [f] sees exactly the
+    satisfying solutions, in unchanged (ascending, impl-independent)
+    order — equivalent to filtering in [f], never slower. *)
+val run :
+  ?domains:int array option array ->
+  ?reuse:bool ->
+  ?diseqs:(int * int) array ->
+  prepared ->
+  f:(int array -> bool) ->
+  unit
 
 (** {2 One-shot wrappers} *)
 
@@ -52,7 +102,8 @@ val iter :
   num_vars:int ->
   universe_size:int ->
   ?budget:Ac_runtime.Budget.t ->
-  ?domains:int list option array ->
+  ?domains:int array option array ->
+  ?impl:impl ->
   ?order:int array ->
   atom list ->
   f:(int array -> bool) ->
@@ -62,7 +113,8 @@ val find :
   num_vars:int ->
   universe_size:int ->
   ?budget:Ac_runtime.Budget.t ->
-  ?domains:int list option array ->
+  ?domains:int array option array ->
+  ?impl:impl ->
   ?order:int array ->
   atom list ->
   int array option
@@ -71,7 +123,8 @@ val exists :
   num_vars:int ->
   universe_size:int ->
   ?budget:Ac_runtime.Budget.t ->
-  ?domains:int list option array ->
+  ?domains:int array option array ->
+  ?impl:impl ->
   ?order:int array ->
   atom list ->
   bool
@@ -80,7 +133,8 @@ val count :
   num_vars:int ->
   universe_size:int ->
   ?budget:Ac_runtime.Budget.t ->
-  ?domains:int list option array ->
+  ?domains:int array option array ->
+  ?impl:impl ->
   ?order:int array ->
   atom list ->
   int
@@ -89,7 +143,8 @@ val solutions :
   num_vars:int ->
   universe_size:int ->
   ?budget:Ac_runtime.Budget.t ->
-  ?domains:int list option array ->
+  ?domains:int array option array ->
+  ?impl:impl ->
   ?order:int array ->
   atom list ->
   int array list

@@ -1,17 +1,15 @@
 module Relation = Ac_relational.Relation
 
 type t =
-  | Leaf of int                       (* number of tuples that end here *)
-  | Node of { total : int; children : (int, t) Hashtbl.t }
+  | Leaf of int (* number of tuples that end here *)
+  | Node of { total : int; keys : int array; children : (int, t) Hashtbl.t }
 
 let depth t =
   let rec go acc = function
     | Leaf _ -> acc
-    | Node { children; _ } ->
-        if Hashtbl.length children = 0 then acc
-        else
-          let sample = Hashtbl.fold (fun _ c _ -> Some c) children None in
-          (match sample with None -> acc | Some c -> go (acc + 1) c)
+    | Node { keys; children; _ } ->
+        if Array.length keys = 0 then acc
+        else go (acc + 1) (Hashtbl.find children keys.(0))
   in
   go 0 t
 
@@ -24,41 +22,62 @@ let child t v =
 
 let keys = function
   | Leaf _ -> invalid_arg "Trie.keys: at a leaf"
-  | Node { children; _ } -> Hashtbl.fold (fun k _ acc -> k :: acc) children []
+  | Node { keys; _ } -> keys
 
 let num_keys = function
   | Leaf _ -> invalid_arg "Trie.num_keys: at a leaf"
-  | Node { children; _ } -> Hashtbl.length children
+  | Node { keys; _ } -> Array.length keys
 
 let mem_key t v =
   match t with
   | Leaf _ -> invalid_arg "Trie.mem_key: at a leaf"
   | Node { children; _ } -> Hashtbl.mem children v
 
+(* Mutable shape used during construction, frozen into [t] with the key
+   sets sorted ascending — enumeration over a trie must be canonical so
+   the trie path and the columnar path visit candidates in the same
+   order (estimates depend on that order through the bounded oracle). *)
+type builder =
+  | B_leaf of { mutable count : int }
+  | B_node of { mutable total : int; children : (int, builder) Hashtbl.t }
+
 let build ?(keep = fun _ -> true) relation ~positions =
   let levels = Array.length positions in
-  (* nested mutable construction, converted on the fly *)
   let rec insert node tuple level =
     match node with
-    | Leaf n ->
-        assert (level = levels);
-        Leaf (n + 1)
-    | Node { total; children } ->
+    | B_leaf l -> l.count <- l.count + 1
+    | B_node n ->
         let key = tuple.(positions.(level)) in
         let sub =
-          match Hashtbl.find_opt children key with
+          match Hashtbl.find_opt n.children key with
           | Some s -> s
           | None ->
-              if level + 1 = levels then Leaf 0
-              else Node { total = 0; children = Hashtbl.create 4 }
+              let s =
+                if level + 1 = levels then B_leaf { count = 0 }
+                else B_node { total = 0; children = Hashtbl.create 4 }
+              in
+              Hashtbl.replace n.children key s;
+              s
         in
-        let sub = insert sub tuple (level + 1) in
-        Hashtbl.replace children key sub;
-        Node { total = total + 1; children }
+        n.total <- n.total + 1;
+        insert sub tuple (level + 1)
   in
   let root =
-    if levels = 0 then Leaf 0 else Node { total = 0; children = Hashtbl.create 16 }
+    if levels = 0 then B_leaf { count = 0 }
+    else B_node { total = 0; children = Hashtbl.create 16 }
   in
-  Relation.fold
-    (fun tuple acc -> if keep tuple then insert acc tuple 0 else acc)
-    relation root
+  Relation.iter (fun tuple -> if keep tuple then insert root tuple 0) relation;
+  let rec freeze = function
+    | B_leaf { count } -> Leaf count
+    | B_node { total; children } ->
+        let keys =
+          Hashtbl.fold (fun k _ acc -> k :: acc) children []
+          |> List.sort Int.compare |> Array.of_list
+        in
+        let frozen = Hashtbl.create (Array.length keys) in
+        Array.iter
+          (fun k -> Hashtbl.replace frozen k (freeze (Hashtbl.find children k)))
+          keys;
+        Node { total; keys; children = frozen }
+  in
+  freeze root

@@ -1,11 +1,15 @@
-(** Hash tries over relations, the index structure behind the generic
-    worst-case-optimal join.
+(** Hash tries over relations — the {e reference} index behind the
+    generic worst-case-optimal join (the columnar kernels in
+    [Ac_kernels] are the production path; the trie stays as the oracle
+    the differential tests compare against).
 
     A trie fixes an order of the (distinct) variables of an atom's scope
     and stores the relation's tuples level by level in that order.
     Repeated variables in a scope are checked during construction
     (tuples with unequal components at repeated positions are dropped)
-    and collapsed to a single level. *)
+    and collapsed to a single level. Key sets are sorted, so level
+    enumeration is canonical (ascending) and matches the columnar
+    path's order exactly. *)
 
 type t
 
@@ -20,9 +24,9 @@ val depth : t -> int
 (** [child t v] descends one level along value [v]. *)
 val child : t -> int -> t option
 
-(** Values available at the current level, unordered. [Invalid_argument]
-    below depth 1. *)
-val keys : t -> int list
+(** Values available at the current level, ascending. The returned array
+    is the trie's own — do not mutate. [Invalid_argument] below depth 1. *)
+val keys : t -> int array
 
 val num_keys : t -> int
 val mem_key : t -> int -> bool

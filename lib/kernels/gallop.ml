@@ -1,0 +1,124 @@
+module Column = Ac_relational.Column
+
+(* Galloping (exponential) search: the join kernels advance cursors that
+   usually move a short distance, so probe 1, 2, 4, … steps from [lo]
+   before handing the bracketed range to plain binary search. *)
+
+let lower col ~lo ~hi x =
+  if lo >= hi || Column.unsafe_get col lo >= x then lo
+  else begin
+    let prev = ref lo and cur = ref (lo + 1) and step = ref 1 in
+    while !cur < hi && Column.unsafe_get col !cur < x do
+      prev := !cur;
+      step := !step * 2;
+      cur := !cur + !step
+    done;
+    Column.lower_bound col ~lo:(!prev + 1) ~hi:(min (!cur + 1) hi) x
+  end
+
+let upper col ~lo ~hi x =
+  if lo >= hi || Column.unsafe_get col lo > x then lo
+  else begin
+    let prev = ref lo and cur = ref (lo + 1) and step = ref 1 in
+    while !cur < hi && Column.unsafe_get col !cur <= x do
+      prev := !cur;
+      step := !step * 2;
+      cur := !cur + !step
+    done;
+    Column.upper_bound col ~lo:(!prev + 1) ~hi:(min (!cur + 1) hi) x
+  end
+
+let equal_range col ~lo ~hi x =
+  let l = lower col ~lo ~hi x in
+  (l, upper col ~lo:l ~hi x)
+
+(* Mutable bounds so callers can keep one cursor array per join level
+   and rewrite [lo]/[hi] per search node instead of allocating. *)
+type run = { mutable col : Column.t; mutable lo : int; mutable hi : int }
+
+(* The two-run case dominates real joins (one run per already-visited
+   occurrence of the variable, usually two): a bespoke two-pointer loop
+   saves the generic version's per-value head scan. *)
+let intersect2 scratch a b f =
+  let pa = ref a.lo and pb = ref b.lo in
+  while !pa < a.hi && !pb < b.hi do
+    let va = Column.unsafe_get a.col !pa and vb = Column.unsafe_get b.col !pb in
+    if va < vb then pa := lower a.col ~lo:(!pa + 1) ~hi:a.hi vb
+    else if vb < va then pb := lower b.col ~lo:(!pb + 1) ~hi:b.hi va
+    else begin
+      let ea = upper a.col ~lo:!pa ~hi:a.hi va in
+      let eb = upper b.col ~lo:!pb ~hi:b.hi va in
+      scratch.(0) <- !pa;
+      scratch.(1) <- ea;
+      scratch.(2) <- !pb;
+      scratch.(3) <- eb;
+      f va scratch;
+      pa := ea;
+      pb := eb
+    end
+  done
+
+let intersect_into ~pos ~bounds runs f =
+  let k = Array.length runs in
+  if k = 2 then intersect2 bounds runs.(0) runs.(1) f
+  else if k > 0 && Array.for_all (fun r -> r.lo < r.hi) runs then begin
+    (* cursor per run; [runs] itself is never mutated here, so the
+       caller may reuse the same array across nested nodes *)
+    for i = 0 to k - 1 do
+      pos.(i) <- runs.(i).lo
+    done;
+    (* per-value bounds handed to [f] as a flat [lo0; hi0; lo1; …]
+       scratch, overwritten on the next value — copy to keep *)
+    let scratch = bounds in
+    let exhausted = ref false in
+    while not !exhausted do
+      (* leapfrog: every cursor seeks the max of the current heads;
+         they all land on it exactly when it is a common value *)
+      let v = ref min_int in
+      for i = 0 to k - 1 do
+        let x = Column.unsafe_get runs.(i).col pos.(i) in
+        if x > !v then v := x
+      done;
+      let all_match = ref true in
+      for i = 0 to k - 1 do
+        let r = runs.(i) in
+        let p = lower r.col ~lo:pos.(i) ~hi:r.hi !v in
+        pos.(i) <- p;
+        if p >= r.hi then begin
+          exhausted := true;
+          all_match := false
+        end
+        else if Column.unsafe_get r.col p <> !v then all_match := false
+      done;
+      if (not !exhausted) && !all_match then begin
+        for i = 0 to k - 1 do
+          let r = runs.(i) in
+          let e = upper r.col ~lo:pos.(i) ~hi:r.hi !v in
+          scratch.(2 * i) <- pos.(i);
+          scratch.((2 * i) + 1) <- e;
+          pos.(i) <- e
+        done;
+        f !v scratch;
+        for i = 0 to k - 1 do
+          if pos.(i) >= runs.(i).hi then exhausted := true
+        done
+      end
+    done
+  end
+
+let intersect runs f =
+  let k = Array.length runs in
+  intersect_into ~pos:(Array.make (max k 1) 0) ~bounds:(Array.make (2 * max k 1) 0)
+    runs f
+
+let intersect_arrays arrays =
+  let runs =
+    Array.map
+      (fun a ->
+        let col = Column.of_array a in
+        { col; lo = 0; hi = Column.length col })
+      arrays
+  in
+  let out = Selvec.create () in
+  intersect runs (fun v _ -> Selvec.push out v);
+  Selvec.to_array out

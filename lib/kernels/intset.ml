@@ -1,0 +1,116 @@
+(* Sets of universe elements as strictly-ascending int arrays — the
+   domain representation flowing through the oracle → Hom → join path.
+   Everything here is allocation-lean: results share input arrays when
+   the operation is the identity, and no hash tables are involved. *)
+
+let is_canonical a =
+  let n = Array.length a in
+  let ok = ref true in
+  for i = 1 to n - 1 do
+    if a.(i - 1) >= a.(i) then ok := false
+  done;
+  !ok
+
+let canon a =
+  if is_canonical a then a
+  else begin
+    let c = Array.copy a in
+    Array.sort Int.compare c;
+    (* dedup in place, then trim *)
+    let w = ref 0 in
+    Array.iteri
+      (fun i x ->
+        if i = 0 || x <> c.(!w - 1) then begin
+          c.(!w) <- x;
+          incr w
+        end)
+      c;
+    if !w = Array.length c then c else Array.sub c 0 !w
+  end
+
+let mem a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length a && a.(!lo) = x
+
+(* Count-then-fill merge scan; returns [a] or [b] itself when it equals
+   the result (the dominant case for arc-consistent domains). *)
+let inter a b =
+  let na = Array.length a and nb = Array.length b in
+  let count = ref 0 and i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then incr i
+    else if y < x then incr j
+    else begin
+      incr count;
+      incr i;
+      incr j
+    end
+  done;
+  if !count = na then a
+  else if !count = nb then b
+  else begin
+    let out = Array.make !count 0 in
+    let k = ref 0 and i = ref 0 and j = ref 0 in
+    while !k < !count do
+      let x = a.(!i) and y = b.(!j) in
+      if x < y then incr i
+      else if y < x then incr j
+      else begin
+        out.(!k) <- x;
+        incr k;
+        incr i;
+        incr j
+      end
+    done;
+    out
+  end
+
+let disjoint a b =
+  let na = Array.length a and nb = Array.length b in
+  let i = ref 0 and j = ref 0 and hit = ref false in
+  while (not !hit) && !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then incr i else if y < x then incr j else hit := true
+  done;
+  not !hit
+
+let remove a x =
+  if not (mem a x) then a
+  else begin
+    let n = Array.length a in
+    let out = Array.make (n - 1) 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if a.(i) <> x then begin
+        out.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    out
+  end
+
+let filter p a =
+  let n = Array.length a in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if p a.(i) then incr count
+  done;
+  if !count = n then a
+  else begin
+    let out = Array.make !count 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if p a.(i) then begin
+        out.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    out
+  end
+
+let range n = Array.init n Fun.id

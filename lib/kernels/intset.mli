@@ -1,0 +1,34 @@
+(** Sets of universe elements as strictly-ascending int arrays.
+
+    This is the canonical {e domain} representation on the hot decision
+    path (colour oracle → [Hom] → [Generic_join]): ascending order is
+    what the leapfrog kernels and the deterministic enumeration contract
+    need, and array set operations beat the list/hashtable mix they
+    replaced — no per-element boxing, results alias an input whenever
+    the operation turns out to be the identity. Inputs other than
+    {!canon}'s are assumed canonical (strictly ascending). *)
+
+(** Strictly ascending (sorted, duplicate-free)? *)
+val is_canonical : int array -> bool
+
+(** Canonical form: [a] itself when already canonical (no copy),
+    otherwise a sorted deduplicated copy — [a] is never mutated. *)
+val canon : int array -> int array
+
+(** Binary-search membership. *)
+val mem : int array -> int -> bool
+
+(** Ascending intersection; returns an input array unchanged when it
+    equals the result. *)
+val inter : int array -> int array -> int array
+
+val disjoint : int array -> int array -> bool
+
+(** [remove a x] — [a] without [x]; [a] itself when [x] is absent. *)
+val remove : int array -> int -> int array
+
+(** Order-preserving filter; [a] itself when everything survives. *)
+val filter : (int -> bool) -> int array -> int array
+
+(** [range n] = [[|0; …; n-1|]]. *)
+val range : int -> int array

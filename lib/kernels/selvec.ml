@@ -1,0 +1,48 @@
+module Column = Ac_relational.Column
+
+type t = { mutable data : Column.t; mutable len : int }
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  { data = Column.create capacity; len = 0 }
+
+let length v = v.len
+
+let clear v = v.len <- 0
+
+let ensure v needed =
+  let cap = Column.length v.data in
+  if needed > cap then begin
+    let cap' = ref (max cap 1) in
+    while !cap' < needed do
+      cap' := !cap' * 2
+    done;
+    let data = Column.create !cap' in
+    Column.blit ~src:v.data ~src_pos:0 ~dst:data ~dst_pos:0 ~len:v.len;
+    v.data <- data
+  end
+
+let push v x =
+  ensure v (v.len + 1);
+  Column.set v.data v.len x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Selvec.get: index out of bounds";
+  Column.get v.data i
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Column.get v.data i)
+  done
+
+let to_array v = Array.init v.len (fun i -> Column.get v.data i)
+
+let of_array a =
+  let v = create ~capacity:(max 1 (Array.length a)) () in
+  Array.iter (push v) a;
+  v
+
+(* The columns backing [v.data] may be larger than [len]; expose only the
+   live prefix so kernel loops can run over the raw column. *)
+let unsafe_data v = v.data

@@ -1,0 +1,28 @@
+(** Growable selection vectors over [Bigarray] int storage.
+
+    A selection vector is the batch layer's unit of currency: a dense
+    list of row indices (or dictionary codes) selected by a kernel,
+    passed to the next kernel without materializing tuples. Amortized
+    O(1) [push]; storage doubles as needed and is never shrunk. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+
+(** Reset to empty without releasing storage — the idiom for reusing one
+    vector across the levels of a join. *)
+val clear : t -> unit
+
+val push : t -> int -> unit
+
+(** Bounds-checked read; [Invalid_argument] outside [0, length). *)
+val get : t -> int -> int
+
+val iter : (int -> unit) -> t -> unit
+val to_array : t -> int array
+val of_array : int array -> t
+
+(** The backing column. Only indices [< length] are live; the tail is
+    uninitialized garbage. For kernel inner loops. *)
+val unsafe_data : t -> Ac_relational.Column.t

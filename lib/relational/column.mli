@@ -1,0 +1,30 @@
+(** Flat integer columns backed by [Bigarray] — the storage primitive of
+    sealed relations. A column is a C-layout [int] array outside the
+    OCaml heap: scanning it never touches the GC, and slices of it are
+    the operands of the join kernels (sorted-run intersection, range
+    narrowing). *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+(** Unchecked read — callers must have bracketed [i] inside the column
+    (the kernels' inner loops already have). *)
+val unsafe_get : t -> int -> int
+val of_array : int array -> t
+val to_array : t -> int array
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+(** [lower_bound c ~lo ~hi v] is the first index in [\[lo, hi)] holding a
+    value [>= v] ([hi] when none). Requires [c] sorted on that range. *)
+val lower_bound : t -> lo:int -> hi:int -> int -> int
+
+(** First index in [\[lo, hi)] holding a value [> v]. *)
+val upper_bound : t -> lo:int -> hi:int -> int -> int
+
+(** [equal_range c ~lo ~hi v] is the half-open run of [v] inside
+    [\[lo, hi)] — empty ([l, l]) when [v] does not occur. *)
+val equal_range : t -> lo:int -> hi:int -> int -> int * int

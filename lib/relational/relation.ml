@@ -1,33 +1,201 @@
-type t = { arity : int; tuples : unit Tuple.Table.t }
+module Error = Ac_runtime.Error
+
+(* Sorted projection of a sealed relation: rows filtered by the equality
+   pattern, projected to [positions], lex-sorted and deduplicated, with a
+   CSR (offset-compressed) index over the first projected column. *)
+type cols = {
+  columns : Column.t array;
+  rows : int;
+  dict0 : Column.t;
+  offsets0 : Column.t; (* length |dict0| + 1; row range of dict0.(k) *)
+}
+
+type sealed = {
+  primary : cols; (* identity projection: the relation itself *)
+  dicts : Column.t array; (* per-column sorted distinct values *)
+  projections : (string, cols) Hashtbl.t; (* memo, keyed by permutation *)
+  lock : Mutex.t; (* guards [projections] across server threads *)
+}
+
+type repr =
+  | Building of unit Tuple.Table.t
+  | Sealed of sealed
+  | Complement of { base : t; universe_size : int }
+
+and t = { arity : int; mutable repr : repr }
+
+(* Phase transitions are idempotent and rare; one global lock is enough
+   and keeps the sealed record free of transition state. *)
+let seal_lock = Mutex.create ()
 
 let create ~arity =
   if arity < 1 then invalid_arg "Relation.create: arity must be positive";
-  { arity; tuples = Tuple.Table.create 64 }
+  { arity; repr = Building (Tuple.Table.create 64) }
 
 let arity r = r.arity
-let cardinality r = Tuple.Table.length r.tuples
+
+let pow_saturating base exp =
+  let rec go acc n =
+    if n = 0 then acc
+    else if acc > max_int / base then max_int
+    else go (acc * base) (n - 1)
+  in
+  if base = 0 then if exp = 0 then 1 else 0 else go 1 exp
+
+let cardinality r =
+  match r.repr with
+  | Building tbl -> Tuple.Table.length tbl
+  | Sealed s -> s.primary.rows
+  | Complement { base; universe_size } ->
+      let total = pow_saturating universe_size r.arity in
+      let b = match base.repr with
+        | Sealed s -> s.primary.rows
+        | Building tbl -> Tuple.Table.length tbl
+        | Complement _ -> 0
+      in
+      if total = max_int then max_int else total - b
+
+let is_sealed r =
+  match r.repr with Building _ -> false | Sealed _ | Complement _ -> true
+
+let is_complement r =
+  match r.repr with Complement _ -> true | _ -> false
+
+let complement_base r =
+  match r.repr with
+  | Complement { base; universe_size } -> Some (base, universe_size)
+  | _ -> None
 
 let add r tuple =
   if Array.length tuple <> r.arity then
     invalid_arg "Relation.add: tuple length does not match arity";
-  if not (Tuple.Table.mem r.tuples tuple) then
-    Tuple.Table.replace r.tuples tuple ()
+  match r.repr with
+  | Building tbl ->
+      if not (Tuple.Table.mem tbl tuple) then Tuple.Table.replace tbl tuple ()
+  | Sealed _ | Complement _ ->
+      Error.raise_e
+        (Error.Sealed_mutation
+           "Relation.add: relation is sealed; copy it to start a new build \
+            phase")
 
-let mem r tuple = Tuple.Table.mem r.tuples tuple
-let iter f r = Tuple.Table.iter (fun t () -> f t) r.tuples
-let fold f r init = Tuple.Table.fold (fun t () acc -> f t acc) r.tuples init
-let to_list r = fold (fun t acc -> t :: acc) r []
+(* --- sealing: builder table -> columnar --- *)
 
-let of_list ~arity tuples =
-  let r = create ~arity in
-  List.iter (add r) tuples;
-  r
+let sorted_tuples_of_table tbl =
+  let n = Tuple.Table.length tbl in
+  let rows = Array.make n [||] in
+  let i = ref 0 in
+  Tuple.Table.iter
+    (fun t () ->
+      rows.(!i) <- t;
+      incr i)
+    tbl;
+  Array.sort Tuple.compare rows;
+  rows
 
-let copy r = { arity = r.arity; tuples = Tuple.Table.copy r.tuples }
-let is_empty r = cardinality r = 0
+(* Lex-sorted, deduplicated rows -> columns + CSR over column 0. *)
+let cols_of_sorted_rows ~arity rows =
+  let n = Array.length rows in
+  let columns = Array.init arity (fun _ -> Column.create n) in
+  Array.iteri
+    (fun i t -> Array.iteri (fun j v -> Column.set columns.(j) i v) t)
+    rows;
+  let distinct0 = ref 0 in
+  for i = 0 to n - 1 do
+    if i = 0 || rows.(i).(0) <> rows.(i - 1).(0) then incr distinct0
+  done;
+  let dict0 = Column.create !distinct0 in
+  let offsets0 = Column.create (!distinct0 + 1) in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if i = 0 || rows.(i).(0) <> rows.(i - 1).(0) then begin
+      Column.set dict0 !k rows.(i).(0);
+      Column.set offsets0 !k i;
+      incr k
+    end
+  done;
+  Column.set offsets0 !distinct0 n;
+  { columns; rows = n; dict0; offsets0 }
 
-(* Enumerate U^arity in lexicographic order, applying [f] to a fresh copy
-   of each tuple. *)
+let dicts_of_cols ~arity primary =
+  Array.init arity (fun j ->
+      if j = 0 then primary.dict0
+      else begin
+        let n = primary.rows in
+        let vals = Array.init n (Column.get primary.columns.(j)) in
+        Array.sort Int.compare vals;
+        let distinct = ref 0 in
+        Array.iteri
+          (fun i v -> if i = 0 || v <> vals.(i - 1) then incr distinct)
+          vals;
+        let d = Column.create !distinct in
+        let k = ref 0 in
+        Array.iteri
+          (fun i v ->
+            if i = 0 || v <> vals.(i - 1) then begin
+              Column.set d !k v;
+              incr k
+            end)
+          vals;
+        d
+      end)
+
+let sealed_of_rows ~arity rows =
+  let primary = cols_of_sorted_rows ~arity rows in
+  {
+    primary;
+    dicts = dicts_of_cols ~arity primary;
+    projections = Hashtbl.create 4;
+    lock = Mutex.create ();
+  }
+
+let seal r =
+  Mutex.lock seal_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock seal_lock)
+    (fun () ->
+      match r.repr with
+      | Sealed _ | Complement _ -> ()
+      | Building tbl ->
+          r.repr <- Sealed (sealed_of_rows ~arity:r.arity (sorted_tuples_of_table tbl)))
+
+let sealed_exn r =
+  match r.repr with
+  | Sealed s -> s
+  | Building _ -> invalid_arg "Relation: sealed columnar access on a builder"
+  | Complement _ ->
+      invalid_arg "Relation: sealed columnar access on a complement view"
+
+let sealed_cols r =
+  match r.repr with Sealed s -> Some s.primary | _ -> None
+
+let dict r j = (sealed_exn r).dicts.(j)
+
+(* --- membership --- *)
+
+let mem_sealed s tuple =
+  let lo = ref 0 and hi = ref s.primary.rows in
+  let arity = Array.length s.primary.columns in
+  let j = ref 0 in
+  while !j < arity && !lo < !hi do
+    let l, h = Column.equal_range s.primary.columns.(!j) ~lo:!lo ~hi:!hi tuple.(!j) in
+    lo := l;
+    hi := h;
+    incr j
+  done;
+  !lo < !hi
+
+let rec mem r tuple =
+  match r.repr with
+  | Building tbl -> Tuple.Table.mem tbl tuple
+  | Sealed s -> mem_sealed s tuple
+  | Complement { base; universe_size } ->
+      Array.for_all (fun v -> v >= 0 && v < universe_size) tuple
+      && not (mem base tuple)
+
+(* --- canonical iteration: ascending lexicographic order in every phase,
+   so enumeration sequences (and everything downstream: atom lists,
+   candidate orders, fingerprints) are representation-independent --- *)
+
 let iter_universal ~universe_size ~arity f =
   if universe_size > 0 then begin
     let cursor = Array.make arity 0 in
@@ -40,33 +208,206 @@ let iter_universal ~universe_size ~arity f =
         end
       end
     in
-    let total =
-      let rec pow acc n = if n = 0 then acc else pow (acc * universe_size) (n - 1) in
-      pow 1 arity
-    in
+    let total = pow_saturating universe_size arity in
     for _ = 1 to total do
       f (Array.copy cursor);
       bump (arity - 1)
     done
   end
 
+let iter f r =
+  match r.repr with
+  | Building tbl -> Array.iter f (sorted_tuples_of_table tbl)
+  | Sealed s ->
+      let arity = Array.length s.primary.columns in
+      for i = 0 to s.primary.rows - 1 do
+        f (Array.init arity (fun j -> Column.get s.primary.columns.(j) i))
+      done
+  | Complement { base; universe_size } ->
+      (* lazy: lexicographic sweep of U^arity, skipping base members —
+         never materialized. Base membership is checked against the
+         sorted rows via a cursor when the base is sealed. *)
+      let skip = mem base in
+      iter_universal ~universe_size ~arity:r.arity (fun t ->
+          if not (skip t) then f t)
+
+let fold f r init =
+  let acc = ref init in
+  iter (fun t -> acc := f t !acc) r;
+  !acc
+
+let to_list r = List.rev (fold (fun t acc -> t :: acc) r [])
+
+let of_list ~arity tuples =
+  let r = create ~arity in
+  List.iter (add r) tuples;
+  r
+
+(* [copy] always thaws: the copy is a fresh builder seeded with the
+   source's tuples, whatever phase the source is in. Sealed data is
+   immutable, so copying is the only way to resume mutation. *)
+let copy r =
+  let out = create ~arity:r.arity in
+  iter (fun t -> add out t) r;
+  out
+
+let is_empty r = cardinality r = 0
+
 let universal ~universe_size ~arity =
   let r = create ~arity in
   iter_universal ~universe_size ~arity (add r);
   r
 
-let complement ~universe_size r =
+(* --- complements --- *)
+
+let complement_view ~universe_size r =
+  match r.repr with
+  | Complement { base; universe_size = u } when u = universe_size ->
+      (* the complement of a complement over the same universe is the
+         base itself; sealed relations are immutable, so sharing is safe *)
+      base
+  | _ ->
+      seal r;
+      { arity = r.arity; repr = Complement { base = r; universe_size } }
+
+let default_complement_cap = 20_000_000
+
+let complement ?(cap = default_complement_cap) ~universe_size r =
+  let cells = pow_saturating universe_size r.arity in
+  if cells > cap then
+    Error.raise_e
+      (Error.Complement_overflow { arity = r.arity; universe = universe_size; cap });
+  let view = complement_view ~universe_size r in
   let out = create ~arity:r.arity in
-  iter_universal ~universe_size ~arity:r.arity (fun t ->
-      if not (mem r t) then add out t);
+  iter (add out) view;
+  seal out;
   out
 
+(* --- sorted projections (the join kernels' index) --- *)
+
+let projection_key ~positions ~equalities =
+  let buf = Buffer.create 32 in
+  Array.iter (fun p -> Buffer.add_string buf (string_of_int p ^ ",")) positions;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun (p, q) ->
+      Buffer.add_string buf (string_of_int p ^ "=" ^ string_of_int q ^ ","))
+    equalities;
+  Buffer.contents buf
+
+let is_identity_projection r ~positions ~equalities =
+  Array.length equalities = 0
+  && Array.length positions = r.arity
+  && Array.for_all Fun.id (Array.mapi (fun i p -> i = p) positions)
+
+let build_projection s ~positions ~equalities =
+  let keep i =
+    Array.for_all
+      (fun (p, q) ->
+        Column.get s.primary.columns.(p) i = Column.get s.primary.columns.(q) i)
+      equalities
+  in
+  let out = ref [] in
+  for i = s.primary.rows - 1 downto 0 do
+    if keep i then
+      out := Array.map (fun p -> Column.get s.primary.columns.(p) i) positions :: !out
+  done;
+  let rows = Array.of_list !out in
+  Array.sort Tuple.compare rows;
+  (* deduplicate: projections of distinct rows can collide *)
+  let dedup = ref [] in
+  for i = Array.length rows - 1 downto 0 do
+    if i = 0 || Tuple.compare rows.(i) rows.(i - 1) <> 0 then
+      dedup := rows.(i) :: !dedup
+  done;
+  cols_of_sorted_rows ~arity:(Array.length positions) (Array.of_list !dedup)
+
+let projection r ~positions ~equalities =
+  let s = sealed_exn r in
+  if is_identity_projection r ~positions ~equalities then s.primary
+  else begin
+    let key = projection_key ~positions ~equalities in
+    Mutex.lock s.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.lock)
+      (fun () ->
+        match Hashtbl.find_opt s.projections key with
+        | Some p -> p
+        | None ->
+            let p = build_projection s ~positions ~equalities in
+            Hashtbl.add s.projections key p;
+            p)
+  end
+
+(* --- stats --- *)
+
+let active_domain r =
+  match r.repr with
+  | Building tbl ->
+      let seen = Hashtbl.create 64 in
+      Tuple.Table.iter
+        (fun t () -> Array.iter (fun v -> Hashtbl.replace seen v ()) t)
+        tbl;
+      Hashtbl.length seen
+  | Sealed s ->
+      (* distinct over the union of the per-column dictionaries: k-way
+         merge of sorted runs, counting value changes *)
+      let cursors = Array.map (fun _ -> ref 0) s.dicts in
+      let count = ref 0 and last = ref min_int in
+      let exception Done in
+      (try
+         while true do
+           let best = ref max_int in
+           Array.iteri
+             (fun j c ->
+               if !c < Column.length s.dicts.(j) then
+                 best := min !best (Column.get s.dicts.(j) !c))
+             cursors;
+           if !best = max_int then raise Done;
+           if !best <> !last then begin
+             incr count;
+             last := !best
+           end;
+           Array.iteri
+             (fun j c ->
+               if !c < Column.length s.dicts.(j)
+                  && Column.get s.dicts.(j) !c = !best
+               then incr c)
+             cursors
+         done
+       with Done -> ());
+      !count
+  | Complement { universe_size; _ } ->
+      (* dense view: every universe element occurs unless the view is
+         empty (only used for catalog stats, never on complements) *)
+      if cardinality r = 0 then 0 else universe_size
+
+(* --- equality and printing --- *)
+
 let equal a b =
-  a.arity = b.arity
-  && cardinality a = cardinality b
-  && fold (fun t acc -> acc && mem b t) a true
+  match (a.repr, b.repr) with
+  | ( Complement { base = ba; universe_size = ua },
+      Complement { base = bb; universe_size = ub } )
+    when ua = ub && a.arity = b.arity ->
+      (* same universe: complements agree iff the bases do *)
+      let card_eq =
+        (match (ba.repr, bb.repr) with
+        | Sealed sa, Sealed sb -> sa.primary.rows = sb.primary.rows
+        | _ -> true)
+      in
+      card_eq && fold (fun t acc -> acc && mem bb t) ba true
+      && fold (fun t acc -> acc && mem ba t) bb true
+  | _ ->
+      a.arity = b.arity
+      && cardinality a = cardinality b
+      && fold (fun t acc -> acc && mem b t) a true
 
 let pp fmt r =
-  let tuples = List.sort Tuple.compare (to_list r) in
-  Format.fprintf fmt "{%s}"
-    (String.concat "; " (List.map Tuple.to_string tuples))
+  match r.repr with
+  | Complement { universe_size; _ } when cardinality r > 10_000 ->
+      Format.fprintf fmt "<complement view: U^%d \\ base, universe %d>" r.arity
+        universe_size
+  | _ ->
+      let tuples = to_list r in
+      Format.fprintf fmt "{%s}"
+        (String.concat "; " (List.map Tuple.to_string tuples))

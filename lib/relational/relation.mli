@@ -1,38 +1,119 @@
-(** Finite relations over an integer universe.
+(** Finite relations over an integer universe — a two-phase store.
 
-    A relation is a set of equal-length tuples. Mutation (adding tuples) is
-    only expected during database construction; all query-time operations
-    treat relations as immutable. *)
+    A relation starts in the {b builder} phase (a hash table of tuples;
+    exactly the historical construction surface: [create], [add],
+    duplicates ignored). {!seal} freezes it into the {b sealed} phase: a
+    columnar representation — one lex-sorted, deduplicated
+    [Bigarray]-backed {!Column.t} per attribute, per-column sorted
+    dictionaries of the distinct values, and a CSR-style
+    (offset-compressed) index over the first column. Sealed relations
+    are immutable: {!add} raises the typed
+    [Ac_runtime.Error.Sealed_mutation] instead of silently writing, and
+    the join kernels ({!projection}) read the columns directly.
+
+    Iteration order is {b canonical} (ascending lexicographic) in every
+    phase, so enumeration sequences — and everything derived from them:
+    fingerprints, atom orders, join candidate orders — are
+    representation-independent. *)
 
 type t
 
+(** Sorted projection of a sealed relation (also the sealed relation
+    itself, via the identity projection): [rows] lex-sorted deduplicated
+    tuples as per-column arrays, plus dictionary + CSR offsets over the
+    first projected column ([dict0.(k)]'s rows are
+    [offsets0.(k), offsets0.(k+1))]). *)
+type cols = {
+  columns : Column.t array;
+  rows : int;
+  dict0 : Column.t;
+  offsets0 : Column.t;
+}
+
 val create : arity:int -> t
 val arity : t -> int
+
+(** Builder/sealed: exact tuple count. Complement views:
+    [universe_size^arity - |base|], saturating at [max_int]. *)
 val cardinality : t -> int
 
 (** [add rel tuple] inserts [tuple]; duplicates are ignored. Raises
-    [Invalid_argument] if the tuple length differs from the arity. *)
+    [Invalid_argument] if the tuple length differs from the arity, and
+    the typed [Ac_runtime.Error.Sealed_mutation] (as [Error.E]) if the
+    relation is sealed. *)
 val add : t -> Tuple.t -> unit
 
+(** Freeze into the columnar phase. Idempotent, thread-safe; a no-op on
+    already-sealed relations and complement views. *)
+val seal : t -> unit
+
+val is_sealed : t -> bool
+
 val mem : t -> Tuple.t -> bool
+
+(** Ascending lexicographic order in every phase. On a complement view
+    this sweeps [U^arity] lazily (never materializing), skipping base
+    tuples — callers iterating complements pay the universe cost. *)
 val iter : (Tuple.t -> unit) -> t -> unit
+
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> Tuple.t list
 
 val of_list : arity:int -> Tuple.t list -> t
+
+(** [copy r] always thaws: a fresh {e builder} holding [r]'s tuples,
+    whatever phase [r] is in — the only way to resume mutation after
+    {!seal}. *)
 val copy : t -> t
+
 val is_empty : t -> bool
 
-(** [complement ~universe_size rel] is the relation
-    [U^arity \ rel] — the explicit negated relation [R̄] used when a
-    negated predicate is turned into a positive one (Definition 20).
-    The result has [universe_size ^ arity - cardinality rel] tuples, so
-    callers must keep arities small, exactly as the paper's
-    Observation 21 cost analysis assumes. *)
-val complement : universe_size:int -> t -> t
+(** [complement_view ~universe_size rel] is the lazy negated relation
+    [U^arity \ rel] (Definition 20) as a view: membership and iteration
+    without materialization. Seals [rel] (the base must be stable). The
+    complement of a complement over the same universe is the shared
+    base. *)
+val complement_view : universe_size:int -> t -> t
 
-(** [universal ~universe_size ~arity] is [U^arity]. *)
+(** Materialize [U^arity \ rel] as a sealed relation. Raises the typed
+    [Ac_runtime.Error.Complement_overflow] (as [Error.E]) when
+    [universe_size^arity] exceeds [cap] (default 2·10^7) — callers that
+    only need membership or iteration should use {!complement_view}. *)
+val complement : ?cap:int -> universe_size:int -> t -> t
+
+val default_complement_cap : int
+
+(** [universal ~universe_size ~arity] is [U^arity], materialized. *)
 val universal : universe_size:int -> arity:int -> t
+
+(** Enumerate [U^arity] in lexicographic order. *)
+val iter_universal : universe_size:int -> arity:int -> (Tuple.t -> unit) -> unit
+
+(** [true] for complement views. *)
+val is_complement : t -> bool
+
+(** The (sealed) base and universe of a complement view. *)
+val complement_base : t -> (t * int) option
+
+(** The sealed columnar payload; [None] for builders and complement
+    views. *)
+val sealed_cols : t -> cols option
+
+(** [dict r j] — sorted distinct values of column [j]. Sealed only;
+    raises [Invalid_argument] otherwise. *)
+val dict : t -> int -> Column.t
+
+(** [projection r ~positions ~equalities] — rows satisfying every
+    [t.(p) = t.(q)] for [(p, q)] in [equalities], projected to
+    [positions] (in the given order), lex-sorted and deduplicated. This
+    is the join kernels' index: memoized on the sealed relation (thread-
+    safe), so repeated prepares over a catalog-resident relation reuse
+    the sort. Sealed only; raises [Invalid_argument] otherwise. The
+    identity projection returns the primary columns without copying. *)
+val projection : t -> positions:int array -> equalities:(int * int) array -> cols
+
+(** Distinct universe elements appearing in any tuple component. *)
+val active_domain : t -> int
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

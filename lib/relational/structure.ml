@@ -1,13 +1,31 @@
+module Error = Ac_runtime.Error
+
 type t = {
   universe_size : int;
   relations : (string, Relation.t) Hashtbl.t;
+  mutable sealed : bool;
 }
 
 let create ~universe_size =
   if universe_size < 0 then invalid_arg "Structure.create: negative universe";
-  { universe_size; relations = Hashtbl.create 16 }
+  { universe_size; relations = Hashtbl.create 16; sealed = false }
 
 let universe_size s = s.universe_size
+let is_sealed s = s.sealed
+
+let seal s =
+  if not s.sealed then begin
+    Hashtbl.iter (fun _ r -> Relation.seal r) s.relations;
+    s.sealed <- true
+  end;
+  s
+
+let guard_mutation s op =
+  if s.sealed then
+    Error.raise_e
+      (Error.Sealed_mutation
+         (op ^ ": structure is sealed; Structure.copy thaws it into a new \
+              build phase"))
 
 let symbols s =
   Hashtbl.fold (fun name _ acc -> name :: acc) s.relations []
@@ -22,7 +40,9 @@ let declare s name ~arity =
         invalid_arg
           (Printf.sprintf "Structure.declare: %s redeclared with arity %d (was %d)"
              name arity (Relation.arity r))
-  | None -> Hashtbl.replace s.relations name (Relation.create ~arity)
+  | None ->
+      guard_mutation s "Structure.declare";
+      Hashtbl.replace s.relations name (Relation.create ~arity)
 
 let relation s name =
   match Hashtbl.find_opt s.relations name with
@@ -31,7 +51,18 @@ let relation s name =
 
 let relation_opt s name = Hashtbl.find_opt s.relations name
 
+let install s name rel =
+  (match Hashtbl.find_opt s.relations name with
+  | Some r when Relation.arity r <> Relation.arity rel ->
+      invalid_arg
+        (Printf.sprintf "Structure.install: %s installed with arity %d (was %d)"
+           name (Relation.arity rel) (Relation.arity r))
+  | _ -> ());
+  guard_mutation s "Structure.install";
+  Hashtbl.replace s.relations name rel
+
 let add_fact s name tuple =
+  guard_mutation s "Structure.add_fact";
   Array.iter
     (fun v ->
       if v < 0 || v >= s.universe_size then
@@ -80,14 +111,17 @@ let induced s elements =
     s.relations;
   out
 
+(* [copy] thaws: an unsealed structure of fresh builder relations, the
+   only way to resume mutation after [seal]. *)
 let copy s =
   let relations = Hashtbl.create (Hashtbl.length s.relations) in
   Hashtbl.iter (fun name r -> Hashtbl.replace relations name (Relation.copy r)) s.relations;
-  { universe_size = s.universe_size; relations }
+  { universe_size = s.universe_size; relations; sealed = false }
 
 let fingerprint s =
-  (* canonical rendering: sorted symbols, sorted tuples — the digest
-     cannot see insertion order *)
+  (* canonical rendering: sorted symbols, sorted tuples — the digest can
+     see neither insertion order nor the storage phase (builder and
+     sealed forms of the same facts digest identically) *)
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "universe %d\n" s.universe_size);
   List.iter
@@ -95,15 +129,14 @@ let fingerprint s =
       let rel = relation s name in
       Buffer.add_string buf
         (Printf.sprintf "relation %s %d\n" name (Relation.arity rel));
-      let tuples = List.sort Tuple.compare (Relation.to_list rel) in
-      List.iter
+      Relation.iter
         (fun tuple ->
           Buffer.add_string buf name;
           Array.iter
             (fun v -> Buffer.add_string buf (" " ^ string_of_int v))
             tuple;
           Buffer.add_char buf '\n')
-        tuples)
+        rel)
     (symbols s);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 

@@ -3,12 +3,27 @@
 
     A structure has a universe [{0, .., universe_size - 1}] and named
     relations. [size] implements the paper's [‖A‖]
-    ([|sig| + |U| + Σ_R |R^A|·ar(R)], §2.2). *)
+    ([|sig| + |U| + Σ_R |R^A|·ar(R)], §2.2).
+
+    Structures are two-phase, like their relations: a mutable build
+    phase ([declare]/[add_fact]/[install]) and an immutable sealed phase
+    entered through {!seal}. Mutating a sealed structure raises the
+    typed [Ac_runtime.Error.Sealed_mutation]; {!copy} thaws back into a
+    fresh build phase. *)
 
 type t
 
 val create : universe_size:int -> t
 val universe_size : t -> int
+
+(** Freeze the structure and every relation in it into the columnar
+    query phase. Idempotent; returns its argument for chaining. After
+    sealing, [declare]/[add_fact]/[install] raise the typed
+    [Ac_runtime.Error.Sealed_mutation] (stable exit code, see
+    docs/robustness.md). *)
+val seal : t -> t
+
+val is_sealed : t -> bool
 
 (** Relation symbols present, sorted by name. *)
 val symbols : t -> string list
@@ -22,8 +37,15 @@ val declare : t -> string -> arity:int -> unit
 
 (** [add_fact s name tuple] inserts the fact [name(tuple)], declaring the
     symbol with the tuple's length as arity if needed. Raises
-    [Invalid_argument] if a component is outside the universe. *)
+    [Invalid_argument] if a component is outside the universe, and the
+    typed [Ac_runtime.Error.Sealed_mutation] after {!seal}. *)
 val add_fact : t -> string -> Tuple.t -> unit
+
+(** [install s name rel] attaches an existing relation — typically a
+    sealed relation shared from another structure, or a
+    {!Relation.complement_view} — under [name]. Build-phase only;
+    raises [Invalid_argument] on an arity conflict. *)
+val install : t -> string -> Relation.t -> unit
 
 val relation : t -> string -> Relation.t
 val relation_opt : t -> string -> Relation.t option
@@ -36,6 +58,10 @@ val max_arity : t -> int
 val size : t -> int
 
 val holds : t -> string -> Tuple.t -> bool
+
+(** [copy s] always thaws: an unsealed structure of fresh builder
+    relations holding the same facts — the only way to resume mutation
+    after {!seal}. *)
 val copy : t -> t
 
 (** [induced s elements] — the substructure induced on the given universe
@@ -47,9 +73,10 @@ val equal : t -> t -> bool
 
 (** Stable hex digest of the structure's contents: universe size,
     declared relations (name and arity, including empty ones) and every
-    fact. Insertion-order-insensitive — two structures that are
-    {!equal} have equal fingerprints — and stable across processes, so
-    it can key caches and name catalog entries on the wire. *)
+    fact. Insertion-order- and representation-insensitive — two
+    structures that are {!equal} have equal fingerprints, whether built
+    tuple-at-a-time or sealed columnar — and stable across processes,
+    so it can key caches and name catalog entries on the wire. *)
 val fingerprint : t -> string
 val pp : Format.formatter -> t -> unit
 

@@ -76,7 +76,7 @@ let slurp ?max_bytes path =
 
 let load ?max_bytes path =
   match slurp ?max_bytes path with
-  | Ok content -> of_string ~name:path content
+  | Ok content -> Structure.seal (of_string ~name:path content)
   | Error msg -> failwith (path ^ ": " ^ msg)
 
 let load_result ?max_bytes path =
@@ -95,9 +95,11 @@ let load_result ?max_bytes path =
   | Error msg -> Error (Ac_runtime.Error.Io { file = path; msg })
   | Ok content -> (
       (* [of_string] without [name] keeps the message a bare line-numbered
-         description; the path travels in the error's [source] field. *)
+         description; the path travels in the error's [source] field.
+         Loaded databases are query-only: seal into the columnar phase
+         here, so every downstream join reads columns, never hashtables. *)
       match of_string content with
-      | s -> Ok s
+      | s -> Ok (Structure.seal s)
       | exception Failure msg ->
           Error (Ac_runtime.Error.Parse { source = path; msg }))
 
@@ -131,7 +133,9 @@ let of_channel_result ?(name = "<stdin>") ?max_bytes ic =
   | Error msg -> Error (Ac_runtime.Error.Io { file = name; msg })
   | Ok content -> (
       match of_string content with
-      | db -> Ok { db; fingerprint = Structure.fingerprint db }
+      | db ->
+          let db = Structure.seal db in
+          Ok { db; fingerprint = Structure.fingerprint db }
       | exception Failure msg ->
           Error (Ac_runtime.Error.Parse { source = name; msg }))
 
@@ -145,15 +149,12 @@ let to_string s =
     (Structure.symbols s);
   List.iter
     (fun name ->
-      let tuples =
-        Relation.to_list (Structure.relation s name) |> List.sort Tuple.compare
-      in
-      List.iter
+      Relation.iter
         (fun tuple ->
           Buffer.add_string buf name;
           Array.iter (fun v -> Buffer.add_string buf (" " ^ string_of_int v)) tuple;
           Buffer.add_char buf '\n')
-        tuples)
+        (Structure.relation s name))
     (Structure.symbols s);
   Buffer.contents buf
 

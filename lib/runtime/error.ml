@@ -9,6 +9,8 @@ type t =
   | Internal of string
   | Deadline_exceeded of { deadline_ms : int; msg : string }
   | Retry_unsafe of { verb : string; msg : string }
+  | Sealed_mutation of string
+  | Complement_overflow of { arity : int; universe : int; cap : int }
 
 exception E of t
 
@@ -25,6 +27,12 @@ let message = function
       Printf.sprintf "deadline exceeded (%d ms): %s" deadline_ms msg
   | Retry_unsafe { verb; msg } ->
       Printf.sprintf "%s cannot be retried safely: %s" verb msg
+  | Sealed_mutation msg -> "sealed mutation: " ^ msg
+  | Complement_overflow { arity; universe; cap } ->
+      Printf.sprintf
+        "complement overflow: materializing U^%d over a universe of %d \
+         exceeds the %d-tuple cap; use the lazy complement view instead"
+        arity universe cap
 
 let class_name = function
   | Parse _ -> "parse"
@@ -37,6 +45,8 @@ let class_name = function
   | Internal _ -> "internal"
   | Deadline_exceeded _ -> "deadline"
   | Retry_unsafe _ -> "retry"
+  | Sealed_mutation _ -> "sealed"
+  | Complement_overflow _ -> "complement"
 
 let exit_code = function
   | Parse _ -> 10
@@ -49,6 +59,8 @@ let exit_code = function
   | Overloaded _ -> 17
   | Deadline_exceeded _ -> 18
   | Retry_unsafe _ -> 19
+  | Sealed_mutation _ -> 20
+  | Complement_overflow _ -> 21
 
 let of_exn = function
   | E e -> Some e

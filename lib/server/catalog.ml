@@ -31,15 +31,12 @@ let stats_of db =
   List.map
     (fun symbol ->
       let rel = Structure.relation db symbol in
-      let seen = Hashtbl.create 64 in
-      Relation.iter
-        (fun tuple -> Array.iter (fun v -> Hashtbl.replace seen v ()) tuple)
-        rel;
       {
         symbol;
         arity = Relation.arity rel;
         cardinality = Relation.cardinality rel;
-        active_domain = Hashtbl.length seen;
+        (* sealed relations answer this from their column dictionaries *)
+        active_domain = Relation.active_domain rel;
       })
     (Structure.symbols db)
 
@@ -59,6 +56,10 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let add t ~name db =
+  (* catalog-resident databases are query-only: seal into the columnar
+     phase once, here, so every request joins over shared columns and
+     reuses their memoized projections *)
+  let db = Structure.seal db in
   let entry = entry_of ~name ~fingerprint:(Structure.fingerprint db) db in
   locked t (fun () -> Hashtbl.replace t.table name entry);
   entry

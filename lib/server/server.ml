@@ -153,7 +153,9 @@ let resolve_db t session = function
       match Structure_io.of_string ~name:"<inline>" text with
       | db ->
           (* not registered in the catalog: inline databases are
-             per-request, but the fingerprint still keys the caches *)
+             per-request, but the fingerprint still keys the caches;
+             sealed so the join path reads columns like catalog entries *)
+          let db = Ac_relational.Structure.seal db in
           Ok
             (Catalog.
                {

@@ -36,6 +36,8 @@ if [ "${1:-}" = "--with-bench" ]; then
   dune exec bench/main.exe -- --obs
   echo "== retry-layer overhead (BENCH_chaos.json, durable p50 within 5%)"
   dune exec bench/main.exe -- --chaos
+  echo "== join kernels vs trie oracle (BENCH_join.json, kernels must win end-to-end)"
+  dune exec bench/main.exe -- --join
 fi
 
 echo "== CI green"

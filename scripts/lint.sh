@@ -14,6 +14,12 @@
 #      lib/automata, lib/join, lib/hom) that contain a while loop must
 #      reference Budget.tick/Budget.check, or a runaway loop would be
 #      invisible to the cooperative-cancellation governor.
+#   5. Batch discipline — the vectorized join path must stay vectorized:
+#      no tuple-at-a-time Relation.iter/fold/to_list in the hot-loop
+#      modules (lib/join/generic_join.ml, lib/kernels/*). Indexes are
+#      built from sealed columns via Relation.projection; the trie
+#      reference path (lib/join/trie.ml) is the one deliberate
+#      exception and lives in its own file.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -63,6 +69,14 @@ for f in $(grep -rl "while " --include="*.ml" \
     complain "$f has a while loop but never polls Budget.tick/Budget.check"
   fi
 done
+
+# --- 5. batch discipline ---------------------------------------------------
+tuple_at_a_time=$(grep -rn "Relation\.iter\|Relation\.fold\|Relation\.to_list" \
+  lib/join/generic_join.ml lib/kernels 2>/dev/null || true)
+if [ -n "$tuple_at_a_time" ]; then
+  echo "$tuple_at_a_time" >&2
+  complain "tuple-at-a-time Relation.iter/fold/to_list in a vectorized hot-loop module (read sealed columns via Relation.projection / Ac_kernels instead)"
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAILED" >&2

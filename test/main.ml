@@ -13,6 +13,7 @@ let () =
       ("query", Test_query.tests);
       ("trie", Test_trie.tests);
       ("join", Test_join.tests);
+      ("columnar", Test_columnar.tests);
       ("hom", Test_hom.tests);
       ("dlm", Test_dlm.tests);
       ("automata", Test_automata.tests);

@@ -1,0 +1,290 @@
+(* The sealed columnar storage layer: seal semantics, complement views,
+   fingerprint stability, the galloping kernels, and the differential
+   guarantee that the columnar join path is observationally identical to
+   the trie reference oracle (counts and bit-identical estimates). *)
+
+module Relation = Ac_relational.Relation
+module Structure = Ac_relational.Structure
+module Column = Ac_relational.Column
+module Selvec = Ac_kernels.Selvec
+module Gallop = Ac_kernels.Gallop
+module Generic_join = Ac_join.Generic_join
+module Ecq = Ac_query.Ecq
+module Fptras = Approxcount.Fptras
+module Error = Ac_runtime.Error
+
+let is_sealed_mutation = function
+  | Error.E (Error.Sealed_mutation _) -> true
+  | _ -> false
+
+(* -- seal semantics ------------------------------------------------ *)
+
+let test_seal_freezes_relation () =
+  let r = Relation.create ~arity:2 in
+  Relation.add r [| 0; 1 |];
+  Relation.add r [| 1; 0 |];
+  Alcotest.(check bool) "not sealed yet" false (Relation.is_sealed r);
+  Relation.seal r;
+  Relation.seal r (* idempotent *);
+  Alcotest.(check bool) "sealed" true (Relation.is_sealed r);
+  Alcotest.(check int) "cardinality preserved" 2 (Relation.cardinality r);
+  Alcotest.(check bool) "mem works sealed" true (Relation.mem r [| 1; 0 |]);
+  (match Relation.add r [| 2; 2 |] with
+  | exception e when is_sealed_mutation e -> ()
+  | exception e -> raise e
+  | () -> Alcotest.fail "add after seal must raise Sealed_mutation");
+  Alcotest.(check int) "exit code 20" 20
+    (Error.exit_code (Error.Sealed_mutation "x"))
+
+let test_seal_freezes_structure () =
+  let db = Structure.of_facts ~universe_size:3 [ ("E", [| 0; 1 |]) ] in
+  let db = Structure.seal db in
+  Alcotest.(check bool) "structure sealed" true (Structure.is_sealed db);
+  (match Structure.add_fact db "E" [| 1; 2 |] with
+  | exception e when is_sealed_mutation e -> ()
+  | exception e -> raise e
+  | () -> Alcotest.fail "add_fact after seal must raise Sealed_mutation");
+  (* copy thaws: the copy accepts writes, the original stays frozen *)
+  let thawed = Structure.copy db in
+  Structure.add_fact thawed "E" [| 1; 2 |];
+  Alcotest.(check int) "thawed copy grew" 2
+    (Relation.cardinality (Structure.relation thawed "E"));
+  Alcotest.(check int) "original untouched" 1
+    (Relation.cardinality (Structure.relation db "E"))
+
+let test_sealed_layout () =
+  let r = Relation.of_list ~arity:2 [ [| 2; 0 |]; [| 0; 5 |]; [| 0; 3 |]; [| 2; 0 |] ] in
+  Alcotest.(check bool) "builder has no cols" true (Relation.sealed_cols r = None);
+  Relation.seal r;
+  match Relation.sealed_cols r with
+  | None -> Alcotest.fail "sealed relation must expose cols"
+  | Some c ->
+      Alcotest.(check int) "deduplicated rows" 3 c.Relation.rows;
+      let col j i = Column.get c.Relation.columns.(j) i in
+      (* lex order: (0,3) (0,5) (2,0) *)
+      Alcotest.(check (list int)) "column 0" [ 0; 0; 2 ] [ col 0 0; col 0 1; col 0 2 ];
+      Alcotest.(check (list int)) "column 1" [ 3; 5; 0 ] [ col 1 0; col 1 1; col 1 2 ];
+      Alcotest.(check (list int)) "dict0"
+        [ 0; 2 ]
+        (List.init (Column.length c.Relation.dict0) (Column.get c.Relation.dict0));
+      Alcotest.(check (list int)) "offsets0"
+        [ 0; 2; 3 ]
+        (List.init (Column.length c.Relation.offsets0) (Column.get c.Relation.offsets0))
+
+(* -- complement views ---------------------------------------------- *)
+
+let test_complement_view () =
+  let base = Relation.of_list ~arity:2 [ [| 0; 1 |] ] in
+  let v = Relation.complement_view ~universe_size:3 base in
+  Alcotest.(check bool) "is complement" true (Relation.is_complement v);
+  Alcotest.(check int) "cardinality 3^2 - 1" 8 (Relation.cardinality v);
+  Alcotest.(check bool) "base tuple excluded" false (Relation.mem v [| 0; 1 |]);
+  Alcotest.(check bool) "other tuple included" true (Relation.mem v [| 1; 0 |]);
+  (* lazy iteration agrees with materialization, in canonical order *)
+  let seen = ref [] in
+  Relation.iter (fun t -> seen := Array.copy t :: !seen) v;
+  let lazy_tuples = List.rev !seen in
+  let materialized = Relation.to_list (Relation.complement ~universe_size:3 base) in
+  Alcotest.(check (list (array int))) "view = materialized" materialized lazy_tuples;
+  Alcotest.(check bool) "ascending" true (List.sort compare lazy_tuples = lazy_tuples);
+  (* complement of complement shares the base *)
+  match Relation.complement_base (Relation.complement_view ~universe_size:3 v) with
+  | Some _ -> Alcotest.fail "double complement must not nest views"
+  | None ->
+      Alcotest.(check bool) "double complement = base" true
+        (Relation.equal base (Relation.complement_view ~universe_size:3 v))
+
+let test_complement_overflow () =
+  let base = Relation.of_list ~arity:4 [ [| 0; 1; 2; 3 |] ] in
+  Alcotest.(check int) "exit code 21" 21
+    (Error.exit_code (Error.Complement_overflow { arity = 4; universe = 100; cap = 1 }));
+  match Relation.complement ~universe_size:100 base with
+  | exception Error.E (Error.Complement_overflow o) ->
+      Alcotest.(check int) "default cap" Relation.default_complement_cap o.cap;
+      Alcotest.(check int) "arity reported" 4 o.arity
+  | _ -> Alcotest.fail "expected Complement_overflow"
+
+(* -- fingerprint stability (builder vs sealed) --------------------- *)
+
+let test_fingerprint_stability () =
+  let facts =
+    [ ("E", [| 2; 0 |]); ("E", [| 0; 1 |]); ("E", [| 1; 2 |]); ("P", [| 1 |]) ]
+  in
+  let builder = Structure.of_facts ~universe_size:4 facts in
+  let fp_builder = Structure.fingerprint builder in
+  let sealed = Structure.seal (Structure.of_facts ~universe_size:4 facts) in
+  Alcotest.(check string) "builder = sealed" fp_builder (Structure.fingerprint sealed);
+  (* insertion order never leaks into the fingerprint *)
+  let reordered = Structure.of_facts ~universe_size:4 (List.rev facts) in
+  Alcotest.(check string) "order independent" fp_builder
+    (Structure.fingerprint reordered);
+  (* sealing in place doesn't change it either *)
+  let fp_after = Structure.fingerprint (Structure.seal builder) in
+  Alcotest.(check string) "seal in place" fp_builder fp_after
+
+(* -- galloping kernels --------------------------------------------- *)
+
+let test_gallop_search () =
+  let col = Column.of_array [| 1; 3; 3; 3; 7; 9 |] in
+  let hi = Column.length col in
+  Alcotest.(check int) "lower absent" 1 (Gallop.lower col ~lo:0 ~hi 2);
+  Alcotest.(check int) "lower run start" 1 (Gallop.lower col ~lo:0 ~hi 3);
+  Alcotest.(check int) "upper run end" 4 (Gallop.upper col ~lo:0 ~hi 3);
+  Alcotest.(check (pair int int)) "equal_range present" (1, 4)
+    (Gallop.equal_range col ~lo:0 ~hi 3);
+  Alcotest.(check (pair int int)) "equal_range absent" (4, 4)
+    (Gallop.equal_range col ~lo:0 ~hi 5);
+  Alcotest.(check int) "beyond end" hi (Gallop.lower col ~lo:0 ~hi 100);
+  Alcotest.(check int) "restricted lo" 4 (Gallop.lower col ~lo:4 ~hi 3)
+
+let test_intersect_arrays () =
+  let check name want arrays =
+    Alcotest.(check (array int)) name want (Gallop.intersect_arrays arrays)
+  in
+  check "two runs" [| 2; 5 |] [| [| 1; 2; 5; 9 |]; [| 2; 3; 5 |] |];
+  check "duplicates collapse" [| 2 |] [| [| 2; 2; 2 |]; [| 1; 2; 2 |] |];
+  check "three runs" [| 4 |] [| [| 1; 4 |]; [| 4; 5 |]; [| 0; 4; 9 |] |];
+  check "disjoint" [||] [| [| 1; 3 |]; [| 2; 4 |] |];
+  check "one empty" [||] [| [| 1; 2 |]; [||]; [| 1 |] |];
+  check "no runs" [||] [||];
+  check "singletons" [| 7 |] [| [| 7 |]; [| 7 |]; [| 7 |] |];
+  check "single run dedups" [| 1; 2 |] [| [| 1; 1; 2 |] |]
+
+let test_intersect_bounds () =
+  (* the scratch ranges handed to the callback bracket exactly the
+     occurrences of the value in each run *)
+  let a = Column.of_array [| 1; 2; 2; 4 |] and b = Column.of_array [| 2; 2; 2; 4; 4 |] in
+  let runs =
+    [|
+      { Gallop.col = a; lo = 0; hi = Column.length a };
+      { Gallop.col = b; lo = 0; hi = Column.length b };
+    |]
+  in
+  let got = ref [] in
+  Gallop.intersect runs (fun v bounds ->
+      got := (v, Array.to_list bounds) :: !got);
+  Alcotest.(check (list (pair int (list int))))
+    "values and ranges"
+    [ (2, [ 1; 3; 0; 3 ]); (4, [ 3; 4; 3; 5 ]) ]
+    (List.rev !got)
+
+let test_selvec () =
+  let s = Selvec.create ~capacity:1 () in
+  for i = 0 to 99 do
+    Selvec.push s (i * 2)
+  done;
+  Alcotest.(check int) "length" 100 (Selvec.length s);
+  Alcotest.(check int) "get" 84 (Selvec.get s 42);
+  Alcotest.(check (array int)) "to_array" (Array.init 100 (fun i -> i * 2))
+    (Selvec.to_array s);
+  Selvec.clear s;
+  Alcotest.(check int) "cleared" 0 (Selvec.length s);
+  Alcotest.(check bool) "get out of bounds" true
+    (match Selvec.get s 0 with exception Invalid_argument _ -> true | _ -> false)
+
+(* -- differential: columnar vs trie -------------------------------- *)
+
+(* Random atom sets in the style of test_join, including a complement
+   view so the filter-atom path is exercised on both backends. *)
+let gen_atoms =
+  QCheck2.Gen.(
+    let num_vars = 3 and universe = 3 in
+    list_size (int_range 1 4)
+      (pair
+         (list_size (int_range 1 2) (int_range 0 (num_vars - 1)))
+         (list_size (int_range 0 8)
+            (list_size (int_range 1 2) (int_range 0 (universe - 1)))))
+    >>= fun raw_atoms ->
+    bool >>= fun with_neg ->
+    list_size (int_range 0 4)
+      (pair (int_range 0 (universe - 1)) (int_range 0 (universe - 1)))
+    >>= fun neg_tuples ->
+    let atoms =
+      List.filter_map
+        (fun (scope, tuples) ->
+          match scope with
+          | [] -> None
+          | _ ->
+              let arity = List.length scope in
+              let rel = Relation.create ~arity in
+              List.iter
+                (fun t ->
+                  if List.length t = arity then Relation.add rel (Array.of_list t))
+                tuples;
+              Some (Generic_join.atom (Array.of_list scope) rel))
+        raw_atoms
+    in
+    let atoms =
+      if with_neg then
+        let base = Relation.create ~arity:2 in
+        List.iter (fun (a, b) -> Relation.add base [| a; b |]) neg_tuples;
+        Generic_join.atom [| 0; 1 |]
+          (Relation.complement_view ~universe_size:universe base)
+        :: atoms
+      else atoms
+    in
+    return atoms)
+
+let prop_counts_agree =
+  QCheck2.Test.make ~count:300 ~name:"columnar count = trie count" gen_atoms
+    (fun atoms ->
+      let count impl =
+        Generic_join.count ~num_vars:3 ~universe_size:3 ~impl atoms
+      in
+      (* columnar first: it seals the relations; the trie must read the
+         sealed phase identically *)
+      let columnar = count Generic_join.Columnar in
+      columnar = count Generic_join.Trie)
+
+let prop_solutions_identical_sequence =
+  QCheck2.Test.make ~count:150
+    ~name:"columnar and trie enumerate the same sequence" gen_atoms (fun atoms ->
+      let sols impl =
+        Generic_join.solutions ~num_vars:3 ~universe_size:3 ~impl atoms
+      in
+      (* not just equal as sets: identical order, which is what makes
+         bounded-enumeration estimates bit-identical downstream *)
+      sols Generic_join.Columnar = sols Generic_join.Trie)
+
+let with_impl impl f =
+  let saved = Generic_join.default_impl () in
+  Generic_join.set_default_impl impl;
+  Fun.protect ~finally:(fun () -> Generic_join.set_default_impl saved) f
+
+let prop_estimates_bit_identical =
+  QCheck2.Test.make ~count:15
+    ~name:"estimates bit-identical across impls and jobs"
+    (Gen.ecq_with_db ~allow_neg:true ~allow_diseq:true)
+    (fun (q, db) ->
+      let estimate impl jobs =
+        with_impl impl (fun () ->
+            let exec = Ac_exec.Engine.make ~jobs ~seed:11 () in
+            let r =
+              Fptras.approx_count ~exec
+                ~rng:(Random.State.make [| 3 |])
+                ~engine:Approxcount.Colour_oracle.Generic ~rounds:60 ~eps:0.5
+                ~delta:0.3 q db
+            in
+            Int64.bits_of_float r.Fptras.estimate)
+      in
+      let baseline = estimate Generic_join.Columnar 1 in
+      baseline = estimate Generic_join.Columnar 4
+      && baseline = estimate Generic_join.Trie 1
+      && baseline = estimate Generic_join.Trie 4)
+
+let tests =
+  [
+    Alcotest.test_case "seal freezes relation" `Quick test_seal_freezes_relation;
+    Alcotest.test_case "seal freezes structure" `Quick test_seal_freezes_structure;
+    Alcotest.test_case "sealed layout" `Quick test_sealed_layout;
+    Alcotest.test_case "complement view" `Quick test_complement_view;
+    Alcotest.test_case "complement overflow" `Quick test_complement_overflow;
+    Alcotest.test_case "fingerprint stability" `Quick test_fingerprint_stability;
+    Alcotest.test_case "gallop search" `Quick test_gallop_search;
+    Alcotest.test_case "intersect arrays" `Quick test_intersect_arrays;
+    Alcotest.test_case "intersect bounds" `Quick test_intersect_bounds;
+    Alcotest.test_case "selection vector" `Quick test_selvec;
+    QCheck_alcotest.to_alcotest prop_counts_agree;
+    QCheck_alcotest.to_alcotest prop_solutions_identical_sequence;
+    QCheck_alcotest.to_alcotest prop_estimates_bit_identical;
+  ]

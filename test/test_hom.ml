@@ -42,14 +42,14 @@ let test_find_valid () =
 let test_domains_pin () =
   let inst = { Hom.source = cycle_structure 4; target = clique_structure 2 } in
   let domains = Array.make 4 None in
-  domains.(0) <- Some [ 1 ];
+  domains.(0) <- Some [| 1 |];
   (match Hom.find ~domains inst with
   | None -> Alcotest.fail "expected a homomorphism with pin"
   | Some h -> Alcotest.(check int) "pinned" 1 h.(0));
   (* contradictory pins on adjacent vertices of C4 into K2 *)
   let domains = Array.make 4 None in
-  domains.(0) <- Some [ 0 ];
-  domains.(1) <- Some [ 0 ];
+  domains.(0) <- Some [| 0 |];
+  domains.(1) <- Some [| 0 |];
   Alcotest.(check bool) "contradictory pin" false (Hom.decide_backtracking ~domains inst)
 
 let test_restrict_domains () =
@@ -61,8 +61,8 @@ let test_restrict_domains () =
   match Hom.restrict_domains { Hom.source; target } with
   | None -> Alcotest.fail "should be satisfiable"
   | Some domains ->
-      Alcotest.(check bool) "0 cannot map to 2" false (List.mem 2 domains.(0));
-      Alcotest.(check bool) "1 cannot map to 2" false (List.mem 2 domains.(1))
+      Alcotest.(check bool) "0 cannot map to 2" false (Array.mem 2 domains.(0));
+      Alcotest.(check bool) "1 cannot map to 2" false (Array.mem 2 domains.(1))
 
 let test_empty_target_relation () =
   let source = structure_of [ ("E", [| 0; 1 |]) ] ~universe_size:2 in

@@ -272,9 +272,11 @@ let test_governed_strict () =
   | Ok _ -> Alcotest.fail "strict mode must not degrade"
 
 (* a real (not injected) budget trip: a tick ceiling small enough that the
-   approximation rungs cannot finish, so the partial sweep answers *)
+   approximation rungs cannot finish, so the partial sweep answers (the
+   whole governed run fits in ~60 ticks since the probe pushdown, so the
+   ceiling is tight and checked every tick) *)
 let test_governed_real_budget () =
-  let budget = Budget.create ~max_ticks:120 ~check_every:16 () in
+  let budget = Budget.create ~max_ticks:8 ~check_every:1 () in
   let g = ok (governed ~budget ()) in
   Alcotest.(check bool) "degraded" true g.Planner.degraded;
   Alcotest.(check bool) "estimate is sane" true
@@ -321,7 +323,7 @@ let test_count_result_signature () =
   | _ -> Alcotest.fail "governed must reject an incompatible signature too"
 
 let test_count_result_budget_error () =
-  let b = Budget.create ~max_ticks:50 ~check_every:16 () in
+  let b = Budget.create ~max_ticks:8 ~check_every:1 () in
   match
     Planner.count_result ~rng:(Random.State.make [| 1 |]) ~budget:b
       ~eps:0.3 ~delta:0.2 (little_query ()) (little_db ())
@@ -331,7 +333,7 @@ let test_count_result_budget_error () =
       | Budget.Work -> ()
       | l -> Alcotest.failf "wrong limit: %s" (Budget.limit_name l))
   | Error e -> Alcotest.failf "wrong error class: %s" (Error.class_name e)
-  | Ok _ -> Alcotest.fail "50 ticks cannot be enough for the FPTRAS"
+  | Ok _ -> Alcotest.fail "8 ticks cannot be enough for the FPTRAS"
 
 let tests =
   [
