@@ -581,7 +581,8 @@ let widths_cmd =
 let db_opt_term =
   let doc =
     "Optional database file (or - for stdin): enables the database-aware \
-     checks (QL006 signature mismatch, QL010 empty relation)."
+     checks (QL006 signature mismatch, QL010 empty relation, QL012 output \
+     blow-up, QL013 complement cap)."
   in
   Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
 
@@ -614,7 +615,7 @@ let lint_cmd =
         Ac_analysis.Report.exit_status report_)
   in
   let doc =
-    "Statically analyse a query: stable-coded diagnostics (QL000-QL011) \
+    "Statically analyse a query: stable-coded diagnostics (QL000-QL013) \
      plus the Figure 1 classification. Exit 0 when free of errors, 1 \
      otherwise."
   in
@@ -622,34 +623,72 @@ let lint_cmd =
     Term.(const run $ query_term $ db_opt_term $ max_db_term $ json_term)
 
 let explain_cmd =
-  let run query_text json =
-    let report_ = Ac_analysis.Report.analyze_text query_text in
-    match report_.Ac_analysis.Report.classification with
-    | None ->
-        (* parse failed: surface the diagnostics and fail like lint *)
-        Format.printf "%a%!" Ac_analysis.Report.pp report_;
-        Ac_analysis.Report.exit_status report_
-    | Some c ->
-        if json then
-          print_endline
-            (Ac_analysis.Json.to_string_pretty
-               (Ac_analysis.Classification.to_json c))
-        else begin
-          let q = Option.get report_.Ac_analysis.Report.query in
-          Format.printf "%a"
-            (Ac_analysis.Classification.pp ~var_name:(Ecq.var_name q))
-            c;
-          let d = Planner.decision_of_classification c in
-          Format.printf "plan:         %s@." d.Planner.reason
-        end;
-        0
+  let cost_term =
+    Arg.(
+      value & flag
+      & info [ "cost" ]
+          ~doc:
+            "Also print the static cost analysis: the stats-instantiated \
+             fractional-edge-cover output bound and the costed rung \
+             alternatives. Uses the catalog statistics of $(b,--db) when \
+             given, nominal statistics otherwise.")
+  in
+  let run query_text db_path max_db_mb cost json =
+    with_optional_db ?max_db_mb db_path (fun db ->
+        let report_ = Ac_analysis.Report.analyze_text ?db query_text in
+        match report_.Ac_analysis.Report.classification with
+        | None ->
+            (* parse failed: surface the diagnostics and fail like lint *)
+            Format.printf "%a%!" Ac_analysis.Report.pp report_;
+            Ac_analysis.Report.exit_status report_
+        | Some c ->
+            let q = Option.get report_.Ac_analysis.Report.query in
+            let cost_analysis =
+              if not cost then None
+              else
+                match report_.Ac_analysis.Report.cost with
+                | Some _ as some -> some  (* instantiated from --db *)
+                | None ->
+                    Some
+                      (Ac_analysis.Cost.analyze
+                         ~stats:(Ac_analysis.Cardinality.nominal
+                                   (Ecq.signature q))
+                         q c)
+            in
+            if json then
+              let cjson = Ac_analysis.Classification.to_json c in
+              print_endline
+                (Ac_analysis.Json.to_string_pretty
+                   (match cost_analysis with
+                   | None -> cjson
+                   | Some cost ->
+                       Ac_analysis.Json.Obj
+                         [
+                           ("classification", cjson);
+                           ("cost", Ac_analysis.Cost.to_json cost);
+                         ]))
+            else begin
+              Format.printf "%a"
+                (Ac_analysis.Classification.pp ~var_name:(Ecq.var_name q))
+                c;
+              let d = Planner.decision_of_classification c in
+              Format.printf "plan:         %s@." d.Planner.reason;
+              match cost_analysis with
+              | None -> ()
+              | Some cost -> Format.printf "%a" Ac_analysis.Cost.pp cost
+            end;
+            0)
   in
   let doc =
     "Explain the planner's decision for a query: the Figure 1 \
      classification with its structural witnesses, and the plan it \
-     induces."
+     induces. With $(b,--cost), also the instantiated output bound and \
+     the costed rung ladder."
   in
-  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ query_term $ json_term)
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ query_term $ db_opt_term $ max_db_term $ cost_term
+      $ json_term)
 
 let generate_cmd =
   let kind_term =

@@ -1,0 +1,105 @@
+module Structure = Ac_relational.Structure
+module Relation = Ac_relational.Relation
+module Column = Ac_relational.Column
+
+type relation_stats = {
+  symbol : string;
+  arity : int;
+  cardinality : int;
+  active_domain : int;
+  distinct : int array;
+}
+
+type t = {
+  universe : int;
+  db_size : int;
+  nominal : bool;
+  stats : relation_stats list;
+}
+
+(* Distinct counts per column. Sealed relations answer from their
+   memoized column dictionaries in O(1); builders pay one scan (the
+   analysis runs once per (query, db) and is plan-cached). Complement
+   views are never scanned — every column ranges over the whole
+   universe, which is the exact distinct count whenever the base is not
+   full, and a sound upper bound always. *)
+let distinct_counts ~universe rel =
+  let arity = Relation.arity rel in
+  if Relation.is_complement rel then Array.make arity universe
+  else
+    match Relation.sealed_cols rel with
+    | Some _ ->
+        Array.init arity (fun j -> Column.length (Relation.dict rel j))
+    | None ->
+        let seen = Array.init arity (fun _ -> Hashtbl.create 64) in
+        Relation.iter
+          (fun tuple ->
+            Array.iteri (fun j v -> Hashtbl.replace seen.(j) v ()) tuple)
+          rel;
+        Array.map Hashtbl.length seen
+
+let stats_of_relation ~universe symbol rel =
+  {
+    symbol;
+    arity = Relation.arity rel;
+    cardinality = Relation.cardinality rel;
+    active_domain = Relation.active_domain rel;
+    distinct = distinct_counts ~universe rel;
+  }
+
+let of_structure db =
+  let universe = Structure.universe_size db in
+  {
+    universe;
+    db_size = Structure.size db;
+    nominal = false;
+    stats =
+      List.map
+        (fun symbol ->
+          stats_of_relation ~universe symbol (Structure.relation db symbol))
+        (Structure.symbols db);
+  }
+
+let nominal_cardinality = 1_000_000
+let nominal_universe = 1_000_000
+
+let nominal signature =
+  {
+    universe = nominal_universe;
+    db_size = List.fold_left (fun acc (_, _) -> acc + nominal_cardinality) 0 signature;
+    nominal = true;
+    stats =
+      List.map
+        (fun (symbol, arity) ->
+          {
+            symbol;
+            arity;
+            cardinality = nominal_cardinality;
+            active_domain = nominal_universe;
+            distinct = Array.make arity (min nominal_cardinality nominal_universe);
+          })
+        signature;
+  }
+
+let find t symbol = List.find_opt (fun s -> s.symbol = symbol) t.stats
+
+let relation_stats_to_json r =
+  Json.Obj
+    [
+      ("symbol", Json.String r.symbol);
+      ("arity", Json.Int r.arity);
+      ("cardinality", Json.Int r.cardinality);
+      ("active_domain", Json.Int r.active_domain);
+      ( "distinct",
+        Json.List (Array.to_list (Array.map (fun d -> Json.Int d) r.distinct))
+      );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("universe", Json.Int t.universe);
+      ("db_size", Json.Int t.db_size);
+      ("nominal", Json.Bool t.nominal);
+      ("relations", Json.List (List.map relation_stats_to_json t.stats));
+    ]

@@ -1,0 +1,47 @@
+(** Per-relation catalog statistics feeding the static cost model.
+
+    The numbers the {!Cost} analyzer instantiates the fractional-edge-
+    cover LP with: per-relation cardinality, active-domain size and the
+    per-column distinct counts (a projection of [R] onto columns
+    [S] has at most [min (|R|, Π_{j∈S} distinct.(j))] tuples). The same
+    record is what the daemon catalog serialises for the [STATS] wire
+    verb — the operator sees exactly the numbers the planner used.
+
+    Sealed relations answer distinct counts from their memoized column
+    dictionaries; builder-phase relations pay one scan. *)
+
+type relation_stats = {
+  symbol : string;
+  arity : int;
+  cardinality : int;  (** number of facts *)
+  active_domain : int;
+      (** distinct universe elements occurring in the relation's facts *)
+  distinct : int array;
+      (** distinct values per column, length [arity]; for complement
+          views the universe size per column (a sound upper bound) *)
+}
+
+type t = {
+  universe : int;
+  db_size : int;  (** the paper's [‖D‖] *)
+  nominal : bool;
+      (** [true] when the stats are the symbolic defaults of {!nominal}
+          rather than measured from a database *)
+  stats : relation_stats list;  (** in [Structure.symbols] order *)
+}
+
+val of_structure : Ac_relational.Structure.t -> t
+
+(** Symbolic stats for a signature with no database at hand (the
+    db-less [acq explain --cost] path): every relation gets
+    {!nominal_cardinality} facts over a {!nominal_universe}-element
+    universe, and the result is flagged [nominal]. *)
+val nominal : (string * int) list -> t
+
+val nominal_cardinality : int
+val nominal_universe : int
+
+val find : t -> string -> relation_stats option
+
+val relation_stats_to_json : relation_stats -> Json.t
+val to_json : t -> Json.t

@@ -1,0 +1,483 @@
+module Ecq = Ac_query.Ecq
+module Hypergraph = Ac_hypergraph.Hypergraph
+module Bitset = Ac_hypergraph.Bitset
+module Widths = Ac_hypergraph.Widths
+module Rat = Ac_lp.Rat
+module Error = Ac_runtime.Error
+
+type rung = Fpras | Exact | Tree_dp | Generic_join | Partial
+
+let rung_name = function
+  | Fpras -> "fpras"
+  | Exact -> "exact"
+  | Tree_dp -> "tree-dp"
+  | Generic_join -> "generic-join"
+  | Partial -> "partial"
+
+type bound = {
+  log2 : float;
+  exact_lp : bool;
+  degraded : Error.t option;
+}
+
+type alternative = {
+  rung : rung;
+  applicable : bool;
+  guaranteed : bool;
+  log2_probes : float;
+  log2_probe_cost : float;
+  log2_cost : float;
+  note : string;
+}
+
+type t = {
+  eps : float;
+  delta : float;
+  stats : Cardinality.t;
+  query_bound : bound;
+  component_bounds : bound list;
+  bag_bounds : bound list;
+  run_bound_log2 : float;
+  static_choice : rung;
+  is_cq : bool;
+  always_empty : bool;
+  treewidth : int;
+  star_size : int;
+  alternatives : alternative list;
+}
+
+(* ---------- the ACJR trial-count formulas ----------
+
+   Mirrors of [Fpras.repetitions_for] (median batch of Theorem 16
+   sketch repetitions) and [Edge_count.repetitions_for] (DLM median
+   trials per subsampling level). They live below [lib/core]/[lib/dlm]
+   in the dependency order, so the formulas are restated here;
+   [test/test_cost.ml] pins them to the originals. *)
+
+let fpras_repetitions ~delta =
+  let delta = Float.min 0.49 (Float.max 1e-12 delta) in
+  let m = int_of_float (ceil (1.25 *. Float.log (1.0 /. delta))) in
+  max 3 ((2 * m) + 1)
+
+let edge_count_repetitions ~delta =
+  let m = int_of_float (ceil (2.5 *. Float.log (1.0 /. delta))) in
+  (2 * max 2 m) + 1
+
+let output_blowup_threshold = 1e7
+let output_blowup_threshold_log2 = Float.log2 output_blowup_threshold
+
+(* ---------- instantiated fractional-edge-cover bounds ---------- *)
+
+let log2i n = Float.log2 (float_of_int (max 1 n))
+
+type pred_atom = {
+  positive : bool;
+  symbol : string;
+  vars : int array;
+  varset : Bitset.t;
+}
+
+let pred_atoms ~capacity q =
+  List.filter_map
+    (function
+      | Ecq.Atom (symbol, vars) ->
+          Some
+            {
+              positive = true;
+              symbol;
+              vars;
+              varset = Bitset.of_list ~capacity (Array.to_list vars);
+            }
+      | Ecq.Neg_atom (symbol, vars) ->
+          Some
+            {
+              positive = false;
+              symbol;
+              vars;
+              varset = Bitset.of_list ~capacity (Array.to_list vars);
+            }
+      | Ecq.Diseq _ -> None)
+    (Ecq.atoms q)
+
+(* log2 of an upper bound on |π_e(R)| — the atom's relation projected to
+   the variables of edge [e] (a subset of the atom's variables).
+
+   Positive atoms: at most [min(|R|, Π_v distinct(v))], where each
+   variable contributes the smallest per-column distinct count among the
+   positions it occupies. Negated atoms stand for the complement
+   [U^arity \ R]: exactly [U^arity - |R|] when [e] spans all the atom's
+   (pairwise-distinct) variables, at most [U^|e|] otherwise. An empty
+   relation under a positive atom (or a full one under a negated atom)
+   yields [neg_infinity]: the join is provably empty. *)
+let atom_edge_log2 ~(stats : Cardinality.t) ~universe (a : pred_atom) e =
+  let u_log2 = log2i universe in
+  match Cardinality.find stats a.symbol with
+  | None ->
+      (* not in the catalog: QL006 territory; U^|e| stays sound *)
+      float_of_int (Bitset.cardinal e) *. u_log2
+  | Some s when s.Cardinality.arity <> Array.length a.vars ->
+      (* arity mismatch (QL006): the catalog row does not describe this
+         atom — price at U^|e|, which is sound regardless *)
+      float_of_int (Bitset.cardinal e) *. u_log2
+  | Some s ->
+      if a.positive then begin
+        if s.Cardinality.cardinality = 0 then Float.neg_infinity
+        else begin
+          let from_distinct = ref 0.0 in
+          Bitset.iter
+            (fun v ->
+              let best = ref max_int in
+              Array.iteri
+                (fun j v' ->
+                  if v' = v then
+                    best := min !best s.Cardinality.distinct.(j))
+                a.vars;
+              from_distinct := !from_distinct +. log2i !best)
+            e;
+          Float.min (log2i s.Cardinality.cardinality) !from_distinct
+        end
+      end
+      else begin
+        let distinct_vars = Bitset.cardinal a.varset in
+        let no_repeats = distinct_vars = Array.length a.vars in
+        if no_repeats && Bitset.equal e a.varset then begin
+          let complement =
+            (float_of_int universe ** float_of_int s.Cardinality.arity)
+            -. float_of_int s.Cardinality.cardinality
+          in
+          if complement <= 0.0 then Float.neg_infinity
+          else Float.log2 complement
+        end
+        else float_of_int (Bitset.cardinal e) *. u_log2
+      end
+
+(* Weight-1 greedy set cover, the typed degradation target when the
+   exact rational simplex overflows: any edge set covering every vertex
+   is a (integral, hence fractional) edge cover, so the summed log2
+   sizes remain a sound output bound. *)
+let greedy_cover_log2 ~edge_sizes ~edges covered =
+  let chosen = ref 0.0 in
+  let remaining = ref covered in
+  let arr = Array.of_list (List.combine edges edge_sizes) in
+  while not (Bitset.is_empty !remaining) do
+    let best = ref None in
+    Array.iter
+      (fun (e, size) ->
+        let gain = Bitset.cardinal (Bitset.inter e !remaining) in
+        if gain > 0 then
+          match !best with
+          | Some (_, bs, bg) when (bg, -.bs) >= (gain, -.size) -> ()
+          | _ -> best := Some (e, size, gain))
+      arr;
+    match !best with
+    | None ->
+        (* cannot happen: every vertex of [covered] lies in some edge *)
+        remaining := Bitset.diff !remaining !remaining
+    | Some (e, size, _) ->
+        chosen := !chosen +. size;
+        remaining := Bitset.diff !remaining e
+  done;
+  !chosen
+
+(* Instantiated output bound for the sub-query induced by vertex set
+   [vs]: solve the fractional edge cover LP over the coverable vertices
+   exactly, price each cover edge at the smallest matching atom
+   projection, and charge [U] per vertex no hyperedge reaches (such a
+   variable — disequality-only — ranges over the whole universe). *)
+let bound_of_vertices ~stats ~universe ~atoms h vs =
+  let u_log2 = log2i universe in
+  let edges_all = Hypergraph.induced_edges h vs in
+  let covered =
+    List.fold_left Bitset.union
+      (Bitset.create ~capacity:(Bitset.capacity vs))
+      edges_all
+  in
+  let covered = Bitset.inter covered vs in
+  let base = float_of_int (Bitset.cardinal (Bitset.diff vs covered)) *. u_log2 in
+  if Bitset.is_empty covered then
+    { log2 = base; exact_lp = true; degraded = None }
+  else begin
+    let edges = Hypergraph.induced_edges h covered in
+    let edge_sizes =
+      List.map
+        (fun e ->
+          List.fold_left
+            (fun acc a ->
+              if Bitset.equal (Bitset.inter a.varset covered) e then
+                Float.min acc (atom_edge_log2 ~stats ~universe a e)
+              else acc)
+            Float.infinity atoms)
+        edges
+    in
+    let weighted w =
+      List.fold_left2
+        (fun acc w size ->
+          if Rat.sign w = 0 then acc else acc +. (Rat.to_float w *. size))
+        0.0 (Array.to_list w) edge_sizes
+    in
+    match Widths.fcn_rational h covered with
+    | Some (_, w) when Array.length w = List.length edges ->
+        { log2 = base +. weighted w; exact_lp = true; degraded = None }
+    | Some _ | None ->
+        (* uncoverable vertices were removed above; treat defensively *)
+        {
+          log2 = base +. greedy_cover_log2 ~edge_sizes ~edges covered;
+          exact_lp = false;
+          degraded =
+            Some (Error.Internal "edge-cover LP returned no certificate");
+        }
+    | exception Rat.Overflow ->
+        {
+          log2 = base +. greedy_cover_log2 ~edge_sizes ~edges covered;
+          exact_lp = false;
+          degraded =
+            Some
+              (Error.Numeric_overflow
+                 "rational edge-cover LP overflowed; bound degraded to a \
+                  greedy integral cover");
+        }
+  end
+
+(* ---------- per-rung work predictions ---------- *)
+
+let log2_inv_eps2 eps =
+  let eps = Float.max 1e-9 (Float.min 1.0 eps) in
+  -2.0 *. Float.log2 eps
+
+let clamp0 x = if x < 0.0 then 0.0 else x
+
+let rank ~eps ~delta t =
+  let universe = t.stats.Cardinality.universe in
+  let u_log2 = log2i universe in
+  let star = float_of_int (min t.star_size 24) in
+  let sampling_probes reps =
+    Float.log2 (float_of_int reps) +. log2_inv_eps2 eps +. (2.0 *. star)
+  in
+  let mk rung ~applicable ~guaranteed ~probes ~probe_cost note =
+    {
+      rung;
+      applicable;
+      guaranteed;
+      log2_probes = probes;
+      log2_probe_cost = probe_cost;
+      log2_cost =
+        (if Float.is_finite probes || Float.is_finite probe_cost then
+           probes +. probe_cost
+         else Float.neg_infinity);
+      note;
+    }
+  in
+  let exact_alt =
+    mk Exact ~applicable:true ~guaranteed:true ~probes:0.0
+      ~probe_cost:
+        (if t.always_empty then Float.neg_infinity
+         else Float.max t.query_bound.log2 t.run_bound_log2)
+      (if t.always_empty then "statically empty: exact count 0"
+       else "join + projection, bounded by the instantiated cover bound")
+  in
+  let fpras_alt =
+    mk Fpras ~applicable:t.is_cq ~guaranteed:true
+      ~probes:
+        (Float.log2 (float_of_int (fpras_repetitions ~delta))
+        +. log2_inv_eps2 eps)
+      ~probe_cost:(clamp0 t.run_bound_log2)
+      (if t.is_cq then
+         "Theorem 16 sketch pipeline; probe cost is the max instantiated \
+          bag bound"
+       else "requires a CQ (Observation 10)")
+  in
+  let ec_reps = edge_count_repetitions ~delta in
+  let tree_alt =
+    mk Tree_dp ~applicable:true ~guaranteed:true
+      ~probes:(sampling_probes ec_reps)
+      ~probe_cost:(float_of_int (t.treewidth + 1) *. u_log2)
+      "Theorem 5 FPTRAS; DP table is |U|^(tw+1) per oracle probe"
+  in
+  let generic_alt =
+    mk Generic_join ~applicable:true ~guaranteed:true
+      ~probes:(sampling_probes ec_reps)
+      ~probe_cost:(clamp0 t.query_bound.log2)
+      "Theorem 13 FPTRAS; generic join runs within the instantiated \
+       AGM bound"
+  in
+  let partial_alt =
+    mk Partial ~applicable:true ~guaranteed:false ~probes:0.0
+      ~probe_cost:(clamp0 t.query_bound.log2)
+      "best-effort enumeration, lower bound only"
+  in
+  let priority a =
+    if a.rung = t.static_choice then -1
+    else
+      match a.rung with
+      | Exact -> 0
+      | Fpras -> 1
+      | Tree_dp -> 2
+      | Generic_join -> 3
+      | Partial -> 4
+  in
+  let order a b =
+    match (a.applicable && a.guaranteed, b.applicable && b.guaranteed) with
+    | true, false -> -1
+    | false, true -> 1
+    | _ ->
+        let c = Float.compare a.log2_cost b.log2_cost in
+        if c <> 0 then c else Stdlib.compare (priority a) (priority b)
+  in
+  List.sort order [ exact_alt; fpras_alt; tree_alt; generic_alt; partial_alt ]
+
+let chosen t =
+  match List.find_opt (fun a -> a.applicable && a.guaranteed) t.alternatives with
+  | Some a -> a.rung
+  | None -> Exact
+
+let static_choice_of (c : Classification.t) =
+  match c.Classification.regime with
+  | Classification.Exact_empty -> Exact
+  | Classification.Fpras_ta -> Fpras
+  | Classification.Fptras_tree_dp -> Tree_dp
+  | Classification.Fptras_generic_join -> Generic_join
+
+let analyze ?(eps = 0.25) ?(delta = 0.1) ~stats q (c : Classification.t) =
+  let h = Ecq.hypergraph q in
+  let capacity = Hypergraph.num_vertices h in
+  let universe = stats.Cardinality.universe in
+  let atoms = pred_atoms ~capacity q in
+  let bound_of vs = bound_of_vertices ~stats ~universe ~atoms h vs in
+  let full = Bitset.full ~capacity in
+  let query_bound =
+    if c.Classification.always_empty <> None then
+      { log2 = Float.neg_infinity; exact_lp = true; degraded = None }
+    else bound_of full
+  in
+  let component_bounds =
+    List.map
+      (fun comp -> bound_of (Bitset.of_list ~capacity comp))
+      c.Classification.components
+  in
+  let bag_bounds =
+    List.map
+      (fun bag -> bound_of (Bitset.of_list ~capacity bag))
+      c.Classification.width_certificate
+  in
+  let run_bound_log2 =
+    match bag_bounds with
+    | [] ->
+        (* no exact certificate: fall back to fhw times the largest
+           relation, the Definition 41 shape of the run bound *)
+        let max_card =
+          List.fold_left
+            (fun acc (s : Cardinality.relation_stats) ->
+              max acc s.Cardinality.cardinality)
+            1 stats.Cardinality.stats
+        in
+        c.Classification.fhw *. log2i max_card
+    | bs -> List.fold_left (fun acc b -> Float.max acc b.log2) 0.0 bs
+  in
+  let t =
+    {
+      eps;
+      delta;
+      stats;
+      query_bound;
+      component_bounds;
+      bag_bounds;
+      run_bound_log2;
+      static_choice = static_choice_of c;
+      is_cq = c.Classification.query_class = Classification.Cq;
+      always_empty = c.Classification.always_empty <> None;
+      treewidth = c.Classification.treewidth;
+      star_size = c.Classification.star_size;
+      alternatives = [];
+    }
+  in
+  { t with alternatives = rank ~eps ~delta t }
+
+(* ---------- rendering ---------- *)
+
+(* The bound as an answer count, for messages: 2^log2, +inf-safe. *)
+let bound_value b = if Float.is_finite b.log2 then Float.pow 2.0 b.log2 else
+    if b.log2 = Float.neg_infinity then 0.0 else Float.infinity
+
+let bound_to_json b =
+  Json.Obj
+    [
+      ("log2", if Float.is_finite b.log2 then Json.Float b.log2
+               else if b.log2 = Float.neg_infinity then Json.Float (-1e9)
+               else Json.Null);
+      ("value", if Float.is_finite (bound_value b) then Json.Float (bound_value b) else Json.Null);
+      ("exact_lp", Json.Bool b.exact_lp);
+      ( "degraded",
+        match b.degraded with
+        | None -> Json.Null
+        | Some e ->
+            Json.Obj
+              [
+                ("class", Json.String (Error.class_name e));
+                ("message", Json.String (Error.message e));
+              ] );
+    ]
+
+let alternative_to_json a =
+  Json.Obj
+    [
+      ("rung", Json.String (rung_name a.rung));
+      ("applicable", Json.Bool a.applicable);
+      ("guaranteed", Json.Bool a.guaranteed);
+      ("log2_probes", Json.Float a.log2_probes);
+      ( "log2_probe_cost",
+        if Float.is_finite a.log2_probe_cost then Json.Float a.log2_probe_cost
+        else Json.Float (-1e9) );
+      ( "log2_cost",
+        if Float.is_finite a.log2_cost then Json.Float a.log2_cost
+        else Json.Float (-1e9) );
+      ("note", Json.String a.note);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("eps", Json.Float t.eps);
+      ("delta", Json.Float t.delta);
+      ("nominal_stats", Json.Bool t.stats.Cardinality.nominal);
+      ("query_bound", bound_to_json t.query_bound);
+      ("component_bounds", Json.List (List.map bound_to_json t.component_bounds));
+      ("bag_bounds", Json.List (List.map bound_to_json t.bag_bounds));
+      ("run_bound_log2", Json.Float t.run_bound_log2);
+      ("static_choice", Json.String (rung_name t.static_choice));
+      ("chosen", Json.String (rung_name (chosen t)));
+      ("alternatives", Json.List (List.map alternative_to_json t.alternatives));
+      ("stats", Cardinality.to_json t.stats);
+    ]
+
+let pp fmt t =
+  let b = t.query_bound in
+  Format.fprintf fmt "bound:        %s answers (instantiated edge cover%s)@."
+    (if b.log2 = Float.neg_infinity then "0"
+     else Printf.sprintf "<= %.3g" (bound_value b))
+    (if b.exact_lp then ", exact LP" else ", degraded to greedy cover");
+  if t.stats.Cardinality.nominal then
+    Format.fprintf fmt "stats:        nominal (no database given: 10^6 rows \
+                        per relation assumed)@.";
+  Format.fprintf fmt
+    "@[<v 2>alternatives (eps %.3g, delta %.3g; cheapest guaranteed rung wins):@,"
+    t.eps t.delta;
+  Format.fprintf fmt "%-14s %-10s %-10s %-10s %s@," "rung" "log2cost"
+    "probes" "guarantee" "note";
+  List.iter
+    (fun a ->
+      Format.fprintf fmt "%-14s %-10s %-10s %-10s %s@,"
+        (rung_name a.rung)
+        (if Float.is_finite a.log2_cost then
+           Printf.sprintf "%.1f" a.log2_cost
+         else "0")
+        (Printf.sprintf "%.1f" a.log2_probes)
+        (if not a.applicable then "n/a"
+         else if a.guaranteed then "yes"
+         else "lower-bound")
+        a.note)
+    t.alternatives;
+  Format.fprintf fmt "@]@.";
+  Format.fprintf fmt "chosen:       %s%s@."
+    (rung_name (chosen t))
+    (if chosen t = t.static_choice then " (agrees with the static plan)"
+     else Printf.sprintf " (static plan: %s)" (rung_name t.static_choice))

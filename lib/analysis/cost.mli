@@ -1,0 +1,113 @@
+(** Static cost & cardinality analysis: stats-instantiated
+    fractional-edge-cover (AGM-style) output bounds plus per-rung work
+    predictions.
+
+    The width machinery already solves the fractional edge cover LP
+    exactly (Definition 39, [Ac_hypergraph.Widths.fcn_rational]); this
+    module {e instantiates} its optimal weights with catalog
+    cardinalities and per-column distinct counts
+    ({!Cardinality.relation_stats}): for a cover [x] of the query's
+    hypergraph, [|Q| <= Π_e N_e^{x_e}] where [N_e] is the smallest
+    matching atom projection — the classical AGM bound, computed in
+    log2 space so a blow-up never overflows. Negated atoms are priced
+    at their complement cardinality ([U^arity - |R|], Definition 20);
+    variables no hyperedge reaches cost [U] each.
+
+    On top of the bounds sit per-rung work predictions: trial counts
+    from the (ε, δ)-driven batch formulas of the Theorem 16 sketch and
+    the DLM edge-count layer (the ACJR sampling-cost shape), and probe
+    costs from the instantiated bag bounds (Definition 41 applied to
+    the width certificate). {!rank} orders the rungs cheapest-first;
+    the planner starts the governed chain at {!chosen} instead of the
+    Figure-1 first match, and [Ladder.build] appends the budget-aware
+    ε-degradation steps.
+
+    {b Typed degradation.} Instantiating the LP with hostile
+    cardinalities can overflow the exact rationals; the analyzer
+    catches [Ac_lp.Rat.Overflow] and degrades to a weight-1 greedy
+    cover — still a sound bound — recording the event as an
+    [Ac_runtime.Error.t] in {!bound.degraded} instead of crashing. *)
+
+(** Mirror of [Planner.rung] (which lives above this library). *)
+type rung = Fpras | Exact | Tree_dp | Generic_join | Partial
+
+val rung_name : rung -> string
+
+(** An instantiated output bound, in log2 space ([neg_infinity]: the
+    (sub-)query is provably empty on these stats). *)
+type bound = {
+  log2 : float;
+  exact_lp : bool;  (** the exact rational simplex produced the cover *)
+  degraded : Ac_runtime.Error.t option;
+      (** why [exact_lp] is false (e.g. [Numeric_overflow]) *)
+}
+
+type alternative = {
+  rung : rung;
+  applicable : bool;   (** e.g. the FPRAS requires a CQ *)
+  guaranteed : bool;   (** meets (ε, δ) or better; [Partial] does not *)
+  log2_probes : float;        (** predicted trial/repetition count *)
+  log2_probe_cost : float;    (** predicted work per probe *)
+  log2_cost : float;          (** total: probes + probe cost *)
+  note : string;
+}
+
+type t = {
+  eps : float;    (** the targets {!field-alternatives} was ranked at *)
+  delta : float;
+  stats : Cardinality.t;
+  query_bound : bound;            (** whole-query instantiated bound *)
+  component_bounds : bound list;  (** per connected component *)
+  bag_bounds : bound list;        (** per width-certificate bag (Definition 41) *)
+  run_bound_log2 : float;
+      (** max instantiated bag bound — the columnar run bound priced
+          into the Fpras and Exact rungs *)
+  static_choice : rung;  (** the Figure-1 regime's rung *)
+  is_cq : bool;
+  always_empty : bool;
+  treewidth : int;
+  star_size : int;
+  alternatives : alternative list;  (** ranked at [(eps, delta)] *)
+}
+
+(** Restatements of [Fpras.repetitions_for] / [Edge_count.repetitions_for]
+    (those modules sit above this library); pinned to the originals by
+    the test suite. *)
+val fpras_repetitions : delta:float -> int
+val edge_count_repetitions : delta:float -> int
+
+(** QL012 fires when the whole-query bound exceeds this many answers. *)
+val output_blowup_threshold : float
+
+val output_blowup_threshold_log2 : float
+
+(** Full analysis of a query against measured (or {!Cardinality.nominal})
+    statistics. [eps]/[delta] default to the API defaults (0.25, 0.1);
+    {!rank} re-prices the alternatives for other targets without
+    re-solving any LP. *)
+val analyze :
+  ?eps:float ->
+  ?delta:float ->
+  stats:Cardinality.t ->
+  Ac_query.Ecq.t ->
+  Classification.t ->
+  t
+
+(** Re-rank the alternatives at different accuracy targets (cheap: the
+    bounds are target-independent). Applicable-and-guaranteed rungs
+    sort first by predicted cost; ties prefer the static choice. *)
+val rank : eps:float -> delta:float -> t -> alternative list
+
+(** The cheapest applicable rung whose guarantee holds — what the
+    costed planner starts the governed chain with. *)
+val chosen : t -> rung
+
+(** [2^log2] as an answer count ([0.] for provably-empty). *)
+val bound_value : bound -> float
+
+val bound_to_json : bound -> Json.t
+val alternative_to_json : alternative -> Json.t
+val to_json : t -> Json.t
+
+(** The costed-alternatives table, as [acq explain --cost] prints it. *)
+val pp : Format.formatter -> t -> unit

@@ -13,6 +13,8 @@ type code =
   | Unguarded_variable
   | Empty_relation
   | Quantifier_free
+  | Output_blowup
+  | Complement_blowup
 
 type span = { start : int; stop : int }
 
@@ -37,6 +39,8 @@ let code_number = function
   | Unguarded_variable -> 9
   | Empty_relation -> 10
   | Quantifier_free -> 11
+  | Output_blowup -> 12
+  | Complement_blowup -> 13
 
 let code_id c = Printf.sprintf "QL%03d" (code_number c)
 
@@ -53,12 +57,15 @@ let code_slug = function
   | Unguarded_variable -> "unguarded-variable"
   | Empty_relation -> "empty-relation"
   | Quantifier_free -> "quantifier-free-exact"
+  | Output_blowup -> "output-blowup"
+  | Complement_blowup -> "complement-materialisation-cap"
 
 let all_codes =
   [
     Syntax_error; Unused_variable; Disconnected; Diseq_degenerate;
     Duplicate_atom; Negated_twin; Signature_mismatch; Star_size;
     Width_blowup; Unguarded_variable; Empty_relation; Quantifier_free;
+    Output_blowup; Complement_blowup;
   ]
 
 let severity_name = function

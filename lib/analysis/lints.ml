@@ -264,6 +264,66 @@ let empty_relations ~db ~spans q acc =
     (Ecq.atoms q);
   !found
 
+(* QL012 — the instantiated fractional-edge-cover bound (Definition 39
+   with catalog cardinalities) predicts an output blow-up: the bound is
+   the witness, and a cartesian split makes the product shape explicit.
+   Only fires on measured stats — a nominal instantiation would warn on
+   every wide query. *)
+let output_blowup ~(cost : Cost.t) (c : Classification.t) acc =
+  let b = cost.Cost.query_bound in
+  if
+    (not cost.Cost.stats.Cardinality.nominal)
+    && b.Cost.log2 >= Cost.output_blowup_threshold_log2
+  then
+    let cartesian =
+      match c.Classification.components with
+      | _ :: _ :: _ as comps ->
+          Printf.sprintf
+            " (cartesian product of %d components multiplies the \
+             per-component bounds)"
+            (List.length comps)
+      | _ -> ""
+    in
+    diag ~theorem:"Definition 39 (fractional edge cover)" D.Output_blowup
+      D.Warning
+      (Printf.sprintf
+         "instantiated edge-cover bound admits up to %.3g answers \
+          (threshold %.0e): materialising or enumerating the output can \
+          blow up%s%s"
+         (Cost.bound_value b) Cost.output_blowup_threshold cartesian
+         (if b.Cost.exact_lp then "" else "; bound from a degraded greedy cover"))
+    :: acc
+  else acc
+
+(* QL013 — a negated atom whose complement relation cannot be
+   materialised under the engine cap: execution falls back to lazy
+   complement views, paying the universe sweep on every enumeration. *)
+let complement_blowup ~db ~spans q acc =
+  let universe = float_of_int (Structure.universe_size db) in
+  let cap = Relation.default_complement_cap in
+  let found = ref acc in
+  List.iteri
+    (fun idx atom ->
+      match atom with
+      | Ecq.Neg_atom (_, vs) ->
+          let tuples = universe ** float_of_int (Array.length vs) in
+          if tuples > float_of_int cap then
+            found :=
+              diag
+                ?span:(span_of spans idx)
+                ~theorem:"Definition 20 (complement semantics)"
+                D.Complement_blowup D.Warning
+                (Printf.sprintf
+                   "negated atom %s: complement spans %.3g tuples, above \
+                    the %d materialisation cap — the engine uses a lazy \
+                    complement view, paying the universe sweep per \
+                    enumeration"
+                   (atom_to_string q atom) tuples cap)
+              :: !found
+      | _ -> ())
+    (Ecq.atoms q);
+  !found
+
 (* QL011 — quantifier-free, disequality-free: counting reduces to the
    footnote 4 #Hom DP, exact in polynomial time for bounded treewidth. *)
 let quantifier_free (c : Classification.t) acc =
@@ -277,7 +337,7 @@ let quantifier_free (c : Classification.t) acc =
     :: acc
   else acc
 
-let run ?db ?spans q (c : Classification.t) =
+let run ?db ?cost ?spans q (c : Classification.t) =
   let acc = [] in
   let acc = unused_variables ~spans q acc in
   let acc = disconnected c acc in
@@ -292,4 +352,10 @@ let run ?db ?spans q (c : Classification.t) =
     match db with Some db -> empty_relations ~db ~spans q acc | None -> acc
   in
   let acc = quantifier_free c acc in
+  let acc = match cost with Some cost -> output_blowup ~cost c acc | None -> acc in
+  let acc =
+    match db with
+    | Some db -> complement_blowup ~db ~spans q acc
+    | None -> acc
+  in
   List.sort D.compare acc

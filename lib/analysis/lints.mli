@@ -2,12 +2,15 @@
 
     Structural checks (QL001–QL005, QL007–QL009, QL011) need only the
     query and its {!Classification}; database-aware checks (QL006,
-    QL010) run when [db] is given. [spans] — one character range per
-    atom, in [Ecq.atoms] order, as returned by [Ecq.parse_spans] —
-    attaches source spans to atom-level diagnostics. *)
+    QL010, QL013) run when [db] is given, and the cost-aware check
+    (QL012 — instantiated output-bound blow-up) when a {!Cost.t} is.
+    [spans] — one character range per atom, in [Ecq.atoms] order, as
+    returned by [Ecq.parse_spans] — attaches source spans to
+    atom-level diagnostics. *)
 
 val run :
   ?db:Ac_relational.Structure.t ->
+  ?cost:Cost.t ->
   ?spans:(int * int) array ->
   Ac_query.Ecq.t ->
   Classification.t ->

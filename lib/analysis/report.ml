@@ -5,14 +5,22 @@ type t = {
   query : Ecq.t option;
   classification : Classification.t option;
   diagnostics : D.t list;
+  cost : Cost.t option;
 }
 
 let analyze ?db ?spans q =
   let c = Classify.classify q in
+  let cost =
+    match db with
+    | Some db ->
+        Some (Cost.analyze ~stats:(Cardinality.of_structure db) q c)
+    | None -> None
+  in
   {
     query = Some q;
     classification = Some c;
-    diagnostics = Lints.run ?db ?spans q c;
+    diagnostics = Lints.run ?db ?cost ?spans q c;
+    cost;
   }
 
 (* A parse failure becomes one span-carrying diagnostic. The
@@ -58,7 +66,12 @@ let analyze_text ?db text =
   match Ecq.parse_spans text with
   | q, spans -> analyze ?db ~spans q
   | exception Ecq.Parse_error pe ->
-      { query = None; classification = None; diagnostics = [ of_parse_error pe ] }
+      {
+        query = None;
+        classification = None;
+        diagnostics = [ of_parse_error pe ];
+        cost = None;
+      }
 
 let classification_exn t =
   match t.classification with
@@ -101,6 +114,8 @@ let to_json t =
         | Some c -> Classification.to_json c
         | None -> Json.Null );
       ("diagnostics", Json.List (List.map D.to_json t.diagnostics));
+      ( "cost",
+        match t.cost with Some cost -> Cost.to_json cost | None -> Json.Null );
       ("errors", Json.Int e);
       ("warnings", Json.Int w);
       ("infos", Json.Int i);

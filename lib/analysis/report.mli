@@ -11,6 +11,11 @@ type t = {
   query : Ac_query.Ecq.t option;  (** [None] only when parsing failed *)
   classification : Classification.t option;
   diagnostics : Diagnostic.t list;  (** sorted: errors first *)
+  cost : Cost.t option;
+      (** the static cost analysis, instantiated from the database's
+          catalog stats — present exactly when [analyze] got a [db].
+          Stored in the report so the daemon's plan cache (keyed by the
+          database fingerprint) invalidates it for free. *)
 }
 
 val analyze :

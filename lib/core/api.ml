@@ -89,6 +89,7 @@ type response = {
   rung : Planner.rung option;
   guarantee : bool;
   degraded : bool;
+  eps_used : float;
   attempts : Planner.attempt list;
   report : Report.t;
   telemetry : telemetry;
@@ -176,7 +177,7 @@ let run ?report r =
     match report with Some rep -> rep | None -> analyze_traced root r
   in
   let finish ?decision ?rung ?(guarantee = true) ?(degraded = false)
-      ?(attempts = []) ~exact estimate =
+      ?(eps_used = r.eps) ?(attempts = []) ~exact estimate =
     if not (Float.is_finite estimate) then
       Error
         (Error.Numeric_overflow
@@ -191,6 +192,7 @@ let run ?report r =
           rung;
           guarantee;
           degraded;
+          eps_used;
           attempts;
           report;
           telemetry = telemetry ();
@@ -205,14 +207,14 @@ let run ?report r =
         in
         match
           Planner.count_governed ~budget ~exec ~verbose:r.verbose
-            ~strict:r.strict ?chaos:r.chaos ~decision ~eps:r.eps ~delta:r.delta
-            r.query r.db
+            ~strict:r.strict ?chaos:r.chaos ~decision
+            ?cost:report.Report.cost ~eps:r.eps ~delta:r.delta r.query r.db
         with
         | Error e -> Error e
         | Ok g ->
             finish ~decision:g.Planner.decision ~rung:g.Planner.rung
               ~guarantee:g.Planner.guarantee ~degraded:g.Planner.degraded
-              ~attempts:g.Planner.attempts
+              ~eps_used:g.Planner.eps_used ~attempts:g.Planner.attempts
               ~exact:(g.Planner.rung = Planner.Exact_rung)
               g.Planner.estimate)
     | Fpras ->

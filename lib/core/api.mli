@@ -93,11 +93,15 @@ type response = {
   rung : Planner.rung option;          (** producing rung ([Auto] only) *)
   guarantee : bool;   (** the (ε, δ) guarantee (or exactness) holds *)
   degraded : bool;    (** a fallback rung produced the value *)
+  eps_used : float;
+      (** the ε the answer was computed at — the requested ε unless a
+          budget-driven ladder step relaxed it ([Auto], costed path) *)
   attempts : Planner.attempt list;     (** failed rungs, in order *)
   report : Ac_analysis.Report.t;
       (** the static analysis (classification + lint diagnostics, with
-          the database-aware checks); on the [Auto] path the plan is
-          read off this report's classification *)
+          the database-aware checks, and the instantiated cost model —
+          [report.cost] drives the [Auto] rung order); on the [Auto]
+          path the plan is read off this report's classification *)
   telemetry : telemetry;
 }
 

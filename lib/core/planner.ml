@@ -6,6 +6,8 @@ module Chaos = Ac_runtime.Chaos
 module Entropy = Ac_runtime.Entropy
 module Classification = Ac_analysis.Classification
 module Classify = Ac_analysis.Classify
+module Cost = Ac_analysis.Cost
+module Ladder = Ac_analysis.Ladder
 module Engine = Ac_exec.Engine
 module Trace = Ac_obs.Trace
 module Metrics = Ac_obs.Metrics
@@ -147,9 +149,17 @@ type governed = {
   rung : rung;
   guarantee : bool;
   degraded : bool;
+  eps_used : float;
   attempts : attempt list;
   decision : decision;
 }
+
+let rung_of_cost = function
+  | Cost.Fpras -> Fpras_rung
+  | Cost.Exact -> Exact_rung
+  | Cost.Tree_dp -> Tree_dp_rung
+  | Cost.Generic_join -> Generic_rung
+  | Cost.Partial -> Partial_rung
 
 let planned_rung d =
   match d.algorithm with
@@ -222,7 +232,7 @@ let observe_degradation () =
        ~help:"Governed runs that completed on a fallback rung")
 
 let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
-    ?chaos ?decision ~eps ~delta q db =
+    ?chaos ?decision ?cost ~eps ~delta q db =
   let budget = match budget with Some b -> b | None -> Budget.none in
   if not (Ecq.compatible_with q db) then
     Error (Error.Signature_mismatch (mismatch_message q db))
@@ -245,7 +255,7 @@ let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
            re-spanned so trials nest under the rung. One branch when the
            run is untraced. *)
         let parent = match exec with Some e -> Engine.span e | None -> None in
-        let run_traced ~sub rung () =
+        let run_traced ~sub ~eps rung () =
           guard_rung rung;
           match parent with
           | None -> run_rung ~rng ~budget:sub ?exec ~eps ~delta rung q db
@@ -258,7 +268,7 @@ let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
                   Trace.stop ~ticks:(Budget.ticks sub - ticks0) sp)
                 (fun () -> run_rung ~rng ~budget:sub ?exec ~eps ~delta rung q db)
         in
-        let finish ~rung ~guarantee ~attempts estimate =
+        let finish ~rung ~guarantee ~eps_used ~attempts estimate =
           if not (Float.is_finite estimate) then
             Error
               (Error.Numeric_overflow
@@ -276,6 +286,7 @@ let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
                 rung;
                 guarantee;
                 degraded = attempts <> [];
+                eps_used;
                 attempts;
                 decision = d;
               }
@@ -284,23 +295,47 @@ let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
         let planned = planned_rung d in
         if strict then
           (* Strict mode: the planned algorithm under the whole budget,
-             first failure propagated — no degradation. *)
-          match Error.guard (run_traced ~sub:budget planned) with
+             first failure propagated — no degradation, no cost-driven
+             reordering (the caller asked for the Figure-1 plan). *)
+          match Error.guard (run_traced ~sub:budget ~eps planned) with
           | Error err as e ->
               observe_attempt planned "error";
               observe_trip err;
               e
           | Ok (v, guarantee) ->
               observe_attempt planned "ok";
-              finish ~rung:planned ~guarantee ~attempts:[] v
+              finish ~rung:planned ~guarantee ~eps_used:eps ~attempts:[] v
         else begin
+          (* With a cost analysis at hand the chain is the ε-degradation
+             ladder: guaranteed rungs cheapest-first, then the cheapest
+             sampling rung at relaxed ε, then partial. Without one it is
+             the static Figure-1 fallback order, all steps at the
+             requested ε. *)
           let chain =
-            (planned
-            :: List.filter
-                 (fun r -> r <> planned)
-                 [ Exact_rung; Tree_dp_rung; Generic_rung ])
-            @ [ Partial_rung ]
+            match cost with
+            | Some cost ->
+                List.map
+                  (fun (s : Ladder.step) ->
+                    (rung_of_cost s.Ladder.rung, s.Ladder.eps))
+                  (Ladder.build ~eps ~delta cost)
+            | None ->
+                List.map
+                  (fun r -> (r, eps))
+                  ((planned
+                   :: List.filter
+                        (fun r -> r <> planned)
+                        [ Exact_rung; Tree_dp_rung; Generic_rung ])
+                  @ [ Partial_rung ])
           in
+          if verbose && cost <> None then
+            Printf.eprintf "planner: costed chain: %s\n%!"
+              (String.concat " -> "
+                 (List.map
+                    (fun (r, e) ->
+                      if e > eps then
+                        Printf.sprintf "%s@eps=%g" (rung_name r) e
+                      else rung_name r)
+                    chain));
           let rec go attempts = function
             | [] -> (
                 (* Even the partial rung failed (e.g. an injected fault):
@@ -308,7 +343,7 @@ let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
                 match attempts with
                 | { error; _ } :: _ -> Error error
                 | [] -> Error (Error.Internal "empty fallback chain"))
-            | rung :: rest ->
+            | (rung, step_eps) :: rest ->
                 (* Non-final rungs get half the remaining budget so a
                    runaway attempt cannot starve the fallbacks; the final
                    partial sweep gets everything left. If the parent has
@@ -316,12 +351,12 @@ let count_governed ?budget ?rng ?exec ?(verbose = false) ?(strict = false)
                    rung falls through in O(1). *)
                 let fraction = if rest = [] then 1.0 else 0.5 in
                 let sub = Budget.slice ~fraction ~label:(rung_name rung) budget in
-                let outcome = Error.guard (run_traced ~sub rung) in
+                let outcome = Error.guard (run_traced ~sub ~eps:step_eps rung) in
                 if sub != budget then Budget.absorb budget sub;
                 (match outcome with
                 | Ok (v, guarantee) when Float.is_finite v ->
                     observe_attempt rung "ok";
-                    finish ~rung ~guarantee ~attempts v
+                    finish ~rung ~guarantee ~eps_used:step_eps ~attempts v
                 | Ok (v, _) ->
                     observe_attempt rung "error";
                     let error =

@@ -113,9 +113,16 @@ type governed = {
       (** [true]: the (ε, δ) guarantee (or better — exactness) holds;
           [false]: [estimate] is a best-effort lower bound *)
   degraded : bool;    (** some rung before [rung] failed *)
+  eps_used : float;
+      (** the ε the completing rung actually ran at — equals the
+          requested ε unless a cost-driven ladder step relaxed it *)
   attempts : attempt list;  (** failed rungs, in the order tried *)
   decision : decision;      (** the original plan *)
 }
+
+(** The {!Ac_analysis.Cost.rung} mirror, mapped back onto the planner's
+    chain rungs. *)
+val rung_of_cost : Ac_analysis.Cost.rung -> rung
 
 (** Run the planned algorithm under a slice of [budget] and degrade down
     the chain on [Budget_exceeded] (or any typed error). With
@@ -126,9 +133,19 @@ type governed = {
     fire deterministically. [exec] parallelises each rung's independent
     trials as in {!count}; every rung derives its own engine seed
     (ordinal split), so a degraded retry does not replay the failed
-    rung's random choices. [decision], when given (e.g. by [Api.run],
-    which has already analysed the query), skips re-planning — and in
-    particular re-computing the width measures. *)
+    rung's random choices — and an estimate depends only on
+    [(rung, seed, ε, δ)], never on the rung's position in the chain, so
+    cost-driven reordering is estimate-preserving. [decision], when
+    given (e.g. by [Api.run], which has already analysed the query),
+    skips re-planning — and in particular re-computing the width
+    measures.
+
+    [cost], when given, replaces the static fallback order with the
+    {!Ac_analysis.Ladder} schedule: every applicable rung whose (ε, δ)
+    guarantee holds, cheapest predicted cost first, then the cheapest
+    sampling rung again at relaxed ε (reported via [eps_used]), then
+    the partial sweep. Ignored under [strict] (strict means: exactly
+    the Figure-1 plan). *)
 val count_governed :
   ?budget:Ac_runtime.Budget.t ->
   ?rng:Random.State.t ->
@@ -137,6 +154,7 @@ val count_governed :
   ?strict:bool ->
   ?chaos:Ac_runtime.Chaos.t ->
   ?decision:decision ->
+  ?cost:Ac_analysis.Cost.t ->
   eps:float ->
   delta:float ->
   Ac_query.Ecq.t ->

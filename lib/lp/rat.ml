@@ -1,15 +1,19 @@
 type t = { num : int; den : int } (* den > 0, gcd(|num|, den) = 1 *)
 
+exception Overflow
+
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
 (* Guarded multiplication: native ints are 63-bit; the LPs solved here
-   keep coefficients tiny, so hitting this is a logic error worth a loud
-   failure. *)
+   keep coefficients tiny, so an overflow is exceptional — but callers
+   that instantiate LPs with external data (the cost analyzer) need to
+   catch it and degrade, hence a dedicated exception rather than a
+   generic [Failure]. *)
 let mul_int a b =
   if a = 0 || b = 0 then 0
   else begin
     let c = a * b in
-    if c / b <> a then failwith "Rat.overflow";
+    if c / b <> a then raise Overflow;
     c
   end
 

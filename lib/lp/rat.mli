@@ -2,10 +2,17 @@
 
     Values are kept reduced (gcd 1) with a positive denominator. Native
     [int] (63-bit) components suffice for the small width-measure LPs this
-    library solves; arithmetic raises [Failure "Rat.overflow"] when a
-    product would overflow, rather than wrapping silently. *)
+    library solves; arithmetic raises {!Overflow} when a product would
+    overflow, rather than wrapping silently — callers that feed the LP
+    external data (the cost analyzer instantiating edge covers with
+    catalog cardinalities) catch it and degrade to a typed result
+    instead of crashing. *)
 
 type t
+
+(** Raised when a product of numerators/denominators would exceed the
+    native 63-bit integer range. *)
+exception Overflow
 
 val zero : t
 val one : t

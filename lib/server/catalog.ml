@@ -1,13 +1,14 @@
 module Structure = Ac_relational.Structure
-module Relation = Ac_relational.Relation
 module Structure_io = Ac_relational.Structure_io
 module Json = Ac_analysis.Json
+module Cardinality = Ac_analysis.Cardinality
 
-type relation_stats = {
+type relation_stats = Cardinality.relation_stats = {
   symbol : string;
   arity : int;
   cardinality : int;
   active_domain : int;
+  distinct : int array;
 }
 
 type entry = {
@@ -27,18 +28,11 @@ type t = {
 
 let create () = { table = Hashtbl.create 8; mutex = Mutex.create () }
 
-let stats_of db =
-  List.map
-    (fun symbol ->
-      let rel = Structure.relation db symbol in
-      {
-        symbol;
-        arity = Relation.arity rel;
-        cardinality = Relation.cardinality rel;
-        (* sealed relations answer this from their column dictionaries *)
-        active_domain = Relation.active_domain rel;
-      })
-    (Structure.symbols db)
+(* Delegated to the analysis layer: the catalog serves exactly the
+   numbers the cost model plans with (including per-column distinct
+   counts; sealed relations answer those from their memoized column
+   dictionaries). *)
+let stats_of db = (Cardinality.of_structure db).Cardinality.stats
 
 let entry_of ?source ~name ~fingerprint db =
   {
@@ -86,15 +80,5 @@ let entry_to_json e =
       ("universe", Json.Int e.universe);
       ("size", Json.Int e.size);
       ( "relations",
-        Json.List
-          (List.map
-             (fun r ->
-               Json.Obj
-                 [
-                   ("symbol", Json.String r.symbol);
-                   ("arity", Json.Int r.arity);
-                   ("cardinality", Json.Int r.cardinality);
-                   ("active_domain", Json.Int r.active_domain);
-                 ])
-             e.relations) );
+        Json.List (List.map Cardinality.relation_stats_to_json e.relations) );
     ]

@@ -11,12 +11,16 @@
     All operations are thread-safe. Registering an existing name
     replaces the entry (a reload picks up a regenerated file). *)
 
-type relation_stats = {
+(** The analysis layer's catalog record, re-exported: the [STATS] wire
+    verb serialises exactly the numbers the {!Ac_analysis.Cost} model
+    instantiates its bounds with. *)
+type relation_stats = Ac_analysis.Cardinality.relation_stats = {
   symbol : string;
   arity : int;
   cardinality : int;  (** number of facts *)
   active_domain : int;
       (** distinct universe elements occurring in the relation's facts *)
+  distinct : int array;  (** distinct values per column, length [arity] *)
 }
 
 type entry = {

@@ -38,6 +38,8 @@ if [ "${1:-}" = "--with-bench" ]; then
   dune exec bench/main.exe -- --chaos
   echo "== join kernels vs trie oracle (BENCH_join.json, kernels must win end-to-end)"
   dune exec bench/main.exe -- --join
+  echo "== costed vs static chain (BENCH_cost.json, costed never slower beyond slack)"
+  dune exec bench/main.exe -- --cost
 fi
 
 echo "== CI green"

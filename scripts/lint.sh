@@ -20,6 +20,13 @@
 #      built from sealed columns via Relation.projection; the trie
 #      reference path (lib/join/trie.ml) is the one deliberate
 #      exception and lives in its own file.
+#   6. Domain safety — shared-memory primitives (Atomic, Mutex, Domain,
+#      Condition) appear only in the allowlisted modules that were
+#      designed (and reviewed) for multi-domain use. A Mutex creeping
+#      into, say, the analysis layer would mean planner state escaped
+#      into shared memory — pure layers must stay pure so the engine's
+#      determinism argument (per-trial streams, index-order reduce)
+#      keeps holding.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -77,6 +84,37 @@ if [ -n "$tuple_at_a_time" ]; then
   echo "$tuple_at_a_time" >&2
   complain "tuple-at-a-time Relation.iter/fold/to_list in a vectorized hot-loop module (read sealed columns via Relation.projection / Ac_kernels instead)"
 fi
+
+# --- 6. domain safety --------------------------------------------------------
+# Allowlist of lib/ modules that may touch shared-memory primitives.
+# Extending it is a review decision: add the file here in the same PR
+# that introduces the primitive, with the reasoning in the commit.
+domain_allowlist="
+lib/automata/ltree.ml
+lib/automata/tree_automaton.ml
+lib/core/colour_oracle.ml
+lib/exec/engine.ml
+lib/exec/pool.ml
+lib/hom/hom.ml
+lib/join/generic_join.ml
+lib/obs/metrics.ml
+lib/obs/trace.ml
+lib/relational/relation.ml
+lib/runtime/chaos.ml
+lib/server/cache.ml
+lib/server/catalog.ml
+lib/server/chaos_proxy.ml
+lib/server/inflight.ml
+lib/server/scheduler.ml
+lib/server/server.ml
+"
+domain_users=$(grep -rlE '\b(Atomic\.|Mutex\.|Domain\.|Condition\.)' \
+  --include="*.ml" lib 2>/dev/null | sort || true)
+for f in $domain_users; do
+  if ! echo "$domain_allowlist" | grep -qx "$f"; then
+    complain "$f uses Atomic/Mutex/Domain/Condition but is not on the domain-safety allowlist (scripts/lint.sh)"
+  fi
+done
 
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAILED" >&2

@@ -30,6 +30,7 @@ let () =
       ("runtime", Test_runtime.tests);
       ("malformed", Test_malformed.tests);
       ("analysis", Test_analysis.tests);
+      ("cost", Test_cost.tests);
       ("exec", Test_exec.tests);
       ("obs", Test_obs.tests);
       ("server", Test_server.tests);

@@ -169,6 +169,61 @@ let test_ql011_quantifier_free () =
   check_lacks "ql011-existential" Diagnostic.Quantifier_free
     "ans(x) :- E(x, y)"
 
+(* QL012 needs measured stats predicting > 10^7 answers: two disjoint
+   4000-tuple relations under a cartesian product bound 1.6·10^7. *)
+let test_ql012_output_blowup () =
+  let s = Structure.create ~universe_size:4000 in
+  Structure.declare s "E" ~arity:2;
+  Structure.declare s "R" ~arity:2;
+  for i = 0 to 3999 do
+    Structure.add_fact s "E" [| i; i |];
+    Structure.add_fact s "R" [| i; i |]
+  done;
+  let q = Ecq.parse "ans(x, y, z, w) :- E(x, y), R(z, w)" in
+  let report = Analysis.analyze ~db:s q in
+  Alcotest.(check bool) "blow-up flagged" true
+    (has Diagnostic.Output_blowup report);
+  (* the witness is the instantiated bound, and severity stays warning *)
+  let d =
+    List.find
+      (fun d -> d.Diagnostic.code = Diagnostic.Output_blowup)
+      report.Analysis.diagnostics
+  in
+  Alcotest.(check bool) "message carries the bound" true
+    (contains_sub ~sub:"1.6e+07" d.Diagnostic.message);
+  Alcotest.(check int) "exit 0" 0 (Analysis.exit_status report);
+  (* a single small join stays quiet *)
+  Alcotest.(check bool) "small bound clean" false
+    (has Diagnostic.Output_blowup
+       (Analysis.analyze ~db:s (Ecq.parse "ans(x) :- E(x, y)")));
+  (* db-less analysis has no cost, hence no QL012 even on wide queries *)
+  Alcotest.(check bool) "no db, no QL012" false
+    (has Diagnostic.Output_blowup (Analysis.analyze q))
+
+(* QL013: a negated binary atom over a 5000-element universe spans
+   2.5·10^7 complement tuples, above the 2·10^7 materialisation cap. *)
+let test_ql013_complement_blowup () =
+  let blown = Structure.create ~universe_size:5000 in
+  Structure.declare blown "E" ~arity:2;
+  Structure.declare blown "R" ~arity:2;
+  Structure.add_fact blown "E" [| 0; 1 |];
+  let q = Ecq.parse "ans(x, y) :- E(x, y), !R(x, y)" in
+  let report = Analysis.analyze ~db:blown q in
+  Alcotest.(check bool) "cap flagged" true
+    (has Diagnostic.Complement_blowup report);
+  Alcotest.(check int) "exit 0" 0 (Analysis.exit_status report);
+  let small = Structure.create ~universe_size:100 in
+  Structure.declare small "E" ~arity:2;
+  Structure.declare small "R" ~arity:2;
+  Structure.add_fact small "E" [| 0; 1 |];
+  Alcotest.(check bool) "small universe clean" false
+    (has Diagnostic.Complement_blowup (Analysis.analyze ~db:small q));
+  Alcotest.(check bool) "positive atoms never flagged" false
+    (has Diagnostic.Complement_blowup
+       (Analysis.analyze ~db:blown (Ecq.parse "ans(x, y) :- E(x, y)")));
+  Alcotest.(check bool) "no db, no QL013" false
+    (has Diagnostic.Complement_blowup (Analysis.analyze q))
+
 (* ---------- spans through parse_spans ---------- *)
 
 let test_spans_align () =
@@ -445,6 +500,8 @@ let tests =
     Alcotest.test_case "QL009 unguarded variable" `Quick test_ql009_unguarded;
     Alcotest.test_case "QL010 empty relation" `Quick test_ql010_empty_relation;
     Alcotest.test_case "QL011 quantifier-free" `Quick test_ql011_quantifier_free;
+    Alcotest.test_case "QL012 output blow-up" `Quick test_ql012_output_blowup;
+    Alcotest.test_case "QL013 complement cap" `Quick test_ql013_complement_blowup;
     Alcotest.test_case "atom spans align with source" `Quick test_spans_align;
     Alcotest.test_case "parse errors carry positions" `Quick test_parse_error_positions;
     Alcotest.test_case "decision = f(classification)" `Quick test_decision_from_classification;

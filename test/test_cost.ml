@@ -1,0 +1,306 @@
+(* The static cost & cardinality analyzer: Rat overflow degradation,
+   the restated ACJR repetition formulas pinned to their originals,
+   qcheck soundness of the instantiated edge-cover bound against exact
+   counts, estimate preservation under cost-driven chain reordering,
+   ladder shape, and catalog distinct counts. *)
+
+module Ecq = Ac_query.Ecq
+module Structure = Ac_relational.Structure
+module Rat = Ac_lp.Rat
+module Error = Ac_runtime.Error
+module Chaos = Ac_runtime.Chaos
+module Cardinality = Ac_analysis.Cardinality
+module Cost = Ac_analysis.Cost
+module Ladder = Ac_analysis.Ladder
+module Classify = Ac_analysis.Classify
+module Report = Ac_analysis.Report
+module Engine = Ac_exec.Engine
+module Planner = Approxcount.Planner
+module Exact = Approxcount.Exact
+module Fpras = Approxcount.Fpras
+module Edge_count = Ac_dlm.Edge_count
+
+let analyze_with db q =
+  Cost.analyze ~stats:(Cardinality.of_structure db) q (Classify.classify q)
+
+(* ---------- Rat overflow is typed, and the bound degrades ---------- *)
+
+let test_rat_overflow () =
+  let huge = Rat.of_int max_int in
+  (match Rat.mul huge huge with
+  | _ -> Alcotest.fail "expected Rat.Overflow"
+  | exception Rat.Overflow -> ());
+  (* a near-max denominator sum also overflows, not wraps *)
+  let tiny = Rat.make 1 (max_int - 1) in
+  (match Rat.add tiny (Rat.make 1 (max_int - 2)) with
+  | _ -> Alcotest.fail "expected Rat.Overflow on denominator product"
+  | exception Rat.Overflow -> ())
+
+(* ---------- repetition formulas pinned to the originals ----------
+
+   [Cost] sits below [lib/core]/[lib/dlm] in the dependency order and
+   restates their trial-count formulas; these checks are what keeps the
+   restatements honest. *)
+
+let test_repetition_formulas () =
+  List.iter
+    (fun delta ->
+      Alcotest.(check int)
+        (Printf.sprintf "fpras reps at delta=%g" delta)
+        (Fpras.repetitions_for ~delta)
+        (Cost.fpras_repetitions ~delta);
+      Alcotest.(check int)
+        (Printf.sprintf "edge-count reps at delta=%g" delta)
+        (Edge_count.repetitions_for ~delta)
+        (Cost.edge_count_repetitions ~delta))
+    [ 0.49; 0.3; 0.1; 0.05; 0.01; 1e-3; 1e-6; 1e-12 ]
+
+(* ---------- bound soundness: 2^bound >= exact count ---------- *)
+
+let prop_bound_sound =
+  QCheck2.Test.make ~count:150
+    ~name:"instantiated edge-cover bound dominates the exact count"
+    (Gen.ecq_with_db ~allow_neg:true ~allow_diseq:true)
+    (fun (q, db) ->
+      let exact = float_of_int (Exact.by_join_projection q db) in
+      let cost = analyze_with db q in
+      let b = cost.Cost.query_bound in
+      let bound =
+        if b.Cost.log2 = Float.neg_infinity then 0.0
+        else Float.pow 2.0 b.Cost.log2
+      in
+      if exact > (bound *. (1.0 +. 1e-9)) +. 1e-6 then
+        QCheck2.Test.fail_reportf
+          "exact %g > bound %g (log2 %g, exact_lp %b) for %s" exact bound
+          b.Cost.log2 b.Cost.exact_lp (Ecq.to_string q)
+      else true)
+
+(* Component bounds are sound too: their sum (in log2, product of
+   counts) dominates the whole query, which dominates the exact count. *)
+let prop_component_bounds_sound =
+  QCheck2.Test.make ~count:100
+    ~name:"summed component bounds dominate the exact count"
+    (Gen.ecq_with_db ~allow_neg:true ~allow_diseq:true)
+    (fun (q, db) ->
+      let exact = float_of_int (Exact.by_join_projection q db) in
+      let cost = analyze_with db q in
+      match cost.Cost.component_bounds with
+      | [] -> true
+      | bs ->
+          let total =
+            List.fold_left (fun acc b -> acc +. b.Cost.log2) 0.0 bs
+          in
+          let bound =
+            if total = Float.neg_infinity then 0.0 else Float.pow 2.0 total
+          in
+          if exact > (bound *. (1.0 +. 1e-9)) +. 1e-6 then
+            QCheck2.Test.fail_reportf
+              "exact %g > product-of-components bound %g for %s" exact bound
+              (Ecq.to_string q)
+          else true)
+
+(* ---------- estimate preservation under reordering ----------
+
+   An estimate depends only on (rung, seed, eps, delta) — the engine
+   seed is split by rung ordinal — so reaching the same rung through
+   the costed ladder and through the static chain must produce
+   bit-identical values. Chaos-fail every step before the generic-join
+   rung in both chains and compare. *)
+
+let reorder_db () =
+  let u = 30 in
+  let s = Structure.create ~universe_size:u in
+  Structure.declare s "E" ~arity:2;
+  for i = 0 to u - 1 do
+    Structure.add_fact s "E" [| i; ((i * 7) + 3) mod u |];
+    Structure.add_fact s "E" [| i; ((i * 11) + 5) mod u |];
+    Structure.add_fact s "E" [| (i * 13) mod u; i |]
+  done;
+  s
+
+let test_estimate_preserving_reorder () =
+  let db = reorder_db () in
+  let q = Ecq.parse "ans(x, y) :- E(x, y), E(y, z), !E(x, z), x != z" in
+  let eps = 0.25 and delta = 0.1 in
+  let cost = analyze_with db q in
+  let ladder = Ladder.build ~eps ~delta cost in
+  (* how many ladder steps precede the first at-eps generic-join *)
+  let costed_prefix =
+    let rec go n = function
+      | [] -> None
+      | s :: _
+        when s.Ladder.rung = Cost.Generic_join && not s.Ladder.relaxed ->
+          Some n
+      | _ :: rest -> go (n + 1) rest
+    in
+    go 0 ladder
+  in
+  match costed_prefix with
+  | None -> Alcotest.fail "ladder lost the generic-join rung"
+  | Some k ->
+      let run ~cost ~fail_first =
+        let chaos =
+          Chaos.create
+            ~plan:(List.init fail_first (fun i -> (i + 1, Chaos.Fail "forced")))
+            ~seed:1 ()
+        in
+        let exec = Engine.make ~jobs:1 ~seed:42 () in
+        match
+          Planner.count_governed ~exec ~chaos ?cost ~eps ~delta q db
+        with
+        | Ok g -> g
+        | Error e -> Alcotest.failf "governed run failed: %s" (Error.message e)
+      in
+      (* static chain for this ECQ: tree-dp, exact, generic, partial *)
+      let g_static = run ~cost:None ~fail_first:2 in
+      let g_costed = run ~cost:(Some cost) ~fail_first:k in
+      Alcotest.(check string)
+        "static chain reached generic-join" "generic-join"
+        (Planner.rung_name g_static.Planner.rung);
+      Alcotest.(check string)
+        "costed ladder reached generic-join" "generic-join"
+        (Planner.rung_name g_costed.Planner.rung);
+      Alcotest.(check bool)
+        "bit-identical estimates across chain orders" true
+        (Int64.equal
+           (Int64.bits_of_float g_static.Planner.estimate)
+           (Int64.bits_of_float g_costed.Planner.estimate));
+      Alcotest.(check (float 1e-12))
+        "eps not relaxed" eps g_costed.Planner.eps_used
+
+(* ---------- the ε-degradation ladder ---------- *)
+
+let test_ladder_shape () =
+  let db = reorder_db () in
+  let q = Ecq.parse "ans(x, y) :- E(x, y), E(y, z), !E(x, z), x != z" in
+  let eps = 0.25 and delta = 0.1 in
+  let cost = analyze_with db q in
+  let ladder = Ladder.build ~eps ~delta cost in
+  (match List.rev ladder with
+  | last :: _ ->
+      Alcotest.(check string) "ends with partial" "partial"
+        (Cost.rung_name last.Ladder.rung)
+  | [] -> Alcotest.fail "empty ladder");
+  (match ladder with
+  | head :: _ ->
+      Alcotest.(check string) "head is the chosen rung"
+        (Cost.rung_name (Cost.chosen cost))
+        (Cost.rung_name head.Ladder.rung)
+  | [] -> ());
+  List.iter
+    (fun s ->
+      if s.Ladder.relaxed then begin
+        Alcotest.(check bool) "relaxed eps coarser" true (s.Ladder.eps > eps);
+        Alcotest.(check bool) "relaxed eps capped" true
+          (s.Ladder.eps <= Ladder.eps_cap)
+      end
+      else
+        Alcotest.(check (float 1e-12)) "unrelaxed step at requested eps" eps
+          s.Ladder.eps)
+    ladder;
+  (* a relaxed completion reports the coarser eps but keeps the
+     guarantee: chaos-fail every guaranteed at-eps step *)
+  let at_eps = List.length (List.filter (fun s -> not s.Ladder.relaxed) ladder) - 1 in
+  let chaos =
+    Chaos.create
+      ~plan:(List.init at_eps (fun i -> (i + 1, Chaos.Fail "forced")))
+      ~seed:1 ()
+  in
+  let exec = Engine.make ~jobs:1 ~seed:7 () in
+  match Planner.count_governed ~exec ~chaos ~cost ~eps ~delta q db with
+  | Error e -> Alcotest.failf "relaxed run failed: %s" (Error.message e)
+  | Ok g ->
+      Alcotest.(check bool) "relaxed eps reported" true
+        (g.Planner.eps_used > eps);
+      Alcotest.(check bool) "guarantee intact at relaxed eps" true
+        g.Planner.guarantee;
+      Alcotest.(check bool) "marked degraded" true g.Planner.degraded
+
+(* ---------- costed rung choice ---------- *)
+
+let test_always_empty_ranks_exact_first () =
+  let db = reorder_db () in
+  let q = Ecq.parse "ans(x) :- E(x, y), !E(x, y)" in
+  let cost = analyze_with db q in
+  Alcotest.(check bool) "always-empty flagged" true cost.Cost.always_empty;
+  Alcotest.(check string) "exact wins outright" "exact"
+    (Cost.rung_name (Cost.chosen cost));
+  Alcotest.(check bool) "bound is zero" true
+    (cost.Cost.query_bound.Cost.log2 = Float.neg_infinity)
+
+let test_empty_relation_bound_zero () =
+  let s = Structure.create ~universe_size:4 in
+  Structure.declare s "E" ~arity:2;
+  let q = Ecq.parse "ans(x) :- E(x, y)" in
+  let cost = analyze_with s q in
+  Alcotest.(check bool) "empty relation: provably empty" true
+    (cost.Cost.query_bound.Cost.log2 = Float.neg_infinity)
+
+(* ---------- cardinality stats ---------- *)
+
+let test_distinct_counts () =
+  let s = Structure.create ~universe_size:10 in
+  Structure.declare s "E" ~arity:2;
+  Structure.add_fact s "E" [| 0; 1 |];
+  Structure.add_fact s "E" [| 0; 2 |];
+  Structure.add_fact s "E" [| 1; 2 |];
+  Structure.add_fact s "E" [| 0; 1 |] |> ignore;
+  let check_stats label db =
+    let stats = Cardinality.of_structure db in
+    Alcotest.(check bool) (label ^ ": measured") false stats.Cardinality.nominal;
+    match Cardinality.find stats "E" with
+    | None -> Alcotest.fail (label ^ ": E missing")
+    | Some e ->
+        Alcotest.(check int) (label ^ ": cardinality") 3 e.Cardinality.cardinality;
+        Alcotest.(check (array int)) (label ^ ": distinct per column")
+          [| 2; 2 |] e.Cardinality.distinct;
+        Alcotest.(check int) (label ^ ": active domain") 3
+          e.Cardinality.active_domain
+  in
+  (* builder phase scans; sealed phase reads the column dictionaries —
+     both must agree *)
+  check_stats "builder" s;
+  check_stats "sealed" (Structure.seal s)
+
+let test_nominal_stats () =
+  let stats = Cardinality.nominal [ ("E", 2); ("P", 1) ] in
+  Alcotest.(check bool) "flagged nominal" true stats.Cardinality.nominal;
+  match Cardinality.find stats "P" with
+  | None -> Alcotest.fail "P missing from nominal stats"
+  | Some p ->
+      Alcotest.(check int) "nominal cardinality" Cardinality.nominal_cardinality
+        p.Cardinality.cardinality;
+      Alcotest.(check int) "distinct length = arity" 1
+        (Array.length p.Cardinality.distinct)
+
+(* The report carries the cost exactly when a database was given — what
+   the plan cache's fingerprint-keyed entries rely on. *)
+let test_report_carries_cost () =
+  let db = reorder_db () in
+  let q = Ecq.parse "ans(x) :- E(x, y)" in
+  Alcotest.(check bool) "with db: cost present" true
+    ((Report.analyze ~db q).Report.cost <> None);
+  Alcotest.(check bool) "without db: no cost" true
+    ((Report.analyze q).Report.cost = None)
+
+let tests =
+  [
+    Alcotest.test_case "rat: overflow is typed" `Quick test_rat_overflow;
+    Alcotest.test_case "repetition formulas pinned" `Quick
+      test_repetition_formulas;
+    QCheck_alcotest.to_alcotest prop_bound_sound;
+    QCheck_alcotest.to_alcotest prop_component_bounds_sound;
+    Alcotest.test_case "reordering is estimate-preserving" `Quick
+      test_estimate_preserving_reorder;
+    Alcotest.test_case "ladder: shape and relaxed completion" `Quick
+      test_ladder_shape;
+    Alcotest.test_case "always-empty ranks exact first" `Quick
+      test_always_empty_ranks_exact_first;
+    Alcotest.test_case "empty relation: bound zero" `Quick
+      test_empty_relation_bound_zero;
+    Alcotest.test_case "cardinality: distinct counts" `Quick
+      test_distinct_counts;
+    Alcotest.test_case "cardinality: nominal stats" `Quick test_nominal_stats;
+    Alcotest.test_case "report carries cost iff db" `Quick
+      test_report_carries_cost;
+  ]
