@@ -849,6 +849,259 @@ let stats_cmd =
     (Cmd.info "stats" ~doc)
     Term.(const run $ connect_req_term $ metrics_term $ prometheus_term)
 
+(* ---------- mutation verbs: INSERT / DELETE / LOAD_BATCH ---------- *)
+
+let use_req_term =
+  let doc =
+    "The catalog database to mutate (mutations always target a named \
+     database; inline databases are per-request)."
+  in
+  Arg.(required & opt (some string) None & info [ "use" ] ~docv:"NAME" ~doc)
+
+let rel_req_term =
+  let doc = "The relation the tuples belong to." in
+  Arg.(required & opt (some string) None & info [ "rel" ] ~docv:"NAME" ~doc)
+
+let batch_id_term =
+  let doc =
+    "Idempotency key: the daemon applies each batch id at most once and \
+     answers a retry with the stored result (replayed=true). Omitted, a \
+     fresh unique id is generated, so transport-level retries are still \
+     exactly-once."
+  in
+  Arg.(value & opt (some string) None & info [ "batch-id" ] ~docv:"ID" ~doc)
+
+let tuples_pos_term =
+  let doc = "Tuples as comma-separated components, e.g. 1,2 7,9." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"TUPLE" ~doc)
+
+let parse_tuple spec =
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | part :: rest -> (
+        match int_of_string_opt (String.trim part) with
+        | Some v -> go (v :: acc) rest
+        | None ->
+            Error
+              (Error.Parse
+                 {
+                   source = "<tuple>";
+                   msg =
+                     Printf.sprintf "%S: expected comma-separated integers"
+                       spec;
+                 }))
+  in
+  go [] (String.split_on_char ',' spec)
+
+let parse_tuples specs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+        match parse_tuple s with
+        | Ok t -> go (t :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] specs
+
+(* A fresh idempotency key per invocation: pid + wall clock + payload,
+   digested. Deliberately no RNG — a collision could only happen by
+   replaying the identical payload, which is exactly what the key is
+   for. *)
+let fresh_batch_id payload =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%d|%.9f|%s" (Unix.getpid ()) (Unix.gettimeofday ())
+          payload))
+
+let print_mutated ~name ~db_version ~fingerprint ~inserted ~deleted ~replayed =
+  print_endline
+    (Ac_analysis.Json.to_string_pretty
+       (Ac_analysis.Json.Obj
+          [
+            ("name", Ac_analysis.Json.String name);
+            ("version", Ac_analysis.Json.Int db_version);
+            ("fingerprint", Ac_analysis.Json.String fingerprint);
+            ("inserted", Ac_analysis.Json.Int inserted);
+            ("deleted", Ac_analysis.Json.Int deleted);
+            ("replayed", Ac_analysis.Json.Bool replayed);
+          ]));
+  0
+
+(* Mutations ride the durable client: with a batch id they are
+   idempotent on the wire, so reconnect + resend is safe and the
+   daemon's dedupe table turns a double delivery into a replay. *)
+let run_mutation addr ~retries ~deadline_ms ~verb req =
+  with_durable addr ~retries ~deadline_ms (fun client ->
+      match Client.Durable.call client req with
+      | Error e -> report e
+      | Ok
+          (Wire.Mutated
+             { name; db_version; fingerprint; inserted; deleted; replayed }) ->
+          print_mutated ~name ~db_version ~fingerprint ~inserted ~deleted
+            ~replayed
+      | Ok (Wire.Refused { code; error_class; message }) ->
+          report_refused ~error_class ~message code
+      | Ok _ -> report (Error.Internal ("unexpected response to " ^ verb)))
+
+let insert_cmd =
+  let run addr use rel specs batch_id retries deadline_ms =
+    match parse_tuples specs with
+    | Error e -> report e
+    | Ok tuples ->
+        let batch_id =
+          Some
+            (Option.value batch_id
+               ~default:
+                 (fresh_batch_id
+                    (String.concat "|" ("insert" :: use :: rel :: specs))))
+        in
+        run_mutation addr ~retries ~deadline_ms ~verb:"INSERT"
+          (Wire.Insert { db = Wire.Named use; rel; tuples; batch_id })
+  in
+  let doc =
+    "Insert tuples into a relation of a daemon's live database. The \
+     batch applies atomically under one version bump; the reply carries \
+     the new version and rolling fingerprint."
+  in
+  Cmd.v (Cmd.info "insert" ~doc)
+    Term.(
+      const run $ connect_req_term $ use_req_term $ rel_req_term
+      $ tuples_pos_term $ batch_id_term $ retries_term $ deadline_term)
+
+let delete_cmd =
+  let run addr use rel specs batch_id retries deadline_ms =
+    match parse_tuples specs with
+    | Error e -> report e
+    | Ok tuples ->
+        let batch_id =
+          Some
+            (Option.value batch_id
+               ~default:
+                 (fresh_batch_id
+                    (String.concat "|" ("delete" :: use :: rel :: specs))))
+        in
+        run_mutation addr ~retries ~deadline_ms ~verb:"DELETE"
+          (Wire.Delete { db = Wire.Named use; rel; tuples; batch_id })
+  in
+  let doc =
+    "Delete tuples from a relation of a daemon's live database \
+     (tombstones until the next merge; deleting an absent tuple is a \
+     no-op counted as 0)."
+  in
+  Cmd.v (Cmd.info "delete" ~doc)
+    Term.(
+      const run $ connect_req_term $ use_req_term $ rel_req_term
+      $ tuples_pos_term $ batch_id_term $ retries_term $ deadline_term)
+
+let parse_op_line ~file lineno line =
+  let open Ac_analysis.Json in
+  match parse line with
+  | Error e ->
+      Error
+        (Error.Parse
+           {
+             source = file;
+             msg = Printf.sprintf "line %d: %s" lineno (error_message e);
+           })
+  | Ok j -> (
+      let ( let* ) = Option.bind in
+      let decoded =
+        let* dir = Option.bind (mem "op" j) to_str in
+        let* insert =
+          match dir with
+          | "insert" -> Some true
+          | "delete" -> Some false
+          | _ -> None
+        in
+        let* rel = Option.bind (mem "rel" j) to_str in
+        let* items = Option.bind (mem "tuple" j) to_list in
+        let* comps =
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              let* v = to_int item in
+              Some (v :: acc))
+            (Some []) items
+        in
+        Some { Wire.insert; rel; tuple = Array.of_list (List.rev comps) }
+      in
+      match decoded with
+      | Some op -> Ok op
+      | None ->
+          Error
+            (Error.Parse
+               {
+                 source = file;
+                 msg =
+                   Printf.sprintf
+                     "line %d: expected \
+                      {\"op\":\"insert\"|\"delete\",\"rel\":NAME,\"tuple\":[INT,...]}"
+                     lineno;
+               }))
+
+let load_batch_cmd =
+  let file_term =
+    let doc =
+      "Operations as newline-delimited JSON, one \
+       {\"op\":\"insert\"|\"delete\",\"rel\":NAME,\"tuple\":[INT,...]} \
+       per line ($(b,-) for stdin). The whole batch applies atomically: \
+       one version bump, or a typed refusal and no change."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc)
+  in
+  let run addr use file batch_id retries deadline_ms =
+    let text_r =
+      if file = "-" then
+        match In_channel.input_all stdin with
+        | text -> Ok text
+        | exception Sys_error msg -> Error (Error.Io { file = "<stdin>"; msg })
+      else
+        match In_channel.with_open_bin file In_channel.input_all with
+        | text -> Ok text
+        | exception Sys_error msg -> Error (Error.Io { file; msg })
+    in
+    match text_r with
+    | Error e -> report e
+    | Ok text -> (
+        let numbered =
+          String.split_on_char '\n' text
+          |> List.mapi (fun i l -> (i + 1, l))
+          |> List.filter (fun (_, l) -> String.trim l <> "")
+        in
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | (n, l) :: rest -> (
+              match parse_op_line ~file n l with
+              | Ok op -> go (op :: acc) rest
+              | Error _ as e -> e)
+        in
+        match go [] numbered with
+        | Error e -> report e
+        | Ok [] ->
+            report
+              (Error.Parse { source = file; msg = "no operations in the batch" })
+        | Ok ops ->
+            let batch_id =
+              Some
+                (Option.value batch_id
+                   ~default:
+                     (fresh_batch_id
+                        (String.concat "|" [ "load_batch"; use; text ])))
+            in
+            run_mutation addr ~retries ~deadline_ms ~verb:"LOAD_BATCH"
+              (Wire.Load_batch { db = Wire.Named use; ops; batch_id }))
+  in
+  let doc =
+    "Stream a mixed batch of inserts and deletes into a daemon's live \
+     database from a newline-JSON file. Atomic, idempotent under \
+     --batch-id, journaled before the reply."
+  in
+  Cmd.v (Cmd.info "load-batch" ~doc)
+    Term.(
+      const run $ connect_req_term $ use_req_term $ file_term $ batch_id_term
+      $ retries_term $ deadline_term)
+
 let () =
   let doc = "approximately counting answers to conjunctive queries" in
   let info = Cmd.info "acq" ~doc in
@@ -856,4 +1109,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ count_cmd; sample_cmd; widths_cmd; lint_cmd; explain_cmd;
-            generate_cmd; ping_cmd; health_cmd; stats_cmd ]))
+            generate_cmd; ping_cmd; health_cmd; stats_cmd; insert_cmd;
+            delete_cmd; load_batch_cmd ]))

@@ -60,6 +60,22 @@ let manifest_term =
   in
   Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
 
+let merge_threshold_term =
+  let doc =
+    "Merge policy: compact a live database's insert/delete deltas back \
+     into sealed columns once the delta reaches $(docv) rows (0 disables \
+     merging)."
+  in
+  Arg.(value & opt int 4096 & info [ "merge-threshold" ] ~docv:"ROWS" ~doc)
+
+let merge_ratio_term =
+  let doc =
+    "Merge policy: additionally require the delta to be at least $(docv) \
+     of the main segment's rows, so small deltas on big databases stay \
+     resident."
+  in
+  Arg.(value & opt float 0.25 & info [ "merge-ratio" ] ~docv:"FRACTION" ~doc)
+
 let force_term =
   let doc =
     "Clean up a stale socket file (one no daemon answers on) instead of \
@@ -79,7 +95,7 @@ let parse_load spec =
   | _ -> Error (Printf.sprintf "--load %S: expected NAME=FILE" spec)
 
 let run socket tcp loads queue plan_cache result_cache timeout_ms manifest
-    force verbose =
+    merge_threshold merge_ratio force verbose =
   let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "acqd: %s\n%!" m) fmt in
   let config =
     {
@@ -88,6 +104,8 @@ let run socket tcp loads queue plan_cache result_cache timeout_ms manifest
       result_cache_capacity = result_cache;
       default_timeout_ms = timeout_ms;
       manifest;
+      merge_threshold;
+      merge_ratio;
       verbose;
     }
   in
@@ -192,6 +210,6 @@ let () =
     Term.(
       const run $ socket_term $ tcp_term $ load_term $ queue_term
       $ plan_cache_term $ result_cache_term $ timeout_term $ manifest_term
-      $ force_term $ verbose_term)
+      $ merge_threshold_term $ merge_ratio_term $ force_term $ verbose_term)
   in
   exit (Cmd.eval' (Cmd.v info term))

@@ -19,7 +19,12 @@
     Both paths enumerate candidates in ascending order at every level,
     so they produce {e identical} solution sequences — and therefore
     bit-identical estimates downstream, where bounded oracles make the
-    order observable.
+    order observable. [Ac_live] relies on this contract: a live
+    (main+delta) database seals its merged view in the same ascending
+    lexicographic order as a freshly-rebuilt sealed relation, so a
+    join over the view and a join over a rebuild see the same
+    candidate sequence — mutation then re-estimation stays
+    bit-reproducible per seed.
 
     Atoms over {!Ac_relational.Relation.complement_view}s are never
     indexed (that would materialize the blow-up the views avoid): they

@@ -1,0 +1,155 @@
+module Json = Ac_analysis.Json
+module Error = Ac_runtime.Error
+
+type line = {
+  seq : int;
+  id : string option;
+  fingerprint : string;
+  ops : Live.Db.op list;
+}
+
+let op_to_json (o : Live.Db.op) =
+  let verb, rel, tuple =
+    match o with
+    | Insert { rel; tuple } -> ("insert", rel, tuple)
+    | Delete { rel; tuple } -> ("delete", rel, tuple)
+  in
+  Json.Obj
+    [
+      ("op", Json.String verb);
+      ("rel", Json.String rel);
+      ("tuple", Json.List (Array.to_list (Array.map (fun v -> Json.Int v) tuple)));
+    ]
+
+let op_of_json j =
+  let ( let* ) = Option.bind in
+  let* verb = Option.bind (Json.mem "op" j) Json.to_str in
+  let* rel = Option.bind (Json.mem "rel" j) Json.to_str in
+  let* elems = Option.bind (Json.mem "tuple" j) Json.to_list in
+  let* values =
+    List.fold_right
+      (fun e acc ->
+        match (Json.to_int e, acc) with
+        | Some v, Some tl -> Some (v :: tl)
+        | _ -> None)
+      elems (Some [])
+  in
+  let tuple = Array.of_list values in
+  match verb with
+  | "insert" -> Some (Live.Db.Insert { rel; tuple })
+  | "delete" -> Some (Live.Db.Delete { rel; tuple })
+  | _ -> None
+
+let line_to_json l =
+  let fields =
+    [ ("seq", Json.Int l.seq) ]
+    @ (match l.id with Some id -> [ ("id", Json.String id) ] | None -> [])
+    @ [
+        ("fingerprint", Json.String l.fingerprint);
+        ("ops", Json.List (List.map op_to_json l.ops));
+      ]
+  in
+  Json.Obj fields
+
+let line_of_json j =
+  let ( let* ) = Option.bind in
+  let* seq = Option.bind (Json.mem "seq" j) Json.to_int in
+  let* fingerprint = Option.bind (Json.mem "fingerprint" j) Json.to_str in
+  let id = Option.bind (Json.mem "id" j) Json.to_str in
+  let* raw = Option.bind (Json.mem "ops" j) Json.to_list in
+  let* ops =
+    List.fold_right
+      (fun o acc ->
+        match (op_of_json o, acc) with
+        | Some op, Some tl -> Some (op :: tl)
+        | _ -> None)
+      raw (Some [])
+  in
+  Some { seq; id; fingerprint; ops }
+
+let io_error path exn =
+  let msg =
+    match exn with
+    | Unix.Unix_error (e, _, _) -> Unix.error_message e
+    | Sys_error m -> m
+    | e -> Printexc.to_string e
+  in
+  Error.Io { file = path; msg }
+
+(* One durable write per batch: open in append mode, write the whole
+   line (payload + newline) with a single [write], fsync, close. The
+   newline is the commit marker — replay treats an unterminated final
+   line as a torn write and drops it. *)
+let append path l =
+  match
+    let payload = Json.to_string (line_to_json l) ^ "\n" in
+    let fd =
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let bytes = Bytes.of_string payload in
+        let n = Unix.write fd bytes 0 (Bytes.length bytes) in
+        if n <> Bytes.length bytes then
+          raise (Sys_error "short write to journal");
+        Unix.fsync fd)
+  with
+  | () -> Ok ()
+  | exception e -> Error (io_error path e)
+
+let replay path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          really_input_string ic len)
+    with
+    | exception e -> Error (io_error path e)
+    | contents ->
+        (* A crash can tear only the final line (appends are
+           sequential): a trailing fragment with no newline is dropped;
+           anything unreadable before that is corruption. *)
+        let terminated = String.length contents = 0
+                         || contents.[String.length contents - 1] = '\n' in
+        let raw_lines = String.split_on_char '\n' contents in
+        let raw_lines =
+          List.filteri
+            (fun _ s -> String.trim s <> "")
+            raw_lines
+        in
+        let n = List.length raw_lines in
+        let rec decode i acc = function
+          | [] -> Ok (List.rev acc)
+          | s :: rest -> (
+              match Option.bind (Result.to_option (Json.parse s)) line_of_json with
+              | Some l -> decode (i + 1) (l :: acc) rest
+              | None when i = n - 1 && not terminated ->
+                  (* torn tail: the batch was never acknowledged *)
+                  Ok (List.rev acc)
+              | None ->
+                  Error
+                    (Error.Parse
+                       {
+                         source = path;
+                         msg =
+                           Printf.sprintf
+                             "journal line %d is not a valid mutation record"
+                             (i + 1);
+                       }))
+        in
+        decode 0 [] raw_lines
+
+let reset path =
+  match
+    let fd =
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC; Unix.O_CREAT ] 0o644
+    in
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+  with
+  | () -> Ok ()
+  | exception e -> Error (io_error path e)

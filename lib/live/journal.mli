@@ -1,0 +1,37 @@
+(** The replayable mutation journal — newline-JSON, one line per
+    applied batch, fsynced before the batch is acknowledged.
+
+    Each line records the batch's journal sequence number (equal to the
+    database version {e after} the batch), its idempotency key when the
+    client supplied one, the rolling fingerprint after the batch, and
+    the operations themselves. Recovery loads the persisted snapshot at
+    its manifest version, then replays every line with [seq] greater
+    than that version through [Live.Db.apply ~id], verifying the
+    fingerprint chain line-by-line — a diverging fingerprint means the
+    journal does not belong to this snapshot and recovery refuses.
+
+    The trailing newline is the commit marker: a crash mid-append
+    leaves an unterminated final line, which {!replay} silently drops
+    (the batch was never acknowledged, so dropping it is correct).
+    Unparseable content anywhere {e before} the tail is corruption and
+    fails with a typed parse error. *)
+
+type line = {
+  seq : int;  (** db version after this batch *)
+  id : string option;  (** client idempotency key (wire [batch_id]) *)
+  fingerprint : string;  (** rolling fingerprint after this batch *)
+  ops : Live.Db.op list;
+}
+
+(** Append one line durably: single write of the rendered line plus
+    newline, then [fsync]. Creates the file if absent. *)
+val append : string -> line -> (unit, Ac_runtime.Error.t) result
+
+(** Read every committed line in order. An absent file is an empty
+    journal; a torn (unterminated) final line is dropped; any other
+    undecodable line is a [Parse] error. *)
+val replay : string -> (line list, Ac_runtime.Error.t) result
+
+(** Truncate (or create) the journal to empty — after a merge
+    compaction persists a fresh snapshot, the journal restarts. *)
+val reset : string -> (unit, Ac_runtime.Error.t) result

@@ -1,0 +1,436 @@
+module R = Ac_relational.Relation
+module Tuple = Ac_relational.Tuple
+module Structure = Ac_relational.Structure
+module Budget = Ac_runtime.Budget
+module Error = Ac_runtime.Error
+module Metrics = Ac_obs.Metrics
+
+let m_merge_total =
+  lazy
+    (Metrics.counter Metrics.global "acq_live_merge_total"
+       ~help:"Delta-into-main merge compactions performed")
+
+let m_merge_rows =
+  lazy
+    (Metrics.counter Metrics.global "acq_live_merge_rows_total"
+       ~help:"Delta rows (inserts + tombstones) compacted by merges")
+
+let m_merge_duration =
+  lazy
+    (Metrics.histogram Metrics.global "acq_live_merge_duration_ms"
+       ~help:"Merge compaction pause (milliseconds)")
+
+(* Budget-governed scans poll every [tick_stride] rows: cheap enough to
+   be invisible, frequent enough that a deadline interrupts a merge of
+   any realistic size promptly. *)
+let tick_stride = 256
+
+module Relation = struct
+  (* The main+delta layout. [main] is an immutable sealed relation (the
+     columnar segment queries scan); [inserts] holds tuples present in
+     the live set but not in main; [deletes] holds tombstones — tuples
+     of main that the live set no longer contains. The invariants
+
+       inserts ∩ main = ∅        deletes ⊆ main        inserts ∩ deletes = ∅
+
+     make the live set exactly (main \ deletes) ∪ inserts and keep the
+     view merge collision-free. *)
+  type t = {
+    arity : int;
+    mutable main : R.t;
+    inserts : unit Tuple.Table.t;
+    deletes : unit Tuple.Table.t;
+    mutable rev : int;  (* bumped on every delta change *)
+    mutable view : (int * R.t) option;  (* memo keyed by [rev] *)
+  }
+
+  let of_sealed rel =
+    R.seal rel;
+    {
+      arity = R.arity rel;
+      main = rel;
+      inserts = Tuple.Table.create 16;
+      deletes = Tuple.Table.create 16;
+      rev = 0;
+      view = None;
+    }
+
+  let create ~arity = of_sealed (R.of_sorted ~arity [||])
+  let arity t = t.arity
+  let main_rows t = R.cardinality t.main
+
+  let delta_rows t = Tuple.Table.length t.inserts + Tuple.Table.length t.deletes
+
+  let cardinality t =
+    R.cardinality t.main
+    - Tuple.Table.length t.deletes
+    + Tuple.Table.length t.inserts
+
+  let mem t tuple =
+    Tuple.Table.mem t.inserts tuple
+    || (R.mem t.main tuple && not (Tuple.Table.mem t.deletes tuple))
+
+  let touch t =
+    t.rev <- t.rev + 1;
+    t.view <- None
+
+  (* Both mutators return whether the live set changed — a repeated
+     insert or a delete of an absent tuple is a counted no-op, exactly
+     like [Relation.add]'s duplicate rule. *)
+  let insert t tuple =
+    if Array.length tuple <> t.arity then
+      invalid_arg "Live.Relation.insert: tuple length does not match arity";
+    if Tuple.Table.mem t.deletes tuple then begin
+      Tuple.Table.remove t.deletes tuple;
+      touch t;
+      true
+    end
+    else if R.mem t.main tuple || Tuple.Table.mem t.inserts tuple then false
+    else begin
+      Tuple.Table.replace t.inserts tuple ();
+      touch t;
+      true
+    end
+
+  let delete t tuple =
+    if Array.length tuple <> t.arity then
+      invalid_arg "Live.Relation.delete: tuple length does not match arity";
+    if Tuple.Table.mem t.inserts tuple then begin
+      Tuple.Table.remove t.inserts tuple;
+      touch t;
+      true
+    end
+    else if R.mem t.main tuple && not (Tuple.Table.mem t.deletes tuple) then begin
+      Tuple.Table.replace t.deletes tuple ();
+      touch t;
+      true
+    end
+    else false
+
+  let sorted_inserts t =
+    let n = Tuple.Table.length t.inserts in
+    let rows = Array.make n [||] in
+    let i = ref 0 in
+    Tuple.Table.iter
+      (fun tuple () ->
+        rows.(!i) <- tuple;
+        incr i)
+      t.inserts;
+    Array.sort Tuple.compare rows;
+    rows
+
+  (* The pinned-order contract: the view enumerates in ascending
+     lexicographic order — bit-identical to a freshly rebuilt sealed
+     relation holding the same live set — by a linear merge of main's
+     canonical iteration with the sorted insert run, dropping
+     tombstones. The delta invariants guarantee the merge never sees
+     equal keys, so no dedup pass is needed. *)
+  let build_view ?budget t =
+    let ins = sorted_inserts t in
+    let ni = Array.length ins in
+    let n_out = cardinality t in
+    let out = Array.make n_out [||] in
+    let k = ref 0 and ins_i = ref 0 in
+    let tick =
+      match budget with
+      | None -> fun () -> ()
+      | Some b ->
+          fun () ->
+            if !k land (tick_stride - 1) = 0 then begin
+              Budget.tick b;
+              Budget.check b
+            end
+    in
+    let emit tuple =
+      out.(!k) <- tuple;
+      incr k;
+      tick ()
+    in
+    R.iter
+      (fun tuple ->
+        while !ins_i < ni && Tuple.compare ins.(!ins_i) tuple < 0 do
+          emit ins.(!ins_i);
+          incr ins_i
+        done;
+        if not (Tuple.Table.mem t.deletes tuple) then emit tuple)
+      t.main;
+    while !ins_i < ni do
+      emit ins.(!ins_i);
+      incr ins_i
+    done;
+    R.of_sorted ~arity:t.arity out
+
+  let view ?budget t =
+    if delta_rows t = 0 then t.main
+    else
+      match t.view with
+      | Some (rev, v) when rev = t.rev -> v
+      | _ ->
+          let v = build_view ?budget t in
+          t.view <- Some (t.rev, v);
+          v
+
+  let merge ?budget t =
+    let compacted = delta_rows t in
+    if compacted > 0 then begin
+      let v = view ?budget t in
+      t.main <- v;
+      Tuple.Table.reset t.inserts;
+      Tuple.Table.reset t.deletes;
+      t.view <- Some (t.rev, v)
+    end;
+    compacted
+end
+
+(* ---------- versioned databases ---------- *)
+
+type op =
+  | Insert of { rel : string; tuple : int array }
+  | Delete of { rel : string; tuple : int array }
+
+let op_rel = function Insert { rel; _ } | Delete { rel; _ } -> rel
+let op_tuple = function Insert { tuple; _ } | Delete { tuple; _ } -> tuple
+
+(* The canonical batch rendering the rolling fingerprint digests: the
+   operations in application order, nothing else. Two batches roll the
+   fingerprint identically iff they perform the same edits in the same
+   order — which is exactly when replaying one for the other is
+   sound. *)
+let ops_to_string ops =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun o ->
+      Buffer.add_char buf (match o with Insert _ -> '+' | Delete _ -> '-');
+      Buffer.add_string buf (op_rel o);
+      Buffer.add_char buf '(';
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int v))
+        (op_tuple o);
+      Buffer.add_string buf ");")
+    ops;
+  Buffer.contents buf
+
+let roll_fingerprint fp ops =
+  Digest.to_hex (Digest.string (fp ^ "|" ^ ops_to_string ops))
+
+type applied = {
+  version : int;
+  fingerprint : string;
+  inserted : int;
+  deleted : int;
+  replayed : bool;
+}
+
+module Db = struct
+  type nonrec op = op =
+    | Insert of { rel : string; tuple : int array }
+    | Delete of { rel : string; tuple : int array }
+
+  type nonrec applied = applied = {
+    version : int;
+    fingerprint : string;
+    inserted : int;
+    deleted : int;
+    replayed : bool;
+  }
+
+  type t = {
+    universe_size : int;
+    relations : (string, Relation.t) Hashtbl.t;
+    mutable version : int;
+    mutable fingerprint : string;
+    mutable snapshot_memo : (int * Structure.t) option;
+    batches : (string, applied) Hashtbl.t;  (* idempotency: batch id → result *)
+    mutex : Mutex.t;
+  }
+
+  let of_structure ?(version = 0) ?fingerprint base =
+    let base = Structure.seal base in
+    let fingerprint =
+      match fingerprint with
+      | Some fp -> fp
+      | None -> Structure.fingerprint base
+    in
+    let relations = Hashtbl.create 16 in
+    List.iter
+      (fun name ->
+        Hashtbl.replace relations name
+          (Relation.of_sealed (Structure.relation base name)))
+      (Structure.symbols base);
+    {
+      universe_size = Structure.universe_size base;
+      relations;
+      version;
+      fingerprint;
+      (* at its creation version the snapshot IS the base — queries on
+         an unmutated db share the original sealed columns at no cost *)
+      snapshot_memo = Some (version, base);
+      batches = Hashtbl.create 16;
+      mutex = Mutex.create ();
+    }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let universe_size t = t.universe_size
+  let version t = locked t (fun () -> t.version)
+  let fingerprint t = locked t (fun () -> t.fingerprint)
+
+  let delta_rows t =
+    locked t (fun () ->
+        Hashtbl.fold (fun _ rl acc -> acc + Relation.delta_rows rl) t.relations 0)
+
+  let main_rows t =
+    locked t (fun () ->
+        Hashtbl.fold (fun _ rl acc -> acc + Relation.main_rows rl) t.relations 0)
+
+  (* Batches are atomic: every operation is validated against the
+     universe and the (evolving) signature before any is applied, so a
+     refused batch leaves the database untouched. *)
+  let validate t ops =
+    let declared = Hashtbl.create 4 in
+    let arity_of rel =
+      match Hashtbl.find_opt t.relations rel with
+      | Some rl -> Some (Relation.arity rl)
+      | None -> Hashtbl.find_opt declared rel
+    in
+    let rec go = function
+      | [] -> Ok ()
+      | o :: rest -> (
+          let rel = op_rel o and tuple = op_tuple o in
+          if Array.length tuple = 0 then
+            Error
+              (Printf.sprintf "operation on %s: empty tuple (arity must be \
+                               positive)" rel)
+          else
+            match
+              Array.find_opt
+                (fun v -> v < 0 || v >= t.universe_size)
+                tuple
+            with
+            | Some v ->
+                Error
+                  (Printf.sprintf
+                     "operation on %s: element %d outside universe of size %d"
+                     rel v t.universe_size)
+            | None -> (
+                match arity_of rel with
+                | Some a when a <> Array.length tuple ->
+                    Error
+                      (Printf.sprintf
+                         "operation on %s: tuple has length %d but the \
+                          relation has arity %d"
+                         rel (Array.length tuple) a)
+                | Some _ -> go rest
+                | None ->
+                    (* first touch declares, like Structure.add_fact;
+                       a delete of an unknown symbol is a no-op but
+                       still pins the arity for the rest of the batch *)
+                    Hashtbl.replace declared rel (Array.length tuple);
+                    go rest))
+    in
+    go ops
+
+  let apply_op t counts o =
+    let rel = op_rel o in
+    let rl =
+      match Hashtbl.find_opt t.relations rel with
+      | Some rl -> Some rl
+      | None -> (
+          match o with
+          | Insert { tuple; _ } ->
+              let rl = Relation.create ~arity:(Array.length tuple) in
+              Hashtbl.replace t.relations rel rl;
+              Some rl
+          | Delete _ -> None (* deleting from an absent relation: no-op *))
+    in
+    match (o, rl) with
+    | _, None -> ()
+    | Insert { tuple; _ }, Some rl ->
+        if Relation.insert rl tuple then counts := (fst !counts + 1, snd !counts)
+    | Delete { tuple; _ }, Some rl ->
+        if Relation.delete rl tuple then counts := (fst !counts, snd !counts + 1)
+
+  let apply ?id t ops =
+    locked t (fun () ->
+        match Option.bind id (Hashtbl.find_opt t.batches) with
+        | Some prior -> Ok { prior with replayed = true }
+        | None -> (
+            match validate t ops with
+            | Error msg -> Error (Error.Parse { source = "mutation"; msg })
+            | Ok () ->
+                let counts = ref (0, 0) in
+                List.iter (apply_op t counts) ops;
+                t.version <- t.version + 1;
+                t.fingerprint <- roll_fingerprint t.fingerprint ops;
+                t.snapshot_memo <- None;
+                let inserted, deleted = !counts in
+                let result =
+                  {
+                    version = t.version;
+                    fingerprint = t.fingerprint;
+                    inserted;
+                    deleted;
+                    replayed = false;
+                  }
+                in
+                Option.iter
+                  (fun id -> Hashtbl.replace t.batches id result)
+                  id;
+                Ok result))
+
+  let symbols_unlocked t =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.relations []
+    |> List.sort String.compare
+
+  let symbols t = locked t (fun () -> symbols_unlocked t)
+
+  let snapshot_unlocked ?budget t =
+    match t.snapshot_memo with
+    | Some (v, s) when v = t.version -> s
+    | _ ->
+        let s = Structure.create ~universe_size:t.universe_size in
+        List.iter
+          (fun name ->
+            let rl = Hashtbl.find t.relations name in
+            Structure.install s name (Relation.view ?budget rl))
+          (symbols_unlocked t);
+        let s = Structure.seal s in
+        t.snapshot_memo <- Some (t.version, s);
+        s
+
+  let snapshot ?budget t = locked t (fun () -> snapshot_unlocked ?budget t)
+
+  let current ?budget t =
+    locked t (fun () -> (t.version, t.fingerprint, snapshot_unlocked ?budget t))
+
+  let needs_merge ?(threshold = 4096) ?(ratio = 0.25) t =
+    threshold > 0
+    &&
+    locked t (fun () ->
+        let delta, main =
+          Hashtbl.fold
+            (fun _ rl (d, m) ->
+              (d + Relation.delta_rows rl, m + Relation.main_rows rl))
+            t.relations (0, 0)
+        in
+        delta >= threshold && float_of_int delta >= (ratio *. float_of_int main))
+
+  let merge ?budget t =
+    locked t (fun () ->
+        let t0 = Budget.now_ms () in
+        let compacted =
+          Hashtbl.fold
+            (fun _ rl acc -> acc + Relation.merge ?budget rl)
+            t.relations 0
+        in
+        if compacted > 0 then begin
+          Metrics.incr (Lazy.force m_merge_total);
+          Metrics.add (Lazy.force m_merge_rows) compacted;
+          Metrics.observe (Lazy.force m_merge_duration) (Budget.now_ms () -. t0)
+        end;
+        compacted)
+end

@@ -18,7 +18,13 @@
     ({!snapshot}, [*_value]) are unaffected.
 
     {b Stability.} Metric names and label keys are a stable contract,
-    documented in [docs/observability.md]. *)
+    documented in [docs/observability.md]. That includes the live
+    mutable-database series ([acq_live_batches_total],
+    [acq_live_replayed_batches_total], [acq_live_ops_total{op}],
+    [acq_live_journal_appends_total], [acq_live_merge_*],
+    [acq_recovery_batches_total]) registered lazily by [Ac_live] and
+    [Ac_server] — lazily so that read-only deployments never export
+    mutation series they cannot move. *)
 
 type t
 (** A registry. *)

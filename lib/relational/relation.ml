@@ -148,6 +148,19 @@ let sealed_of_rows ~arity rows =
     lock = Mutex.create ();
   }
 
+let of_sorted ~arity rows =
+  if arity < 1 then invalid_arg "Relation.of_sorted: arity must be positive";
+  Array.iteri
+    (fun i t ->
+      if Array.length t <> arity then
+        invalid_arg "Relation.of_sorted: tuple length does not match arity";
+      if i > 0 && Tuple.compare rows.(i - 1) t >= 0 then
+        invalid_arg
+          "Relation.of_sorted: rows must be strictly ascending (lex-sorted, \
+           deduplicated)")
+    rows;
+  { arity; repr = Sealed (sealed_of_rows ~arity rows) }
+
 let seal r =
   Mutex.lock seal_lock;
   Fun.protect

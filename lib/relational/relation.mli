@@ -47,6 +47,14 @@ val add : t -> Tuple.t -> unit
     already-sealed relations and complement views. *)
 val seal : t -> unit
 
+(** [of_sorted ~arity rows] builds a {e sealed} relation directly from
+    rows that are already lex-sorted and deduplicated — the O(n) fast
+    path for callers that produce canonical order themselves (the live
+    main+delta merge in [Ac_live]): no builder hashtable, no re-sort.
+    The array is not retained. Raises [Invalid_argument] when a row has
+    the wrong length or the order is not strictly ascending. *)
+val of_sorted : arity:int -> Tuple.t array -> t
+
 val is_sealed : t -> bool
 
 val mem : t -> Tuple.t -> bool

@@ -155,6 +155,13 @@ let query_key q =
     (Ecq.atoms q);
   Buffer.contents buf
 
+(* Version-precise invalidation: the db component of every cache key is
+   (rolling fingerprint @ version). A mutation bumps both, so entries
+   cached against the old state simply stop being referenced — no
+   scanning, no flush — and re-querying a db at the same version hits
+   again. *)
+let db_key ~fingerprint ~version = Printf.sprintf "%s@%d" fingerprint version
+
 let plan_key ~db_fingerprint q =
   Printf.sprintf "plan|%s|%s" db_fingerprint (query_key q)
 

@@ -46,6 +46,14 @@ val stats_to_json : stats -> Ac_analysis.Json.t
     names do not enter the key, so α-renamed queries share a plan. *)
 val query_key : Ac_query.Ecq.t -> string
 
+(** The database component of {!plan_key}/{!result_key} for a live
+    (mutable) database: rolling fingerprint [@] version. A mutation
+    changes both, so cached plans and results invalidate {e precisely}
+    — entries for the old state stop being referenced, and the same
+    version re-queried hits again. For inline databases the server
+    passes the bare content fingerprint (version 0 semantics). *)
+val db_key : fingerprint:string -> version:int -> string
+
 (** Plan-cache key: {!query_key} plus the database fingerprint (the
     cached report carries database-aware diagnostics). *)
 val plan_key : db_fingerprint:string -> Ac_query.Ecq.t -> string

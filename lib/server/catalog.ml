@@ -2,6 +2,7 @@ module Structure = Ac_relational.Structure
 module Structure_io = Ac_relational.Structure_io
 module Json = Ac_analysis.Json
 module Cardinality = Ac_analysis.Cardinality
+module Live = Ac_live.Live
 
 type relation_stats = Cardinality.relation_stats = {
   symbol : string;
@@ -15,14 +16,39 @@ type entry = {
   name : string;
   db : Structure.t;
   fingerprint : string;
+  version : int;
   universe : int;
   size : int;
   relations : relation_stats list;
   source : string option;
 }
 
+(* The registry slot behind an entry: the live database plus its
+   persistence coordinates. [entry] values are immutable per-version
+   materializations of the slot, rebuilt lazily when the live version
+   moves on — so queries hold a stable snapshot while writers advance
+   the db, and stats always describe main+delta, never a stale seal. *)
+type slot = {
+  live : Live.Db.t;
+  mutable source : string option;  (* snapshot file, None for in-memory *)
+  mutable source_fingerprint : string option;  (* content fp of that file *)
+  mutable snapshot_version : int;  (* db version the file captures *)
+  mutable snapshot_fingerprint : string;  (* rolling fp at that version *)
+  mutable journal : string option;
+  mutable cached : entry option;
+}
+
+type persistence = {
+  p_name : string;
+  p_path : string;
+  p_fingerprint : string;
+  p_version : int;
+  p_live_fingerprint : string;
+  p_journal : string option;
+}
+
 type t = {
-  table : (string, entry) Hashtbl.t;
+  table : (string, slot) Hashtbl.t;
   mutex : Mutex.t;
 }
 
@@ -34,49 +60,133 @@ let create () = { table = Hashtbl.create 8; mutex = Mutex.create () }
    dictionaries). *)
 let stats_of db = (Cardinality.of_structure db).Cardinality.stats
 
-let entry_of ?source ~name ~fingerprint db =
-  {
-    name;
-    db;
-    fingerprint;
-    universe = Structure.universe_size db;
-    size = Structure.size db;
-    relations = stats_of db;
-    source;
-  }
+let refresh name slot =
+  let version, fingerprint, db = Live.Db.current slot.live in
+  let e =
+    {
+      name;
+      db;
+      fingerprint;
+      version;
+      universe = Structure.universe_size db;
+      size = Structure.size db;
+      relations = stats_of db;
+      source = slot.source;
+    }
+  in
+  slot.cached <- Some e;
+  e
+
+let entry_of_slot name slot =
+  match slot.cached with
+  | Some e when e.version = Live.Db.version slot.live -> e
+  | _ -> refresh name slot
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let add t ~name db =
-  (* catalog-resident databases are query-only: seal into the columnar
-     phase once, here, so every request joins over shared columns and
-     reuses their memoized projections *)
-  let db = Structure.seal db in
-  let entry = entry_of ~name ~fingerprint:(Structure.fingerprint db) db in
-  locked t (fun () -> Hashtbl.replace t.table name entry);
-  entry
+  (* catalog-resident databases are query-only between mutations: seal
+     into the columnar phase once, here, so every request joins over
+     shared columns and reuses their memoized projections *)
+  let live = Live.Db.of_structure db in
+  let slot =
+    {
+      live;
+      source = None;
+      source_fingerprint = None;
+      snapshot_version = 0;
+      snapshot_fingerprint = Live.Db.fingerprint live;
+      journal = None;
+      cached = None;
+    }
+  in
+  locked t (fun () ->
+      Hashtbl.replace t.table name slot;
+      entry_of_slot name slot)
 
-let load t ~name ~path =
+let load ?(version = 0) ?live_fingerprint ?journal t ~name ~path =
   match Structure_io.load_fingerprinted path with
   | Error e -> Error e
   | Ok { Structure_io.db; fingerprint } ->
-      let entry = entry_of ~source:path ~name ~fingerprint db in
-      locked t (fun () -> Hashtbl.replace t.table name entry);
-      Ok entry
+      let live_fp = Option.value live_fingerprint ~default:fingerprint in
+      let live = Live.Db.of_structure ~version ~fingerprint:live_fp db in
+      let slot =
+        {
+          live;
+          source = Some path;
+          source_fingerprint = Some fingerprint;
+          snapshot_version = version;
+          snapshot_fingerprint = live_fp;
+          journal;
+          cached = None;
+        }
+      in
+      locked t (fun () ->
+          Hashtbl.replace t.table name slot;
+          Ok (entry_of_slot name slot))
 
-let find t name = locked t (fun () -> Hashtbl.find_opt t.table name)
+let find t name =
+  locked t (fun () ->
+      Option.map (entry_of_slot name) (Hashtbl.find_opt t.table name))
+
+let live_find t name =
+  locked t (fun () ->
+      Option.map (fun s -> s.live) (Hashtbl.find_opt t.table name))
+
+let journal_of t name =
+  locked t (fun () ->
+      Option.bind (Hashtbl.find_opt t.table name) (fun s -> s.journal))
+
+let set_journal t name journal =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | None -> ()
+      | Some slot -> slot.journal <- journal)
+
+let compact_source t name ~path ~fingerprint =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | None -> ()
+      | Some slot ->
+          slot.source <- Some path;
+          slot.source_fingerprint <- Some fingerprint;
+          slot.snapshot_version <- Live.Db.version slot.live;
+          slot.snapshot_fingerprint <- Live.Db.fingerprint slot.live;
+          (* the entry carries [source]; refresh on next lookup *)
+          slot.cached <- None)
 
 let entries t =
-  locked t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
+  locked t (fun () ->
+      Hashtbl.fold (fun name slot acc -> entry_of_slot name slot :: acc) t.table [])
   |> List.sort (fun a b -> String.compare a.name b.name)
+
+let persistence t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name slot acc ->
+          match (slot.source, slot.source_fingerprint) with
+          | Some path, Some fp ->
+              {
+                p_name = name;
+                p_path = path;
+                p_fingerprint = fp;
+                p_version = slot.snapshot_version;
+                p_live_fingerprint = slot.snapshot_fingerprint;
+                p_journal = slot.journal;
+              }
+              :: acc
+          | _ -> acc)
+        t.table [])
+  |> List.sort (fun a b -> String.compare a.p_name b.p_name)
 
 let entry_to_json e =
   Json.Obj
     [
       ("name", Json.String e.name);
       ("fingerprint", Json.String e.fingerprint);
+      ("version", Json.Int e.version);
       ("universe", Json.Int e.universe);
       ("size", Json.Int e.size);
       ( "relations",

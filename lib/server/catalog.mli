@@ -1,15 +1,19 @@
-(** A named-database registry.
+(** A named-database registry of {e live} databases.
 
     The daemon loads each structure through [Structure_io] {e once}
-    (paying the parse and the fingerprint at registration time) and
-    serves it to every session: clients say [USE <name>] instead of
-    re-shipping the database with each request. An {!entry} carries the
-    structure together with its stable fingerprint and per-relation
-    statistics (arity, cardinality, active-domain size) — the numbers a
-    planner or an operator wants without touching the data.
+    (paying the parse and the fingerprint at registration time), wraps
+    it in an [Ac_live.Live.Db] and serves it to every session: clients
+    say [USE <name>] instead of re-shipping the database with each
+    request, and the [INSERT]/[DELETE]/[LOAD_BATCH] verbs mutate it in
+    place. An {!entry} is an immutable per-version materialization —
+    the query snapshot, the rolling fingerprint and version the caches
+    key on, and per-relation statistics recomputed over main+delta (so
+    the cost model plans with honest numbers after mutation, never a
+    stale seal). Entries are rebuilt lazily when the live version moves
+    on; an unmutated db costs nothing.
 
     All operations are thread-safe. Registering an existing name
-    replaces the entry (a reload picks up a regenerated file). *)
+    replaces the slot (a reload picks up a regenerated file). *)
 
 (** The analysis layer's catalog record, re-exported: the [STATS] wire
     verb serialises exactly the numbers the {!Ac_analysis.Cost} model
@@ -26,31 +30,81 @@ type relation_stats = Ac_analysis.Cardinality.relation_stats = {
 type entry = {
   name : string;
   db : Ac_relational.Structure.t;
-  fingerprint : string;  (** {!Ac_relational.Structure.fingerprint} *)
+      (** the live snapshot at [version] — sealed, stable: queries keep
+          joining over it while writers advance the db *)
+  fingerprint : string;
+      (** rolling fingerprint ([Ac_live.Live.Db.fingerprint]); equals
+          {!Ac_relational.Structure.fingerprint} of the base at
+          version 0 *)
+  version : int;  (** monotone mutation counter *)
   universe : int;
   size : int;  (** the paper's [‖D‖] *)
-  relations : relation_stats list;  (** sorted by symbol *)
+  relations : relation_stats list;  (** sorted by symbol; main+delta *)
   source : string option;
-      (** the file the entry was {!load}ed from — what the recovery
+      (** the snapshot file backing the entry — what the recovery
           manifest replays after a crash; [None] for in-memory entries *)
+}
+
+(** Persistence coordinates of one file-backed entry, consumed by
+    [Manifest.snapshot]: the snapshot file, its {e content} fingerprint
+    (verified on reload), the db version the file captures, the rolling
+    fingerprint at that version, and the journal holding every batch
+    applied since. *)
+type persistence = {
+  p_name : string;
+  p_path : string;
+  p_fingerprint : string;
+  p_version : int;
+  p_live_fingerprint : string;
+  p_journal : string option;
 }
 
 type t
 
 val create : unit -> t
 
-(** Register an in-memory structure (fingerprint computed here). *)
+(** Register an in-memory structure (sealed here; fingerprint computed
+    here) as a live db at version 0. *)
 val add : t -> name:string -> Ac_relational.Structure.t -> entry
 
-(** Load from a file via [Structure_io.load_fingerprinted] and
-    register; typed [Io]/[Parse] errors pass through. *)
+(** Load from a file via [Structure_io.load_fingerprinted] and register;
+    typed [Io]/[Parse] errors pass through. [version] (default [0]) and
+    [live_fingerprint] (default: the file's content fingerprint) resume
+    a mutated db's version/fingerprint chain during recovery; [journal]
+    attaches the delta journal path. *)
 val load :
-  t -> name:string -> path:string -> (entry, Ac_runtime.Error.t) result
+  ?version:int ->
+  ?live_fingerprint:string ->
+  ?journal:string ->
+  t ->
+  name:string ->
+  path:string ->
+  (entry, Ac_runtime.Error.t) result
 
+(** The entry at the db's {e current} version (rematerialized if a
+    mutation moved it). *)
 val find : t -> string -> entry option
+
+(** The live database behind an entry — the mutation verbs' target. *)
+val live_find : t -> string -> Ac_live.Live.Db.t option
+
+(** The journal path attached to an entry, if any. *)
+val journal_of : t -> string -> string option
+
+val set_journal : t -> string -> string option -> unit
+
+(** [compact_source t name ~path ~fingerprint] — a merge compaction
+    persisted a fresh snapshot of [name] at [path] (content fingerprint
+    [fingerprint]): pin the slot's snapshot version/fingerprint to the
+    db's current values so the next manifest write records them and the
+    journal can restart. *)
+val compact_source : t -> string -> path:string -> fingerprint:string -> unit
 
 (** All entries, sorted by name. *)
 val entries : t -> entry list
+
+(** Persistence coordinates of every file-backed entry, sorted by name. *)
+val persistence : t -> persistence list
 
 (** Statistics of a loose structure (used for inline databases too). *)
 val stats_of : Ac_relational.Structure.t -> relation_stats list

@@ -1,6 +1,8 @@
 module Json = Ac_analysis.Json
 module Error = Ac_runtime.Error
 module Metrics = Ac_obs.Metrics
+module Live = Ac_live.Live
+module Journal = Ac_live.Journal
 
 let m_recoveries =
   lazy
@@ -12,19 +14,44 @@ let m_recovered_entries =
     (Metrics.counter Metrics.global "acq_recovery_entries_total"
        ~help:"Catalog entries replayed (fingerprint-verified) from a manifest")
 
-type entry = { name : string; path : string; fingerprint : string }
+let m_replayed_batches =
+  lazy
+    (Metrics.counter Metrics.global "acq_recovery_batches_total"
+       ~help:"Journal batches replayed (fingerprint-chain-verified) during \
+              recovery")
+
+type entry = {
+  name : string;
+  path : string;
+  fingerprint : string;
+  db_version : int;
+  live_fingerprint : string;
+  journal : string option;
+}
 
 let version = 1
 
 (* ---------- encoding ---------- *)
 
+(* The live fields are additive (version 1 readers older than them fill
+   in the static-catalog defaults: db_version 0, live fingerprint =
+   content fingerprint, no journal), so the manifest version stays 1. *)
 let entry_to_json e =
   Json.Obj
-    [
-      ("name", Json.String e.name);
-      ("path", Json.String e.path);
-      ("fingerprint", Json.String e.fingerprint);
-    ]
+    ([
+       ("name", Json.String e.name);
+       ("path", Json.String e.path);
+       ("fingerprint", Json.String e.fingerprint);
+     ]
+    @ (if e.db_version <> 0 then [ ("db_version", Json.Int e.db_version) ]
+       else [])
+    @ (if e.live_fingerprint <> e.fingerprint then
+         [ ("live_fingerprint", Json.String e.live_fingerprint) ]
+       else [])
+    @
+    match e.journal with
+    | Some j -> [ ("journal", Json.String j) ]
+    | None -> [])
 
 let to_json entries =
   Json.Obj
@@ -38,7 +65,20 @@ let entry_of_json j =
     match Json.mem field j with Some (Json.String s) -> Some s | _ -> None
   in
   match (str "name", str "path", str "fingerprint") with
-  | Some name, Some path, Some fingerprint -> Ok { name; path; fingerprint }
+  | Some name, Some path, Some fingerprint ->
+      Ok
+        {
+          name;
+          path;
+          fingerprint;
+          db_version =
+            Option.value
+              (Option.bind (Json.mem "db_version" j) Json.to_int)
+              ~default:0;
+          live_fingerprint =
+            Option.value (str "live_fingerprint") ~default:fingerprint;
+          journal = str "journal";
+        }
   | _ -> Result.Error "manifest entry: need name, path, fingerprint strings"
 
 let of_json j =
@@ -85,13 +125,17 @@ let write ~path entries =
       Result.Error (Error.Io { file = path; msg = Unix.error_message e })
 
 let snapshot catalog =
-  List.filter_map
-    (fun (e : Catalog.entry) ->
-      Option.map
-        (fun path ->
-          { name = e.Catalog.name; path; fingerprint = e.Catalog.fingerprint })
-        e.Catalog.source)
-    (Catalog.entries catalog)
+  List.map
+    (fun (p : Catalog.persistence) ->
+      {
+        name = p.Catalog.p_name;
+        path = p.Catalog.p_path;
+        fingerprint = p.Catalog.p_fingerprint;
+        db_version = p.Catalog.p_version;
+        live_fingerprint = p.Catalog.p_live_fingerprint;
+        journal = p.Catalog.p_journal;
+      })
+    (Catalog.persistence catalog)
 
 let store ~path catalog = write ~path (snapshot catalog)
 
@@ -111,6 +155,45 @@ let read ~path =
 
 (* ---------- recovery ---------- *)
 
+(* Replay the delta journal on top of a freshly loaded snapshot. Lines
+   at or below the snapshot's version are skipped — a crash between the
+   post-merge manifest rewrite and the journal truncate leaves already-
+   compacted batches in the journal, and skipping them is exactly
+   idempotent replay. Every applied line must land on the fingerprint
+   it recorded; a diverging chain means the journal does not belong to
+   this snapshot, and serving it would silently change estimates. *)
+let replay_journal ~journal_path live entry =
+  match Journal.replay journal_path with
+  | Result.Error e -> Result.Error e
+  | Ok lines ->
+      let rec go = function
+        | [] -> Ok ()
+        | (l : Journal.line) :: rest ->
+            if l.Journal.seq <= entry.db_version then go rest
+            else (
+              match Live.Db.apply ?id:l.Journal.id live l.Journal.ops with
+              | Result.Error e -> Result.Error e
+              | Ok applied ->
+                  if applied.Live.Db.fingerprint <> l.Journal.fingerprint then
+                    Result.Error
+                      (Error.Io
+                         {
+                           file = journal_path;
+                           msg =
+                             Printf.sprintf
+                               "fingerprint mismatch replaying %s at batch %d: \
+                                journal has %s, replay produced %s — the \
+                                journal does not match the snapshot"
+                               entry.name l.Journal.seq l.Journal.fingerprint
+                               applied.Live.Db.fingerprint;
+                         })
+                  else begin
+                    Metrics.incr (Lazy.force m_replayed_batches);
+                    go rest
+                  end)
+      in
+      go lines
+
 let recover ~path catalog =
   match read ~path with
   | Result.Error e -> Result.Error e
@@ -119,10 +202,28 @@ let recover ~path catalog =
       let rec replay recovered = function
         | [] -> Ok (List.rev recovered)
         | e :: rest -> (
-            match Catalog.load catalog ~name:e.name ~path:e.path with
+            match
+              Catalog.load ~version:e.db_version
+                ~live_fingerprint:e.live_fingerprint ?journal:e.journal catalog
+                ~name:e.name ~path:e.path
+            with
             | Result.Error err -> Result.Error err
-            | Ok loaded ->
-                if loaded.Catalog.fingerprint <> e.fingerprint then
+            | Ok _loaded ->
+                (* the {e content} fingerprint guards the snapshot file:
+                   the loaded entry's rolling fingerprint is whatever the
+                   manifest recorded (it was passed in), so drift is
+                   detected against the file's own digest, which the
+                   catalog keeps in its persistence record *)
+                let file_fp =
+                  List.find_map
+                    (fun (p : Catalog.persistence) ->
+                      if p.Catalog.p_name = e.name then
+                        Some p.Catalog.p_fingerprint
+                      else None)
+                    (Catalog.persistence catalog)
+                  |> Option.value ~default:"(unknown)"
+                in
+                if file_fp <> e.fingerprint then
                   Result.Error
                     (Error.Io
                        {
@@ -132,11 +233,21 @@ let recover ~path catalog =
                              "fingerprint mismatch recovering %s: manifest has \
                               %s, file has %s — the data changed since the \
                               manifest was written"
-                             e.name e.fingerprint loaded.Catalog.fingerprint;
+                             e.name e.fingerprint file_fp;
                        })
-                else begin
-                  Metrics.incr (Lazy.force m_recovered_entries);
-                  replay (e.name :: recovered) rest
-                end)
+                else
+                  let journal_result =
+                    match e.journal with
+                    | None -> Ok ()
+                    | Some journal_path -> (
+                        match Catalog.live_find catalog e.name with
+                        | None -> Ok ()
+                        | Some live -> replay_journal ~journal_path live e)
+                  in
+                  (match journal_result with
+                  | Result.Error err -> Result.Error err
+                  | Ok () ->
+                      Metrics.incr (Lazy.force m_recovered_entries);
+                      replay (e.name :: recovered) rest))
       in
       replay [] entries

@@ -10,6 +10,8 @@ module Report = Ac_analysis.Report
 module Json = Ac_analysis.Json
 module Trace = Ac_obs.Trace
 module Metrics = Ac_obs.Metrics
+module Live = Ac_live.Live
+module Journal = Ac_live.Journal
 
 type config = {
   queue_capacity : int;
@@ -17,6 +19,8 @@ type config = {
   result_cache_capacity : int;
   default_timeout_ms : int option;
   manifest : string option;
+  merge_threshold : int;
+  merge_ratio : float;
   verbose : bool;
 }
 
@@ -27,6 +31,8 @@ let default_config =
     result_cache_capacity = 1024;
     default_timeout_ms = None;
     manifest = None;
+    merge_threshold = 4096;
+    merge_ratio = 0.25;
     verbose = false;
   }
 
@@ -34,6 +40,9 @@ type counters = {
   mutable count : int;
   mutable sample : int;
   mutable use : int;
+  mutable insert : int;
+  mutable delete : int;
+  mutable load_batch : int;
   mutable stats : int;
   mutable metrics : int;
   mutable ping : int;
@@ -79,6 +88,9 @@ let create ?(config = default_config) () =
         count = 0;
         sample = 0;
         use = 0;
+        insert = 0;
+        delete = 0;
+        load_batch = 0;
         stats = 0;
         metrics = 0;
         ping = 0;
@@ -109,13 +121,32 @@ let sync_manifest t =
   | None -> Ok ()
   | Some path -> Manifest.store ~path t.catalog
 
+let journal_path t ~name =
+  Option.map (fun m -> Printf.sprintf "%s.%s.journal" m name) t.config.manifest
+
 let load_db t ~name ~path =
   match Catalog.load t.catalog ~name ~path with
   | Error e -> Error e
   | Ok entry -> (
-      match sync_manifest t with
-      | Ok () -> Ok entry
-      | Error e -> Error e)
+      (* a fresh load starts a fresh journal: a leftover journal from a
+         previous life belongs to a different snapshot lineage and must
+         not replay on top of this one *)
+      let journal_ok =
+        match journal_path t ~name with
+        | None -> Ok ()
+        | Some jpath -> (
+            match Journal.reset jpath with
+            | Ok () ->
+                Catalog.set_journal t.catalog name (Some jpath);
+                Ok ()
+            | Error e -> Error e)
+      in
+      match journal_ok with
+      | Error e -> Error e
+      | Ok () -> (
+          match sync_manifest t with
+          | Ok () -> Ok entry
+          | Error e -> Error e))
 
 let recover t =
   match t.config.manifest with
@@ -162,6 +193,7 @@ let resolve_db t session = function
                  name = "<inline>";
                  db;
                  fingerprint = Ac_relational.Structure.fingerprint db;
+                 version = 0;
                  universe = Ac_relational.Structure.universe_size db;
                  size = Ac_relational.Structure.size db;
                  relations = [];
@@ -171,7 +203,13 @@ let resolve_db t session = function
           Error (Error.Parse { source = "<inline>"; msg }))
   | Wire.Session -> (
       match session.current with
-      | Some entry -> Ok entry
+      | Some entry -> (
+          (* re-resolve by name: the session pins a {e database}, not a
+             version — a USE taken before a mutation must not serve the
+             stale snapshot (or stale cache keys) afterwards *)
+          match Catalog.find t.catalog entry.Catalog.name with
+          | Some fresh -> Ok fresh
+          | None -> Ok entry)
       | None ->
           Error
             (Error.Io
@@ -242,11 +280,18 @@ let run_count t session (p : Wire.params) =
       match Ecq.parse_result p.Wire.query with
       | Error e -> Wire.response_of_error e
       | Ok query -> (
+          (* (rolling fingerprint @ version): cache entries stop being
+             referenced the moment a mutation moves the db, and hit
+             again whenever the same version is re-queried *)
+          let db_fingerprint =
+            Cache.db_key ~fingerprint:entry.Catalog.fingerprint
+              ~version:entry.Catalog.version
+          in
           let result_key =
             Option.map
               (fun seed ->
-                Cache.result_key ~db_fingerprint:entry.Catalog.fingerprint
-                  ~eps:p.Wire.eps ~delta:p.Wire.delta
+                Cache.result_key ~db_fingerprint ~eps:p.Wire.eps
+                  ~delta:p.Wire.delta
                   ~method_name:(Api.method_name p.Wire.method_)
                   ~seed query)
               p.Wire.seed
@@ -272,10 +317,7 @@ let run_count t session (p : Wire.params) =
               match
                 Scheduler.submit t.scheduler ~label:"count"
                   ?deadline_ms:p.Wire.deadline_ms (fun slice ->
-                    let plan_key =
-                      Cache.plan_key
-                        ~db_fingerprint:entry.Catalog.fingerprint query
-                    in
+                    let plan_key = Cache.plan_key ~db_fingerprint query in
                     let report, plan_state =
                       match Cache.Lru.find t.plan_cache plan_key with
                       | Some rep -> (rep, "hit")
@@ -393,6 +435,213 @@ let run_sample t session (p : Wire.params) ~draws =
                   trace = s.Api.telemetry.Api.trace;
                 }))
 
+(* ---------- INSERT / DELETE / LOAD_BATCH ---------- *)
+
+let m_live_batches =
+  lazy
+    (Metrics.counter Metrics.global "acq_live_batches_total"
+       ~help:"Mutation batches applied to live databases")
+
+let m_live_replayed =
+  lazy
+    (Metrics.counter Metrics.global "acq_live_replayed_batches_total"
+       ~help:"Mutation batches answered from the idempotency table instead \
+              of re-applying")
+
+let m_live_journal_appends =
+  lazy
+    (Metrics.counter Metrics.global "acq_live_journal_appends_total"
+       ~help:"Mutation batches appended (fsynced) to a delta journal")
+
+let m_live_ops op =
+  Metrics.counter Metrics.global "acq_live_ops_total"
+    ~help:"Mutation operations applied, by direction" ~labels:[ ("op", op) ]
+
+let live_ops_of_request = function
+  | Wire.Insert { rel; tuples; _ } ->
+      List.map (fun tuple -> Live.Db.Insert { rel; tuple }) tuples
+  | Wire.Delete { rel; tuples; _ } ->
+      List.map (fun tuple -> Live.Db.Delete { rel; tuple }) tuples
+  | Wire.Load_batch { ops; _ } ->
+      List.map
+        (fun (o : Wire.mutation_op) ->
+          if o.Wire.insert then Live.Db.Insert { rel = o.Wire.rel; tuple = o.Wire.tuple }
+          else Live.Db.Delete { rel = o.Wire.rel; tuple = o.Wire.tuple })
+        ops
+  | _ -> []
+
+(* Post-mutation compaction. When the delta crosses the policy
+   threshold the deltas fold back into sealed columns under the
+   request's budget slice; for a file-backed entry the compacted
+   snapshot is then persisted (fresh versioned file + atomic manifest
+   switch + journal restart — each crash window between those steps
+   recovers correctly, see Manifest). Compaction is an optimization:
+   if any step fails, the mutation has already been journaled and
+   acknowledged, so the delta simply stays resident and the next batch
+   retries. *)
+let maybe_merge t ~name live budget =
+  if
+    Live.Db.needs_merge ~threshold:t.config.merge_threshold
+      ~ratio:t.config.merge_ratio live
+  then begin
+    match Live.Db.merge ~budget live with
+    | exception Budget.Budget_exceeded _ -> ()
+    | _compacted -> (
+        match t.config.manifest with
+        | None -> ()
+        | Some manifest ->
+            let persisted =
+              List.find_opt
+                (fun (p : Catalog.persistence) -> p.Catalog.p_name = name)
+                (Catalog.persistence t.catalog)
+            in
+            (match persisted with
+            | None -> () (* in-memory db: nothing to persist *)
+            | Some prior -> (
+                let path =
+                  Printf.sprintf "%s.%s.v%d.snapshot" manifest name
+                    (Live.Db.version live)
+                in
+                match
+                  Structure_io.save path (Live.Db.snapshot ~budget live)
+                with
+                | exception _ -> ()
+                | () ->
+                    let fingerprint =
+                      Ac_relational.Structure.fingerprint
+                        (Live.Db.snapshot ~budget live)
+                    in
+                    Catalog.compact_source t.catalog name ~path ~fingerprint;
+                    (match sync_manifest t with
+                    | Error _ ->
+                        (* roll the slot back to the prior snapshot so
+                           catalog state matches the manifest on disk *)
+                        Catalog.compact_source t.catalog name
+                          ~path:prior.Catalog.p_path
+                          ~fingerprint:prior.Catalog.p_fingerprint
+                    | Ok () ->
+                        (match Catalog.journal_of t.catalog name with
+                        | Some jpath -> ignore (Journal.reset jpath)
+                        | None -> ());
+                        (* drop the superseded generated snapshot (never
+                           a user-supplied source file) *)
+                        if
+                          prior.Catalog.p_path <> path
+                          && String.starts_with ~prefix:(manifest ^ ".")
+                               prior.Catalog.p_path
+                        then
+                          try Unix.unlink prior.Catalog.p_path
+                          with Unix.Unix_error _ -> ()))))
+  end
+
+let run_mutation t session req =
+  let verb = Wire.verb_name req in
+  let db_ref, batch_id =
+    match req with
+    | Wire.Insert { db; batch_id; _ }
+    | Wire.Delete { db; batch_id; _ }
+    | Wire.Load_batch { db; batch_id; _ } ->
+        (db, batch_id)
+    | _ -> (Wire.Session, None)
+  in
+  let name_result =
+    match db_ref with
+    | Wire.Named n -> Ok n
+    | Wire.Inline _ ->
+        Error
+          (Error.Parse
+             {
+               source = "wire";
+               msg =
+                 "mutations need a named catalog database (\"use\"), not \
+                  \"db_inline\" — inline databases are per-request";
+             })
+    | Wire.Session -> (
+        match session.current with
+        | Some e -> Ok e.Catalog.name
+        | None ->
+            Error
+              (Error.Io
+                 {
+                   file = "<session>";
+                   msg = "no database selected — send USE <name> first";
+                 }))
+  in
+  match name_result with
+  | Error e -> Wire.response_of_error e
+  | Ok name -> (
+      match Catalog.live_find t.catalog name with
+      | None ->
+          Wire.response_of_error
+            (Error.Io
+               { file = name; msg = "unknown database (not in the catalog)" })
+      | Some live -> (
+          let ops = live_ops_of_request req in
+          let result =
+            Scheduler.submit t.scheduler ~label:verb (fun slice ->
+                match Live.Db.apply ?id:batch_id live ops with
+                | Error e -> Error e
+                | Ok applied ->
+                    Metrics.incr (Lazy.force m_live_batches);
+                    if applied.Live.Db.replayed then begin
+                      Metrics.incr (Lazy.force m_live_replayed);
+                      Ok applied
+                    end
+                    else begin
+                      List.iter
+                        (fun op ->
+                          Metrics.incr
+                            (m_live_ops
+                               (match op with
+                               | Live.Db.Insert _ -> "insert"
+                               | Live.Db.Delete _ -> "delete")))
+                        ops;
+                      (* the journal append happens {e before} the reply:
+                         once the client hears success, a crash must not
+                         lose the batch. An unacknowledged batch that
+                         made it to the journal is fine — the client
+                         retries with the same batch_id and gets the
+                         replayed result (exactly-once across crashes). *)
+                      let journal_r =
+                        match Catalog.journal_of t.catalog name with
+                        | None -> Ok ()
+                        | Some jpath -> (
+                            let line =
+                              {
+                                Journal.seq = applied.Live.Db.version;
+                                id = batch_id;
+                                fingerprint = applied.Live.Db.fingerprint;
+                                ops;
+                              }
+                            in
+                            match Journal.append jpath line with
+                            | Ok () ->
+                                Metrics.incr
+                                  (Lazy.force m_live_journal_appends);
+                                Ok ()
+                            | Error e -> Error e)
+                      in
+                      match journal_r with
+                      | Error e -> Error e
+                      | Ok () ->
+                          maybe_merge t ~name live slice;
+                          Ok applied
+                    end)
+          in
+          match result with
+          | Error e -> Wire.response_of_error e
+          | Ok (Error e) -> Wire.response_of_error e
+          | Ok (Ok applied) ->
+              Wire.Mutated
+                {
+                  name;
+                  db_version = applied.Live.Db.version;
+                  fingerprint = applied.Live.Db.fingerprint;
+                  inserted = applied.Live.Db.inserted;
+                  deleted = applied.Live.Db.deleted;
+                  replayed = applied.Live.Db.replayed;
+                }))
+
 (* ---------- STATS ---------- *)
 
 let stats_json t =
@@ -405,6 +654,9 @@ let stats_json t =
           ("count", Json.Int c.count);
           ("sample", Json.Int c.sample);
           ("use", Json.Int c.use);
+          ("insert", Json.Int c.insert);
+          ("delete", Json.Int c.delete);
+          ("load_batch", Json.Int c.load_batch);
           ("stats", Json.Int c.stats);
           ("metrics", Json.Int c.metrics);
           ("ping", Json.Int c.ping);
@@ -503,6 +755,15 @@ let handle_request t session req =
   | Wire.Sample { params = p; draws } ->
       bump t (fun c -> c.sample <- c.sample + 1);
       run_sample t session p ~draws
+  | Wire.Insert _ as req ->
+      bump t (fun c -> c.insert <- c.insert + 1);
+      run_mutation t session req
+  | Wire.Delete _ as req ->
+      bump t (fun c -> c.delete <- c.delete + 1);
+      run_mutation t session req
+  | Wire.Load_batch _ as req ->
+      bump t (fun c -> c.load_batch <- c.load_batch + 1);
+      run_mutation t session req
 
 let handle t session req =
   let t0 = Unix.gettimeofday () in

@@ -29,7 +29,14 @@ type config = {
           none (default [None] — bit-parity with single-shot runs) *)
   manifest : string option;
       (** where to persist the crash-recovery {!Manifest} (default
-          [None] — no manifest, no recovery) *)
+          [None] — no manifest, no recovery, no delta journals) *)
+  merge_threshold : int;
+      (** compact a live db's deltas back into sealed columns once the
+          delta reaches this many rows (default 4096; [<= 0] disables
+          merging) *)
+  merge_ratio : float;
+      (** …and the delta is at least this fraction of the main segment
+          (default 0.25) — small deltas on big databases stay resident *)
   verbose : bool;
 }
 
@@ -48,7 +55,10 @@ val recovered : t -> bool
 (** Load a database file into the catalog {e and} atomically refresh
     the recovery manifest (when configured). The daemon's loading path
     — use this instead of [Catalog.load] so a [kill -9] after any load
-    finds a complete manifest on restart. *)
+    finds a complete manifest on restart. When a manifest is
+    configured the entry also gets a delta journal at
+    [<manifest>.<name>.journal], reset here: mutation batches append to
+    it and recovery replays it on top of the snapshot. *)
 val load_db :
   t -> name:string -> path:string -> (Catalog.entry, Ac_runtime.Error.t) result
 

@@ -46,6 +46,10 @@ let params ?(eps = 0.25) ?(delta = 0.1) ?(method_ = Api.Auto) ?seed ?jobs
     trace;
   }
 
+(* One element of a LOAD_BATCH: direction + fact. INSERT/DELETE are
+   sugar for a batch of same-direction ops over one relation. *)
+type mutation_op = { insert : bool; rel : string; tuple : int array }
+
 type metrics_format = Metrics_json | Metrics_prometheus
 
 let metrics_format_name = function
@@ -61,6 +65,23 @@ type request =
   | Count of params
   | Sample of { params : params; draws : int }
   | Use of string
+  | Insert of {
+      db : db_ref;
+      rel : string;
+      tuples : int array list;
+      batch_id : string option;
+    }
+  | Delete of {
+      db : db_ref;
+      rel : string;
+      tuples : int array list;
+      batch_id : string option;
+    }
+  | Load_batch of {
+      db : db_ref;
+      ops : mutation_op list;
+      batch_id : string option;
+    }
   | Stats
   | Metrics_req of { format : metrics_format }
   | Ping
@@ -75,6 +96,9 @@ let verb_name = function
   | Use _ -> "use"
   | Count _ -> "count"
   | Sample _ -> "sample"
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Load_batch _ -> "load_batch"
   | Health -> "health"
 
 (* A request is idempotent — safe to resend after a transport fault —
@@ -83,10 +107,17 @@ let verb_name = function
    against the result cache and in-flight table); unseeded ones draw a
    fresh seed per run, so a retry would silently answer a different
    random experiment. *)
+(* Mutations are idempotent iff they carry a [batch_id]: the daemon's
+   live-db dedupe table replays the stored result instead of applying
+   the batch twice, so a resend is safe. Without one, a retried
+   mutation would double-apply. *)
 let idempotent = function
   | Ping | Stats | Metrics_req _ | Use _ | Health -> true
   | Count p -> p.seed <> None
   | Sample { params; _ } -> params.seed <> None
+  | Insert { batch_id; _ } | Delete { batch_id; _ } | Load_batch { batch_id; _ }
+    ->
+      batch_id <> None
 
 type attempt = { rung : string; error_class : string; error_message : string }
 
@@ -128,6 +159,14 @@ type response =
       trace : Trace.summary option;
     }
   | Used of { name : string; fingerprint : string; universe : int; size : int }
+  | Mutated of {
+      name : string;
+      db_version : int;
+      fingerprint : string;
+      inserted : int;
+      deleted : int;
+      replayed : bool;
+    }
   | Stats_reply of Json.t
   | Metrics_reply of { format : metrics_format; payload : Json.t }
   | Pong
@@ -136,7 +175,7 @@ type response =
 
 let status_of_response = function
   | Counted o -> if o.degraded then 3 else 0
-  | Sampled _ | Used _ | Stats_reply _ | Metrics_reply _ | Pong
+  | Sampled _ | Used _ | Mutated _ | Stats_reply _ | Metrics_reply _ | Pong
   | Health_reply _ ->
       0
   | Refused r -> r.code
@@ -174,6 +213,26 @@ let params_fields (p : params) =
   @ opt_int_field "deadline_ms" p.deadline_ms
   @ opt_int_field "max_heap_mb" p.max_heap_mb
 
+let db_ref_fields = function
+  | Named n -> [ ("use", Json.String n) ]
+  | Inline text -> [ ("db_inline", Json.String text) ]
+  | Session -> []
+
+let tuple_json tuple =
+  Json.List (Array.to_list (Array.map (fun v -> Json.Int v) tuple))
+
+let batch_id_fields = function
+  | Some id -> [ ("batch_id", Json.String id) ]
+  | None -> []
+
+let mutation_op_json (o : mutation_op) =
+  Json.Obj
+    [
+      ("op", Json.String (if o.insert then "insert" else "delete"));
+      ("rel", Json.String o.rel);
+      ("tuple", tuple_json o.tuple);
+    ]
+
 let version_field = ("version", Json.Int protocol_version)
 
 (* The optional envelope-level request id: the client's handle for
@@ -204,6 +263,33 @@ let request_to_json ?id = function
         (("verb", Json.String "use")
         :: version_field
         :: (id_fields id @ [ ("name", Json.String name) ]))
+  | Insert { db; rel; tuples; batch_id } ->
+      Json.Obj
+        (("verb", Json.String "insert")
+        :: version_field
+        :: (id_fields id @ db_ref_fields db
+           @ [
+               ("rel", Json.String rel);
+               ("tuples", Json.List (List.map tuple_json tuples));
+             ]
+           @ batch_id_fields batch_id))
+  | Delete { db; rel; tuples; batch_id } ->
+      Json.Obj
+        (("verb", Json.String "delete")
+        :: version_field
+        :: (id_fields id @ db_ref_fields db
+           @ [
+               ("rel", Json.String rel);
+               ("tuples", Json.List (List.map tuple_json tuples));
+             ]
+           @ batch_id_fields batch_id))
+  | Load_batch { db; ops; batch_id } ->
+      Json.Obj
+        (("verb", Json.String "load_batch")
+        :: version_field
+        :: (id_fields id @ db_ref_fields db
+           @ [ ("ops", Json.List (List.map mutation_op_json ops)) ]
+           @ batch_id_fields batch_id))
   | Stats -> Json.Obj (("verb", Json.String "stats") :: version_field :: id_fields id)
   | Metrics_req { format } ->
       Json.Obj
@@ -350,6 +436,21 @@ let response_to_json ?id r =
             ("universe", Json.Int u.universe);
             ("size", Json.Int u.size);
           ])
+  | Mutated m ->
+      (* one response shape for all three mutation verbs; "version" is
+         taken by the protocol envelope, so the db counter travels as
+         "db_version" *)
+      Json.Obj
+        (base
+        @ [
+            ("verb", Json.String "mutate");
+            ("name", Json.String m.name);
+            ("db_version", Json.Int m.db_version);
+            ("fingerprint", Json.String m.fingerprint);
+            ("inserted", Json.Int m.inserted);
+            ("deleted", Json.Int m.deleted);
+            ("replayed", Json.Bool m.replayed);
+          ])
   | Stats_reply blob ->
       Json.Obj (base @ [ ("verb", Json.String "stats"); ("stats", blob) ])
   | Metrics_reply { format; payload } ->
@@ -467,6 +568,83 @@ let params_of_json j =
       trace;
     }
 
+let db_ref_of_json j =
+  match (Json.mem "use" j, Json.mem "db_inline" j) with
+  | Some (Json.String n), None -> Ok (Named n)
+  | None, Some (Json.String text) -> Ok (Inline text)
+  | None, None -> Ok Session
+  | Some _, Some _ -> Error "give either \"use\" or \"db_inline\", not both"
+  | _ -> Error "fields \"use\"/\"db_inline\" must be strings"
+
+let opt_str name j =
+  match Json.mem name j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let tuple_of_json name = function
+  | Json.List vs ->
+      let* rev =
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match Json.to_int v with
+            | Some i -> Ok (i :: acc)
+            | None ->
+                Error
+                  (Printf.sprintf "field %S: tuple components must be integers"
+                     name))
+          (Ok []) vs
+      in
+      Ok (Array.of_list (List.rev rev))
+  | _ -> Error (Printf.sprintf "field %S must contain integer lists" name)
+
+let tuples_of_json j =
+  match Json.mem "tuples" j with
+  | Some (Json.List items) ->
+      let* rev =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* t = tuple_of_json "tuples" item in
+            Ok (t :: acc))
+          (Ok []) items
+      in
+      if rev = [] then Error "field \"tuples\" must be non-empty"
+      else Ok (List.rev rev)
+  | _ -> Error "missing field \"tuples\" (a list of tuples)"
+
+let mutation_op_of_json item =
+  let* op = req_str "op" item in
+  let* insert =
+    match op with
+    | "insert" -> Ok true
+    | "delete" -> Ok false
+    | other -> Error (Printf.sprintf "unknown op %S (insert|delete)" other)
+  in
+  let* rel = req_str "rel" item in
+  let* tuple =
+    match Json.mem "tuple" item with
+    | Some v -> tuple_of_json "tuple" v
+    | None -> Error "missing field \"tuple\""
+  in
+  Ok { insert; rel; tuple }
+
+let ops_of_json j =
+  match Json.mem "ops" j with
+  | Some (Json.List items) ->
+      let* rev =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* o = mutation_op_of_json item in
+            Ok (o :: acc))
+          (Ok []) items
+      in
+      if rev = [] then Error "field \"ops\" must be non-empty"
+      else Ok (List.rev rev)
+  | _ -> Error "missing field \"ops\" (a list of operations)"
+
 (* The negotiation rule: absent means version 1, anything we do not
    speak is a hard (typed) refusal — never a silent misparse. *)
 let check_version j =
@@ -495,6 +673,23 @@ let request_of_json j =
   | "use" ->
       let* name = req_str "name" j in
       Ok (Use name)
+  | "insert" ->
+      let* db = db_ref_of_json j in
+      let* rel = req_str "rel" j in
+      let* tuples = tuples_of_json j in
+      let* batch_id = opt_str "batch_id" j in
+      Ok (Insert { db; rel; tuples; batch_id })
+  | "delete" ->
+      let* db = db_ref_of_json j in
+      let* rel = req_str "rel" j in
+      let* tuples = tuples_of_json j in
+      let* batch_id = opt_str "batch_id" j in
+      Ok (Delete { db; rel; tuples; batch_id })
+  | "load_batch" ->
+      let* db = db_ref_of_json j in
+      let* ops = ops_of_json j in
+      let* batch_id = opt_str "batch_id" j in
+      Ok (Load_batch { db; ops; batch_id })
   | "stats" -> Ok Stats
   | "metrics" -> (
       match field_or "format" (Json.String "json") j with
@@ -697,6 +892,23 @@ let response_of_json j =
               ~default:0
           in
           Ok (Used { name; fingerprint; universe; size })
+      | "mutate" ->
+          let* name = req_str "name" j in
+          let* fingerprint = req_str "fingerprint" j in
+          let int_field f =
+            Option.value (Option.bind (Json.mem f j) Json.to_int) ~default:0
+          in
+          let replayed = field_or "replayed" (Json.Bool false) j = Json.Bool true in
+          Ok
+            (Mutated
+               {
+                 name;
+                 db_version = int_field "db_version";
+                 fingerprint;
+                 inserted = int_field "inserted";
+                 deleted = int_field "deleted";
+                 replayed;
+               })
       | "stats" -> (
           match Json.mem "stats" j with
           | Some blob -> Ok (Stats_reply blob)

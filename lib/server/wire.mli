@@ -73,6 +73,11 @@ val params :
   string ->
   params
 
+(** One element of a [LOAD_BATCH]: direction + fact. The [INSERT] and
+    [DELETE] verbs are sugar for a batch of same-direction ops over one
+    relation; all three apply atomically under one version bump. *)
+type mutation_op = { insert : bool; rel : string; tuple : int array }
+
 (** Exposition format of the [METRICS] verb. *)
 type metrics_format = Metrics_json | Metrics_prometheus
 
@@ -83,6 +88,23 @@ type request =
   | Count of params
   | Sample of { params : params; draws : int }
   | Use of string
+  | Insert of {
+      db : db_ref;
+      rel : string;
+      tuples : int array list;
+      batch_id : string option;
+    }
+  | Delete of {
+      db : db_ref;
+      rel : string;
+      tuples : int array list;
+      batch_id : string option;
+    }
+  | Load_batch of {
+      db : db_ref;
+      ops : mutation_op list;
+      batch_id : string option;
+    }
   | Stats
   | Metrics_req of { format : metrics_format }
   | Ping
@@ -97,10 +119,12 @@ val method_of_name : string -> Approxcount.Api.method_ option
     per-verb request metrics. *)
 val verb_name : request -> string
 
-(** Safe to resend after a transport fault: the service verbs and any
-    {e seeded} [COUNT]/[SAMPLE]. Unseeded requests draw a fresh seed
-    per run, so a retry would answer a different random experiment —
-    the retrying client refuses those with a typed [Retry_unsafe]. *)
+(** Safe to resend after a transport fault: the service verbs, any
+    {e seeded} [COUNT]/[SAMPLE], and any mutation carrying a
+    [batch_id] (the daemon's dedupe table replays the stored result
+    instead of applying twice). Unseeded requests draw a fresh seed per
+    run, and an id-less mutation would double-apply — the retrying
+    client refuses those with a typed [Retry_unsafe]. *)
 val idempotent : request -> bool
 
 (** One failed rung of the degradation trail, flattened for the wire. *)
@@ -150,6 +174,19 @@ type response =
       trace : Ac_obs.Trace.summary option;
     }
   | Used of { name : string; fingerprint : string; universe : int; size : int }
+  | Mutated of {
+      name : string;
+      db_version : int;
+          (** the database's monotone version {e after} the batch (the
+              envelope ["version"] field is the protocol version, so
+              this travels as ["db_version"]) *)
+      fingerprint : string;  (** rolling fingerprint after the batch *)
+      inserted : int;
+      deleted : int;
+      replayed : bool;
+          (** the batch id had already been applied; the stored result
+              was returned and nothing changed *)
+    }
   | Stats_reply of Json.t
   | Metrics_reply of { format : metrics_format; payload : Json.t }
       (** [payload] is the structured snapshot for [Metrics_json] and a

@@ -27,6 +27,9 @@ scripts/smoke_server.sh
 echo "== chaos soak (wire faults, kill -9 recovery, deadline shed)"
 scripts/smoke_server.sh --chaos
 
+echo "== live mutation smoke (insert/delete, exactly-once, journal recovery)"
+scripts/smoke_server.sh --live
+
 if [ "${1:-}" = "--with-bench" ]; then
   echo "== parallel jobs sweep (BENCH_parallel.json)"
   dune exec bench/main.exe -- --parallel
@@ -40,6 +43,8 @@ if [ "${1:-}" = "--with-bench" ]; then
   dune exec bench/main.exe -- --join
   echo "== costed vs static chain (BENCH_cost.json, costed never slower beyond slack)"
   dune exec bench/main.exe -- --cost
+  echo "== live main+delta storage (BENCH_live.json, post-merge cold p50 within 10% of rebuilt)"
+  dune exec bench/main.exe -- --live
 fi
 
 echo "== CI green"

@@ -97,6 +97,7 @@ lib/exec/engine.ml
 lib/exec/pool.ml
 lib/hom/hom.ml
 lib/join/generic_join.ml
+lib/live/live.ml
 lib/obs/metrics.ml
 lib/obs/trace.ml
 lib/relational/relation.ml

@@ -244,8 +244,24 @@ let test_manifest_roundtrip () =
   let path = tmp_path ".manifest" in
   let entries =
     [
-      { Manifest.name = "g"; path = "/data/g.txt"; fingerprint = "aa" };
-      { Manifest.name = "h"; path = "/data/h.txt"; fingerprint = "bb" };
+      (* a static entry (live fields at their defaults) and a mutated
+         one (snapshot version, diverged rolling fingerprint, journal) *)
+      {
+        Manifest.name = "g";
+        path = "/data/g.txt";
+        fingerprint = "aa";
+        db_version = 0;
+        live_fingerprint = "aa";
+        journal = None;
+      };
+      {
+        Manifest.name = "h";
+        path = "/data/h.txt";
+        fingerprint = "bb";
+        db_version = 3;
+        live_fingerprint = "cc";
+        journal = Some "/data/h.journal";
+      };
     ]
   in
   (match Manifest.write ~path entries with
@@ -264,7 +280,13 @@ let test_manifest_roundtrip () =
   | Error e -> Alcotest.failf "wrong error class: %s" (Error.class_name e));
   Sys.remove path
 
-let test_recovery_bit_identical () =
+(* The recovery scenario, parameterized over whether the catalog was
+   mutated between load and crash. The expected version/fingerprint are
+   {e captured from the daemon's responses}, never assumed static — so
+   the same assertions hold for a pristine catalog (version 0, content
+   fingerprint) and for one whose delta journal must be replayed on top
+   of the snapshot. *)
+let recovery_scenario ~mutate () =
   let db_file = tmp_path ".db" in
   let manifest = tmp_path ".manifest" in
   Structure_io.save db_file (db ());
@@ -277,15 +299,54 @@ let test_recovery_bit_identical () =
           (call_raw client
              (Wire.Count (Wire.params ~seed ~db:(Wire.Named "gg") query))))
   in
-  (* first life: load from file (writes the manifest), answer *)
+  (* first life: load from file (writes the manifest), maybe mutate
+     (journal appends), answer *)
   let server1 = Server.create ~config () in
   (match Server.load_db server1 ~name:"gg" ~path:db_file with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "load_db failed: %s" (Error.message e));
   Alcotest.(check bool) "first life is not a recovery" false
     (Server.recovered server1);
+  let expect_version, expect_fingerprint =
+    if not mutate then
+      let e =
+        Option.get (Catalog.find (Server.catalog server1) "gg")
+      in
+      (e.Catalog.version, e.Catalog.fingerprint)
+    else begin
+      let client = connect_raw server1 in
+      Fun.protect ~finally:(fun () -> disconnect_raw client) (fun () ->
+          let mutated = function
+            | Wire.Mutated { db_version; fingerprint; _ } ->
+                (db_version, fingerprint)
+            | Wire.Refused { error_class; message; _ } ->
+                Alcotest.failf "mutation refused [%s]: %s" error_class message
+            | _ -> Alcotest.fail "expected a MUTATE response"
+          in
+          ignore
+            (mutated
+               (call_raw client
+                  (Wire.Insert
+                     {
+                       db = Wire.Named "gg";
+                       rel = "E";
+                       tuples = [ [| 23; 0 |]; [| 0; 23 |] ];
+                       batch_id = Some "crash-b1";
+                     })));
+          mutated
+            (call_raw client
+               (Wire.Delete
+                  {
+                    db = Wire.Named "gg";
+                    rel = "E";
+                    tuples = [ [| 23; 0 |] ];
+                    batch_id = Some "crash-b2";
+                  })))
+    end
+  in
   let before = count server1 in
-  (* second life: nothing but the manifest (the process "crashed") *)
+  (* second life: nothing but the manifest and the journal (the
+     process "crashed") *)
   let server2 = Server.create ~config () in
   (match Server.recover server2 with
   | Ok [ "gg" ] -> ()
@@ -293,10 +354,38 @@ let test_recovery_bit_identical () =
       Alcotest.failf "recovered %d entries, wanted [gg]" (List.length names)
   | Error e -> Alcotest.failf "recover failed: %s" (Error.message e));
   Alcotest.(check bool) "recovered flag set" true (Server.recovered server2);
+  let e2 = Option.get (Catalog.find (Server.catalog server2) "gg") in
+  Alcotest.(check int) "recovered at the captured version" expect_version
+    e2.Catalog.version;
+  Alcotest.(check string) "recovered at the captured fingerprint"
+    expect_fingerprint e2.Catalog.fingerprint;
   let after = count server2 in
   Alcotest.(check bool) "estimate survives the crash, bit for bit" true
     (Int64.bits_of_float before.Wire.estimate
     = Int64.bits_of_float after.Wire.estimate);
+  (* a retried batch from before the crash still replays after it: the
+     journal repopulated the dedupe table *)
+  if mutate then begin
+    let client = connect_raw server2 in
+    Fun.protect ~finally:(fun () -> disconnect_raw client) (fun () ->
+        match
+          call_raw client
+            (Wire.Delete
+               {
+                 db = Wire.Named "gg";
+                 rel = "E";
+                 tuples = [ [| 23; 0 |] ];
+                 batch_id = Some "crash-b2";
+               })
+        with
+        | Wire.Mutated { replayed; db_version; fingerprint; _ } ->
+            Alcotest.(check bool) "pre-crash batch id replays" true replayed;
+            Alcotest.(check int) "replay at the captured version"
+              expect_version db_version;
+            Alcotest.(check string) "replay at the captured fingerprint"
+              expect_fingerprint fingerprint
+        | _ -> Alcotest.fail "expected a MUTATE response")
+  end;
   (* drift detection: regenerate the database, keep the old manifest *)
   let rng = Random.State.make [| 9 |] in
   Structure_io.save db_file
@@ -317,7 +406,11 @@ let test_recovery_bit_identical () =
   | Ok _ -> Alcotest.fail "fingerprint drift went unnoticed"
   | Error e -> Alcotest.failf "wrong error class: %s" (Error.class_name e));
   Sys.remove db_file;
-  Sys.remove manifest
+  Sys.remove manifest;
+  try Sys.remove (manifest ^ ".gg.journal") with Sys_error _ -> ()
+
+let test_recovery_bit_identical () = recovery_scenario ~mutate:false ()
+let test_recovery_bit_identical_mutated () = recovery_scenario ~mutate:true ()
 
 (* ---------- stale sockets ---------- *)
 
@@ -585,6 +678,8 @@ let tests =
       test_manifest_roundtrip;
     Alcotest.test_case "recovery: bit-identical across a crash" `Slow
       test_recovery_bit_identical;
+    Alcotest.test_case "recovery: journal replayed for a mutated catalog"
+      `Slow test_recovery_bit_identical_mutated;
     Alcotest.test_case "socket: stale refused, --force, live protected" `Quick
       test_stale_socket;
     Alcotest.test_case "chaos: drop — retried, computed once" `Slow
