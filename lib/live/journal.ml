@@ -76,13 +76,30 @@ let io_error path exn =
   in
   Error.Io { file = path; msg }
 
+(* Durability against power loss, not just process crashes, needs the
+   {e directory} flushed too: file creation and renames live in the
+   directory's data, and an unflushed directory can forget a file whose
+   contents were fsynced. Best-effort — not every filesystem lets a
+   directory fd be fsynced, and the file-level fsync already covers the
+   process-crash case. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 (* One durable write per batch: open in append mode, write the whole
-   line (payload + newline) with a single [write], fsync, close. The
-   newline is the commit marker — replay treats an unterminated final
-   line as a torn write and drops it. *)
+   line (payload + newline) with a single [write], fsync, close — and
+   when the append created the file, fsync the directory so the new
+   name itself survives power loss. The newline is the commit marker —
+   replay treats an unterminated final line as a torn write and drops
+   it. *)
 let append path l =
   match
     let payload = Json.to_string (line_to_json l) ^ "\n" in
+    let created = not (Sys.file_exists path) in
     let fd =
       Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
     in
@@ -93,7 +110,8 @@ let append path l =
         let n = Unix.write fd bytes 0 (Bytes.length bytes) in
         if n <> Bytes.length bytes then
           raise (Sys_error "short write to journal");
-        Unix.fsync fd)
+        Unix.fsync fd);
+    if created then fsync_dir (Filename.dirname path)
   with
   | () -> Ok ()
   | exception e -> Error (io_error path e)
@@ -146,10 +164,51 @@ let replay path =
 
 let reset path =
   match
+    let created = not (Sys.file_exists path) in
     let fd =
       Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC; Unix.O_CREAT ] 0o644
     in
-    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd);
+    if created then fsync_dir (Filename.dirname path)
   with
   | () -> Ok ()
   | exception e -> Error (io_error path e)
+
+(* Atomic rewrite keeping only lines above the compacted version:
+   write the survivors to a temp file, fsync it, rename over the
+   journal, fsync the directory — a crash at any instruction leaves
+   either the old journal or the new one, both replayable. The caller
+   must serialize against concurrent appends (the server holds the
+   db's write lock, [Live.Db.exclusively]) or a batch appended between
+   the read and the rename would be silently dropped. *)
+let truncate path ~upto =
+  match replay path with
+  | Error _ as e -> e
+  | Ok lines -> (
+      let keep = List.filter (fun l -> l.seq > upto) lines in
+      match
+        let tmp = path ^ ".tmp" in
+        let fd =
+          Unix.openfile tmp
+            [ Unix.O_WRONLY; Unix.O_TRUNC; Unix.O_CREAT ]
+            0o644
+        in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let buf = Buffer.create 256 in
+            List.iter
+              (fun l ->
+                Buffer.add_string buf (Json.to_string (line_to_json l));
+                Buffer.add_char buf '\n')
+              keep;
+            let bytes = Buffer.to_bytes buf in
+            let n = Unix.write fd bytes 0 (Bytes.length bytes) in
+            if n <> Bytes.length bytes then
+              raise (Sys_error "short write to journal");
+            Unix.fsync fd);
+        Unix.rename tmp path;
+        fsync_dir (Filename.dirname path)
+      with
+      | () -> Ok ()
+      | exception e -> Error (io_error path e))

@@ -24,7 +24,9 @@ type line = {
 }
 
 (** Append one line durably: single write of the rendered line plus
-    newline, then [fsync]. Creates the file if absent. *)
+    newline, then [fsync]; when the append creates the file, the
+    containing directory is fsynced too (power-loss durability).
+    Creates the file if absent. *)
 val append : string -> line -> (unit, Ac_runtime.Error.t) result
 
 (** Read every committed line in order. An absent file is an empty
@@ -32,6 +34,17 @@ val append : string -> line -> (unit, Ac_runtime.Error.t) result
     undecodable line is a [Parse] error. *)
 val replay : string -> (line list, Ac_runtime.Error.t) result
 
-(** Truncate (or create) the journal to empty — after a merge
-    compaction persists a fresh snapshot, the journal restarts. *)
+(** Truncate (or create) the journal to empty — when a freshly loaded
+    file starts a new snapshot lineage. *)
 val reset : string -> (unit, Ac_runtime.Error.t) result
+
+(** [truncate path ~upto] atomically drops every line with
+    [seq <= upto] — after a merge compaction persists a snapshot at
+    version [upto], the compacted prefix is dead weight, but any batch
+    appended concurrently (seq > [upto]) must survive. The caller must
+    serialize against appends (e.g. [Live.Db.exclusively]). *)
+val truncate : string -> upto:int -> (unit, Ac_runtime.Error.t) result
+
+(** Best-effort [fsync] of a directory — makes file creations/renames
+    inside it durable against power loss. Exposed for [Manifest]. *)
+val fsync_dir : string -> unit

@@ -334,7 +334,10 @@ module Db = struct
     in
     go ops
 
-  let apply_op t counts o =
+  (* Each state change pushes its exact inverse onto [undo] (most
+     recent first), so running the list front-to-back restores the
+     relations to their pre-batch live set. *)
+  let apply_op t counts undo o =
     let rel = op_rel o in
     let rl =
       match Hashtbl.find_opt t.relations rel with
@@ -344,17 +347,24 @@ module Db = struct
           | Insert { tuple; _ } ->
               let rl = Relation.create ~arity:(Array.length tuple) in
               Hashtbl.replace t.relations rel rl;
+              undo := (fun () -> Hashtbl.remove t.relations rel) :: !undo;
               Some rl
           | Delete _ -> None (* deleting from an absent relation: no-op *))
     in
     match (o, rl) with
     | _, None -> ()
     | Insert { tuple; _ }, Some rl ->
-        if Relation.insert rl tuple then counts := (fst !counts + 1, snd !counts)
+        if Relation.insert rl tuple then begin
+          counts := (fst !counts + 1, snd !counts);
+          undo := (fun () -> ignore (Relation.delete rl tuple)) :: !undo
+        end
     | Delete { tuple; _ }, Some rl ->
-        if Relation.delete rl tuple then counts := (fst !counts, snd !counts + 1)
+        if Relation.delete rl tuple then begin
+          counts := (fst !counts, snd !counts + 1);
+          undo := (fun () -> ignore (Relation.insert rl tuple)) :: !undo
+        end
 
-  let apply ?id t ops =
+  let apply ?id ?(journal = fun _ -> Ok ()) t ops =
     locked t (fun () ->
         match Option.bind id (Hashtbl.find_opt t.batches) with
         | Some prior -> Ok { prior with replayed = true }
@@ -363,7 +373,11 @@ module Db = struct
             | Error msg -> Error (Error.Parse { source = "mutation"; msg })
             | Ok () ->
                 let counts = ref (0, 0) in
-                List.iter (apply_op t counts) ops;
+                let undo = ref [] in
+                let prior_version = t.version
+                and prior_fingerprint = t.fingerprint
+                and prior_memo = t.snapshot_memo in
+                List.iter (apply_op t counts undo) ops;
                 t.version <- t.version + 1;
                 t.fingerprint <- roll_fingerprint t.fingerprint ops;
                 t.snapshot_memo <- None;
@@ -377,10 +391,33 @@ module Db = struct
                     replayed = false;
                   }
                 in
-                Option.iter
-                  (fun id -> Hashtbl.replace t.batches id result)
-                  id;
-                Ok result))
+                (* [journal] runs inside the critical section, after the
+                   state moved but before the idempotency record exists:
+                   because the mutex spans both, journal entries are
+                   written in version order, and a failed append rolls
+                   the whole batch back — the db is applied-and-durable
+                   or untouched, never applied-but-unjournaled (which
+                   would leave an unrecoverable gap in the fingerprint
+                   chain). *)
+                match journal result with
+                | Error e ->
+                    List.iter (fun f -> f ()) !undo;
+                    t.version <- prior_version;
+                    t.fingerprint <- prior_fingerprint;
+                    t.snapshot_memo <- prior_memo;
+                    Error e
+                | Ok () ->
+                    Option.iter
+                      (fun id -> Hashtbl.replace t.batches id result)
+                      id;
+                    Ok result))
+
+  let record_batch t ~id result =
+    locked t (fun () ->
+        if not (Hashtbl.mem t.batches id) then
+          Hashtbl.replace t.batches id result)
+
+  let exclusively t f = locked t f
 
   let symbols_unlocked t =
     Hashtbl.fold (fun name _ acc -> name :: acc) t.relations []

@@ -137,9 +137,42 @@ module Db : sig
       [id] is the batch idempotency key (the wire [batch_id]): a batch
       whose [id] was already applied returns the originally stored
       result with [replayed = true] and changes nothing — this is what
-      makes retried [LOAD_BATCH]es apply exactly once. *)
+      makes retried [LOAD_BATCH]es apply exactly once.
+
+      [journal] (default: always [Ok ()]) is the durability hook. It
+      runs {e inside} the db's critical section, after the batch has
+      mutated the state (so it sees the post-batch version/fingerprint)
+      but before the idempotency record is stored. Because the mutex
+      spans the mutation and the hook, concurrent batches journal in
+      version order. If the hook returns [Error], the batch is rolled
+      back completely — relations, version, fingerprint and the
+      idempotency table are as if the batch never happened — and the
+      hook's error is returned: a batch is applied-and-journaled or
+      neither. The hook must not call back into this database (the
+      mutex is not reentrant). *)
   val apply :
-    ?id:string -> t -> op list -> (applied, Ac_runtime.Error.t) result
+    ?id:string ->
+    ?journal:(applied -> (unit, Ac_runtime.Error.t) result) ->
+    t ->
+    op list ->
+    (applied, Ac_runtime.Error.t) result
+
+  (** [record_batch t ~id result] pre-registers an idempotency record
+      without applying anything: a later {!apply} with the same [id]
+      answers [{ result with replayed = true }]. No-op if [id] is
+      already registered. Recovery uses this for journal lines already
+      compacted into the loaded snapshot, so a client retry after a
+      crash is still answered as a replay (the original change counts
+      are not in the journal, so such replays report zero
+      inserted/deleted). *)
+  val record_batch : t -> id:string -> applied -> unit
+
+  (** [exclusively t f] runs [f] while holding the db's internal mutex,
+      serializing it against {!apply} (and its [journal] hook). The
+      server uses this to truncate the journal after a merge
+      compaction without racing a concurrent append. [f] must not call
+      back into this database. *)
+  val exclusively : t -> (unit -> 'a) -> 'a
 
   (** A sealed structure of the live views — what queries run against.
       Memoized per version; at the creation version it is the base

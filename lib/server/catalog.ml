@@ -145,15 +145,19 @@ let set_journal t name journal =
       | None -> ()
       | Some slot -> slot.journal <- journal)
 
-let compact_source t name ~path ~fingerprint =
+let compact_source t name ~path ~fingerprint ~version ~live_fingerprint =
   locked t (fun () ->
       match Hashtbl.find_opt t.table name with
       | None -> ()
       | Some slot ->
           slot.source <- Some path;
           slot.source_fingerprint <- Some fingerprint;
-          slot.snapshot_version <- Live.Db.version slot.live;
-          slot.snapshot_fingerprint <- Live.Db.fingerprint slot.live;
+          (* explicit, never re-read from the live db: the caller knows
+             which version the file at [path] actually captures — the
+             live db may have moved on (concurrent writers), and a
+             rollback repoints at a file capturing an older version *)
+          slot.snapshot_version <- version;
+          slot.snapshot_fingerprint <- live_fingerprint;
           (* the entry carries [source]; refresh on next lookup *)
           slot.cached <- None)
 

@@ -93,12 +93,23 @@ val journal_of : t -> string -> string option
 
 val set_journal : t -> string -> string option -> unit
 
-(** [compact_source t name ~path ~fingerprint] — a merge compaction
-    persisted a fresh snapshot of [name] at [path] (content fingerprint
-    [fingerprint]): pin the slot's snapshot version/fingerprint to the
-    db's current values so the next manifest write records them and the
-    journal can restart. *)
-val compact_source : t -> string -> path:string -> fingerprint:string -> unit
+(** [compact_source t name ~path ~fingerprint ~version ~live_fingerprint]
+    repoints the slot's persistence at the snapshot file [path]
+    (content fingerprint [fingerprint]) which captures the db at
+    [version] with rolling fingerprint [live_fingerprint] — the next
+    manifest write records exactly these. The version/fingerprint are
+    explicit rather than read from the live db: a concurrent writer may
+    have advanced the db past what the file captures, and a rollback
+    after a failed manifest sync repoints at the {e prior} file, which
+    captures the prior version. *)
+val compact_source :
+  t ->
+  string ->
+  path:string ->
+  fingerprint:string ->
+  version:int ->
+  live_fingerprint:string ->
+  unit
 
 (** All entries, sorted by name. *)
 val entries : t -> entry list

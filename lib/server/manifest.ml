@@ -100,9 +100,11 @@ let of_json j =
 
 (* ---------- atomic persistence ---------- *)
 
-(* Write-to-temp + rename: the manifest at [path] is always either the
-   previous complete snapshot or the new complete snapshot, never a
-   torn write — a crash at any instruction leaves a loadable file. *)
+(* Write-to-temp + fsync + rename + directory fsync: the manifest at
+   [path] is always either the previous complete snapshot or the new
+   complete snapshot, never a torn write — a crash (or power loss: the
+   temp file is fsynced before the rename and the directory after it)
+   at any instruction leaves a loadable file. *)
 let write ~path entries =
   let tmp = path ^ ".tmp" in
   let run () =
@@ -110,13 +112,15 @@ let write ~path entries =
     (match
        output_string oc (Json.to_string_pretty (to_json entries));
        output_char oc '\n';
-       flush oc
+       flush oc;
+       Unix.fsync (Unix.descr_of_out_channel oc)
      with
     | () -> close_out oc
     | exception e ->
         close_out_noerr oc;
         raise e);
-    Unix.rename tmp path
+    Unix.rename tmp path;
+    Journal.fsync_dir (Filename.dirname path)
   in
   match run () with
   | () -> Ok ()
@@ -156,20 +160,51 @@ let read ~path =
 (* ---------- recovery ---------- *)
 
 (* Replay the delta journal on top of a freshly loaded snapshot. Lines
-   at or below the snapshot's version are skipped — a crash between the
-   post-merge manifest rewrite and the journal truncate leaves already-
-   compacted batches in the journal, and skipping them is exactly
-   idempotent replay. Every applied line must land on the fingerprint
+   at or below the snapshot's version are already contained in the
+   snapshot — a crash between the post-merge manifest rewrite and the
+   journal truncate leaves already-compacted batches in the journal —
+   so they are not re-applied, but their idempotency keys are
+   registered so a client retry after the crash is still answered as a
+   replay (change counts are not in the journal, so such a replay
+   reports zero inserted/deleted). Applied lines must be gap-free from
+   the snapshot's version on — appends happen under the db mutex in
+   version order, so a missing sequence number means an acknowledged
+   batch is gone — and every applied line must land on the fingerprint
    it recorded; a diverging chain means the journal does not belong to
    this snapshot, and serving it would silently change estimates. *)
 let replay_journal ~journal_path live entry =
   match Journal.replay journal_path with
   | Result.Error e -> Result.Error e
   | Ok lines ->
-      let rec go = function
+      let rec go expected = function
         | [] -> Ok ()
         | (l : Journal.line) :: rest ->
-            if l.Journal.seq <= entry.db_version then go rest
+            if l.Journal.seq <= entry.db_version then begin
+              (match l.Journal.id with
+              | Some id ->
+                  Live.Db.record_batch live ~id
+                    {
+                      Live.Db.version = l.Journal.seq;
+                      fingerprint = l.Journal.fingerprint;
+                      inserted = 0;
+                      deleted = 0;
+                      replayed = false;
+                    }
+              | None -> ());
+              go expected rest
+            end
+            else if l.Journal.seq <> expected then
+              Result.Error
+                (Error.Io
+                   {
+                     file = journal_path;
+                     msg =
+                       Printf.sprintf
+                         "journal gap replaying %s: expected batch %d, found \
+                          %d — acknowledged batches are missing from the \
+                          journal"
+                         entry.name expected l.Journal.seq;
+                   })
             else (
               match Live.Db.apply ?id:l.Journal.id live l.Journal.ops with
               | Result.Error e -> Result.Error e
@@ -189,10 +224,10 @@ let replay_journal ~journal_path live entry =
                          })
                   else begin
                     Metrics.incr (Lazy.force m_replayed_batches);
-                    go rest
+                    go (expected + 1) rest
                   end)
       in
-      go lines
+      go (entry.db_version + 1) lines
 
 let recover ~path catalog =
   match read ~path with

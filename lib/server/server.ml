@@ -68,6 +68,9 @@ type t = {
   stop_w : Unix.file_descr;
   conns_mutex : Mutex.t;
   mutable conns : (Unix.file_descr * Thread.t) list;
+  (* serializes merge persistence (snapshot save → catalog repoint →
+     manifest sync → journal truncate) across connection threads *)
+  merge_mutex : Mutex.t;
 }
 
 let create ?(config = default_config) () =
@@ -103,6 +106,7 @@ let create ?(config = default_config) () =
     stop_w;
     conns_mutex = Mutex.create ();
     conns = [];
+    merge_mutex = Mutex.create ();
   }
 
 let catalog t = t.catalog
@@ -125,28 +129,38 @@ let journal_path t ~name =
   Option.map (fun m -> Printf.sprintf "%s.%s.journal" m name) t.config.manifest
 
 let load_db t ~name ~path =
-  match Catalog.load t.catalog ~name ~path with
-  | Error e -> Error e
-  | Ok entry -> (
-      (* a fresh load starts a fresh journal: a leftover journal from a
-         previous life belongs to a different snapshot lineage and must
-         not replay on top of this one *)
-      let journal_ok =
-        match journal_path t ~name with
-        | None -> Ok ()
-        | Some jpath -> (
-            match Journal.reset jpath with
-            | Ok () ->
-                Catalog.set_journal t.catalog name (Some jpath);
-                Ok ()
-            | Error e -> Error e)
-      in
-      match journal_ok with
+  match Catalog.find t.catalog name with
+  | Some entry when Atomic.get t.recovered ->
+      (* this name was just replayed from the manifest: its journal
+         holds acknowledged batches, and a fresh load would reset that
+         journal and rewrite the manifest at version 0 — a routine
+         restart that passes the same --load as the first boot must not
+         silently discard acknowledged mutations. A genuinely fresh
+         load needs the manifest (and journal) removed first. *)
+      Ok entry
+  | _ -> (
+      match Catalog.load t.catalog ~name ~path with
       | Error e -> Error e
-      | Ok () -> (
-          match sync_manifest t with
-          | Ok () -> Ok entry
-          | Error e -> Error e))
+      | Ok entry -> (
+          (* a fresh load starts a fresh journal: a leftover journal
+             from a previous life belongs to a different snapshot
+             lineage and must not replay on top of this one *)
+          let journal_ok =
+            match journal_path t ~name with
+            | None -> Ok ()
+            | Some jpath -> (
+                match Journal.reset jpath with
+                | Ok () ->
+                    Catalog.set_journal t.catalog name (Some jpath);
+                    Ok ()
+                | Error e -> Error e)
+          in
+          match journal_ok with
+          | Error e -> Error e
+          | Ok () -> (
+              match sync_manifest t with
+              | Ok () -> Ok entry
+              | Error e -> Error e)))
 
 let recover t =
   match t.config.manifest with
@@ -479,59 +493,81 @@ let live_ops_of_request = function
    if any step fails, the mutation has already been journaled and
    acknowledged, so the delta simply stays resident and the next batch
    retries. *)
+let persist_merge t ~name live budget manifest =
+  let persisted =
+    List.find_opt
+      (fun (p : Catalog.persistence) -> p.Catalog.p_name = name)
+      (Catalog.persistence t.catalog)
+  in
+  match persisted with
+  | None -> () (* in-memory db: nothing to persist *)
+  | Some prior -> (
+      (* one consistent (version, fingerprint, snapshot) triple: a
+         concurrent writer may advance the db between any two steps
+         here, so everything below persists exactly this version, and
+         the journal truncate keeps any batch past it *)
+      match Live.Db.current ~budget live with
+      | exception Budget.Budget_exceeded _ -> ()
+      | version, live_fingerprint, snap -> (
+          let path =
+            Printf.sprintf "%s.%s.v%d.snapshot" manifest name version
+          in
+          match Structure_io.save path snap with
+          | exception _ -> ()
+          | () ->
+              let fingerprint = Ac_relational.Structure.fingerprint snap in
+              Catalog.compact_source t.catalog name ~path ~fingerprint
+                ~version ~live_fingerprint;
+              (match sync_manifest t with
+              | Error _ ->
+                  (* roll the slot back to the prior snapshot so catalog
+                     state matches the manifest on disk — at the prior
+                     file's own version/fingerprint, not the live db's
+                     current ones, which the old file does not capture *)
+                  Catalog.compact_source t.catalog name
+                    ~path:prior.Catalog.p_path
+                    ~fingerprint:prior.Catalog.p_fingerprint
+                    ~version:prior.Catalog.p_version
+                    ~live_fingerprint:prior.Catalog.p_live_fingerprint
+              | Ok () ->
+                  (match Catalog.journal_of t.catalog name with
+                  | Some jpath ->
+                      (* under the db's write lock: an append between
+                         the truncate's read and its rename would be
+                         lost *)
+                      ignore
+                        (Live.Db.exclusively live (fun () ->
+                             Journal.truncate jpath ~upto:version))
+                  | None -> ());
+                  (* drop the superseded generated snapshot (never a
+                     user-supplied source file) *)
+                  if
+                    prior.Catalog.p_path <> path
+                    && String.starts_with ~prefix:(manifest ^ ".")
+                         prior.Catalog.p_path
+                  then
+                    try Unix.unlink prior.Catalog.p_path
+                    with Unix.Unix_error _ -> ())))
+
 let maybe_merge t ~name live budget =
   if
     Live.Db.needs_merge ~threshold:t.config.merge_threshold
       ~ratio:t.config.merge_ratio live
   then begin
-    match Live.Db.merge ~budget live with
-    | exception Budget.Budget_exceeded _ -> ()
-    | _compacted -> (
-        match t.config.manifest with
-        | None -> ()
-        | Some manifest ->
-            let persisted =
-              List.find_opt
-                (fun (p : Catalog.persistence) -> p.Catalog.p_name = name)
-                (Catalog.persistence t.catalog)
-            in
-            (match persisted with
-            | None -> () (* in-memory db: nothing to persist *)
-            | Some prior -> (
-                let path =
-                  Printf.sprintf "%s.%s.v%d.snapshot" manifest name
-                    (Live.Db.version live)
-                in
-                match
-                  Structure_io.save path (Live.Db.snapshot ~budget live)
-                with
-                | exception _ -> ()
-                | () ->
-                    let fingerprint =
-                      Ac_relational.Structure.fingerprint
-                        (Live.Db.snapshot ~budget live)
-                    in
-                    Catalog.compact_source t.catalog name ~path ~fingerprint;
-                    (match sync_manifest t with
-                    | Error _ ->
-                        (* roll the slot back to the prior snapshot so
-                           catalog state matches the manifest on disk *)
-                        Catalog.compact_source t.catalog name
-                          ~path:prior.Catalog.p_path
-                          ~fingerprint:prior.Catalog.p_fingerprint
-                    | Ok () ->
-                        (match Catalog.journal_of t.catalog name with
-                        | Some jpath -> ignore (Journal.reset jpath)
-                        | None -> ());
-                        (* drop the superseded generated snapshot (never
-                           a user-supplied source file) *)
-                        if
-                          prior.Catalog.p_path <> path
-                          && String.starts_with ~prefix:(manifest ^ ".")
-                               prior.Catalog.p_path
-                        then
-                          try Unix.unlink prior.Catalog.p_path
-                          with Unix.Unix_error _ -> ()))))
+    (* try_lock, not lock: a merge is an optimization — if another
+       thread is mid-persistence, interleaving a second merge's steps
+       could pair a manifest version with the wrong snapshot file, so
+       the loser just leaves its delta for the next batch *)
+    if Mutex.try_lock t.merge_mutex then
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.merge_mutex)
+        (fun () ->
+          match Live.Db.merge ~budget live with
+          | exception Budget.Budget_exceeded _ -> ()
+          | _compacted -> (
+              match t.config.manifest with
+              | None -> ()
+              | Some manifest -> persist_merge t ~name live budget manifest))
   end
 
 let run_mutation t session req =
@@ -577,9 +613,43 @@ let run_mutation t session req =
                { file = name; msg = "unknown database (not in the catalog)" })
       | Some live -> (
           let ops = live_ops_of_request req in
+          (* resolved before apply: the journal hook below runs under
+             the db mutex and must not take the catalog mutex there
+             (catalog lookups take catalog-then-db, so the reverse
+             order could deadlock) *)
+          let jpath = Catalog.journal_of t.catalog name in
+          (* the journal append runs {e inside} the apply critical
+             section (Live.Db.apply ~journal) and {e before} the reply:
+             batches journal in version order (two concurrent batches
+             can never journal as v2,v1 — recovery replays in file
+             order), a failed append rolls the whole batch back instead
+             of leaving an applied-but-unjournaled gap in the
+             fingerprint chain, and once the client hears success a
+             crash cannot lose the batch. An unacknowledged batch that
+             made it to the journal is fine — the client retries with
+             the same batch_id and gets the replayed result
+             (exactly-once across crashes). *)
+          let journal applied =
+            match jpath with
+            | None -> Ok ()
+            | Some jpath -> (
+                let line =
+                  {
+                    Journal.seq = applied.Live.Db.version;
+                    id = batch_id;
+                    fingerprint = applied.Live.Db.fingerprint;
+                    ops;
+                  }
+                in
+                match Journal.append jpath line with
+                | Ok () ->
+                    Metrics.incr (Lazy.force m_live_journal_appends);
+                    Ok ()
+                | Error e -> Error e)
+          in
           let result =
             Scheduler.submit t.scheduler ~label:verb (fun slice ->
-                match Live.Db.apply ?id:batch_id live ops with
+                match Live.Db.apply ?id:batch_id ~journal live ops with
                 | Error e -> Error e
                 | Ok applied ->
                     Metrics.incr (Lazy.force m_live_batches);
@@ -596,36 +666,8 @@ let run_mutation t session req =
                                | Live.Db.Insert _ -> "insert"
                                | Live.Db.Delete _ -> "delete")))
                         ops;
-                      (* the journal append happens {e before} the reply:
-                         once the client hears success, a crash must not
-                         lose the batch. An unacknowledged batch that
-                         made it to the journal is fine — the client
-                         retries with the same batch_id and gets the
-                         replayed result (exactly-once across crashes). *)
-                      let journal_r =
-                        match Catalog.journal_of t.catalog name with
-                        | None -> Ok ()
-                        | Some jpath -> (
-                            let line =
-                              {
-                                Journal.seq = applied.Live.Db.version;
-                                id = batch_id;
-                                fingerprint = applied.Live.Db.fingerprint;
-                                ops;
-                              }
-                            in
-                            match Journal.append jpath line with
-                            | Ok () ->
-                                Metrics.incr
-                                  (Lazy.force m_live_journal_appends);
-                                Ok ()
-                            | Error e -> Error e)
-                      in
-                      match journal_r with
-                      | Error e -> Error e
-                      | Ok () ->
-                          maybe_merge t ~name live slice;
-                          Ok applied
+                      maybe_merge t ~name live slice;
+                      Ok applied
                     end)
           in
           match result with

@@ -58,7 +58,14 @@ val recovered : t -> bool
     finds a complete manifest on restart. When a manifest is
     configured the entry also gets a delta journal at
     [<manifest>.<name>.journal], reset here: mutation batches append to
-    it and recovery replays it on top of the snapshot. *)
+    it and recovery replays it on top of the snapshot.
+
+    If [name] was already replayed by {!recover} this boot, the
+    recovered entry is kept and the load is skipped: the journal holds
+    acknowledged batches, and resetting it on a routine restart that
+    passes the same [--load] as the first boot would silently discard
+    them. A genuinely fresh load needs the manifest (and journal)
+    removed first. *)
 val load_db :
   t -> name:string -> path:string -> (Catalog.entry, Ac_runtime.Error.t) result
 

@@ -19,6 +19,8 @@ module Client = Ac_server.Client
 module Inflight = Ac_server.Inflight
 module Manifest = Ac_server.Manifest
 module Chaos_proxy = Ac_server.Chaos_proxy
+module Live = Ac_live.Live
+module Journal = Ac_live.Journal
 
 (* the proxy and client run in this process: a peer hanging up
    mid-write must fail the write, not kill the test binary *)
@@ -412,6 +414,133 @@ let recovery_scenario ~mutate () =
 let test_recovery_bit_identical () = recovery_scenario ~mutate:false ()
 let test_recovery_bit_identical_mutated () = recovery_scenario ~mutate:true ()
 
+(* The crash window between a merge's manifest rewrite and its journal
+   truncate: the journal still holds lines the fresh snapshot already
+   contains. Recovery must not re-apply them, but it must keep their
+   idempotency keys live — a client retrying a compacted batch after
+   the crash is answered as a replay, not re-applied with a version
+   bump. And a journal whose applied lines skip a sequence number means
+   an acknowledged batch is gone: recovery must refuse, not silently
+   serve a diverged database. *)
+let test_recovery_compaction_window () =
+  let db_file = tmp_path ".db" in
+  let manifest = tmp_path ".manifest" in
+  let snap_file = tmp_path ".snapshot" in
+  let journal = manifest ^ ".gg.journal" in
+  Structure_io.save db_file (db ());
+  let config = { Server.default_config with manifest = Some manifest } in
+  (* first life: load, apply one batch (journal line seq 1) *)
+  let server1 = Server.create ~config () in
+  (match Server.load_db server1 ~name:"gg" ~path:db_file with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "load_db failed: %s" (Error.message e));
+  let client1 = connect_raw server1 in
+  let v1, f1 =
+    Fun.protect
+      ~finally:(fun () -> disconnect_raw client1)
+      (fun () ->
+        match
+          call_raw client1
+            (Wire.Insert
+               {
+                 db = Wire.Named "gg";
+                 rel = "E";
+                 tuples = [ [| 3; 3 |] ];
+                 batch_id = Some "cw-b1";
+               })
+        with
+        | Wire.Mutated { db_version; fingerprint; _ } -> (db_version, fingerprint)
+        | _ -> Alcotest.fail "expected a MUTATE response")
+  in
+  (* fabricate the crash residue: a snapshot capturing version v1 and a
+     manifest pointing at it, with the compacted line still in the
+     journal (the crash hit before the truncate) *)
+  let live = Option.get (Catalog.live_find (Server.catalog server1) "gg") in
+  let snap = Live.Db.snapshot live in
+  Structure_io.save snap_file snap;
+  (match
+     Manifest.write ~path:manifest
+       [
+         {
+           Manifest.name = "gg";
+           path = snap_file;
+           fingerprint = Structure.fingerprint snap;
+           db_version = v1;
+           live_fingerprint = f1;
+           journal = Some journal;
+         };
+       ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "manifest write failed: %s" (Error.message e));
+  (* second life: the compacted line is skipped, its id kept live *)
+  let server2 = Server.create ~config () in
+  (match Server.recover server2 with
+  | Ok [ "gg" ] -> ()
+  | Ok names ->
+      Alcotest.failf "recovered %d entries, wanted [gg]" (List.length names)
+  | Error e -> Alcotest.failf "recover failed: %s" (Error.message e));
+  let e2 = Option.get (Catalog.find (Server.catalog server2) "gg") in
+  Alcotest.(check int) "recovered at the compacted version" v1
+    e2.Catalog.version;
+  Alcotest.(check string) "recovered at the compacted fingerprint" f1
+    e2.Catalog.fingerprint;
+  let client2 = connect_raw server2 in
+  Fun.protect
+    ~finally:(fun () -> disconnect_raw client2)
+    (fun () ->
+      match
+        call_raw client2
+          (Wire.Insert
+             {
+               db = Wire.Named "gg";
+               rel = "E";
+               tuples = [ [| 3; 3 |] ];
+               batch_id = Some "cw-b1";
+             })
+      with
+      | Wire.Mutated { replayed; db_version; fingerprint; _ } ->
+          Alcotest.(check bool) "compacted batch id replays, not re-applies"
+            true replayed;
+          Alcotest.(check int) "replay at the journaled version" v1 db_version;
+          Alcotest.(check string) "replay at the journaled fingerprint" f1
+            fingerprint
+      | _ -> Alcotest.fail "expected a MUTATE response");
+  (* a restart that passes the same --load as the first boot must keep
+     the recovered state — a fresh load here would reset the journal
+     and silently discard the acknowledged batch *)
+  (match Server.load_db server2 ~name:"gg" ~path:db_file with
+  | Ok entry ->
+      Alcotest.(check int) "re-load of a recovered name is a no-op" v1
+        entry.Catalog.version
+  | Error e -> Alcotest.failf "re-load refused: %s" (Error.message e));
+  (match Journal.replay journal with
+  | Ok lines ->
+      Alcotest.(check bool) "…and the journal survives" true (lines <> [])
+  | Error e -> Alcotest.failf "journal unreadable: %s" (Error.message e));
+  (* a gap in the applied sequence (v1+2 without v1+1) refuses recovery *)
+  (match
+     Journal.append journal
+       { Journal.seq = v1 + 2; id = None; fingerprint = "zz"; ops = [] }
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "journal append failed: %s" (Error.message e));
+  let server3 = Server.create ~config () in
+  (match Server.recover server3 with
+  | Error (Error.Io { msg; _ }) ->
+      let has sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "refusal names the journal gap" true
+        (has "journal gap" msg)
+  | Ok _ -> Alcotest.fail "a journal gap went unnoticed"
+  | Error e -> Alcotest.failf "wrong error class: %s" (Error.class_name e));
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    [ db_file; manifest; snap_file; journal ]
+
 (* ---------- stale sockets ---------- *)
 
 let test_stale_socket () =
@@ -680,6 +809,8 @@ let tests =
       test_recovery_bit_identical;
     Alcotest.test_case "recovery: journal replayed for a mutated catalog"
       `Slow test_recovery_bit_identical_mutated;
+    Alcotest.test_case "recovery: compaction crash window, journal gaps"
+      `Slow test_recovery_compaction_window;
     Alcotest.test_case "socket: stale refused, --force, live protected" `Quick
       test_stale_socket;
     Alcotest.test_case "chaos: drop — retried, computed once" `Slow

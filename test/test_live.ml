@@ -360,6 +360,126 @@ let test_journal_torn_tail_and_corruption () =
       | Error e -> Alcotest.failf "wrong class: %s" (Error.class_name e)
       | Ok _ -> Alcotest.fail "mid-file corruption must refuse")
 
+let test_journal_truncate () =
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let line seq =
+        {
+          Journal.seq;
+          id = Some (Printf.sprintf "b%d" seq);
+          fingerprint = Printf.sprintf "f%d" seq;
+          ops = [ Live.Db.Insert { rel = "E"; tuple = [| seq; seq |] } ];
+        }
+      in
+      List.iter
+        (fun l -> Result.get_ok (Journal.append path l))
+        [ line 1; line 2; line 3 ];
+      (* a merge compacted versions <= 2: their lines are dead weight,
+         but a batch journaled past the compacted version must survive *)
+      Result.get_ok (Journal.truncate path ~upto:2);
+      (match Journal.replay path with
+      | Ok [ l ] ->
+          Alcotest.(check int) "the un-compacted line survives" 3 l.Journal.seq
+      | Ok lines ->
+          Alcotest.failf "kept %d lines, wanted exactly seq 3"
+            (List.length lines)
+      | Error e -> Alcotest.failf "replay failed: %s" (Error.message e));
+      Result.get_ok (Journal.truncate path ~upto:3);
+      Alcotest.(check bool) "truncating past the last line empties" true
+        (Journal.replay path = Ok []))
+
+(* ---------- apply/journal atomicity ---------- *)
+
+(* A failed journal hook must roll the whole batch back — relations
+   (including a freshly declared one), version, fingerprint, and the
+   idempotency table. An applied-but-unjournaled batch would leave a
+   gap in the fingerprint chain that every later recovery trips
+   over. *)
+let test_apply_journal_rollback () =
+  let s = Structure.create ~universe_size:8 in
+  Structure.declare s "E" ~arity:2;
+  Structure.add_fact s "E" [| 0; 1 |];
+  Structure.add_fact s "E" [| 1; 2 |];
+  let base = Structure.seal s in
+  let live = Live.Db.of_structure base in
+  let v0 = Live.Db.version live and f0 = Live.Db.fingerprint live in
+  let ops =
+    [
+      Live.Db.Insert { rel = "E"; tuple = [| 3; 4 |] };
+      Live.Db.Delete { rel = "E"; tuple = [| 0; 1 |] };
+      Live.Db.Insert { rel = "N"; tuple = [| 1; 2; 3 |] };
+    ]
+  in
+  let seen = ref None in
+  (match
+     Live.Db.apply ~id:"atomic-1"
+       ~journal:(fun applied ->
+         seen := Some applied;
+         Error (Error.Io { file = "journal"; msg = "disk full" }))
+       live ops
+   with
+  | Error (Error.Io { msg; _ }) ->
+      Alcotest.(check string) "the hook's error surfaces" "disk full" msg
+  | Error e -> Alcotest.failf "wrong error class: %s" (Error.class_name e)
+  | Ok _ -> Alcotest.fail "a failed journal hook must refuse the batch");
+  (* the hook ran inside the critical section, seeing the post-batch
+     version/fingerprint… *)
+  (match !seen with
+  | Some applied ->
+      Alcotest.(check int) "hook saw the post-batch version" (v0 + 1)
+        applied.Live.Db.version
+  | None -> Alcotest.fail "journal hook never ran");
+  (* …but the failure rolled everything back *)
+  Alcotest.(check int) "version rolled back" v0 (Live.Db.version live);
+  Alcotest.(check string) "fingerprint rolled back" f0
+    (Live.Db.fingerprint live);
+  Alcotest.(check int) "delta rolled back" 0 (Live.Db.delta_rows live);
+  Alcotest.(check (list string)) "declared relation rolled back" [ "E" ]
+    (Live.Db.symbols live);
+  Alcotest.(check string) "snapshot is the untouched base"
+    (Structure.fingerprint base)
+    (Structure.fingerprint (Live.Db.snapshot live));
+  (* the batch id was NOT registered: a retry applies for real instead
+     of being answered replayed=true for a batch that never journaled *)
+  match Live.Db.apply ~id:"atomic-1" live ops with
+  | Ok applied ->
+      Alcotest.(check bool) "retry applies fresh, not as a replay" false
+        applied.Live.Db.replayed;
+      Alcotest.(check int) "retry lands at the next version" (v0 + 1)
+        applied.Live.Db.version
+  | Error e -> Alcotest.failf "retry refused: %s" (Error.message e)
+
+let test_record_batch_replays () =
+  let live = Live.Db.of_structure (rebuild ~universe_size:4 (Hashtbl.create 1)) in
+  let recorded =
+    {
+      Live.Db.version = 5;
+      fingerprint = "ff";
+      inserted = 0;
+      deleted = 0;
+      replayed = false;
+    }
+  in
+  Live.Db.record_batch live ~id:"compacted-1" recorded;
+  (* registering again must not overwrite the first record *)
+  Live.Db.record_batch live ~id:"compacted-1"
+    { recorded with Live.Db.version = 9 };
+  (match
+     Live.Db.apply ~id:"compacted-1" live
+       [ Live.Db.Insert { rel = "E"; tuple = [| 1; 1 |] } ]
+   with
+  | Ok applied ->
+      Alcotest.(check bool) "pre-registered id replays" true
+        applied.Live.Db.replayed;
+      Alcotest.(check int) "…at the recorded version" 5
+        applied.Live.Db.version;
+      Alcotest.(check string) "…and fingerprint" "ff"
+        applied.Live.Db.fingerprint
+  | Error e -> Alcotest.failf "apply refused: %s" (Error.message e));
+  Alcotest.(check int) "nothing was applied" 0 (Live.Db.version live)
+
 (* ---------- catalog statistics after mutation (satellite 1) ---------- *)
 
 let test_catalog_stats_track_mutation () =
@@ -755,6 +875,12 @@ let tests =
       test_journal_roundtrip;
     Alcotest.test_case "journal: torn tail vs corruption" `Quick
       test_journal_torn_tail_and_corruption;
+    Alcotest.test_case "journal: truncate keeps post-merge batches" `Quick
+      test_journal_truncate;
+    Alcotest.test_case "apply: failed journal hook rolls back" `Quick
+      test_apply_journal_rollback;
+    Alcotest.test_case "record_batch: compacted ids replay" `Quick
+      test_record_batch_replays;
     Alcotest.test_case "catalog: stats follow mutation" `Quick
       test_catalog_stats_track_mutation;
     Alcotest.test_case "cache: version-precise invalidation" `Slow
