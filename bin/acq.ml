@@ -33,6 +33,7 @@ module Planner = Approxcount.Planner
 module Api = Approxcount.Api
 module Wire = Ac_server.Wire
 module Client = Ac_server.Client
+module Retry_policy = Ac_server.Retry_policy
 module Trace = Ac_obs.Trace
 
 let exit_degraded = 3
@@ -271,23 +272,30 @@ let deadline_term =
   in
   Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
 
-(* Remote requests go through the durable client: reconnects and
-   retries are safe exactly when the request is idempotent, which the
-   client enforces. *)
-let with_durable addr ~retries ~deadline_ms f =
+let tenant_term =
+  let doc =
+    "With --connect: accounting identity carried on the wire; the daemon \
+     bounds each tenant's in-flight requests under --tenant-quota \
+     (excess is refused with the typed `overloaded' status)."
+  in
+  Arg.(value & opt (some string) None & info [ "tenant" ] ~docv:"NAME" ~doc)
+
+(* Remote requests go through the one client surface under a retrying
+   policy: reconnects and retries are safe exactly when the request is
+   idempotent, which the client enforces. [--retries 0] degenerates to
+   the plain single-attempt client. *)
+let with_retrying addr ~retries ~deadline_ms f =
   match Client.address_of_string addr with
   | Error msg -> report (Error.Io { file = addr; msg })
   | Ok address ->
-      let config =
-        {
-          Client.Durable.default_config with
-          Client.Durable.retries = max 0 retries;
-          deadline_ms;
-        }
+      let policy =
+        if retries <= 0 then { Retry_policy.none with deadline_ms }
+        else
+          { Retry_policy.default with attempts = retries + 1; deadline_ms }
       in
-      let client = Client.Durable.create ~config address in
+      let client = Client.create ~policy address in
       Fun.protect
-        ~finally:(fun () -> Client.Durable.close client)
+        ~finally:(fun () -> Client.close client)
         (fun () -> f client)
 
 let report_refused ~error_class ~message code =
@@ -304,7 +312,7 @@ let print_remote_telemetry ~verbose (o : Wire.outcome) =
       o.Wire.result_cache o.Wire.seed
 
 let remote_count client ~verbose ~hex ?trace_file params =
-  match Client.Durable.call client (Wire.Count params) with
+  match Client.call client (Wire.Count params) with
   | Error e -> report e
   | Ok (Wire.Refused { code; error_class; message }) ->
       report_refused ~error_class ~message code
@@ -341,7 +349,7 @@ let remote_count client ~verbose ~hex ?trace_file params =
   | Ok _ -> report (Error.Internal "unexpected response to COUNT")
 
 let remote_sample client ~verbose params ~draws =
-  match Client.Durable.call client (Wire.Sample { params; draws }) with
+  match Client.call client (Wire.Sample { params; draws }) with
   | Error e -> report e
   | Ok (Wire.Refused { code; error_class; message }) ->
       report_refused ~error_class ~message code
@@ -384,8 +392,16 @@ let count_cmd =
         let budget = make_budget ~timeout_ms ~max_heap_mb in
         let tracer = Option.map (fun _ -> Trace.create ()) trace_file in
         let r =
-          Api.request ~eps ~delta ~method_ ?seed ?jobs ?budget ~strict ~verbose
-            ?trace:tracer query db
+          Api.Request.make query db
+          |> Api.Request.with_eps eps
+          |> Api.Request.with_delta delta
+          |> Api.Request.with_method method_
+          |> Api.Request.with_seed seed
+          |> Api.Request.with_jobs jobs
+          |> Api.Request.with_budget budget
+          |> Api.Request.with_strict strict
+          |> Api.Request.with_verbose verbose
+          |> Api.Request.with_trace tracer
         in
         let outcome = Api.run r in
         (* the trace is written even when the run failed — the spans up
@@ -441,8 +457,8 @@ let count_cmd =
             end)
   in
   let run query_text db_path connect use_name method_ engine eps delta seed
-      jobs timeout_ms deadline_ms retries max_heap_mb max_db_mb strict verbose
-      hex trace_file trace_fmt =
+      jobs timeout_ms deadline_ms retries tenant max_heap_mb max_db_mb strict
+      verbose hex trace_file trace_fmt =
     let method_ = resolve_engine method_ engine in
     let jobs = if jobs <= 0 then None else Some jobs in
     match connect with
@@ -452,10 +468,10 @@ let count_cmd =
         | Ok db ->
             let params =
               Wire.params ~eps ~delta ~method_ ?seed ?jobs ?timeout_ms
-                ?deadline_ms ?max_heap_mb ~strict ~trace:(trace_file <> None)
-                ~db query_text
+                ?deadline_ms ?max_heap_mb ?tenant ~strict
+                ~trace:(trace_file <> None) ~db query_text
             in
-            with_durable addr ~retries ~deadline_ms (fun client ->
+            with_retrying addr ~retries ~deadline_ms (fun client ->
                 remote_count client ~verbose ~hex ?trace_file params))
     | None -> (
         match require_db db_path with
@@ -470,9 +486,9 @@ let count_cmd =
     Term.(
       const run $ query_term $ db_remotable_term $ connect_term $ use_term
       $ method_term $ engine_term $ epsilon_term $ delta_term $ seed_term
-      $ jobs_term $ timeout_term $ deadline_term $ retries_term $ max_heap_term
-      $ max_db_term $ strict_term $ verbose_term $ hex_term $ trace_term
-      $ trace_format_term)
+      $ jobs_term $ timeout_term $ deadline_term $ retries_term $ tenant_term
+      $ max_heap_term $ max_db_term $ strict_term $ verbose_term $ hex_term
+      $ trace_term $ trace_format_term)
 
 let sample_cmd =
   let draws_term =
@@ -483,8 +499,14 @@ let sample_cmd =
     with_input ?max_db_mb query_text db_path (fun query db ->
         let budget = make_budget ~timeout_ms ~max_heap_mb in
         let r =
-          Api.request ~eps ~delta ~method_:(Api.Fptras engine) ?seed ?jobs
-            ?budget ~verbose query db
+          Api.Request.make query db
+          |> Api.Request.with_eps eps
+          |> Api.Request.with_delta delta
+          |> Api.Request.with_method (Api.Fptras engine)
+          |> Api.Request.with_seed seed
+          |> Api.Request.with_jobs jobs
+          |> Api.Request.with_budget budget
+          |> Api.Request.with_verbose verbose
         in
         match Api.sample ~draws r with
         | Error e -> report e
@@ -511,7 +533,7 @@ let sample_cmd =
             else 0)
   in
   let run query_text db_path connect use_name engine eps delta seed jobs draws
-      timeout_ms deadline_ms retries max_heap_mb max_db_mb verbose =
+      timeout_ms deadline_ms retries tenant max_heap_mb max_db_mb verbose =
     let jobs = if jobs <= 0 then None else Some jobs in
     match connect with
     | Some addr -> (
@@ -520,9 +542,9 @@ let sample_cmd =
         | Ok db ->
             let params =
               Wire.params ~eps ~delta ~method_:(Api.Fptras engine) ?seed ?jobs
-                ?timeout_ms ?deadline_ms ?max_heap_mb ~db query_text
+                ?timeout_ms ?deadline_ms ?max_heap_mb ?tenant ~db query_text
             in
-            with_durable addr ~retries ~deadline_ms (fun client ->
+            with_retrying addr ~retries ~deadline_ms (fun client ->
                 remote_sample client ~verbose params ~draws))
     | None -> (
         match require_db db_path with
@@ -536,8 +558,8 @@ let sample_cmd =
     Term.(
       const run $ query_term $ db_remotable_term $ connect_term $ use_term
       $ engine_term $ epsilon_term $ delta_term $ seed_term $ jobs_term
-      $ draws_term $ timeout_term $ deadline_term $ retries_term $ max_heap_term
-      $ max_db_term $ verbose_term)
+      $ draws_term $ timeout_term $ deadline_term $ retries_term $ tenant_term
+      $ max_heap_term $ max_db_term $ verbose_term)
 
 let widths_cmd =
   let run query_text =
@@ -931,8 +953,8 @@ let print_mutated ~name ~db_version ~fingerprint ~inserted ~deleted ~replayed =
    idempotent on the wire, so reconnect + resend is safe and the
    daemon's dedupe table turns a double delivery into a replay. *)
 let run_mutation addr ~retries ~deadline_ms ~verb req =
-  with_durable addr ~retries ~deadline_ms (fun client ->
-      match Client.Durable.call client req with
+  with_retrying addr ~retries ~deadline_ms (fun client ->
+      match Client.call client req with
       | Error e -> report e
       | Ok
           (Wire.Mutated

@@ -11,6 +11,9 @@
 open Cmdliner
 module Server = Ac_server.Server
 module Catalog = Ac_server.Catalog
+module Client = Ac_server.Client
+module Router = Ac_server.Router
+module Partition = Ac_server.Partition
 module Error = Ac_runtime.Error
 
 let socket_term =
@@ -76,6 +79,32 @@ let merge_ratio_term =
   in
   Arg.(value & opt float 0.25 & info [ "merge-ratio" ] ~docv:"FRACTION" ~doc)
 
+let worker_term =
+  let doc =
+    "Fleet mode: a worker daemon at $(docv) (unix:PATH or tcp:HOST:PORT); \
+     repeatable, one shard per worker in order. Every --load'ed (or \
+     recovered) database is partitioned and shipped to the workers over \
+     the LOAD verb; shardable COUNTs then scatter-gather across the \
+     fleet, others run on the local full copy."
+  in
+  Arg.(value & opt_all string [] & info [ "worker" ] ~docv:"ADDR" ~doc)
+
+let partition_term =
+  let doc =
+    "Fleet partition spec: STRATEGY[:COLUMN], strategy hash or range, \
+     over the given fact column (default hash:0). The shard count is \
+     the --worker count. Recorded in the manifest."
+  in
+  Arg.(value & opt string "hash:0" & info [ "partition" ] ~docv:"SPEC" ~doc)
+
+let tenant_quota_term =
+  let doc =
+    "Bound the in-flight requests of any single tenant (the wire \
+     `tenant' field) to $(docv), under the global --queue capacity; \
+     excess is refused with the typed `overloaded' status."
+  in
+  Arg.(value & opt (some int) None & info [ "tenant-quota" ] ~docv:"N" ~doc)
+
 let force_term =
   let doc =
     "Clean up a stale socket file (one no daemon answers on) instead of \
@@ -95,7 +124,7 @@ let parse_load spec =
   | _ -> Error (Printf.sprintf "--load %S: expected NAME=FILE" spec)
 
 let run socket tcp loads queue plan_cache result_cache timeout_ms manifest
-    merge_threshold merge_ratio force verbose =
+    merge_threshold merge_ratio workers partition tenant_quota force verbose =
   let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "acqd: %s\n%!" m) fmt in
   let config =
     {
@@ -106,10 +135,40 @@ let run socket tcp loads queue plan_cache result_cache timeout_ms manifest
       manifest;
       merge_threshold;
       merge_ratio;
+      tenant_quota;
       verbose;
     }
   in
-  let server = Server.create ~config () in
+  let router_result =
+    match workers with
+    | [] -> Ok None
+    | specs -> (
+        match Partition.spec_of_string partition with
+        | Error msg ->
+            fail "--partition %s" msg;
+            Error 124
+        | Ok spec -> (
+            let rec addrs acc = function
+              | [] -> Ok (List.rev acc)
+              | s :: rest -> (
+                  match Client.address_of_string s with
+                  | Ok a -> addrs (a :: acc) rest
+                  | Error msg ->
+                      fail "--worker %S: %s" s msg;
+                      Error 124)
+            in
+            match addrs [] specs with
+            | Error code -> Error code
+            | Ok addresses ->
+                Ok
+                  (Some
+                     (Router.create ~strategy:spec.Partition.strategy
+                        ~column:spec.Partition.column addresses))))
+  in
+  match router_result with
+  | Error code -> code
+  | Ok router ->
+  let server = Server.create ?router ~config () in
   (* crash recovery first: replay the manifest (if any), then let
      explicit --load flags override or extend what it restored *)
   let recovery =
@@ -151,6 +210,39 @@ let run socket tcp loads queue plan_cache result_cache timeout_ms manifest
   match (recovery, load_all loads) with
   | Error code, _ | _, Error code -> code
   | Ok (), Ok () -> (
+      (* fleet mode: cut every catalog entry (recovered or --load'ed)
+         and ship the shards before binding — a router that cannot
+         seed its fleet should not be connectable *)
+      let distribution =
+        match router with
+        | None -> Ok ()
+        | Some router ->
+            let rec go = function
+              | [] -> Ok ()
+              | (e : Catalog.entry) :: rest -> (
+                  match
+                    Router.distribute router ~name:e.Catalog.name e.Catalog.db
+                  with
+                  | Ok sizes ->
+                      if verbose then
+                        Printf.eprintf
+                          "acqd: distributed %s over %d workers (shard sizes \
+                           %s)\n\
+                           %!"
+                          e.Catalog.name (Array.length sizes)
+                          (String.concat ", "
+                             (Array.to_list (Array.map string_of_int sizes)));
+                      go rest
+                  | Error err ->
+                      fail "cannot distribute %s: [%s] %s" e.Catalog.name
+                        (Error.class_name err) (Error.message err);
+                      Error (Error.exit_code err))
+            in
+            go (Catalog.entries (Server.catalog server))
+      in
+      match distribution with
+      | Error code -> code
+      | Ok () ->
       let listeners =
         match socket with
         | None -> Ok []
@@ -210,6 +302,7 @@ let () =
     Term.(
       const run $ socket_term $ tcp_term $ load_term $ queue_term
       $ plan_cache_term $ result_cache_term $ timeout_term $ manifest_term
-      $ merge_threshold_term $ merge_ratio_term $ force_term $ verbose_term)
+      $ merge_threshold_term $ merge_ratio_term $ worker_term $ partition_term
+      $ tenant_quota_term $ force_term $ verbose_term)
   in
   exit (Cmd.eval' (Cmd.v info term))

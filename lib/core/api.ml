@@ -57,11 +57,44 @@ type request = {
   trace : Trace.t option;
 }
 
+(* The builder: [Request.make] carries the documented defaults and the
+   [with_*] setters replace one field each, so call sites name exactly
+   the knobs they turn and pipe the rest through unchanged. The
+   optional-argument [request] constructor below is a thin veneer over
+   it, kept for existing callers. *)
+module Request = struct
+  let make query db =
+    {
+      query;
+      db;
+      eps = 0.25;
+      delta = 0.1;
+      method_ = Auto;
+      seed = None;
+      jobs = None;
+      budget = None;
+      strict = false;
+      verbose = false;
+      chaos = None;
+      trace = None;
+    }
+
+  let with_eps eps r = { r with eps }
+  let with_delta delta r = { r with delta }
+  let with_method method_ r = { r with method_ }
+  let with_seed seed r = { r with seed }
+  let with_jobs jobs r = { r with jobs }
+  let with_budget budget r = { r with budget }
+  let with_strict strict r = { r with strict }
+  let with_verbose verbose r = { r with verbose }
+  let with_chaos chaos r = { r with chaos }
+  let with_trace trace r = { r with trace }
+end
+
 let request ?(eps = 0.25) ?(delta = 0.1) ?(method_ = Auto) ?seed ?jobs ?budget
     ?(strict = false) ?(verbose = false) ?chaos ?trace query db =
   {
-    query;
-    db;
+    (Request.make query db) with
     eps;
     delta;
     method_;

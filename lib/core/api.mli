@@ -58,8 +58,36 @@ type request = {
           estimates are bit-identical either way *)
 }
 
+(** The request builder: [make query db] carries the documented
+    defaults, each [with_*] setter replaces one field, and the record
+    pipes through [|>] — call sites name exactly the knobs they turn:
+
+    {[
+      Api.Request.make query db
+      |> Api.Request.with_eps 0.1
+      |> Api.Request.with_seed (Some 42)
+    ]}
+
+    Behaviour is identical to the optional-argument {!request}
+    constructor (which is now a veneer over this module and remains
+    supported). *)
+module Request : sig
+  val make : Ac_query.Ecq.t -> Ac_relational.Structure.t -> request
+  val with_eps : float -> request -> request
+  val with_delta : float -> request -> request
+  val with_method : method_ -> request -> request
+  val with_seed : int option -> request -> request
+  val with_jobs : int option -> request -> request
+  val with_budget : Ac_runtime.Budget.t option -> request -> request
+  val with_strict : bool -> request -> request
+  val with_verbose : bool -> request -> request
+  val with_chaos : Ac_runtime.Chaos.t option -> request -> request
+  val with_trace : Ac_obs.Trace.t option -> request -> request
+end
+
 (** Request builder with the documented defaults; positional arguments
-    are the query and the database. *)
+    are the query and the database. Thin veneer over {!Request};
+    prefer the builder in new code. *)
 val request :
   ?eps:float ->
   ?delta:float ->

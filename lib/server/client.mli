@@ -1,24 +1,34 @@
-(** Client side of the {!Wire} protocol: connect, call, close.
+(** Client side of the {!Wire} protocol: one surface, one policy knob.
 
-    Used by [acq --connect] and the benchmark harness. One {!t} is one
-    connection (and therefore one server session — [USE] sticks).
-    Calls are synchronous: {!call} writes one request line and blocks
-    for the one response line. Not thread-safe; open one connection
-    per thread.
+    [connect ?policy addr] is the single entry point; the
+    {!Retry_policy.t} decides how hard a call tries. The default
+    ([Retry_policy.none]) is the plain synchronous client — one
+    attempt, no envelope ids, byte-identical wire behaviour to the
+    historical [Client.connect] — while [Retry_policy.default] (or any
+    policy with [attempts > 1]) buys the historical [Client.Durable]
+    machinery: per-call deadlines, read timeouts, reconnection, capped
+    decorrelated-jitter backoff, and envelope request ids that make
+    duplicated or delayed frames harmless.
+
+    A retrying client only ever retries {e idempotent} requests
+    ([Wire.idempotent]: service verbs, seeded [COUNT]/[SAMPLE] and
+    batch-id'd mutations); a transport fault on anything else is
+    refused with a typed [Retry_unsafe] instead of silently answering a
+    different random experiment.
+
+    One {!t} is one connection (and therefore one server session —
+    [USE] sticks; a policy-driven reconnect starts a fresh session).
+    Calls are synchronous. Not thread-safe; open one client per thread
+    — [Router]'s shard pools do exactly that.
 
     Every error a client returns names the address it was talking to
     (in the [file]/[source] field) and the verb it was sending (as a
     message prefix) — a transport failure is attributable without
     reproducing it.
 
-    {!Durable} layers fault tolerance on top: per-call deadlines, read
-    timeouts, reconnection, capped exponential backoff with
-    decorrelated jitter, and envelope request ids that make duplicated
-    or delayed frames harmless. It only ever retries {e idempotent}
-    requests ([Wire.idempotent]: service verbs and seeded
-    [COUNT]/[SAMPLE]); a transport fault on an unseeded request is
-    refused with a typed [Retry_unsafe] instead of silently answering
-    a different random experiment. *)
+    The historical entry points survive as thin deprecated aliases:
+    plain [connect] is now literally [connect ?policy:None], and the
+    {!Durable} submodule maps the old config record onto a policy. *)
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -31,63 +41,69 @@ val address_to_string : address -> string
 
 type t
 
-(** Connection failures surface as typed [Io] errors. *)
-val connect : address -> (t, Ac_runtime.Error.t) result
+(** Connect eagerly; failures surface as typed [Io] errors. [policy]
+    defaults to {!Retry_policy.none} (the plain client). *)
+val connect : ?policy:Retry_policy.t -> address -> (t, Ac_runtime.Error.t) result
+
+(** Like {!connect} but lazy: no connection is opened until the first
+    {!call}, and — under a retrying policy — a dead one is transparently
+    reopened. Never fails; the first call surfaces dial errors. *)
+val create : ?policy:Retry_policy.t -> address -> t
 
 val address : t -> address
+val policy : t -> Retry_policy.t
 
-(** One round trip. [Error] covers transport failures (the server
-    closing mid-call, malformed response JSON) — a server-side refusal
-    is a successful call returning [Wire.Refused]. *)
+(** Retries performed over the client's lifetime (also counted by the
+    [acq_retries_total] metric, labelled by verb); always [0] under a
+    single-attempt policy. *)
+val retries_total : t -> int
+
+(** One logical call under the client's policy.
+
+    Single-attempt policy: one round trip; [Error] covers transport
+    failures (the server closing mid-call, malformed response JSON) — a
+    server-side refusal is a successful call returning [Wire.Refused].
+
+    Retrying policy, additionally:
+    - each attempt carries a fresh envelope id — a digest of the
+      canonical request plus the attempt number — and frames whose id
+      does not match are discarded, so duplicated or delayed frames
+      from earlier attempts are harmless;
+    - each attempt tells the server the {e remaining} deadline
+      ([deadline_ms] on the wire), so admission control can shed work
+      nobody will wait for; when the deadline passes, the call returns
+      a typed [Deadline_exceeded];
+    - transport faults on idempotent requests reconnect and retry under
+      capped decorrelated-jitter backoff; on non-idempotent (unseeded)
+      requests they return [Retry_unsafe];
+    - a decoded response, including a server-side [Refused], is final —
+      the retry layer never second-guesses the server. *)
 val call : t -> Wire.request -> (Wire.response, Ac_runtime.Error.t) result
 
 val close : t -> unit
 
-(** The retrying client. *)
+(** @deprecated The historical retrying client, kept for one release as
+    a veneer: [Durable.create ~config] is [create] with the config
+    mapped onto a {!Retry_policy.t} ([attempts = retries + 1]). New
+    code passes [~policy:Retry_policy.default] to {!connect}/{!create}
+    directly. *)
 module Durable : sig
   type config = {
     retries : int;  (** max retries after the first attempt (default 3) *)
     backoff_base_ms : float;  (** first sleep (default 10) *)
     backoff_cap_ms : float;  (** sleep ceiling (default 500) *)
     read_timeout_ms : int option;
-        (** per-receive [SO_RCVTIMEO]; an expired timer is treated as a
-            dead connection (reconnect + retry). Default none. *)
     deadline_ms : int option;
-        (** default end-to-end deadline per {!call} when the request
-            itself names none. Default none. *)
     seed : int;  (** seeds the backoff jitter (default 0) *)
   }
 
   val default_config : config
 
-  type t
+  type nonrec t = t
 
-  (** No connection is opened until the first {!call} (and a dead one
-      is transparently reopened). *)
   val create : ?config:config -> address -> t
-
   val address : t -> address
-
-  (** Retries performed over the client's lifetime (also counted by the
-      [acq_retries_total] metric, labelled by verb). *)
   val retries_total : t -> int
-
-  (** One logical request, transparently surviving transport faults:
-
-      - each attempt carries a fresh envelope id — a digest of the
-        canonical request plus the attempt number — and frames whose id
-        does not match are discarded, so duplicated or delayed frames
-        from earlier attempts are harmless;
-      - each attempt tells the server the {e remaining} deadline
-        ([deadline_ms] on the wire), so admission control can shed work
-        nobody will wait for; when the deadline passes, the call
-        returns a typed [Deadline_exceeded];
-      - transport faults on idempotent requests reconnect and retry
-        under capped decorrelated-jitter backoff; on non-idempotent
-        (unseeded) requests they return [Retry_unsafe];
-      - a decoded response, including a server-side [Refused], is final
-        — the retry layer never second-guesses the server. *)
   val call : t -> Wire.request -> (Wire.response, Ac_runtime.Error.t) result
-
   val close : t -> unit
 end

@@ -27,6 +27,7 @@ type entry = {
   db_version : int;
   live_fingerprint : string;
   journal : string option;
+  partition : string option;
 }
 
 let version = 1
@@ -48,9 +49,12 @@ let entry_to_json e =
     @ (if e.live_fingerprint <> e.fingerprint then
          [ ("live_fingerprint", Json.String e.live_fingerprint) ]
        else [])
+    @ (match e.journal with
+      | Some j -> [ ("journal", Json.String j) ]
+      | None -> [])
     @
-    match e.journal with
-    | Some j -> [ ("journal", Json.String j) ]
+    match e.partition with
+    | Some p -> [ ("partition", Json.String p) ]
     | None -> [])
 
 let to_json entries =
@@ -78,6 +82,7 @@ let entry_of_json j =
           live_fingerprint =
             Option.value (str "live_fingerprint") ~default:fingerprint;
           journal = str "journal";
+          partition = str "partition";
         }
   | _ -> Result.Error "manifest entry: need name, path, fingerprint strings"
 
@@ -128,7 +133,7 @@ let write ~path entries =
   | exception Unix.Unix_error (e, _, _) ->
       Result.Error (Error.Io { file = path; msg = Unix.error_message e })
 
-let snapshot catalog =
+let snapshot ?partition catalog =
   List.map
     (fun (p : Catalog.persistence) ->
       {
@@ -138,10 +143,11 @@ let snapshot catalog =
         db_version = p.Catalog.p_version;
         live_fingerprint = p.Catalog.p_live_fingerprint;
         journal = p.Catalog.p_journal;
+        partition;
       })
     (Catalog.persistence catalog)
 
-let store ~path catalog = write ~path (snapshot catalog)
+let store ~path ?partition catalog = write ~path (snapshot ?partition catalog)
 
 let read ~path =
   match In_channel.with_open_text path In_channel.input_all with

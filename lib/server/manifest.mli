@@ -33,6 +33,11 @@ type entry = {
       (** rolling fingerprint at [db_version]; equals [fingerprint] for
           an unmutated catalog *)
   journal : string option;  (** delta journal replayed above [db_version] *)
+  partition : string option;
+      (** the fleet partition spec ([Partition.spec_to_string], e.g.
+          ["hash:0:2"]) under which a router daemon distributed this
+          database — recorded so a restarted router re-cuts the data
+          the same way; [None] for non-fleet daemons *)
 }
 
 (** The manifest schema version this build writes (1). The live fields
@@ -42,14 +47,16 @@ type entry = {
 val version : int
 
 (** The file-backed entries of a catalog (in-memory/inline entries have
-    no path to replay and are skipped). *)
-val snapshot : Catalog.t -> entry list
+    no path to replay and are skipped). [partition], when given, is
+    stamped on every entry. *)
+val snapshot : ?partition:string -> Catalog.t -> entry list
 
 (** Atomic write (temp file + rename, same directory). *)
 val write : path:string -> entry list -> (unit, Ac_runtime.Error.t) result
 
 (** [write] of [snapshot]. *)
-val store : path:string -> Catalog.t -> (unit, Ac_runtime.Error.t) result
+val store :
+  path:string -> ?partition:string -> Catalog.t -> (unit, Ac_runtime.Error.t) result
 
 val read : path:string -> (entry list, Ac_runtime.Error.t) result
 

@@ -1,0 +1,173 @@
+module Ecq = Ac_query.Ecq
+module Structure = Ac_relational.Structure
+module Relation = Ac_relational.Relation
+module Seeds = Ac_exec.Seeds
+
+type strategy = Hash | Range
+
+let strategy_name = function Hash -> "hash" | Range -> "range"
+
+type spec = { strategy : strategy; column : int; shards : int }
+
+let make ~strategy ~column ~shards =
+  if shards < 1 then invalid_arg "Partition.make: shards < 1";
+  if column < 0 then invalid_arg "Partition.make: column < 0";
+  { strategy; column; shards }
+
+(* "hash:0:2" — strategy, column, shard count; what the manifest
+   records so a recovered router knows how its data was cut. *)
+let spec_to_string s =
+  Printf.sprintf "%s:%d:%d" (strategy_name s.strategy) s.column s.shards
+
+let strategy_of_string = function
+  | "hash" -> Some Hash
+  | "range" -> Some Range
+  | _ -> None
+
+let spec_of_string text =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "%S: expected STRATEGY[:COLUMN[:SHARDS]] with strategy hash|range"
+         text)
+  in
+  match String.split_on_char ':' text with
+  | [ s ] -> (
+      match strategy_of_string s with
+      | Some strategy -> Ok { strategy; column = 0; shards = 1 }
+      | None -> fail ())
+  | [ s; c ] -> (
+      match (strategy_of_string s, int_of_string_opt c) with
+      | Some strategy, Some column when column >= 0 ->
+          Ok { strategy; column; shards = 1 }
+      | _ -> fail ())
+  | [ s; c; n ] -> (
+      match (strategy_of_string s, int_of_string_opt c, int_of_string_opt n)
+      with
+      | Some strategy, Some column, Some shards when column >= 0 && shards >= 1
+        ->
+          Ok { strategy; column; shards }
+      | _ -> fail ())
+  | _ -> fail ()
+
+(* Shard of a universe element. Hash routes through the SplitMix64
+   finaliser ([Seeds.derive] — the same bijective avalanche mix the
+   trial streams use), so the placement is deterministic across runs
+   and architectures; range cuts [0, universe) into [shards]
+   contiguous blocks. *)
+let shard_of spec ~universe_size v =
+  if spec.shards = 1 then 0
+  else
+    match spec.strategy with
+    | Hash -> Seeds.derive ~seed:0 v land max_int mod spec.shards
+    | Range ->
+        if universe_size <= 0 then 0
+        else min (spec.shards - 1) (v * spec.shards / universe_size)
+
+(* Horizontal split. Every shard keeps the full universe and the full
+   signature (so per-shard query semantics — negated atoms complement
+   against the same universe, variables range over the same domain —
+   match the whole database's); facts route by the value at
+   [spec.column]. Relations too narrow to have that column are
+   replicated to every shard: they cannot appear in a shardable query
+   (the partition variable cannot occur at a column they lack), so
+   replication only serves fallback-free single-shard reads and keeps
+   every shard a self-contained database. *)
+let split spec db =
+  let universe_size = Structure.universe_size db in
+  let outs =
+    Array.init spec.shards (fun _ ->
+        let s = Structure.create ~universe_size in
+        List.iter
+          (fun sym -> Structure.declare s sym ~arity:(Structure.arity_of db sym))
+          (Structure.symbols db);
+        s)
+  in
+  List.iter
+    (fun sym ->
+      let rel = Structure.relation db sym in
+      let arity = Relation.arity rel in
+      if arity <= spec.column then
+        Relation.iter
+          (fun tuple ->
+            Array.iter (fun out -> Structure.add_fact out sym tuple) outs)
+          rel
+      else
+        Relation.iter
+          (fun tuple ->
+            let i = shard_of spec ~universe_size tuple.(spec.column) in
+            Structure.add_fact outs.(i) sym tuple)
+          rel)
+    (Structure.symbols db);
+  Array.map Structure.seal outs
+
+(* ---------- shardability ---------- *)
+
+(* A COUNT decomposes over the partition iff some {e free} variable x
+   pins every predicate atom to x's shard:
+
+   - x occurs at position [spec.column] of every positive and negated
+     atom, and at least one atom is positive.
+
+   Then an answer a lands exactly in shard i = shard_of(a(x)): every
+   positive atom's witnessing fact has a(x) at the partition column, so
+   it lives in shard i (and in no other shard — facts are partitioned),
+   and a negated atom ¬R(ȳ) with a(x) at the column holds globally iff
+   it holds in shard i, because the only shard that could contain the
+   offending fact is i. Disequalities and the variable domains are
+   untouched (shards keep the full universe). Summing per-shard counts
+   therefore counts every answer exactly once.
+
+   Freeness of x is essential: partitioning on an existential variable
+   would count one answer in several shards whenever it has witnesses
+   on both sides of a cut. The positive-atom requirement is too:
+   an all-negative query is satisfied vacuously by every shard that
+   does not hold the relevant facts, double-counting. *)
+let shardable spec query =
+  let atoms = Ecq.atoms query in
+  let predicate_args =
+    List.filter_map
+      (function
+        | Ecq.Atom (_, args) | Ecq.Neg_atom (_, args) -> Some args
+        | Ecq.Diseq _ -> None)
+      atoms
+  in
+  let has_positive =
+    List.exists (function Ecq.Atom _ -> true | _ -> false) atoms
+  in
+  if predicate_args = [] then
+    Error "no predicate atoms — nothing pins a shard"
+  else if not has_positive then
+    Error
+      "only negated atoms — per-shard complements would double-count \
+       vacuous answers"
+  else
+    let pins args =
+      Array.length args > spec.column
+      && args.(spec.column) >= 0
+      && args.(spec.column) < Ecq.num_free query
+    in
+    (* candidate partition variables: free variables at the partition
+       column of the FIRST atom; then require them at every other *)
+    match predicate_args with
+    | [] -> Error "no predicate atoms — nothing pins a shard"
+    | first :: rest ->
+        if not (pins first) then
+          Error
+            (Printf.sprintf
+               "no free variable at partition column %d of every atom"
+               spec.column)
+        else
+          let x = first.(spec.column) in
+          if
+            List.for_all
+              (fun args ->
+                Array.length args > spec.column && args.(spec.column) = x)
+              rest
+          then Ok x
+          else
+            Error
+              (Printf.sprintf
+                 "the join crosses shard boundaries: %s is not at column %d \
+                  of every atom"
+                 (Ecq.var_name query x) spec.column)

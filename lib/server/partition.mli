@@ -1,0 +1,63 @@
+(** Horizontal database partitioning for the acqd fleet.
+
+    A {!spec} cuts a database into [shards] self-contained databases:
+    every shard keeps the {e full} universe and the full signature, and
+    each fact of a relation wide enough to have column [column] lives in
+    exactly one shard — the one {!shard_of} assigns to the fact's value
+    at that column. Narrower relations are replicated to every shard
+    (they cannot occur in a shardable query, see {!shardable}, so
+    replication never double-counts).
+
+    The spec travels in the manifest as {!spec_to_string} (e.g.
+    ["hash:0:2"]) so a recovered router knows how its data was cut. *)
+
+(** [Hash] routes a value through the SplitMix64 finaliser
+    ([Ac_exec.Seeds.derive]) — deterministic across runs and
+    architectures, balanced for skewed key sets. [Range] cuts
+    [\[0, universe)] into [shards] contiguous blocks — placement is
+    order-preserving, useful when keys are already uniform. *)
+type strategy = Hash | Range
+
+val strategy_name : strategy -> string
+val strategy_of_string : string -> strategy option
+
+type spec = { strategy : strategy; column : int; shards : int }
+
+(** Raises [Invalid_argument] when [shards < 1] or [column < 0]. *)
+val make : strategy:strategy -> column:int -> shards:int -> spec
+
+(** ["hash:0:2"] — strategy, partition column, shard count. *)
+val spec_to_string : spec -> string
+
+(** Inverse of {!spec_to_string}; also accepts the abbreviated CLI
+    spellings [STRATEGY] and [STRATEGY:COLUMN] (column defaults to 0,
+    shards to 1 — the caller overrides shard count from the worker
+    list). The error is a human-readable expectation. *)
+val spec_of_string : string -> (spec, string) result
+
+(** The shard owning universe element [v]. Deterministic; total on
+    [0 .. shards - 1]. *)
+val shard_of : spec -> universe_size:int -> int -> int
+
+(** Split [db] into [spec.shards] sealed shards (full universe, full
+    signature, facts routed by [spec.column]; relations with
+    [arity <= column] replicated). The concatenation of all shards'
+    facts, minus the replicas, is exactly [db]. *)
+val split : spec -> Ac_relational.Structure.t -> Ac_relational.Structure.t array
+
+(** Does the COUNT decompose over the partition?
+
+    [Ok x] — [x] is a {e free} variable sitting at [spec.column] of
+    {e every} predicate atom (positive and negated), and at least one
+    atom is positive. Each answer [a] then lives in exactly the shard
+    [shard_of spec (a x)]: positive witnesses are pinned there because
+    facts are partitioned on that column, and a negated atom holds
+    globally iff it holds there, because no other shard can hold the
+    offending fact. Per-shard counts therefore {b sum} to the global
+    count, exactly.
+
+    [Error reason] — the join structure crosses shard boundaries (or
+    nothing pins a shard at all); the router must fall back to local
+    execution. The reason is human-readable and lands in the
+    [acq_fleet_fallback_total{reason}] metric's log line. *)
+val shardable : spec -> Ac_query.Ecq.t -> (int, string) result

@@ -1,0 +1,395 @@
+module Error = Ac_runtime.Error
+module Entropy = Ac_runtime.Entropy
+module Metrics = Ac_obs.Metrics
+module Structure_io = Ac_relational.Structure_io
+module Seeds = Ac_exec.Seeds
+
+(* ---------- fleet metrics ---------- *)
+
+let m_workers =
+  lazy
+    (Metrics.gauge Metrics.global "acq_fleet_workers"
+       ~help:"Workers in the fleet router's shard map")
+
+let m_scatter =
+  lazy
+    (Metrics.counter Metrics.global "acq_fleet_scatter_total"
+       ~help:"COUNT requests fanned out over the fleet")
+
+let m_scatter_duration =
+  lazy
+    (Metrics.histogram Metrics.global "acq_fleet_scatter_duration_ms"
+       ~help:"Wall-clock duration of a fleet scatter-gather (milliseconds)")
+
+let m_shard_request outcome =
+  Metrics.counter Metrics.global "acq_fleet_shard_requests_total"
+    ~help:"Per-shard sub-requests issued by the router, by outcome"
+    ~labels:[ ("outcome", outcome) ]
+
+let m_fallback reason =
+  Metrics.counter Metrics.global "acq_fleet_fallback_total"
+    ~help:
+      "COUNT requests the router handed back to local execution, by reason"
+    ~labels:[ ("reason", reason) ]
+
+let m_repush =
+  lazy
+    (Metrics.counter Metrics.global "acq_fleet_repush_total"
+       ~help:
+         "Shards re-shipped to a worker that lost its catalog (restart \
+          recovery)")
+
+(* ---------- the fleet ---------- *)
+
+(* One worker: an address plus a pool of idle connections. A client is
+   single-threaded, so concurrent scatters check connections out and
+   back in; transport faults drop the connection instead of returning a
+   poisoned stream to the pool. *)
+type worker = {
+  w_address : Client.address;
+  w_mutex : Mutex.t;
+  mutable w_idle : Client.t list;
+}
+
+type t = {
+  spec : Partition.spec;
+  workers : worker array;
+  policy : Retry_policy.t;
+  mutex : Mutex.t;  (* guards [shard_texts] *)
+  (* db name -> serialized shard per worker, kept so a worker that
+     lost its catalog (crash + restart) can be re-seeded on the fly *)
+  shard_texts : (string, string array) Hashtbl.t;
+}
+
+let create ?(policy = Retry_policy.default) ~strategy ~column addresses =
+  if addresses = [] then invalid_arg "Router.create: no workers";
+  let workers =
+    Array.map
+      (fun w_address -> { w_address; w_mutex = Mutex.create (); w_idle = [] })
+      (Array.of_list addresses)
+  in
+  Metrics.set (Lazy.force m_workers) (Array.length workers);
+  {
+    spec =
+      Partition.make ~strategy ~column ~shards:(Array.length workers);
+    workers;
+    policy;
+    mutex = Mutex.create ();
+    shard_texts = Hashtbl.create 8;
+  }
+
+let spec t = t.spec
+let shards t = Array.length t.workers
+
+let addresses t =
+  Array.to_list (Array.map (fun w -> w.w_address) t.workers)
+
+let manages t name =
+  Mutex.lock t.mutex;
+  let yes = Hashtbl.mem t.shard_texts name in
+  Mutex.unlock t.mutex;
+  yes
+
+let note_fallback _t ~reason = Metrics.incr (m_fallback reason)
+
+(* ---------- connection pool ---------- *)
+
+let checkout t w =
+  Mutex.lock w.w_mutex;
+  match w.w_idle with
+  | c :: rest ->
+      w.w_idle <- rest;
+      Mutex.unlock w.w_mutex;
+      c
+  | [] ->
+      Mutex.unlock w.w_mutex;
+      (* lazy: dial errors surface as the first call's typed Io *)
+      Client.create ~policy:t.policy w.w_address
+
+let checkin w c =
+  Mutex.lock w.w_mutex;
+  w.w_idle <- c :: w.w_idle;
+  Mutex.unlock w.w_mutex
+
+(* [call] on worker [i], pooling the connection on success. A server
+   refusal travels as [Ok (Refused _)] and keeps the stream healthy, so
+   only transport-level [Error]s drop the connection. *)
+let call_worker t i request =
+  let w = t.workers.(i) in
+  let c = checkout t w in
+  match Client.call c request with
+  | Ok _ as ok ->
+      checkin w c;
+      ok
+  | Error _ as err ->
+      Client.close c;
+      err
+
+let worker_name t i = Client.address_to_string t.workers.(i).w_address
+
+(* ---------- distribution ---------- *)
+
+let shard_text t ~name i =
+  Mutex.lock t.mutex;
+  let text =
+    match Hashtbl.find_opt t.shard_texts name with
+    | Some texts when i < Array.length texts -> Some texts.(i)
+    | _ -> None
+  in
+  Mutex.unlock t.mutex;
+  text
+
+let push_shard t ~name i =
+  match shard_text t ~name i with
+  | None ->
+      Error
+        (Error.Io
+           {
+             file = worker_name t i;
+             msg = Printf.sprintf "no shard recorded for database %S" name;
+           })
+  | Some text -> (
+      match call_worker t i (Wire.Load { name; text }) with
+      | Ok (Wire.Loaded _) -> Ok ()
+      | Ok (Wire.Refused { error_class; message; _ }) ->
+          Error
+            (Error.Io
+               {
+                 file = worker_name t i;
+                 msg =
+                   Printf.sprintf "worker refused shard %d of %S (%s): %s" i
+                     name error_class message;
+               })
+      | Ok _ ->
+          Error
+            (Error.Io
+               {
+                 file = worker_name t i;
+                 msg = "protocol error: unexpected response to LOAD";
+               })
+      | Error e -> Error e)
+
+let distribute t ~name db =
+  let parts = Partition.split t.spec db in
+  let texts = Array.map Structure_io.to_string parts in
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.shard_texts name texts;
+  Mutex.unlock t.mutex;
+  let n = Array.length t.workers in
+  let rec push i =
+    if i >= n then Ok ()
+    else match push_shard t ~name i with Ok () -> push (i + 1) | Error e -> Error e
+  in
+  match push 0 with
+  | Ok () -> Ok (Array.map Ac_relational.Structure.size parts)
+  | Error e ->
+      (* the fleet is inconsistent: forget the db so COUNTs fall back
+         to local execution instead of scattering over half a fleet *)
+      Mutex.lock t.mutex;
+      Hashtbl.remove t.shard_texts name;
+      Mutex.unlock t.mutex;
+      Error e
+
+let plan t query = Partition.shardable t.spec query
+
+(* ---------- scatter-gather COUNT ---------- *)
+
+(* Is this refusal "I don't know that database"? The signature of a
+   worker that restarted and lost its (in-memory) shard: re-push the
+   cached shard text and retry the sub-request once. *)
+let unknown_db_refusal = function
+  | Wire.Refused { error_class = "io"; message; _ } ->
+      let needle = "unknown database" in
+      let nl = String.length needle and ml = String.length message in
+      let rec scan i =
+        i + nl <= ml && (String.sub message i nl = needle || scan (i + 1))
+      in
+      scan 0
+  | _ -> false
+
+type shard_result =
+  | Shard_ok of Wire.outcome
+  | Shard_failed of { s_class : string; s_message : string }
+
+let shard_count t ~name i (p : Wire.params) =
+  let request = Wire.Count p in
+  let attempt () = call_worker t i request in
+  let response =
+    match attempt () with
+    | Ok r when unknown_db_refusal r -> (
+        (* worker restarted since distribution: re-seed it and retry *)
+        Metrics.incr (Lazy.force m_repush);
+        match push_shard t ~name i with
+        | Ok () -> attempt ()
+        | Error e -> Error e)
+    | other -> other
+  in
+  match response with
+  | Ok (Wire.Counted o) ->
+      Metrics.incr (m_shard_request "ok");
+      Shard_ok o
+  | Ok (Wire.Refused { error_class; message; _ }) ->
+      Metrics.incr (m_shard_request "refused");
+      Shard_failed { s_class = error_class; s_message = message }
+  | Ok _ ->
+      Metrics.incr (m_shard_request "protocol");
+      Shard_failed
+        {
+          s_class = "io";
+          s_message = "protocol error: unexpected response to COUNT";
+        }
+  | Error e ->
+      Metrics.incr (m_shard_request "error");
+      Shard_failed { s_class = Error.class_name e; s_message = Error.message e }
+
+(* Combine per-shard outcomes, in shard-index order (the sum is
+   deterministic for a fixed seed and shard count — float addition is
+   not associative, so the order is part of the contract).
+
+   - estimate: Σ over shards — exact when every shard was exact (the
+     partition property: each answer is counted in exactly one shard);
+   - guarantee: every shard kept its (ε, δ/N) guarantee and none
+     failed — by the union bound the sum is then within (1 ± ε) of the
+     true count with probability ≥ 1 − δ;
+   - degraded: any shard degraded {e or} failed; failed shards
+     contribute an attempt entry (rung ["shard:ADDR"]) and their
+     absence makes the estimate a lower bound, surfaced exactly like a
+     local degradation trail;
+   - ticks: Σ of worker-side work; elapsed: router wall clock. *)
+let combine t ~root_seed ~jobs ~elapsed_ms results =
+  let n = Array.length results in
+  let exact = ref true in
+  let guarantee = ref true in
+  let degraded = ref false in
+  let ticks = ref 0 in
+  let max_jobs = ref jobs in
+  let rung = ref None in
+  let rung_mixed = ref false in
+  let attempts = ref [] in
+  for i = n - 1 downto 0 do
+    match results.(i) with
+    | Shard_ok o ->
+        if not o.Wire.exact then exact := false;
+        if not o.Wire.guarantee then guarantee := false;
+        if o.Wire.degraded then degraded := true;
+        ticks := !ticks + o.Wire.ticks;
+        if o.Wire.jobs > !max_jobs then max_jobs := o.Wire.jobs;
+        (match (!rung, o.Wire.rung) with
+        | None, r -> rung := r
+        | Some r, Some r' when r = r' -> ()
+        | Some _, _ -> rung_mixed := true);
+        attempts :=
+          List.map
+            (fun (a : Wire.attempt) ->
+              {
+                a with
+                Wire.rung =
+                  Printf.sprintf "shard:%s:%s" (worker_name t i) a.Wire.rung;
+              })
+            o.Wire.attempts
+          @ !attempts
+    | Shard_failed { s_class; s_message } ->
+        exact := false;
+        guarantee := false;
+        degraded := true;
+        attempts :=
+          {
+            Wire.rung = Printf.sprintf "shard:%s" (worker_name t i);
+            error_class = s_class;
+            error_message = s_message;
+          }
+          :: !attempts
+  done;
+  (* estimate is a sum in shard order: recompute forward so the order
+     is the documented one (the loop above runs backwards to build the
+     attempts list without a List.rev) *)
+  let forward_sum = ref 0.0 in
+  Array.iter
+    (function
+      | Shard_ok o -> forward_sum := !forward_sum +. o.Wire.estimate
+      | Shard_failed _ -> ())
+    results;
+  {
+    Wire.estimate = !forward_sum;
+    exact = !exact;
+    rung = (if !rung_mixed then Some "fleet:mixed" else !rung);
+    guarantee = !guarantee;
+    degraded = !degraded;
+    attempts = !attempts;
+    seed = root_seed;
+    jobs = !max_jobs;
+    ticks = !ticks;
+    elapsed_ms;
+    trace = None;
+    plan_cache = "bypass";
+    result_cache = "bypass";
+  }
+
+let scatter_count t ~name (p : Wire.params) =
+  let n = Array.length t.workers in
+  Metrics.incr (Lazy.force m_scatter);
+  let t0 = Unix.gettimeofday () in
+  let root_seed =
+    match p.Wire.seed with Some s -> s | None -> Entropy.fresh_seed ()
+  in
+  (* per-shard sub-request: shard i runs at (ε, δ/N) under the i-th
+     SplitMix64-derived seed — the same derivation the parallel trial
+     streams use, so a sharded run is reproducible from (root seed,
+     shard count) alone. Workers answer with their own tenant pool and
+     no tracing (the router's span is the fleet-level record). *)
+  let sub i =
+    {
+      p with
+      Wire.db = Wire.Named name;
+      seed = Some (Seeds.derive ~seed:root_seed i);
+      delta = p.Wire.delta /. float_of_int n;
+      trace = false;
+      tenant = None;
+    }
+  in
+  let results =
+    Array.make n
+      (Shard_failed { s_class = "internal"; s_message = "shard not run" })
+  in
+  let run i = results.(i) <- shard_count t ~name i (sub i) in
+  if n = 1 then run 0
+  else begin
+    let threads =
+      Array.init n (fun i -> Thread.create (fun () -> run i) ())
+    in
+    Array.iter Thread.join threads
+  end;
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  Metrics.observe (Lazy.force m_scatter_duration) elapsed_ms;
+  let any_ok =
+    Array.exists (function Shard_ok _ -> true | _ -> false) results
+  in
+  if not any_ok then
+    (* every shard failed: no estimate to degrade — surface the first
+       failure as the typed refusal *)
+    match results.(0) with
+    | Shard_failed { s_class; s_message } ->
+        Error
+          (Error.Io
+             {
+               file = worker_name t 0;
+               msg =
+                 Printf.sprintf "all %d shards failed; first (%s): %s" n
+                   s_class s_message;
+             })
+    | Shard_ok _ -> assert false
+  else
+    Ok
+      (combine t ~root_seed
+         ~jobs:(match p.Wire.jobs with Some j -> max 1 j | None -> 1)
+         ~elapsed_ms results)
+
+let close t =
+  Array.iter
+    (fun w ->
+      Mutex.lock w.w_mutex;
+      let idle = w.w_idle in
+      w.w_idle <- [];
+      Mutex.unlock w.w_mutex;
+      List.iter Client.close idle)
+    t.workers

@@ -1,0 +1,80 @@
+(** The fleet router: scatter-gather COUNT over sharded workers.
+
+    A router owns a {!Partition.spec} whose shard count is the worker
+    count. {!distribute} splits a database with {!Partition.split},
+    ships shard [i] to worker [i] over the [LOAD] verb, and remembers
+    the shard texts so a worker that restarts (and loses its in-memory
+    catalog) is re-seeded transparently mid-scatter.
+
+    {!scatter_count} fans a COUNT out to every worker and combines:
+
+    - {b exact counts sum} — the partition property guarantees each
+      answer is counted in exactly one shard (see
+      {!Partition.shardable});
+    - {b estimates sum with δ-splitting} — shard [i] runs at
+      (ε, δ/N) under seed [Ac_exec.Seeds.derive ~seed:root i], so by
+      the union bound the sum is an (ε, δ)-approximation, and the run
+      is bit-reproducible from (root seed, shard count) alone;
+    - {b partial failure degrades, never hangs} — a failed shard
+      becomes an attempt entry (rung ["shard:ADDR"]) on a degraded
+      response; only when {e every} shard fails does the call return a
+      typed error.
+
+    Queries whose join structure crosses shard boundaries are detected
+    by {!plan}; the server falls back to local execution and counts the
+    fallback in [acq_fleet_fallback_total{reason}].
+
+    All operations are thread-safe (per-worker connection pools). *)
+
+type t
+
+(** [create ~strategy ~column addresses] — one shard per worker, in
+    order. [policy] (default [Retry_policy.default]) governs every
+    worker connection. Raises [Invalid_argument] on an empty worker
+    list. *)
+val create :
+  ?policy:Retry_policy.t ->
+  strategy:Partition.strategy ->
+  column:int ->
+  Client.address list ->
+  t
+
+val spec : t -> Partition.spec
+val shards : t -> int
+val addresses : t -> Client.address list
+
+(** Has [name] been {!distribute}d through this router? *)
+val manages : t -> string -> bool
+
+(** Count a local-execution fallback in
+    [acq_fleet_fallback_total{reason}]. [reason] must be a
+    low-cardinality slug (["cross_shard"], ["unnamed_db"], …) — the
+    human-readable detail belongs in the response, not the label. *)
+val note_fallback : t -> reason:string -> unit
+
+(** Split [db] and ship shard [i] to worker [i], replacing any previous
+    distribution of [name]. Returns per-shard sizes ([‖D_i‖]). On any
+    push failure the distribution is forgotten (COUNTs fall back to
+    local execution) and the first error returned. *)
+val distribute :
+  t ->
+  name:string ->
+  Ac_relational.Structure.t ->
+  (int array, Ac_runtime.Error.t) result
+
+(** [Partition.shardable] under this router's spec. *)
+val plan : t -> Ac_query.Ecq.t -> (int, string) result
+
+(** Fan the COUNT out (one thread per worker) and combine, in
+    shard-index order. The given params' [db]/[seed]/[delta]/[trace]
+    are rewritten per shard (root seed drawn fresh when unseeded — the
+    combined outcome's [seed] field is the replay handle); [eps],
+    [method_], [jobs], timeouts and [strict] pass through. Restarted
+    workers are re-seeded from the cached shard text and retried once.
+    [Error] only when every shard failed. *)
+val scatter_count :
+  t -> name:string -> Wire.params -> (Wire.outcome, Ac_runtime.Error.t) result
+
+(** Close all pooled connections (idle ones; checked-out connections
+    close when their call completes). *)
+val close : t -> unit

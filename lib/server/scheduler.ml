@@ -36,6 +36,11 @@ let m_completed =
     (Metrics.counter Metrics.global "acq_scheduler_completed_total"
        ~help:"Requests that finished executing (ok or error)")
 
+let m_tenant_rejected tenant =
+  Metrics.counter Metrics.global "acq_tenant_rejected_total"
+    ~help:"Requests rejected at admission because the tenant's quota was full"
+    ~labels:[ ("tenant", tenant) ]
+
 type stats = {
   capacity : int;
   in_flight : int;
@@ -43,45 +48,68 @@ type stats = {
   admitted : int;
   rejected : int;
   deadline_shed : int;
+  tenant_rejected : int;
   completed : int;
   ticks : int;
 }
 
 type t = {
   capacity : int;
+  tenant_quota : int option;
   budget : Budget.t;
   mutex : Mutex.t;
   idle : Condition.t;  (* signalled whenever in_flight drops *)
+  tenants : (string, int) Hashtbl.t;  (* tenant -> in-flight count *)
   mutable in_flight : int;
   mutable peak_in_flight : int;
   mutable admitted : int;
   mutable rejected : int;
   mutable deadline_shed : int;
+  mutable tenant_rejected : int;
   mutable completed : int;
 }
 
-let create ?(capacity = 64) ?budget () =
+let create ?(capacity = 64) ?tenant_quota ?budget () =
   if capacity < 1 then invalid_arg "Scheduler.create: capacity < 1";
+  (match tenant_quota with
+  | Some q when q < 1 -> invalid_arg "Scheduler.create: tenant_quota < 1"
+  | _ -> ());
   let budget =
     match budget with Some b -> b | None -> Budget.create ~label:"acqd" ()
   in
   Metrics.set (Lazy.force m_capacity) capacity;
   {
     capacity;
+    tenant_quota;
     budget;
     mutex = Mutex.create ();
     idle = Condition.create ();
+    tenants = Hashtbl.create 16;
     in_flight = 0;
     peak_in_flight = 0;
     admitted = 0;
     rejected = 0;
     deadline_shed = 0;
+    tenant_rejected = 0;
     completed = 0;
   }
 
 let capacity t = t.capacity
 
-let submit t ~label ?deadline_ms f =
+(* Per-tenant accounting, called under [t.mutex]. Entries are removed
+   when they drop to zero so the table tracks only active tenants. *)
+let tenant_count t tenant =
+  match Hashtbl.find_opt t.tenants tenant with Some n -> n | None -> 0
+
+let tenant_adjust t tenant d =
+  match tenant with
+  | None -> ()
+  | Some tn ->
+      let n = tenant_count t tn + d in
+      if n <= 0 then Hashtbl.remove t.tenants tn
+      else Hashtbl.replace t.tenants tn n
+
+let submit t ~label ?tenant ?deadline_ms f =
   (* Shed before taking a slot: a request whose deadline has already
      passed cannot be answered in time, and running it anyway would
      spend budget on an answer nobody is waiting for. The rule is
@@ -101,7 +129,27 @@ let submit t ~label ?deadline_ms f =
            })
   | _ ->
   Mutex.lock t.mutex;
-  if t.in_flight >= t.capacity then begin
+  let tenant_full =
+    match (t.tenant_quota, tenant) with
+    | Some quota, Some tn -> tenant_count t tn >= quota
+    | _ -> false
+  in
+  if tenant_full then begin
+    (* the tenant's own slice is full while global capacity may be
+       free: same typed class (overloaded, exit code 17 — retry later, the
+       server is healthy), separate counter and metric so a noisy
+       neighbour is attributable *)
+    t.tenant_rejected <- t.tenant_rejected + 1;
+    Mutex.unlock t.mutex;
+    let tn = Option.value tenant ~default:"" in
+    Metrics.incr (m_tenant_rejected tn);
+    Error
+      (Error.Overloaded
+         (Printf.sprintf
+            "tenant %S quota reached (%d in flight) — retry later" tn
+            (Option.value t.tenant_quota ~default:0)))
+  end
+  else if t.in_flight >= t.capacity then begin
     t.rejected <- t.rejected + 1;
     Metrics.incr (Lazy.force m_rejected);
     Mutex.unlock t.mutex;
@@ -114,6 +162,7 @@ let submit t ~label ?deadline_ms f =
   else begin
     t.in_flight <- t.in_flight + 1;
     t.admitted <- t.admitted + 1;
+    tenant_adjust t tenant 1;
     Metrics.incr (Lazy.force m_admitted);
     Metrics.incr_gauge (Lazy.force m_in_flight);
     if t.in_flight > t.peak_in_flight then t.peak_in_flight <- t.in_flight;
@@ -123,6 +172,7 @@ let submit t ~label ?deadline_ms f =
       Budget.absorb t.budget slice;
       Mutex.lock t.mutex;
       t.in_flight <- t.in_flight - 1;
+      tenant_adjust t tenant (-1);
       t.completed <- t.completed + 1;
       Metrics.incr (Lazy.force m_completed);
       Metrics.decr_gauge (Lazy.force m_in_flight);
@@ -157,6 +207,7 @@ let stats t =
       admitted = t.admitted;
       rejected = t.rejected;
       deadline_shed = t.deadline_shed;
+      tenant_rejected = t.tenant_rejected;
       completed = t.completed;
       ticks = Budget.ticks t.budget;
     }
@@ -173,6 +224,7 @@ let stats_to_json (s : stats) =
       ("admitted", Json.Int s.admitted);
       ("rejected", Json.Int s.rejected);
       ("deadline_shed", Json.Int s.deadline_shed);
+      ("tenant_rejected", Json.Int s.tenant_rejected);
       ("completed", Json.Int s.completed);
       ("ticks", Json.Int s.ticks);
     ]

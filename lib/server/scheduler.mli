@@ -25,6 +25,8 @@ type stats = {
   rejected : int;
   deadline_shed : int;
       (** requests shed at admission because their deadline had passed *)
+  tenant_rejected : int;
+      (** requests rejected because their tenant's quota was full *)
   completed : int;
   ticks : int;  (** total work ticks absorbed from finished requests *)
 }
@@ -32,8 +34,12 @@ type stats = {
 type t
 
 (** [capacity] defaults to 64; [budget] defaults to an unarmed (but
-    tick-counting) budget labelled ["acqd"]. *)
-val create : ?capacity:int -> ?budget:Ac_runtime.Budget.t -> unit -> t
+    tick-counting) budget labelled ["acqd"]. [tenant_quota], when
+    given, bounds the in-flight requests of any single tenant (see
+    {!submit}) — a layer {e under} the global capacity, so one noisy
+    tenant cannot monopolise the queue. *)
+val create :
+  ?capacity:int -> ?tenant_quota:int -> ?budget:Ac_runtime.Budget.t -> unit -> t
 
 val capacity : t -> int
 
@@ -41,6 +47,14 @@ val capacity : t -> int
     thread, or reject with [Error (Overloaded _)] when full. An
     exception escaping [f] is mapped to its typed error (unknown
     exceptions become [Internal]); the slot is released either way.
+
+    [tenant] is the request's accounting identity. When the scheduler
+    was created with a [tenant_quota] and this tenant already has that
+    many requests in flight, the request is rejected with the same
+    typed [Overloaded] class (exit 17 — retry later), counted in
+    [tenant_rejected] and the [acq_tenant_rejected_total{tenant}]
+    metric. Requests without a tenant share the anonymous pool and are
+    only bounded by the global capacity.
 
     [deadline_ms] is the time the client is still willing to wait.
     When it is [<= 0] the request is {e shed} before taking a slot —
@@ -50,6 +64,7 @@ val capacity : t -> int
 val submit :
   t ->
   label:string ->
+  ?tenant:string ->
   ?deadline_ms:int ->
   (Ac_runtime.Budget.t -> 'a) ->
   ('a, Ac_runtime.Error.t) result

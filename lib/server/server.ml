@@ -21,6 +21,7 @@ type config = {
   manifest : string option;
   merge_threshold : int;
   merge_ratio : float;
+  tenant_quota : int option;
   verbose : bool;
 }
 
@@ -33,6 +34,7 @@ let default_config =
     manifest = None;
     merge_threshold = 4096;
     merge_ratio = 0.25;
+    tenant_quota = None;
     verbose = false;
   }
 
@@ -40,6 +42,7 @@ type counters = {
   mutable count : int;
   mutable sample : int;
   mutable use : int;
+  mutable load : int;
   mutable insert : int;
   mutable delete : int;
   mutable load_batch : int;
@@ -52,6 +55,7 @@ type counters = {
 
 type t = {
   config : config;
+  router : Router.t option;
   catalog : Catalog.t;
   plan_cache : Report.t Cache.Lru.t;
   result_cache : Wire.outcome Cache.Lru.t;
@@ -73,16 +77,19 @@ type t = {
   merge_mutex : Mutex.t;
 }
 
-let create ?(config = default_config) () =
+let create ?router ?(config = default_config) () =
   let stop_r, stop_w = Unix.pipe () in
   {
     config;
+    router;
     catalog = Catalog.create ();
     plan_cache =
       Cache.Lru.create ~name:"plan" ~capacity:config.plan_cache_capacity ();
     result_cache =
       Cache.Lru.create ~name:"result" ~capacity:config.result_cache_capacity ();
-    scheduler = Scheduler.create ~capacity:config.queue_capacity ();
+    scheduler =
+      Scheduler.create ~capacity:config.queue_capacity
+        ?tenant_quota:config.tenant_quota ();
     inflight = Inflight.create ();
     recovered = Atomic.make false;
     started_ms = Unix.gettimeofday () *. 1000.0;
@@ -91,6 +98,7 @@ let create ?(config = default_config) () =
         count = 0;
         sample = 0;
         use = 0;
+        load = 0;
         insert = 0;
         delete = 0;
         load_batch = 0;
@@ -111,6 +119,7 @@ let create ?(config = default_config) () =
 
 let catalog t = t.catalog
 let scheduler t = t.scheduler
+let router t = t.router
 let recovered t = Atomic.get t.recovered
 
 (* ---------- crash-safe catalog ---------- *)
@@ -123,7 +132,15 @@ let recovered t = Atomic.get t.recovered
 let sync_manifest t =
   match t.config.manifest with
   | None -> Ok ()
-  | Some path -> Manifest.store ~path t.catalog
+  | Some path ->
+      (* a router daemon stamps its partition spec on every entry so a
+         restart re-cuts the data exactly as before *)
+      let partition =
+        Option.map
+          (fun r -> Partition.spec_to_string (Router.spec r))
+          t.router
+      in
+      Manifest.store ~path ?partition t.catalog
 
 let journal_path t ~name =
   Option.map (fun m -> Printf.sprintf "%s.%s.journal" m name) t.config.manifest
@@ -287,6 +304,84 @@ let outcome_of_response ~plan_cache ~result_cache (r : Api.response) =
 
 (* ---------- COUNT ---------- *)
 
+(* One local COUNT under admission control: plan-cache lookup, request
+   budget, estimation on the calling thread, result-cache fill. *)
+let run_local t entry ~db_fingerprint ~result_key (p : Wire.params) query =
+  match
+    Scheduler.submit t.scheduler ~label:"count" ?tenant:p.Wire.tenant
+      ?deadline_ms:p.Wire.deadline_ms (fun slice ->
+        let plan_key = Cache.plan_key ~db_fingerprint query in
+        let report, plan_state =
+          match Cache.Lru.find t.plan_cache plan_key with
+          | Some rep -> (rep, "hit")
+          | None ->
+              let rep = Report.analyze ~db:entry.Catalog.db query in
+              Cache.Lru.add t.plan_cache plan_key rep;
+              (rep, "miss")
+        in
+        let budget, absorb =
+          request_budget p ~default_timeout_ms:t.config.default_timeout_ms
+            slice
+        in
+        let tracer = if p.Wire.trace then Some (Trace.create ()) else None in
+        let request =
+          Api.Request.make query entry.Catalog.db
+          |> Api.Request.with_eps p.Wire.eps
+          |> Api.Request.with_delta p.Wire.delta
+          |> Api.Request.with_method p.Wire.method_
+          |> Api.Request.with_seed p.Wire.seed
+          |> Api.Request.with_jobs p.Wire.jobs
+          |> Api.Request.with_budget (Some budget)
+          |> Api.Request.with_strict p.Wire.strict
+          |> Api.Request.with_verbose t.config.verbose
+          |> Api.Request.with_trace tracer
+        in
+        let result = Api.run ~report request in
+        absorb ();
+        Result.map
+          (fun r ->
+            outcome_of_response ~plan_cache:plan_state
+              ~result_cache:(if result_key = None then "bypass" else "miss")
+              r)
+          result)
+  with
+  | Error e -> Wire.response_of_error e
+  | Ok (Error e) -> Wire.response_of_error e
+  | Ok (Ok outcome) ->
+      (match result_key with
+      | Some key when not outcome.Wire.degraded ->
+          (* degraded answers depend on budget timing — only
+             deterministic, guaranteed results are cached *)
+          Cache.Lru.add t.result_cache key outcome
+      | _ -> ());
+      Wire.Counted outcome
+
+(* One scattered COUNT: the fan-out runs on the fleet, so the local
+   scheduler slot only accounts for admission (and tenant quota) while
+   the router threads wait on worker replies. Same result-cache policy
+   as local runs — the #fleetN-tagged key keeps the two result spaces
+   apart. *)
+let run_scatter t router ~name ~result_key (p : Wire.params) =
+  match
+    Scheduler.submit t.scheduler ~label:"count" ?tenant:p.Wire.tenant
+      ?deadline_ms:p.Wire.deadline_ms (fun _slice ->
+        Router.scatter_count router ~name p)
+  with
+  | Error e -> Wire.response_of_error e
+  | Ok (Error e) -> Wire.response_of_error e
+  | Ok (Ok outcome) ->
+      let outcome =
+        {
+          outcome with
+          Wire.result_cache = (if result_key = None then "bypass" else "miss");
+        }
+      in
+      (match result_key with
+      | Some key when not outcome.Wire.degraded ->
+          Cache.Lru.add t.result_cache key outcome
+      | _ -> ());
+      Wire.Counted outcome
+
 let run_count t session (p : Wire.params) =
   match resolve_db t session p.Wire.db with
   | Error e -> Wire.response_of_error e
@@ -294,12 +389,37 @@ let run_count t session (p : Wire.params) =
       match Ecq.parse_result p.Wire.query with
       | Error e -> Wire.response_of_error e
       | Ok query -> (
+          (* fleet routing: when this daemon fronts a sharded fleet
+             holding [entry]'s shards and the query's join structure
+             decomposes over the partition, the COUNT scatters instead
+             of running locally. Non-decomposing queries fall back to
+             the local full copy — counted, so a fleet that never
+             scatters is visible. *)
+          let fleet =
+            match t.router with
+            | Some router when Router.manages router entry.Catalog.name -> (
+                match Router.plan router query with
+                | Ok _var -> Some (router, entry.Catalog.name)
+                | Error _reason ->
+                    Router.note_fallback router ~reason:"cross_shard";
+                    None)
+            | _ -> None
+          in
           (* (rolling fingerprint @ version): cache entries stop being
              referenced the moment a mutation moves the db, and hit
-             again whenever the same version is re-queried *)
+             again whenever the same version is re-queried. A scattered
+             result is the sum of per-shard runs — a different
+             experiment than a local run under the same seed — so the
+             fleet shard count is part of the key *)
           let db_fingerprint =
-            Cache.db_key ~fingerprint:entry.Catalog.fingerprint
-              ~version:entry.Catalog.version
+            let base =
+              Cache.db_key ~fingerprint:entry.Catalog.fingerprint
+                ~version:entry.Catalog.version
+            in
+            match fleet with
+            | Some (router, _) ->
+                Printf.sprintf "%s#fleet%d" base (Router.shards router)
+            | None -> base
           in
           let result_key =
             Option.map
@@ -328,54 +448,10 @@ let run_count t session (p : Wire.params) =
                 }
           | Some None | None ->
               let compute () =
-              match
-                Scheduler.submit t.scheduler ~label:"count"
-                  ?deadline_ms:p.Wire.deadline_ms (fun slice ->
-                    let plan_key = Cache.plan_key ~db_fingerprint query in
-                    let report, plan_state =
-                      match Cache.Lru.find t.plan_cache plan_key with
-                      | Some rep -> (rep, "hit")
-                      | None ->
-                          let rep =
-                            Report.analyze ~db:entry.Catalog.db query
-                          in
-                          Cache.Lru.add t.plan_cache plan_key rep;
-                          (rep, "miss")
-                    in
-                    let budget, absorb =
-                      request_budget p
-                        ~default_timeout_ms:t.config.default_timeout_ms slice
-                    in
-                    let tracer =
-                      if p.Wire.trace then Some (Trace.create ()) else None
-                    in
-                    let request =
-                      Api.request ~eps:p.Wire.eps ~delta:p.Wire.delta
-                        ~method_:p.Wire.method_ ?seed:p.Wire.seed
-                        ?jobs:p.Wire.jobs ~budget ~strict:p.Wire.strict
-                        ~verbose:t.config.verbose ?trace:tracer query
-                        entry.Catalog.db
-                    in
-                    let result = Api.run ~report request in
-                    absorb ();
-                    Result.map
-                      (fun r ->
-                        outcome_of_response ~plan_cache:plan_state
-                          ~result_cache:
-                            (if result_key = None then "bypass" else "miss")
-                          r)
-                      result)
-              with
-              | Error e -> Wire.response_of_error e
-              | Ok (Error e) -> Wire.response_of_error e
-              | Ok (Ok outcome) ->
-                  (match result_key with
-                  | Some key when not outcome.Wire.degraded ->
-                      (* degraded answers depend on budget timing — only
-                         deterministic, guaranteed results are cached *)
-                      Cache.Lru.add t.result_cache key outcome
-                  | _ -> ());
-                  Wire.Counted outcome
+                match fleet with
+                | Some (router, name) ->
+                    run_scatter t router ~name ~result_key p
+                | None -> run_local t entry ~db_fingerprint ~result_key p query
               in
               (* a seeded request is deduplicated against identical
                  in-flight work: a retry that races its original joins
@@ -417,7 +493,8 @@ let run_sample t session (p : Wire.params) ~draws =
       | Ok query -> (
           let result =
             Scheduler.submit t.scheduler ~label:"sample"
-              ?deadline_ms:p.Wire.deadline_ms (fun slice ->
+              ?tenant:p.Wire.tenant ?deadline_ms:p.Wire.deadline_ms
+              (fun slice ->
                 let budget, absorb =
                   request_budget p
                     ~default_timeout_ms:t.config.default_timeout_ms slice
@@ -426,10 +503,15 @@ let run_sample t session (p : Wire.params) ~draws =
                   if p.Wire.trace then Some (Trace.create ()) else None
                 in
                 let request =
-                  Api.request ~eps:p.Wire.eps ~delta:p.Wire.delta
-                    ~method_:p.Wire.method_ ?seed:p.Wire.seed ?jobs:p.Wire.jobs
-                    ~budget ~verbose:t.config.verbose ?trace:tracer query
-                    entry.Catalog.db
+                  Api.Request.make query entry.Catalog.db
+                  |> Api.Request.with_eps p.Wire.eps
+                  |> Api.Request.with_delta p.Wire.delta
+                  |> Api.Request.with_method p.Wire.method_
+                  |> Api.Request.with_seed p.Wire.seed
+                  |> Api.Request.with_jobs p.Wire.jobs
+                  |> Api.Request.with_budget (Some budget)
+                  |> Api.Request.with_verbose t.config.verbose
+                  |> Api.Request.with_trace tracer
                 in
                 let result = Api.sample ~draws request in
                 absorb ();
@@ -696,6 +778,7 @@ let stats_json t =
           ("count", Json.Int c.count);
           ("sample", Json.Int c.sample);
           ("use", Json.Int c.use);
+          ("load", Json.Int c.load);
           ("insert", Json.Int c.insert);
           ("delete", Json.Int c.delete);
           ("load_batch", Json.Int c.load_batch);
@@ -791,6 +874,25 @@ let handle_request t session req =
           Wire.response_of_error
             (Error.Io
                { file = name; msg = "unknown database (not in the catalog)" }))
+  | Wire.Load { name; text } -> (
+      bump t (fun c -> c.load <- c.load + 1);
+      (* the fleet seeding verb: parse the shipped text and register it
+         as an in-memory catalog entry (replacing any existing slot).
+         Not file-backed, so it does not enter the recovery manifest —
+         a restarted worker simply reports unknown-database and the
+         router re-pushes from its cached shard text. *)
+      match Structure_io.of_string ~name text with
+      | db ->
+          let entry = Catalog.add t.catalog ~name db in
+          Wire.Loaded
+            {
+              name = entry.Catalog.name;
+              fingerprint = entry.Catalog.fingerprint;
+              universe = entry.Catalog.universe;
+              size = entry.Catalog.size;
+            }
+      | exception Failure msg ->
+          Wire.response_of_error (Error.Parse { source = name; msg }))
   | Wire.Count p ->
       bump t (fun c -> c.count <- c.count + 1);
       run_count t session p

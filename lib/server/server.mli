@@ -37,6 +37,9 @@ type config = {
   merge_ratio : float;
       (** …and the delta is at least this fraction of the main segment
           (default 0.25) — small deltas on big databases stay resident *)
+  tenant_quota : int option;
+      (** per-tenant in-flight bound under the global capacity (default
+          [None] — no per-tenant quotas); see [Scheduler] *)
   verbose : bool;
 }
 
@@ -44,9 +47,18 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
+(** [router], when given, makes this daemon a fleet router: a [COUNT]
+    against a database the router has {!Router.distribute}d, whose join
+    structure decomposes over the partition, is scattered over the
+    workers instead of running locally (non-decomposing queries fall
+    back to the local full copy, counted in
+    [acq_fleet_fallback_total]); the recovery manifest is stamped with
+    the partition spec. *)
+val create : ?router:Router.t -> ?config:config -> unit -> t
+
 val catalog : t -> Catalog.t
 val scheduler : t -> Scheduler.t
+val router : t -> Router.t option
 
 (** The catalog was replayed from the manifest after a crash (surfaced
     in [STATS] and [HEALTH]). *)

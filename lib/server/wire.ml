@@ -13,6 +13,68 @@ let protocol_version = 1
 
 type db_ref = Named of string | Inline of string | Session
 
+(* The closed verb alphabet. Dispatch pattern-matches on this variant
+   instead of on strings, so a verb added to the protocol without a
+   handler is a compile error (non-exhaustive match), not a runtime
+   "unknown verb" surprise; [of_string]/[to_string] are the single,
+   total codec (pinned by a qcheck round-trip test). *)
+module Verb = struct
+  type t =
+    | Count
+    | Sample
+    | Use
+    | Load
+    | Insert
+    | Delete
+    | Load_batch
+    | Stats
+    | Metrics
+    | Ping
+    | Health
+
+  let all =
+    [
+      Count;
+      Sample;
+      Use;
+      Load;
+      Insert;
+      Delete;
+      Load_batch;
+      Stats;
+      Metrics;
+      Ping;
+      Health;
+    ]
+
+  let to_string = function
+    | Count -> "count"
+    | Sample -> "sample"
+    | Use -> "use"
+    | Load -> "load"
+    | Insert -> "insert"
+    | Delete -> "delete"
+    | Load_batch -> "load_batch"
+    | Stats -> "stats"
+    | Metrics -> "metrics"
+    | Ping -> "ping"
+    | Health -> "health"
+
+  let of_string = function
+    | "count" -> Some Count
+    | "sample" -> Some Sample
+    | "use" -> Some Use
+    | "load" -> Some Load
+    | "insert" -> Some Insert
+    | "delete" -> Some Delete
+    | "load_batch" -> Some Load_batch
+    | "stats" -> Some Stats
+    | "metrics" -> Some Metrics
+    | "ping" -> Some Ping
+    | "health" -> Some Health
+    | _ -> None
+end
+
 type params = {
   query : string;
   db : db_ref;
@@ -26,11 +88,12 @@ type params = {
   max_heap_mb : int option;
   strict : bool;
   trace : bool;
+  tenant : string option;
 }
 
 let params ?(eps = 0.25) ?(delta = 0.1) ?(method_ = Api.Auto) ?seed ?jobs
     ?timeout_ms ?deadline_ms ?max_heap_mb ?(strict = false) ?(trace = false)
-    ~db query =
+    ?tenant ~db query =
   {
     query;
     db;
@@ -44,6 +107,7 @@ let params ?(eps = 0.25) ?(delta = 0.1) ?(method_ = Api.Auto) ?seed ?jobs
     max_heap_mb;
     strict;
     trace;
+    tenant;
   }
 
 (* One element of a LOAD_BATCH: direction + fact. INSERT/DELETE are
@@ -65,6 +129,7 @@ type request =
   | Count of params
   | Sample of { params : params; draws : int }
   | Use of string
+  | Load of { name : string; text : string }
   | Insert of {
       db : db_ref;
       rel : string;
@@ -89,17 +154,20 @@ type request =
 
 let method_of_name = Api.method_of_string
 
-let verb_name = function
-  | Ping -> "ping"
-  | Stats -> "stats"
-  | Metrics_req _ -> "metrics"
-  | Use _ -> "use"
-  | Count _ -> "count"
-  | Sample _ -> "sample"
-  | Insert _ -> "insert"
-  | Delete _ -> "delete"
-  | Load_batch _ -> "load_batch"
-  | Health -> "health"
+let verb_of_request = function
+  | Ping -> Verb.Ping
+  | Stats -> Verb.Stats
+  | Metrics_req _ -> Verb.Metrics
+  | Use _ -> Verb.Use
+  | Load _ -> Verb.Load
+  | Count _ -> Verb.Count
+  | Sample _ -> Verb.Sample
+  | Insert _ -> Verb.Insert
+  | Delete _ -> Verb.Delete
+  | Load_batch _ -> Verb.Load_batch
+  | Health -> Verb.Health
+
+let verb_name r = Verb.to_string (verb_of_request r)
 
 (* A request is idempotent — safe to resend after a transport fault —
    iff replaying it cannot change the answer or spend budget twice.
@@ -111,8 +179,10 @@ let verb_name = function
    live-db dedupe table replays the stored result instead of applying
    the batch twice, so a resend is safe. Without one, a retried
    mutation would double-apply. *)
+(* LOAD replaces the slot with the shipped content — resending the
+   same text converges on the same catalog state, so it is safe. *)
 let idempotent = function
-  | Ping | Stats | Metrics_req _ | Use _ | Health -> true
+  | Ping | Stats | Metrics_req _ | Use _ | Health | Load _ -> true
   | Count p -> p.seed <> None
   | Sample { params; _ } -> params.seed <> None
   | Insert { batch_id; _ } | Delete { batch_id; _ } | Load_batch { batch_id; _ }
@@ -159,6 +229,12 @@ type response =
       trace : Trace.summary option;
     }
   | Used of { name : string; fingerprint : string; universe : int; size : int }
+  | Loaded of {
+      name : string;
+      fingerprint : string;
+      universe : int;
+      size : int;
+    }
   | Mutated of {
       name : string;
       db_version : int;
@@ -175,8 +251,8 @@ type response =
 
 let status_of_response = function
   | Counted o -> if o.degraded then 3 else 0
-  | Sampled _ | Used _ | Mutated _ | Stats_reply _ | Metrics_reply _ | Pong
-  | Health_reply _ ->
+  | Sampled _ | Used _ | Loaded _ | Mutated _ | Stats_reply _ | Metrics_reply _
+  | Pong | Health_reply _ ->
       0
   | Refused r -> r.code
 
@@ -207,6 +283,9 @@ let params_fields (p : params) =
     | Named n -> [ ("use", Json.String n) ]
     | Inline text -> [ ("db_inline", Json.String text) ]
     | Session -> [])
+  @ (match p.tenant with
+    | Some tn -> [ ("tenant", Json.String tn) ]
+    | None -> [])
   @ opt_int_field "seed" p.seed
   @ opt_int_field "jobs" p.jobs
   @ opt_int_field "timeout_ms" p.timeout_ms
@@ -263,6 +342,12 @@ let request_to_json ?id = function
         (("verb", Json.String "use")
         :: version_field
         :: (id_fields id @ [ ("name", Json.String name) ]))
+  | Load { name; text } ->
+      Json.Obj
+        (("verb", Json.String "load")
+        :: version_field
+        :: (id_fields id
+           @ [ ("name", Json.String name); ("text", Json.String text) ]))
   | Insert { db; rel; tuples; batch_id } ->
       Json.Obj
         (("verb", Json.String "insert")
@@ -436,6 +521,16 @@ let response_to_json ?id r =
             ("universe", Json.Int u.universe);
             ("size", Json.Int u.size);
           ])
+  | Loaded l ->
+      Json.Obj
+        (base
+        @ [
+            ("verb", Json.String "load");
+            ("name", Json.String l.name);
+            ("fingerprint", Json.String l.fingerprint);
+            ("universe", Json.Int l.universe);
+            ("size", Json.Int l.size);
+          ])
   | Mutated m ->
       (* one response shape for all three mutation verbs; "version" is
          taken by the protocol envelope, so the db counter travels as
@@ -552,6 +647,12 @@ let params_of_json j =
   let* max_heap_mb = opt_int "max_heap_mb" j in
   let* strict = opt_bool "strict" ~default:false j in
   let* trace = opt_bool "trace" ~default:false j in
+  let* tenant =
+    match Json.mem "tenant" j with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.String s) -> Ok (Some s)
+    | Some _ -> Error "field \"tenant\" must be a string"
+  in
   Ok
     {
       query;
@@ -566,6 +667,7 @@ let params_of_json j =
       max_heap_mb;
       strict;
       trace;
+      tenant;
     }
 
 let db_ref_of_json j =
@@ -657,50 +759,60 @@ let check_version j =
            v protocol_version)
   | Some _ -> Error "field \"version\" must be an integer"
 
+(* String dispatch happens exactly once — [Verb.of_string] — and the
+   per-verb decoders are selected by an exhaustive match over the
+   closed variant: adding a [Verb.t] constructor without a decoder is a
+   compile error. *)
 let request_of_json j =
   let* () = check_version j in
   let* verb = req_str "verb" j in
-  match verb with
-  | "count" ->
-      let* p = params_of_json j in
-      Ok (Count p)
-  | "sample" ->
-      let* p = params_of_json j in
-      let* draws = opt_int "draws" j in
-      let draws = Option.value draws ~default:1 in
-      if draws < 1 then Error "field \"draws\" must be positive"
-      else Ok (Sample { params = p; draws })
-  | "use" ->
-      let* name = req_str "name" j in
-      Ok (Use name)
-  | "insert" ->
-      let* db = db_ref_of_json j in
-      let* rel = req_str "rel" j in
-      let* tuples = tuples_of_json j in
-      let* batch_id = opt_str "batch_id" j in
-      Ok (Insert { db; rel; tuples; batch_id })
-  | "delete" ->
-      let* db = db_ref_of_json j in
-      let* rel = req_str "rel" j in
-      let* tuples = tuples_of_json j in
-      let* batch_id = opt_str "batch_id" j in
-      Ok (Delete { db; rel; tuples; batch_id })
-  | "load_batch" ->
-      let* db = db_ref_of_json j in
-      let* ops = ops_of_json j in
-      let* batch_id = opt_str "batch_id" j in
-      Ok (Load_batch { db; ops; batch_id })
-  | "stats" -> Ok Stats
-  | "metrics" -> (
-      match field_or "format" (Json.String "json") j with
-      | Json.String f -> (
-          match metrics_format_of_name f with
-          | Some format -> Ok (Metrics_req { format })
-          | None -> Error (Printf.sprintf "unknown metrics format %S" f))
-      | _ -> Error "field \"format\" must be a string")
-  | "ping" -> Ok Ping
-  | "health" -> Ok Health
-  | v -> Error (Printf.sprintf "unknown verb %S" v)
+  match Verb.of_string verb with
+  | None -> Error (Printf.sprintf "unknown verb %S" verb)
+  | Some v -> (
+      match v with
+      | Verb.Count ->
+          let* p = params_of_json j in
+          Ok (Count p)
+      | Verb.Sample ->
+          let* p = params_of_json j in
+          let* draws = opt_int "draws" j in
+          let draws = Option.value draws ~default:1 in
+          if draws < 1 then Error "field \"draws\" must be positive"
+          else Ok (Sample { params = p; draws })
+      | Verb.Use ->
+          let* name = req_str "name" j in
+          Ok (Use name)
+      | Verb.Load ->
+          let* name = req_str "name" j in
+          let* text = req_str "text" j in
+          Ok (Load { name; text })
+      | Verb.Insert ->
+          let* db = db_ref_of_json j in
+          let* rel = req_str "rel" j in
+          let* tuples = tuples_of_json j in
+          let* batch_id = opt_str "batch_id" j in
+          Ok (Insert { db; rel; tuples; batch_id })
+      | Verb.Delete ->
+          let* db = db_ref_of_json j in
+          let* rel = req_str "rel" j in
+          let* tuples = tuples_of_json j in
+          let* batch_id = opt_str "batch_id" j in
+          Ok (Delete { db; rel; tuples; batch_id })
+      | Verb.Load_batch ->
+          let* db = db_ref_of_json j in
+          let* ops = ops_of_json j in
+          let* batch_id = opt_str "batch_id" j in
+          Ok (Load_batch { db; ops; batch_id })
+      | Verb.Stats -> Ok Stats
+      | Verb.Metrics -> (
+          match field_or "format" (Json.String "json") j with
+          | Json.String f -> (
+              match metrics_format_of_name f with
+              | Some format -> Ok (Metrics_req { format })
+              | None -> Error (Printf.sprintf "unknown metrics format %S" f))
+          | _ -> Error "field \"format\" must be a string")
+      | Verb.Ping -> Ok Ping
+      | Verb.Health -> Ok Health)
 
 let trace_summary_of_json t =
   let aggs =
@@ -892,6 +1004,20 @@ let response_of_json j =
               ~default:0
           in
           Ok (Used { name; fingerprint; universe; size })
+      | "load" ->
+          let* name = req_str "name" j in
+          let* fingerprint = req_str "fingerprint" j in
+          let universe =
+            Option.value
+              (Option.bind (Json.mem "universe" j) Json.to_int)
+              ~default:0
+          in
+          let size =
+            Option.value
+              (Option.bind (Json.mem "size" j) Json.to_int)
+              ~default:0
+          in
+          Ok (Loaded { name; fingerprint; universe; size })
       | "mutate" ->
           let* name = req_str "name" j in
           let* fingerprint = req_str "fingerprint" j in

@@ -35,6 +35,33 @@ type db_ref =
           clients without a catalog entry) *)
   | Session  (** whatever the connection last [USE]d *)
 
+(** The closed verb alphabet of the protocol. Server dispatch and the
+    router's verb forwarding pattern-match on this variant, so a verb
+    added without a handler is a compile error instead of a runtime
+    string mismatch. [of_string]/[to_string] form the single, total
+    codec — every constructor round-trips (pinned by a qcheck test),
+    and [of_string] returns [None] for anything off-alphabet. *)
+module Verb : sig
+  type t =
+    | Count
+    | Sample
+    | Use
+    | Load  (** register a shipped database text in the catalog *)
+    | Insert
+    | Delete
+    | Load_batch
+    | Stats
+    | Metrics
+    | Ping
+    | Health
+
+  (** Every constructor, in wire order. *)
+  val all : t list
+
+  val to_string : t -> string
+  val of_string : string -> t option
+end
+
 type params = {
   query : string;
   db : db_ref;
@@ -54,6 +81,9 @@ type params = {
   trace : bool;
       (** ask the server to trace this request and return the span
           summary inside the response telemetry *)
+  tenant : string option;
+      (** accounting identity for per-tenant admission quotas
+          ([Scheduler]); [None] shares the anonymous pool *)
 }
 
 (** Builder with the CLI defaults ([eps = 0.25], [delta = 0.1],
@@ -69,6 +99,7 @@ val params :
   ?max_heap_mb:int ->
   ?strict:bool ->
   ?trace:bool ->
+  ?tenant:string ->
   db:db_ref ->
   string ->
   params
@@ -88,6 +119,10 @@ type request =
   | Count of params
   | Sample of { params : params; draws : int }
   | Use of string
+  | Load of { name : string; text : string }
+      (** register [text] (a [Structure_io] database) in the catalog as
+          [name], replacing any existing slot — how a fleet router ships
+          shards to its workers *)
   | Insert of {
       db : db_ref;
       rel : string;
@@ -174,6 +209,12 @@ type response =
       trace : Ac_obs.Trace.summary option;
     }
   | Used of { name : string; fingerprint : string; universe : int; size : int }
+  | Loaded of {
+      name : string;
+      fingerprint : string;
+      universe : int;
+      size : int;
+    }  (** a [LOAD] landed: the registered entry's identity *)
   | Mutated of {
       name : string;
       db_version : int;

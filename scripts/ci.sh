@@ -30,6 +30,9 @@ scripts/smoke_server.sh --chaos
 echo "== live mutation smoke (insert/delete, exactly-once, journal recovery)"
 scripts/smoke_server.sh --live
 
+echo "== fleet smoke (2 workers + router, worker loss degrades, restart heals)"
+scripts/smoke_server.sh --fleet
+
 if [ "${1:-}" = "--with-bench" ]; then
   echo "== parallel jobs sweep (BENCH_parallel.json)"
   dune exec bench/main.exe -- --parallel
@@ -45,6 +48,8 @@ if [ "${1:-}" = "--with-bench" ]; then
   dune exec bench/main.exe -- --cost
   echo "== live main+delta storage (BENCH_live.json, post-merge cold p50 within 10% of rebuilt)"
   dune exec bench/main.exe -- --live
+  echo "== sharded fleet scaling (BENCH_fleet.json, 2 workers >= 1.4x on multi-core)"
+  dune exec bench/main.exe -- --fleet
 fi
 
 echo "== CI green"

@@ -106,6 +106,7 @@ lib/server/cache.ml
 lib/server/catalog.ml
 lib/server/chaos_proxy.ml
 lib/server/inflight.ml
+lib/server/router.ml
 lib/server/scheduler.ml
 lib/server/server.ml
 "

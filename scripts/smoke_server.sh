@@ -3,6 +3,13 @@
 # client requests (the third must be a result-cache hit doing zero
 # estimation work), send SIGTERM and assert a clean drain (exit 0).
 #
+# With --fleet, instead boots a sharded fleet (two workers plus a
+# router that cuts the database over hash:0 and ships the shards via
+# LOAD), asserts scatter-gather answers are bit-reproducible, kills one
+# worker (a typed degraded answer, exit 3, never a hang), restarts it
+# and asserts the router re-seeds it transparently — the healthy
+# estimate replays bit-for-bit.
+#
 # With --chaos, instead runs the fault-tolerance suite: the seeded
 # wire-chaos soak (every answer bit-identical under injected frame
 # faults), then a kill -9 crash with manifest recovery (the restarted
@@ -19,6 +26,84 @@ cd "$(dirname "$0")/.."
 ACQ=_build/default/bin/acq.exe
 ACQD=_build/default/bin/acqd.exe
 [ -x "$ACQ" ] && [ -x "$ACQD" ] || { echo "smoke_server: build first (dune build)"; exit 1; }
+
+if [ "${1:-}" = "--fleet" ]; then
+  workdir=$(mktemp -d)
+  w0="$workdir/w0.sock"
+  w1="$workdir/w1.sock"
+  rsock="$workdir/router.sock"
+  db="$workdir/facts.txt"
+  w0pid=""; w1pid=""; rpid=""
+  trap 'kill $w0pid $w1pid $rpid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+  "$ACQ" generate --kind graph --size 40 --out "$db" >/dev/null
+
+  wait_ping() {
+    i=0
+    until "$ACQ" ping --connect "$1" >/dev/null 2>&1; do
+      i=$((i + 1))
+      [ $i -lt 100 ] || { echo "smoke_server: $2 never answered on $1"; exit 1; }
+      sleep 0.1
+    done
+  }
+
+  # workers boot empty: the router ships their shards over LOAD
+  "$ACQD" --socket "$w0" &
+  w0pid=$!
+  "$ACQD" --socket "$w1" &
+  w1pid=$!
+  wait_ping "$w0" "worker 0"
+  wait_ping "$w1" "worker 1"
+
+  # the router refuses to bind unless it can seed the whole fleet
+  "$ACQD" --socket "$rsock" --load g="$db" --result-cache 0 \
+    --worker unix:"$w0" --worker unix:"$w1" --partition hash:0 &
+  rpid=$!
+  wait_ping "$rsock" "router"
+
+  # shardable on column 0: x anchors every E atom
+  query='ans(x,y,z) :- E(x,y), E(x,z), y != z'
+
+  echo "fleet: scatter-gather COUNT is bit-reproducible (result cache off)"
+  est1=$("$ACQ" count --connect "$rsock" --use g -q "$query" --seed 11 --hex)
+  est2=$("$ACQ" count --connect "$rsock" --use g -q "$query" --seed 11 --hex)
+  [ "$est1" = "$est2" ] || { echo "smoke_server: scattered estimate not reproducible: $est1 vs $est2"; exit 1; }
+
+  "$ACQ" stats --connect "$rsock" --metrics --prometheus | grep -q '^acq_fleet_scatter_total [1-9]' \
+    || { echo "smoke_server: acq_fleet_scatter_total missing or zero"; exit 1; }
+  "$ACQ" stats --connect "$rsock" --metrics --prometheus | grep -q '^acq_fleet_workers 2' \
+    || { echo "smoke_server: acq_fleet_workers does not say 2"; exit 1; }
+
+  echo "fleet: cross-shard query falls back to local execution"
+  "$ACQ" count --connect "$rsock" --use g -q 'ans(x,y) :- E(x,y), E(y,z), x != z' --seed 11 >/dev/null \
+    || { echo "smoke_server: cross-shard fallback failed"; exit 1; }
+  "$ACQ" stats --connect "$rsock" --metrics --prometheus | grep -q '^acq_fleet_fallback_total{reason="cross_shard"} [1-9]' \
+    || { echo "smoke_server: cross-shard fallback not counted"; exit 1; }
+
+  echo "fleet: kill one worker — typed degradation (exit 3), no hang"
+  kill -9 "$w1pid"
+  wait "$w1pid" 2>/dev/null || true
+  status=0
+  timeout 30 "$ACQ" count --connect "$rsock" --use g -q "$query" --seed 11 >/dev/null 2>&1 || status=$?
+  [ "$status" -eq 3 ] || { echo "smoke_server: one dead worker exited $status, wanted 3 (degraded)"; exit 1; }
+
+  echo "fleet: restart the worker — the router re-seeds it over LOAD"
+  "$ACQD" --socket "$w1" --force &
+  w1pid=$!
+  wait_ping "$w1" "restarted worker 1"
+  est3=$("$ACQ" count --connect "$rsock" --use g -q "$query" --seed 11 --hex)
+  [ "$est1" = "$est3" ] || { echo "smoke_server: healed fleet drifted: $est1 vs $est3"; exit 1; }
+
+  for p in "$rpid" "$w0pid" "$w1pid"; do
+    kill -TERM "$p"
+    status=0
+    wait "$p" || status=$?
+    [ "$status" -eq 0 ] || { echo "smoke_server: pid $p exited $status after SIGTERM"; exit 1; }
+  done
+
+  echo "smoke_server: fleet ok (scatter reproducible at $est1, degraded on worker loss, healed by re-push)"
+  exit 0
+fi
 
 if [ "${1:-}" = "--chaos" ]; then
   CHAOS=_build/default/test/chaos/chaos_wire_main.exe

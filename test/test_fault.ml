@@ -255,6 +255,7 @@ let test_manifest_roundtrip () =
         db_version = 0;
         live_fingerprint = "aa";
         journal = None;
+        partition = None;
       };
       {
         Manifest.name = "h";
@@ -263,6 +264,7 @@ let test_manifest_roundtrip () =
         db_version = 3;
         live_fingerprint = "cc";
         journal = Some "/data/h.journal";
+        partition = Some "hash:0:2";
       };
     ]
   in
@@ -468,6 +470,7 @@ let test_recovery_compaction_window () =
            db_version = v1;
            live_fingerprint = f1;
            journal = Some journal;
+           partition = None;
          };
        ]
    with
